@@ -1,0 +1,288 @@
+// Benchmarks regenerating the paper's performance claims, one benchmark
+// family per experiment in DESIGN.md's index (E3-E7). Absolute numbers
+// are machine-dependent; the claims are about shapes:
+//
+//	E3  Varanus ns/event grows linearly with live instances; Static
+//	    Varanus and register-based designs stay flat (Sec. 3.3).
+//	E4  OpenFlow-style rule modification cost grows with table size;
+//	    register writes are O(1) (Sec. 3.3).
+//	E5  Inline monitoring taxes the forwarding path; split monitoring
+//	    defers the cost (and risks lag errors — shown in the integration
+//	    tests) (Feature 9).
+//	E6  Full provenance costs more than limited; limited is nearly free
+//	    (Feature 10).
+//	E7  External monitoring redirects the full traffic volume; on-switch
+//	    monitoring redirects nothing (Sec. 1).
+package switchmon
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"switchmon/internal/backend"
+	"switchmon/internal/core"
+	"switchmon/internal/property"
+	"switchmon/internal/sim"
+	"switchmon/internal/tables"
+	"switchmon/internal/trace"
+)
+
+func fwProp(b *testing.B) *property.Property {
+	b.Helper()
+	p := property.CatalogByName(property.DefaultParams(), "firewall-basic")
+	if p == nil {
+		b.Fatal("missing firewall-basic")
+	}
+	return p
+}
+
+// BenchmarkE3PipelineDepth measures per-event cost with N live instances
+// for each backend architecture.
+func BenchmarkE3PipelineDepth(b *testing.B) {
+	makers := []struct {
+		name string
+		mk   func(*sim.Scheduler) backend.Backend
+	}{
+		{"Varanus", func(s *sim.Scheduler) backend.Backend { return backend.NewVaranus(s) }},
+		{"StaticVaranus", func(s *sim.Scheduler) backend.Backend { return backend.NewStaticVaranus(s) }},
+		{"P4Registers", func(s *sim.Scheduler) backend.Backend { return backend.NewP4(s) }},
+		{"Ideal", func(s *sim.Scheduler) backend.Backend { return backend.NewIdeal(s) }},
+	}
+	for _, instances := range []int{16, 256, 2048} {
+		for _, m := range makers {
+			b.Run(fmt.Sprintf("instances=%d/%s", instances, m.name), func(b *testing.B) {
+				sched := sim.NewScheduler()
+				bk := m.mk(sched)
+				if err := bk.AddProperty(fwProp(b)); err != nil {
+					b.Fatal(err)
+				}
+				setup := trace.FirewallWorkload{Flows: instances, Gap: time.Microsecond}
+				for _, e := range setup.Events(sim.Epoch) {
+					bk.HandleEvent(e)
+				}
+				work := trace.FirewallWorkload{Flows: instances, ReturnsPerFlow: 1, Gap: time.Microsecond}
+				events := work.Events(sim.Epoch)[2*instances:] // returns only
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					bk.HandleEvent(events[i%len(events)])
+				}
+				b.ReportMetric(float64(bk.PipelineDepth()), "pipeline-depth")
+			})
+		}
+	}
+}
+
+// BenchmarkE4StateUpdate measures a full monitor transition on backends
+// with rule-based versus register-based state. Each iteration opens a
+// fresh flow (one instance creation = one state transition).
+func BenchmarkE4StateUpdate(b *testing.B) {
+	makers := []struct {
+		name string
+		mk   func(*sim.Scheduler) backend.Backend
+	}{
+		{"RuleTable-Varanus", func(s *sim.Scheduler) backend.Backend { return backend.NewStaticVaranus(s) }},
+		{"Registers-P4", func(s *sim.Scheduler) backend.Backend { return backend.NewP4(s) }},
+	}
+	for _, m := range makers {
+		b.Run(m.name, func(b *testing.B) {
+			sched := sim.NewScheduler()
+			bk := m.mk(sched)
+			if err := bk.AddProperty(fwProp(b)); err != nil {
+				b.Fatal(err)
+			}
+			w := trace.FirewallWorkload{Flows: 4096, Gap: time.Microsecond}
+			events := w.Events(sim.Epoch)
+			arrivals := make([]core.Event, 0, len(events)/2)
+			for _, e := range events {
+				if e.Kind == core.KindArrival {
+					arrivals = append(arrivals, e)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bk.HandleEvent(arrivals[i%len(arrivals)])
+			}
+			b.ReportMetric(float64(bk.StateUpdateCost())/float64(b.N), "state-ops/op")
+		})
+	}
+}
+
+// BenchmarkE5SideEffect measures the forwarding-path cost of inline
+// versus split monitor processing (Feature 9).
+func BenchmarkE5SideEffect(b *testing.B) {
+	nat := property.CatalogByName(property.DefaultParams(), "nat-reverse")
+	w := trace.NATWorkload{Flows: 8192, MistranslateEvery: 50, Gap: time.Microsecond}
+	events := w.Events(sim.Epoch)
+	for _, mode := range []core.Mode{core.Inline, core.Split} {
+		b.Run(mode.String(), func(b *testing.B) {
+			sched := sim.NewScheduler()
+			mon := core.NewMonitor(sched, core.Config{Mode: mode, SplitFlushLimit: 4096})
+			if err := mon.AddProperty(nat); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mon.HandleEvent(events[i%len(events)])
+			}
+			b.StopTimer()
+			mon.Flush()
+		})
+	}
+}
+
+// BenchmarkE6Provenance measures monitor cost at each provenance level
+// (Feature 10).
+func BenchmarkE6Provenance(b *testing.B) {
+	w := trace.FirewallWorkload{Flows: 2048, ReturnsPerFlow: 4, ViolationEvery: 10, Gap: time.Microsecond}
+	events := w.Events(sim.Epoch)
+	for _, level := range []core.ProvLevel{core.ProvNone, core.ProvLimited, core.ProvFull} {
+		b.Run(level.String(), func(b *testing.B) {
+			sched := sim.NewScheduler()
+			sink := 0
+			mon := core.NewMonitor(sched, core.Config{
+				Provenance:  level,
+				OnViolation: func(v *core.Violation) { sink += len(v.History) + len(v.Bindings) },
+			})
+			if err := mon.AddProperty(fwProp(b)); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mon.HandleEvent(events[i%len(events)])
+			}
+		})
+	}
+}
+
+// BenchmarkE7RedirectVolume measures the external-monitoring byte volume
+// (Sec. 1's motivation): every monitored packet crosses to the
+// controller under OpenFlow 1.3, none under on-switch monitoring.
+func BenchmarkE7RedirectVolume(b *testing.B) {
+	w := trace.LearningWorkload{Hosts: 32, PacketsPerHost: 64, PayloadBytes: 512, Gap: time.Microsecond}
+	events := w.Events(sim.Epoch)
+	lsw := property.CatalogByName(property.DefaultParams(), "lswitch-unicast")
+	b.Run("OpenFlow13-external", func(b *testing.B) {
+		sched := sim.NewScheduler()
+		bk := backend.NewOpenFlow13(sched)
+		if err := bk.AddProperty(lsw); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			bk.HandleEvent(events[i%len(events)])
+		}
+		b.ReportMetric(float64(bk.RedirectedBytes())/float64(b.N), "redirected-B/op")
+	})
+	b.Run("Ideal-onswitch", func(b *testing.B) {
+		sched := sim.NewScheduler()
+		bk := backend.NewIdeal(sched)
+		if err := bk.AddProperty(lsw); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			bk.HandleEvent(events[i%len(events)])
+		}
+		b.ReportMetric(0, "redirected-B/op")
+	})
+}
+
+// BenchmarkAblationIndexing quantifies what the Feature 8 instance
+// indexes buy: the same engine with keyed lookups versus forced linear
+// scans, at growing instance populations. (The scan engine is also what
+// models Varanus's per-instance pipeline walk in E3.)
+func BenchmarkAblationIndexing(b *testing.B) {
+	for _, instances := range []int{64, 1024} {
+		for _, disable := range []bool{false, true} {
+			name := fmt.Sprintf("instances=%d/indexed=%v", instances, !disable)
+			b.Run(name, func(b *testing.B) {
+				sched := sim.NewScheduler()
+				mon := core.NewMonitor(sched, core.Config{DisableIndex: disable})
+				if err := mon.AddProperty(fwProp(b)); err != nil {
+					b.Fatal(err)
+				}
+				setup := trace.FirewallWorkload{Flows: instances, Gap: time.Microsecond}
+				for _, e := range setup.Events(sim.Epoch) {
+					mon.HandleEvent(e)
+				}
+				work := trace.FirewallWorkload{Flows: instances, ReturnsPerFlow: 1, Gap: time.Microsecond}
+				events := work.Events(sim.Epoch)[2*instances:]
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					mon.HandleEvent(events[i%len(events)])
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblationEviction quantifies the MaxInstances cap: bounded
+// memory at the cost of eviction work.
+func BenchmarkAblationEviction(b *testing.B) {
+	for _, cap := range []int{0, 1024} {
+		name := "unbounded"
+		if cap > 0 {
+			name = fmt.Sprintf("cap=%d", cap)
+		}
+		b.Run(name, func(b *testing.B) {
+			sched := sim.NewScheduler()
+			mon := core.NewMonitor(sched, core.Config{MaxInstances: cap})
+			if err := mon.AddProperty(fwProp(b)); err != nil {
+				b.Fatal(err)
+			}
+			w := trace.FirewallWorkload{Flows: 16384, Gap: time.Microsecond}
+			events := w.Events(sim.Epoch)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mon.HandleEvent(events[i%len(events)])
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(mon.ActiveInstances()), "live-instances")
+		})
+	}
+}
+
+// BenchmarkTableRegeneration times the E1/E2 table builds (they must stay
+// cheap enough to run in every test cycle).
+func BenchmarkTableRegeneration(b *testing.B) {
+	b.Run("Table1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if got := tables.RenderTable1(property.DefaultParams(), true); len(got) == 0 {
+				b.Fatal("empty table")
+			}
+		}
+	})
+	b.Run("Table2", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if got := tables.RenderTable2(); len(got) == 0 {
+				b.Fatal("empty table")
+			}
+		}
+	})
+}
+
+// TestBenchWorkloadsProduceViolations guards the benchmark inputs: the
+// violating workloads must actually violate, or the benchmarks would be
+// timing no-ops.
+func TestBenchWorkloadsProduceViolations(t *testing.T) {
+	sched := sim.NewScheduler()
+	viols := 0
+	mon := core.NewMonitor(sched, core.Config{OnViolation: func(*core.Violation) { viols++ }})
+	if err := mon.AddProperty(property.CatalogByName(property.DefaultParams(), "firewall-basic")); err != nil {
+		t.Fatal(err)
+	}
+	w := trace.FirewallWorkload{Flows: 100, ReturnsPerFlow: 2, ViolationEvery: 7, Gap: time.Microsecond}
+	for _, e := range w.Events(sim.Epoch) {
+		mon.HandleEvent(e)
+	}
+	if viols == 0 {
+		t.Fatal("E6 workload produced no violations")
+	}
+}

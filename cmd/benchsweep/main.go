@@ -1,0 +1,254 @@
+// Command benchsweep runs the parameter sweeps behind the repository's
+// performance experiments (E3-E7 in DESIGN.md) and prints the series the
+// paper's Sec. 3.3 claims predict:
+//
+//	e3  per-event processing time vs. live instance count, per backend
+//	    (Varanus grows linearly; Static Varanus / registers stay flat)
+//	e4  state-update cost: flow-table modifications vs. register writes
+//	e5  side-effect control: inline vs. split forwarding cost and the
+//	    split monitor's missed violations under queue pressure
+//	e6  provenance levels: none / limited / full overhead
+//	e7  external monitoring redirect volume (OpenFlow 1.3) vs. on-switch
+//
+// Usage: benchsweep [-exp all|e3|e4|e5|e6|e7]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"switchmon/internal/backend"
+	"switchmon/internal/core"
+	"switchmon/internal/property"
+	"switchmon/internal/sim"
+	"switchmon/internal/trace"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: all, e3, e4, e5, e6, e7")
+	flag.Parse()
+	run := map[string]func(){
+		"e3": sweepE3, "e4": sweepE4, "e5": sweepE5, "e6": sweepE6, "e7": sweepE7,
+	}
+	if *exp == "all" {
+		for _, name := range []string{"e3", "e4", "e5", "e6", "e7"} {
+			run[name]()
+			fmt.Println()
+		}
+		return
+	}
+	fn, ok := run[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "benchsweep: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	fn()
+}
+
+func fwProp() *property.Property {
+	return property.CatalogByName(property.DefaultParams(), "firewall-basic")
+}
+
+// sweepE3: per-event cost vs. live instances, per backend.
+func sweepE3() {
+	fmt.Println("E3: per-event processing time vs live instances (Sec 3.3 pipeline depth)")
+	fmt.Printf("%-10s %-18s %12s %12s %14s\n", "instances", "backend", "ns/event", "depth", "state-cost")
+	for _, flows := range []int{16, 64, 256, 1024, 4096} {
+		makers := []struct {
+			name string
+			mk   func(*sim.Scheduler) backend.Backend
+		}{
+			{"Varanus", func(s *sim.Scheduler) backend.Backend { return backend.NewVaranus(s) }},
+			{"Static Varanus", func(s *sim.Scheduler) backend.Backend { return backend.NewStaticVaranus(s) }},
+			{"POF and P4", func(s *sim.Scheduler) backend.Backend { return backend.NewP4(s) }},
+			{"Ideal", func(s *sim.Scheduler) backend.Backend { return backend.NewIdeal(s) }},
+		}
+		for _, m := range makers {
+			sched := sim.NewScheduler()
+			b := m.mk(sched)
+			if err := b.AddProperty(fwProp()); err != nil {
+				panic(err)
+			}
+			// Build up `flows` live instances, then time return traffic.
+			setup := trace.FirewallWorkload{Flows: flows, ReturnsPerFlow: 0, Gap: time.Microsecond}
+			for _, e := range setup.Events(sim.Epoch) {
+				b.HandleEvent(e)
+			}
+			work := trace.FirewallWorkload{Flows: flows, ReturnsPerFlow: 1, Gap: time.Microsecond}
+			events := work.Events(sim.Epoch)
+			// Skip the setup prefix (the opens) and keep only returns.
+			events = events[2*flows:]
+			start := time.Now()
+			for i := range events {
+				b.HandleEvent(events[i])
+			}
+			elapsed := time.Since(start)
+			fmt.Printf("%-10d %-18s %12.0f %12d %14d\n",
+				flows, m.name, float64(elapsed.Nanoseconds())/float64(len(events)),
+				b.PipelineDepth(), b.StateUpdateCost())
+		}
+	}
+}
+
+// sweepE4: state mechanism update cost at varying store sizes.
+func sweepE4() {
+	fmt.Println("E4: state-update cost, flow-table modification vs register write")
+	fmt.Printf("%-12s %-22s %14s\n", "store-size", "mechanism", "ns/transition")
+	for _, size := range []int{128, 1024, 8192, 65536} {
+		for _, mech := range []string{"rule-table (OpenFlow)", "registers (P4)"} {
+			var cost interface {
+				transitions(n, live int)
+				total() uint64
+			}
+			if mech == "rule-table (OpenFlow)" {
+				cost = newRuleState()
+			} else {
+				cost = newRegisterState()
+			}
+			// Fill to the target size.
+			cost.transitions(size, size)
+			const n = 20000
+			start := time.Now()
+			cost.transitions(n, size)
+			elapsed := time.Since(start)
+			fmt.Printf("%-12d %-22s %14.1f\n", size, mech, float64(elapsed.Nanoseconds())/n)
+		}
+	}
+}
+
+// The cost mechanisms mirror internal/backend's models; reimplemented
+// here in miniature so the sweep measures the raw mechanisms.
+type ruleState struct {
+	rules []uint64
+	seq   uint64
+}
+
+func newRuleState() *ruleState { return &ruleState{} }
+
+func (rs *ruleState) transitions(n, live int) {
+	for i := 0; i < n; i++ {
+		rs.seq++
+		pos := 0
+		if len(rs.rules) > 0 {
+			pos = int(rs.seq * 2654435761 % uint64(len(rs.rules)))
+		}
+		rs.rules = append(rs.rules, 0)
+		copy(rs.rules[pos+1:], rs.rules[pos:])
+		rs.rules[pos] = rs.seq
+		for len(rs.rules) > live+1 {
+			pos = int(rs.seq % uint64(len(rs.rules)))
+			copy(rs.rules[pos:], rs.rules[pos+1:])
+			rs.rules = rs.rules[:len(rs.rules)-1]
+		}
+	}
+}
+func (rs *ruleState) total() uint64 { return rs.seq }
+
+type registerState struct {
+	cells []uint64
+	ops   uint64
+}
+
+func newRegisterState() *registerState { return &registerState{cells: make([]uint64, 65536)} }
+
+func (rg *registerState) transitions(n, live int) {
+	for i := 0; i < n; i++ {
+		rg.ops++
+		rg.cells[(rg.ops*2654435761)%uint64(len(rg.cells))] = rg.ops
+	}
+}
+func (rg *registerState) total() uint64 { return rg.ops }
+
+// sweepE5: inline vs split processing.
+func sweepE5() {
+	fmt.Println("E5: side-effect control (Feature 9): inline vs split")
+	fmt.Printf("%-10s %14s %14s %16s\n", "mode", "ns/event(fwd)", "ns/flush-ev", "missed-viols")
+	w := trace.NATWorkload{Flows: 20000, MistranslateEvery: 50, Gap: time.Microsecond}
+	events := w.Events(sim.Epoch)
+	nat := property.CatalogByName(property.DefaultParams(), "nat-reverse")
+
+	for _, mode := range []core.Mode{core.Inline, core.Split} {
+		sched := sim.NewScheduler()
+		viols := 0
+		cfg := core.Config{Mode: mode, OnViolation: func(*core.Violation) { viols++ }}
+		if mode == core.Split {
+			cfg.SplitFlushLimit = 1024 // bounded slow-path queue
+		}
+		mon := core.NewMonitor(sched, cfg)
+		if err := mon.AddProperty(nat); err != nil {
+			panic(err)
+		}
+		start := time.Now()
+		for i := range events {
+			mon.HandleEvent(events[i])
+		}
+		fwd := time.Since(start)
+		start = time.Now()
+		flushed := mon.Flush()
+		flush := time.Since(start)
+		flushNs := 0.0
+		if flushed > 0 {
+			flushNs = float64(flush.Nanoseconds()) / float64(flushed)
+		}
+		expect := 20000 / 50
+		fmt.Printf("%-10s %14.0f %14.0f %11d/%d\n",
+			mode, float64(fwd.Nanoseconds())/float64(len(events)), flushNs, expect-viols, expect)
+	}
+}
+
+// sweepE6: provenance levels.
+func sweepE6() {
+	fmt.Println("E6: provenance level (Feature 10) overhead")
+	fmt.Printf("%-10s %12s %16s\n", "level", "ns/event", "history-records")
+	w := trace.FirewallWorkload{Flows: 2000, ReturnsPerFlow: 5, ViolationEvery: 10, Gap: time.Microsecond}
+	events := w.Events(sim.Epoch)
+	for _, level := range []core.ProvLevel{core.ProvNone, core.ProvLimited, core.ProvFull} {
+		sched := sim.NewScheduler()
+		records := 0
+		mon := core.NewMonitor(sched, core.Config{
+			Provenance:  level,
+			OnViolation: func(v *core.Violation) { records += len(v.History) },
+		})
+		if err := mon.AddProperty(fwProp()); err != nil {
+			panic(err)
+		}
+		start := time.Now()
+		for i := range events {
+			mon.HandleEvent(events[i])
+		}
+		elapsed := time.Since(start)
+		fmt.Printf("%-10s %12.0f %16d\n", level,
+			float64(elapsed.Nanoseconds())/float64(len(events)), records)
+	}
+}
+
+// sweepE7: redirect volume of external monitoring.
+func sweepE7() {
+	fmt.Println("E7: bytes redirected to an external monitor (OpenFlow 1.3) vs on-switch")
+	fmt.Printf("%-10s %14s %16s %16s\n", "hosts", "packets", "OF1.3 bytes", "on-switch bytes")
+	for _, hosts := range []int{8, 32, 128} {
+		w := trace.LearningWorkload{Hosts: hosts, PacketsPerHost: 50, PayloadBytes: 512, Gap: time.Microsecond}
+		events := w.Events(sim.Epoch)
+		sched := sim.NewScheduler()
+		of13 := backend.NewOpenFlow13(sched)
+		ideal := backend.NewIdeal(sched)
+		lsw := property.CatalogByName(property.DefaultParams(), "lswitch-unicast")
+		if err := of13.AddProperty(lsw); err != nil {
+			panic(err)
+		}
+		if err := ideal.AddProperty(lsw); err != nil {
+			panic(err)
+		}
+		packets := 0
+		for i := range events {
+			if events[i].Kind == core.KindArrival {
+				packets++
+			}
+			of13.HandleEvent(events[i])
+			ideal.HandleEvent(events[i])
+		}
+		fmt.Printf("%-10d %14d %16d %16d\n", hosts, packets, of13.RedirectedBytes(), 0)
+	}
+}

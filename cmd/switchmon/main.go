@@ -1,0 +1,235 @@
+// Command switchmon runs the stateful property monitor over an event
+// trace (see internal/trace for the format) or over a built-in demo
+// scenario, reporting every violation.
+//
+// Usage:
+//
+//	switchmon -trace events.trc -catalog firewall-basic,nat-reverse
+//	switchmon -trace events.trc -props my.properties
+//	switchmon -demo firewall
+//	switchmon -list
+//
+// Properties come from the built-in catalogue (-catalog, comma-separated
+// names) and/or a DSL file (-props). The monitor's provenance level and
+// processing mode are configurable.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"switchmon/internal/apps"
+	"switchmon/internal/core"
+	"switchmon/internal/dataplane"
+	"switchmon/internal/dsl"
+	"switchmon/internal/packet"
+	"switchmon/internal/property"
+	"switchmon/internal/sim"
+	"switchmon/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "switchmon:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		traceFile = flag.String("trace", "", "event trace file to replay")
+		propsFile = flag.String("props", "", "DSL file with property definitions")
+		catalog   = flag.String("catalog", "", "comma-separated built-in property names")
+		demo      = flag.String("demo", "", "run a built-in scenario: firewall, arp, knocking")
+		record    = flag.String("record", "", "record the demo's event stream to this trace file")
+		provLevel = flag.String("provenance", "limited", "provenance level: none, limited, full")
+		mode      = flag.String("mode", "inline", "processing mode: inline, split")
+		list      = flag.Bool("list", false, "list built-in catalogue properties and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range property.Catalog(property.DefaultParams()) {
+			fmt.Printf("%-26s %-18s %s\n", e.Prop.Name, "("+e.Group+")", e.Prop.Description)
+		}
+		return nil
+	}
+
+	cfg := core.Config{}
+	switch *provLevel {
+	case "none":
+		cfg.Provenance = core.ProvNone
+	case "limited":
+		cfg.Provenance = core.ProvLimited
+	case "full":
+		cfg.Provenance = core.ProvFull
+	default:
+		return fmt.Errorf("unknown provenance level %q", *provLevel)
+	}
+	switch *mode {
+	case "inline":
+		cfg.Mode = core.Inline
+	case "split":
+		cfg.Mode = core.Split
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+
+	sched := sim.NewScheduler()
+	violations := 0
+	cfg.OnViolation = func(v *core.Violation) {
+		violations++
+		fmt.Println(v)
+	}
+	mon := core.NewMonitor(sched, cfg)
+
+	var installed []string
+	if *catalog != "" {
+		for _, name := range strings.Split(*catalog, ",") {
+			name = strings.TrimSpace(name)
+			p := property.CatalogByName(property.DefaultParams(), name)
+			if p == nil {
+				return fmt.Errorf("unknown catalogue property %q (use -list)", name)
+			}
+			if err := mon.AddProperty(p); err != nil {
+				return err
+			}
+			installed = append(installed, name)
+		}
+	}
+	if *propsFile != "" {
+		src, err := os.ReadFile(*propsFile)
+		if err != nil {
+			return err
+		}
+		props, err := dsl.ParseAll(string(src))
+		if err != nil {
+			return err
+		}
+		for _, p := range props {
+			if err := mon.AddProperty(p); err != nil {
+				return err
+			}
+			installed = append(installed, p.Name)
+		}
+	}
+
+	switch {
+	case *demo != "":
+		if len(installed) == 0 {
+			if err := installDemoDefaults(mon, *demo); err != nil {
+				return err
+			}
+		}
+		var rec *trace.Recorder
+		if *record != "" {
+			rec = &trace.Recorder{}
+		}
+		if err := runDemo(sched, mon, rec, *demo); err != nil {
+			return err
+		}
+		if rec != nil {
+			f, err := os.Create(*record)
+			if err != nil {
+				return err
+			}
+			if err := trace.WriteAll(f, rec.Events); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("recorded %d events to %s\n", len(rec.Events), *record)
+		}
+	case *traceFile != "":
+		if len(installed) == 0 {
+			return fmt.Errorf("no properties installed (use -catalog and/or -props)")
+		}
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		events, err := trace.ReadAll(f)
+		if err != nil {
+			return err
+		}
+		trace.Replay(sched, events, mon.HandleEvent)
+		mon.Flush()
+		sched.RunFor(time.Hour) // drain outstanding deadlines
+	default:
+		return fmt.Errorf("nothing to do: pass -trace, -demo, or -list")
+	}
+
+	st := mon.Stats()
+	fmt.Printf("\nevents=%d instances_created=%d advanced=%d discharged=%d expired=%d violations=%d\n",
+		st.Events, st.Created, st.Advanced, st.Discharged, st.Expired, st.Violations)
+	return nil
+}
+
+// installDemoDefaults installs the properties each demo scenario needs.
+func installDemoDefaults(mon *core.Monitor, demo string) error {
+	var names []string
+	switch demo {
+	case "firewall":
+		names = []string{"firewall-basic", "firewall-until-close"}
+	case "arp":
+		names = []string{"arp-proxy-reply", "arp-known-not-forwarded"}
+	case "knocking":
+		names = []string{"knock-intervening", "knock-valid-sequence"}
+	default:
+		return fmt.Errorf("unknown demo %q (want firewall, arp, knocking)", demo)
+	}
+	for _, n := range names {
+		if err := mon.AddProperty(property.CatalogByName(property.DefaultParams(), n)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runDemo executes a built-in faulty scenario against the monitor,
+// optionally recording the event stream.
+func runDemo(sched *sim.Scheduler, mon *core.Monitor, rec *trace.Recorder, demo string) error {
+	macA := packet.MustMAC("02:00:00:00:00:0a")
+	macB := packet.MustMAC("02:00:00:00:00:0b")
+	ipA := packet.MustIPv4("10.0.0.1")
+	ipB := packet.MustIPv4("203.0.113.9")
+
+	sw := dataplane.New("demo", sched, 2)
+	for i := 1; i <= 4; i++ {
+		sw.AddPort(dataplane.PortNo(i), nil)
+	}
+	if rec != nil {
+		sw.Observe(rec.Observe)
+	}
+	sw.Observe(mon.HandleEvent)
+
+	switch demo {
+	case "firewall":
+		apps.NewFirewall(sw, 1, 2, time.Minute, apps.FirewallFaults{DropValidReturnEvery: 3})
+		for i := 0; i < 9; i++ {
+			sw.Inject(1, packet.NewTCP(macA, macB, ipA, ipB, uint16(30000+i), 80, packet.FlagSYN, nil))
+			sw.Inject(2, packet.NewTCP(macB, macA, ipB, ipA, 80, uint16(30000+i), packet.FlagSYN|packet.FlagACK, nil))
+		}
+	case "arp":
+		apps.NewARPProxy(sw, apps.ARPProxyFaults{NeverReply: true})
+		sw.Inject(3, packet.NewARPReply(macA, ipA, macB, ipB))
+		sw.Inject(4, packet.NewARPRequest(macB, ipB, ipA))
+		sched.RunFor(5 * time.Second)
+	case "knocking":
+		apps.NewPortKnocking(sw, []uint16{7001, 7002, 7003}, 22, 2, apps.KnockFaults{IgnoreWrongGuess: true})
+		for _, port := range []uint16{7001, 9999, 7002, 7003} {
+			sw.Inject(1, packet.NewUDP(macA, macB, ipA, ipB, 30000, port, nil))
+		}
+		sw.Inject(1, packet.NewTCP(macA, macB, ipA, ipB, 30001, 22, packet.FlagSYN, nil))
+	default:
+		return fmt.Errorf("unknown demo %q", demo)
+	}
+	mon.Flush()
+	return nil
+}

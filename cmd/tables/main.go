@@ -1,0 +1,38 @@
+// Command tables regenerates the paper's Table 1 (property × required
+// features, derived by analyzing the executable property catalogue) and
+// Table 2 (approach × semantic feature, derived by probing each backend
+// with witness properties).
+//
+// Usage:
+//
+//	tables [-table all|1|2] [-paper]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"switchmon/internal/property"
+	"switchmon/internal/tables"
+)
+
+func main() {
+	table := flag.String("table", "all", "which table to print: all, 1, or 2")
+	paper := flag.Bool("paper", true, "also print the paper's cells and the agreement report (table 1)")
+	flag.Parse()
+
+	switch *table {
+	case "1":
+		fmt.Print(tables.RenderTable1(property.DefaultParams(), *paper))
+	case "2":
+		fmt.Print(tables.RenderTable2())
+	case "all":
+		fmt.Print(tables.RenderTable1(property.DefaultParams(), *paper))
+		fmt.Println()
+		fmt.Print(tables.RenderTable2())
+	default:
+		fmt.Fprintf(os.Stderr, "tables: unknown -table %q (want all, 1, or 2)\n", *table)
+		os.Exit(2)
+	}
+}

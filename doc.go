@@ -1,0 +1,14 @@
+// Package switchmon reproduces "Switches are Monitors Too! Stateful
+// Property Monitoring as a Switch Design Criterion" (HotNets-XV, 2016) as
+// a runnable Go system: an on-switch stateful property monitor providing
+// all ten semantic features the paper derives, a software switch
+// dataplane, the seven state-backend approaches of the paper's Table 2,
+// the monitored network functions and properties of its Table 1, and
+// benchmarks regenerating both tables plus the Sec. 3.3 performance
+// claims.
+//
+// Start with README.md for the architecture overview, DESIGN.md for the
+// system inventory and experiment index, and EXPERIMENTS.md for the
+// paper-versus-measured record. The root bench_test.go holds one
+// benchmark per experiment; examples/ holds runnable scenarios.
+package switchmon

@@ -1,0 +1,3 @@
+module switchmon
+
+go 1.22

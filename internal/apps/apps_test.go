@@ -1,0 +1,574 @@
+package apps
+
+import (
+	"testing"
+	"time"
+
+	"switchmon/internal/core"
+	"switchmon/internal/dataplane"
+	"switchmon/internal/packet"
+	"switchmon/internal/property"
+	"switchmon/internal/sim"
+)
+
+var (
+	macA = packet.MustMAC("02:00:00:00:00:0a")
+	macB = packet.MustMAC("02:00:00:00:00:0b")
+	macC = packet.MustMAC("02:00:00:00:00:0c")
+	ipA  = packet.MustIPv4("10.0.0.1")
+	ipB  = packet.MustIPv4("203.0.113.9")
+	ipC  = packet.MustIPv4("10.0.0.2")
+)
+
+// rig is a switch with a monitor subscribed to its event stream.
+type rig struct {
+	t     *testing.T
+	sched *sim.Scheduler
+	sw    *dataplane.Switch
+	mon   *core.Monitor
+	viols []*core.Violation
+}
+
+// newRig builds a switch with nPorts sink ports and installs the named
+// catalogue properties on an attached monitor.
+func newRig(t *testing.T, nPorts int, propNames ...string) *rig {
+	t.Helper()
+	r := &rig{t: t, sched: sim.NewScheduler()}
+	r.sw = dataplane.New("s1", r.sched, 2)
+	for i := 1; i <= nPorts; i++ {
+		r.sw.AddPort(dataplane.PortNo(i), nil)
+	}
+	r.mon = core.NewMonitor(r.sched, core.Config{
+		Provenance:  core.ProvLimited,
+		OnViolation: func(v *core.Violation) { r.viols = append(r.viols, v) },
+	})
+	pm := property.DefaultParams()
+	for _, name := range propNames {
+		p := property.CatalogByName(pm, name)
+		if p == nil {
+			t.Fatalf("unknown property %s", name)
+		}
+		if err := r.mon.AddProperty(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.sw.Observe(r.mon.HandleEvent)
+	return r
+}
+
+func (r *rig) inject(port dataplane.PortNo, p *packet.Packet) {
+	r.sw.Inject(port, p)
+	r.sched.RunFor(0) // run any zero-delay follow-ups deterministically
+}
+
+func (r *rig) wantViolations(n int) {
+	r.t.Helper()
+	if len(r.viols) != n {
+		for _, v := range r.viols {
+			r.t.Logf("  got: %s", v)
+		}
+		r.t.Fatalf("violations = %d, want %d", len(r.viols), n)
+	}
+}
+
+func (r *rig) countViolations(prop string) int {
+	n := 0
+	for _, v := range r.viols {
+		if v.Property == prop {
+			n++
+		}
+	}
+	return n
+}
+
+// --- Learning switch ---------------------------------------------------------
+
+func learnTraffic(r *rig) {
+	// A at port 1 and B at port 2 exchange packets.
+	ab := packet.NewTCP(macA, macB, ipA, ipB, 1000, 80, 0, nil)
+	ba := packet.NewTCP(macB, macA, ipB, ipA, 80, 1000, 0, nil)
+	for i := 0; i < 5; i++ {
+		r.inject(1, ab)
+		r.inject(2, ba)
+	}
+}
+
+func TestLearningSwitchCorrect(t *testing.T) {
+	r := newRig(t, 4, "lswitch-unicast")
+	NewLearningSwitch(r.sw, LearningFaults{})
+	learnTraffic(r)
+	r.wantViolations(0)
+}
+
+func TestLearningSwitchWrongPortFaultDetected(t *testing.T) {
+	r := newRig(t, 4, "lswitch-unicast")
+	NewLearningSwitch(r.sw, LearningFaults{WrongPortEvery: 3})
+	learnTraffic(r)
+	if r.countViolations("lswitch-unicast") == 0 {
+		t.Fatal("wrong-port fault not detected")
+	}
+}
+
+func TestLearningSwitchLinkDownCorrect(t *testing.T) {
+	r := newRig(t, 4, "lswitch-linkdown")
+	ls := NewLearningSwitch(r.sw, LearningFaults{})
+	learnTraffic(r)
+	if ls.Learned() != 2 {
+		t.Fatalf("learned = %d", ls.Learned())
+	}
+	r.sw.SetPortUp(1, false) // A's port goes down; correct app forgets A
+	r.sw.SetPortUp(1, true)
+	toA := packet.NewTCP(macC, macA, ipB, ipA, 9, 9, 0, nil)
+	r.inject(2, toA) // flooded, not unicast: no violation
+	r.wantViolations(0)
+	if ls.Learned() != 2 { // macB plus freshly learned macC
+		t.Fatalf("learned after link-down = %d", ls.Learned())
+	}
+}
+
+func TestLearningSwitchLinkDownFaultDetected(t *testing.T) {
+	r := newRig(t, 4, "lswitch-linkdown")
+	NewLearningSwitch(r.sw, LearningFaults{KeepStateOnLinkDown: true})
+	learnTraffic(r)
+	r.sw.SetPortUp(1, false)
+	r.sw.SetPortUp(1, true)
+	toA := packet.NewTCP(macC, macA, ipB, ipA, 9, 9, 0, nil)
+	r.inject(2, toA) // buggy app still unicasts to stale port
+	if r.countViolations("lswitch-linkdown") == 0 {
+		t.Fatal("stale-state-after-link-down fault not detected")
+	}
+}
+
+// --- Stateful firewall --------------------------------------------------------
+
+func fwTraffic(r *rig, n int) {
+	ab := packet.NewTCP(macA, macB, ipA, ipB, 1000, 80, packet.FlagSYN, nil)
+	ba := packet.NewTCP(macB, macA, ipB, ipA, 80, 1000, packet.FlagACK, nil)
+	for i := 0; i < n; i++ {
+		r.inject(1, ab)
+		r.inject(2, ba)
+	}
+}
+
+func TestFirewallCorrect(t *testing.T) {
+	r := newRig(t, 2, "firewall-basic", "firewall-timeout", "firewall-until-close")
+	NewFirewall(r.sw, 1, 2, 60*time.Second, FirewallFaults{})
+	fwTraffic(r, 10)
+	// Unsolicited inbound is refused — correctly, silently.
+	evil := packet.NewTCP(macB, macA, ipB, ipC, 80, 5, packet.FlagSYN, nil)
+	r.inject(2, evil)
+	r.wantViolations(0)
+}
+
+func TestFirewallDropFaultDetected(t *testing.T) {
+	r := newRig(t, 2, "firewall-basic")
+	NewFirewall(r.sw, 1, 2, 60*time.Second, FirewallFaults{DropValidReturnEvery: 4})
+	fwTraffic(r, 8)
+	if r.countViolations("firewall-basic") == 0 {
+		t.Fatal("wrongful-drop fault not detected")
+	}
+}
+
+func TestFirewallForgetsEverything(t *testing.T) {
+	r := newRig(t, 2, "firewall-basic")
+	NewFirewall(r.sw, 1, 2, 60*time.Second, FirewallFaults{ForgetConnections: true})
+	fwTraffic(r, 3)
+	if r.countViolations("firewall-basic") == 0 {
+		t.Fatal("forget-connections fault not detected")
+	}
+}
+
+func TestFirewallTimeoutRespectedByApp(t *testing.T) {
+	// App and property agree on the window: a drop after idle expiry is
+	// correct and must not alert.
+	r := newRig(t, 2, "firewall-timeout")
+	NewFirewall(r.sw, 1, 2, 60*time.Second, FirewallFaults{})
+	ab := packet.NewTCP(macA, macB, ipA, ipB, 1000, 80, packet.FlagSYN, nil)
+	ba := packet.NewTCP(macB, macA, ipB, ipA, 80, 1000, packet.FlagACK, nil)
+	r.inject(1, ab)
+	r.sched.RunFor(61 * time.Second)
+	r.inject(2, ba) // dropped by app (stale), ignored by monitor (expired)
+	r.wantViolations(0)
+}
+
+func TestFirewallCloseRespected(t *testing.T) {
+	r := newRig(t, 2, "firewall-until-close")
+	NewFirewall(r.sw, 1, 2, 60*time.Second, FirewallFaults{})
+	ab := packet.NewTCP(macA, macB, ipA, ipB, 1000, 80, packet.FlagSYN, nil)
+	fin := packet.NewTCP(macA, macB, ipA, ipB, 1000, 80, packet.FlagFIN|packet.FlagACK, nil)
+	ba := packet.NewTCP(macB, macA, ipB, ipA, 80, 1000, packet.FlagACK, nil)
+	r.inject(1, ab)
+	r.inject(1, fin) // connection closed by A
+	r.inject(2, ba)  // app drops — correct after close
+	r.wantViolations(0)
+}
+
+// --- NAT -----------------------------------------------------------------------
+
+func TestNATCorrect(t *testing.T) {
+	r := newRig(t, 2, "nat-reverse")
+	NewNAT(r.sw, 1, 2, packet.MustIPv4("198.51.100.1"), NATFaults{})
+	out := packet.NewTCP(macA, macB, ipA, ipB, 5000, 80, packet.FlagSYN, nil)
+	r.inject(1, out)
+	// Return traffic to the allocated external port.
+	ret := packet.NewTCP(macB, macA, ipB, packet.MustIPv4("198.51.100.1"), 80, 60001, packet.FlagACK, nil)
+	r.inject(2, ret)
+	r.wantViolations(0)
+}
+
+func TestNATMistranslationDetected(t *testing.T) {
+	r := newRig(t, 2, "nat-reverse")
+	NewNAT(r.sw, 1, 2, packet.MustIPv4("198.51.100.1"), NATFaults{MistranslateReverseEvery: 1})
+	out := packet.NewTCP(macA, macB, ipA, ipB, 5000, 80, packet.FlagSYN, nil)
+	r.inject(1, out)
+	ret := packet.NewTCP(macB, macA, ipB, packet.MustIPv4("198.51.100.1"), 80, 60001, packet.FlagACK, nil)
+	r.inject(2, ret)
+	if r.countViolations("nat-reverse") != 1 {
+		t.Fatalf("mistranslation not detected (%d violations)", r.countViolations("nat-reverse"))
+	}
+}
+
+// --- ARP proxy -------------------------------------------------------------------
+
+func TestARPProxyCorrect(t *testing.T) {
+	r := newRig(t, 4, "arp-proxy-reply", "arp-known-not-forwarded", "arp-unknown-forwarded")
+	NewARPProxy(r.sw, ARPProxyFaults{})
+	// B answers A's first (unknown) request, teaching the proxy.
+	r.inject(1, packet.NewARPRequest(macA, ipA, ipB)) // unknown: flooded
+	r.inject(2, packet.NewARPReply(macB, ipB, macA, ipA))
+	// Second request for B answered locally, within the window.
+	r.inject(1, packet.NewARPRequest(macA, ipA, ipB))
+	r.sched.RunFor(5 * time.Second)
+	r.wantViolations(0)
+}
+
+func TestARPProxyNeverReplyDetected(t *testing.T) {
+	r := newRig(t, 4, "arp-proxy-reply")
+	NewARPProxy(r.sw, ARPProxyFaults{NeverReply: true})
+	r.inject(1, packet.NewARPRequest(macA, ipA, ipB))
+	r.inject(2, packet.NewARPReply(macB, ipB, macA, ipA))
+	r.inject(1, packet.NewARPRequest(macA, ipA, ipB))
+	r.sched.RunFor(5 * time.Second)
+	if r.countViolations("arp-proxy-reply") == 0 {
+		t.Fatal("never-reply fault not detected")
+	}
+}
+
+func TestARPProxySlowReplyDetected(t *testing.T) {
+	r := newRig(t, 4, "arp-proxy-reply")
+	NewARPProxy(r.sw, ARPProxyFaults{ReplyDelay: 3 * time.Second}) // window is 2s
+	r.inject(1, packet.NewARPRequest(macA, ipA, ipB))
+	r.inject(2, packet.NewARPReply(macB, ipB, macA, ipA))
+	r.inject(1, packet.NewARPRequest(macA, ipA, ipB))
+	r.sched.RunFor(5 * time.Second)
+	if r.countViolations("arp-proxy-reply") == 0 {
+		t.Fatal("slow-reply fault not detected")
+	}
+}
+
+func TestARPProxyForwardKnownDetected(t *testing.T) {
+	r := newRig(t, 4, "arp-known-not-forwarded")
+	NewARPProxy(r.sw, ARPProxyFaults{ForwardKnown: true})
+	r.inject(2, packet.NewARPReply(macB, ipB, macA, ipA)) // teaches B
+	r.inject(1, packet.NewARPRequest(macA, ipA, ipB))     // flooded anyway
+	if r.countViolations("arp-known-not-forwarded") == 0 {
+		t.Fatal("forward-known fault not detected")
+	}
+}
+
+func TestARPProxyDropUnknownDetected(t *testing.T) {
+	r := newRig(t, 4, "arp-unknown-forwarded")
+	NewARPProxy(r.sw, ARPProxyFaults{DropUnknown: true})
+	r.inject(1, packet.NewARPRequest(macA, ipA, packet.MustIPv4("10.9.9.9")))
+	r.sched.RunFor(5 * time.Second)
+	if r.countViolations("arp-unknown-forwarded") == 0 {
+		t.Fatal("drop-unknown fault not detected")
+	}
+}
+
+// --- DHCP ---------------------------------------------------------------------
+
+func dhcpRequest(mac packet.MAC, xid uint32) *packet.Packet {
+	return packet.NewDHCP(mac, packet.BroadcastMAC, packet.IPv4{}, packet.BroadcastIPv4,
+		&packet.DHCPv4{Op: packet.DHCPBootRequest, Xid: xid, MsgType: packet.DHCPRequest, ClientMAC: mac})
+}
+
+func newDHCPRig(t *testing.T, faults DHCPFaults, props ...string) (*rig, *DHCPServer) {
+	r := newRig(t, 4, props...)
+	pool := []packet.IPv4{packet.MustIPv4("10.0.0.100"), packet.MustIPv4("10.0.0.101")}
+	srv := NewDHCPServer(r.sw, packet.MustIPv4("10.0.0.2"), macB, 1, pool, 300*time.Second, faults)
+	r.sw.SetController(&DHCPController{Server: srv}, dataplane.MissController)
+	return r, srv
+}
+
+func TestDHCPCorrect(t *testing.T) {
+	r, srv := newDHCPRig(t, DHCPFaults{}, "dhcp-reply-within", "dhcp-no-reuse", "dhcp-no-overlap")
+	r.inject(1, dhcpRequest(macA, 1))
+	r.inject(2, dhcpRequest(macC, 2))
+	r.sched.RunFor(10 * time.Second)
+	r.wantViolations(0)
+	if srv.ActiveLeases() != 2 {
+		t.Fatalf("leases = %d", srv.ActiveLeases())
+	}
+}
+
+func TestDHCPNoReplyDetected(t *testing.T) {
+	r, _ := newDHCPRig(t, DHCPFaults{NoReply: true}, "dhcp-reply-within")
+	r.inject(1, dhcpRequest(macA, 1))
+	r.sched.RunFor(5 * time.Second)
+	if r.countViolations("dhcp-reply-within") == 0 {
+		t.Fatal("no-reply fault not detected")
+	}
+}
+
+func TestDHCPSlowReplyDetected(t *testing.T) {
+	r, _ := newDHCPRig(t, DHCPFaults{ReplyDelay: 3 * time.Second}, "dhcp-reply-within")
+	r.inject(1, dhcpRequest(macA, 1))
+	r.sched.RunFor(5 * time.Second)
+	if r.countViolations("dhcp-reply-within") == 0 {
+		t.Fatal("slow-reply fault not detected")
+	}
+}
+
+func TestDHCPReuseDetected(t *testing.T) {
+	r, _ := newDHCPRig(t, DHCPFaults{ReuseLeasedEvery: 2}, "dhcp-no-reuse")
+	r.inject(1, dhcpRequest(macA, 1))
+	r.sched.RunFor(time.Second)
+	r.inject(2, dhcpRequest(macC, 2)) // second request triggers reuse
+	r.sched.RunFor(time.Second)
+	if r.countViolations("dhcp-no-reuse") == 0 {
+		t.Fatal("lease-reuse fault not detected")
+	}
+}
+
+func TestDHCPRenewalByOwnerIsNotReuse(t *testing.T) {
+	r, _ := newDHCPRig(t, DHCPFaults{}, "dhcp-no-reuse")
+	r.inject(1, dhcpRequest(macA, 1))
+	r.sched.RunFor(10 * time.Second)
+	r.inject(1, dhcpRequest(macA, 2)) // renewal: same client, same address
+	r.sched.RunFor(time.Second)
+	r.wantViolations(0)
+}
+
+// --- Load balancer ---------------------------------------------------------------
+
+func lbFlow(i int, flags packet.TCPFlags) *packet.Packet {
+	src := packet.IPv4FromUint32(0x0a000100 + uint32(i))
+	return packet.NewTCP(macA, macB, src, ipB, uint16(20000+i), 80, flags, nil)
+}
+
+func TestLBHashCorrect(t *testing.T) {
+	r := newRig(t, 14, "lb-hashed")
+	NewLoadBalancer(r.sw, LBHash, 1, 10, 4, LBFaults{})
+	for i := 0; i < 10; i++ {
+		r.inject(1, lbFlow(i, packet.FlagSYN))
+		r.inject(1, lbFlow(i, packet.FlagACK))
+	}
+	r.wantViolations(0)
+}
+
+func TestLBHashWrongPortDetected(t *testing.T) {
+	r := newRig(t, 14, "lb-hashed")
+	NewLoadBalancer(r.sw, LBHash, 1, 10, 4, LBFaults{WrongHashEvery: 1})
+	r.inject(1, lbFlow(0, packet.FlagSYN))
+	if r.countViolations("lb-hashed") == 0 {
+		t.Fatal("wrong-hash fault not detected")
+	}
+}
+
+func TestLBRoundRobinCorrect(t *testing.T) {
+	r := newRig(t, 14, "lb-round-robin")
+	NewLoadBalancer(r.sw, LBRoundRobin, 1, 10, 4, LBFaults{})
+	for i := 0; i < 8; i++ {
+		r.inject(1, lbFlow(i, packet.FlagSYN))
+	}
+	r.wantViolations(0)
+}
+
+func TestLBRoundRobinRepeatDetected(t *testing.T) {
+	r := newRig(t, 14, "lb-round-robin")
+	NewLoadBalancer(r.sw, LBRoundRobin, 1, 10, 4, LBFaults{RepeatRREvery: 2})
+	for i := 0; i < 4; i++ {
+		r.inject(1, lbFlow(i, packet.FlagSYN))
+	}
+	if r.countViolations("lb-round-robin") == 0 {
+		t.Fatal("round-robin repeat fault not detected")
+	}
+}
+
+func TestLBStickyCorrect(t *testing.T) {
+	r := newRig(t, 14, "lb-sticky")
+	NewLoadBalancer(r.sw, LBHash, 1, 10, 4, LBFaults{})
+	r.inject(1, lbFlow(0, packet.FlagSYN))
+	for i := 0; i < 5; i++ {
+		r.inject(1, lbFlow(0, packet.FlagACK))
+	}
+	r.wantViolations(0)
+}
+
+func TestLBStickyMoveDetected(t *testing.T) {
+	r := newRig(t, 14, "lb-sticky")
+	NewLoadBalancer(r.sw, LBHash, 1, 10, 4, LBFaults{MoveFlowEvery: 3})
+	r.inject(1, lbFlow(0, packet.FlagSYN))
+	for i := 0; i < 5; i++ {
+		r.inject(1, lbFlow(0, packet.FlagACK))
+	}
+	if r.countViolations("lb-sticky") == 0 {
+		t.Fatal("mid-flow move fault not detected")
+	}
+}
+
+// --- Port knocking ----------------------------------------------------------------
+
+func knock(src packet.IPv4, port uint16) *packet.Packet {
+	return packet.NewUDP(macA, macB, src, ipB, 30000, port, nil)
+}
+
+func doorPacket(src packet.IPv4) *packet.Packet {
+	return packet.NewTCP(macA, macB, src, ipB, 30001, 22, packet.FlagSYN, nil)
+}
+
+func TestKnockingCorrectSequenceOpens(t *testing.T) {
+	r := newRig(t, 4, "knock-intervening", "knock-valid-sequence")
+	NewPortKnocking(r.sw, []uint16{7001, 7002, 7003}, 22, 2, KnockFaults{})
+	r.inject(1, knock(ipA, 7001))
+	r.inject(1, knock(ipA, 7002))
+	r.inject(1, knock(ipA, 7003))
+	r.inject(1, doorPacket(ipA)) // opens
+	r.wantViolations(0)
+}
+
+func TestKnockingWrongGuessBlocks(t *testing.T) {
+	r := newRig(t, 4, "knock-intervening")
+	NewPortKnocking(r.sw, []uint16{7001, 7002, 7003}, 22, 2, KnockFaults{})
+	r.inject(1, knock(ipA, 7001))
+	r.inject(1, knock(ipA, 9999)) // wrong: resets
+	r.inject(1, knock(ipA, 7002))
+	r.inject(1, knock(ipA, 7003))
+	r.inject(1, doorPacket(ipA)) // correctly refused
+	r.wantViolations(0)
+}
+
+func TestKnockingIgnoreWrongGuessDetected(t *testing.T) {
+	r := newRig(t, 4, "knock-intervening")
+	NewPortKnocking(r.sw, []uint16{7001, 7002, 7003}, 22, 2, KnockFaults{IgnoreWrongGuess: true})
+	r.inject(1, knock(ipA, 7001))
+	r.inject(1, knock(ipA, 9999))
+	r.inject(1, knock(ipA, 7002))
+	r.inject(1, knock(ipA, 7003))
+	r.inject(1, doorPacket(ipA)) // buggy gate opens
+	if r.countViolations("knock-intervening") == 0 {
+		t.Fatal("ignore-wrong-guess fault not detected")
+	}
+}
+
+func TestKnockingNeverOpenDetected(t *testing.T) {
+	r := newRig(t, 4, "knock-valid-sequence")
+	NewPortKnocking(r.sw, []uint16{7001, 7002, 7003}, 22, 2, KnockFaults{NeverOpen: true})
+	r.inject(1, knock(ipA, 7001))
+	r.inject(1, knock(ipA, 7002))
+	r.inject(1, knock(ipA, 7003))
+	r.inject(1, doorPacket(ipA)) // refused despite valid sequence
+	if r.countViolations("knock-valid-sequence") == 0 {
+		t.Fatal("never-open fault not detected")
+	}
+}
+
+// --- FTP -----------------------------------------------------------------------
+
+func TestFTPCorrect(t *testing.T) {
+	r := newRig(t, 2, "ftp-data-port")
+	NewFTPScenario(r.sw, 1, 2, macB, ipB, FTPFaults{})
+	cmd := packet.NewFTPCommand(macA, macB, ipA, ipB, 41000, "PORT", "10,0,0,1,100,10")
+	r.inject(1, cmd)
+	r.sched.RunFor(time.Second)
+	r.wantViolations(0)
+}
+
+func TestFTPWrongDataPortDetected(t *testing.T) {
+	r := newRig(t, 2, "ftp-data-port")
+	NewFTPScenario(r.sw, 1, 2, macB, ipB, FTPFaults{WrongDataPortEvery: 1})
+	cmd := packet.NewFTPCommand(macA, macB, ipA, ipB, 41000, "PORT", "10,0,0,1,100,10")
+	r.inject(1, cmd)
+	r.sched.RunFor(time.Second)
+	if r.countViolations("ftp-data-port") == 0 {
+		t.Fatal("wrong-data-port fault not detected")
+	}
+}
+
+// --- DHCP + ARP proxy (wandering match) ------------------------------------------
+
+func TestDHCPARPPreloadCorrect(t *testing.T) {
+	r := newRig(t, 4, "dhcparp-preload")
+	pool := []packet.IPv4{packet.MustIPv4("10.0.0.100")}
+	srv := NewDHCPServer(r.sw, packet.MustIPv4("10.0.0.2"), macB, 1, pool, 300*time.Second, DHCPFaults{})
+	proxy := NewARPProxy(r.sw, ARPProxyFaults{})
+	proxy.PreloadFromDHCP = true
+	proxy.ObserveDHCP(r.sw)
+	// Route DHCP to the server, everything else to the proxy.
+	r.sw.SetController(&splitController{dhcp: srv, other: proxy}, dataplane.MissController)
+
+	r.inject(1, dhcpRequest(macA, 1)) // macA leases 10.0.0.100
+	r.sched.RunFor(time.Second)
+	if proxy.CacheSize() == 0 {
+		t.Fatal("cache not preloaded from lease")
+	}
+	// An ARP request for the leased address is answered from the cache.
+	r.inject(2, packet.NewARPRequest(macC, ipC, packet.MustIPv4("10.0.0.100")))
+	r.sched.RunFor(5 * time.Second)
+	r.wantViolations(0)
+}
+
+func TestDHCPARPNoPreloadDetected(t *testing.T) {
+	r := newRig(t, 4, "dhcparp-preload")
+	pool := []packet.IPv4{packet.MustIPv4("10.0.0.100")}
+	srv := NewDHCPServer(r.sw, packet.MustIPv4("10.0.0.2"), macB, 1, pool, 300*time.Second, DHCPFaults{})
+	proxy := NewARPProxy(r.sw, ARPProxyFaults{})
+	// Fault: PreloadFromDHCP left off — the cache never learns leases.
+	r.sw.SetController(&splitController{dhcp: srv, other: proxy}, dataplane.MissController)
+
+	r.inject(1, dhcpRequest(macA, 1))
+	r.sched.RunFor(time.Second)
+	r.inject(2, packet.NewARPRequest(macC, ipC, packet.MustIPv4("10.0.0.100")))
+	r.sched.RunFor(5 * time.Second)
+	if r.countViolations("dhcparp-preload") == 0 {
+		t.Fatal("missing-preload fault not detected")
+	}
+}
+
+func TestDHCPARPDirectReplyToUnknownDetected(t *testing.T) {
+	r := newRig(t, 4, "dhcparp-no-direct-reply")
+	proxy := NewARPProxy(r.sw, ARPProxyFaults{ReplyToUnknown: macC})
+	_ = proxy
+	r.inject(2, packet.NewARPRequest(macA, ipA, packet.MustIPv4("10.0.0.200")))
+	r.sched.RunFor(time.Second)
+	if r.countViolations("dhcparp-no-direct-reply") == 0 {
+		t.Fatal("fabricated-reply fault not detected")
+	}
+}
+
+func TestDHCPARPJustifiedReplyNotFlagged(t *testing.T) {
+	r := newRig(t, 4, "dhcparp-no-direct-reply")
+	NewARPProxy(r.sw, ARPProxyFaults{})
+	// Prior genuine reply teaches the proxy; a later cached answer is
+	// justified.
+	r.inject(1, packet.NewARPRequest(macA, ipA, ipB)) // unknown: flooded
+	r.inject(2, packet.NewARPReply(macB, ipB, macA, ipA))
+	r.inject(1, packet.NewARPRequest(macA, ipA, ipB)) // answered from cache
+	r.sched.RunFor(time.Second)
+	r.wantViolations(0)
+}
+
+// splitController routes DHCP to the server and everything else to
+// another controller.
+type splitController struct {
+	dhcp  *DHCPServer
+	other dataplane.Controller
+}
+
+func (c *splitController) PacketIn(sw *dataplane.Switch, inPort dataplane.PortNo, pid core.PacketID, p *packet.Packet) {
+	if c.dhcp.HandleDHCP(sw, inPort, pid, p) {
+		return
+	}
+	c.other.PacketIn(sw, inPort, pid, p)
+}

@@ -1,0 +1,107 @@
+package apps
+
+import (
+	"time"
+
+	"switchmon/internal/core"
+	"switchmon/internal/dataplane"
+	"switchmon/internal/packet"
+)
+
+// ARPProxyFaults selects ARP-proxy misbehaviours.
+type ARPProxyFaults struct {
+	// NeverReply suppresses proxy replies for known addresses — violates
+	// arp-proxy-reply (and dhcparp-preload when combined with DHCP).
+	NeverReply bool
+	// ReplyDelay postpones replies by this much; beyond the property's
+	// window it is equivalent to not replying in time.
+	ReplyDelay time.Duration
+	// ForwardKnown floods requests for known addresses instead of
+	// answering locally — violates arp-known-not-forwarded.
+	ForwardKnown bool
+	// DropUnknown drops requests for unknown addresses instead of
+	// forwarding them — violates arp-unknown-forwarded.
+	DropUnknown bool
+	// ReplyToUnknown fabricates replies for addresses never learned —
+	// violates dhcparp-no-direct-reply.
+	ReplyToUnknown packet.MAC // zero MAC disables
+}
+
+// ARPProxy learns IP-to-MAC mappings from ARP traffic (and optionally
+// DHCP leases) and answers requests for known addresses from its cache.
+type ARPProxy struct {
+	sw     *dataplane.Switch
+	faults ARPProxyFaults
+	cache  map[packet.IPv4]packet.MAC
+	// PreloadFromDHCP mirrors DHCP ACKs into the cache (the Table 1
+	// "DHCP + ARP Proxy" behaviour). Set before traffic flows.
+	PreloadFromDHCP bool
+}
+
+// NewARPProxy attaches an ARP proxy to sw as its controller.
+func NewARPProxy(sw *dataplane.Switch, faults ARPProxyFaults) *ARPProxy {
+	ap := &ARPProxy{sw: sw, faults: faults, cache: map[packet.IPv4]packet.MAC{}}
+	sw.SetController(ap, dataplane.MissController)
+	return ap
+}
+
+// ObserveDHCP wires cache preloading from another app's DHCP ACK stream.
+func (ap *ARPProxy) ObserveDHCP(sw *dataplane.Switch) {
+	sw.Observe(func(e core.Event) {
+		if !ap.PreloadFromDHCP || e.Kind != core.KindEgress || e.Dropped || e.Packet == nil {
+			return
+		}
+		if d := e.Packet.DHCP; d != nil && d.MsgType == packet.DHCPAck {
+			ap.cache[d.YourIP] = d.ClientMAC
+		}
+	})
+}
+
+// Learn records a mapping directly (tests and preloading).
+func (ap *ARPProxy) Learn(ip packet.IPv4, mac packet.MAC) { ap.cache[ip] = mac }
+
+// CacheSize reports the number of cached mappings.
+func (ap *ARPProxy) CacheSize() int { return len(ap.cache) }
+
+// PacketIn implements the proxy policy.
+func (ap *ARPProxy) PacketIn(sw *dataplane.Switch, inPort dataplane.PortNo, pid core.PacketID, p *packet.Packet) {
+	a := p.ARP
+	if a == nil {
+		// Non-ARP traffic just floods through this toy proxy.
+		sw.FloodPacketAs(pid, inPort, p)
+		return
+	}
+	// Every ARP packet teaches the sender's mapping.
+	if !a.SenderIP.IsZero() {
+		ap.cache[a.SenderIP] = a.SenderMAC
+	}
+	if a.Op != packet.ARPRequest {
+		sw.FloodPacketAs(pid, inPort, p)
+		return
+	}
+	mac, known := ap.cache[a.TargetIP]
+	switch {
+	case known && !ap.faults.ForwardKnown:
+		sw.DropPacketAs(pid, inPort, p) // consumed: answered locally
+		if ap.faults.NeverReply {
+			return
+		}
+		reply := packet.NewARPReply(mac, a.TargetIP, a.SenderMAC, a.SenderIP)
+		if ap.faults.ReplyDelay > 0 {
+			in := inPort
+			sw.Scheduler().After(ap.faults.ReplyDelay, func() { sw.SendPacket(in, reply) })
+			return
+		}
+		sw.SendPacket(inPort, reply)
+	case known: // ForwardKnown fault: flood instead of answering
+		sw.FloodPacketAs(pid, inPort, p)
+	case ap.faults.DropUnknown:
+		sw.DropPacketAs(pid, inPort, p) // the monitored bug
+	case ap.faults.ReplyToUnknown != packet.MAC{}:
+		sw.DropPacketAs(pid, inPort, p)
+		reply := packet.NewARPReply(ap.faults.ReplyToUnknown, a.TargetIP, a.SenderMAC, a.SenderIP)
+		sw.SendPacket(inPort, reply)
+	default:
+		sw.FloodPacketAs(pid, inPort, p) // correct: forward unknown
+	}
+}

@@ -1,0 +1,165 @@
+package apps
+
+import (
+	"time"
+
+	"switchmon/internal/core"
+	"switchmon/internal/dataplane"
+	"switchmon/internal/packet"
+)
+
+// DHCPFaults selects DHCP-server misbehaviours.
+type DHCPFaults struct {
+	// NoReply ignores requests — violates dhcp-reply-within.
+	NoReply bool
+	// ReplyDelay postpones replies; beyond the property window this is a
+	// dhcp-reply-within violation.
+	ReplyDelay time.Duration
+	// ReuseLeasedEvery hands out an actively leased address to every Nth
+	// new client (0 = never) — violates dhcp-no-reuse.
+	ReuseLeasedEvery int
+}
+
+// lease records one address assignment.
+type lease struct {
+	mac    packet.MAC
+	expiry time.Time
+}
+
+// DHCPServer is a minimal DHCP server behind one switch port.
+type DHCPServer struct {
+	sw       *dataplane.Switch
+	faults   DHCPFaults
+	serverIP packet.IPv4
+	mac      packet.MAC
+	port     dataplane.PortNo
+	pool     []packet.IPv4
+	leases   map[packet.IPv4]lease
+	byMAC    map[packet.MAC]packet.IPv4
+	leaseFor time.Duration
+	requests int
+}
+
+// NewDHCPServer attaches a DHCP server that answers requests punted from
+// the switch. port is the switch port the server's replies exit on (the
+// clients' side in the one-switch topology).
+func NewDHCPServer(sw *dataplane.Switch, serverIP packet.IPv4, mac packet.MAC, port dataplane.PortNo,
+	pool []packet.IPv4, leaseFor time.Duration, faults DHCPFaults) *DHCPServer {
+	return &DHCPServer{
+		sw: sw, faults: faults,
+		serverIP: serverIP, mac: mac, port: port,
+		pool:     append([]packet.IPv4(nil), pool...),
+		leases:   map[packet.IPv4]lease{},
+		byMAC:    map[packet.MAC]packet.IPv4{},
+		leaseFor: leaseFor,
+	}
+}
+
+// HandleDHCP processes one client message; the caller (a combined
+// controller or test) routes punted DHCP traffic here.
+func (s *DHCPServer) HandleDHCP(sw *dataplane.Switch, inPort dataplane.PortNo, pid core.PacketID, p *packet.Packet) bool {
+	d := p.DHCP
+	if d == nil || d.Op != packet.DHCPBootRequest {
+		return false
+	}
+	// The request itself is consumed by the server.
+	sw.DropPacketAs(pid, inPort, p)
+	switch d.MsgType {
+	case packet.DHCPDiscover, packet.DHCPRequest:
+		s.requests++
+		if s.faults.NoReply {
+			return true
+		}
+		reply := s.buildReply(d)
+		if reply == nil {
+			return true
+		}
+		if s.faults.ReplyDelay > 0 {
+			sw.Scheduler().After(s.faults.ReplyDelay, func() { sw.SendPacket(s.port, reply) })
+			return true
+		}
+		sw.SendPacket(s.port, reply)
+	case packet.DHCPRelease:
+		if ip, ok := s.byMAC[d.ClientMAC]; ok {
+			delete(s.leases, ip)
+			delete(s.byMAC, d.ClientMAC)
+		}
+	}
+	return true
+}
+
+// buildReply allocates (or renews) a lease and builds the ACK packet.
+func (s *DHCPServer) buildReply(d *packet.DHCPv4) *packet.Packet {
+	now := s.sw.Scheduler().Now()
+	ip, ok := s.allocate(d.ClientMAC, now)
+	if !ok {
+		return nil // pool exhausted: silence (clients will retry)
+	}
+	msgType := packet.DHCPAck
+	if d.MsgType == packet.DHCPDiscover {
+		msgType = packet.DHCPOffer
+	}
+	reply := &packet.DHCPv4{
+		Op: packet.DHCPBootReply, Xid: d.Xid, MsgType: msgType,
+		YourIP: ip, ClientMAC: d.ClientMAC, ServerIP: s.serverIP,
+		ServerID: s.serverIP, LeaseSecs: uint32(s.leaseFor / time.Second),
+	}
+	return packet.NewDHCP(s.mac, d.ClientMAC, s.serverIP, packet.BroadcastIPv4, reply)
+}
+
+// allocate finds an address for the client.
+func (s *DHCPServer) allocate(mac packet.MAC, now time.Time) (packet.IPv4, bool) {
+	if ip, held := s.byMAC[mac]; held {
+		s.leases[ip] = lease{mac: mac, expiry: now.Add(s.leaseFor)}
+		return ip, true
+	}
+	// Fault: hand out an address some other client still holds.
+	if s.faults.ReuseLeasedEvery > 0 && len(s.byMAC) > 0 && s.requests%s.faults.ReuseLeasedEvery == 0 {
+		for ip, l := range s.leases {
+			if l.mac != mac && now.Before(l.expiry) {
+				s.byMAC[mac] = ip
+				s.leases[ip] = lease{mac: mac, expiry: now.Add(s.leaseFor)}
+				return ip, true
+			}
+		}
+	}
+	for _, ip := range s.pool {
+		l, taken := s.leases[ip]
+		if taken && now.Before(l.expiry) {
+			continue
+		}
+		if taken {
+			delete(s.byMAC, l.mac) // expired lease reclaimed
+		}
+		s.leases[ip] = lease{mac: mac, expiry: now.Add(s.leaseFor)}
+		s.byMAC[mac] = ip
+		return ip, true
+	}
+	return packet.IPv4{}, false
+}
+
+// ActiveLeases reports the number of unexpired leases.
+func (s *DHCPServer) ActiveLeases() int {
+	now := s.sw.Scheduler().Now()
+	n := 0
+	for _, l := range s.leases {
+		if now.Before(l.expiry) {
+			n++
+		}
+	}
+	return n
+}
+
+// DHCPController routes punted packets to a DHCP server and floods the
+// rest (the minimal topology glue for DHCP scenarios).
+type DHCPController struct {
+	Server *DHCPServer
+}
+
+// PacketIn implements dataplane.Controller.
+func (c *DHCPController) PacketIn(sw *dataplane.Switch, inPort dataplane.PortNo, pid core.PacketID, p *packet.Packet) {
+	if c.Server.HandleDHCP(sw, inPort, pid, p) {
+		return
+	}
+	sw.FloodPacketAs(pid, inPort, p)
+}

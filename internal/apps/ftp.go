@@ -1,0 +1,65 @@
+package apps
+
+import (
+	"switchmon/internal/core"
+	"switchmon/internal/dataplane"
+	"switchmon/internal/packet"
+)
+
+// FTPFaults selects FTP-scenario misbehaviours.
+type FTPFaults struct {
+	// WrongDataPortEvery makes the simulated server open every Nth data
+	// connection to announced_port+1 (0 = never) — violates
+	// ftp-data-port.
+	WrongDataPortEvery int
+}
+
+// FTPScenario wires a simple switch (flood-through) with a simulated FTP
+// server behind serverPort: whenever a PORT command crosses the switch
+// toward the server, the server "opens" an active-mode data connection
+// back to the announced client address — the traffic pattern the
+// ftp-data-port property (from FAST) checks.
+type FTPScenario struct {
+	sw         *dataplane.Switch
+	faults     FTPFaults
+	serverPort dataplane.PortNo
+	clientPort dataplane.PortNo
+	serverMAC  packet.MAC
+	serverIP   packet.IPv4
+	seen       int
+}
+
+// NewFTPScenario attaches the scenario to sw.
+func NewFTPScenario(sw *dataplane.Switch, clientPort, serverPort dataplane.PortNo, serverMAC packet.MAC, serverIP packet.IPv4, faults FTPFaults) *FTPScenario {
+	fs := &FTPScenario{
+		sw: sw, faults: faults,
+		serverPort: serverPort, clientPort: clientPort,
+		serverMAC: serverMAC, serverIP: serverIP,
+	}
+	sw.SetController(fs, dataplane.MissController)
+	return fs
+}
+
+// PacketIn forwards traffic between client and server sides and reacts to
+// PORT commands by emitting the server's data-connection SYN.
+func (fs *FTPScenario) PacketIn(sw *dataplane.Switch, inPort dataplane.PortNo, pid core.PacketID, p *packet.Packet) {
+	out := fs.serverPort
+	if inPort == fs.serverPort {
+		out = fs.clientPort
+	}
+	sw.SendPacketAs(pid, inPort, []dataplane.PortNo{out}, p)
+
+	if inPort != fs.clientPort || p.FTP == nil || p.FTP.Command != "PORT" || p.IPv4 == nil {
+		return
+	}
+	fs.seen++
+	dataPort := p.FTP.DataPort
+	if fs.faults.WrongDataPortEvery > 0 && fs.seen%fs.faults.WrongDataPortEvery == 0 {
+		dataPort++ // the monitored bug
+	}
+	clientMAC := p.Eth.Src
+	syn := packet.NewTCP(fs.serverMAC, clientMAC, fs.serverIP, p.FTP.DataIP,
+		20, dataPort, packet.FlagSYN, nil)
+	// The server's SYN arrives on the server port and crosses the switch.
+	sw.Scheduler().After(0, func() { sw.Inject(fs.serverPort, syn) })
+}

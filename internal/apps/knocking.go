@@ -1,0 +1,89 @@
+package apps
+
+import (
+	"switchmon/internal/core"
+	"switchmon/internal/dataplane"
+	"switchmon/internal/packet"
+)
+
+// KnockFaults selects port-knocking-gate misbehaviours.
+type KnockFaults struct {
+	// IgnoreWrongGuess keeps sequence progress despite an intervening
+	// wrong guess — violates knock-intervening.
+	IgnoreWrongGuess bool
+	// NeverOpen refuses the door even after a valid sequence — violates
+	// knock-valid-sequence.
+	NeverOpen bool
+}
+
+// PortKnocking is a gate: hosts that send the secret knock sequence (UDP
+// dst ports, in order, with no intervening guesses) gain access to the
+// protected door port; everyone else is refused.
+type PortKnocking struct {
+	sw       *dataplane.Switch
+	faults   KnockFaults
+	sequence []uint16
+	door     uint16
+	inside   dataplane.PortNo // where protected service lives
+	progress map[packet.IPv4]int
+	unlocked map[packet.IPv4]bool
+}
+
+// NewPortKnocking attaches the gate. Door traffic from unlocked hosts is
+// forwarded to inside; everything else on the door port is dropped; knock
+// packets are always silently consumed (dropped) as real knock daemons do.
+func NewPortKnocking(sw *dataplane.Switch, sequence []uint16, door uint16, inside dataplane.PortNo, faults KnockFaults) *PortKnocking {
+	pk := &PortKnocking{
+		sw: sw, faults: faults,
+		sequence: append([]uint16(nil), sequence...),
+		door:     door, inside: inside,
+		progress: map[packet.IPv4]int{},
+		unlocked: map[packet.IPv4]bool{},
+	}
+	sw.SetController(pk, dataplane.MissController)
+	return pk
+}
+
+// PacketIn implements the gate policy.
+func (pk *PortKnocking) PacketIn(sw *dataplane.Switch, inPort dataplane.PortNo, pid core.PacketID, p *packet.Packet) {
+	var dstPort uint16
+	var src packet.IPv4
+	switch {
+	case p.IPv4 != nil && p.UDP != nil:
+		src, dstPort = p.IPv4.Src, p.UDP.DstPort
+	case p.IPv4 != nil && p.TCP != nil:
+		src, dstPort = p.IPv4.Src, p.TCP.DstPort
+	default:
+		sw.DropPacketAs(pid, inPort, p)
+		return
+	}
+
+	if dstPort == pk.door {
+		if pk.unlocked[src] && !pk.faults.NeverOpen {
+			sw.SendPacketAs(pid, inPort, []dataplane.PortNo{pk.inside}, p)
+		} else {
+			sw.DropPacketAs(pid, inPort, p)
+		}
+		return
+	}
+
+	// Knock processing: all non-door packets are consumed.
+	step := pk.progress[src]
+	switch {
+	case step < len(pk.sequence) && dstPort == pk.sequence[step]:
+		step++
+		pk.progress[src] = step
+		if step == len(pk.sequence) {
+			pk.unlocked[src] = true
+			pk.progress[src] = 0
+		}
+	case pk.faults.IgnoreWrongGuess:
+		// Bug: wrong guesses do not reset progress.
+	default:
+		pk.progress[src] = 0 // correct: invalidate the sequence
+	}
+	sw.DropPacketAs(pid, inPort, p)
+}
+
+// Unlocked reports whether a host currently has door access.
+func (pk *PortKnocking) Unlocked(ip packet.IPv4) bool { return pk.unlocked[ip] }

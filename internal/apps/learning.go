@@ -1,0 +1,88 @@
+// Package apps implements the network functions the paper's properties
+// monitor: a learning switch, a stateful firewall, NAT, an ARP cache
+// proxy, a DHCP server, an L4 load balancer, a port-knocking gate, and an
+// FTP helper. Every app carries a Faults configuration that makes it
+// misbehave in exactly the ways the corresponding catalogue properties
+// detect — integration tests assert that violations are reported if and
+// only if faults are injected.
+package apps
+
+import (
+	"switchmon/internal/core"
+	"switchmon/internal/dataplane"
+	"switchmon/internal/packet"
+)
+
+// LearningFaults selects learning-switch misbehaviours.
+type LearningFaults struct {
+	// WrongPortEvery forwards every Nth known-destination packet out a
+	// wrong port (0 = never) — violates lswitch-unicast.
+	WrongPortEvery int
+	// KeepStateOnLinkDown skips flushing learned entries when a link goes
+	// down — violates lswitch-linkdown.
+	KeepStateOnLinkDown bool
+}
+
+// LearningSwitch is a controller-resident MAC learning switch.
+type LearningSwitch struct {
+	sw     *dataplane.Switch
+	faults LearningFaults
+	table  map[packet.MAC]dataplane.PortNo
+	seen   int
+}
+
+// NewLearningSwitch attaches a learning switch to sw (as its controller,
+// with table-miss punting) and subscribes to link events.
+func NewLearningSwitch(sw *dataplane.Switch, faults LearningFaults) *LearningSwitch {
+	ls := &LearningSwitch{sw: sw, faults: faults, table: map[packet.MAC]dataplane.PortNo{}}
+	sw.SetController(ls, dataplane.MissController)
+	sw.Observe(func(e core.Event) {
+		if e.Kind == core.KindOutOfBand && e.OOBKind == packet.OOBLinkDown {
+			ls.onLinkDown(dataplane.PortNo(e.OOBPort))
+		}
+	})
+	return ls
+}
+
+// PacketIn learns the source and forwards toward the destination.
+func (ls *LearningSwitch) PacketIn(sw *dataplane.Switch, inPort dataplane.PortNo, pid core.PacketID, p *packet.Packet) {
+	if p.Eth == nil {
+		sw.DropPacketAs(pid, inPort, p)
+		return
+	}
+	ls.table[p.Eth.Src] = inPort
+	out, known := ls.table[p.Eth.Dst]
+	if !known || p.Eth.Dst.IsBroadcast() {
+		sw.FloodPacketAs(pid, inPort, p)
+		return
+	}
+	ls.seen++
+	if ls.faults.WrongPortEvery > 0 && ls.seen%ls.faults.WrongPortEvery == 0 {
+		out = ls.wrongPort(out, inPort)
+	}
+	sw.SendPacketAs(pid, inPort, []dataplane.PortNo{out}, p)
+}
+
+// wrongPort picks a port that is neither correct nor the ingress.
+func (ls *LearningSwitch) wrongPort(correct, inPort dataplane.PortNo) dataplane.PortNo {
+	for cand := dataplane.PortNo(1); cand < 64; cand++ {
+		if cand != correct && cand != inPort && ls.sw.PortUp(cand) {
+			return cand
+		}
+	}
+	return correct
+}
+
+func (ls *LearningSwitch) onLinkDown(port dataplane.PortNo) {
+	if ls.faults.KeepStateOnLinkDown {
+		return
+	}
+	for mac, p := range ls.table {
+		if p == port {
+			delete(ls.table, mac)
+		}
+	}
+}
+
+// Learned reports the current MAC table size.
+func (ls *LearningSwitch) Learned() int { return len(ls.table) }

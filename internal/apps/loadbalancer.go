@@ -1,0 +1,147 @@
+package apps
+
+import (
+	"switchmon/internal/core"
+	"switchmon/internal/dataplane"
+	"switchmon/internal/packet"
+)
+
+// LBMode selects the backend assignment policy.
+type LBMode uint8
+
+// Load-balancer modes.
+const (
+	// LBHash assigns flows by symmetric flow hash (FAST's example).
+	LBHash LBMode = iota
+	// LBRoundRobin assigns new flows cyclically.
+	LBRoundRobin
+)
+
+// LBFaults selects load-balancer misbehaviours.
+type LBFaults struct {
+	// WrongHashEvery sends every Nth new flow to hash+1 instead of the
+	// hashed port (0 = never) — violates lb-hashed.
+	WrongHashEvery int
+	// RepeatRREvery assigns every Nth new flow the same port as its
+	// predecessor (0 = never) — violates lb-round-robin.
+	RepeatRREvery int
+	// MoveFlowEvery reassigns an established flow on its Nth packet
+	// (0 = never) — violates lb-sticky.
+	MoveFlowEvery int
+}
+
+// LoadBalancer spreads flows arriving on the client port across backend
+// ports, tracking assignments until the flow closes.
+type LoadBalancer struct {
+	sw         *dataplane.Switch
+	mode       LBMode
+	faults     LBFaults
+	clientPort dataplane.PortNo
+	firstPort  dataplane.PortNo
+	poolSize   uint64
+	assigned   map[uint64]dataplane.PortNo // symmetric flow hash -> backend
+	clientsOf  map[uint64]dataplane.PortNo // symmetric flow hash -> client ingress
+	rrNext     uint64
+	lastPort   dataplane.PortNo
+	newFlows   int
+	pktCount   map[uint64]int
+}
+
+// NewLoadBalancer attaches a load balancer: flows from clientPort go to
+// backends firstPort..firstPort+poolSize-1.
+func NewLoadBalancer(sw *dataplane.Switch, mode LBMode, clientPort, firstPort dataplane.PortNo, poolSize uint64, faults LBFaults) *LoadBalancer {
+	lb := &LoadBalancer{
+		sw: sw, mode: mode, faults: faults,
+		clientPort: clientPort, firstPort: firstPort, poolSize: poolSize,
+		assigned:  map[uint64]dataplane.PortNo{},
+		clientsOf: map[uint64]dataplane.PortNo{},
+		pktCount:  map[uint64]int{},
+	}
+	sw.SetController(lb, dataplane.MissController)
+	return lb
+}
+
+// flowHash computes the symmetric flow hash the lb-hashed property also
+// uses (same packet.HashValues over the same four fields).
+func flowHash(p *packet.Packet) (uint64, bool) {
+	fields := []packet.Field{
+		packet.FieldIPSrc, packet.FieldIPDst,
+		packet.FieldSrcPort, packet.FieldDstPort,
+	}
+	vals := make([]packet.Value, 0, 4)
+	for _, f := range fields {
+		v, ok := p.Field(f)
+		if !ok {
+			return 0, false
+		}
+		vals = append(vals, v)
+	}
+	return packet.HashValues(vals), true
+}
+
+// PacketIn implements the balancing policy.
+func (lb *LoadBalancer) PacketIn(sw *dataplane.Switch, inPort dataplane.PortNo, pid core.PacketID, p *packet.Packet) {
+	h, ok := flowHash(p)
+	if !ok {
+		sw.DropPacketAs(pid, inPort, p)
+		return
+	}
+	if inPort != lb.clientPort {
+		// Return traffic from a backend: send to the flow's client port.
+		out, known := lb.clientsOf[h]
+		if !known {
+			sw.DropPacketAs(pid, inPort, p)
+			return
+		}
+		sw.SendPacketAs(pid, inPort, []dataplane.PortNo{out}, p)
+		lb.noteClose(h, p)
+		return
+	}
+	out, established := lb.assigned[h]
+	if !established {
+		out = lb.pickBackend(h)
+		lb.assigned[h] = out
+		lb.clientsOf[h] = inPort
+		lb.lastPort = out
+	} else {
+		lb.pktCount[h]++
+		if lb.faults.MoveFlowEvery > 0 && lb.pktCount[h]%lb.faults.MoveFlowEvery == 0 {
+			out = lb.firstPort + dataplane.PortNo((uint64(out-lb.firstPort)+1)%lb.poolSize)
+			lb.assigned[h] = out // the monitored bug: mid-flow move
+		}
+	}
+	sw.SendPacketAs(pid, inPort, []dataplane.PortNo{out}, p)
+	lb.noteClose(h, p)
+}
+
+// pickBackend applies the mode (and faults) to a new flow.
+func (lb *LoadBalancer) pickBackend(h uint64) dataplane.PortNo {
+	lb.newFlows++
+	switch lb.mode {
+	case LBRoundRobin:
+		if lb.faults.RepeatRREvery > 0 && lb.newFlows > 1 && lb.newFlows%lb.faults.RepeatRREvery == 0 {
+			return lb.lastPort // the monitored bug: no rotation
+		}
+		out := lb.firstPort + dataplane.PortNo(lb.rrNext%lb.poolSize)
+		lb.rrNext++
+		return out
+	default: // LBHash
+		out := lb.firstPort + dataplane.PortNo(h%lb.poolSize)
+		if lb.faults.WrongHashEvery > 0 && lb.newFlows%lb.faults.WrongHashEvery == 0 {
+			out = lb.firstPort + dataplane.PortNo((h+1)%lb.poolSize) // bug
+		}
+		return out
+	}
+}
+
+// noteClose forgets the flow when it closes.
+func (lb *LoadBalancer) noteClose(h uint64, p *packet.Packet) {
+	if p.TCP != nil && (p.TCP.Flags.Has(packet.FlagFIN) || p.TCP.Flags.Has(packet.FlagRST)) {
+		delete(lb.assigned, h)
+		delete(lb.clientsOf, h)
+		delete(lb.pktCount, h)
+	}
+}
+
+// ActiveFlows reports the number of tracked flows.
+func (lb *LoadBalancer) ActiveFlows() int { return len(lb.assigned) }

@@ -1,0 +1,137 @@
+package apps
+
+import (
+	"switchmon/internal/core"
+	"switchmon/internal/dataplane"
+	"switchmon/internal/packet"
+)
+
+// NATFaults selects NAT misbehaviours.
+type NATFaults struct {
+	// MistranslateReverseEvery installs every Nth reverse mapping with a
+	// wrong internal port (0 = never) — violates nat-reverse.
+	MistranslateReverseEvery int
+}
+
+// natKey identifies a translation by the original 5-tuple-lite.
+type natKey struct {
+	srcIP   packet.IPv4
+	srcPort uint16
+	dstIP   packet.IPv4
+	dstPort uint16
+}
+
+// natEntry records one allocation.
+type natEntry struct {
+	extPort uint16
+}
+
+// NAT is a controller-driven source NAT. On the first packet of an
+// outbound flow it installs SetField rules for both directions, so
+// rewriting happens on-switch and packet identity is preserved across the
+// translation — exactly the scenario of the paper's Sec. 2.2 property.
+type NAT struct {
+	sw       *dataplane.Switch
+	faults   NATFaults
+	internal dataplane.PortNo
+	external dataplane.PortNo
+	publicIP packet.IPv4
+	nextPort uint16
+	flows    map[natKey]natEntry
+	created  int
+}
+
+// NewNAT attaches a NAT to sw, translating outbound traffic to publicIP.
+func NewNAT(sw *dataplane.Switch, internal, external dataplane.PortNo, publicIP packet.IPv4, faults NATFaults) *NAT {
+	n := &NAT{
+		sw: sw, faults: faults,
+		internal: internal, external: external,
+		publicIP: publicIP, nextPort: 60000,
+		flows: map[natKey]natEntry{},
+	}
+	sw.SetController(n, dataplane.MissController)
+	return n
+}
+
+// PacketIn allocates a translation for the flow's first packet, installs
+// both direction rules, and resumes the packet through them.
+func (n *NAT) PacketIn(sw *dataplane.Switch, inPort dataplane.PortNo, pid core.PacketID, p *packet.Packet) {
+	flow, ok := packet.FlowOf(p)
+	if !ok || inPort != n.internal {
+		// Reverse traffic with no installed mapping, or non-flow traffic:
+		// drop (a correct NAT refuses unsolicited inbound flows).
+		sw.DropPacketAs(pid, inPort, p)
+		return
+	}
+	key := natKey{flow.Src.Addr, flow.Src.Port, flow.Dst.Addr, flow.Dst.Port}
+	entry, exists := n.flows[key]
+	if !exists {
+		n.nextPort++
+		entry = natEntry{extPort: n.nextPort}
+		n.flows[key] = entry
+		n.created++
+		n.installRules(key, entry)
+	}
+	// Resume the packet through the freshly installed rules by rewriting
+	// here exactly as the forward rule would.
+	out := p.Clone()
+	out.IPv4.Src = n.publicIP
+	setL4SrcPort(out, entry.extPort)
+	sw.SendPacketAs(pid, inPort, []dataplane.PortNo{n.external}, out)
+}
+
+// installRules programs the switch for both directions of the flow.
+func (n *NAT) installRules(key natKey, entry natEntry) {
+	// Forward: internal 5-tuple -> rewrite source to public IP/port.
+	n.sw.Table(0).Add(&dataplane.Rule{
+		Priority: 100,
+		Match: dataplane.Match{
+			InPort: n.internal,
+			Fields: []dataplane.FieldMatch{
+				dataplane.FM(packet.FieldIPSrc, key.srcIP.Uint64()),
+				dataplane.FM(packet.FieldSrcPort, uint64(key.srcPort)),
+				dataplane.FM(packet.FieldIPDst, key.dstIP.Uint64()),
+				dataplane.FM(packet.FieldDstPort, uint64(key.dstPort)),
+			},
+		},
+		Actions: []dataplane.Action{
+			dataplane.SetField(packet.FieldIPSrc, packet.Num(n.publicIP.Uint64())),
+			dataplane.SetField(packet.FieldSrcPort, packet.Num(uint64(entry.extPort))),
+			dataplane.Output(n.external),
+		},
+	})
+	// Reverse: external -> public IP/port, rewrite destination back.
+	reversePort := uint64(key.srcPort)
+	if n.faults.MistranslateReverseEvery > 0 && n.created%n.faults.MistranslateReverseEvery == 0 {
+		reversePort = uint64(key.srcPort) + 1 // the monitored bug
+	}
+	n.sw.Table(0).Add(&dataplane.Rule{
+		Priority: 100,
+		Match: dataplane.Match{
+			InPort: n.external,
+			Fields: []dataplane.FieldMatch{
+				dataplane.FM(packet.FieldIPSrc, key.dstIP.Uint64()),
+				dataplane.FM(packet.FieldSrcPort, uint64(key.dstPort)),
+				dataplane.FM(packet.FieldIPDst, n.publicIP.Uint64()),
+				dataplane.FM(packet.FieldDstPort, uint64(entry.extPort)),
+			},
+		},
+		Actions: []dataplane.Action{
+			dataplane.SetField(packet.FieldIPDst, packet.Num(key.srcIP.Uint64())),
+			dataplane.SetField(packet.FieldDstPort, packet.Num(reversePort)),
+			dataplane.Output(n.internal),
+		},
+	})
+}
+
+// Translations reports the number of allocated flows.
+func (n *NAT) Translations() int { return len(n.flows) }
+
+func setL4SrcPort(p *packet.Packet, port uint16) {
+	switch {
+	case p.TCP != nil:
+		p.TCP.SrcPort = port
+	case p.UDP != nil:
+		p.UDP.SrcPort = port
+	}
+}

@@ -1,0 +1,51 @@
+package apps
+
+import (
+	"time"
+
+	"switchmon/internal/dataplane"
+	"switchmon/internal/packet"
+)
+
+// OffloadedFaults selects misbehaviours of the on-switch learning switch.
+type OffloadedFaults struct {
+	// WrongPort, when nonzero, installs every learned rule with this
+	// literal output port instead of the ingress port — violates
+	// lswitch-unicast with zero controller involvement.
+	WrongPort dataplane.PortNo
+}
+
+// NewOffloadedLearningSwitch programs MAC learning entirely in the
+// dataplane using the learn action — no controller, no packet-ins. This
+// is the scenario the paper's introduction says makes controller-based
+// monitoring infeasible: "switches may run stateful programs without
+// controller interaction."
+//
+// Pipeline: table 0 learns a reverse rule (eth.dst = this packet's
+// eth.src -> output this packet's ingress port) into table 1 and
+// continues there; table 1 holds the learned rules plus a lowest-priority
+// flood fallback.
+func NewOffloadedLearningSwitch(sw *dataplane.Switch, idle time.Duration, faults OffloadedFaults) {
+	spec := &dataplane.LearnSpec{
+		Table:       1,
+		Priority:    10,
+		IdleTimeout: idle,
+		Matches: []dataplane.LearnMatch{
+			{DstField: packet.FieldEthDst, FromField: packet.FieldEthSrc},
+		},
+	}
+	if faults.WrongPort != 0 {
+		spec.Actions = []dataplane.Action{dataplane.Output(faults.WrongPort)}
+	} else {
+		spec.OutputFromInPort = true
+	}
+	sw.Table(0).Add(&dataplane.Rule{
+		Priority: 1,
+		Actions:  []dataplane.Action{dataplane.LearnAction(spec), dataplane.Goto(1)},
+	})
+	// Table-1 miss: flood (the unlearned-destination path).
+	sw.Table(1).Add(&dataplane.Rule{
+		Priority: 0,
+		Actions:  []dataplane.Action{dataplane.Flood()},
+	})
+}

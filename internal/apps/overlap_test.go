@@ -1,0 +1,74 @@
+package apps
+
+import (
+	"testing"
+	"time"
+
+	"switchmon/internal/core"
+	"switchmon/internal/dataplane"
+	"switchmon/internal/packet"
+)
+
+// twoServerController fans DHCP requests out to two servers — the
+// misconfiguration scenario behind the dhcp-no-overlap property: both
+// servers believe they own the same address pool.
+type twoServerController struct {
+	a, b *DHCPServer
+}
+
+func (c *twoServerController) PacketIn(sw *dataplane.Switch, inPort dataplane.PortNo, pid core.PacketID, p *packet.Packet) {
+	if p.DHCP != nil && p.DHCP.Op == packet.DHCPBootRequest {
+		// Broadcast: both servers hear (and answer) the request. Consume
+		// once; each server emits its own reply.
+		sw.DropPacketAs(pid, inPort, p)
+		c.a.serveCopy(sw, p)
+		c.b.serveCopy(sw, p)
+		return
+	}
+	sw.FloodPacketAs(pid, inPort, p)
+}
+
+// serveCopy processes a broadcast request without re-consuming it.
+func (s *DHCPServer) serveCopy(sw *dataplane.Switch, p *packet.Packet) {
+	d := p.DHCP
+	if d.MsgType != packet.DHCPDiscover && d.MsgType != packet.DHCPRequest {
+		return
+	}
+	s.requests++
+	if s.faults.NoReply {
+		return
+	}
+	if reply := s.buildReply(d); reply != nil {
+		sw.SendPacket(s.port, reply)
+	}
+}
+
+func TestDHCPNoOverlapTwoServersDisjointPools(t *testing.T) {
+	r := newRig(t, 4, "dhcp-no-overlap")
+	serverA := NewDHCPServer(r.sw, packet.MustIPv4("10.0.0.2"), macB, 1,
+		[]packet.IPv4{packet.MustIPv4("10.0.0.100")}, 300*time.Second, DHCPFaults{})
+	serverB := NewDHCPServer(r.sw, packet.MustIPv4("10.0.0.3"), macC, 2,
+		[]packet.IPv4{packet.MustIPv4("10.0.0.200")}, 300*time.Second, DHCPFaults{})
+	r.sw.SetController(&twoServerController{a: serverA, b: serverB}, dataplane.MissController)
+
+	r.inject(3, dhcpRequest(macA, 1))
+	r.sched.RunFor(time.Second)
+	// Two leases, two different addresses: no overlap.
+	r.wantViolations(0)
+}
+
+func TestDHCPNoOverlapTwoServersSharedPoolDetected(t *testing.T) {
+	r := newRig(t, 4, "dhcp-no-overlap")
+	shared := []packet.IPv4{packet.MustIPv4("10.0.0.100")}
+	serverA := NewDHCPServer(r.sw, packet.MustIPv4("10.0.0.2"), macB, 1, shared, 300*time.Second, DHCPFaults{})
+	serverB := NewDHCPServer(r.sw, packet.MustIPv4("10.0.0.3"), macC, 2, shared, 300*time.Second, DHCPFaults{})
+	r.sw.SetController(&twoServerController{a: serverA, b: serverB}, dataplane.MissController)
+
+	// One client asks; both misconfigured servers lease 10.0.0.100 —
+	// distinct server IDs, same address, overlapping validity.
+	r.inject(3, dhcpRequest(macA, 1))
+	r.sched.RunFor(time.Second)
+	if r.countViolations("dhcp-no-overlap") == 0 {
+		t.Fatal("overlapping leases from two servers not detected")
+	}
+}

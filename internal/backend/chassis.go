@@ -1,0 +1,176 @@
+package backend
+
+import (
+	"switchmon/internal/core"
+	"switchmon/internal/property"
+	"switchmon/internal/sim"
+)
+
+// stateCost models the cost structure of a backend's state mechanism.
+// Rule-based backends pay sorted-table modifications per state transition
+// (the OpenFlow path Sec. 3.3 says cannot run at line rate); register
+// backends pay O(1) array writes.
+type stateCost interface {
+	// transitions applies n state transitions with the store holding
+	// roughly live entries.
+	transitions(n int, live int)
+	// total reports accumulated cost units (rule mods or register ops).
+	total() uint64
+}
+
+// ruleState is the rule-table mechanism: every transition inserts into /
+// removes from a priority-sorted rule table whose size tracks the live
+// instance count — a memmove-heavy O(n) operation, like an OpenFlow
+// flow-mod.
+type ruleState struct {
+	rules []uint64
+	mods  uint64
+	seq   uint64
+}
+
+func (rs *ruleState) transitions(n, live int) {
+	for i := 0; i < n; i++ {
+		rs.seq++
+		// Deterministic pseudo-random position: rules arrive with
+		// arbitrary priorities.
+		pos := 0
+		if len(rs.rules) > 0 {
+			pos = int(rs.seq * 2654435761 % uint64(len(rs.rules)))
+		}
+		// Insert (flow-mod add).
+		rs.rules = append(rs.rules, 0)
+		copy(rs.rules[pos+1:], rs.rules[pos:])
+		rs.rules[pos] = rs.seq
+		rs.mods++
+		// Shrink back toward the live size (flow-mod delete of the
+		// superseded instance rule).
+		for len(rs.rules) > live+1 {
+			pos = int(rs.seq % uint64(len(rs.rules)))
+			copy(rs.rules[pos:], rs.rules[pos+1:])
+			rs.rules = rs.rules[:len(rs.rules)-1]
+			rs.mods++
+		}
+	}
+}
+
+func (rs *ruleState) total() uint64 { return rs.mods }
+
+// registerState is the register mechanism: a transition is a constant
+// number of array writes.
+type registerState struct {
+	cells [4096]uint64
+	ops   uint64
+}
+
+func (rg *registerState) transitions(n, live int) {
+	for i := 0; i < n; i++ {
+		rg.ops++
+		rg.cells[(rg.ops*2654435761)%uint64(len(rg.cells))] = rg.ops
+	}
+}
+
+func (rg *registerState) total() uint64 { return rg.ops }
+
+// chassis is the shared execution harness: a core.Monitor configured for
+// the backend's match strategy, an event-visibility filter, and a state
+// cost model. Backends differ in capabilities, filters, costs, and
+// whether the monitor may use indexes (Varanus's per-instance tables are
+// a linear pipeline walk).
+type chassis struct {
+	caps  Capabilities
+	mon   *core.Monitor
+	nViol uint64
+	// visibility filter
+	seeDrops  bool
+	seeEgress bool
+	seeOOB    bool
+	cost      stateCost
+	last      core.Stats
+	// fixedDepth, when >= 0, reports a constant pipeline depth; -1 means
+	// depth equals the live instance count (Varanus).
+	fixedDepth int
+	stages     int
+}
+
+func newChassis(sched *sim.Scheduler, caps Capabilities, disableIndex bool, prov core.ProvLevel, cost stateCost) *chassis {
+	c := &chassis{caps: caps, cost: cost, seeDrops: true, seeEgress: true, seeOOB: true, fixedDepth: 0}
+	c.mon = core.NewMonitor(sched, core.Config{
+		Provenance:   prov,
+		DisableIndex: disableIndex,
+		OnViolation:  func(*core.Violation) { c.nViol++ },
+	})
+	return c
+}
+
+// Name implements Backend.
+func (c *chassis) Name() string { return c.caps.Name }
+
+// Capabilities implements Backend.
+func (c *chassis) Capabilities() Capabilities { return c.caps }
+
+// AddProperty implements Backend with capability enforcement.
+func (c *chassis) AddProperty(p *property.Property) error {
+	if err := checkSupport(c.caps, p); err != nil {
+		return err
+	}
+	if err := c.mon.AddProperty(p); err != nil {
+		return err
+	}
+	if n := len(p.Stages); n > c.stages {
+		c.stages = n
+	}
+	return nil
+}
+
+// HandleEvent implements Backend, applying the visibility filter and the
+// state cost model.
+func (c *chassis) HandleEvent(e core.Event) {
+	switch e.Kind {
+	case core.KindEgress:
+		if e.Dropped && !c.seeDrops {
+			return
+		}
+		if !c.seeEgress {
+			return
+		}
+	case core.KindOutOfBand:
+		if !c.seeOOB {
+			return
+		}
+	}
+	c.mon.HandleEvent(e)
+	if c.cost != nil {
+		st := c.mon.Stats()
+		transitions := int((st.Created + st.Advanced + st.Discharged + st.Expired + st.Refreshed) -
+			(c.last.Created + c.last.Advanced + c.last.Discharged + c.last.Expired + c.last.Refreshed))
+		c.last = st
+		if transitions > 0 {
+			c.cost.transitions(transitions, c.mon.ActiveInstances())
+		}
+	}
+}
+
+// Violations implements Backend.
+func (c *chassis) Violations() uint64 { return c.nViol }
+
+// ActiveInstances exposes the live instance count.
+func (c *chassis) ActiveInstances() int { return c.mon.ActiveInstances() }
+
+// PipelineDepth implements Backend.
+func (c *chassis) PipelineDepth() int {
+	if c.fixedDepth < 0 {
+		return c.mon.ActiveInstances()
+	}
+	if c.fixedDepth > 0 {
+		return c.fixedDepth
+	}
+	return c.stages
+}
+
+// StateUpdateCost implements Backend.
+func (c *chassis) StateUpdateCost() uint64 {
+	if c.cost == nil {
+		return 0
+	}
+	return c.cost.total()
+}

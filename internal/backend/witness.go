@@ -1,0 +1,76 @@
+package backend
+
+import (
+	"time"
+
+	"switchmon/internal/packet"
+	"switchmon/internal/property"
+)
+
+// Witness pairs one boolean Table 2 row with a minimal property requiring
+// exactly that feature. The regenerated Table 2 derives its ✓/✗ cells by
+// compiling these witnesses against each backend, so the table reports
+// observed behaviour rather than transcription. Witnesses deliberately
+// avoid egress/drop fields: they isolate the row under probe from the
+// (separately tracked) visibility axes.
+type Witness struct {
+	// Row is the Table 2 row label.
+	Row string
+	// Prop is the minimal property requiring the row's feature.
+	Prop *property.Property
+	// Capability extracts the corresponding cell from a capability vector.
+	Capability func(Capabilities) Tri
+}
+
+// Witnesses returns one probe per boolean Table 2 row.
+func Witnesses() []Witness {
+	var ws []Witness
+	add := func(row string, cap func(Capabilities) Tri, build func(*property.Builder)) {
+		b := property.New("witness-"+row, "table 2 probe for "+row)
+		build(b)
+		ws = append(ws, Witness{Row: row, Prop: b.MustBuild(), Capability: cap})
+	}
+
+	add("event-history", func(c Capabilities) Tri { return c.EventHistory }, func(b *property.Builder) {
+		b.OnArrival("first").Bind("A", packet.FieldIPSrc)
+		b.OnArrival("second").Where(property.EqVar(packet.FieldIPSrc, "A"))
+	})
+	add("related-events", func(c Capabilities) Tri { return c.RelatedEvents }, func(b *property.Builder) {
+		b.OnArrival("seen").Bind("A", packet.FieldIPSrc)
+		b.OnPacket("same-again").SamePacket(0).Where(property.EqVar(packet.FieldIPSrc, "A"))
+	})
+	add("negative-match", func(c Capabilities) Tri { return c.NegativeMatch }, func(b *property.Builder) {
+		b.OnArrival("first").Bind("A", packet.FieldIPSrc)
+		b.OnArrival("odd-port").Where(
+			property.EqVar(packet.FieldIPSrc, "A"),
+			property.Ne(packet.FieldDstPort, 99))
+	})
+	add("rule-timeouts", func(c Capabilities) Tri { return c.RuleTimeouts }, func(b *property.Builder) {
+		b.OnArrival("first").Bind("A", packet.FieldIPSrc)
+		b.OnArrival("soon").Within(time.Second).Where(property.EqVar(packet.FieldIPSrc, "A"))
+	})
+	add("timeout-actions", func(c Capabilities) Tri { return c.TimeoutActions }, func(b *property.Builder) {
+		b.OnArrival("first").Bind("A", packet.FieldIPSrc)
+		b.UnlessWithin("silence", property.Arrival, time.Second).
+			Where(property.EqVar(packet.FieldIPSrc, "A"))
+	})
+	add("symmetric-match", func(c Capabilities) Tri { return c.SymmetricMatch }, func(b *property.Builder) {
+		b.OnArrival("forward").Bind("A", packet.FieldIPSrc)
+		b.OnArrival("return").Where(property.EqVar(packet.FieldIPDst, "A"))
+	})
+	add("wandering-match", func(c Capabilities) Tri { return c.WanderingMatch }, func(b *property.Builder) {
+		b.OnArrival("lease").Bind("I", packet.FieldDHCPYourIP)
+		b.OnArrival("arp").Where(property.EqVar(packet.FieldARPTargetIP, "I"))
+	})
+	add("out-of-band", func(c Capabilities) Tri { return c.OutOfBand }, func(b *property.Builder) {
+		b.OnArrival("learn").Bind("P", packet.FieldInPort)
+		b.OnOutOfBand("down").Where(
+			property.Eq(packet.FieldOOBKind, uint64(packet.OOBLinkDown)),
+			property.EqVar(packet.FieldOOBPort, "P"))
+	})
+	add("counting", func(c Capabilities) Tri { return c.Counting }, func(b *property.Builder) {
+		b.OnArrival("first").Bind("A", packet.FieldIPSrc)
+		b.OnArrival("burst").Where(property.EqVar(packet.FieldIPSrc, "A")).Count(10)
+	})
+	return ws
+}

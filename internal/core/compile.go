@@ -1,0 +1,384 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"switchmon/internal/packet"
+	"switchmon/internal/property"
+)
+
+// compiledStage precomputes per-stage matching machinery.
+type compiledStage struct {
+	st *property.Stage
+	// eqVarPreds are the top-level equality-against-variable predicates,
+	// the handles the instance index hangs on (Feature 8).
+	eqVarPreds []property.Pred
+	// indexGroups are the index key schemas: one group when the top-level
+	// predicates pin variables, otherwise one per AnyOf alternative (each
+	// alternative must pin at least one variable, or the stage falls back
+	// to scanning). An instance is filed under one key per group; an
+	// event's candidates are the union of the groups' lookups.
+	indexGroups [][]property.Pred
+	// pidIndex indexes by the concrete PacketID of the same-packet
+	// constraint when no value keys are available — identity (Feature 5)
+	// is itself a perfect instance key.
+	pidIndex bool
+	// guardIdx compiles the stage's obligation guards with their own
+	// equality-on-variable key schemas, so the guard pass is indexed too.
+	guardIdx []guardIndex
+	// stickyGuards are the stage's permanent-discharge guards, with the
+	// field each pinned variable is synthesized from.
+	stickyGuards []stickyGuard
+}
+
+// guardIndex is one compiled obligation guard plus its index keys.
+type guardIndex struct {
+	guard property.Guard
+	// eq are the guard's equality-against-variable predicates; empty
+	// means the guard pass must scan the whole bucket.
+	eq []property.Pred
+}
+
+// stickyGuard is a compiled permanent-discharge guard.
+type stickyGuard struct {
+	guard property.Guard
+	// varFields maps each pinned variable to the event field carrying its
+	// value (validated to cover every bound variable).
+	varFields map[property.Var]packet.Field
+	// rest are the guard's non-pinning predicates, checked literally.
+	rest []property.Pred
+}
+
+// compiledProp is a property prepared for execution.
+type compiledProp struct {
+	prop   *property.Property
+	stages []compiledStage
+	// identityStages marks stage indexes referenced by any SamePacketAs:
+	// their matched PacketIDs are part of instance identity.
+	identityStages map[int]bool
+}
+
+// compile validates and prepares a property.
+func compile(p *property.Property) (*compiledProp, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	cp := &compiledProp{prop: p, identityStages: map[int]bool{}}
+	for i := range p.Stages {
+		st := &p.Stages[i]
+		cs := compiledStage{st: st}
+		for _, pr := range st.Preds {
+			if pr.Op == property.OpEq && pr.Arg.IsVar() {
+				cs.eqVarPreds = append(cs.eqVarPreds, pr)
+			}
+		}
+		if len(cs.eqVarPreds) > 0 {
+			cs.indexGroups = [][]property.Pred{cs.eqVarPreds}
+		} else if len(st.AnyOf) > 0 {
+			groups := make([][]property.Pred, 0, len(st.AnyOf))
+			complete := true
+			for _, g := range st.AnyOf {
+				var eq []property.Pred
+				for _, pr := range g {
+					if pr.Op == property.OpEq && pr.Arg.IsVar() {
+						eq = append(eq, pr)
+					}
+				}
+				if len(eq) == 0 {
+					complete = false
+					break
+				}
+				groups = append(groups, eq)
+			}
+			if complete {
+				cs.indexGroups = groups
+			}
+		}
+		if len(cs.indexGroups) == 0 && st.SamePacketAs >= 0 {
+			cs.pidIndex = true
+		}
+		for _, g := range st.Until {
+			gi := guardIndex{guard: g}
+			for _, pr := range g.Preds {
+				if pr.Op == property.OpEq && pr.Arg.IsVar() {
+					gi.eq = append(gi.eq, pr)
+				}
+			}
+			cs.guardIdx = append(cs.guardIdx, gi)
+		}
+		if st.SamePacketAs >= 0 {
+			cp.identityStages[st.SamePacketAs] = true
+		}
+		for _, g := range st.Until {
+			if !g.Sticky {
+				continue
+			}
+			sg := stickyGuard{guard: g, varFields: map[property.Var]packet.Field{}}
+			for _, pr := range g.Preds {
+				if pr.Op == property.OpEq && pr.Arg.IsVar() {
+					sg.varFields[pr.Arg.Var] = pr.Field
+				} else {
+					sg.rest = append(sg.rest, pr)
+				}
+			}
+			cs.stickyGuards = append(cs.stickyGuards, sg)
+		}
+		cp.stages = append(cp.stages, cs)
+	}
+	return cp, nil
+}
+
+// classMatches reports whether the event satisfies the stage's class
+// filter.
+func classMatches(c property.EventClass, e *Event) bool {
+	switch c {
+	case property.AnyPacket:
+		return e.Kind == KindArrival || e.Kind == KindEgress
+	case property.Arrival:
+		return e.Kind == KindArrival
+	case property.Egress:
+		return e.Kind == KindEgress
+	case property.OutOfBand:
+		return e.Kind == KindOutOfBand
+	default:
+		return false
+	}
+}
+
+// bindings is an instance's variable environment.
+type bindings map[property.Var]packet.Value
+
+// resolveOperand evaluates a predicate's right-hand side against the
+// current event and the instance environment.
+func resolveOperand(o property.Operand, e *Event, env bindings) (packet.Value, bool) {
+	switch o.Kind {
+	case property.OperandVar:
+		v, ok := env[o.Var]
+		return v, ok
+	case property.OperandHash:
+		return hashOperand(o.Hash, e)
+	default:
+		return o.Lit, true
+	}
+}
+
+// hashOperand computes the symmetric hash of the spec fields on the
+// current event. The values are sorted before mixing, so any permutation
+// of the same value multiset (e.g. a flow and its reverse) hashes alike.
+func hashOperand(h *property.HashSpec, e *Event) (packet.Value, bool) {
+	vals := make([]packet.Value, 0, len(h.Fields))
+	for _, f := range h.Fields {
+		v, ok := e.Field(f)
+		if !ok {
+			return packet.Value{}, false
+		}
+		vals = append(vals, v)
+	}
+	return packet.Num(h.Base + packet.HashValues(vals)%h.Mod), true
+}
+
+// predHolds evaluates one predicate.
+func predHolds(pr property.Pred, e *Event, env bindings) bool {
+	fv, ok := e.Field(pr.Field)
+	if !ok {
+		return false
+	}
+	arg, ok := resolveOperand(pr.Arg, e, env)
+	if !ok {
+		return false
+	}
+	return pr.Op.Compare(fv, arg)
+}
+
+// predsHold evaluates a conjunction.
+func predsHold(preds []property.Pred, e *Event, env bindings) bool {
+	for _, pr := range preds {
+		if !predHolds(pr, e, env) {
+			return false
+		}
+	}
+	return true
+}
+
+// stagePatternMatches reports whether the event fits the stage's pattern:
+// class, packet identity, all top-level predicates, at least one AnyOf
+// group (if present), and availability of every bind field. packets is the
+// instance's matched-packet record (nil at stage zero).
+func stagePatternMatches(cs *compiledStage, e *Event, env bindings, packets []PacketID) bool {
+	st := cs.st
+	if !classMatches(st.Class, e) {
+		return false
+	}
+	if st.SamePacketAs >= 0 {
+		if packets == nil || st.SamePacketAs >= len(packets) {
+			return false
+		}
+		if e.PacketID == 0 || packets[st.SamePacketAs] != e.PacketID {
+			return false
+		}
+	}
+	if !predsHold(st.Preds, e, env) {
+		return false
+	}
+	if len(st.AnyOf) > 0 {
+		matched := false
+		for _, g := range st.AnyOf {
+			if predsHold(g, e, env) {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return false
+		}
+	}
+	for _, b := range st.Binds {
+		if _, ok := e.Field(b.Field); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// guardMatches reports whether the event discharges an instance via the
+// given obligation guard (Feature 4).
+func guardMatches(g property.Guard, e *Event, env bindings) bool {
+	return classMatches(g.Class, e) && predsHold(g.Preds, e, env)
+}
+
+// encodeValues builds a composite index key from values.
+func encodeValues(vals []packet.Value) string {
+	var b strings.Builder
+	for _, v := range vals {
+		if v.IsStr() {
+			b.WriteByte('s')
+			b.WriteString(strconv.Itoa(len(v.Text())))
+			b.WriteByte(':')
+			b.WriteString(v.Text())
+		} else {
+			b.WriteByte('n')
+			b.WriteString(strconv.FormatUint(v.Uint64(), 16))
+		}
+		b.WriteByte('|')
+	}
+	return b.String()
+}
+
+// groupKey builds "g<i>|" + encoded values so the key spaces of distinct
+// index groups cannot collide.
+func groupKey(group int, vals []packet.Value) string {
+	return fmt.Sprintf("g%d|%s", group, encodeValues(vals))
+}
+
+// eventIndexKeys computes, per index group, the key an event must hit,
+// reading field values from the event. Groups whose fields the event does
+// not carry are omitted (no instance filed there can match).
+func eventIndexKeys(cs *compiledStage, e *Event) []string {
+	if cs.pidIndex {
+		if e.PacketID == 0 {
+			return nil
+		}
+		return []string{fmt.Sprintf("p|%x", e.PacketID)}
+	}
+	keys := make([]string, 0, len(cs.indexGroups))
+	for gi, group := range cs.indexGroups {
+		vals := make([]packet.Value, 0, len(group))
+		ok := true
+		for _, pr := range group {
+			v, present := e.Field(pr.Field)
+			if !present {
+				ok = false
+				break
+			}
+			vals = append(vals, v)
+		}
+		if ok {
+			keys = append(keys, groupKey(gi, vals))
+		}
+	}
+	return keys
+}
+
+// instanceIndexKeys computes the keys under which a waiting instance is
+// filed: one per index group (or the identity PacketID for pid-indexed
+// stages), plus one per keyed obligation guard.
+func instanceIndexKeys(cs *compiledStage, env bindings, packets []PacketID) []string {
+	var keys []string
+	if cs.pidIndex {
+		if pid := packets[cs.st.SamePacketAs]; pid != 0 {
+			keys = append(keys, fmt.Sprintf("p|%x", pid))
+		}
+	} else {
+		for gi, group := range cs.indexGroups {
+			if vals, ok := envVals(group, env); ok {
+				keys = append(keys, groupKey(gi, vals))
+			}
+		}
+	}
+	for ui, g := range cs.guardIdx {
+		if len(g.eq) == 0 {
+			continue
+		}
+		if vals, ok := envVals(g.eq, env); ok {
+			keys = append(keys, guardKey(ui, vals))
+		}
+	}
+	return keys
+}
+
+// envVals resolves each predicate's variable from the environment.
+func envVals(preds []property.Pred, env bindings) ([]packet.Value, bool) {
+	vals := make([]packet.Value, 0, len(preds))
+	for _, pr := range preds {
+		v, present := env[pr.Arg.Var]
+		if !present {
+			return nil, false
+		}
+		vals = append(vals, v)
+	}
+	return vals, true
+}
+
+// guardKey namespaces obligation-guard index keys.
+func guardKey(guard int, vals []packet.Value) string {
+	return fmt.Sprintf("u%d|%s", guard, encodeValues(vals))
+}
+
+// guardEventKey computes the key an event must hit for a keyed guard.
+func guardEventKey(gi int, g *guardIndex, e *Event) (string, bool) {
+	vals := make([]packet.Value, 0, len(g.eq))
+	for _, pr := range g.eq {
+		v, ok := e.Field(pr.Field)
+		if !ok {
+			return "", false
+		}
+		vals = append(vals, v)
+	}
+	return guardKey(gi, vals), true
+}
+
+// signature builds the instance-identity string used for deduplication:
+// stage, sorted bindings, and the packet IDs of identity-relevant stages.
+func (cp *compiledProp) signature(stage int, env bindings, packets []PacketID) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "@%d;", stage)
+	vars := make([]string, 0, len(env))
+	for v := range env {
+		vars = append(vars, string(v))
+	}
+	sort.Strings(vars)
+	for _, v := range vars {
+		b.WriteString(v)
+		b.WriteByte('=')
+		b.WriteString(encodeValues([]packet.Value{env[property.Var(v)]}))
+	}
+	for si := range cp.stages {
+		if cp.identityStages[si] && si < len(packets) && si < stage {
+			fmt.Fprintf(&b, "#%d:%d;", si, packets[si])
+		}
+	}
+	return b.String()
+}

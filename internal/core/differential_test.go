@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"switchmon/internal/packet"
+	"switchmon/internal/property"
+	"switchmon/internal/sim"
+)
+
+// TestIndexedEngineMatchesScanningEngine drives random event streams
+// through two monitors — one using keyed instance indexes, one forced to
+// scan — and requires identical violation sequences. This is the
+// correctness argument for the Feature 8 index structures.
+func TestIndexedEngineMatchesScanningEngine(t *testing.T) {
+	props := []*property.Property{
+		property.CatalogByName(property.DefaultParams(), "firewall-until-close"),
+		property.CatalogByName(property.DefaultParams(), "lswitch-unicast"),
+		property.CatalogByName(property.DefaultParams(), "arp-proxy-reply"),
+		property.CatalogByName(property.DefaultParams(), "knock-intervening"),
+	}
+	for seed := int64(1); seed <= 10; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			sched := sim.NewScheduler()
+			var indexed, scanned []string
+			record := func(sink *[]string) func(*Violation) {
+				return func(v *Violation) {
+					*sink = append(*sink, fmt.Sprintf("%s@%s", v.Property, v.Time.Format(time.RFC3339Nano)))
+				}
+			}
+			mi := NewMonitor(sched, Config{OnViolation: record(&indexed)})
+			ms := NewMonitor(sched, Config{OnViolation: record(&scanned), DisableIndex: true})
+			for _, p := range props {
+				if err := mi.AddProperty(p); err != nil {
+					t.Fatal(err)
+				}
+				if err := ms.AddProperty(p); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			rng := sim.NewRand(seed)
+			macs := []packet.MAC{macA, macB, packet.MustMAC("02:00:00:00:00:0c")}
+			ips := []packet.IPv4{ipA, ipB, ipC, packet.MustIPv4("203.0.113.7")}
+			ports := []uint16{80, 7001, 7002, 7003, 22, 40000}
+			var pid PacketID
+
+			feed := func(e Event) {
+				mi.HandleEvent(e)
+				ms.HandleEvent(e)
+			}
+
+			for i := 0; i < 400; i++ {
+				sched.RunFor(time.Duration(rng.Intn(500)) * time.Millisecond)
+				var p *packet.Packet
+				switch rng.Intn(3) {
+				case 0:
+					p = packet.NewTCP(sim.Choice(rng, macs), sim.Choice(rng, macs),
+						sim.Choice(rng, ips), sim.Choice(rng, ips),
+						sim.Choice(rng, ports), sim.Choice(rng, ports),
+						packet.TCPFlags(rng.Intn(64)), nil)
+				case 1:
+					p = packet.NewUDP(sim.Choice(rng, macs), sim.Choice(rng, macs),
+						sim.Choice(rng, ips), sim.Choice(rng, ips),
+						sim.Choice(rng, ports), sim.Choice(rng, ports), nil)
+				case 2:
+					if rng.Intn(2) == 0 {
+						p = packet.NewARPRequest(sim.Choice(rng, macs), sim.Choice(rng, ips), sim.Choice(rng, ips))
+					} else {
+						p = packet.NewARPReply(sim.Choice(rng, macs), sim.Choice(rng, ips),
+							sim.Choice(rng, macs), sim.Choice(rng, ips))
+					}
+				}
+				pid++
+				inPort := uint64(rng.Intn(4) + 1)
+				now := sched.Now()
+				feed(Event{Kind: KindArrival, Time: now, PacketID: pid, Packet: p, InPort: inPort})
+				switch rng.Intn(3) {
+				case 0:
+					feed(Event{Kind: KindEgress, Time: now, PacketID: pid, Packet: p,
+						InPort: inPort, Dropped: true})
+				default:
+					feed(Event{Kind: KindEgress, Time: now, PacketID: pid, Packet: p,
+						InPort: inPort, OutPort: uint64(rng.Intn(4) + 1)})
+				}
+			}
+			sched.RunFor(time.Minute) // let stragglers time out
+
+			if len(indexed) != len(scanned) {
+				t.Fatalf("indexed saw %d violations, scanned saw %d", len(indexed), len(scanned))
+			}
+			// Order within one event is map-iteration dependent, so
+			// compare multisets.
+			count := map[string]int{}
+			for _, s := range indexed {
+				count[s]++
+			}
+			for _, s := range scanned {
+				count[s]--
+				if count[s] < 0 {
+					t.Fatalf("scanned engine produced extra violation %s", s)
+				}
+			}
+			for s, n := range count {
+				if n != 0 {
+					t.Fatalf("violation multiset mismatch at %s (%+d)", s, n)
+				}
+			}
+			if mi.ActiveInstances() != ms.ActiveInstances() {
+				t.Fatalf("live instances differ: indexed=%d scanned=%d",
+					mi.ActiveInstances(), ms.ActiveInstances())
+			}
+			if err := mi.SelfCheck(); err != nil {
+				t.Fatalf("indexed engine invariants: %v", err)
+			}
+			if err := ms.SelfCheck(); err != nil {
+				t.Fatalf("scanning engine invariants: %v", err)
+			}
+		})
+	}
+}

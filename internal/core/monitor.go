@@ -1,0 +1,629 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"switchmon/internal/packet"
+	"switchmon/internal/property"
+	"switchmon/internal/sim"
+)
+
+// Mode is the side-effect control knob (Feature 9): does monitor state
+// update inline with forwarding, or split from it?
+type Mode uint8
+
+// Processing modes.
+const (
+	// Inline applies every event to monitor state before HandleEvent
+	// returns — forwarding pays the update latency, state never lags.
+	Inline Mode = iota
+	// Split queues events; state is updated when Flush is called. The
+	// forwarding path is nearly free, but monitor state lags behind the
+	// traffic, which can produce monitor errors — exactly the trade-off
+	// the paper says switch designs should expose.
+	Split
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case Inline:
+		return "inline"
+	case Split:
+		return "split"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// Config configures a Monitor.
+type Config struct {
+	Mode       Mode
+	Provenance ProvLevel
+	// OnViolation receives each violation report; nil means violations
+	// are only counted.
+	OnViolation func(*Violation)
+	// DisableIndex forces full scans of the instance store instead of
+	// keyed lookups. It exists for differential testing (indexed and
+	// scanning engines must agree) and to quantify what indexing buys.
+	DisableIndex bool
+	// SplitFlushLimit caps the pending queue in Split mode; 0 means
+	// unbounded. When the cap is hit, the oldest events are dropped and
+	// counted — modeling a switch whose slow-path update queue overflows.
+	SplitFlushLimit int
+	// MaxInstances caps the live instance population; 0 means unbounded.
+	// When a new instance would exceed the cap, the oldest live instance
+	// is evicted (and counted) — the memory-bounding answer to the
+	// Sec. 3.3 scalability concern. Eviction trades completeness for
+	// bounded state: an evicted instance's violation, if any, is lost.
+	MaxInstances int
+}
+
+// Stats counts monitor activity. Retrieve a snapshot with Monitor.Stats.
+type Stats struct {
+	// Events is the number of events applied to monitor state.
+	Events uint64
+	// Created counts instances created at stage zero.
+	Created uint64
+	// Advanced counts stage advances (excluding creation).
+	Advanced uint64
+	// Violations counts completed patterns.
+	Violations uint64
+	// Discharged counts instances removed by obligation guards or by a
+	// negative observation seeing its awaited event.
+	Discharged uint64
+	// Expired counts instances removed by a positive-stage window lapsing.
+	Expired uint64
+	// Deduped counts events that matched into an already-live identical
+	// instance.
+	Deduped uint64
+	// Refreshed counts window-deadline refreshes caused by dedup hits.
+	Refreshed uint64
+	// Suppressed counts instances dropped (at entry or while waiting)
+	// because a sticky guard permanently discharged their identity.
+	Suppressed uint64
+	// Evicted counts instances removed by the MaxInstances cap.
+	Evicted uint64
+	// DroppedEvents counts split-mode queue overflow drops.
+	DroppedEvents uint64
+}
+
+// instance is one partially completed violation pattern (Feature 8's
+// "instances").
+type instance struct {
+	id      uint64
+	propIdx int
+	cp      *compiledProp
+	// stage is the observation the instance is waiting to satisfy.
+	stage   int
+	binds   bindings
+	packets []PacketID
+	history []ProvRecord
+	timer   *sim.Timer
+	// count and seen track progress of a counting stage (MinCount > 1);
+	// both reset when the instance enters a new stage.
+	count int
+	seen  map[packet.Value]bool
+	// deadlineNegative records what the pending timer means: advance
+	// (negative observation) or expire (window).
+	deadlineNegative bool
+	lastEventSeq     uint64
+	idxKeys          []string
+	sig              string
+	filed            bool
+}
+
+// bucket holds the instances of one property waiting at one stage.
+type bucket struct {
+	all   map[uint64]*instance
+	keyed map[string]map[uint64]*instance
+	bySig map[string]*instance
+	// suppressed holds instance signatures permanently discharged by
+	// sticky guards; entering instances with these signatures are dropped.
+	suppressed map[string]bool
+}
+
+func newBucket() *bucket {
+	return &bucket{
+		all:        map[uint64]*instance{},
+		keyed:      map[string]map[uint64]*instance{},
+		bySig:      map[string]*instance{},
+		suppressed: map[string]bool{},
+	}
+}
+
+// Monitor is the property-monitoring engine. It is single-threaded by
+// design: the dataplane simulator drives it from one goroutine, matching
+// how a switch pipeline stage would execute.
+type Monitor struct {
+	sched   *sim.Scheduler
+	cfg     Config
+	props   []*compiledProp
+	buckets map[int][]*bucket // propIdx -> per-stage buckets
+	nextID  uint64
+	seq     uint64
+	pending []Event
+	stats   Stats
+	// evictQueue holds instances in creation order for MaxInstances
+	// eviction; entries may be stale (already removed).
+	evictQueue []*instance
+	live       int
+}
+
+// NewMonitor creates a monitor driven by the given scheduler's clock.
+func NewMonitor(sched *sim.Scheduler, cfg Config) *Monitor {
+	return &Monitor{sched: sched, cfg: cfg, buckets: map[int][]*bucket{}}
+}
+
+// AddProperty compiles and installs a property.
+func (m *Monitor) AddProperty(p *property.Property) error {
+	cp, err := compile(p)
+	if err != nil {
+		return err
+	}
+	idx := len(m.props)
+	m.props = append(m.props, cp)
+	bs := make([]*bucket, len(cp.stages))
+	for i := range bs {
+		bs[i] = newBucket()
+	}
+	m.buckets[idx] = bs
+	return nil
+}
+
+// Properties returns the names of installed properties.
+func (m *Monitor) Properties() []string {
+	names := make([]string, len(m.props))
+	for i, cp := range m.props {
+		names[i] = cp.prop.Name
+	}
+	return names
+}
+
+// Stats returns a snapshot of the activity counters.
+func (m *Monitor) Stats() Stats { return m.stats }
+
+// ActiveInstances reports the number of live instances — the quantity
+// that determines Varanus's pipeline depth (Sec. 3.3) and this engine's
+// memory footprint.
+func (m *Monitor) ActiveInstances() int {
+	n := 0
+	for _, bs := range m.buckets {
+		for _, b := range bs {
+			n += len(b.all)
+		}
+	}
+	return n
+}
+
+// PendingEvents reports the split-mode queue length.
+func (m *Monitor) PendingEvents() int { return len(m.pending) }
+
+// HandleEvent feeds one event to the monitor. In Inline mode the event is
+// applied immediately; in Split mode it is queued for Flush.
+func (m *Monitor) HandleEvent(e Event) {
+	if m.cfg.Mode == Split {
+		if m.cfg.SplitFlushLimit > 0 && len(m.pending) >= m.cfg.SplitFlushLimit {
+			// Overflow: drop the oldest half, as a slow path under
+			// pressure would.
+			drop := len(m.pending) / 2
+			m.stats.DroppedEvents += uint64(drop)
+			m.pending = append(m.pending[:0], m.pending[drop:]...)
+		}
+		m.pending = append(m.pending, e)
+		return
+	}
+	m.apply(&e)
+}
+
+// Flush applies all queued events (Split mode). It reports how many were
+// applied.
+func (m *Monitor) Flush() int {
+	n := len(m.pending)
+	for i := range m.pending {
+		m.apply(&m.pending[i])
+	}
+	m.pending = m.pending[:0]
+	return n
+}
+
+// apply runs one event through every property.
+func (m *Monitor) apply(e *Event) {
+	m.stats.Events++
+	m.seq++
+	seq := m.seq
+	for pi, cp := range m.props {
+		bs := m.buckets[pi]
+		m.seedSuppressions(cp, bs, e)
+		// Walk pending stages from the deepest back to 1 so an instance
+		// advanced by this event is not advanced again, then consider
+		// creating a fresh instance at stage 0.
+		for si := len(cp.stages) - 1; si >= 1; si-- {
+			b := bs[si]
+			if len(b.all) == 0 {
+				continue
+			}
+			cs := &cp.stages[si]
+			m.matchStage(pi, si, cs, b, e, seq)
+		}
+		cs0 := &cp.stages[0]
+		if stagePatternMatches(cs0, e, nil, nil) {
+			m.createInstance(pi, cp, e, seq)
+		}
+	}
+}
+
+// candidates yields the instances an event could advance at a stage: the
+// union of the index groups' keyed lookups, or the whole bucket when the
+// stage has no index schema (or indexing is disabled).
+func (m *Monitor) candidates(cs *compiledStage, b *bucket, e *Event) map[uint64]*instance {
+	if m.cfg.DisableIndex || (len(cs.indexGroups) == 0 && !cs.pidIndex) {
+		return b.all
+	}
+	keys := eventIndexKeys(cs, e)
+	switch len(keys) {
+	case 0:
+		return nil
+	case 1:
+		return b.keyed[keys[0]]
+	}
+	union := map[uint64]*instance{}
+	for _, k := range keys {
+		for id, inst := range b.keyed[k] {
+			union[id] = inst
+		}
+	}
+	return union
+}
+
+// matchStage advances, discharges, or leaves alone the instances waiting
+// at one stage for one event.
+func (m *Monitor) matchStage(pi, si int, cs *compiledStage, b *bucket, e *Event, seq uint64) {
+	st := cs.st
+	// Pass 1: pattern matches. For positive stages a match advances; for
+	// negative stages the awaited event arrived in time, so the instance
+	// is discharged without violation.
+	var acted []*instance
+	for _, inst := range m.candidates(cs, b, e) {
+		if inst.lastEventSeq == seq {
+			continue
+		}
+		if stagePatternMatches(cs, e, inst.binds, inst.packets) {
+			acted = append(acted, inst)
+		}
+	}
+	for _, inst := range acted {
+		inst.lastEventSeq = seq
+		if st.Negative {
+			m.remove(inst)
+			m.stats.Discharged++
+			continue
+		}
+		if st.MinCount > 1 {
+			// Counting stage (quantitative extension): accumulate until
+			// the threshold is reached, then advance.
+			if st.CountDistinct != 0 {
+				v, ok := e.Field(st.CountDistinct)
+				if !ok || inst.seen[v] {
+					continue
+				}
+				if inst.seen == nil {
+					inst.seen = map[packet.Value]bool{}
+				}
+				inst.seen[v] = true
+			}
+			inst.count++
+			if inst.count < st.MinCount {
+				continue
+			}
+		}
+		m.advance(inst, e)
+	}
+	// Pass 2: obligation guards (Feature 4). Each guard has its own index
+	// keys; guards without equality-on-variable predicates fall back to a
+	// bucket scan.
+	if len(cs.guardIdx) == 0 {
+		return
+	}
+	var discharged []*instance
+	for gi := range cs.guardIdx {
+		g := &cs.guardIdx[gi]
+		if !classMatches(g.guard.Class, e) {
+			continue
+		}
+		cands := b.all
+		if !m.cfg.DisableIndex && len(g.eq) > 0 {
+			key, ok := guardEventKey(gi, g, e)
+			if !ok {
+				continue
+			}
+			cands = b.keyed[key]
+		}
+		for _, inst := range cands {
+			if inst.lastEventSeq == seq {
+				continue
+			}
+			if guardMatches(g.guard, e, inst.binds) {
+				inst.lastEventSeq = seq
+				discharged = append(discharged, inst)
+			}
+		}
+	}
+	for _, inst := range discharged {
+		m.remove(inst)
+		m.stats.Discharged++
+	}
+}
+
+// createInstance starts a new instance from a stage-0 match.
+func (m *Monitor) createInstance(pi int, cp *compiledProp, e *Event, seq uint64) {
+	m.nextID++
+	inst := &instance{
+		id:           m.nextID,
+		propIdx:      pi,
+		cp:           cp,
+		stage:        0,
+		binds:        bindings{},
+		packets:      make([]PacketID, len(cp.stages)),
+		lastEventSeq: seq,
+	}
+	m.stats.Created++
+	m.advance(inst, e)
+}
+
+// advance applies the event's bindings and moves the instance forward,
+// reporting a violation if the pattern is complete.
+func (m *Monitor) advance(inst *instance, e *Event) {
+	cs := &inst.cp.stages[inst.stage]
+	if inst.stage > 0 {
+		m.remove(inst) // leaves timers canceled and indexes clean
+		m.stats.Advanced++
+	}
+	for _, bd := range cs.st.Binds {
+		v, ok := e.Field(bd.Field)
+		if !ok {
+			// stagePatternMatches checked availability; this is a bug
+			// guard, not a runtime path.
+			panic(fmt.Sprintf("core: bind field %v unavailable after match", bd.Field))
+		}
+		inst.binds[bd.Var] = v
+	}
+	inst.packets[inst.stage] = e.PacketID
+	if m.cfg.Provenance == ProvFull {
+		inst.history = append(inst.history, ProvRecord{
+			Stage: inst.stage,
+			Label: cs.st.Label,
+			Time:  e.Time,
+			Event: e.Summary(),
+		})
+	}
+	inst.stage++
+	inst.count = 0
+	inst.seen = nil
+	if inst.stage == len(inst.cp.stages) {
+		m.violate(inst, e.Time, e.Summary())
+		return
+	}
+	m.enter(inst)
+}
+
+// advanceByTimeout is the Feature 7 path: a negative observation's
+// deadline fired with no discharging event, which *advances* the instance.
+func (m *Monitor) advanceByTimeout(inst *instance) {
+	cs := &inst.cp.stages[inst.stage]
+	m.remove(inst)
+	m.stats.Advanced++
+	now := m.sched.Now()
+	if m.cfg.Provenance == ProvFull {
+		inst.history = append(inst.history, ProvRecord{
+			Stage: inst.stage,
+			Label: cs.st.Label,
+			Time:  now,
+			Event: "timeout",
+		})
+	}
+	inst.stage++
+	inst.count = 0
+	inst.seen = nil
+	trigger := fmt.Sprintf("timeout: no event matched %q within the window", cs.st.Label)
+	if inst.stage == len(inst.cp.stages) {
+		m.violate(inst, now, trigger)
+		return
+	}
+	m.enter(inst)
+}
+
+// enter files the instance under its pending stage, handling dedup /
+// refresh and arming deadlines.
+func (m *Monitor) enter(inst *instance) {
+	cs := &inst.cp.stages[inst.stage]
+	b := m.buckets[inst.propIdx][inst.stage]
+	sig := inst.cp.signature(inst.stage, inst.binds, inst.packets)
+	if b.suppressed[sig] {
+		m.stats.Suppressed++
+		return
+	}
+	if exist, ok := b.bySig[sig]; ok {
+		// An identical instance is already waiting. For a windowed
+		// positive stage the new observation refreshes the timer
+		// (Feature 3); for a negative stage the original deadline is
+		// preserved (Feature 7's non-refresh rule). Counting stages also
+		// keep their original deadline: their window is a measurement
+		// interval anchored at stage entry, not a sliding idle timeout —
+		// refreshing it would turn "N events within T" into "N events
+		// with gaps under T".
+		m.stats.Deduped++
+		if !cs.st.Negative && cs.st.MinCount <= 1 {
+			if d, ok := m.windowOf(cs, exist.binds); ok {
+				if exist.timer != nil {
+					exist.timer.Stop()
+				}
+				ex := exist
+				exist.timer = m.sched.After(d, func() { m.expire(ex) })
+				m.stats.Refreshed++
+			}
+		}
+		return
+	}
+	if m.cfg.MaxInstances > 0 {
+		if m.live >= m.cfg.MaxInstances {
+			m.evictOldest()
+		}
+		// The FIFO is only maintained under a cap; an unbounded monitor
+		// must not accumulate queue entries forever.
+		m.evictQueue = append(m.evictQueue, inst)
+	}
+	inst.sig = sig
+	inst.filed = true
+	m.live++
+	b.bySig[sig] = inst
+	b.all[inst.id] = inst
+	inst.idxKeys = instanceIndexKeys(cs, inst.binds, inst.packets)
+	for _, key := range inst.idxKeys {
+		sub := b.keyed[key]
+		if sub == nil {
+			sub = map[uint64]*instance{}
+			b.keyed[key] = sub
+		}
+		sub[inst.id] = inst
+	}
+	if d, ok := m.windowOf(cs, inst.binds); ok {
+		in := inst
+		if cs.st.Negative {
+			inst.deadlineNegative = true
+			inst.timer = m.sched.After(d, func() { m.advanceByTimeout(in) })
+		} else {
+			inst.deadlineNegative = false
+			inst.timer = m.sched.After(d, func() { m.expire(in) })
+		}
+	}
+}
+
+// windowOf resolves a stage's window, static or variable.
+func (m *Monitor) windowOf(cs *compiledStage, env bindings) (time.Duration, bool) {
+	if cs.st.Window > 0 {
+		return cs.st.Window, true
+	}
+	if cs.st.WindowVar != "" {
+		v, ok := env[cs.st.WindowVar]
+		if !ok || v.IsStr() {
+			return 0, false
+		}
+		return time.Duration(v.Uint64()) * time.Second, true
+	}
+	return 0, false
+}
+
+// expire removes an instance whose positive-stage window lapsed: the
+// monitored obligation no longer applies (Feature 3).
+func (m *Monitor) expire(inst *instance) {
+	m.remove(inst)
+	m.stats.Expired++
+}
+
+// remove unfiles the instance and cancels its deadline.
+func (m *Monitor) remove(inst *instance) {
+	if inst.timer != nil {
+		inst.timer.Stop()
+		inst.timer = nil
+	}
+	if inst.filed {
+		inst.filed = false
+		m.live--
+	}
+	b := m.buckets[inst.propIdx][inst.stage]
+	delete(b.all, inst.id)
+	if inst.sig != "" {
+		if b.bySig[inst.sig] == inst {
+			delete(b.bySig, inst.sig)
+		}
+		inst.sig = ""
+	}
+	for _, key := range inst.idxKeys {
+		if sub := b.keyed[key]; sub != nil {
+			delete(sub, inst.id)
+			if len(sub) == 0 {
+				delete(b.keyed, key)
+			}
+		}
+	}
+	inst.idxKeys = nil
+}
+
+// seedSuppressions applies sticky guards (permanent discharge): any event
+// matching one marks the synthesized instance identity as suppressed and
+// removes a live instance with that identity.
+func (m *Monitor) seedSuppressions(cp *compiledProp, bs []*bucket, e *Event) {
+	for si := range cp.stages {
+		cs := &cp.stages[si]
+		if len(cs.stickyGuards) == 0 {
+			continue
+		}
+		for _, sg := range cs.stickyGuards {
+			if !classMatches(sg.guard.Class, e) {
+				continue
+			}
+			env := make(bindings, len(sg.varFields))
+			ok := true
+			for v, f := range sg.varFields {
+				val, present := e.Field(f)
+				if !present {
+					ok = false
+					break
+				}
+				env[v] = val
+			}
+			if !ok || !predsHold(sg.rest, e, env) {
+				continue
+			}
+			sig := cp.signature(si, env, nil)
+			b := bs[si]
+			if !b.suppressed[sig] {
+				b.suppressed[sig] = true
+			}
+			if inst, live := b.bySig[sig]; live {
+				m.remove(inst)
+				m.stats.Suppressed++
+			}
+		}
+	}
+}
+
+// evictOldest removes the longest-lived filed instance (MaxInstances).
+func (m *Monitor) evictOldest() {
+	for len(m.evictQueue) > 0 {
+		inst := m.evictQueue[0]
+		m.evictQueue[0] = nil
+		m.evictQueue = m.evictQueue[1:]
+		if !inst.filed {
+			continue // stale entry: already advanced or removed
+		}
+		m.remove(inst)
+		m.stats.Evicted++
+		return
+	}
+}
+
+// violate emits a report.
+func (m *Monitor) violate(inst *instance, at time.Time, trigger string) {
+	m.stats.Violations++
+	if m.cfg.OnViolation == nil {
+		return
+	}
+	v := &Violation{
+		Property: inst.cp.prop.Name,
+		Time:     at,
+		Trigger:  trigger,
+	}
+	if m.cfg.Provenance >= ProvLimited {
+		v.Bindings = make(map[property.Var]packet.Value, len(inst.binds))
+		for k, val := range inst.binds {
+			v.Bindings[k] = val
+		}
+	}
+	if m.cfg.Provenance == ProvFull {
+		v.History = append([]ProvRecord(nil), inst.history...)
+	}
+	m.cfg.OnViolation(v)
+}

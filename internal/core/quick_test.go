@@ -1,0 +1,134 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"switchmon/internal/packet"
+	"switchmon/internal/property"
+)
+
+// genValues converts fuzz input into a value slice mixing numbers and
+// strings.
+func genValues(nums []uint64, strs []string) []packet.Value {
+	var vals []packet.Value
+	for _, n := range nums {
+		vals = append(vals, packet.Num(n))
+	}
+	for _, s := range strs {
+		vals = append(vals, packet.Str(s))
+	}
+	return vals
+}
+
+// Property: encodeValues is injective — equal encodings imply equal value
+// slices. The instance indexes and dedup signatures depend on this.
+func TestEncodeValuesInjective(t *testing.T) {
+	f := func(n1 []uint64, s1 []string, n2 []uint64, s2 []string) bool {
+		a, b := genValues(n1, s1), genValues(n2, s2)
+		ea, eb := encodeValues(a), encodeValues(b)
+		if reflect.DeepEqual(a, b) {
+			return ea == eb
+		}
+		return ea != eb
+	}
+	cfg := &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Adversarial boundary cases for the encoding: values whose string
+// content embeds the encoding's own delimiters.
+func TestEncodeValuesDelimiterSafety(t *testing.T) {
+	cases := [][2][]packet.Value{
+		{{packet.Str("a|b")}, {packet.Str("a"), packet.Str("b")}},
+		{{packet.Str("n1")}, {packet.Num(1)}},
+		{{packet.Str("")}, {}},
+		{{packet.Str("s1:x")}, {packet.Str("s1"), packet.Str("x")}},
+		{{packet.Num(0)}, {}},
+		{{packet.Str("3:abc")}, {packet.Str("3"), packet.Str("abc")}},
+	}
+	for _, c := range cases {
+		if encodeValues(c[0]) == encodeValues(c[1]) {
+			t.Errorf("collision: %v vs %v -> %q", c[0], c[1], encodeValues(c[0]))
+		}
+	}
+}
+
+// Property: instance signatures separate stage, bindings, and identity
+// packets.
+func TestSignatureSeparatesComponents(t *testing.T) {
+	p := property.CatalogByName(property.DefaultParams(), "nat-reverse")
+	cp, err := compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	envA := bindings{"A": packet.Num(1), "B": packet.Num(2)}
+	envB := bindings{"A": packet.Num(1), "B": packet.Num(3)}
+	pk1 := []PacketID{7, 0, 0, 0}
+	pk2 := []PacketID{8, 0, 0, 0}
+	if cp.signature(1, envA, pk1) == cp.signature(1, envB, pk1) {
+		t.Error("signature ignores bindings")
+	}
+	if cp.signature(1, envA, pk1) == cp.signature(2, envA, pk1) {
+		t.Error("signature ignores stage")
+	}
+	// Stage 0 is identity-relevant for nat-reverse (stage 1 references it).
+	if cp.signature(1, envA, pk1) == cp.signature(1, envA, pk2) {
+		t.Error("signature ignores identity packets")
+	}
+	// Identity packets of *future* stages must not contribute.
+	pk3 := []PacketID{7, 0, 9, 0}
+	if cp.signature(1, envA, pk1) != cp.signature(1, envA, pk3) {
+		t.Error("signature leaks future-stage packets")
+	}
+}
+
+// Property: the symmetric hash operand is permutation-invariant over its
+// field values.
+func TestHashValuesPermutationInvariant(t *testing.T) {
+	f := func(nums []uint64, seed int64) bool {
+		vals := genValues(nums, nil)
+		shuffled := append([]packet.Value(nil), vals...)
+		r := rand.New(rand.NewSource(seed))
+		r.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		return packet.HashValues(vals) == packet.HashValues(shuffled)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: after any random event stream, the engine's invariants hold.
+func TestSelfCheckAfterRandomStream(t *testing.T) {
+	props := []*property.Property{
+		property.CatalogByName(property.DefaultParams(), "firewall-timeout"),
+		property.CatalogByName(property.DefaultParams(), "portscan-detect"),
+		property.CatalogByName(property.DefaultParams(), "lb-sticky"),
+	}
+	for seed := int64(1); seed <= 5; seed++ {
+		h := newHarness(t, Config{MaxInstances: 64}, props...)
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 500; i++ {
+			src := packet.IPv4FromUint32(0x0a000000 + uint32(rng.Intn(32)))
+			dst := packet.IPv4FromUint32(0xcb007100 + uint32(rng.Intn(8)))
+			p := packet.NewTCP(macA, macB, src, dst,
+				uint16(1000+rng.Intn(64)), uint16(rng.Intn(1000)),
+				packet.TCPFlags(rng.Intn(64)), nil)
+			if rng.Intn(3) == 0 {
+				h.forwardDropped(p, uint64(rng.Intn(3)+1))
+			} else {
+				h.forward(p, uint64(rng.Intn(3)+1), uint64(rng.Intn(3)+1))
+			}
+			if rng.Intn(10) == 0 {
+				h.advance(1000)
+			}
+		}
+		if err := h.mon.SelfCheck(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}

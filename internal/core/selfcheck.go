@@ -1,0 +1,60 @@
+package core
+
+import "fmt"
+
+// SelfCheck verifies the engine's internal invariants: every live
+// instance is consistently filed across the primary store, the signature
+// map, and each of its index keys; indexes hold no ghosts; and the live
+// counter matches reality. Tests call it after workloads; it is cheap
+// enough to run in differential tests but not called on the hot path.
+func (m *Monitor) SelfCheck() error {
+	filed := 0
+	for pi, bs := range m.buckets {
+		for si, b := range bs {
+			where := fmt.Sprintf("property %d stage %d", pi, si)
+			for id, inst := range b.all {
+				if inst.id != id {
+					return fmt.Errorf("core: %s: instance filed under wrong id %d", where, id)
+				}
+				if !inst.filed {
+					return fmt.Errorf("core: %s: instance %d in store but not marked filed", where, id)
+				}
+				if inst.stage != si {
+					return fmt.Errorf("core: %s: instance %d thinks it is at stage %d", where, id, inst.stage)
+				}
+				if inst.sig == "" {
+					return fmt.Errorf("core: %s: instance %d has no signature", where, id)
+				}
+				if got := b.bySig[inst.sig]; got != inst {
+					return fmt.Errorf("core: %s: signature map does not point back to instance %d", where, id)
+				}
+				for _, key := range inst.idxKeys {
+					sub := b.keyed[key]
+					if sub == nil || sub[id] != inst {
+						return fmt.Errorf("core: %s: instance %d missing from index key %q", where, id, key)
+					}
+				}
+				filed++
+			}
+			for sig, inst := range b.bySig {
+				if b.all[inst.id] != inst {
+					return fmt.Errorf("core: %s: ghost signature %q", where, sig)
+				}
+			}
+			for key, sub := range b.keyed {
+				if len(sub) == 0 {
+					return fmt.Errorf("core: %s: empty index bucket %q not reclaimed", where, key)
+				}
+				for id, inst := range sub {
+					if b.all[id] != inst {
+						return fmt.Errorf("core: %s: ghost instance %d under index key %q", where, id, key)
+					}
+				}
+			}
+		}
+	}
+	if filed != m.live {
+		return fmt.Errorf("core: live counter %d != filed instances %d", m.live, filed)
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"switchmon/internal/packet"
+	"switchmon/internal/property"
+)
+
+// ProvLevel selects how much history a violation report carries —
+// the paper's Feature 10 trade-off between full provenance and
+// performance.
+type ProvLevel uint8
+
+// Provenance levels.
+const (
+	// ProvNone reports only the final trigger event.
+	ProvNone ProvLevel = iota
+	// ProvLimited additionally reports the variable bindings — header
+	// values already retained for matching, so (as the paper observes)
+	// recoverable "without added cost".
+	ProvLimited
+	// ProvFull additionally records every event that advanced the
+	// instance.
+	ProvFull
+)
+
+// String names the level.
+func (l ProvLevel) String() string {
+	switch l {
+	case ProvNone:
+		return "none"
+	case ProvLimited:
+		return "limited"
+	case ProvFull:
+		return "full"
+	default:
+		return fmt.Sprintf("ProvLevel(%d)", uint8(l))
+	}
+}
+
+// ProvRecord is one step of a violation's history (ProvFull only).
+type ProvRecord struct {
+	Stage int
+	Label string
+	Time  time.Time
+	// Event is the summary of the advancing event; "timeout" for negative
+	// observations advanced by their deadline.
+	Event string
+}
+
+// Violation reports one completed violation pattern.
+type Violation struct {
+	Property string
+	Time     time.Time
+	// Trigger describes the final event (or timeout) that completed the
+	// pattern.
+	Trigger string
+	// Bindings holds the instance's variable values (ProvLimited and up).
+	Bindings map[property.Var]packet.Value
+	// History holds per-stage records (ProvFull only).
+	History []ProvRecord
+}
+
+// String renders a human-readable report.
+func (v *Violation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "VIOLATION %s at %s: %s", v.Property, v.Time.Format(time.RFC3339Nano), v.Trigger)
+	if len(v.Bindings) > 0 {
+		vars := make([]string, 0, len(v.Bindings))
+		for k := range v.Bindings {
+			vars = append(vars, string(k))
+		}
+		sort.Strings(vars)
+		parts := make([]string, len(vars))
+		for i, k := range vars {
+			parts[i] = fmt.Sprintf("$%s=%s", k, v.Bindings[property.Var(k)])
+		}
+		fmt.Fprintf(&b, " [%s]", strings.Join(parts, " "))
+	}
+	for _, r := range v.History {
+		fmt.Fprintf(&b, "\n  stage %d (%s) at %s: %s", r.Stage, r.Label, r.Time.Format(time.RFC3339Nano), r.Event)
+	}
+	return b.String()
+}

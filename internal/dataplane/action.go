@@ -1,0 +1,142 @@
+package dataplane
+
+import (
+	"fmt"
+	"time"
+
+	"switchmon/internal/packet"
+)
+
+// ActionKind discriminates rule actions.
+type ActionKind uint8
+
+// Action kinds.
+const (
+	// ActOutput emits the packet on a specific port.
+	ActOutput ActionKind = iota
+	// ActFlood emits the packet on every port except the ingress port.
+	ActFlood
+	// ActDrop explicitly drops the packet (ending the pipeline).
+	ActDrop
+	// ActGoto continues matching at a later table.
+	ActGoto
+	// ActSetField rewrites a header field (NAT and friends).
+	ActSetField
+	// ActController punts the packet to the controller (packet-in).
+	ActController
+	// ActLearn installs a new rule derived from the current packet — the
+	// Open vSwitch "learn" action FAST builds on.
+	ActLearn
+)
+
+// Action is one instruction of a rule. Exactly the fields relevant to its
+// Kind are meaningful.
+type Action struct {
+	Kind  ActionKind
+	Port  PortNo       // ActOutput
+	Table int          // ActGoto
+	Field packet.Field // ActSetField
+	Value packet.Value // ActSetField
+	Learn *LearnSpec   // ActLearn
+}
+
+// Convenience constructors.
+
+// Output returns an action emitting on port.
+func Output(p PortNo) Action { return Action{Kind: ActOutput, Port: p} }
+
+// Flood returns an all-ports-but-ingress action.
+func Flood() Action { return Action{Kind: ActFlood} }
+
+// Drop returns an explicit drop action.
+func Drop() Action { return Action{Kind: ActDrop} }
+
+// Goto returns a continue-at-table action.
+func Goto(table int) Action { return Action{Kind: ActGoto, Table: table} }
+
+// SetField returns a header rewrite action.
+func SetField(f packet.Field, v packet.Value) Action {
+	return Action{Kind: ActSetField, Field: f, Value: v}
+}
+
+// ToController returns a packet-in action.
+func ToController() Action { return Action{Kind: ActController} }
+
+// LearnAction returns a learn action.
+func LearnAction(spec *LearnSpec) Action { return Action{Kind: ActLearn, Learn: spec} }
+
+// LearnMatch is one match-template entry of a learn action: the installed
+// rule will match DstField either against a literal Value or against the
+// triggering packet's FromField value.
+type LearnMatch struct {
+	DstField  packet.Field
+	FromField packet.Field // 0 (FieldInvalid): use Value instead
+	Value     packet.Value
+}
+
+// LearnSpec describes the rule a learn action installs.
+type LearnSpec struct {
+	Table       int
+	Priority    int
+	IdleTimeout time.Duration
+	HardTimeout time.Duration
+	Matches     []LearnMatch
+	// Actions are literal actions for the installed rule.
+	Actions []Action
+	// OutputFromInPort adds an Output action whose port is the triggering
+	// packet's ingress port (the MAC-learning idiom).
+	OutputFromInPort bool
+}
+
+// applySetField rewrites one header field in place. Unsupported fields
+// are rejected: a rule that compiles must be executable.
+func applySetField(p *packet.Packet, f packet.Field, v packet.Value) error {
+	switch f {
+	case packet.FieldEthSrc:
+		if p.Eth == nil {
+			return fmt.Errorf("dataplane: set %v on packet without Ethernet", f)
+		}
+		p.Eth.Src = packet.MACFromUint64(v.Uint64())
+	case packet.FieldEthDst:
+		if p.Eth == nil {
+			return fmt.Errorf("dataplane: set %v on packet without Ethernet", f)
+		}
+		p.Eth.Dst = packet.MACFromUint64(v.Uint64())
+	case packet.FieldIPSrc:
+		if p.IPv4 == nil {
+			return fmt.Errorf("dataplane: set %v on packet without IPv4", f)
+		}
+		p.IPv4.Src = packet.IPv4FromUint32(uint32(v.Uint64()))
+	case packet.FieldIPDst:
+		if p.IPv4 == nil {
+			return fmt.Errorf("dataplane: set %v on packet without IPv4", f)
+		}
+		p.IPv4.Dst = packet.IPv4FromUint32(uint32(v.Uint64()))
+	case packet.FieldSrcPort:
+		switch {
+		case p.TCP != nil:
+			p.TCP.SrcPort = uint16(v.Uint64())
+		case p.UDP != nil:
+			p.UDP.SrcPort = uint16(v.Uint64())
+		default:
+			return fmt.Errorf("dataplane: set %v on packet without L4", f)
+		}
+	case packet.FieldDstPort:
+		switch {
+		case p.TCP != nil:
+			p.TCP.DstPort = uint16(v.Uint64())
+		case p.UDP != nil:
+			p.UDP.DstPort = uint16(v.Uint64())
+		default:
+			return fmt.Errorf("dataplane: set %v on packet without L4", f)
+		}
+	case packet.FieldIPTTL:
+		if p.IPv4 == nil {
+			return fmt.Errorf("dataplane: set %v on packet without IPv4", f)
+		}
+		p.IPv4.TTL = uint8(v.Uint64())
+	default:
+		return fmt.Errorf("dataplane: field %v is not rewritable", f)
+	}
+	return nil
+}

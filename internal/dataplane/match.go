@@ -1,0 +1,98 @@
+// Package dataplane implements the software switch the monitor runs on: a
+// multi-table match-action pipeline in the OpenFlow 1.3 mold, extended
+// with the stateful facilities the paper surveys — an OVS-style learn
+// action (FAST), register arrays (P4/POF), rule timeouts, and full egress
+// instrumentation that, unlike OpenFlow's egress tables, also sees drop
+// decisions (the Feature 5 gap of Sec. 3.2).
+//
+// The switch assigns every arriving packet a PacketID and emits
+// core.Events at ingress and at each forwarding decision; monitors and
+// backends subscribe to that stream.
+package dataplane
+
+import (
+	"fmt"
+	"strings"
+
+	"switchmon/internal/packet"
+)
+
+// PortNo numbers switch ports. Zero is "no port"/wildcard.
+type PortNo uint64
+
+// FieldMatch is one exact-match criterion on a packet field.
+type FieldMatch struct {
+	Field packet.Field
+	Value packet.Value
+}
+
+// Match selects packets for a rule: optional ingress-port constraint plus
+// exact matches on any registered packet fields. An empty Match matches
+// everything (a table-miss rule has empty match and lowest priority).
+//
+// OutPort is meaningful only in egress tables (OpenFlow 1.5-style): it
+// matches the output port the ingress pipeline chose. A rule with OutPort
+// set never matches in the ingress pipeline.
+type Match struct {
+	InPort  PortNo // 0 = any
+	OutPort PortNo // 0 = any; egress tables only
+	Fields  []FieldMatch
+}
+
+// MatchesPacket reports whether the packet (arriving on inPort) satisfies
+// the match in the ingress pipeline. A field the packet does not carry
+// never matches; OutPort-constrained rules never match at ingress.
+func (m Match) MatchesPacket(p *packet.Packet, inPort PortNo) bool {
+	if m.OutPort != 0 {
+		return false
+	}
+	return m.matchesCommon(p, inPort)
+}
+
+// MatchesEgress reports whether the match holds in the egress pipeline,
+// where the chosen output port is available as metadata.
+func (m Match) MatchesEgress(p *packet.Packet, inPort, outPort PortNo) bool {
+	if m.OutPort != 0 && m.OutPort != outPort {
+		return false
+	}
+	return m.matchesCommon(p, inPort)
+}
+
+func (m Match) matchesCommon(p *packet.Packet, inPort PortNo) bool {
+	if m.InPort != 0 && m.InPort != inPort {
+		return false
+	}
+	for _, fm := range m.Fields {
+		v, ok := p.Field(fm.Field)
+		if !ok || v != fm.Value {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the match for diagnostics.
+func (m Match) String() string {
+	var parts []string
+	if m.InPort != 0 {
+		parts = append(parts, fmt.Sprintf("in_port=%d", m.InPort))
+	}
+	if m.OutPort != 0 {
+		parts = append(parts, fmt.Sprintf("out_port=%d", m.OutPort))
+	}
+	for _, fm := range m.Fields {
+		parts = append(parts, fmt.Sprintf("%s=%s", fm.Field, fm.Value))
+	}
+	if len(parts) == 0 {
+		return "any"
+	}
+	return strings.Join(parts, ",")
+}
+
+// MatchOn builds a Match on packet fields only.
+func MatchOn(fields ...FieldMatch) Match { return Match{Fields: fields} }
+
+// FM is shorthand for a numeric FieldMatch.
+func FM(f packet.Field, v uint64) FieldMatch {
+	return FieldMatch{Field: f, Value: packet.Num(v)}
+}

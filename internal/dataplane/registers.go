@@ -1,0 +1,53 @@
+package dataplane
+
+import "fmt"
+
+// RegisterFile models P4/POF-style per-switch register arrays: named,
+// fixed-size arrays of 64-bit cells with O(1) indexed access. This is the
+// "more rapid state mechanism" Sec. 3.3 says a scalable monitor
+// implementation needs, in contrast to OpenFlow rule modifications.
+type RegisterFile struct {
+	arrays map[string][]uint64
+	// Ops counts register accesses (reads+writes) for the state-update
+	// benchmarks.
+	Ops uint64
+}
+
+// NewRegisterFile returns an empty register file.
+func NewRegisterFile() *RegisterFile {
+	return &RegisterFile{arrays: map[string][]uint64{}}
+}
+
+// Define allocates a named array of the given size. Redefining a name
+// replaces the array (zeroed).
+func (rf *RegisterFile) Define(name string, size int) {
+	if size <= 0 {
+		panic(fmt.Sprintf("dataplane: register array %q with size %d", name, size))
+	}
+	rf.arrays[name] = make([]uint64, size)
+}
+
+// Size reports the array size, or 0 if undefined.
+func (rf *RegisterFile) Size(name string) int { return len(rf.arrays[name]) }
+
+// Read returns the cell value. Out-of-range or undefined access panics:
+// register programs are compiled, not user input.
+func (rf *RegisterFile) Read(name string, idx int) uint64 {
+	rf.Ops++
+	return rf.arrays[name][idx]
+}
+
+// Write stores into a cell.
+func (rf *RegisterFile) Write(name string, idx int, v uint64) {
+	rf.Ops++
+	rf.arrays[name][idx] = v
+}
+
+// IndexOf reduces a hash to a valid index for the array.
+func (rf *RegisterFile) IndexOf(name string, hash uint64) int {
+	n := len(rf.arrays[name])
+	if n == 0 {
+		panic(fmt.Sprintf("dataplane: register array %q undefined", name))
+	}
+	return int(hash % uint64(n))
+}

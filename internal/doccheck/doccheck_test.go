@@ -1,0 +1,106 @@
+// Package doccheck enforces the repository's documentation bar: every
+// exported declaration in every library package must carry a doc comment.
+package doccheck
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// libraryPackages are the directories whose exported API must be fully
+// documented (cmd mains and examples are exempt: their doc is the package
+// comment).
+var libraryPackages = []string{
+	"sim", "packet", "property", "dsl", "core",
+	"dataplane", "backend", "varanus", "apps", "netsim", "trace", "tables",
+}
+
+func TestEveryExportedIdentifierIsDocumented(t *testing.T) {
+	root := "../.."
+	for _, pkg := range libraryPackages {
+		dir := filepath.Join(root, "internal", pkg)
+		fset := token.NewFileSet()
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("%s: %v", pkg, err)
+		}
+		for _, entry := range entries {
+			name := entry.Name()
+			if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			path := filepath.Join(dir, name)
+			file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if err != nil {
+				t.Fatalf("parse %s: %v", path, err)
+			}
+			checkFile(t, fset, file)
+		}
+	}
+}
+
+// exportedReceiver reports whether a method's receiver type is exported.
+func exportedReceiver(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	typ := recv.List[0].Type
+	for {
+		switch tt := typ.(type) {
+		case *ast.StarExpr:
+			typ = tt.X
+		case *ast.IndexExpr:
+			typ = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+func checkFile(t *testing.T, fset *token.FileSet, file *ast.File) {
+	report := func(pos token.Pos, what string) {
+		t.Errorf("%s: exported %s lacks a doc comment", fset.Position(pos), what)
+	}
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			// Methods on unexported receiver types are not part of the
+			// public API even when their names are exported (interface
+			// implementations like heap.Interface).
+			if d.Recv != nil && !exportedReceiver(d.Recv) {
+				continue
+			}
+			if d.Name.IsExported() && d.Doc == nil {
+				report(d.Pos(), "function "+d.Name.Name)
+			}
+		case *ast.GenDecl:
+			// A doc comment on the grouped declaration covers its specs
+			// (const blocks, var blocks).
+			groupDocumented := d.Doc != nil
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+						report(s.Pos(), "type "+s.Name.Name)
+					}
+				case *ast.ValueSpec:
+					if groupDocumented || s.Doc != nil || s.Comment != nil {
+						continue
+					}
+					for _, n := range s.Names {
+						if n.IsExported() {
+							report(s.Pos(), "value "+n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package dsl
+
+import (
+	"fmt"
+	"strings"
+
+	"switchmon/internal/property"
+)
+
+// Format renders a property in canonical DSL text. Parsing the output
+// yields an equal AST (numeric literals are printed in decimal, so IP/MAC
+// sugar used in hand-written sources is normalized away).
+func Format(p *property.Property) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "property %q {\n", p.Name)
+	if p.Description != "" {
+		fmt.Fprintf(&b, "  description %q\n", p.Description)
+	}
+	for _, s := range p.Stages {
+		b.WriteString("\n")
+		formatStage(&b, s)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// FormatAll renders multiple properties separated by blank lines.
+func FormatAll(props []*property.Property) string {
+	parts := make([]string, len(props))
+	for i, p := range props {
+		parts[i] = Format(p)
+	}
+	return strings.Join(parts, "\n")
+}
+
+func classWord(c property.EventClass) string {
+	switch c {
+	case property.Arrival:
+		return "arrival"
+	case property.Egress:
+		return "egress"
+	case property.OutOfBand:
+		return "oob"
+	default:
+		return "packet"
+	}
+}
+
+func formatStage(b *strings.Builder, s property.Stage) {
+	kw := "on"
+	if s.Negative {
+		kw = "unless"
+	}
+	fmt.Fprintf(b, "  %s %s %q", kw, classWord(s.Class), s.Label)
+	if s.Window > 0 {
+		fmt.Fprintf(b, " within %s", s.Window)
+	}
+	if s.WindowVar != "" {
+		fmt.Fprintf(b, " within $%s", s.WindowVar)
+	}
+	if s.SamePacketAs >= 0 {
+		fmt.Fprintf(b, " same packet as %d", s.SamePacketAs)
+	}
+	if s.MinCount > 0 {
+		fmt.Fprintf(b, " count %d", s.MinCount)
+		if s.CountDistinct != 0 {
+			fmt.Fprintf(b, " distinct %s", s.CountDistinct)
+		}
+	}
+	b.WriteString(" {\n")
+	for _, pr := range s.Preds {
+		fmt.Fprintf(b, "    match %s\n", formatPred(pr))
+	}
+	if len(s.AnyOf) > 0 {
+		groups := make([]string, len(s.AnyOf))
+		for i, g := range s.AnyOf {
+			groups[i] = formatGroup(g)
+		}
+		fmt.Fprintf(b, "    any %s\n", strings.Join(groups, " or "))
+	}
+	for _, bd := range s.Binds {
+		fmt.Fprintf(b, "    bind $%s = %s\n", bd.Var, bd.Field)
+	}
+	for _, g := range s.Until {
+		sticky := ""
+		if g.Sticky {
+			sticky = "sticky "
+		}
+		fmt.Fprintf(b, "    until %s%s %s\n", sticky, classWord(g.Class), formatGroup(g.Preds))
+	}
+	b.WriteString("  }\n")
+}
+
+func formatGroup(preds []property.Pred) string {
+	parts := make([]string, len(preds))
+	for i, pr := range preds {
+		parts[i] = formatPred(pr)
+	}
+	return "{ " + strings.Join(parts, "; ") + " }"
+}
+
+func formatPred(pr property.Pred) string {
+	return fmt.Sprintf("%s %s %s", pr.Field, pr.Op, formatOperand(pr.Arg))
+}
+
+func formatOperand(o property.Operand) string {
+	switch o.Kind {
+	case property.OperandVar:
+		return "$" + string(o.Var)
+	case property.OperandHash:
+		names := make([]string, len(o.Hash.Fields))
+		for i, f := range o.Hash.Fields {
+			names[i] = f.String()
+		}
+		s := fmt.Sprintf("hash(%s) %% %d", strings.Join(names, ", "), o.Hash.Mod)
+		if o.Hash.Base != 0 {
+			s += fmt.Sprintf(" + %d", o.Hash.Base)
+		}
+		return s
+	default:
+		if o.Lit.IsStr() {
+			return fmt.Sprintf("%q", o.Lit.Text())
+		}
+		return fmt.Sprintf("%d", o.Lit.Uint64())
+	}
+}

@@ -1,0 +1,69 @@
+package integration
+
+import (
+	"testing"
+	"time"
+
+	"switchmon/internal/core"
+	"switchmon/internal/dataplane"
+	"switchmon/internal/netsim"
+	"switchmon/internal/property"
+	"switchmon/internal/sim"
+)
+
+// Ping liveness end to end: netsim hosts answer echo requests; a quiet
+// (dead) host leaves the negative observation to fire.
+func pingRig(t *testing.T, serverQuiet bool) (*netsim.Network, *netsim.Host, *int) {
+	t.Helper()
+	sched := sim.NewScheduler()
+	n := netsim.New(sched)
+	n.LinkLatency = time.Millisecond
+	sw := n.AddSwitch("s1", 1)
+	sw.SetMissPolicy(dataplane.MissFlood)
+	client := n.AddHost("client", macA, ipA, sw, 1)
+	server := n.AddHost("server", macB, ipB, sw, 2)
+	server.Quiet = serverQuiet
+
+	viols := 0
+	mon := core.NewMonitor(sched, core.Config{OnViolation: func(*core.Violation) { viols++ }})
+	if err := mon.AddProperty(property.CatalogByName(property.DefaultParams(), "ping-reply-within")); err != nil {
+		t.Fatal(err)
+	}
+	sw.Observe(mon.HandleEvent)
+	return n, client, &viols
+}
+
+func TestPingLivenessHealthyHost(t *testing.T) {
+	n, client, viols := pingRig(t, false)
+	client.Ping(macB, ipB, 9, 1)
+	n.Scheduler().RunFor(5 * time.Second)
+	if *viols != 0 {
+		t.Fatalf("violations = %d, want 0 (host replied)", *viols)
+	}
+	if client.ReceivedCount() != 1 {
+		t.Fatal("client did not get the echo reply")
+	}
+}
+
+func TestPingLivenessDeadHost(t *testing.T) {
+	n, client, viols := pingRig(t, true)
+	client.Ping(macB, ipB, 9, 1)
+	n.Scheduler().RunFor(5 * time.Second)
+	if *viols != 1 {
+		t.Fatalf("violations = %d, want 1 (dead host)", *viols)
+	}
+}
+
+func TestPingLivenessRepeatedProbes(t *testing.T) {
+	// Feature 7's non-refresh rule at ICMP: probing every 1.5s (inside
+	// the 2s window) must not push the deadline out indefinitely.
+	n, client, viols := pingRig(t, true)
+	for i := 0; i < 3; i++ {
+		client.Ping(macB, ipB, 9, uint16(i))
+		n.Scheduler().RunFor(1500 * time.Millisecond)
+	}
+	n.Scheduler().RunFor(5 * time.Second)
+	if *viols == 0 {
+		t.Fatal("repeated probes suppressed the timeout violation")
+	}
+}

@@ -1,0 +1,94 @@
+package integration
+
+import (
+	"testing"
+	"time"
+
+	"switchmon/internal/apps"
+	"switchmon/internal/core"
+	"switchmon/internal/dataplane"
+	"switchmon/internal/packet"
+	"switchmon/internal/property"
+	"switchmon/internal/sim"
+)
+
+// Experiment E9: the paper's Sec. 1 motivation that "switches may run
+// stateful programs without controller interaction, making
+// controller-based monitoring infeasible." A learn-action learning switch
+// runs with no controller at all; the on-switch monitor still checks it,
+// and there is no control-channel traffic an external monitor could have
+// watched.
+
+func offloadedRig(t *testing.T, faults apps.OffloadedFaults) (*dataplane.Switch, *sim.Scheduler, *int) {
+	t.Helper()
+	sched := sim.NewScheduler()
+	sw := dataplane.New("s1", sched, 2)
+	for i := 1; i <= 4; i++ {
+		sw.AddPort(dataplane.PortNo(i), nil)
+	}
+	apps.NewOffloadedLearningSwitch(sw, time.Minute, faults)
+	viols := 0
+	mon := core.NewMonitor(sched, core.Config{OnViolation: func(*core.Violation) { viols++ }})
+	if err := mon.AddProperty(property.CatalogByName(property.DefaultParams(), "lswitch-unicast")); err != nil {
+		t.Fatal(err)
+	}
+	sw.Observe(mon.HandleEvent)
+	return sw, sched, &viols
+}
+
+func exchange(sw *dataplane.Switch, rounds int) {
+	ab := packet.NewTCP(macA, macB, ipA, ipB, 1000, 80, 0, nil)
+	ba := packet.NewTCP(macB, macA, ipB, ipA, 80, 1000, 0, nil)
+	for i := 0; i < rounds; i++ {
+		sw.Inject(1, ab)
+		sw.Inject(2, ba)
+	}
+}
+
+func TestOffloadedSwitchCorrectNoControllerNoViolations(t *testing.T) {
+	sw, _, viols := offloadedRig(t, apps.OffloadedFaults{})
+	exchange(sw, 5)
+	if *viols != 0 {
+		t.Fatalf("violations = %d, want 0", *viols)
+	}
+	// Zero packet-ins: there was never anything for an external,
+	// controller-based monitor to see.
+	if sw.Stats().PacketIns != 0 {
+		t.Fatalf("packet-ins = %d, want 0", sw.Stats().PacketIns)
+	}
+	// The learn action actually installed per-MAC rules.
+	if got := sw.Table(1).Len(); got != 3 { // macA, macB, flood fallback
+		t.Fatalf("table 1 rules = %d, want 3", got)
+	}
+}
+
+func TestOffloadedSwitchWrongPortDetectedOnSwitch(t *testing.T) {
+	sw, _, viols := offloadedRig(t, apps.OffloadedFaults{WrongPort: 4})
+	exchange(sw, 3)
+	if *viols == 0 {
+		t.Fatal("on-switch monitor missed the wrong-port learn fault")
+	}
+	if sw.Stats().PacketIns != 0 {
+		t.Fatal("faulty scenario leaked packet-ins; the point is zero controller visibility")
+	}
+}
+
+func TestOffloadedRelearningDoesNotStackRules(t *testing.T) {
+	sw, _, _ := offloadedRig(t, apps.OffloadedFaults{})
+	exchange(sw, 50)
+	if got := sw.Table(1).Len(); got != 3 {
+		t.Fatalf("table 1 rules = %d after 100 packets, want 3 (learn must replace)", got)
+	}
+}
+
+func TestOffloadedLearnedRulesExpire(t *testing.T) {
+	sw, sched, _ := offloadedRig(t, apps.OffloadedFaults{})
+	exchange(sw, 1)
+	if got := sw.Table(1).Len(); got != 3 {
+		t.Fatalf("table 1 rules = %d, want 3", got)
+	}
+	sched.RunFor(2 * time.Minute) // idle timeout is 1 minute
+	if got := sw.Table(1).Len(); got != 1 {
+		t.Fatalf("table 1 rules = %d after idle, want 1 (flood fallback)", got)
+	}
+}

@@ -1,0 +1,78 @@
+package integration
+
+import (
+	"testing"
+	"time"
+
+	"switchmon/internal/core"
+	"switchmon/internal/property"
+	"switchmon/internal/sim"
+	"switchmon/internal/trace"
+)
+
+// TestSoakLongRun pushes a six-figure event volume through a monitor
+// carrying the whole (ideal-compatible) catalogue, interleaving three
+// workload shapes and long idle gaps, then checks the engine's internal
+// invariants and that timeouts reclaimed state.
+func TestSoakLongRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	sched := sim.NewScheduler()
+	viols := 0
+	mon := core.NewMonitor(sched, core.Config{
+		Provenance:  core.ProvLimited,
+		OnViolation: func(*core.Violation) { viols++ },
+	})
+	for _, e := range property.Catalog(property.DefaultParams()) {
+		// lb-round-robin is inherently multiple-match: every new flow
+		// advances every waiting instance, which is quadratic by design
+		// (the cost the paper attributes to out-of-band/multiple match).
+		// The soak measures invariants under volume, not that property's
+		// asymptotics, so it is excluded here.
+		if e.Prop.Name == "lb-round-robin" {
+			continue
+		}
+		if err := mon.AddProperty(e.Prop); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	feedAll := func(events []core.Event) {
+		trace.Replay(sched, events, mon.HandleEvent)
+	}
+	for round := 0; round < 5; round++ {
+		feedAll(trace.FirewallWorkload{
+			Flows: 2000, ReturnsPerFlow: 4, ViolationEvery: 37, CloseEvery: 9,
+			Gap: 50 * time.Microsecond,
+		}.Events(sched.Now()))
+		feedAll(trace.NATWorkload{
+			Flows: 1000, MistranslateEvery: 41, Gap: 50 * time.Microsecond,
+		}.Events(sched.Now()))
+		feedAll(trace.LearningWorkload{
+			Hosts: 64, PacketsPerHost: 16, PayloadBytes: 0, Gap: 50 * time.Microsecond,
+		}.Events(sched.Now()))
+		// Long idle gap: windows lapse, timers fire, state drains.
+		sched.RunFor(10 * time.Minute)
+	}
+
+	st := mon.Stats()
+	if st.Events < 100_000 {
+		t.Fatalf("soak processed only %d events", st.Events)
+	}
+	if viols == 0 {
+		t.Fatal("soak produced no violations")
+	}
+	if err := mon.SelfCheck(); err != nil {
+		t.Fatalf("invariants after soak: %v", err)
+	}
+	// All windowed state must have drained across the idle gaps; only
+	// unwindowed stages (e.g. firewall-basic pairs, learning-switch
+	// entries) legitimately persist.
+	if live := mon.ActiveInstances(); live > 60_000 {
+		t.Fatalf("live instances = %d — state runaway", live)
+	}
+	if st.Expired == 0 || st.Discharged == 0 {
+		t.Fatalf("expected expiries and discharges, got %+v", st)
+	}
+}

@@ -1,0 +1,157 @@
+// Package netsim wires dataplane switches, links, and protocol-aware
+// hosts into deterministic single-clock network simulations — the
+// substrate the examples and integration tests run scenarios on.
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"switchmon/internal/dataplane"
+	"switchmon/internal/packet"
+	"switchmon/internal/sim"
+)
+
+// Network is a collection of switches and hosts sharing one scheduler.
+type Network struct {
+	sched    *sim.Scheduler
+	switches map[string]*dataplane.Switch
+	hosts    map[string]*Host
+	// LinkLatency is applied to every host-switch and switch-switch hop.
+	LinkLatency time.Duration
+}
+
+// New creates an empty network on the scheduler.
+func New(sched *sim.Scheduler) *Network {
+	return &Network{
+		sched:    sched,
+		switches: map[string]*dataplane.Switch{},
+		hosts:    map[string]*Host{},
+	}
+}
+
+// Scheduler returns the shared scheduler.
+func (n *Network) Scheduler() *sim.Scheduler { return n.sched }
+
+// AddSwitch creates a switch with the given table count. Switches are
+// assigned datapath ids 1, 2, ... in creation order, so one collector can
+// monitor the whole network with per-switch scoping (the switch.id field).
+func (n *Network) AddSwitch(name string, tables int) *dataplane.Switch {
+	if _, dup := n.switches[name]; dup {
+		panic(fmt.Sprintf("netsim: duplicate switch %q", name))
+	}
+	sw := dataplane.New(name, n.sched, tables)
+	sw.SetDPID(uint64(len(n.switches) + 1))
+	n.switches[name] = sw
+	return sw
+}
+
+// Switch returns a switch by name, or nil.
+func (n *Network) Switch(name string) *dataplane.Switch { return n.switches[name] }
+
+// Host returns a host by name, or nil.
+func (n *Network) HostByName(name string) *Host { return n.hosts[name] }
+
+// ConnectSwitches links two switches port-to-port with the network's
+// latency in both directions.
+func (n *Network) ConnectSwitches(a *dataplane.Switch, ap dataplane.PortNo, b *dataplane.Switch, bp dataplane.PortNo) {
+	lat := n.LinkLatency
+	a.AddPort(ap, func(p *packet.Packet) {
+		pk := p
+		n.sched.After(lat, func() { b.Inject(bp, pk) })
+	})
+	b.AddPort(bp, func(p *packet.Packet) {
+		pk := p
+		n.sched.After(lat, func() { a.Inject(ap, pk) })
+	})
+}
+
+// Host is an endpoint with a small protocol personality: it answers ARP
+// requests for its address, answers ICMP echo requests, and optionally
+// answers TCP SYNs (Serve). Every received packet is also handed to OnRX.
+type Host struct {
+	Name string
+	MAC  packet.MAC
+	IP   packet.IPv4
+
+	net  *Network
+	sw   *dataplane.Switch
+	port dataplane.PortNo
+
+	// ServePorts lists TCP ports the host answers with SYN|ACK.
+	ServePorts map[uint16]bool
+	// Quiet disables all automatic responses.
+	Quiet bool
+	// OnRX observes every delivered packet.
+	OnRX func(*packet.Packet)
+
+	rx []*packet.Packet
+}
+
+// AddHost attaches a host to a switch port.
+func (n *Network) AddHost(name string, mac packet.MAC, ip packet.IPv4, sw *dataplane.Switch, port dataplane.PortNo) *Host {
+	if _, dup := n.hosts[name]; dup {
+		panic(fmt.Sprintf("netsim: duplicate host %q", name))
+	}
+	h := &Host{
+		Name: name, MAC: mac, IP: ip,
+		net: n, sw: sw, port: port,
+		ServePorts: map[uint16]bool{},
+	}
+	sw.AddPort(port, func(p *packet.Packet) {
+		pk := p
+		n.sched.After(n.LinkLatency, func() { h.receive(pk) })
+	})
+	n.hosts[name] = h
+	return h
+}
+
+// Port returns the switch port the host hangs off.
+func (h *Host) Port() dataplane.PortNo { return h.port }
+
+// Send injects a packet from the host into its switch.
+func (h *Host) Send(p *packet.Packet) {
+	h.sw.Inject(h.port, p)
+}
+
+// Received returns everything delivered to the host so far.
+func (h *Host) Received() []*packet.Packet { return h.rx }
+
+// ReceivedCount reports the delivery count.
+func (h *Host) ReceivedCount() int { return len(h.rx) }
+
+// receive runs the host's protocol personality.
+func (h *Host) receive(p *packet.Packet) {
+	h.rx = append(h.rx, p)
+	if h.OnRX != nil {
+		h.OnRX(p)
+	}
+	if h.Quiet {
+		return
+	}
+	switch {
+	case p.ARP != nil && p.ARP.Op == packet.ARPRequest && p.ARP.TargetIP == h.IP:
+		h.Send(packet.NewARPReply(h.MAC, h.IP, p.ARP.SenderMAC, p.ARP.SenderIP))
+	case p.ICMP != nil && p.ICMP.Type == packet.ICMPEchoRequest && p.IPv4 != nil && p.IPv4.Dst == h.IP:
+		reply := packet.NewICMPEcho(h.MAC, p.Eth.Src, h.IP, p.IPv4.Src, p.ICMP.ID, p.ICMP.Seq, true)
+		h.Send(reply)
+	case p.TCP != nil && p.IPv4 != nil && p.IPv4.Dst == h.IP &&
+		p.TCP.Flags.Has(packet.FlagSYN) && !p.TCP.Flags.Has(packet.FlagACK) &&
+		h.ServePorts[p.TCP.DstPort]:
+		synack := packet.NewTCP(h.MAC, p.Eth.Src, h.IP, p.IPv4.Src,
+			p.TCP.DstPort, p.TCP.SrcPort, packet.FlagSYN|packet.FlagACK, nil)
+		synack.TCP.Ack = p.TCP.Seq + 1
+		h.Send(synack)
+	}
+}
+
+// Ping sends an ICMP echo request from the host toward dst (resolving the
+// MAC is out of scope at this layer — the caller supplies it).
+func (h *Host) Ping(dstMAC packet.MAC, dst packet.IPv4, id, seq uint16) {
+	h.Send(packet.NewICMPEcho(h.MAC, dstMAC, h.IP, dst, id, seq, false))
+}
+
+// ARPResolve broadcasts an ARP request for dst.
+func (h *Host) ARPResolve(dst packet.IPv4) {
+	h.Send(packet.NewARPRequest(h.MAC, h.IP, dst))
+}

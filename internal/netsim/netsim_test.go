@@ -1,0 +1,178 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"switchmon/internal/dataplane"
+	"switchmon/internal/packet"
+	"switchmon/internal/sim"
+)
+
+var (
+	macA = packet.MustMAC("02:00:00:00:00:0a")
+	macB = packet.MustMAC("02:00:00:00:00:0b")
+	ipA  = packet.MustIPv4("10.0.0.1")
+	ipB  = packet.MustIPv4("10.0.0.2")
+)
+
+// floodNet is a one-switch network that floods everything.
+func floodNet(t *testing.T) (*Network, *Host, *Host) {
+	t.Helper()
+	sched := sim.NewScheduler()
+	n := New(sched)
+	n.LinkLatency = time.Millisecond
+	sw := n.AddSwitch("s1", 1)
+	sw.SetMissPolicy(dataplane.MissFlood)
+	a := n.AddHost("a", macA, ipA, sw, 1)
+	b := n.AddHost("b", macB, ipB, sw, 2)
+	return n, a, b
+}
+
+func TestHostDelivery(t *testing.T) {
+	n, a, b := floodNet(t)
+	a.Send(packet.NewTCP(macA, macB, ipA, ipB, 1, 2, 0, nil))
+	n.Scheduler().RunFor(10 * time.Millisecond)
+	if b.ReceivedCount() != 1 {
+		t.Fatalf("b received %d packets", b.ReceivedCount())
+	}
+	if a.ReceivedCount() != 0 {
+		t.Fatalf("a received its own flood copy")
+	}
+}
+
+func TestARPResponder(t *testing.T) {
+	n, a, b := floodNet(t)
+	a.ARPResolve(ipB)
+	n.Scheduler().RunFor(20 * time.Millisecond)
+	if a.ReceivedCount() != 1 {
+		t.Fatalf("a received %d packets, want 1 (ARP reply)", a.ReceivedCount())
+	}
+	reply := a.Received()[0]
+	if reply.ARP == nil || reply.ARP.Op != packet.ARPReply || reply.ARP.SenderMAC != macB {
+		t.Fatalf("reply = %s", reply.Summary())
+	}
+	_ = b
+}
+
+func TestICMPResponder(t *testing.T) {
+	n, a, b := floodNet(t)
+	a.Ping(macB, ipB, 7, 1)
+	n.Scheduler().RunFor(20 * time.Millisecond)
+	if a.ReceivedCount() != 1 {
+		t.Fatalf("a received %d packets, want echo reply", a.ReceivedCount())
+	}
+	echo := a.Received()[0]
+	if echo.ICMP == nil || echo.ICMP.Type != packet.ICMPEchoReply || echo.ICMP.ID != 7 {
+		t.Fatalf("echo = %s", echo.Summary())
+	}
+	_ = b
+}
+
+func TestTCPServer(t *testing.T) {
+	n, a, b := floodNet(t)
+	b.ServePorts[80] = true
+	a.Send(packet.NewTCP(macA, macB, ipA, ipB, 30000, 80, packet.FlagSYN, nil))
+	n.Scheduler().RunFor(20 * time.Millisecond)
+	if a.ReceivedCount() != 1 {
+		t.Fatalf("a received %d, want SYN|ACK", a.ReceivedCount())
+	}
+	sa := a.Received()[0]
+	if sa.TCP == nil || !sa.TCP.Flags.Has(packet.FlagSYN|packet.FlagACK) {
+		t.Fatalf("got %s", sa.Summary())
+	}
+	// Non-served port: silence.
+	a.Send(packet.NewTCP(macA, macB, ipA, ipB, 30001, 81, packet.FlagSYN, nil))
+	n.Scheduler().RunFor(20 * time.Millisecond)
+	if a.ReceivedCount() != 1 {
+		t.Fatal("host answered a non-served port")
+	}
+}
+
+func TestQuietHost(t *testing.T) {
+	n, a, b := floodNet(t)
+	b.Quiet = true
+	a.ARPResolve(ipB)
+	n.Scheduler().RunFor(20 * time.Millisecond)
+	if a.ReceivedCount() != 0 {
+		t.Fatal("quiet host responded")
+	}
+	if b.ReceivedCount() != 1 {
+		t.Fatal("quiet host did not receive")
+	}
+}
+
+func TestOnRXHook(t *testing.T) {
+	n, a, b := floodNet(t)
+	var hooked int
+	b.OnRX = func(*packet.Packet) { hooked++ }
+	a.Send(packet.NewTCP(macA, macB, ipA, ipB, 1, 2, 0, nil))
+	n.Scheduler().RunFor(10 * time.Millisecond)
+	if hooked != 1 {
+		t.Fatalf("OnRX fired %d times", hooked)
+	}
+}
+
+func TestTwoSwitchTopology(t *testing.T) {
+	sched := sim.NewScheduler()
+	n := New(sched)
+	n.LinkLatency = time.Millisecond
+	s1 := n.AddSwitch("s1", 1)
+	s2 := n.AddSwitch("s2", 1)
+	s1.SetMissPolicy(dataplane.MissFlood)
+	s2.SetMissPolicy(dataplane.MissFlood)
+	a := n.AddHost("a", macA, ipA, s1, 1)
+	b := n.AddHost("b", macB, ipB, s2, 1)
+	n.ConnectSwitches(s1, 2, s2, 2)
+	a.Send(packet.NewTCP(macA, macB, ipA, ipB, 1, 2, 0, nil))
+	sched.RunFor(50 * time.Millisecond)
+	if b.ReceivedCount() != 1 {
+		t.Fatalf("cross-switch delivery failed: b has %d packets", b.ReceivedCount())
+	}
+	if n.Switch("s1") != s1 || n.Switch("nope") != nil {
+		t.Fatal("Switch lookup broken")
+	}
+	if n.HostByName("a") != a || n.HostByName("nope") != nil {
+		t.Fatal("Host lookup broken")
+	}
+}
+
+func TestLatencyIsApplied(t *testing.T) {
+	sched := sim.NewScheduler()
+	n := New(sched)
+	n.LinkLatency = 10 * time.Millisecond
+	sw := n.AddSwitch("s1", 1)
+	sw.SetMissPolicy(dataplane.MissFlood)
+	a := n.AddHost("a", macA, ipA, sw, 1)
+	b := n.AddHost("b", macB, ipB, sw, 2)
+	var deliveredAt time.Time
+	b.OnRX = func(*packet.Packet) { deliveredAt = sched.Now() }
+	a.Send(packet.NewTCP(macA, macB, ipA, ipB, 1, 2, 0, nil))
+	sched.RunFor(time.Second)
+	if want := sim.Epoch.Add(10 * time.Millisecond); !deliveredAt.Equal(want) {
+		t.Fatalf("delivered at %v, want %v", deliveredAt, want)
+	}
+	_ = a
+}
+
+func TestDuplicateNamesPanic(t *testing.T) {
+	sched := sim.NewScheduler()
+	n := New(sched)
+	n.AddSwitch("s1", 1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("duplicate switch did not panic")
+			}
+		}()
+		n.AddSwitch("s1", 1)
+	}()
+	sw := n.AddSwitch("s2", 1)
+	n.AddHost("h", macA, ipA, sw, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate host did not panic")
+		}
+	}()
+	n.AddHost("h", macB, ipB, sw, 2)
+}

@@ -1,0 +1,95 @@
+package packet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseMAC(t *testing.T) {
+	m, err := ParseMAC("00:11:22:aa:bb:cc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != (MAC{0x00, 0x11, 0x22, 0xaa, 0xbb, 0xcc}) {
+		t.Fatalf("ParseMAC = %v", m)
+	}
+	if m.String() != "00:11:22:aa:bb:cc" {
+		t.Fatalf("String = %q", m.String())
+	}
+	for _, bad := range []string{"", "00:11:22:aa:bb", "00:11:22:aa:bb:cc:dd", "zz:11:22:aa:bb:cc", "0:1"} {
+		if _, err := ParseMAC(bad); err == nil {
+			t.Errorf("ParseMAC(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestMACUint64RoundTrip(t *testing.T) {
+	f := func(b [6]byte) bool {
+		m := MAC(b)
+		return MACFromUint64(m.Uint64()) == m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBroadcastMAC(t *testing.T) {
+	if !BroadcastMAC.IsBroadcast() {
+		t.Fatal("BroadcastMAC.IsBroadcast() = false")
+	}
+	if MustMAC("00:00:00:00:00:01").IsBroadcast() {
+		t.Fatal("unicast MAC reported as broadcast")
+	}
+}
+
+func TestParseIPv4(t *testing.T) {
+	ip, err := ParseIPv4("10.1.2.254")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ip != (IPv4{10, 1, 2, 254}) {
+		t.Fatalf("ParseIPv4 = %v", ip)
+	}
+	if ip.String() != "10.1.2.254" {
+		t.Fatalf("String = %q", ip.String())
+	}
+	for _, bad := range []string{"", "10.1.2", "10.1.2.3.4", "10.1.2.256", "a.b.c.d"} {
+		if _, err := ParseIPv4(bad); err == nil {
+			t.Errorf("ParseIPv4(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestIPv4Uint32RoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		return IPv4FromUint32(v).Uint32() == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIPv4IsZero(t *testing.T) {
+	if !(IPv4{}).IsZero() {
+		t.Fatal("zero address not IsZero")
+	}
+	if MustIPv4("0.0.0.1").IsZero() {
+		t.Fatal("0.0.0.1 reported zero")
+	}
+}
+
+func TestMustPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"MustMAC":  func() { MustMAC("bogus") },
+		"MustIPv4": func() { MustIPv4("bogus") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on bogus input did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,113 @@
+package packet
+
+// Builders for the packet shapes the simulated network functions and
+// workload generators emit. Each returns a ready-to-send *Packet with all
+// layers populated; Encode will fill in lengths and checksums.
+
+// NewTCP builds an Ethernet/IPv4/TCP packet.
+func NewTCP(srcMAC, dstMAC MAC, src, dst IPv4, srcPort, dstPort uint16, flags TCPFlags, payload []byte) *Packet {
+	return &Packet{
+		Eth:  &Ethernet{Src: srcMAC, Dst: dstMAC, Type: EtherTypeIPv4},
+		IPv4: &IPv4Header{TTL: 64, Protocol: ProtoTCP, Src: src, Dst: dst},
+		TCP:  &TCP{SrcPort: srcPort, DstPort: dstPort, Flags: flags, Window: 65535, Payload: payload},
+	}
+}
+
+// NewUDP builds an Ethernet/IPv4/UDP packet.
+func NewUDP(srcMAC, dstMAC MAC, src, dst IPv4, srcPort, dstPort uint16, payload []byte) *Packet {
+	return &Packet{
+		Eth:  &Ethernet{Src: srcMAC, Dst: dstMAC, Type: EtherTypeIPv4},
+		IPv4: &IPv4Header{TTL: 64, Protocol: ProtoUDP, Src: src, Dst: dst},
+		UDP:  &UDP{SrcPort: srcPort, DstPort: dstPort, Payload: payload},
+	}
+}
+
+// NewICMPEcho builds an ICMP echo request (or reply when reply is true).
+func NewICMPEcho(srcMAC, dstMAC MAC, src, dst IPv4, id, seq uint16, reply bool) *Packet {
+	typ := ICMPEchoRequest
+	if reply {
+		typ = ICMPEchoReply
+	}
+	return &Packet{
+		Eth:  &Ethernet{Src: srcMAC, Dst: dstMAC, Type: EtherTypeIPv4},
+		IPv4: &IPv4Header{TTL: 64, Protocol: ProtoICMP, Src: src, Dst: dst},
+		ICMP: &ICMPv4{Type: typ, ID: id, Seq: seq},
+	}
+}
+
+// NewARPRequest builds a broadcast ARP request asking who holds targetIP.
+func NewARPRequest(senderMAC MAC, senderIP, targetIP IPv4) *Packet {
+	return &Packet{
+		Eth: &Ethernet{Src: senderMAC, Dst: BroadcastMAC, Type: EtherTypeARP},
+		ARP: &ARP{
+			Op:        ARPRequest,
+			SenderMAC: senderMAC,
+			SenderIP:  senderIP,
+			TargetIP:  targetIP,
+		},
+	}
+}
+
+// NewARPReply builds a unicast ARP reply answering a request.
+func NewARPReply(senderMAC MAC, senderIP IPv4, targetMAC MAC, targetIP IPv4) *Packet {
+	return &Packet{
+		Eth: &Ethernet{Src: senderMAC, Dst: targetMAC, Type: EtherTypeARP},
+		ARP: &ARP{
+			Op:        ARPReply,
+			SenderMAC: senderMAC,
+			SenderIP:  senderIP,
+			TargetMAC: targetMAC,
+			TargetIP:  targetIP,
+		},
+	}
+}
+
+// NewDHCP builds a UDP-encapsulated DHCP message. Client messages go
+// 68->67 from the client MAC (broadcast at L2/L3 when the client has no
+// address yet); server messages go 67->68.
+func NewDHCP(srcMAC, dstMAC MAC, src, dst IPv4, msg *DHCPv4) *Packet {
+	sport, dport := uint16(PortDHCPClient), uint16(PortDHCPServer)
+	if msg.Op == DHCPBootReply {
+		sport, dport = PortDHCPServer, PortDHCPClient
+	}
+	return &Packet{
+		Eth:  &Ethernet{Src: srcMAC, Dst: dstMAC, Type: EtherTypeIPv4},
+		IPv4: &IPv4Header{TTL: 64, Protocol: ProtoUDP, Src: src, Dst: dst},
+		UDP:  &UDP{SrcPort: sport, DstPort: dport},
+		DHCP: msg,
+	}
+}
+
+// NewDNSQuery builds a DNS query for an A record.
+func NewDNSQuery(srcMAC, dstMAC MAC, src, dst IPv4, srcPort, id uint16, name string) *Packet {
+	return &Packet{
+		Eth:  &Ethernet{Src: srcMAC, Dst: dstMAC, Type: EtherTypeIPv4},
+		IPv4: &IPv4Header{TTL: 64, Protocol: ProtoUDP, Src: src, Dst: dst},
+		UDP:  &UDP{SrcPort: srcPort, DstPort: PortDNS},
+		DNS:  &DNS{ID: id, QName: name, QType: 1},
+	}
+}
+
+// NewDNSResponse builds a DNS response carrying a single A record.
+func NewDNSResponse(srcMAC, dstMAC MAC, src, dst IPv4, dstPort, id uint16, name string, addr IPv4) *Packet {
+	return &Packet{
+		Eth:  &Ethernet{Src: srcMAC, Dst: dstMAC, Type: EtherTypeIPv4},
+		IPv4: &IPv4Header{TTL: 64, Protocol: ProtoUDP, Src: src, Dst: dst},
+		UDP:  &UDP{SrcPort: PortDNS, DstPort: dstPort},
+		DNS: &DNS{ID: id, Response: true, QName: name, QType: 1,
+			Answers: []DNSAnswer{{Name: name, TTL: 300, Addr: addr}}},
+	}
+}
+
+// NewFTPCommand builds an FTP control-channel command from client to
+// server (destination port 21).
+func NewFTPCommand(srcMAC, dstMAC MAC, src, dst IPv4, srcPort uint16, command, arg string) *Packet {
+	p := NewTCP(srcMAC, dstMAC, src, dst, srcPort, PortFTPControl, FlagACK|FlagPSH, nil)
+	p.FTP = &FTPControl{Command: command, Arg: arg}
+	if command == "PORT" {
+		if ip, port, ok := parseFTPHostPort(arg); ok {
+			p.FTP.DataIP, p.FTP.DataPort = ip, port
+		}
+	}
+	return p
+}

@@ -1,0 +1,80 @@
+package packet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFlowOf(t *testing.T) {
+	p := NewTCP(macA, macB, ipA, ipB, 1000, 80, FlagSYN, nil)
+	f, ok := FlowOf(p)
+	if !ok {
+		t.Fatal("FlowOf failed on TCP packet")
+	}
+	want := Flow{Src: Endpoint{ipA, 1000}, Dst: Endpoint{ipB, 80}, Proto: ProtoTCP}
+	if f != want {
+		t.Fatalf("FlowOf = %v, want %v", f, want)
+	}
+	if _, ok := FlowOf(NewARPRequest(macA, ipA, ipB)); ok {
+		t.Fatal("FlowOf succeeded on ARP")
+	}
+	if _, ok := FlowOf(NewICMPEcho(macA, macB, ipA, ipB, 1, 1, false)); ok {
+		t.Fatal("FlowOf succeeded on ICMP (no ports)")
+	}
+}
+
+func TestFlowReverse(t *testing.T) {
+	f := Flow{Src: Endpoint{ipA, 1}, Dst: Endpoint{ipB, 2}, Proto: ProtoUDP}
+	r := f.Reverse()
+	if r.Src != f.Dst || r.Dst != f.Src || r.Proto != f.Proto {
+		t.Fatalf("Reverse = %v", r)
+	}
+	if r.Reverse() != f {
+		t.Fatal("double Reverse is not identity")
+	}
+}
+
+func TestSymmetricHashProperty(t *testing.T) {
+	f := func(sa, da [4]byte, sp, dp uint16, proto uint8) bool {
+		fl := Flow{Src: Endpoint{IPv4(sa), sp}, Dst: Endpoint{IPv4(da), dp}, Proto: IPProto(proto)}
+		return fl.SymmetricHash() == fl.Reverse().SymmetricHash()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirectionalHashDistinguishesDirections(t *testing.T) {
+	f := Flow{Src: Endpoint{ipA, 1000}, Dst: Endpoint{ipB, 80}, Proto: ProtoTCP}
+	if f.Hash() == f.Reverse().Hash() {
+		t.Fatal("directional hash is symmetric for a non-palindromic flow")
+	}
+}
+
+func TestHashDistinct(t *testing.T) {
+	// Sanity: 1000 distinct flows should produce 1000 distinct 64-bit
+	// hashes (a collision among so few inputs would indicate a broken mix).
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		f := Flow{
+			Src:   Endpoint{IPv4FromUint32(uint32(i)), uint16(i)},
+			Dst:   Endpoint{ipB, 80},
+			Proto: ProtoTCP,
+		}
+		seen[f.Hash()] = true
+	}
+	if len(seen) != 1000 {
+		t.Fatalf("1000 flows hashed to %d distinct values", len(seen))
+	}
+}
+
+func TestEndpointAndFlowString(t *testing.T) {
+	e := Endpoint{ipA, 80}
+	if e.String() != "10.0.0.1:80" {
+		t.Fatalf("Endpoint.String = %q", e.String())
+	}
+	f := Flow{Src: e, Dst: Endpoint{ipB, 443}, Proto: ProtoTCP}
+	if f.String() != "TCP 10.0.0.1:80->192.168.1.9:443" {
+		t.Fatalf("Flow.String = %q", f.String())
+	}
+}

@@ -1,0 +1,154 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// TCPFlags is the TCP flag byte (we model the low 8 flag bits).
+type TCPFlags uint8
+
+// TCP flag bits.
+const (
+	FlagFIN TCPFlags = 1 << iota
+	FlagSYN
+	FlagRST
+	FlagPSH
+	FlagACK
+	FlagURG
+)
+
+// Has reports whether all flags in mask are set.
+func (f TCPFlags) Has(mask TCPFlags) bool { return f&mask == mask }
+
+// String renders the set flags, e.g. "SYN|ACK".
+func (f TCPFlags) String() string {
+	names := []struct {
+		bit  TCPFlags
+		name string
+	}{
+		{FlagFIN, "FIN"}, {FlagSYN, "SYN"}, {FlagRST, "RST"},
+		{FlagPSH, "PSH"}, {FlagACK, "ACK"}, {FlagURG, "URG"},
+	}
+	out := ""
+	for _, n := range names {
+		if f&n.bit != 0 {
+			if out != "" {
+				out += "|"
+			}
+			out += n.name
+		}
+	}
+	if out == "" {
+		return "none"
+	}
+	return out
+}
+
+// TCP is a TCP segment header (no options; DataOffset is fixed at 5) plus
+// payload.
+type TCP struct {
+	SrcPort uint16
+	DstPort uint16
+	Seq     uint32
+	Ack     uint32
+	Flags   TCPFlags
+	Window  uint16
+	Urgent  uint16
+	Payload []byte
+}
+
+const tcpHeaderLen = 20
+
+func (t *TCP) encodeTo(b []byte, src, dst IPv4) []byte {
+	start := len(b)
+	b = binary.BigEndian.AppendUint16(b, t.SrcPort)
+	b = binary.BigEndian.AppendUint16(b, t.DstPort)
+	b = binary.BigEndian.AppendUint32(b, t.Seq)
+	b = binary.BigEndian.AppendUint32(b, t.Ack)
+	b = append(b, 5<<4, byte(t.Flags)) // data offset 5 words
+	b = binary.BigEndian.AppendUint16(b, t.Window)
+	b = append(b, 0, 0) // checksum placeholder
+	b = binary.BigEndian.AppendUint16(b, t.Urgent)
+	b = append(b, t.Payload...)
+	seg := b[start:]
+	sum := internetChecksum(seg, pseudoHeaderSum(src, dst, ProtoTCP, len(seg)))
+	binary.BigEndian.PutUint16(b[start+16:start+18], sum)
+	return b
+}
+
+func decodeTCP(data []byte, src, dst IPv4) (*TCP, error) {
+	if len(data) < tcpHeaderLen {
+		return nil, fmt.Errorf("packet: TCP segment too short (%d bytes)", len(data))
+	}
+	off := int(data[12]>>4) * 4
+	if off < tcpHeaderLen || off > len(data) {
+		return nil, fmt.Errorf("packet: bad TCP data offset %d", off)
+	}
+	if sum := internetChecksum(data, pseudoHeaderSum(src, dst, ProtoTCP, len(data))); sum != 0 {
+		return nil, fmt.Errorf("packet: bad TCP checksum")
+	}
+	t := &TCP{
+		SrcPort: binary.BigEndian.Uint16(data[0:2]),
+		DstPort: binary.BigEndian.Uint16(data[2:4]),
+		Seq:     binary.BigEndian.Uint32(data[4:8]),
+		Ack:     binary.BigEndian.Uint32(data[8:12]),
+		Flags:   TCPFlags(data[13]),
+		Window:  binary.BigEndian.Uint16(data[14:16]),
+		Urgent:  binary.BigEndian.Uint16(data[18:20]),
+	}
+	if len(data) > off {
+		t.Payload = append([]byte(nil), data[off:]...)
+	}
+	return t, nil
+}
+
+// UDP is a UDP datagram header plus payload.
+type UDP struct {
+	SrcPort uint16
+	DstPort uint16
+	Payload []byte
+}
+
+const udpHeaderLen = 8
+
+func (u *UDP) encodeTo(b []byte, src, dst IPv4) []byte {
+	start := len(b)
+	length := udpHeaderLen + len(u.Payload)
+	b = binary.BigEndian.AppendUint16(b, u.SrcPort)
+	b = binary.BigEndian.AppendUint16(b, u.DstPort)
+	b = binary.BigEndian.AppendUint16(b, uint16(length))
+	b = append(b, 0, 0) // checksum placeholder
+	b = append(b, u.Payload...)
+	dg := b[start:]
+	sum := internetChecksum(dg, pseudoHeaderSum(src, dst, ProtoUDP, len(dg)))
+	if sum == 0 {
+		sum = 0xffff // RFC 768: transmitted zero means "no checksum"
+	}
+	binary.BigEndian.PutUint16(b[start+6:start+8], sum)
+	return b
+}
+
+func decodeUDP(data []byte, src, dst IPv4) (*UDP, error) {
+	if len(data) < udpHeaderLen {
+		return nil, fmt.Errorf("packet: UDP datagram too short (%d bytes)", len(data))
+	}
+	length := int(binary.BigEndian.Uint16(data[4:6]))
+	if length < udpHeaderLen || length > len(data) {
+		return nil, fmt.Errorf("packet: UDP length %d outside datagram of %d", length, len(data))
+	}
+	data = data[:length]
+	if binary.BigEndian.Uint16(data[6:8]) != 0 {
+		if sum := internetChecksum(data, pseudoHeaderSum(src, dst, ProtoUDP, len(data))); sum != 0 {
+			return nil, fmt.Errorf("packet: bad UDP checksum")
+		}
+	}
+	u := &UDP{
+		SrcPort: binary.BigEndian.Uint16(data[0:2]),
+		DstPort: binary.BigEndian.Uint16(data[2:4]),
+	}
+	if length > udpHeaderLen {
+		u.Payload = append([]byte(nil), data[udpHeaderLen:length]...)
+	}
+	return u, nil
+}

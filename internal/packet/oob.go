@@ -1,0 +1,28 @@
+package packet
+
+import "fmt"
+
+// OOBKind enumerates out-of-band (non-packet) event kinds a switch can
+// react to — the values carried in the oob.kind field.
+type OOBKind uint8
+
+// Out-of-band event kinds.
+const (
+	OOBNone OOBKind = iota
+	OOBLinkDown
+	OOBLinkUp
+)
+
+// String names the kind.
+func (k OOBKind) String() string {
+	switch k {
+	case OOBNone:
+		return "none"
+	case OOBLinkDown:
+		return "link-down"
+	case OOBLinkUp:
+		return "link-up"
+	default:
+		return fmt.Sprintf("OOBKind(%d)", uint8(k))
+	}
+}

@@ -1,0 +1,268 @@
+package packet
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Packet is a fully decoded packet: one pointer per recognized layer, nil
+// when the layer is absent. The monitor's field registry reads from this
+// representation; the dataplane serializes it back to bytes when needed.
+//
+// Packet values are treated as immutable once handed to the dataplane;
+// functions that rewrite headers (e.g. NAT) operate on a Clone.
+type Packet struct {
+	Eth  *Ethernet
+	ARP  *ARP
+	IPv4 *IPv4Header
+	ICMP *ICMPv4
+	TCP  *TCP
+	UDP  *UDP
+	DHCP *DHCPv4
+	DNS  *DNS
+	FTP  *FTPControl
+	// Payload is the undecoded remainder (application bytes for TCP/UDP
+	// flows the L7 codecs don't recognize).
+	Payload []byte
+}
+
+// Decode parses an Ethernet frame into a Packet, descending as deep as the
+// codecs recognize. An error at any layer fails the whole decode: the
+// simulator never produces half-valid frames, so tolerating them would only
+// mask bugs.
+func Decode(data []byte) (*Packet, error) {
+	p := &Packet{}
+	eth, rest, err := decodeEthernet(data)
+	if err != nil {
+		return nil, err
+	}
+	p.Eth = eth
+	switch eth.Type {
+	case EtherTypeARP:
+		arp, err := decodeARP(rest)
+		if err != nil {
+			return nil, err
+		}
+		p.ARP = arp
+		return p, nil
+	case EtherTypeIPv4:
+		ip, payload, err := decodeIPv4(rest)
+		if err != nil {
+			return nil, err
+		}
+		p.IPv4 = ip
+		return p, p.decodeTransport(payload)
+	default:
+		p.Payload = append([]byte(nil), rest...)
+		return p, nil
+	}
+}
+
+func (p *Packet) decodeTransport(payload []byte) error {
+	switch p.IPv4.Protocol {
+	case ProtoICMP:
+		icmp, err := decodeICMPv4(payload)
+		if err != nil {
+			return err
+		}
+		p.ICMP = icmp
+	case ProtoTCP:
+		tcp, err := decodeTCP(payload, p.IPv4.Src, p.IPv4.Dst)
+		if err != nil {
+			return err
+		}
+		p.TCP = tcp
+		p.decodeApp(tcp.SrcPort, tcp.DstPort, tcp.Payload)
+	case ProtoUDP:
+		udp, err := decodeUDP(payload, p.IPv4.Src, p.IPv4.Dst)
+		if err != nil {
+			return err
+		}
+		p.UDP = udp
+		p.decodeApp(udp.SrcPort, udp.DstPort, udp.Payload)
+	default:
+		p.Payload = append([]byte(nil), payload...)
+	}
+	return nil
+}
+
+// decodeApp attempts L7 decoding by port. Failure is not an error: an
+// unrecognized payload simply stays at L4, mirroring how a switch parser
+// would give up at its maximum depth.
+func (p *Packet) decodeApp(src, dst uint16, payload []byte) {
+	if len(payload) == 0 {
+		return
+	}
+	switch {
+	case src == PortDHCPServer || dst == PortDHCPServer || src == PortDHCPClient || dst == PortDHCPClient:
+		if d, err := decodeDHCPv4(payload); err == nil {
+			p.DHCP = d
+			return
+		}
+	case src == PortDNS || dst == PortDNS:
+		if d, err := decodeDNS(payload); err == nil {
+			p.DNS = d
+			return
+		}
+	case src == PortFTPControl || dst == PortFTPControl:
+		if f, err := decodeFTPControl(payload); err == nil {
+			p.FTP = f
+			return
+		}
+	}
+}
+
+// Encode serializes the packet to wire format, computing lengths and
+// checksums. The L7 layer (or raw Payload) is serialized first and becomes
+// the transport payload.
+func (p *Packet) Encode() ([]byte, error) {
+	if p.Eth == nil {
+		return nil, fmt.Errorf("packet: cannot encode without an Ethernet layer")
+	}
+	b := make([]byte, 0, 128)
+	b = p.Eth.encodeTo(b)
+	switch {
+	case p.ARP != nil:
+		return p.ARP.encodeTo(b), nil
+	case p.IPv4 != nil:
+		payload, err := p.encodeTransport()
+		if err != nil {
+			return nil, err
+		}
+		b = p.IPv4.encodeTo(b, len(payload))
+		return append(b, payload...), nil
+	default:
+		return append(b, p.Payload...), nil
+	}
+}
+
+func (p *Packet) encodeTransport() ([]byte, error) {
+	app := p.appPayload()
+	switch p.IPv4.Protocol {
+	case ProtoICMP:
+		if p.ICMP == nil {
+			return nil, fmt.Errorf("packet: IPv4 protocol ICMP but no ICMP layer")
+		}
+		return p.ICMP.encodeTo(nil), nil
+	case ProtoTCP:
+		if p.TCP == nil {
+			return nil, fmt.Errorf("packet: IPv4 protocol TCP but no TCP layer")
+		}
+		t := *p.TCP
+		if app != nil {
+			t.Payload = app
+		}
+		return t.encodeTo(nil, p.IPv4.Src, p.IPv4.Dst), nil
+	case ProtoUDP:
+		if p.UDP == nil {
+			return nil, fmt.Errorf("packet: IPv4 protocol UDP but no UDP layer")
+		}
+		u := *p.UDP
+		if app != nil {
+			u.Payload = app
+		}
+		return u.encodeTo(nil, p.IPv4.Src, p.IPv4.Dst), nil
+	default:
+		return p.Payload, nil
+	}
+}
+
+// appPayload renders the L7 layer, if any, to bytes.
+func (p *Packet) appPayload() []byte {
+	switch {
+	case p.DHCP != nil:
+		return p.DHCP.encodeTo(nil)
+	case p.DNS != nil:
+		return p.DNS.encodeTo(nil)
+	case p.FTP != nil:
+		return p.FTP.encodeTo(nil)
+	default:
+		return nil
+	}
+}
+
+// Clone returns a deep copy of the packet. Header-rewriting network
+// functions (NAT) clone before mutating so other observers of the original
+// packet are unaffected.
+func (p *Packet) Clone() *Packet {
+	q := &Packet{}
+	if p.Eth != nil {
+		e := *p.Eth
+		q.Eth = &e
+	}
+	if p.ARP != nil {
+		a := *p.ARP
+		q.ARP = &a
+	}
+	if p.IPv4 != nil {
+		h := *p.IPv4
+		q.IPv4 = &h
+	}
+	if p.ICMP != nil {
+		m := *p.ICMP
+		m.Payload = append([]byte(nil), p.ICMP.Payload...)
+		q.ICMP = &m
+	}
+	if p.TCP != nil {
+		t := *p.TCP
+		t.Payload = append([]byte(nil), p.TCP.Payload...)
+		q.TCP = &t
+	}
+	if p.UDP != nil {
+		u := *p.UDP
+		u.Payload = append([]byte(nil), p.UDP.Payload...)
+		q.UDP = &u
+	}
+	if p.DHCP != nil {
+		d := *p.DHCP
+		d.Extra = append([]DHCPOption(nil), p.DHCP.Extra...)
+		q.DHCP = &d
+	}
+	if p.DNS != nil {
+		d := *p.DNS
+		d.Answers = append([]DNSAnswer(nil), p.DNS.Answers...)
+		q.DNS = &d
+	}
+	if p.FTP != nil {
+		f := *p.FTP
+		q.FTP = &f
+	}
+	q.Payload = append([]byte(nil), p.Payload...)
+	return q
+}
+
+// Summary renders a one-line human-readable description, used in traces
+// and violation reports.
+func (p *Packet) Summary() string {
+	var b strings.Builder
+	switch {
+	case p.ARP != nil:
+		fmt.Fprintf(&b, "ARP %s %s(%s)->%s(%s)", p.ARP.Op,
+			p.ARP.SenderIP, p.ARP.SenderMAC, p.ARP.TargetIP, p.ARP.TargetMAC)
+	case p.IPv4 != nil:
+		fmt.Fprintf(&b, "%s %s->%s", p.IPv4.Protocol, p.IPv4.Src, p.IPv4.Dst)
+		switch {
+		case p.TCP != nil:
+			fmt.Fprintf(&b, " ports %d->%d flags %s", p.TCP.SrcPort, p.TCP.DstPort, p.TCP.Flags)
+		case p.UDP != nil:
+			fmt.Fprintf(&b, " ports %d->%d", p.UDP.SrcPort, p.UDP.DstPort)
+		case p.ICMP != nil:
+			fmt.Fprintf(&b, " type %d", p.ICMP.Type)
+		}
+		switch {
+		case p.DHCP != nil:
+			fmt.Fprintf(&b, " DHCP %s", p.DHCP.MsgType)
+		case p.DNS != nil:
+			fmt.Fprintf(&b, " DNS id=%d %q", p.DNS.ID, p.DNS.QName)
+		case p.FTP != nil && p.FTP.Command != "":
+			fmt.Fprintf(&b, " FTP %s", p.FTP.Command)
+		case p.FTP != nil:
+			fmt.Fprintf(&b, " FTP reply %d", p.FTP.ReplyCode)
+		}
+	case p.Eth != nil:
+		fmt.Fprintf(&b, "%s %s->%s", p.Eth.Type, p.Eth.Src, p.Eth.Dst)
+	default:
+		b.WriteString("empty packet")
+	}
+	return b.String()
+}

@@ -1,0 +1,267 @@
+package property
+
+import (
+	"strings"
+
+	"switchmon/internal/packet"
+)
+
+// InstanceID classifies how events map to monitor instances — the paper's
+// Feature 8 and the "Inst. ID" column of Table 1.
+type InstanceID uint8
+
+// Instance-identification varieties, in increasing order of difficulty for
+// switch hardware (Sec. 3.2, "Instance identification").
+const (
+	// IDExact: every later stage matches bound variables against fields of
+	// the same protocol they were bound from, with no flow-direction
+	// inversion; a fixed tuple identifies the instance.
+	IDExact InstanceID = iota
+	// IDSymmetric: later stages match bound variables against the
+	// direction-inverted counterpart fields (src against dst), as in
+	// connection tracking.
+	IDSymmetric
+	// IDWandering: later stages match bound variables against fields of
+	// *different protocols* than they were bound from (e.g. a DHCP lease
+	// address matched against ARP traffic).
+	IDWandering
+)
+
+// String renders the Table 1 notation.
+func (id InstanceID) String() string {
+	switch id {
+	case IDExact:
+		return "exact"
+	case IDSymmetric:
+		return "symmetric"
+	case IDWandering:
+		return "wandering"
+	default:
+		return "unknown"
+	}
+}
+
+// Features is the derived requirement vector of a property — one boolean
+// per Table 1 column plus the instance-identification class. Regenerating
+// Table 1 means calling Analyze on each catalogue property and printing
+// this struct.
+type Features struct {
+	// MaxLayer is the deepest packet parsing required ("Fields" column).
+	// Switch metadata fields do not count: they require pipeline
+	// integration, not parsing (tracked by EgressVisibility below).
+	MaxLayer packet.Layer
+	// History: the property spans multiple observations (Feature 2).
+	History bool
+	// Timeouts: some stage carries an expiry window (Feature 3).
+	Timeouts bool
+	// Obligation: some stage carries until-guards (Feature 4).
+	Obligation bool
+	// Identity: some stage requires same-packet correlation (Feature 5).
+	Identity bool
+	// NegMatch: some predicate uses a non-equality comparison, requiring
+	// state or expectations to be matched negatively (Feature 6).
+	NegMatch bool
+	// TimeoutActions: some stage is a negative observation — a timeout
+	// firing advances the instance instead of merely expiring state
+	// (Feature 7).
+	TimeoutActions bool
+	// DropVisibility: some stage matches on the drop decision — the
+	// dropped-packet gap of Sec. 3.2.
+	DropVisibility bool
+	// EgressVisibility: some stage inspects egress metadata (output port,
+	// multicast, drop) and therefore needs pipeline stages after the
+	// output decision.
+	EgressVisibility bool
+	// MultipleMatch: some event must advance more than one instance at
+	// once (Sec. 2.4, out-of-band events).
+	MultipleMatch bool
+	// OutOfBand: some stage or guard matches non-packet events.
+	OutOfBand bool
+	// ExtrinsicState: some predicate uses a computed operand (hash),
+	// FAST's extrinsic-state facility.
+	ExtrinsicState bool
+	// Counting: some stage requires a quantitative threshold (MinCount >
+	// 1) — the beyond-boolean extension the paper's conclusion defers.
+	Counting bool
+	// Sticky: some guard discharges permanently (retroactive
+	// suppression) — this repository's extension for "unless previously
+	// justified" properties.
+	Sticky bool
+	// InstanceID is the identification variety ("Inst. ID" column).
+	InstanceID InstanceID
+}
+
+// symmetricPairs maps flow-direction fields to their inverses. Only true
+// directional pairs are listed: matching a variable across one of these
+// means the instance key is a connection observed from both ends.
+var symmetricPairs = map[packet.Field]packet.Field{
+	packet.FieldEthSrc:  packet.FieldEthDst,
+	packet.FieldEthDst:  packet.FieldEthSrc,
+	packet.FieldIPSrc:   packet.FieldIPDst,
+	packet.FieldIPDst:   packet.FieldIPSrc,
+	packet.FieldSrcPort: packet.FieldDstPort,
+	packet.FieldDstPort: packet.FieldSrcPort,
+}
+
+// protocolOf groups fields by protocol (the prefix of their dotted name);
+// matching a variable across protocol groups is wandering match.
+// Flow fields (ip.*, l4.*, eth.*) are grouped together: binding an IP
+// address and matching it against the port field would be nonsense the
+// validator cannot see, but binding ip.src and matching l4-layer flows is
+// still one parser's worth of keys.
+func protocolOf(f packet.Field) string {
+	if f.Layer() == packet.LayerMeta {
+		return "meta"
+	}
+	name := f.String()
+	if i := strings.IndexByte(name, '.'); i >= 0 {
+		p := name[:i]
+		switch p {
+		case "ip", "l4", "eth", "tcp", "icmp":
+			return "flow"
+		}
+		return p
+	}
+	return "meta"
+}
+
+// Analyze derives the feature requirements of a property. The property
+// must be valid.
+func Analyze(p *Property) Features {
+	var ft Features
+	ft.History = len(p.Stages) > 1
+
+	// boundFrom records, per variable, every field it is bound from.
+	boundFrom := map[Var][]packet.Field{}
+	id := IDExact
+
+	notePred := func(pr Pred, stageIdx int) {
+		if l := pr.Field.Layer(); l > ft.MaxLayer {
+			ft.MaxLayer = l
+		}
+		switch pr.Field {
+		case packet.FieldDropped:
+			ft.DropVisibility = true
+			ft.EgressVisibility = true
+		case packet.FieldOutPort, packet.FieldMulticast:
+			ft.EgressVisibility = true
+		}
+		if pr.Op != OpEq {
+			ft.NegMatch = true
+		}
+		switch pr.Arg.Kind {
+		case OperandHash:
+			ft.ExtrinsicState = true
+			for _, f := range pr.Arg.Hash.Fields {
+				if l := f.Layer(); l > ft.MaxLayer {
+					ft.MaxLayer = l
+				}
+			}
+		case OperandVar:
+			// Instance-ID classification: compare the matched field with
+			// the fields the variable was bound from.
+			if stageIdx > 0 {
+				for _, src := range boundFrom[pr.Arg.Var] {
+					switch {
+					case src == pr.Field:
+						// exact — no escalation
+					case symmetricPairs[src] == pr.Field:
+						if id == IDExact {
+							id = IDSymmetric
+						}
+					case protocolOf(src) != protocolOf(pr.Field):
+						id = IDWandering
+					default:
+						// Same protocol group, different field (e.g.
+						// arp.sender_ip bound, arp.target_ip matched):
+						// still a single parser's key space — exact.
+					}
+				}
+			}
+		}
+	}
+
+	for i, s := range p.Stages {
+		if s.Class == OutOfBand {
+			ft.OutOfBand = true
+			// Out-of-band events carry no flow key; after state has been
+			// built up they must advance whole sets of instances (the
+			// link-down example of Sec. 2.4).
+			if i > 0 && len(boundFrom) > 0 {
+				ft.MultipleMatch = true
+			}
+		}
+		if s.Negative {
+			ft.TimeoutActions = true
+		} else if (s.Window > 0 || s.WindowVar != "") && i > 0 {
+			ft.Timeouts = true
+		}
+		if len(s.Until) > 0 {
+			ft.Obligation = true
+		}
+		if s.MinCount > 1 {
+			ft.Counting = true
+			if s.CountDistinct != 0 {
+				if l := s.CountDistinct.Layer(); l > ft.MaxLayer {
+					ft.MaxLayer = l
+				}
+			}
+		}
+		if s.SamePacketAs >= 0 {
+			ft.Identity = true
+		}
+		for _, pr := range s.Preds {
+			notePred(pr, i)
+		}
+		for _, g := range s.AnyOf {
+			for _, pr := range g {
+				notePred(pr, i)
+			}
+		}
+		for _, g := range s.Until {
+			if g.Class == OutOfBand {
+				ft.OutOfBand = true
+			}
+			if g.Sticky {
+				ft.Sticky = true
+			}
+			for _, pr := range g.Preds {
+				notePred(pr, i)
+			}
+		}
+		for _, b := range s.Binds {
+			if l := b.Field.Layer(); l > ft.MaxLayer {
+				ft.MaxLayer = l
+			}
+			boundFrom[b.Var] = append(boundFrom[b.Var], b.Field)
+		}
+		// A non-first packet stage with no variable-equality predicate and
+		// no packet-identity link can advance every instance waiting at
+		// it: multiple match.
+		if i > 0 && !s.Negative && s.Class != OutOfBand &&
+			len(boundFrom) > 0 && s.SamePacketAs < 0 && !stageSelectsInstances(s) {
+			ft.MultipleMatch = true
+		}
+	}
+	ft.InstanceID = id
+	return ft
+}
+
+// stageSelectsInstances reports whether the stage's predicates include at
+// least one equality against a bound variable — the hook an index uses to
+// narrow the set of instances an event can advance.
+func stageSelectsInstances(s Stage) bool {
+	for _, pr := range s.Preds {
+		if pr.Arg.IsVar() && pr.Op == OpEq {
+			return true
+		}
+	}
+	for _, g := range s.AnyOf {
+		for _, pr := range g {
+			if pr.Arg.IsVar() && pr.Op == OpEq {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,169 @@
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Task is a unit of scheduled work on a Scheduler.
+type Task func()
+
+// scheduledItem is one entry in the scheduler's priority queue.
+type scheduledItem struct {
+	at   time.Time
+	seq  uint64 // tiebreaker: FIFO among equal timestamps
+	task Task
+	// canceled marks the item as a no-op without the cost of heap removal.
+	canceled bool
+}
+
+type itemHeap []*scheduledItem
+
+func (h itemHeap) Len() int { return len(h) }
+func (h itemHeap) Less(i, j int) bool {
+	if h[i].at.Equal(h[j].at) {
+		return h[i].seq < h[j].seq
+	}
+	return h[i].at.Before(h[j].at)
+}
+func (h itemHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *itemHeap) Push(x any)   { *h = append(*h, x.(*scheduledItem)) }
+func (h *itemHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// Timer is a handle to a scheduled task, usable to cancel it.
+type Timer struct{ item *scheduledItem }
+
+// Stop cancels the timer. It is safe to call on a nil Timer or after the
+// task has already run; in both cases it reports false. Otherwise it
+// reports true and guarantees the task will not run.
+func (t *Timer) Stop() bool {
+	if t == nil || t.item == nil || t.item.canceled {
+		return false
+	}
+	t.item.canceled = true
+	return true
+}
+
+// Scheduler combines a VirtualClock with an ordered task queue. Running the
+// scheduler advances virtual time to each task's deadline and executes the
+// task; tasks may schedule further tasks. All execution is single-threaded
+// and deterministic: tasks with equal deadlines run in scheduling order.
+//
+// Scheduler is not safe for concurrent use; the simulation model in this
+// repository is single-threaded by design (determinism beats parallelism
+// for reproducing semantics).
+type Scheduler struct {
+	clock *VirtualClock
+	queue itemHeap
+	seq   uint64
+}
+
+// NewScheduler returns a Scheduler driving a fresh VirtualClock at Epoch.
+func NewScheduler() *Scheduler {
+	return &Scheduler{clock: NewVirtualClock()}
+}
+
+// Clock returns the scheduler's virtual clock.
+func (s *Scheduler) Clock() *VirtualClock { return s.clock }
+
+// Now returns the scheduler's current virtual time.
+func (s *Scheduler) Now() time.Time { return s.clock.Now() }
+
+// At schedules task to run at the absolute virtual time t. Scheduling in
+// the past runs the task at the current time (it is clamped, not dropped).
+func (s *Scheduler) At(t time.Time, task Task) *Timer {
+	if now := s.clock.Now(); t.Before(now) {
+		t = now
+	}
+	it := &scheduledItem{at: t, seq: s.seq, task: task}
+	s.seq++
+	heap.Push(&s.queue, it)
+	return &Timer{item: it}
+}
+
+// After schedules task to run d after the current virtual time.
+func (s *Scheduler) After(d time.Duration, task Task) *Timer {
+	return s.At(s.clock.Now().Add(d), task)
+}
+
+// Pending reports the number of live (non-canceled) tasks in the queue.
+func (s *Scheduler) Pending() int {
+	n := 0
+	for _, it := range s.queue {
+		if !it.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// Step runs the single earliest pending task, advancing the clock to its
+// deadline. It reports whether a task ran.
+func (s *Scheduler) Step() bool {
+	for s.queue.Len() > 0 {
+		it := heap.Pop(&s.queue).(*scheduledItem)
+		if it.canceled {
+			continue
+		}
+		s.clock.Set(it.at)
+		it.task()
+		return true
+	}
+	return false
+}
+
+// Run executes tasks until the queue is empty. The steps limit guards
+// against runaway self-scheduling; Run returns the number of tasks executed
+// and whether it stopped because the limit was reached.
+func (s *Scheduler) Run(steps int) (executed int, limited bool) {
+	for executed < steps {
+		if !s.Step() {
+			return executed, false
+		}
+		executed++
+	}
+	return executed, s.Pending() > 0
+}
+
+// RunUntil executes tasks with deadlines at or before t, then advances the
+// clock to exactly t. It returns the number of tasks executed.
+func (s *Scheduler) RunUntil(t time.Time) int {
+	executed := 0
+	for {
+		next, ok := s.peek()
+		if !ok || next.After(t) {
+			break
+		}
+		if s.Step() {
+			executed++
+		}
+	}
+	if t.After(s.clock.Now()) {
+		s.clock.Set(t)
+	}
+	return executed
+}
+
+// RunFor is RunUntil relative to the current virtual time.
+func (s *Scheduler) RunFor(d time.Duration) int {
+	return s.RunUntil(s.clock.Now().Add(d))
+}
+
+// peek reports the deadline of the earliest live task.
+func (s *Scheduler) peek() (time.Time, bool) {
+	for s.queue.Len() > 0 {
+		it := s.queue[0]
+		if !it.canceled {
+			return it.at, true
+		}
+		heap.Pop(&s.queue)
+	}
+	return time.Time{}, false
+}

@@ -1,0 +1,31 @@
+package sim
+
+import "math/rand"
+
+// NewRand returns a deterministic pseudo-random source for the given seed.
+// All workload generators in this repository draw from sources created
+// here, so an experiment is fully described by (generator parameters,
+// seed).
+func NewRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Choice returns a uniformly random element of items drawn from r.
+// It panics on an empty slice: callers decide what an empty workload means.
+func Choice[T any](r *rand.Rand, items []T) T {
+	if len(items) == 0 {
+		panic("sim: Choice over empty slice")
+	}
+	return items[r.Intn(len(items))]
+}
+
+// Bernoulli reports true with probability p (clamped to [0,1]).
+func Bernoulli(r *rand.Rand, p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}

@@ -1,0 +1,179 @@
+package trace
+
+import (
+	"time"
+
+	"switchmon/internal/core"
+	"switchmon/internal/packet"
+	"switchmon/internal/sim"
+)
+
+// Workload generators. Each returns a deterministic event stream (fixed
+// seed ⇒ identical bytes) shaped like the scenario its experiment needs.
+
+var (
+	wlMACInternal = packet.MustMAC("02:00:00:00:01:01")
+	wlMACExternal = packet.MustMAC("02:00:00:00:01:02")
+)
+
+// FirewallWorkload drives the stateful-firewall scenario: Flows distinct
+// internal->external pairs open, exchange return traffic, and every
+// ViolationEvery-th return packet is wrongfully dropped.
+type FirewallWorkload struct {
+	// Flows is the number of concurrent A,B pairs (= live monitor
+	// instances).
+	Flows int
+	// ReturnsPerFlow is how many return packets each flow sees.
+	ReturnsPerFlow int
+	// ViolationEvery drops every Nth return packet (0 = none).
+	ViolationEvery int
+	// CloseEvery sends a FIN on every Nth flow after its returns
+	// (0 = none), exercising obligation discharges.
+	CloseEvery int
+	// Gap is the virtual inter-event spacing.
+	Gap time.Duration
+}
+
+// Events renders the workload as an event stream starting at start.
+func (w FirewallWorkload) Events(start time.Time) []core.Event {
+	if w.ReturnsPerFlow == 0 {
+		w.ReturnsPerFlow = 1
+	}
+	var events []core.Event
+	now := start
+	pid := core.PacketID(0)
+	step := func() time.Time {
+		now = now.Add(w.Gap)
+		return now
+	}
+	returns := 0
+	// Open all flows first so the instance population is at its peak
+	// while return traffic flows (the E3 shape).
+	for f := 0; f < w.Flows; f++ {
+		src := packet.IPv4FromUint32(0x0a000000 | uint32(f))
+		dst := packet.IPv4FromUint32(0xcb007100 | uint32(f%200))
+		out := packet.NewTCP(wlMACInternal, wlMACExternal, src, dst, uint16(10000+f%50000), 80, packet.FlagSYN, nil)
+		pid++
+		events = append(events,
+			core.Event{Kind: core.KindArrival, Time: step(), PacketID: pid, Packet: out, InPort: 1},
+			core.Event{Kind: core.KindEgress, Time: now, PacketID: pid, Packet: out, InPort: 1, OutPort: 2},
+		)
+	}
+	for r := 0; r < w.ReturnsPerFlow; r++ {
+		for f := 0; f < w.Flows; f++ {
+			src := packet.IPv4FromUint32(0x0a000000 | uint32(f))
+			dst := packet.IPv4FromUint32(0xcb007100 | uint32(f%200))
+			ret := packet.NewTCP(wlMACExternal, wlMACInternal, dst, src, 80, uint16(10000+f%50000), packet.FlagACK, nil)
+			pid++
+			returns++
+			ev := core.Event{Kind: core.KindArrival, Time: step(), PacketID: pid, Packet: ret, InPort: 2}
+			events = append(events, ev)
+			eg := core.Event{Kind: core.KindEgress, Time: now, PacketID: pid, Packet: ret, InPort: 2, OutPort: 1}
+			if w.ViolationEvery > 0 && returns%w.ViolationEvery == 0 {
+				eg.OutPort = 0
+				eg.Dropped = true
+			}
+			events = append(events, eg)
+		}
+	}
+	if w.CloseEvery > 0 {
+		for f := 0; f < w.Flows; f += w.CloseEvery {
+			src := packet.IPv4FromUint32(0x0a000000 | uint32(f))
+			dst := packet.IPv4FromUint32(0xcb007100 | uint32(f%200))
+			fin := packet.NewTCP(wlMACInternal, wlMACExternal, src, dst, uint16(10000+f%50000), 80, packet.FlagFIN|packet.FlagACK, nil)
+			pid++
+			events = append(events,
+				core.Event{Kind: core.KindArrival, Time: step(), PacketID: pid, Packet: fin, InPort: 1},
+				core.Event{Kind: core.KindEgress, Time: now, PacketID: pid, Packet: fin, InPort: 1, OutPort: 2},
+			)
+		}
+	}
+	return events
+}
+
+// NATWorkload drives the NAT reverse-translation scenario for the E5
+// side-effect experiment: Flows translations with occasional
+// mistranslations.
+type NATWorkload struct {
+	Flows             int
+	MistranslateEvery int
+	Gap               time.Duration
+}
+
+// Events renders the workload.
+func (w NATWorkload) Events(start time.Time) []core.Event {
+	natIP := packet.MustIPv4("198.51.100.1")
+	var events []core.Event
+	now := start
+	pid := core.PacketID(0)
+	step := func() time.Time {
+		now = now.Add(w.Gap)
+		return now
+	}
+	for f := 0; f < w.Flows; f++ {
+		src := packet.IPv4FromUint32(0x0a000000 | uint32(f))
+		dst := packet.IPv4FromUint32(0xcb007100 | uint32(f%200))
+		sport := uint16(20000 + f%40000)
+		extPort := uint16(60000 + f%5000)
+		out := packet.NewTCP(wlMACInternal, wlMACExternal, src, dst, sport, 80, packet.FlagSYN, nil)
+		outX := out.Clone()
+		outX.IPv4.Src = natIP
+		outX.TCP.SrcPort = extPort
+		pid++
+		events = append(events,
+			core.Event{Kind: core.KindArrival, Time: step(), PacketID: pid, Packet: out, InPort: 1},
+			core.Event{Kind: core.KindEgress, Time: now, PacketID: pid, Packet: outX, InPort: 1, OutPort: 2},
+		)
+		ret := packet.NewTCP(wlMACExternal, wlMACInternal, dst, natIP, 80, extPort, packet.FlagACK, nil)
+		retX := ret.Clone()
+		retX.IPv4.Dst = src
+		retX.TCP.DstPort = sport
+		if w.MistranslateEvery > 0 && (f+1)%w.MistranslateEvery == 0 {
+			retX.TCP.DstPort = sport + 1
+		}
+		pid++
+		events = append(events,
+			core.Event{Kind: core.KindArrival, Time: step(), PacketID: pid, Packet: ret, InPort: 2},
+			core.Event{Kind: core.KindEgress, Time: now, PacketID: pid, Packet: retX, InPort: 2, OutPort: 1},
+		)
+	}
+	return events
+}
+
+// LearningWorkload drives the learning-switch scenario for E7 (redirect
+// volume): Hosts hosts exchanging PacketsPerHost packets each, with
+// payload bytes to make volume measurable.
+type LearningWorkload struct {
+	Hosts          int
+	PacketsPerHost int
+	PayloadBytes   int
+	Gap            time.Duration
+}
+
+// Events renders the workload.
+func (w LearningWorkload) Events(start time.Time) []core.Event {
+	payload := make([]byte, w.PayloadBytes)
+	var events []core.Event
+	now := start
+	pid := core.PacketID(0)
+	rng := sim.NewRand(7)
+	macOf := func(i int) packet.MAC {
+		return packet.MACFromUint64(0x020000000000 | uint64(i+1))
+	}
+	ipOf := func(i int) packet.IPv4 {
+		return packet.IPv4FromUint32(0x0a010000 | uint32(i))
+	}
+	for r := 0; r < w.PacketsPerHost; r++ {
+		for h := 0; h < w.Hosts; h++ {
+			dst := (h + 1 + rng.Intn(w.Hosts-1)) % w.Hosts
+			p := packet.NewTCP(macOf(h), macOf(dst), ipOf(h), ipOf(dst), uint16(1000+h), uint16(1000+dst), packet.FlagACK, payload)
+			pid++
+			now = now.Add(w.Gap)
+			events = append(events,
+				core.Event{Kind: core.KindArrival, Time: now, PacketID: pid, Packet: p, InPort: uint64(h%8 + 1)},
+				core.Event{Kind: core.KindEgress, Time: now, PacketID: pid, Packet: p, InPort: uint64(h%8 + 1), OutPort: uint64(dst%8 + 1)},
+			)
+		}
+	}
+	return events
+}

@@ -1,0 +1,461 @@
+// Package varanus implements the paper's Varanus mechanism faithfully:
+// "Varanus's approach encodes each active monitor instance as its own
+// OpenFlow table and uses an extended, recursive form of the Open vSwitch
+// learn action to 'unroll' instances into new tables as events arrive"
+// (Sec. 3.1).
+//
+// Where internal/core keeps instances as bindings plus a pending-stage
+// pointer and resolves variables at match time, this engine does what the
+// prototype did: when an instance advances, the *next* stage's pattern is
+// compiled into a fresh table of fully concrete rules — every variable
+// reference substituted with its bound value, the packet-identity
+// constraint substituted with the concrete PacketID, the window rendered
+// as a rule timeout (or a timeout-action rule for negative observations).
+// Matching an event means walking every instance table: the pipeline
+// depth is the live instance count, the cost structure Sec. 3.3 calls
+// out.
+//
+// The engine intentionally reproduces internal/core's observable
+// semantics (the differential test in this package enforces it); sticky
+// guards and counting stages — this repository's extensions — are outside
+// the mechanism's power and are rejected at compile time, matching the
+// boolean-only scope the paper gives Varanus.
+package varanus
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"switchmon/internal/core"
+	"switchmon/internal/packet"
+	"switchmon/internal/property"
+	"switchmon/internal/sim"
+)
+
+// ErrBeyondMechanism marks properties outside the unrolled-table
+// mechanism's power (counting stages, sticky guards).
+var ErrBeyondMechanism = errors.New("varanus: property requires features beyond the recursive-learn mechanism")
+
+// ruleKind says what a matched rule does to its instance table.
+type ruleKind uint8
+
+const (
+	// ruleAdvance unrolls the instance into its next stage.
+	ruleAdvance ruleKind = iota
+	// ruleDischarge deletes the instance (negative observation satisfied,
+	// or obligation guard fired).
+	ruleDischarge
+)
+
+// concretePred is a predicate with every variable already substituted —
+// what an unrolled OpenFlow rule can actually match.
+type concretePred struct {
+	field packet.Field
+	op    property.CmpOp
+	// lit is the concrete right-hand side; hash is the one operand kind
+	// that stays dynamic (computed over the current event's own fields).
+	lit  packet.Value
+	hash *property.HashSpec
+}
+
+func (cp concretePred) holds(e *core.Event) bool {
+	fv, ok := e.Field(cp.field)
+	if !ok {
+		return false
+	}
+	arg := cp.lit
+	if cp.hash != nil {
+		vals := make([]packet.Value, 0, len(cp.hash.Fields))
+		for _, f := range cp.hash.Fields {
+			v, ok := e.Field(f)
+			if !ok {
+				return false
+			}
+			vals = append(vals, v)
+		}
+		arg = packet.Num(cp.hash.Base + packet.HashValues(vals)%cp.hash.Mod)
+	}
+	return cp.op.Compare(fv, arg)
+}
+
+// rule is one entry of an instance table.
+type rule struct {
+	kind       ruleKind
+	class      property.EventClass
+	samePacket core.PacketID // 0 = unconstrained
+	preds      []concretePred
+	// bindFields are the fields to capture on match (advance rules).
+	bindFields []property.Binding
+}
+
+// matches reports whether the event hits the rule. Bind fields must be
+// present, mirroring core's stagePatternMatches.
+func (r *rule) matches(e *core.Event) bool {
+	if !classMatches(r.class, e) {
+		return false
+	}
+	if r.samePacket != 0 && e.PacketID != r.samePacket {
+		return false
+	}
+	for _, cp := range r.preds {
+		if !cp.holds(e) {
+			return false
+		}
+	}
+	for _, b := range r.bindFields {
+		if _, ok := e.Field(b.Field); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func classMatches(c property.EventClass, e *core.Event) bool {
+	switch c {
+	case property.AnyPacket:
+		return e.Kind == core.KindArrival || e.Kind == core.KindEgress
+	case property.Arrival:
+		return e.Kind == core.KindArrival
+	case property.Egress:
+		return e.Kind == core.KindEgress
+	case property.OutOfBand:
+		return e.Kind == core.KindOutOfBand
+	default:
+		return false
+	}
+}
+
+// instTable is one unrolled instance: a concrete rule table plus the
+// state needed to unroll the next stage.
+type instTable struct {
+	id      uint64
+	prop    *compiledProp
+	stage   int
+	binds   map[property.Var]packet.Value
+	packets []core.PacketID
+	rules   []rule
+	// negative marks the pending stage as a negative observation: the
+	// deadline advances instead of expiring.
+	negative bool
+	timer    *sim.Timer
+	lastSeq  uint64
+	sig      string
+}
+
+// compiledProp wraps the validated property.
+type compiledProp struct {
+	prop *property.Property
+}
+
+// Monitor is the unrolled-table engine.
+type Monitor struct {
+	sched  *sim.Scheduler
+	props  []*compiledProp
+	tables []*instTable
+	bySig  map[string]*instTable
+	nextID uint64
+	seq    uint64
+
+	// OnViolation receives reports (property name + trigger summary).
+	OnViolation func(prop string, at time.Time, trigger string)
+
+	// RuleInstalls counts concrete rules written into instance tables —
+	// the slow-path state-update volume of Sec. 3.3.
+	RuleInstalls uint64
+	violations   uint64
+}
+
+// NewMonitor creates an unrolled-table monitor on the scheduler.
+func NewMonitor(sched *sim.Scheduler) *Monitor {
+	return &Monitor{sched: sched, bySig: map[string]*instTable{}}
+}
+
+// AddProperty compiles a property. Counting stages and sticky guards are
+// beyond the mechanism.
+func (m *Monitor) AddProperty(p *property.Property) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	for _, s := range p.Stages {
+		if s.MinCount > 1 {
+			return fmt.Errorf("%w: counting stage %q", ErrBeyondMechanism, s.Label)
+		}
+		for _, g := range s.Until {
+			if g.Sticky {
+				return fmt.Errorf("%w: sticky guard at stage %q", ErrBeyondMechanism, s.Label)
+			}
+		}
+	}
+	m.props = append(m.props, &compiledProp{prop: p})
+	return nil
+}
+
+// Violations reports the number of completed patterns.
+func (m *Monitor) Violations() uint64 { return m.violations }
+
+// PipelineDepth reports the number of live instance tables — the
+// quantity that bounds packet processing time in the Varanus design.
+func (m *Monitor) PipelineDepth() int { return len(m.tables) }
+
+// HandleEvent walks every instance table (the Varanus pipeline), then
+// considers starting new instances at stage zero.
+func (m *Monitor) HandleEvent(e core.Event) {
+	m.seq++
+	seq := m.seq
+	// Walk a snapshot: advancing/discharging mutates m.tables.
+	snapshot := append([]*instTable(nil), m.tables...)
+	for _, tbl := range snapshot {
+		if tbl.lastSeq == seq || !m.live(tbl) {
+			continue
+		}
+		// First matching rule wins (priority order: advance rules are
+		// compiled ahead of guard rules, mirroring core's stage-first
+		// precedence).
+		for ri := range tbl.rules {
+			r := &tbl.rules[ri]
+			if !r.matches(&e) {
+				continue
+			}
+			tbl.lastSeq = seq
+			switch r.kind {
+			case ruleAdvance:
+				if tbl.negative {
+					// A matching event discharges a pending negative
+					// observation.
+					m.drop(tbl)
+				} else {
+					m.advance(tbl, r, &e)
+				}
+			case ruleDischarge:
+				m.drop(tbl)
+			}
+			break
+		}
+	}
+	// Stage-zero creation.
+	for _, cp := range m.props {
+		st := &cp.prop.Stages[0]
+		r := compileStage(st, nil, nil)
+		if r.matches(&e) {
+			m.nextID++
+			tbl := &instTable{
+				id:      m.nextID,
+				prop:    cp,
+				stage:   0,
+				binds:   map[property.Var]packet.Value{},
+				packets: make([]core.PacketID, len(cp.prop.Stages)),
+				lastSeq: seq,
+			}
+			m.advance(tbl, &r, &e)
+		}
+	}
+}
+
+// live reports whether the table is still installed.
+func (m *Monitor) live(tbl *instTable) bool {
+	return tbl.sig != "" && m.bySig[tbl.sig] == tbl
+}
+
+// advance applies bindings and unrolls the next stage's table.
+func (m *Monitor) advance(tbl *instTable, r *rule, e *core.Event) {
+	m.unfile(tbl)
+	for _, b := range r.bindFields {
+		v, ok := e.Field(b.Field)
+		if !ok {
+			panic("varanus: bind field vanished after match")
+		}
+		tbl.binds[b.Var] = v
+	}
+	tbl.packets[tbl.stage] = e.PacketID
+	tbl.stage++
+	if tbl.stage == len(tbl.prop.prop.Stages) {
+		m.violations++
+		if m.OnViolation != nil {
+			m.OnViolation(tbl.prop.prop.Name, e.Time, e.Summary())
+		}
+		return
+	}
+	m.unroll(tbl)
+}
+
+// advanceByTimeout is the timeout-action path: the negative observation's
+// deadline fired.
+func (m *Monitor) advanceByTimeout(tbl *instTable) {
+	m.unfile(tbl)
+	tbl.stage++
+	if tbl.stage == len(tbl.prop.prop.Stages) {
+		m.violations++
+		if m.OnViolation != nil {
+			m.OnViolation(tbl.prop.prop.Name, m.sched.Now(),
+				"timeout: negative observation fired")
+		}
+		return
+	}
+	m.unroll(tbl)
+}
+
+// unroll compiles the pending stage into the instance's concrete rule
+// table, handling dedup/refresh and deadlines — the recursive-learn step.
+func (m *Monitor) unroll(tbl *instTable) {
+	st := &tbl.prop.prop.Stages[tbl.stage]
+	sig := signature(tbl)
+	if exist, ok := m.bySig[sig]; ok {
+		// Identical instance already unrolled: refresh its window for
+		// positive stages; negative deadlines are never refreshed.
+		if !st.Negative {
+			if d, ok := windowOf(st, exist.binds); ok {
+				if exist.timer != nil {
+					exist.timer.Stop()
+				}
+				ex := exist
+				exist.timer = m.sched.After(d, func() { m.expire(ex) })
+			}
+		}
+		return
+	}
+	tbl.sig = sig
+	tbl.negative = st.Negative
+
+	// Advance rule(s): the stage pattern with variables substituted. One
+	// rule per AnyOf alternative; a single rule when there is none.
+	tbl.rules = tbl.rules[:0]
+	base := compileStage(st, tbl.binds, tbl.packets)
+	if len(st.AnyOf) == 0 {
+		tbl.rules = append(tbl.rules, base)
+	} else {
+		for _, g := range st.AnyOf {
+			alt := base
+			alt.preds = append(append([]concretePred(nil), base.preds...), compilePreds(g, tbl.binds)...)
+			tbl.rules = append(tbl.rules, alt)
+		}
+	}
+	// Guard rules after the advance rules (stage match wins on ties).
+	for _, g := range st.Until {
+		tbl.rules = append(tbl.rules, rule{
+			kind:  ruleDischarge,
+			class: g.Class,
+			preds: compilePreds(g.Preds, tbl.binds),
+		})
+	}
+	m.RuleInstalls += uint64(len(tbl.rules))
+
+	m.tables = append(m.tables, tbl)
+	m.bySig[sig] = tbl
+
+	if d, ok := windowOf(st, tbl.binds); ok {
+		in := tbl
+		if st.Negative {
+			tbl.timer = m.sched.After(d, func() { m.advanceByTimeout(in) })
+		} else {
+			tbl.timer = m.sched.After(d, func() { m.expire(in) })
+		}
+	}
+}
+
+// drop removes an instance table entirely.
+func (m *Monitor) drop(tbl *instTable) { m.unfile(tbl) }
+
+// expire removes an instance whose positive window lapsed.
+func (m *Monitor) expire(tbl *instTable) { m.unfile(tbl) }
+
+// unfile detaches the table from the pipeline.
+func (m *Monitor) unfile(tbl *instTable) {
+	if tbl.timer != nil {
+		tbl.timer.Stop()
+		tbl.timer = nil
+	}
+	if tbl.sig != "" {
+		if m.bySig[tbl.sig] == tbl {
+			delete(m.bySig, tbl.sig)
+		}
+		tbl.sig = ""
+		for i, t := range m.tables {
+			if t == tbl {
+				m.tables = append(m.tables[:i], m.tables[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// compileStage renders a stage's top-level pattern as one concrete rule.
+func compileStage(st *property.Stage, binds map[property.Var]packet.Value, packets []core.PacketID) rule {
+	r := rule{
+		kind:       ruleAdvance,
+		class:      st.Class,
+		preds:      compilePreds(st.Preds, binds),
+		bindFields: st.Binds,
+	}
+	if st.SamePacketAs >= 0 && packets != nil {
+		r.samePacket = packets[st.SamePacketAs]
+	}
+	return r
+}
+
+// compilePreds substitutes bound variables into predicates.
+func compilePreds(preds []property.Pred, binds map[property.Var]packet.Value) []concretePred {
+	out := make([]concretePred, 0, len(preds))
+	for _, pr := range preds {
+		cp := concretePred{field: pr.Field, op: pr.Op}
+		switch pr.Arg.Kind {
+		case property.OperandVar:
+			cp.lit = binds[pr.Arg.Var]
+		case property.OperandHash:
+			cp.hash = pr.Arg.Hash
+		default:
+			cp.lit = pr.Arg.Lit
+		}
+		out = append(out, cp)
+	}
+	return out
+}
+
+// windowOf resolves the stage window, static or variable-valued.
+func windowOf(st *property.Stage, binds map[property.Var]packet.Value) (time.Duration, bool) {
+	if st.Window > 0 {
+		return st.Window, true
+	}
+	if st.WindowVar != "" {
+		v, ok := binds[st.WindowVar]
+		if !ok || v.IsStr() {
+			return 0, false
+		}
+		return time.Duration(v.Uint64()) * time.Second, true
+	}
+	return 0, false
+}
+
+// signature mirrors internal/core's instance identity: property, stage,
+// sorted bindings, and the PacketIDs of identity-relevant stages.
+func signature(tbl *instTable) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s@%d;", tbl.prop.prop.Name, tbl.stage)
+	vars := make([]string, 0, len(tbl.binds))
+	for v := range tbl.binds {
+		vars = append(vars, string(v))
+	}
+	sort.Strings(vars)
+	for _, v := range vars {
+		val := tbl.binds[property.Var(v)]
+		if val.IsStr() {
+			fmt.Fprintf(&b, "%s=s%s;", v, val.Text())
+		} else {
+			fmt.Fprintf(&b, "%s=n%x;", v, val.Uint64())
+		}
+	}
+	identity := map[int]bool{}
+	for _, s := range tbl.prop.prop.Stages {
+		if s.SamePacketAs >= 0 {
+			identity[s.SamePacketAs] = true
+		}
+	}
+	for si := 0; si < tbl.stage; si++ {
+		if identity[si] {
+			fmt.Fprintf(&b, "#%d:%d;", si, tbl.packets[si])
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,248 @@
+package varanus
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"switchmon/internal/core"
+	"switchmon/internal/packet"
+	"switchmon/internal/property"
+	"switchmon/internal/sim"
+)
+
+var (
+	macA = packet.MustMAC("02:00:00:00:00:0a")
+	macB = packet.MustMAC("02:00:00:00:00:0b")
+	ipA  = packet.MustIPv4("10.0.0.1")
+	ipB  = packet.MustIPv4("203.0.113.9")
+	ipC  = packet.MustIPv4("10.0.0.2")
+)
+
+func catalogProp(t *testing.T, name string) *property.Property {
+	t.Helper()
+	p := property.CatalogByName(property.DefaultParams(), name)
+	if p == nil {
+		t.Fatalf("no property %s", name)
+	}
+	return p
+}
+
+func TestRejectsExtensionsBeyondMechanism(t *testing.T) {
+	m := NewMonitor(sim.NewScheduler())
+	if err := m.AddProperty(catalogProp(t, "portscan-detect")); err == nil {
+		t.Fatal("counting property accepted")
+	}
+	if err := m.AddProperty(catalogProp(t, "dhcparp-no-direct-reply")); err == nil {
+		t.Fatal("sticky-guard property accepted")
+	}
+	if err := m.AddProperty(catalogProp(t, "firewall-until-close")); err != nil {
+		t.Fatalf("plain property rejected: %v", err)
+	}
+}
+
+func TestUnrolledFirewallViolation(t *testing.T) {
+	sched := sim.NewScheduler()
+	m := NewMonitor(sched)
+	if err := m.AddProperty(catalogProp(t, "firewall-basic")); err != nil {
+		t.Fatal(err)
+	}
+	ab := packet.NewTCP(macA, macB, ipA, ipB, 1000, 80, packet.FlagSYN, nil)
+	ba := packet.NewTCP(macB, macA, ipB, ipA, 80, 1000, packet.FlagACK, nil)
+	m.HandleEvent(core.Event{Kind: core.KindArrival, Time: sched.Now(), PacketID: 1, Packet: ab, InPort: 1})
+	if m.PipelineDepth() != 1 {
+		t.Fatalf("depth = %d, want 1 unrolled table", m.PipelineDepth())
+	}
+	m.HandleEvent(core.Event{Kind: core.KindEgress, Time: sched.Now(), PacketID: 2, Packet: ba, InPort: 2, Dropped: true})
+	if m.Violations() != 1 {
+		t.Fatalf("violations = %d, want 1", m.Violations())
+	}
+	if m.PipelineDepth() != 0 {
+		t.Fatal("violation did not consume the instance table")
+	}
+	if m.RuleInstalls == 0 {
+		t.Fatal("no rule installs recorded")
+	}
+}
+
+func TestUnrolledNegativeObservation(t *testing.T) {
+	sched := sim.NewScheduler()
+	m := NewMonitor(sched)
+	if err := m.AddProperty(catalogProp(t, "arp-proxy-reply")); err != nil {
+		t.Fatal(err)
+	}
+	m.HandleEvent(core.Event{Kind: core.KindArrival, Time: sched.Now(), PacketID: 1,
+		Packet: packet.NewARPReply(macA, ipA, macB, ipB), InPort: 3})
+	m.HandleEvent(core.Event{Kind: core.KindArrival, Time: sched.Now(), PacketID: 2,
+		Packet: packet.NewARPRequest(macB, ipB, ipA), InPort: 4})
+	sched.RunFor(3 * time.Second)
+	if m.Violations() != 1 {
+		t.Fatalf("violations = %d, want 1 (timeout action)", m.Violations())
+	}
+}
+
+// differentialProps are the catalogue properties within the mechanism's
+// power.
+func differentialProps(t *testing.T) []*property.Property {
+	t.Helper()
+	var props []*property.Property
+	for _, e := range property.Catalog(property.DefaultParams()) {
+		ok := true
+		for _, s := range e.Prop.Stages {
+			if s.MinCount > 1 {
+				ok = false
+			}
+			for _, g := range s.Until {
+				if g.Sticky {
+					ok = false
+				}
+			}
+		}
+		if ok {
+			props = append(props, e.Prop)
+		}
+	}
+	if len(props) < 15 {
+		t.Fatalf("only %d differential properties", len(props))
+	}
+	return props
+}
+
+// TestUnrolledMatchesCoreEngine drives random event streams through the
+// unrolled-table mechanism and internal/core, requiring identical
+// violation multisets — the correctness argument that the mechanism study
+// and the reference engine implement the same semantics.
+func TestUnrolledMatchesCoreEngine(t *testing.T) {
+	props := differentialProps(t)
+	for seed := int64(1); seed <= 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			sched := sim.NewScheduler()
+
+			var unrolled, reference []string
+			vm := NewMonitor(sched)
+			vm.OnViolation = func(prop string, at time.Time, trigger string) {
+				unrolled = append(unrolled, fmt.Sprintf("%s@%d", prop, at.UnixNano()))
+			}
+			cm := core.NewMonitor(sched, core.Config{OnViolation: func(v *core.Violation) {
+				reference = append(reference, fmt.Sprintf("%s@%d", v.Property, v.Time.UnixNano()))
+			}})
+			for _, p := range props {
+				if err := vm.AddProperty(p); err != nil {
+					t.Fatal(err)
+				}
+				if err := cm.AddProperty(p); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			rng := sim.NewRand(seed)
+			macs := []packet.MAC{macA, macB, packet.MustMAC("02:00:00:00:00:0c")}
+			ips := []packet.IPv4{ipA, ipB, ipC}
+			ports := []uint16{80, 7001, 7002, 7003, 22, 40000, 67, 68}
+			var pid core.PacketID
+			feed := func(e core.Event) { vm.HandleEvent(e); cm.HandleEvent(e) }
+
+			for i := 0; i < 300; i++ {
+				sched.RunFor(time.Duration(rng.Intn(400)) * time.Millisecond)
+				var p *packet.Packet
+				switch rng.Intn(4) {
+				case 0:
+					p = packet.NewTCP(sim.Choice(rng, macs), sim.Choice(rng, macs),
+						sim.Choice(rng, ips), sim.Choice(rng, ips),
+						sim.Choice(rng, ports), sim.Choice(rng, ports),
+						packet.TCPFlags(rng.Intn(64)), nil)
+				case 1:
+					p = packet.NewUDP(sim.Choice(rng, macs), sim.Choice(rng, macs),
+						sim.Choice(rng, ips), sim.Choice(rng, ips),
+						sim.Choice(rng, ports), sim.Choice(rng, ports), nil)
+				case 2:
+					if rng.Intn(2) == 0 {
+						p = packet.NewARPRequest(sim.Choice(rng, macs), sim.Choice(rng, ips), sim.Choice(rng, ips))
+					} else {
+						p = packet.NewARPReply(sim.Choice(rng, macs), sim.Choice(rng, ips),
+							sim.Choice(rng, macs), sim.Choice(rng, ips))
+					}
+				case 3:
+					feed(core.Event{Kind: core.KindOutOfBand, Time: sched.Now(),
+						OOBKind: packet.OOBLinkDown, OOBPort: uint64(rng.Intn(4) + 1)})
+					continue
+				}
+				pid++
+				inPort := uint64(rng.Intn(4) + 1)
+				now := sched.Now()
+				feed(core.Event{Kind: core.KindArrival, Time: now, PacketID: pid, Packet: p, InPort: inPort})
+				if rng.Intn(4) == 0 {
+					feed(core.Event{Kind: core.KindEgress, Time: now, PacketID: pid, Packet: p,
+						InPort: inPort, Dropped: true})
+				} else {
+					feed(core.Event{Kind: core.KindEgress, Time: now, PacketID: pid, Packet: p,
+						InPort: inPort, OutPort: uint64(rng.Intn(4) + 1),
+						Multicast: rng.Intn(5) == 0})
+				}
+			}
+			sched.RunFor(5 * time.Minute)
+
+			count := map[string]int{}
+			for _, s := range unrolled {
+				count[s]++
+			}
+			for _, s := range reference {
+				count[s]--
+			}
+			for s, n := range count {
+				if n != 0 {
+					t.Errorf("violation multiset differs at %s (%+d)", s, n)
+				}
+			}
+			if t.Failed() {
+				t.Logf("unrolled=%d reference=%d", len(unrolled), len(reference))
+			}
+			if vm.PipelineDepth() != cm.ActiveInstances() {
+				t.Errorf("live instances differ: unrolled=%d core=%d",
+					vm.PipelineDepth(), cm.ActiveInstances())
+			}
+		})
+	}
+}
+
+func TestUnrolledWindowRefresh(t *testing.T) {
+	// Positive windows refresh on dedup, negative deadlines do not —
+	// mirroring core exactly.
+	sched := sim.NewScheduler()
+	m := NewMonitor(sched)
+	if err := m.AddProperty(catalogProp(t, "firewall-timeout")); err != nil {
+		t.Fatal(err)
+	}
+	ab := packet.NewTCP(macA, macB, ipA, ipB, 1000, 80, packet.FlagSYN, nil)
+	ba := packet.NewTCP(macB, macA, ipB, ipA, 80, 1000, packet.FlagACK, nil)
+	send := func(p *packet.Packet, in uint64) {
+		m.HandleEvent(core.Event{Kind: core.KindArrival, Time: sched.Now(), PacketID: 0, Packet: p, InPort: in})
+	}
+	send(ab, 1)
+	sched.RunFor(50 * time.Second)
+	send(ab, 1) // refresh at t=50
+	sched.RunFor(50 * time.Second)
+	// t=100: original deadline (60s) long past; refreshed deadline at 110.
+	m.HandleEvent(core.Event{Kind: core.KindEgress, Time: sched.Now(), PacketID: 9, Packet: ba, InPort: 2, Dropped: true})
+	if m.Violations() != 1 {
+		t.Fatalf("violations = %d, want 1 (window was refreshed)", m.Violations())
+	}
+}
+
+func TestUnrolledPipelineDepthGrows(t *testing.T) {
+	sched := sim.NewScheduler()
+	m := NewMonitor(sched)
+	if err := m.AddProperty(catalogProp(t, "firewall-basic")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		src := packet.IPv4FromUint32(0x0a000000 + uint32(i))
+		p := packet.NewTCP(macA, macB, src, ipB, uint16(1000+i), 80, packet.FlagSYN, nil)
+		m.HandleEvent(core.Event{Kind: core.KindArrival, Time: sched.Now(),
+			PacketID: core.PacketID(i + 1), Packet: p, InPort: 1})
+	}
+	if m.PipelineDepth() != 50 {
+		t.Fatalf("depth = %d, want 50", m.PipelineDepth())
+	}
+}

@@ -1,0 +1,57 @@
+// Package properties_test pins the shipped DSL rendering of the property
+// catalogue: the file must parse back to exactly the built-in catalogue.
+// Regenerate catalog.properties with dsl.FormatAll over the catalogue if
+// this test fails after an intentional catalogue change.
+package properties_test
+
+import (
+	"os"
+	"reflect"
+	"testing"
+
+	"switchmon/internal/dsl"
+	"switchmon/internal/property"
+)
+
+func TestShippedCatalogueMatchesBuiltin(t *testing.T) {
+	src, err := os.ReadFile("catalog.properties")
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := dsl.ParseAll(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := property.Catalog(property.DefaultParams())
+	if len(parsed) != len(entries) {
+		t.Fatalf("shipped file has %d properties, catalogue has %d — regenerate catalog.properties",
+			len(parsed), len(entries))
+	}
+	for i, e := range entries {
+		if !reflect.DeepEqual(e.Prop, parsed[i]) {
+			t.Errorf("property %s differs between shipped file and catalogue — regenerate catalog.properties",
+				e.Prop.Name)
+		}
+	}
+}
+
+func TestShippedCatalogueCanonical(t *testing.T) {
+	src, err := os.ReadFile("catalog.properties")
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := dsl.ParseAll(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The file body (after the header comments) must be the canonical
+	// formatting of its own contents.
+	reformatted := dsl.FormatAll(parsed)
+	again, err := dsl.ParseAll(reformatted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(parsed, again) {
+		t.Fatal("canonical formatting is unstable")
+	}
+}
