@@ -13,6 +13,9 @@
 //	    (Feature 10).
 //	E7  External monitoring redirects the full traffic volume; on-switch
 //	    monitoring redirects nothing (Sec. 1).
+//	E8  Identity-hash sharding spreads the live population across
+//	    per-core engines: events/sec scales with the shard count on
+//	    multi-core hosts (run with GOMAXPROCS >= shards).
 package switchmon
 
 import (
@@ -190,6 +193,55 @@ func BenchmarkE7RedirectVolume(b *testing.B) {
 		}
 		b.ReportMetric(0, "redirected-B/op")
 	})
+}
+
+// BenchmarkE8Sharding measures sharded-engine throughput against the
+// inline engine on the high-flow steady state: a large established
+// population probed by interleaved return traffic, the shape where the
+// per-event cost is one index lookup and the shards share nothing. The
+// events/sec metric is the paper-facing number; speedup over shards=1
+// requires real cores (GOMAXPROCS >= shards), since the shards are
+// goroutines.
+func BenchmarkE8Sharding(b *testing.B) {
+	const flows = 8192
+	open := trace.HighFlowWorkload{Flows: flows, Gap: time.Microsecond}.Events(sim.Epoch)
+	work := trace.HighFlowWorkload{Flows: flows, Rounds: 1, Gap: time.Microsecond}.Events(sim.Epoch)
+	returns := work[2*flows:] // steady-state stage-1 probes only
+
+	b.Run("inline", func(b *testing.B) {
+		sched := sim.NewScheduler()
+		mon := core.NewMonitor(sched, core.Config{})
+		if err := mon.AddProperty(fwProp(b)); err != nil {
+			b.Fatal(err)
+		}
+		for _, e := range open {
+			mon.HandleEvent(e)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			mon.HandleEvent(returns[i%len(returns)])
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+	})
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			sm := core.NewShardedMonitor(shards, core.Config{})
+			defer sm.Close()
+			if err := sm.AddProperty(fwProp(b)); err != nil {
+				b.Fatal(err)
+			}
+			sm.SubmitBatch(open)
+			sm.Drain()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sm.Submit(returns[i%len(returns)])
+			}
+			sm.Barrier() // cost of in-flight batches belongs to the run
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+		})
+	}
 }
 
 // BenchmarkAblationIndexing quantifies what the Feature 8 instance

@@ -9,14 +9,18 @@
 //	    split monitor's missed violations under queue pressure
 //	e6  provenance levels: none / limited / full overhead
 //	e7  external monitoring redirect volume (OpenFlow 1.3) vs. on-switch
+//	e8  sharded-engine throughput vs. shard count on the high-flow
+//	    steady state (speedup needs GOMAXPROCS >= shards)
 //
-// Usage: benchsweep [-exp all|e3|e4|e5|e6|e7]
+// Usage: benchsweep [-exp all|e3|e4|e5|e6|e7|e8] [-cpuprofile f] [-memprofile f]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"switchmon/internal/backend"
@@ -27,13 +31,45 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, e3, e4, e5, e6, e7")
+	exp := flag.String("exp", "all", "experiment to run: all, e3, e4, e5, e6, e7, e8")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (after the sweep) to this file")
 	flag.Parse()
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchsweep: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "benchsweep: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memprofile == "" {
+			return
+		}
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchsweep: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC() // report live objects, not garbage
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "benchsweep: %v\n", err)
+			os.Exit(1)
+		}
+	}()
 	run := map[string]func(){
 		"e3": sweepE3, "e4": sweepE4, "e5": sweepE5, "e6": sweepE6, "e7": sweepE7,
+		"e8": sweepE8,
 	}
 	if *exp == "all" {
-		for _, name := range []string{"e3", "e4", "e5", "e6", "e7"} {
+		for _, name := range []string{"e3", "e4", "e5", "e6", "e7", "e8"} {
 			run[name]()
 			fmt.Println()
 		}
@@ -250,5 +286,55 @@ func sweepE7() {
 			ideal.HandleEvent(events[i])
 		}
 		fmt.Printf("%-10d %14d %16d %16d\n", hosts, packets, of13.RedirectedBytes(), 0)
+	}
+}
+
+// sweepE8: sharded-engine throughput vs shard count. The workload is the
+// high-flow steady state: a large established population probed by
+// round-robin return traffic, so consecutive events hit different shards.
+func sweepE8() {
+	fmt.Printf("E8: sharded engine throughput vs shards (GOMAXPROCS=%d)\n", runtime.GOMAXPROCS(0))
+	fmt.Printf("%-10s %12s %14s %12s\n", "shards", "ns/event", "events/sec", "violations")
+	const flows = 8192
+	open := trace.HighFlowWorkload{Flows: flows, Gap: time.Microsecond}.Events(sim.Epoch)
+	work := trace.HighFlowWorkload{Flows: flows, Rounds: 8, ViolationEvery: 1000, Gap: time.Microsecond}.Events(sim.Epoch)
+	returns := work[2*flows:]
+
+	// Inline baseline: the single-threaded engine on the same stream.
+	{
+		sched := sim.NewScheduler()
+		viols := 0
+		mon := core.NewMonitor(sched, core.Config{OnViolation: func(*core.Violation) { viols++ }})
+		if err := mon.AddProperty(fwProp()); err != nil {
+			panic(err)
+		}
+		for _, e := range open {
+			mon.HandleEvent(e)
+		}
+		start := time.Now()
+		for i := range returns {
+			mon.HandleEvent(returns[i])
+		}
+		elapsed := time.Since(start)
+		fmt.Printf("%-10s %12.0f %14.0f %12d\n", "inline",
+			float64(elapsed.Nanoseconds())/float64(len(returns)),
+			float64(len(returns))/elapsed.Seconds(), viols)
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		viols := 0
+		sm := core.NewShardedMonitor(shards, core.Config{OnViolation: func(*core.Violation) { viols++ }})
+		if err := sm.AddProperty(fwProp()); err != nil {
+			panic(err)
+		}
+		sm.SubmitBatch(open)
+		sm.Drain()
+		start := time.Now()
+		sm.SubmitBatch(returns)
+		sm.Barrier()
+		elapsed := time.Since(start)
+		fmt.Printf("%-10d %12.0f %14.0f %12d\n", shards,
+			float64(elapsed.Nanoseconds())/float64(len(returns)),
+			float64(len(returns))/elapsed.Seconds(), viols)
+		sm.Close()
 	}
 }

@@ -207,6 +207,7 @@ func All(sched *sim.Scheduler) []Backend {
 		NewSNAP(sched),
 		NewVaranus(sched),
 		NewStaticVaranus(sched),
+		NewShardedVaranus(sched),
 		NewIdeal(sched),
 	}
 }

@@ -226,10 +226,63 @@ func TestTimeoutActionsRunOnVaranusBackends(t *testing.T) {
 	}
 }
 
+func TestShardedVaranusMatchesIdeal(t *testing.T) {
+	// The sharded backend is Ideal's execution strategy, not a different
+	// monitor: on a bulk firewall stream it must report the same violation
+	// count and the same register-write cost, spread across its shards.
+	sched := sim.NewScheduler()
+	ideal := NewIdeal(sched)
+	sharded := NewShardedVaranusN(4)
+	defer sharded.Close()
+	fw := prop(t, "firewall-basic")
+	for _, b := range []Backend{ideal, sharded} {
+		if err := b.AddProperty(fw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	now := sched.Now()
+	var pid core.PacketID
+	for f := 0; f < 500; f++ {
+		src := packet.IPv4FromUint32(0x0a000000 | uint32(f))
+		open := packet.NewTCP(macA, macB, src, ipB, uint16(10000+f), 80, packet.FlagSYN, nil)
+		ret := packet.NewTCP(macB, macA, ipB, src, 80, uint16(10000+f), packet.FlagACK, nil)
+		pid++
+		evs := []core.Event{
+			{Kind: core.KindArrival, Time: now, PacketID: pid, Packet: open, InPort: 1},
+			{Kind: core.KindEgress, Time: now, PacketID: pid, Packet: open, InPort: 1, OutPort: 2},
+			{Kind: core.KindEgress, Time: now, PacketID: pid + 1, Packet: ret, InPort: 2, Dropped: f%5 == 0},
+		}
+		if f%5 != 0 {
+			evs[2].OutPort = 1
+		}
+		pid++
+		for _, ev := range evs {
+			ideal.HandleEvent(ev)
+			sharded.HandleEvent(ev)
+		}
+		now = now.Add(time.Microsecond)
+	}
+	if iv, sv := ideal.Violations(), sharded.Violations(); iv != sv {
+		t.Fatalf("violations: ideal=%d sharded=%d", iv, sv)
+	}
+	if sharded.Violations() != 100 {
+		t.Fatalf("violations = %d, want 100", sharded.Violations())
+	}
+	if ic, sc := ideal.StateUpdateCost(), sharded.StateUpdateCost(); ic != sc {
+		t.Fatalf("state cost: ideal=%d sharded=%d", ic, sc)
+	}
+	if d := sharded.PipelineDepth(); d != 2 {
+		t.Fatalf("depth = %d, want 2 (stage count, population-independent)", d)
+	}
+	if sharded.Monitor().Shards() != 4 {
+		t.Fatalf("shards = %d, want 4", sharded.Monitor().Shards())
+	}
+}
+
 func TestAllReturnsEveryBackend(t *testing.T) {
 	bs := All(sim.NewScheduler())
-	if len(bs) != 9 {
-		t.Fatalf("All() = %d backends, want 9", len(bs))
+	if len(bs) != 10 {
+		t.Fatalf("All() = %d backends, want 10", len(bs))
 	}
 	names := map[string]bool{}
 	for _, b := range bs {

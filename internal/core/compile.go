@@ -1,11 +1,6 @@
 package core
 
 import (
-	"fmt"
-	"sort"
-	"strconv"
-	"strings"
-
 	"switchmon/internal/packet"
 	"switchmon/internal/property"
 )
@@ -59,6 +54,10 @@ type compiledProp struct {
 	// identityStages marks stage indexes referenced by any SamePacketAs:
 	// their matched PacketIDs are part of instance identity.
 	identityStages map[int]bool
+	// plan is the static sharding analysis: whether the property's index
+	// groups yield a stable shard key, and from which event fields that
+	// key is computed at each addressing path.
+	plan shardPlan
 }
 
 // compile validates and prepares a property.
@@ -128,6 +127,7 @@ func compile(p *property.Property) (*compiledProp, error) {
 		}
 		cp.stages = append(cp.stages, cs)
 	}
+	cp.plan = analyzeSharding(cp)
 	return cp, nil
 }
 
@@ -249,43 +249,110 @@ func guardMatches(g property.Guard, e *Event, env bindings) bool {
 	return classMatches(g.Class, e) && predsHold(g.Preds, e, env)
 }
 
-// encodeValues builds a composite index key from values.
-func encodeValues(vals []packet.Value) string {
-	var b strings.Builder
-	for _, v := range vals {
-		if v.IsStr() {
-			b.WriteByte('s')
-			b.WriteString(strconv.Itoa(len(v.Text())))
-			b.WriteByte(':')
-			b.WriteString(v.Text())
-		} else {
-			b.WriteByte('n')
-			b.WriteString(strconv.FormatUint(v.Uint64(), 16))
-		}
-		b.WriteByte('|')
+// The index keys, dedup signatures, and shard routes below are all
+// fixed-size 64-bit FNV-1a hashes instead of composite strings: building a
+// string key costs one or more heap allocations per event, and the hot
+// path (indexed steady state) must run allocation-free. Hash keys trade
+// the strings' injectivity for a 2^-64 collision probability per pair,
+// which is negligible against the instance populations this engine
+// targets; the byte stream fed to the hash still carries type and length
+// tags so the adversarial delimiter cases (quick_test.go) cannot collide
+// by construction.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// fnvByte mixes one byte into an FNV-1a state.
+func fnvByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * fnvPrime }
+
+// fnvU64 mixes a 64-bit value, little-endian, into an FNV-1a state.
+func fnvU64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = fnvByte(h, byte(v))
+		v >>= 8
 	}
-	return b.String()
+	return h
 }
 
-// groupKey builds "g<i>|" + encoded values so the key spaces of distinct
-// index groups cannot collide.
-func groupKey(group int, vals []packet.Value) string {
-	return fmt.Sprintf("g%d|%s", group, encodeValues(vals))
+// fnvString mixes string bytes into an FNV-1a state.
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = fnvByte(h, s[i])
+	}
+	return h
+}
+
+// mix64 is a strong 64-bit finalizer (the murmur3 fmix64 bijection).
+// Raw FNV-1a states must pass through it before being SUMMED into an
+// order-invariant hash: FNV folds a byte as (h^b)*p, so two chains that
+// differ only in correlated late bytes (say, the low bytes of a flow's
+// src and dst) leave deltas multiplied by the same power of p, and those
+// deltas can cancel in a sum — on structured address ranges most of the
+// key space collapses. Avalanching each term first makes the terms
+// independent, and sums of independent terms do not cancel structurally.
+func mix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// fnvValue mixes one field value, tagged by kind (and length for strings,
+// so concatenation boundaries stay unambiguous).
+func fnvValue(h uint64, v packet.Value) uint64 {
+	if v.IsStr() {
+		s := v.Text()
+		h = fnvByte(h, 's')
+		h = fnvU64(h, uint64(len(s)))
+		return fnvString(h, s)
+	}
+	h = fnvByte(h, 'n')
+	return fnvU64(h, v.Uint64())
+}
+
+// hashValues hashes a value slice — the uint64 replacement for the old
+// string encodeValues. Exercised directly by the collision quick tests.
+func hashValues(vals []packet.Value) uint64 {
+	h := fnvOffset
+	for _, v := range vals {
+		h = fnvValue(h, v)
+	}
+	return h
+}
+
+// groupKeyBase seeds the key space of one index group; distinct groups
+// (and the other key namespaces below) mix a distinct tag byte so their
+// key spaces cannot collide structurally.
+func groupKeyBase(group int) uint64 {
+	return fnvU64(fnvByte(fnvOffset, 'g'), uint64(group))
+}
+
+// guardKeyBase seeds the key space of one obligation guard.
+func guardKeyBase(guard int) uint64 {
+	return fnvU64(fnvByte(fnvOffset, 'u'), uint64(guard))
+}
+
+// pidKey builds the packet-identity index key.
+func pidKey(pid PacketID) uint64 {
+	return fnvU64(fnvByte(fnvOffset, 'p'), uint64(pid))
 }
 
 // eventIndexKeys computes, per index group, the key an event must hit,
-// reading field values from the event. Groups whose fields the event does
-// not carry are omitted (no instance filed there can match).
-func eventIndexKeys(cs *compiledStage, e *Event) []string {
+// reading field values from the event, appending to keys (a caller-owned
+// scratch slice). Groups whose fields the event does not carry are
+// omitted (no instance filed there can match).
+func eventIndexKeys(cs *compiledStage, e *Event, keys []uint64) []uint64 {
 	if cs.pidIndex {
 		if e.PacketID == 0 {
-			return nil
+			return keys
 		}
-		return []string{fmt.Sprintf("p|%x", e.PacketID)}
+		return append(keys, pidKey(e.PacketID))
 	}
-	keys := make([]string, 0, len(cs.indexGroups))
 	for gi, group := range cs.indexGroups {
-		vals := make([]packet.Value, 0, len(group))
+		h := groupKeyBase(gi)
 		ok := true
 		for _, pr := range group {
 			v, present := e.Field(pr.Field)
@@ -293,92 +360,246 @@ func eventIndexKeys(cs *compiledStage, e *Event) []string {
 				ok = false
 				break
 			}
-			vals = append(vals, v)
+			h = fnvValue(h, v)
 		}
 		if ok {
-			keys = append(keys, groupKey(gi, vals))
+			keys = append(keys, h)
 		}
 	}
 	return keys
 }
 
 // instanceIndexKeys computes the keys under which a waiting instance is
-// filed: one per index group (or the identity PacketID for pid-indexed
-// stages), plus one per keyed obligation guard.
-func instanceIndexKeys(cs *compiledStage, env bindings, packets []PacketID) []string {
-	var keys []string
+// filed — one per index group (or the identity PacketID for pid-indexed
+// stages), plus one per keyed obligation guard — appending to keys (the
+// instance's reusable key slice).
+func instanceIndexKeys(cs *compiledStage, env bindings, packets []PacketID, keys []uint64) []uint64 {
 	if cs.pidIndex {
 		if pid := packets[cs.st.SamePacketAs]; pid != 0 {
-			keys = append(keys, fmt.Sprintf("p|%x", pid))
+			keys = append(keys, pidKey(pid))
 		}
 	} else {
 		for gi, group := range cs.indexGroups {
-			if vals, ok := envVals(group, env); ok {
-				keys = append(keys, groupKey(gi, vals))
+			if h, ok := envKey(groupKeyBase(gi), group, env); ok {
+				keys = append(keys, h)
 			}
 		}
 	}
-	for ui, g := range cs.guardIdx {
+	for ui := range cs.guardIdx {
+		g := &cs.guardIdx[ui]
 		if len(g.eq) == 0 {
 			continue
 		}
-		if vals, ok := envVals(g.eq, env); ok {
-			keys = append(keys, guardKey(ui, vals))
+		if h, ok := envKey(guardKeyBase(ui), g.eq, env); ok {
+			keys = append(keys, h)
 		}
 	}
 	return keys
 }
 
-// envVals resolves each predicate's variable from the environment.
-func envVals(preds []property.Pred, env bindings) ([]packet.Value, bool) {
-	vals := make([]packet.Value, 0, len(preds))
+// envKey folds each predicate's variable value from the environment into
+// the seeded hash state.
+func envKey(h uint64, preds []property.Pred, env bindings) (uint64, bool) {
 	for _, pr := range preds {
 		v, present := env[pr.Arg.Var]
 		if !present {
-			return nil, false
+			return 0, false
 		}
-		vals = append(vals, v)
+		h = fnvValue(h, v)
 	}
-	return vals, true
-}
-
-// guardKey namespaces obligation-guard index keys.
-func guardKey(guard int, vals []packet.Value) string {
-	return fmt.Sprintf("u%d|%s", guard, encodeValues(vals))
+	return h, true
 }
 
 // guardEventKey computes the key an event must hit for a keyed guard.
-func guardEventKey(gi int, g *guardIndex, e *Event) (string, bool) {
-	vals := make([]packet.Value, 0, len(g.eq))
+func guardEventKey(gi int, g *guardIndex, e *Event) (uint64, bool) {
+	h := guardKeyBase(gi)
 	for _, pr := range g.eq {
 		v, ok := e.Field(pr.Field)
 		if !ok {
-			return "", false
+			return 0, false
 		}
-		vals = append(vals, v)
+		h = fnvValue(h, v)
 	}
-	return guardKey(gi, vals), true
+	return h, true
 }
 
-// signature builds the instance-identity string used for deduplication:
-// stage, sorted bindings, and the packet IDs of identity-relevant stages.
-func (cp *compiledProp) signature(stage int, env bindings, packets []PacketID) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "@%d;", stage)
-	vars := make([]string, 0, len(env))
-	for v := range env {
-		vars = append(vars, string(v))
+// signature builds the instance-identity hash used for deduplication:
+// stage, bindings, and the packet IDs of identity-relevant stages. The
+// binding environment is folded order-invariantly (each entry hashed on
+// its own, entry hashes summed) so no sorted key slice is allocated; a
+// map has no duplicate keys, so the sum is a faithful multiset hash, and
+// mix64 on each entry keeps the terms from cancelling (see mix64). The
+// result is never zero: zero is the "no signature" sentinel on instances.
+func (cp *compiledProp) signature(stage int, env bindings, packets []PacketID) uint64 {
+	var envSum uint64
+	for v, val := range env {
+		h := fnvString(fnvOffset, string(v))
+		h = fnvByte(h, '=')
+		envSum += mix64(fnvValue(h, val))
 	}
-	sort.Strings(vars)
-	for _, v := range vars {
-		b.WriteString(v)
-		b.WriteByte('=')
-		b.WriteString(encodeValues([]packet.Value{env[property.Var(v)]}))
-	}
+	sig := fnvU64(fnvByte(fnvOffset, '@'), uint64(stage))
+	sig = fnvU64(sig, uint64(len(env)))
+	sig = fnvU64(sig, envSum)
 	for si := range cp.stages {
 		if cp.identityStages[si] && si < len(packets) && si < stage {
-			fmt.Fprintf(&b, "#%d:%d;", si, packets[si])
+			sig = fnvByte(sig, '#')
+			sig = fnvU64(sig, uint64(si))
+			sig = fnvU64(sig, uint64(packets[si]))
 		}
 	}
-	return b.String()
+	if sig == 0 {
+		sig = 1
+	}
+	return sig
+}
+
+// --- Static sharding analysis -----------------------------------------------
+
+// shardRoute is one way an event can address instances of a property: a
+// list of event fields, one per identity variable, whose value multiset
+// equals the instance's identity-value multiset whenever the event
+// matches that addressing path (an index group at some stage, a keyed
+// obligation guard, or a sticky guard).
+type shardRoute struct {
+	fields []packet.Field
+}
+
+// shardPlan is the result of the per-property sharding analysis. A
+// property is shardable when a non-empty set of identity variables V,
+// bound at stage zero, is pinned by an equality-on-variable predicate in
+// every addressing path of every later stage: then the order-invariant
+// hash of the pinned fields' values routes every relevant event to the
+// shard owning the instance, because on a match those values equal the
+// instance's V-values by definition of the predicates. Properties that
+// break this — wandering/multiple-match identities addressed by scans,
+// packet-identity stages, guards without variable keys, or re-binding an
+// identity variable — fall back to the designated catch-all shard.
+type shardPlan struct {
+	shardable bool
+	// identityVars is V, in deterministic order.
+	identityVars []property.Var
+	// createFields are the stage-zero bind fields of V: the home shard of
+	// a new instance is the hash of these field values on the creating
+	// event.
+	createFields []packet.Field
+	// routes are the addressing paths of all later stages and guards.
+	routes []shardRoute
+}
+
+// analyzeSharding derives the shard plan of a compiled property.
+func analyzeSharding(cp *compiledProp) shardPlan {
+	if len(cp.stages) == 0 {
+		return shardPlan{}
+	}
+	st0 := cp.stages[0].st
+	// Candidate V starts as every stage-zero-bound variable, in binding
+	// order; paths that pin only a subset shrink it.
+	var vs []property.Var
+	bound := map[property.Var]packet.Field{}
+	for _, b := range st0.Binds {
+		if _, dup := bound[b.Var]; !dup {
+			bound[b.Var] = b.Field
+			vs = append(vs, b.Var)
+		}
+	}
+	if len(vs) == 0 {
+		return shardPlan{}
+	}
+	// pathPins collects, per addressing path, the pinned variable -> event
+	// field maps; V shrinks to the intersection of all paths' pin sets.
+	type path struct{ pins map[property.Var]packet.Field }
+	var paths []path
+	for si := 1; si < len(cp.stages); si++ {
+		cs := &cp.stages[si]
+		if cs.st.SamePacketAs >= 0 {
+			return shardPlan{} // packet-identity addressing: no value key
+		}
+		for _, b := range cs.st.Binds {
+			if _, isID := bound[b.Var]; isID {
+				return shardPlan{} // re-binding an identity variable moves the key
+			}
+		}
+		if len(cs.indexGroups) == 0 {
+			return shardPlan{} // scan stage: the event cannot be routed
+		}
+		for _, group := range cs.indexGroups {
+			pins := map[property.Var]packet.Field{}
+			for _, pr := range group {
+				if _, ok := pins[pr.Arg.Var]; !ok {
+					pins[pr.Arg.Var] = pr.Field
+				}
+			}
+			paths = append(paths, path{pins: pins})
+		}
+		for gi := range cs.guardIdx {
+			g := &cs.guardIdx[gi]
+			if g.guard.Sticky {
+				continue // handled below via the synthesized environment
+			}
+			if len(g.eq) == 0 {
+				return shardPlan{} // scan guard: the discharging event cannot be routed
+			}
+			pins := map[property.Var]packet.Field{}
+			for _, pr := range g.eq {
+				if _, ok := pins[pr.Arg.Var]; !ok {
+					pins[pr.Arg.Var] = pr.Field
+				}
+			}
+			paths = append(paths, path{pins: pins})
+		}
+		for _, sg := range cs.stickyGuards {
+			pins := map[property.Var]packet.Field{}
+			for v, f := range sg.varFields {
+				pins[v] = f
+			}
+			paths = append(paths, path{pins: pins})
+		}
+	}
+	// Shrink V to the variables every path pins.
+	var ids []property.Var
+	for _, v := range vs {
+		pinned := true
+		for _, p := range paths {
+			if _, ok := p.pins[v]; !ok {
+				pinned = false
+				break
+			}
+		}
+		if pinned {
+			ids = append(ids, v)
+		}
+	}
+	if len(ids) == 0 {
+		return shardPlan{}
+	}
+	plan := shardPlan{shardable: true, identityVars: ids}
+	for _, v := range ids {
+		plan.createFields = append(plan.createFields, bound[v])
+	}
+	for _, p := range paths {
+		r := shardRoute{fields: make([]packet.Field, 0, len(ids))}
+		for _, v := range ids {
+			r.fields = append(r.fields, p.pins[v])
+		}
+		plan.routes = append(plan.routes, r)
+	}
+	return plan
+}
+
+// routeHash computes the order-invariant identity hash of the given event
+// fields: each value is hashed on its own and the hashes summed, so any
+// field permutation carrying the same value multiset (a flow and its
+// reverse under a symmetric property) lands on the same shard. ok is
+// false when the event does not carry every field — no instance filed
+// under this path can match such an event.
+func routeHash(e *Event, fields []packet.Field) (uint64, bool) {
+	var sum uint64
+	for _, f := range fields {
+		v, present := e.Field(f)
+		if !present {
+			return 0, false
+		}
+		sum += mix64(fnvValue(fnvOffset, v))
+	}
+	return sum, true
 }

@@ -49,8 +49,12 @@ type Config struct {
 	// scanning engines must agree) and to quantify what indexing buys.
 	DisableIndex bool
 	// SplitFlushLimit caps the pending queue in Split mode; 0 means
-	// unbounded. When the cap is hit, the oldest events are dropped and
-	// counted — modeling a switch whose slow-path update queue overflows.
+	// unbounded. When an event arrives with the queue at the cap, the
+	// oldest SplitFlushLimit/2 events (minimum 1) are dropped in a single
+	// batch before the new event is queued — modeling a switch whose
+	// slow-path update queue overflows under pressure. Every dropped
+	// event counts individually in Stats.DroppedEvents: one overflow of a
+	// limit-8 queue adds 4 to the counter, not 1.
 	SplitFlushLimit int
 	// MaxInstances caps the live instance population; 0 means unbounded.
 	// When a new instance would exceed the cap, the oldest live instance
@@ -85,12 +89,14 @@ type Stats struct {
 	Suppressed uint64
 	// Evicted counts instances removed by the MaxInstances cap.
 	Evicted uint64
-	// DroppedEvents counts split-mode queue overflow drops.
+	// DroppedEvents counts split-mode queue overflow drops, one count per
+	// dropped event (not per overflow batch).
 	DroppedEvents uint64
 }
 
 // instance is one partially completed violation pattern (Feature 8's
-// "instances").
+// "instances"). Instances are pooled: terminally dead ones return to the
+// monitor's free list and are recycled by createInstance under a fresh id.
 type instance struct {
 	id      uint64
 	propIdx int
@@ -109,33 +115,46 @@ type instance struct {
 	// (negative observation) or expire (window).
 	deadlineNegative bool
 	lastEventSeq     uint64
-	idxKeys          []string
-	sig              string
-	filed            bool
+	// lastCandSeq dedups an instance reachable through several index keys
+	// of the same event without building a union set.
+	lastCandSeq uint64
+	idxKeys     []uint64
+	sig         uint64
+	filed       bool
 }
 
 // bucket holds the instances of one property waiting at one stage.
 type bucket struct {
 	all   map[uint64]*instance
-	keyed map[string]map[uint64]*instance
-	bySig map[string]*instance
+	keyed map[uint64]map[uint64]*instance
+	bySig map[uint64]*instance
 	// suppressed holds instance signatures permanently discharged by
 	// sticky guards; entering instances with these signatures are dropped.
-	suppressed map[string]bool
+	suppressed map[uint64]bool
 }
 
 func newBucket() *bucket {
 	return &bucket{
 		all:        map[uint64]*instance{},
-		keyed:      map[string]map[uint64]*instance{},
-		bySig:      map[string]*instance{},
-		suppressed: map[string]bool{},
+		keyed:      map[uint64]map[uint64]*instance{},
+		bySig:      map[uint64]*instance{},
+		suppressed: map[uint64]bool{},
 	}
+}
+
+// evictRef is one entry in the MaxInstances FIFO. Instances are pooled,
+// so the queue pins the id the reference was filed under: a recycled
+// instance carries a fresh id and fails the check, which keeps a stale
+// reference from evicting the new incarnation.
+type evictRef struct {
+	inst *instance
+	id   uint64
 }
 
 // Monitor is the property-monitoring engine. It is single-threaded by
 // design: the dataplane simulator drives it from one goroutine, matching
-// how a switch pipeline stage would execute.
+// how a switch pipeline stage would execute. ShardedMonitor scales it
+// across cores by running N of these over disjoint identity partitions.
 type Monitor struct {
 	sched   *sim.Scheduler
 	cfg     Config
@@ -146,9 +165,20 @@ type Monitor struct {
 	pending []Event
 	stats   Stats
 	// evictQueue holds instances in creation order for MaxInstances
-	// eviction; entries may be stale (already removed).
-	evictQueue []*instance
+	// eviction; entries may be stale (already removed or recycled).
+	evictQueue []evictRef
 	live       int
+	// freeList recycles terminally dead instances (pooling: the hot path
+	// must not allocate).
+	freeList []*instance
+	// instScratch and keyScratch are per-monitor scratch buffers for
+	// matchStage's candidate collection; taken and restored around use so
+	// re-entrant HandleEvent calls from an OnViolation callback fall back
+	// to allocating instead of corrupting the in-use buffer.
+	instScratch []*instance
+	keyScratch  []uint64
+	// envScratch is reused by seedSuppressions for synthesized identities.
+	envScratch bindings
 }
 
 // NewMonitor creates a monitor driven by the given scheduler's clock.
@@ -205,9 +235,16 @@ func (m *Monitor) PendingEvents() int { return len(m.pending) }
 func (m *Monitor) HandleEvent(e Event) {
 	if m.cfg.Mode == Split {
 		if m.cfg.SplitFlushLimit > 0 && len(m.pending) >= m.cfg.SplitFlushLimit {
-			// Overflow: drop the oldest half, as a slow path under
-			// pressure would.
-			drop := len(m.pending) / 2
+			// Overflow: drop the oldest SplitFlushLimit/2 events (minimum
+			// one, so a cap of 1 still sheds) in a single batch, as a slow
+			// path under pressure would. Each dropped event counts once.
+			drop := m.cfg.SplitFlushLimit / 2
+			if drop < 1 {
+				drop = 1
+			}
+			if drop > len(m.pending) {
+				drop = len(m.pending)
+			}
 			m.stats.DroppedEvents += uint64(drop)
 			m.pending = append(m.pending[:0], m.pending[drop:]...)
 		}
@@ -254,50 +291,55 @@ func (m *Monitor) apply(e *Event) {
 	}
 }
 
-// candidates yields the instances an event could advance at a stage: the
-// union of the index groups' keyed lookups, or the whole bucket when the
-// stage has no index schema (or indexing is disabled).
-func (m *Monitor) candidates(cs *compiledStage, b *bucket, e *Event) map[uint64]*instance {
-	if m.cfg.DisableIndex || (len(cs.indexGroups) == 0 && !cs.pidIndex) {
-		return b.all
-	}
-	keys := eventIndexKeys(cs, e)
-	switch len(keys) {
-	case 0:
-		return nil
-	case 1:
-		return b.keyed[keys[0]]
-	}
-	union := map[uint64]*instance{}
-	for _, k := range keys {
-		for id, inst := range b.keyed[k] {
-			union[id] = inst
-		}
-	}
-	return union
-}
-
 // matchStage advances, discharges, or leaves alone the instances waiting
-// at one stage for one event.
+// at one stage for one event. The candidate set is the union of the index
+// groups' keyed lookups — merge-iterated with a sequence-number dedup
+// rather than materialized into a set — or the whole bucket when the
+// stage has no index schema (or indexing is disabled).
 func (m *Monitor) matchStage(pi, si int, cs *compiledStage, b *bucket, e *Event, seq uint64) {
 	st := cs.st
 	// Pass 1: pattern matches. For positive stages a match advances; for
 	// negative stages the awaited event arrived in time, so the instance
-	// is discharged without violation.
-	var acted []*instance
-	for _, inst := range m.candidates(cs, b, e) {
-		if inst.lastEventSeq == seq {
-			continue
+	// is discharged without violation. Matches are collected first (into a
+	// scratch buffer) and acted on after, since acting mutates the maps
+	// being iterated.
+	acted := m.instScratch[:0]
+	m.instScratch = nil
+	if m.cfg.DisableIndex || (len(cs.indexGroups) == 0 && !cs.pidIndex) {
+		for _, inst := range b.all {
+			if inst.lastEventSeq == seq {
+				continue
+			}
+			if stagePatternMatches(cs, e, inst.binds, inst.packets) {
+				acted = append(acted, inst)
+			}
 		}
-		if stagePatternMatches(cs, e, inst.binds, inst.packets) {
-			acted = append(acted, inst)
+	} else {
+		keys := m.keyScratch[:0]
+		m.keyScratch = nil
+		keys = eventIndexKeys(cs, e, keys)
+		for _, k := range keys {
+			for _, inst := range b.keyed[k] {
+				if inst.lastCandSeq == seq {
+					continue // already considered under another key
+				}
+				inst.lastCandSeq = seq
+				if inst.lastEventSeq == seq {
+					continue
+				}
+				if stagePatternMatches(cs, e, inst.binds, inst.packets) {
+					acted = append(acted, inst)
+				}
+			}
 		}
+		m.keyScratch = keys[:0]
 	}
 	for _, inst := range acted {
 		inst.lastEventSeq = seq
 		if st.Negative {
 			m.remove(inst)
 			m.stats.Discharged++
+			m.release(inst)
 			continue
 		}
 		if st.MinCount > 1 {
@@ -322,11 +364,13 @@ func (m *Monitor) matchStage(pi, si int, cs *compiledStage, b *bucket, e *Event,
 	}
 	// Pass 2: obligation guards (Feature 4). Each guard has its own index
 	// keys; guards without equality-on-variable predicates fall back to a
-	// bucket scan.
+	// bucket scan. The acted buffer is done, so it doubles as the
+	// discharge buffer.
 	if len(cs.guardIdx) == 0 {
+		m.instScratch = acted[:0]
 		return
 	}
-	var discharged []*instance
+	discharged := acted[:0]
 	for gi := range cs.guardIdx {
 		g := &cs.guardIdx[gi]
 		if !classMatches(g.guard.Class, e) {
@@ -353,23 +397,53 @@ func (m *Monitor) matchStage(pi, si int, cs *compiledStage, b *bucket, e *Event,
 	for _, inst := range discharged {
 		m.remove(inst)
 		m.stats.Discharged++
+		m.release(inst)
 	}
+	m.instScratch = discharged[:0]
 }
 
-// createInstance starts a new instance from a stage-0 match.
+// createInstance starts a new instance from a stage-0 match, recycling a
+// pooled instance when one is free.
 func (m *Monitor) createInstance(pi int, cp *compiledProp, e *Event, seq uint64) {
+	var inst *instance
+	if n := len(m.freeList); n > 0 {
+		inst = m.freeList[n-1]
+		m.freeList[n-1] = nil
+		m.freeList = m.freeList[:n-1]
+	} else {
+		inst = &instance{binds: bindings{}}
+	}
 	m.nextID++
-	inst := &instance{
-		id:           m.nextID,
-		propIdx:      pi,
-		cp:           cp,
-		stage:        0,
-		binds:        bindings{},
-		packets:      make([]PacketID, len(cp.stages)),
-		lastEventSeq: seq,
+	inst.id = m.nextID
+	inst.propIdx = pi
+	inst.cp = cp
+	inst.stage = 0
+	inst.lastEventSeq = seq
+	inst.lastCandSeq = seq
+	if cap(inst.packets) >= len(cp.stages) {
+		inst.packets = inst.packets[:len(cp.stages)]
+		clear(inst.packets)
+	} else {
+		inst.packets = make([]PacketID, len(cp.stages))
 	}
 	m.stats.Created++
 	m.advance(inst, e)
+}
+
+// release returns a terminally dead instance (violated, discharged,
+// expired, evicted, suppressed, or deduped away) to the free list. The
+// caller must have unfiled it first; remove stops the timer, so no
+// scheduler callback can touch a recycled instance, and createInstance
+// reissues a fresh id, which is what invalidates stale evictRefs.
+func (m *Monitor) release(inst *instance) {
+	inst.cp = nil
+	inst.timer = nil
+	inst.history = inst.history[:0]
+	inst.count = 0
+	inst.seen = nil
+	inst.deadlineNegative = false
+	clear(inst.binds)
+	m.freeList = append(m.freeList, inst)
 }
 
 // advance applies the event's bindings and moves the instance forward,
@@ -403,6 +477,7 @@ func (m *Monitor) advance(inst *instance, e *Event) {
 	inst.seen = nil
 	if inst.stage == len(inst.cp.stages) {
 		m.violate(inst, e.Time, e.Summary())
+		m.release(inst)
 		return
 	}
 	m.enter(inst)
@@ -429,19 +504,22 @@ func (m *Monitor) advanceByTimeout(inst *instance) {
 	trigger := fmt.Sprintf("timeout: no event matched %q within the window", cs.st.Label)
 	if inst.stage == len(inst.cp.stages) {
 		m.violate(inst, now, trigger)
+		m.release(inst)
 		return
 	}
 	m.enter(inst)
 }
 
 // enter files the instance under its pending stage, handling dedup /
-// refresh and arming deadlines.
+// refresh and arming deadlines. Instances turned away (suppressed or
+// deduplicated) are dead and return to the pool.
 func (m *Monitor) enter(inst *instance) {
 	cs := &inst.cp.stages[inst.stage]
 	b := m.buckets[inst.propIdx][inst.stage]
 	sig := inst.cp.signature(inst.stage, inst.binds, inst.packets)
 	if b.suppressed[sig] {
 		m.stats.Suppressed++
+		m.release(inst)
 		return
 	}
 	if exist, ok := b.bySig[sig]; ok {
@@ -464,6 +542,7 @@ func (m *Monitor) enter(inst *instance) {
 				m.stats.Refreshed++
 			}
 		}
+		m.release(inst)
 		return
 	}
 	if m.cfg.MaxInstances > 0 {
@@ -472,14 +551,14 @@ func (m *Monitor) enter(inst *instance) {
 		}
 		// The FIFO is only maintained under a cap; an unbounded monitor
 		// must not accumulate queue entries forever.
-		m.evictQueue = append(m.evictQueue, inst)
+		m.evictQueue = append(m.evictQueue, evictRef{inst: inst, id: inst.id})
 	}
 	inst.sig = sig
 	inst.filed = true
 	m.live++
 	b.bySig[sig] = inst
 	b.all[inst.id] = inst
-	inst.idxKeys = instanceIndexKeys(cs, inst.binds, inst.packets)
+	inst.idxKeys = instanceIndexKeys(cs, inst.binds, inst.packets, inst.idxKeys[:0])
 	for _, key := range inst.idxKeys {
 		sub := b.keyed[key]
 		if sub == nil {
@@ -520,9 +599,12 @@ func (m *Monitor) windowOf(cs *compiledStage, env bindings) (time.Duration, bool
 func (m *Monitor) expire(inst *instance) {
 	m.remove(inst)
 	m.stats.Expired++
+	m.release(inst)
 }
 
-// remove unfiles the instance and cancels its deadline.
+// remove unfiles the instance and cancels its deadline. The instance may
+// live on (a stage advance re-enters it); terminal callers release it to
+// the pool separately.
 func (m *Monitor) remove(inst *instance) {
 	if inst.timer != nil {
 		inst.timer.Stop()
@@ -534,11 +616,11 @@ func (m *Monitor) remove(inst *instance) {
 	}
 	b := m.buckets[inst.propIdx][inst.stage]
 	delete(b.all, inst.id)
-	if inst.sig != "" {
+	if inst.sig != 0 {
 		if b.bySig[inst.sig] == inst {
 			delete(b.bySig, inst.sig)
 		}
-		inst.sig = ""
+		inst.sig = 0
 	}
 	for _, key := range inst.idxKeys {
 		if sub := b.keyed[key]; sub != nil {
@@ -548,7 +630,7 @@ func (m *Monitor) remove(inst *instance) {
 			}
 		}
 	}
-	inst.idxKeys = nil
+	inst.idxKeys = inst.idxKeys[:0]
 }
 
 // seedSuppressions applies sticky guards (permanent discharge): any event
@@ -564,7 +646,11 @@ func (m *Monitor) seedSuppressions(cp *compiledProp, bs []*bucket, e *Event) {
 			if !classMatches(sg.guard.Class, e) {
 				continue
 			}
-			env := make(bindings, len(sg.varFields))
+			if m.envScratch == nil {
+				m.envScratch = bindings{}
+			}
+			env := m.envScratch
+			clear(env)
 			ok := true
 			for v, f := range sg.varFields {
 				val, present := e.Field(f)
@@ -585,6 +671,7 @@ func (m *Monitor) seedSuppressions(cp *compiledProp, bs []*bucket, e *Event) {
 			if inst, live := b.bySig[sig]; live {
 				m.remove(inst)
 				m.stats.Suppressed++
+				m.release(inst)
 			}
 		}
 	}
@@ -593,14 +680,15 @@ func (m *Monitor) seedSuppressions(cp *compiledProp, bs []*bucket, e *Event) {
 // evictOldest removes the longest-lived filed instance (MaxInstances).
 func (m *Monitor) evictOldest() {
 	for len(m.evictQueue) > 0 {
-		inst := m.evictQueue[0]
-		m.evictQueue[0] = nil
+		ref := m.evictQueue[0]
+		m.evictQueue[0] = evictRef{}
 		m.evictQueue = m.evictQueue[1:]
-		if !inst.filed {
-			continue // stale entry: already advanced or removed
+		if ref.inst.id != ref.id || !ref.inst.filed {
+			continue // stale entry: already advanced, removed, or recycled
 		}
-		m.remove(inst)
+		m.remove(ref.inst)
 		m.stats.Evicted++
+		m.release(ref.inst)
 		return
 	}
 }

@@ -538,11 +538,15 @@ func TestSplitModeOverflowDropsEvents(t *testing.T) {
 	for i := 0; i < 20; i++ {
 		h.forward(tcpAB(packet.FlagSYN), 1, 2)
 	}
-	if h.mon.Stats().DroppedEvents == 0 {
-		t.Fatal("no overflow drops recorded")
+	// 40 events against a limit-8 queue: the queue fills at event 8, and
+	// every 4th event after that overflows, shedding a batch of
+	// SplitFlushLimit/2 = 4 — 8 overflows, each counting its 4 events
+	// individually in DroppedEvents.
+	if got := h.mon.Stats().DroppedEvents; got != 32 {
+		t.Fatalf("DroppedEvents = %d, want 32 (8 overflows x 4 events)", got)
 	}
-	if h.mon.PendingEvents() > 8+2 {
-		t.Fatalf("pending = %d, exceeds limit", h.mon.PendingEvents())
+	if h.mon.PendingEvents() != 8 {
+		t.Fatalf("pending = %d, want 8 (at the limit)", h.mon.PendingEvents())
 	}
 }
 

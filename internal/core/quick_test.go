@@ -5,9 +5,11 @@ import (
 	"reflect"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"switchmon/internal/packet"
 	"switchmon/internal/property"
+	"switchmon/internal/sim"
 )
 
 // genValues converts fuzz input into a value slice mixing numbers and
@@ -23,16 +25,19 @@ func genValues(nums []uint64, strs []string) []packet.Value {
 	return vals
 }
 
-// Property: encodeValues is injective — equal encodings imply equal value
-// slices. The instance indexes and dedup signatures depend on this.
-func TestEncodeValuesInjective(t *testing.T) {
+// Property: hashValues is collision-free in practice — equal value slices
+// hash equal, and randomly sampled distinct slices hash distinct (a 64-bit
+// FNV-1a collision among quick.Check's samples would be a type-tagging
+// bug, not bad luck). The instance indexes and dedup signatures depend on
+// this.
+func TestHashValuesCollisionFree(t *testing.T) {
 	f := func(n1 []uint64, s1 []string, n2 []uint64, s2 []string) bool {
 		a, b := genValues(n1, s1), genValues(n2, s2)
-		ea, eb := encodeValues(a), encodeValues(b)
+		ha, hb := hashValues(a), hashValues(b)
 		if reflect.DeepEqual(a, b) {
-			return ea == eb
+			return ha == hb
 		}
-		return ea != eb
+		return ha != hb
 	}
 	cfg := &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(1))}
 	if err := quick.Check(f, cfg); err != nil {
@@ -40,9 +45,9 @@ func TestEncodeValuesInjective(t *testing.T) {
 	}
 }
 
-// Adversarial boundary cases for the encoding: values whose string
-// content embeds the encoding's own delimiters.
-func TestEncodeValuesDelimiterSafety(t *testing.T) {
+// Adversarial boundary cases for the hash's framing: value sequences whose
+// byte streams would coincide without the kind and length tags.
+func TestHashValuesDelimiterSafety(t *testing.T) {
 	cases := [][2][]packet.Value{
 		{{packet.Str("a|b")}, {packet.Str("a"), packet.Str("b")}},
 		{{packet.Str("n1")}, {packet.Num(1)}},
@@ -50,11 +55,44 @@ func TestEncodeValuesDelimiterSafety(t *testing.T) {
 		{{packet.Str("s1:x")}, {packet.Str("s1"), packet.Str("x")}},
 		{{packet.Num(0)}, {}},
 		{{packet.Str("3:abc")}, {packet.Str("3"), packet.Str("abc")}},
+		{{packet.Str("ab"), packet.Str("c")}, {packet.Str("a"), packet.Str("bc")}},
 	}
 	for _, c := range cases {
-		if encodeValues(c[0]) == encodeValues(c[1]) {
-			t.Errorf("collision: %v vs %v -> %q", c[0], c[1], encodeValues(c[0]))
+		if hashValues(c[0]) == hashValues(c[1]) {
+			t.Errorf("collision: %v vs %v -> %#x", c[0], c[1], hashValues(c[0]))
 		}
+	}
+}
+
+// Regression: the order-invariant signature sums per-entry hashes, and
+// raw FNV terms cancel under summation on correlated inputs — flows
+// (10.0.0.f, 203.0.0.f) collapsed to a quarter of their key space before
+// the per-entry mix64 finalizer. Every flow in an E8-shaped range must
+// get a distinct signature (and a distinct route hash: same algebra).
+func TestSignatureCorrelatedBindingsDistinct(t *testing.T) {
+	p := property.CatalogByName(property.DefaultParams(), "firewall-basic")
+	cp, err := compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk := []PacketID{1, 0}
+	sigs := make(map[uint64]int, 8192)
+	routes := make(map[uint64]int, 8192)
+	for f := 0; f < 8192; f++ {
+		env := bindings{"A": packet.Num(uint64(0x0a000000 + f)), "B": packet.Num(uint64(0xcb000000 + f))}
+		sig := cp.signature(1, env, pk)
+		if prev, dup := sigs[sig]; dup {
+			t.Fatalf("flows %d and %d share signature %#x", prev, f, sig)
+		}
+		sigs[sig] = f
+		var sum uint64
+		for _, val := range env {
+			sum += mix64(fnvValue(fnvOffset, val))
+		}
+		if prev, dup := routes[sum]; dup {
+			t.Fatalf("flows %d and %d share route hash %#x", prev, f, sum)
+		}
+		routes[sum] = f
 	}
 }
 
@@ -130,5 +168,113 @@ func TestSelfCheckAfterRandomStream(t *testing.T) {
 		if err := h.mon.SelfCheck(); err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
+	}
+}
+
+// Property: over any seeded random event stream, a ShardedMonitor and the
+// inline engine agree on every Stats counter and on the violation count,
+// at every shard width. This complements the trace-shaped differential in
+// sharded_test.go with the adversarial stream used for the self-check
+// property (timeouts, counting stages, sticky identities).
+func TestShardedMatchesInlineOnRandomStream(t *testing.T) {
+	props := []*property.Property{
+		property.CatalogByName(property.DefaultParams(), "firewall-timeout"),
+		property.CatalogByName(property.DefaultParams(), "portscan-detect"),
+		property.CatalogByName(property.DefaultParams(), "lb-sticky"),
+	}
+	for _, shards := range []int{1, 3, 4} {
+		for seed := int64(1); seed <= 5; seed++ {
+			sched := sim.NewScheduler()
+			inlineViols, shardedViols := 0, 0
+			mi := NewMonitor(sched, Config{OnViolation: func(*Violation) { inlineViols++ }})
+			sm := NewShardedMonitor(shards, Config{OnViolation: func(*Violation) { shardedViols++ }})
+			for _, p := range props {
+				if err := mi.AddProperty(p); err != nil {
+					t.Fatal(err)
+				}
+				if err := sm.AddProperty(p); err != nil {
+					t.Fatal(err)
+				}
+			}
+			rng := rand.New(rand.NewSource(seed))
+			var pid PacketID
+			feed := func(e Event) {
+				mi.HandleEvent(e)
+				sm.Submit(e)
+			}
+			for i := 0; i < 500; i++ {
+				src := packet.IPv4FromUint32(0x0a000000 + uint32(rng.Intn(32)))
+				dst := packet.IPv4FromUint32(0xcb007100 + uint32(rng.Intn(8)))
+				p := packet.NewTCP(macA, macB, src, dst,
+					uint16(1000+rng.Intn(64)), uint16(rng.Intn(1000)),
+					packet.TCPFlags(rng.Intn(64)), nil)
+				pid++
+				now := sched.Now()
+				in := uint64(rng.Intn(3) + 1)
+				feed(Event{Kind: KindArrival, Time: now, PacketID: pid, Packet: p, InPort: in})
+				if rng.Intn(3) == 0 {
+					feed(Event{Kind: KindEgress, Time: now, PacketID: pid, Packet: p, InPort: in, Dropped: true})
+				} else {
+					feed(Event{Kind: KindEgress, Time: now, PacketID: pid, Packet: p,
+						InPort: in, OutPort: uint64(rng.Intn(3) + 1)})
+				}
+				if rng.Intn(10) == 0 {
+					sched.RunFor(time.Second)
+					sm.AdvanceTo(sched.Now())
+				}
+			}
+			sched.RunFor(time.Hour)
+			sm.AdvanceTo(sched.Now())
+			if is, ss := mi.Stats(), sm.Stats(); is != ss {
+				t.Fatalf("shards=%d seed=%d: stats diverge\ninline:  %+v\nsharded: %+v", shards, seed, is, ss)
+			}
+			if inlineViols != shardedViols {
+				t.Fatalf("shards=%d seed=%d: violations %d vs %d", shards, seed, inlineViols, shardedViols)
+			}
+			if err := sm.SelfCheck(); err != nil {
+				t.Fatalf("shards=%d seed=%d: %v", shards, seed, err)
+			}
+			sm.Close()
+		}
+	}
+}
+
+// Allocation regression: the firewall steady state — return traffic
+// probing the stage-1 index of an established instance population — must
+// stay within a fixed allocation budget per event. The uint64-key hot
+// path runs allocation-free; the budget of 2 leaves slack for future
+// bookkeeping without letting string keys or union maps sneak back in.
+func TestSteadyStateAllocationBudget(t *testing.T) {
+	sched := sim.NewScheduler()
+	mon := NewMonitor(sched, Config{})
+	if err := mon.AddProperty(property.CatalogByName(property.DefaultParams(), "firewall-basic")); err != nil {
+		t.Fatal(err)
+	}
+	const flows = 256
+	var pid PacketID
+	events := make([]Event, 0, 3*flows)
+	for f := 0; f < flows; f++ {
+		src := packet.IPv4FromUint32(0x0a000000 | uint32(f))
+		dst := packet.IPv4FromUint32(0xcb007100 | uint32(f))
+		open := packet.NewTCP(macA, macB, src, dst, uint16(10000+f), 80, packet.FlagSYN, nil)
+		pid++
+		mon.HandleEvent(Event{Kind: KindArrival, Time: sched.Now(), PacketID: pid, Packet: open, InPort: 1})
+		mon.HandleEvent(Event{Kind: KindEgress, Time: sched.Now(), PacketID: pid, Packet: open, InPort: 1, OutPort: 2})
+		ret := packet.NewTCP(macB, macA, dst, src, 80, uint16(10000+f), packet.FlagACK, nil)
+		pid++
+		events = append(events, Event{Kind: KindEgress, Time: sched.Now(), PacketID: pid,
+			Packet: ret, InPort: 2, OutPort: 1})
+	}
+	// Warm the scratch buffers before measuring.
+	for i := range events {
+		mon.HandleEvent(events[i])
+	}
+	i := 0
+	avg := testing.AllocsPerRun(1000, func() {
+		mon.HandleEvent(events[i%len(events)])
+		i++
+	})
+	if avg > 2 {
+		t.Fatalf("steady-state path allocates %.1f/event, budget is 2", avg)
 	}
 }

@@ -22,7 +22,7 @@ func (m *Monitor) SelfCheck() error {
 				if inst.stage != si {
 					return fmt.Errorf("core: %s: instance %d thinks it is at stage %d", where, id, inst.stage)
 				}
-				if inst.sig == "" {
+				if inst.sig == 0 {
 					return fmt.Errorf("core: %s: instance %d has no signature", where, id)
 				}
 				if got := b.bySig[inst.sig]; got != inst {
@@ -31,23 +31,23 @@ func (m *Monitor) SelfCheck() error {
 				for _, key := range inst.idxKeys {
 					sub := b.keyed[key]
 					if sub == nil || sub[id] != inst {
-						return fmt.Errorf("core: %s: instance %d missing from index key %q", where, id, key)
+						return fmt.Errorf("core: %s: instance %d missing from index key %#x", where, id, key)
 					}
 				}
 				filed++
 			}
 			for sig, inst := range b.bySig {
 				if b.all[inst.id] != inst {
-					return fmt.Errorf("core: %s: ghost signature %q", where, sig)
+					return fmt.Errorf("core: %s: ghost signature %#x", where, sig)
 				}
 			}
 			for key, sub := range b.keyed {
 				if len(sub) == 0 {
-					return fmt.Errorf("core: %s: empty index bucket %q not reclaimed", where, key)
+					return fmt.Errorf("core: %s: empty index bucket %#x not reclaimed", where, key)
 				}
 				for id, inst := range sub {
 					if b.all[id] != inst {
-						return fmt.Errorf("core: %s: ghost instance %d under index key %q", where, id, key)
+						return fmt.Errorf("core: %s: ghost instance %d under index key %#x", where, id, key)
 					}
 				}
 			}

@@ -1,0 +1,430 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"switchmon/internal/property"
+	"switchmon/internal/sim"
+)
+
+// shardBatchSize is how many routed events accumulate per shard before
+// the batch is handed to the shard's goroutine. Larger batches amortize
+// channel synchronization; Barrier and Drain flush partial batches.
+const shardBatchSize = 64
+
+// maxShardedProperties bounds the property count of a ShardedMonitor:
+// routing masks are single 64-bit words.
+const maxShardedProperties = 64
+
+// shardMsg is one event routed to one shard, with per-property bits
+// saying what the shard may do with it: matchMask bits permit advancing,
+// discharging, and suppression seeding at stages >= 1; createMask bits
+// permit stage-zero instance creation. The split matters because an
+// event's stage-zero identity hash and its later-stage route hashes can
+// land on different shards — only the creation shard may instantiate, or
+// the same flow would be born twice.
+type shardMsg struct {
+	ev         Event
+	matchMask  uint64
+	createMask uint64
+}
+
+// shardCtl is one unit of work on a shard's queue: an event batch, an
+// optional virtual-clock advance, and an optional barrier acknowledgment.
+type shardCtl struct {
+	batch    []shardMsg
+	runUntil time.Time
+	ack      *sync.WaitGroup
+}
+
+// shard is one partition: a single-threaded Monitor with its own
+// deterministic scheduler, fed in FIFO order by its own goroutine.
+// pending is the router-side batch under construction (router-owned).
+type shard struct {
+	sched   *sim.Scheduler
+	mon     *Monitor
+	ch      chan shardCtl
+	pending []shardMsg
+}
+
+// ShardedMonitor scales the single-threaded Monitor across cores: N
+// shards each own a disjoint identity-hash partition of the instance
+// population and run on their own goroutine over a buffered event queue.
+// The router (Submit) computes, per property, which shards an event can
+// possibly affect — using the compile-time shardPlan — and delivers it
+// only there. Properties whose addressing paths do not pin a stable
+// stage-zero identity (wandering identities, packet-identity stages,
+// scan stages or guards) are monitored entirely on the catch-all shard 0,
+// preserving exact single-engine semantics at the cost of parallelism.
+//
+// The router side (Submit, SubmitBatch, Barrier, AdvanceTo, Drain, Close,
+// and the aggregate accessors) must be driven from one goroutine; the
+// shards run concurrently underneath. Shard goroutines start lazily on
+// the first Submit, so constructing a ShardedMonitor (for capability
+// probing, say) spawns nothing.
+//
+// Config caveats: Mode and SplitFlushLimit are ignored — shards always
+// apply events inline, the per-shard queues being the split.
+// MaxInstances applies per shard, not globally. DisableIndex disables
+// the routing analysis too (all properties become catch-all), since
+// routing is derived from the same index paths. Violation callbacks are
+// serialized by an internal mutex but arrive in nondeterministic
+// cross-shard order; order-sensitive consumers should compare multisets.
+type ShardedMonitor struct {
+	cfg       Config
+	shards    []*shard
+	plans     []shardPlan
+	submitted uint64
+	// matchScratch/createScratch are the per-event, per-shard routing
+	// mask accumulators (router-owned, zeroed after each event).
+	matchScratch  []uint64
+	createScratch []uint64
+	// freeBatches recycles processed batch slices from workers back to
+	// the router without a lock on the fast path.
+	freeBatches chan []shardMsg
+	violMu      sync.Mutex
+	startOnce   sync.Once
+	started     bool
+	closed      bool
+	wg          sync.WaitGroup
+}
+
+// NewShardedMonitor creates a sharded monitor with the given number of
+// shards (clamped to at least 1). See the type comment for the Config
+// fields that change meaning under sharding.
+func NewShardedMonitor(shards int, cfg Config) *ShardedMonitor {
+	if shards < 1 {
+		shards = 1
+	}
+	sm := &ShardedMonitor{
+		cfg:           cfg,
+		matchScratch:  make([]uint64, shards),
+		createScratch: make([]uint64, shards),
+		freeBatches:   make(chan []shardMsg, 4*shards),
+	}
+	shardCfg := cfg
+	shardCfg.Mode = Inline
+	shardCfg.SplitFlushLimit = 0
+	if cfg.OnViolation != nil {
+		user := cfg.OnViolation
+		shardCfg.OnViolation = func(v *Violation) {
+			sm.violMu.Lock()
+			defer sm.violMu.Unlock()
+			user(v)
+		}
+	}
+	for i := 0; i < shards; i++ {
+		sched := sim.NewScheduler()
+		sm.shards = append(sm.shards, &shard{
+			sched: sched,
+			mon:   NewMonitor(sched, shardCfg),
+			ch:    make(chan shardCtl, 64),
+		})
+	}
+	return sm
+}
+
+// Shards reports the shard count.
+func (sm *ShardedMonitor) Shards() int { return len(sm.shards) }
+
+// AddProperty compiles and installs a property on every shard. It must be
+// called before the first Submit.
+func (sm *ShardedMonitor) AddProperty(p *property.Property) error {
+	if sm.started {
+		return fmt.Errorf("core: AddProperty after first Submit")
+	}
+	if len(sm.plans) >= maxShardedProperties {
+		return fmt.Errorf("core: ShardedMonitor supports at most %d properties", maxShardedProperties)
+	}
+	cp, err := compile(p)
+	if err != nil {
+		return err
+	}
+	plan := cp.plan
+	if sm.cfg.DisableIndex {
+		// Routing is derived from the index paths; without them every
+		// property is catch-all.
+		plan = shardPlan{}
+	}
+	for _, s := range sm.shards {
+		if err := s.mon.AddProperty(p); err != nil {
+			return err
+		}
+	}
+	sm.plans = append(sm.plans, plan)
+	return nil
+}
+
+// Shardable reports whether the i-th installed property got a stable
+// shard key from the static analysis (false means catch-all shard 0).
+func (sm *ShardedMonitor) Shardable(i int) bool { return sm.plans[i].shardable }
+
+// start launches the shard goroutines (idempotent).
+func (sm *ShardedMonitor) start() {
+	sm.startOnce.Do(func() {
+		sm.started = true
+		sm.wg.Add(len(sm.shards))
+		for _, s := range sm.shards {
+			go sm.worker(s)
+		}
+	})
+}
+
+// worker drains one shard's queue: applies event batches in FIFO order,
+// advances the shard's virtual clock on request, and acknowledges
+// barriers. It owns the shard's Monitor exclusively.
+func (sm *ShardedMonitor) worker(s *shard) {
+	defer sm.wg.Done()
+	for ctl := range s.ch {
+		if len(ctl.batch) > 0 {
+			for i := range ctl.batch {
+				msg := &ctl.batch[i]
+				s.mon.applyRouted(&msg.ev, msg.matchMask, msg.createMask)
+			}
+		}
+		if ctl.batch != nil {
+			select {
+			case sm.freeBatches <- ctl.batch[:0]:
+			default: // pool full; let the GC have it
+			}
+		}
+		if !ctl.runUntil.IsZero() {
+			s.sched.RunUntil(ctl.runUntil)
+		}
+		if ctl.ack != nil {
+			ctl.ack.Done()
+		}
+	}
+}
+
+// Submit routes one event to the shards it can affect and enqueues it.
+// Events that no property can act on are dropped at the router.
+func (sm *ShardedMonitor) Submit(e Event) {
+	sm.start()
+	sm.submitted++
+	n := uint64(len(sm.shards))
+	mm, cm := sm.matchScratch, sm.createScratch
+	for pi := range sm.plans {
+		pl := &sm.plans[pi]
+		bit := uint64(1) << uint(pi)
+		if !pl.shardable {
+			mm[0] |= bit
+			cm[0] |= bit
+			continue
+		}
+		for ri := range pl.routes {
+			if h, ok := routeHash(&e, pl.routes[ri].fields); ok {
+				mm[h%n] |= bit
+			}
+		}
+		if h, ok := routeHash(&e, pl.createFields); ok {
+			cm[h%n] |= bit
+		}
+	}
+	for si := range sm.shards {
+		if mm[si] == 0 && cm[si] == 0 {
+			continue
+		}
+		s := sm.shards[si]
+		s.pending = append(s.pending, shardMsg{ev: e, matchMask: mm[si], createMask: cm[si]})
+		mm[si], cm[si] = 0, 0
+		if len(s.pending) >= shardBatchSize {
+			sm.flushShard(s)
+		}
+	}
+}
+
+// SubmitBatch routes a slice of events (batched Submit).
+func (sm *ShardedMonitor) SubmitBatch(evs []Event) {
+	for i := range evs {
+		sm.Submit(evs[i])
+	}
+}
+
+// flushShard hands the shard's pending batch to its goroutine and grabs a
+// recycled batch buffer for the next one.
+func (sm *ShardedMonitor) flushShard(s *shard) {
+	if len(s.pending) == 0 {
+		return
+	}
+	s.ch <- shardCtl{batch: s.pending}
+	select {
+	case b := <-sm.freeBatches:
+		s.pending = b
+	default:
+		s.pending = make([]shardMsg, 0, shardBatchSize)
+	}
+}
+
+// Barrier flushes all pending batches and blocks until every shard has
+// applied everything submitted before the call. After Barrier (and before
+// the next Submit) the aggregate accessors read a consistent snapshot.
+func (sm *ShardedMonitor) Barrier() {
+	if sm.closed {
+		return
+	}
+	sm.start()
+	var wg sync.WaitGroup
+	wg.Add(len(sm.shards))
+	for _, s := range sm.shards {
+		sm.flushShard(s)
+		s.ch <- shardCtl{ack: &wg}
+	}
+	wg.Wait()
+}
+
+// AdvanceTo advances every shard's virtual clock to t — after applying
+// everything already queued — firing due timers (windows, negative-stage
+// deadlines). It blocks until all shards reach t, mirroring a
+// single-engine driver calling Scheduler.RunUntil.
+func (sm *ShardedMonitor) AdvanceTo(t time.Time) {
+	if sm.closed {
+		return
+	}
+	sm.start()
+	var wg sync.WaitGroup
+	wg.Add(len(sm.shards))
+	for _, s := range sm.shards {
+		sm.flushShard(s)
+		s.ch <- shardCtl{runUntil: t, ack: &wg}
+	}
+	wg.Wait()
+}
+
+// Tick is the non-blocking AdvanceTo: it queues a clock advance to t
+// behind everything already submitted and returns without waiting. Event
+// sources that stamp monotone times (the backend adapter, replayed
+// traces) use it to keep shard clocks tracking the stream without a
+// barrier per event.
+func (sm *ShardedMonitor) Tick(t time.Time) {
+	if sm.closed {
+		return
+	}
+	sm.start()
+	for _, s := range sm.shards {
+		sm.flushShard(s)
+		s.ch <- shardCtl{runUntil: t}
+	}
+}
+
+// Drain is Barrier plus a report: it returns the total number of events
+// applied across shards (>= submitted when events fan out to several
+// shards, less when events were unroutable).
+func (sm *ShardedMonitor) Drain() uint64 {
+	sm.Barrier()
+	var n uint64
+	for _, s := range sm.shards {
+		n += s.mon.stats.Events
+	}
+	return n
+}
+
+// Close flushes, stops all shard goroutines, and waits for them to exit.
+// The aggregate accessors remain usable; Submit must not be called again.
+func (sm *ShardedMonitor) Close() {
+	if sm.closed {
+		return
+	}
+	sm.start() // ensure workers exist so close(ch) terminates them
+	for _, s := range sm.shards {
+		sm.flushShard(s)
+		close(s.ch)
+	}
+	sm.wg.Wait()
+	sm.closed = true
+}
+
+// Stats aggregates shard counters (after an implicit Barrier). Events is
+// the router-side submission count, so a sharded and a single-threaded
+// run over the same trace report identical Stats; per-shard applied
+// counts are available from ShardStats.
+func (sm *ShardedMonitor) Stats() Stats {
+	sm.Barrier()
+	var agg Stats
+	for _, s := range sm.shards {
+		st := s.mon.Stats()
+		agg.Created += st.Created
+		agg.Advanced += st.Advanced
+		agg.Violations += st.Violations
+		agg.Discharged += st.Discharged
+		agg.Expired += st.Expired
+		agg.Deduped += st.Deduped
+		agg.Refreshed += st.Refreshed
+		agg.Suppressed += st.Suppressed
+		agg.Evicted += st.Evicted
+		agg.DroppedEvents += st.DroppedEvents
+	}
+	agg.Events = sm.submitted
+	return agg
+}
+
+// ShardStats returns each shard's raw counters (after an implicit
+// Barrier) — the load-balance view used by the E8 experiment.
+func (sm *ShardedMonitor) ShardStats() []Stats {
+	sm.Barrier()
+	out := make([]Stats, len(sm.shards))
+	for i, s := range sm.shards {
+		out[i] = s.mon.Stats()
+	}
+	return out
+}
+
+// ActiveInstances reports the live instance population across shards
+// (after an implicit Barrier).
+func (sm *ShardedMonitor) ActiveInstances() int {
+	sm.Barrier()
+	n := 0
+	for _, s := range sm.shards {
+		n += s.mon.ActiveInstances()
+	}
+	return n
+}
+
+// SelfCheck runs every shard's invariant check (after an implicit
+// Barrier).
+func (sm *ShardedMonitor) SelfCheck() error {
+	sm.Barrier()
+	for i, s := range sm.shards {
+		if err := s.mon.SelfCheck(); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// applyRouted is apply restricted by per-property routing masks: matchMask
+// bits allow suppression seeding and stage >= 1 matching, createMask bits
+// allow stage-zero creation. The full apply is applyRouted with all bits
+// set; the router's static analysis guarantees the cleared bits could not
+// have acted at this shard.
+func (m *Monitor) applyRouted(e *Event, matchMask, createMask uint64) {
+	m.stats.Events++
+	m.seq++
+	seq := m.seq
+	for pi, cp := range m.props {
+		bit := uint64(1) << uint(pi)
+		if matchMask&bit == 0 && createMask&bit == 0 {
+			continue
+		}
+		bs := m.buckets[pi]
+		if matchMask&bit != 0 {
+			m.seedSuppressions(cp, bs, e)
+			for si := len(cp.stages) - 1; si >= 1; si-- {
+				b := bs[si]
+				if len(b.all) == 0 {
+					continue
+				}
+				cs := &cp.stages[si]
+				m.matchStage(pi, si, cs, b, e, seq)
+			}
+		}
+		if createMask&bit != 0 {
+			cs0 := &cp.stages[0]
+			if stagePatternMatches(cs0, e, nil, nil) {
+				m.createInstance(pi, cp, e, seq)
+			}
+		}
+	}
+}

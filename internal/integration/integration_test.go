@@ -1,7 +1,7 @@
 // Package integration exercises the full stack: netsim topologies running
 // the monitored network functions, the monitor observing the dataplane,
 // traces recorded and replayed, properties loaded from DSL text, and all
-// backends fed the same event stream (experiment E8 of DESIGN.md).
+// backends fed the same event stream (experiment E9 of DESIGN.md).
 package integration
 
 import (
@@ -202,12 +202,13 @@ func TestBackendsOnSharedStream(t *testing.T) {
 	sw.Inject(2, packet.NewTCP(macB, macA, ipB, ipA, 80, 1000, packet.FlagACK, nil))
 
 	want := map[string]uint64{
-		"OpenFlow 1.3":       0, // accepted at controller, blind to drops
-		"OpenFlow 1.5":       0, // egress tables, but drops never enter them
-		"POF and P4":         1,
-		"Varanus":            1,
-		"Static Varanus":     1,
-		"Ideal (this paper)": 1,
+		"OpenFlow 1.3":                 0, // accepted at controller, blind to drops
+		"OpenFlow 1.5":                 0, // egress tables, but drops never enter them
+		"POF and P4":                   1,
+		"Varanus":                      1,
+		"Static Varanus":               1,
+		"Sharded Varanus (multi-core)": 1,
+		"Ideal (this paper)":           1,
 	}
 	for _, b := range backends {
 		expect, checked := want[b.Name()]

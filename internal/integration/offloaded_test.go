@@ -12,7 +12,7 @@ import (
 	"switchmon/internal/sim"
 )
 
-// Experiment E9: the paper's Sec. 1 motivation that "switches may run
+// Experiment E10: the paper's Sec. 1 motivation that "switches may run
 // stateful programs without controller interaction, making
 // controller-based monitoring infeasible." A learn-action learning switch
 // runs with no controller at all; the on-switch monitor still checks it,

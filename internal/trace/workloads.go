@@ -91,6 +91,65 @@ func (w FirewallWorkload) Events(start time.Time) []core.Event {
 	return events
 }
 
+// HighFlowWorkload is the E8 sharding stressor: a large population of
+// distinct flow identities with return traffic interleaved round-robin
+// across all of them, so consecutive events land on different instances
+// (and, under the sharded engine, on different shards). Unlike
+// FirewallWorkload it keeps destination addresses distinct per flow, so
+// identity hashes spread uniformly, and it emits returns as bare egress
+// events to concentrate the stream on the stage-1 match path.
+type HighFlowWorkload struct {
+	// Flows is the number of distinct (src, dst) identities.
+	Flows int
+	// Rounds is how many return packets each flow sees.
+	Rounds int
+	// ViolationEvery drops every Nth return (0 = none).
+	ViolationEvery int
+	// Gap is the virtual inter-event spacing.
+	Gap time.Duration
+}
+
+// Events renders the workload as an event stream starting at start.
+func (w HighFlowWorkload) Events(start time.Time) []core.Event {
+	if w.Rounds == 0 {
+		w.Rounds = 1
+	}
+	events := make([]core.Event, 0, w.Flows*(2+w.Rounds))
+	now := start
+	pid := core.PacketID(0)
+	step := func() time.Time {
+		now = now.Add(w.Gap)
+		return now
+	}
+	for f := 0; f < w.Flows; f++ {
+		src := packet.IPv4FromUint32(0x0a000000 + uint32(f))
+		dst := packet.IPv4FromUint32(0xcb000000 + uint32(f))
+		out := packet.NewTCP(wlMACInternal, wlMACExternal, src, dst, uint16(10000+f%50000), 443, packet.FlagSYN, nil)
+		pid++
+		events = append(events,
+			core.Event{Kind: core.KindArrival, Time: step(), PacketID: pid, Packet: out, InPort: 1},
+			core.Event{Kind: core.KindEgress, Time: now, PacketID: pid, Packet: out, InPort: 1, OutPort: 2},
+		)
+	}
+	returns := 0
+	for r := 0; r < w.Rounds; r++ {
+		for f := 0; f < w.Flows; f++ {
+			src := packet.IPv4FromUint32(0x0a000000 + uint32(f))
+			dst := packet.IPv4FromUint32(0xcb000000 + uint32(f))
+			ret := packet.NewTCP(wlMACExternal, wlMACInternal, dst, src, 443, uint16(10000+f%50000), packet.FlagACK, nil)
+			pid++
+			returns++
+			eg := core.Event{Kind: core.KindEgress, Time: step(), PacketID: pid, Packet: ret, InPort: 2, OutPort: 1}
+			if w.ViolationEvery > 0 && returns%w.ViolationEvery == 0 {
+				eg.OutPort = 0
+				eg.Dropped = true
+			}
+			events = append(events, eg)
+		}
+	}
+	return events
+}
+
 // NATWorkload drives the NAT reverse-translation scenario for the E5
 // side-effect experiment: Flows translations with occasional
 // mistranslations.

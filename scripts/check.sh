@@ -1,0 +1,23 @@
+#!/bin/sh
+# check.sh — the repository's full verification gate: static analysis,
+# the complete test suite, and the race detector over the concurrent
+# engine (the sharded monitor runs one goroutine per shard, so -race on
+# internal/core is the check that matters most after touching it).
+#
+# Usage: ./scripts/check.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test ./..."
+go test ./...
+
+echo "==> go test -race ./internal/core/... ./internal/backend/... ./internal/integration/..."
+go test -race ./internal/core/... ./internal/backend/... ./internal/integration/...
+
+echo "OK"
