@@ -12,26 +12,63 @@
 //	e8  sharded-engine throughput vs. shard count on the high-flow
 //	    steady state (speedup needs GOMAXPROCS >= shards)
 //
-// Usage: benchsweep [-exp all|e3|e4|e5|e6|e7|e8] [-cpuprofile f] [-memprofile f]
+// Usage: benchsweep [-exp all|e3|e4|e5|e6|e7|e8] [-json dir] [-cpuprofile f] [-memprofile f]
+//
+// With -json, each experiment additionally writes BENCH_<exp>.json (one
+// JSON array of rows) into the given directory. Sweeps that drive the
+// core monitor (e5, e6, e8) run with a telemetry registry attached and
+// record the before/after counter deltas next to ns/op, so a regression
+// in a ratio (catch-all fraction, drops, provenance records) is visible
+// in the same artifact as the timing.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"time"
 
 	"switchmon/internal/backend"
 	"switchmon/internal/core"
+	"switchmon/internal/obs"
 	"switchmon/internal/property"
 	"switchmon/internal/sim"
 	"switchmon/internal/trace"
 )
 
+// benchRow is one BENCH_<exp>.json entry: the experiment coordinates,
+// the headline timing, any sweep-specific extras, and — when the sweep
+// ran with telemetry — the counter deltas over the timed section.
+type benchRow struct {
+	Exp           string            `json:"exp"`
+	Params        map[string]any    `json:"params"`
+	NsPerEvent    float64           `json:"ns_per_event,omitempty"`
+	Extra         map[string]any    `json:"extra,omitempty"`
+	CounterDeltas map[string]uint64 `json:"counter_deltas,omitempty"`
+}
+
+// writeRows writes one experiment's rows to dir/BENCH_<exp>.json.
+func writeRows(dir, exp string, rows []benchRow) error {
+	f, err := os.Create(filepath.Join(dir, "BENCH_"+exp+".json"))
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rows); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 func main() {
 	exp := flag.String("exp", "all", "experiment to run: all, e3, e4, e5, e6, e7, e8")
+	jsonDir := flag.String("json", "", "also write BENCH_<exp>.json rows into this directory")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (after the sweep) to this file")
 	flag.Parse()
@@ -64,31 +101,42 @@ func main() {
 			os.Exit(1)
 		}
 	}()
-	run := map[string]func(){
+	run := map[string]func() []benchRow{
 		"e3": sweepE3, "e4": sweepE4, "e5": sweepE5, "e6": sweepE6, "e7": sweepE7,
 		"e8": sweepE8,
 	}
+	names := []string{*exp}
 	if *exp == "all" {
-		for _, name := range []string{"e3", "e4", "e5", "e6", "e7", "e8"} {
-			run[name]()
+		names = []string{"e3", "e4", "e5", "e6", "e7", "e8"}
+	}
+	for i, name := range names {
+		fn, ok := run[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchsweep: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		rows := fn()
+		if *jsonDir != "" {
+			if err := writeRows(*jsonDir, name, rows); err != nil {
+				fmt.Fprintf(os.Stderr, "benchsweep: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if i < len(names)-1 {
 			fmt.Println()
 		}
-		return
 	}
-	fn, ok := run[*exp]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "benchsweep: unknown experiment %q\n", *exp)
-		os.Exit(2)
-	}
-	fn()
 }
 
 func fwProp() *property.Property {
 	return property.CatalogByName(property.DefaultParams(), "firewall-basic")
 }
 
-// sweepE3: per-event cost vs. live instances, per backend.
-func sweepE3() {
+// sweepE3: per-event cost vs. live instances, per backend. The hardware
+// model backends are not telemetry-instrumented, so e3 rows carry no
+// counter deltas.
+func sweepE3() []benchRow {
+	var rows []benchRow
 	fmt.Println("E3: per-event processing time vs live instances (Sec 3.3 pipeline depth)")
 	fmt.Printf("%-10s %-18s %12s %12s %14s\n", "instances", "backend", "ns/event", "depth", "state-cost")
 	for _, flows := range []int{16, 64, 256, 1024, 4096} {
@@ -121,15 +169,24 @@ func sweepE3() {
 				b.HandleEvent(events[i])
 			}
 			elapsed := time.Since(start)
+			ns := float64(elapsed.Nanoseconds()) / float64(len(events))
 			fmt.Printf("%-10d %-18s %12.0f %12d %14d\n",
-				flows, m.name, float64(elapsed.Nanoseconds())/float64(len(events)),
-				b.PipelineDepth(), b.StateUpdateCost())
+				flows, m.name, ns, b.PipelineDepth(), b.StateUpdateCost())
+			rows = append(rows, benchRow{
+				Exp:        "e3",
+				Params:     map[string]any{"instances": flows, "backend": m.name},
+				NsPerEvent: ns,
+				Extra:      map[string]any{"depth": b.PipelineDepth(), "state_cost": b.StateUpdateCost()},
+			})
 		}
 	}
+	return rows
 }
 
-// sweepE4: state mechanism update cost at varying store sizes.
-func sweepE4() {
+// sweepE4: state mechanism update cost at varying store sizes. Raw
+// mechanism microbenchmarks — no monitor, so no counter deltas.
+func sweepE4() []benchRow {
+	var rows []benchRow
 	fmt.Println("E4: state-update cost, flow-table modification vs register write")
 	fmt.Printf("%-12s %-22s %14s\n", "store-size", "mechanism", "ns/transition")
 	for _, size := range []int{128, 1024, 8192, 65536} {
@@ -149,9 +206,16 @@ func sweepE4() {
 			start := time.Now()
 			cost.transitions(n, size)
 			elapsed := time.Since(start)
-			fmt.Printf("%-12d %-22s %14.1f\n", size, mech, float64(elapsed.Nanoseconds())/n)
+			ns := float64(elapsed.Nanoseconds()) / n
+			fmt.Printf("%-12d %-22s %14.1f\n", size, mech, ns)
+			rows = append(rows, benchRow{
+				Exp:        "e4",
+				Params:     map[string]any{"store_size": size, "mechanism": mech},
+				NsPerEvent: ns,
+			})
 		}
 	}
+	return rows
 }
 
 // The cost mechanisms mirror internal/backend's models; reimplemented
@@ -197,8 +261,10 @@ func (rg *registerState) transitions(n, live int) {
 }
 func (rg *registerState) total() uint64 { return rg.ops }
 
-// sweepE5: inline vs split processing.
-func sweepE5() {
+// sweepE5: inline vs split processing, with counter deltas over the run
+// (dropped events make the split mode's missed violations explainable).
+func sweepE5() []benchRow {
+	var rows []benchRow
 	fmt.Println("E5: side-effect control (Feature 9): inline vs split")
 	fmt.Printf("%-10s %14s %14s %16s\n", "mode", "ns/event(fwd)", "ns/flush-ev", "missed-viols")
 	w := trace.NATWorkload{Flows: 20000, MistranslateEvery: 50, Gap: time.Microsecond}
@@ -208,7 +274,8 @@ func sweepE5() {
 	for _, mode := range []core.Mode{core.Inline, core.Split} {
 		sched := sim.NewScheduler()
 		viols := 0
-		cfg := core.Config{Mode: mode, OnViolation: func(*core.Violation) { viols++ }}
+		reg := obs.NewRegistry()
+		cfg := core.Config{Mode: mode, Metrics: reg, OnViolation: func(*core.Violation) { viols++ }}
 		if mode == core.Split {
 			cfg.SplitFlushLimit = 1024 // bounded slow-path queue
 		}
@@ -216,6 +283,7 @@ func sweepE5() {
 		if err := mon.AddProperty(nat); err != nil {
 			panic(err)
 		}
+		before := reg.Snapshot()
 		start := time.Now()
 		for i := range events {
 			mon.HandleEvent(events[i])
@@ -229,13 +297,26 @@ func sweepE5() {
 			flushNs = float64(flush.Nanoseconds()) / float64(flushed)
 		}
 		expect := 20000 / 50
-		fmt.Printf("%-10s %14.0f %14.0f %11d/%d\n",
-			mode, float64(fwd.Nanoseconds())/float64(len(events)), flushNs, expect-viols, expect)
+		fwdNs := float64(fwd.Nanoseconds()) / float64(len(events))
+		fmt.Printf("%-10s %14.0f %14.0f %11d/%d\n", mode, fwdNs, flushNs, expect-viols, expect)
+		rows = append(rows, benchRow{
+			Exp:        "e5",
+			Params:     map[string]any{"mode": mode.String(), "flows": 20000},
+			NsPerEvent: fwdNs,
+			Extra: map[string]any{
+				"ns_per_flush_event": flushNs,
+				"missed_violations":  expect - viols,
+				"expected":           expect,
+			},
+			CounterDeltas: obs.DiffCounters(before, reg.Snapshot()),
+		})
 	}
+	return rows
 }
 
-// sweepE6: provenance levels.
-func sweepE6() {
+// sweepE6: provenance levels, with counter deltas over the timed run.
+func sweepE6() []benchRow {
+	var rows []benchRow
 	fmt.Println("E6: provenance level (Feature 10) overhead")
 	fmt.Printf("%-10s %12s %16s\n", "level", "ns/event", "history-records")
 	w := trace.FirewallWorkload{Flows: 2000, ReturnsPerFlow: 5, ViolationEvery: 10, Gap: time.Microsecond}
@@ -243,25 +324,38 @@ func sweepE6() {
 	for _, level := range []core.ProvLevel{core.ProvNone, core.ProvLimited, core.ProvFull} {
 		sched := sim.NewScheduler()
 		records := 0
+		reg := obs.NewRegistry()
 		mon := core.NewMonitor(sched, core.Config{
 			Provenance:  level,
+			Metrics:     reg,
 			OnViolation: func(v *core.Violation) { records += len(v.History) },
 		})
 		if err := mon.AddProperty(fwProp()); err != nil {
 			panic(err)
 		}
+		before := reg.Snapshot()
 		start := time.Now()
 		for i := range events {
 			mon.HandleEvent(events[i])
 		}
 		elapsed := time.Since(start)
-		fmt.Printf("%-10s %12.0f %16d\n", level,
-			float64(elapsed.Nanoseconds())/float64(len(events)), records)
+		ns := float64(elapsed.Nanoseconds()) / float64(len(events))
+		fmt.Printf("%-10s %12.0f %16d\n", level, ns, records)
+		rows = append(rows, benchRow{
+			Exp:           "e6",
+			Params:        map[string]any{"level": level.String(), "flows": 2000},
+			NsPerEvent:    ns,
+			Extra:         map[string]any{"history_records": records},
+			CounterDeltas: obs.DiffCounters(before, reg.Snapshot()),
+		})
 	}
+	return rows
 }
 
-// sweepE7: redirect volume of external monitoring.
-func sweepE7() {
+// sweepE7: redirect volume of external monitoring. Counts bytes, not
+// monitor counters — no deltas.
+func sweepE7() []benchRow {
+	var rows []benchRow
 	fmt.Println("E7: bytes redirected to an external monitor (OpenFlow 1.3) vs on-switch")
 	fmt.Printf("%-10s %14s %16s %16s\n", "hosts", "packets", "OF1.3 bytes", "on-switch bytes")
 	for _, hosts := range []int{8, 32, 128} {
@@ -286,13 +380,24 @@ func sweepE7() {
 			ideal.HandleEvent(events[i])
 		}
 		fmt.Printf("%-10d %14d %16d %16d\n", hosts, packets, of13.RedirectedBytes(), 0)
+		rows = append(rows, benchRow{
+			Exp:    "e7",
+			Params: map[string]any{"hosts": hosts},
+			Extra: map[string]any{
+				"packets":        packets,
+				"of13_bytes":     of13.RedirectedBytes(),
+				"onswitch_bytes": 0,
+			},
+		})
 	}
+	return rows
 }
 
 // sweepE8: sharded-engine throughput vs shard count. The workload is the
 // high-flow steady state: a large established population probed by
 // round-robin return traffic, so consecutive events hit different shards.
-func sweepE8() {
+func sweepE8() []benchRow {
+	var rows []benchRow
 	fmt.Printf("E8: sharded engine throughput vs shards (GOMAXPROCS=%d)\n", runtime.GOMAXPROCS(0))
 	fmt.Printf("%-10s %12s %14s %12s\n", "shards", "ns/event", "events/sec", "violations")
 	const flows = 8192
@@ -304,37 +409,56 @@ func sweepE8() {
 	{
 		sched := sim.NewScheduler()
 		viols := 0
-		mon := core.NewMonitor(sched, core.Config{OnViolation: func(*core.Violation) { viols++ }})
+		reg := obs.NewRegistry()
+		mon := core.NewMonitor(sched, core.Config{Metrics: reg, OnViolation: func(*core.Violation) { viols++ }})
 		if err := mon.AddProperty(fwProp()); err != nil {
 			panic(err)
 		}
 		for _, e := range open {
 			mon.HandleEvent(e)
 		}
+		before := reg.Snapshot()
 		start := time.Now()
 		for i := range returns {
 			mon.HandleEvent(returns[i])
 		}
 		elapsed := time.Since(start)
+		ns := float64(elapsed.Nanoseconds()) / float64(len(returns))
 		fmt.Printf("%-10s %12.0f %14.0f %12d\n", "inline",
-			float64(elapsed.Nanoseconds())/float64(len(returns)),
-			float64(len(returns))/elapsed.Seconds(), viols)
+			ns, float64(len(returns))/elapsed.Seconds(), viols)
+		rows = append(rows, benchRow{
+			Exp:           "e8",
+			Params:        map[string]any{"engine": "inline", "flows": flows},
+			NsPerEvent:    ns,
+			Extra:         map[string]any{"violations": viols},
+			CounterDeltas: obs.DiffCounters(before, reg.Snapshot()),
+		})
 	}
 	for _, shards := range []int{1, 2, 4, 8} {
 		viols := 0
-		sm := core.NewShardedMonitor(shards, core.Config{OnViolation: func(*core.Violation) { viols++ }})
+		reg := obs.NewRegistry()
+		sm := core.NewShardedMonitor(shards, core.Config{Metrics: reg, OnViolation: func(*core.Violation) { viols++ }})
 		if err := sm.AddProperty(fwProp()); err != nil {
 			panic(err)
 		}
 		sm.SubmitBatch(open)
 		sm.Drain()
+		before := reg.Snapshot()
 		start := time.Now()
 		sm.SubmitBatch(returns)
 		sm.Barrier()
 		elapsed := time.Since(start)
+		ns := float64(elapsed.Nanoseconds()) / float64(len(returns))
 		fmt.Printf("%-10d %12.0f %14.0f %12d\n", shards,
-			float64(elapsed.Nanoseconds())/float64(len(returns)),
-			float64(len(returns))/elapsed.Seconds(), viols)
+			ns, float64(len(returns))/elapsed.Seconds(), viols)
 		sm.Close()
+		rows = append(rows, benchRow{
+			Exp:           "e8",
+			Params:        map[string]any{"engine": "sharded", "shards": shards, "flows": flows},
+			NsPerEvent:    ns,
+			Extra:         map[string]any{"violations": viols},
+			CounterDeltas: obs.DiffCounters(before, reg.Snapshot()),
+		})
 	}
+	return rows
 }

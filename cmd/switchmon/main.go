@@ -7,24 +7,39 @@
 //	switchmon -trace events.trc -catalog firewall-basic,nat-reverse
 //	switchmon -trace events.trc -props my.properties
 //	switchmon -demo firewall
+//	switchmon -demo firewall -metrics-addr :9090
 //	switchmon -list
 //
 // Properties come from the built-in catalogue (-catalog, comma-separated
 // names) and/or a DSL file (-props). The monitor's provenance level and
 // processing mode are configurable.
+//
+// With -metrics-addr the process serves a live introspection endpoint
+// (/metrics in Prometheus text or ?format=json, /healthz, /violations
+// with full provenance traces, /debug/pprof) and stays up after the
+// run: until SIGINT by default, or for -hold duration. With -json,
+// violations stream to stdout as one JSON object per line instead of
+// the human-readable rendering.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"sync"
 	"time"
 
 	"switchmon/internal/apps"
 	"switchmon/internal/core"
 	"switchmon/internal/dataplane"
 	"switchmon/internal/dsl"
+	"switchmon/internal/obs"
+	"switchmon/internal/obs/export"
 	"switchmon/internal/packet"
 	"switchmon/internal/property"
 	"switchmon/internal/sim"
@@ -38,6 +53,67 @@ func main() {
 	}
 }
 
+// engine abstracts the driving loop over the inline Monitor and the
+// sharded multi-core engine: install properties, feed events, settle,
+// read aggregate stats.
+type engine interface {
+	AddProperty(p *property.Property) error
+	HandleEvent(e core.Event)
+	// Flush settles everything fed so far (split-mode queue, shard
+	// channels) without advancing time.
+	Flush()
+	// Drain flushes and then advances the clock an hour past the last
+	// event, firing outstanding deadline monitors.
+	Drain()
+	Stats() core.Stats
+}
+
+// inlineEngine drives a single-threaded Monitor on the shared scheduler.
+type inlineEngine struct {
+	mon   *core.Monitor
+	sched *sim.Scheduler
+}
+
+func (ie *inlineEngine) AddProperty(p *property.Property) error { return ie.mon.AddProperty(p) }
+func (ie *inlineEngine) HandleEvent(e core.Event)               { ie.mon.HandleEvent(e) }
+func (ie *inlineEngine) Flush()                                 { ie.mon.Flush() }
+func (ie *inlineEngine) Drain() {
+	ie.mon.Flush()
+	ie.sched.RunFor(time.Hour)
+}
+func (ie *inlineEngine) Stats() core.Stats { return ie.mon.Stats() }
+
+// shardedEngine drives a ShardedMonitor, keeping shard clocks tracking
+// the event stream with non-blocking Ticks (the backend-adapter idiom).
+// Flush additionally pulls shard clocks up to the shared scheduler's
+// now, so demo scenarios that RunFor past the last event still fire the
+// monitor-side deadlines an inline engine would have fired.
+type shardedEngine struct {
+	sm    *core.ShardedMonitor
+	sched *sim.Scheduler
+	last  time.Time
+}
+
+func (se *shardedEngine) AddProperty(p *property.Property) error { return se.sm.AddProperty(p) }
+func (se *shardedEngine) HandleEvent(e core.Event) {
+	if e.Time.After(se.last) {
+		se.sm.Tick(e.Time)
+		se.last = e.Time
+	}
+	se.sm.Submit(e)
+}
+func (se *shardedEngine) Flush() {
+	if now := se.sched.Now(); now.After(se.last) {
+		se.last = now
+	}
+	se.sm.AdvanceTo(se.last)
+}
+func (se *shardedEngine) Drain() {
+	se.Flush()
+	se.sm.AdvanceTo(se.last.Add(time.Hour))
+}
+func (se *shardedEngine) Stats() core.Stats { return se.sm.Stats() }
+
 func run() error {
 	var (
 		traceFile = flag.String("trace", "", "event trace file to replay")
@@ -47,7 +123,13 @@ func run() error {
 		record    = flag.String("record", "", "record the demo's event stream to this trace file")
 		provLevel = flag.String("provenance", "limited", "provenance level: none, limited, full")
 		mode      = flag.String("mode", "inline", "processing mode: inline, split")
+		shards    = flag.Int("shards", 0, "run the sharded multi-core engine with this many shards (0 = single engine)")
 		list      = flag.Bool("list", false, "list built-in catalogue properties and exit")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /healthz, /violations, /debug/pprof on this address")
+		hold        = flag.Duration("hold", 0, "with -metrics-addr: keep serving this long after the run (0 = until SIGINT)")
+		jsonOut     = flag.Bool("json", false, "emit violations as one JSON object per line")
+		ringSize    = flag.Int("violation-ring", 256, "violation trace records retained for /violations")
 	)
 	flag.Parse()
 
@@ -78,13 +160,58 @@ func run() error {
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
 
+	// Telemetry: the registry and violation ring exist whenever anything
+	// consumes them — the introspection endpoint or the NDJSON stream.
+	var (
+		reg  *obs.Registry
+		ring *obs.Ring
+	)
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+		ring = obs.NewRing(*ringSize)
+	}
+
 	sched := sim.NewScheduler()
 	violations := 0
+	enc := json.NewEncoder(os.Stdout)
+	var vmu sync.Mutex // sharded engines report violations from shard goroutines
 	cfg.OnViolation = func(v *core.Violation) {
+		vmu.Lock()
+		defer vmu.Unlock()
 		violations++
+		if *jsonOut {
+			// One object per line: the TraceRecord shape /violations
+			// serves, carrying whatever provenance the level retained.
+			_ = enc.Encode(v.TraceRecord())
+			return
+		}
 		fmt.Println(v)
 	}
-	mon := core.NewMonitor(sched, cfg)
+	cfg.Metrics = reg
+	cfg.Violations = ring
+
+	var mon engine
+	if *shards > 0 {
+		if cfg.Mode != core.Inline {
+			return fmt.Errorf("-shards is incompatible with -mode %s", *mode)
+		}
+		sm := core.NewShardedMonitor(*shards, cfg)
+		defer sm.Close()
+		mon = &shardedEngine{sm: sm, sched: sched}
+	} else {
+		mon = &inlineEngine{mon: core.NewMonitor(sched, cfg), sched: sched}
+	}
+
+	var srv *http.Server
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return err
+		}
+		srv = &http.Server{Handler: export.NewMux(reg, ring)}
+		go func() { _ = srv.Serve(ln) }()
+		fmt.Fprintf(os.Stderr, "metrics: serving on http://%s/metrics\n", ln.Addr())
+	}
 
 	var installed []string
 	if *catalog != "" {
@@ -128,7 +255,7 @@ func run() error {
 		if *record != "" {
 			rec = &trace.Recorder{}
 		}
-		if err := runDemo(sched, mon, rec, *demo); err != nil {
+		if err := runDemo(sched, mon, rec, reg, *demo); err != nil {
 			return err
 		}
 		if rec != nil {
@@ -159,8 +286,7 @@ func run() error {
 			return err
 		}
 		trace.Replay(sched, events, mon.HandleEvent)
-		mon.Flush()
-		sched.RunFor(time.Hour) // drain outstanding deadlines
+		mon.Drain()
 	default:
 		return fmt.Errorf("nothing to do: pass -trace, -demo, or -list")
 	}
@@ -168,11 +294,24 @@ func run() error {
 	st := mon.Stats()
 	fmt.Printf("\nevents=%d instances_created=%d advanced=%d discharged=%d expired=%d violations=%d\n",
 		st.Events, st.Created, st.Advanced, st.Discharged, st.Expired, st.Violations)
+
+	if srv != nil {
+		if *hold > 0 {
+			fmt.Fprintf(os.Stderr, "metrics: holding for %s\n", *hold)
+			time.Sleep(*hold)
+		} else {
+			fmt.Fprintln(os.Stderr, "metrics: run complete, serving until SIGINT")
+			sig := make(chan os.Signal, 1)
+			signal.Notify(sig, os.Interrupt)
+			<-sig
+		}
+		_ = srv.Close()
+	}
 	return nil
 }
 
 // installDemoDefaults installs the properties each demo scenario needs.
-func installDemoDefaults(mon *core.Monitor, demo string) error {
+func installDemoDefaults(mon engine, demo string) error {
 	var names []string
 	switch demo {
 	case "firewall":
@@ -193,14 +332,16 @@ func installDemoDefaults(mon *core.Monitor, demo string) error {
 }
 
 // runDemo executes a built-in faulty scenario against the monitor,
-// optionally recording the event stream.
-func runDemo(sched *sim.Scheduler, mon *core.Monitor, rec *trace.Recorder, demo string) error {
+// optionally recording the event stream and registering the demo
+// switch's dataplane counters.
+func runDemo(sched *sim.Scheduler, mon engine, rec *trace.Recorder, reg *obs.Registry, demo string) error {
 	macA := packet.MustMAC("02:00:00:00:00:0a")
 	macB := packet.MustMAC("02:00:00:00:00:0b")
 	ipA := packet.MustIPv4("10.0.0.1")
 	ipB := packet.MustIPv4("203.0.113.9")
 
 	sw := dataplane.New("demo", sched, 2)
+	sw.SetMetrics(reg)
 	for i := 1; i <= 4; i++ {
 		sw.AddPort(dataplane.PortNo(i), nil)
 	}

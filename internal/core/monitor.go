@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
+	"switchmon/internal/obs"
 	"switchmon/internal/packet"
 	"switchmon/internal/property"
 	"switchmon/internal/sim"
@@ -62,6 +64,23 @@ type Config struct {
 	// Sec. 3.3 scalability concern. Eviction trades completeness for
 	// bounded state: an evicted instance's violation, if any, is lost.
 	MaxInstances int
+	// Metrics, when non-nil, wires the engine into the telemetry
+	// registry: per-property counters, a per-event latency histogram,
+	// and occupancy/queue gauges. Handles are resolved at construction
+	// and install time; the event hot path records through atomic
+	// instruments and stays allocation-free. Nil disables telemetry at
+	// the cost of one pointer check per event.
+	Metrics *obs.Registry
+	// MetricsLabels are attached to every engine-level series this
+	// monitor registers (e.g. shard="3" under a ShardedMonitor).
+	// Per-property counters deliberately omit them so engines sharing a
+	// registry aggregate into one series per property.
+	MetricsLabels []obs.Label
+	// Violations, when non-nil, receives a trace record (with as much
+	// provenance as Provenance allows) for every violation — the ring
+	// buffer behind a live /violations endpoint. Recording takes the
+	// ring's mutex, but only on the rare violation path.
+	Violations *obs.Ring
 }
 
 // Stats counts monitor activity. Retrieve a snapshot with Monitor.Stats.
@@ -163,7 +182,15 @@ type Monitor struct {
 	nextID  uint64
 	seq     uint64
 	pending []Event
-	stats   Stats
+	// pendingN mirrors len(pending) atomically so PendingEvents (and
+	// the queue-depth gauge) can be read while a worker goroutine
+	// drives the monitor.
+	pendingN atomic.Int64
+	stats    statsCell
+	// mx and pmx are the telemetry handles (nil / empty-handled when
+	// Config.Metrics is nil); pmx is indexed by propIdx.
+	mx  *monitorMetrics
+	pmx []propMetrics
 	// evictQueue holds instances in creation order for MaxInstances
 	// eviction; entries may be stale (already removed or recycled).
 	evictQueue []evictRef
@@ -183,7 +210,11 @@ type Monitor struct {
 
 // NewMonitor creates a monitor driven by the given scheduler's clock.
 func NewMonitor(sched *sim.Scheduler, cfg Config) *Monitor {
-	return &Monitor{sched: sched, cfg: cfg, buckets: map[int][]*bucket{}}
+	m := &Monitor{sched: sched, cfg: cfg, buckets: map[int][]*bucket{}}
+	if cfg.Metrics != nil {
+		m.mx = newMonitorMetrics(cfg.Metrics, cfg.MetricsLabels)
+	}
+	return m
 }
 
 // AddProperty compiles and installs a property.
@@ -199,6 +230,11 @@ func (m *Monitor) AddProperty(p *property.Property) error {
 		bs[i] = newBucket()
 	}
 	m.buckets[idx] = bs
+	if m.cfg.Metrics != nil {
+		m.pmx = append(m.pmx, newPropMetrics(m.cfg.Metrics, p.Name))
+	} else {
+		m.pmx = append(m.pmx, propMetrics{})
+	}
 	return nil
 }
 
@@ -211,8 +247,11 @@ func (m *Monitor) Properties() []string {
 	return names
 }
 
-// Stats returns a snapshot of the activity counters.
-func (m *Monitor) Stats() Stats { return m.stats }
+// Stats returns a snapshot of the activity counters. The snapshot is
+// assembled with atomic loads, so it may be taken from any goroutine —
+// including while a split-mode worker owns the monitor and is applying
+// events — without a lock and without racing the hot path.
+func (m *Monitor) Stats() Stats { return m.stats.snapshot() }
 
 // ActiveInstances reports the number of live instances — the quantity
 // that determines Varanus's pipeline depth (Sec. 3.3) and this engine's
@@ -227,8 +266,18 @@ func (m *Monitor) ActiveInstances() int {
 	return n
 }
 
-// PendingEvents reports the split-mode queue length.
-func (m *Monitor) PendingEvents() int { return len(m.pending) }
+// PendingEvents reports the split-mode queue length. Like Stats, it is
+// safe to call from any goroutine.
+func (m *Monitor) PendingEvents() int { return int(m.pendingN.Load()) }
+
+// setPending records the queue length for PendingEvents and the
+// queue-depth gauge.
+func (m *Monitor) setPending(n int) {
+	m.pendingN.Store(int64(n))
+	if m.mx != nil {
+		m.mx.pending.Set(int64(n))
+	}
+}
 
 // HandleEvent feeds one event to the monitor. In Inline mode the event is
 // applied immediately; in Split mode it is queued for Flush.
@@ -245,10 +294,14 @@ func (m *Monitor) HandleEvent(e Event) {
 			if drop > len(m.pending) {
 				drop = len(m.pending)
 			}
-			m.stats.DroppedEvents += uint64(drop)
+			m.stats.droppedEvents.Add(uint64(drop))
+			if m.mx != nil {
+				m.mx.dropped.Add(uint64(drop))
+			}
 			m.pending = append(m.pending[:0], m.pending[drop:]...)
 		}
 		m.pending = append(m.pending, e)
+		m.setPending(len(m.pending))
 		return
 	}
 	m.apply(&e)
@@ -262,15 +315,23 @@ func (m *Monitor) Flush() int {
 		m.apply(&m.pending[i])
 	}
 	m.pending = m.pending[:0]
+	if n > 0 {
+		m.setPending(0)
+	}
 	return n
 }
 
 // apply runs one event through every property.
 func (m *Monitor) apply(e *Event) {
-	m.stats.Events++
+	var start time.Time
+	if m.mx != nil {
+		start = time.Now()
+	}
+	m.stats.events.Add(1)
 	m.seq++
 	seq := m.seq
 	for pi, cp := range m.props {
+		m.pmx[pi].events.Inc()
 		bs := m.buckets[pi]
 		m.seedSuppressions(cp, bs, e)
 		// Walk pending stages from the deepest back to 1 so an instance
@@ -288,6 +349,10 @@ func (m *Monitor) apply(e *Event) {
 		if stagePatternMatches(cs0, e, nil, nil) {
 			m.createInstance(pi, cp, e, seq)
 		}
+	}
+	if m.mx != nil {
+		m.mx.events.Inc()
+		m.mx.eventNs.Observe(uint64(time.Since(start)))
 	}
 }
 
@@ -338,7 +403,8 @@ func (m *Monitor) matchStage(pi, si int, cs *compiledStage, b *bucket, e *Event,
 		inst.lastEventSeq = seq
 		if st.Negative {
 			m.remove(inst)
-			m.stats.Discharged++
+			m.stats.discharged.Add(1)
+			m.pmx[pi].discharged.Inc()
 			m.release(inst)
 			continue
 		}
@@ -396,7 +462,8 @@ func (m *Monitor) matchStage(pi, si int, cs *compiledStage, b *bucket, e *Event,
 	}
 	for _, inst := range discharged {
 		m.remove(inst)
-		m.stats.Discharged++
+		m.stats.discharged.Add(1)
+		m.pmx[pi].discharged.Inc()
 		m.release(inst)
 	}
 	m.instScratch = discharged[:0]
@@ -426,7 +493,7 @@ func (m *Monitor) createInstance(pi int, cp *compiledProp, e *Event, seq uint64)
 	} else {
 		inst.packets = make([]PacketID, len(cp.stages))
 	}
-	m.stats.Created++
+	m.stats.created.Add(1)
 	m.advance(inst, e)
 }
 
@@ -450,9 +517,10 @@ func (m *Monitor) release(inst *instance) {
 // reporting a violation if the pattern is complete.
 func (m *Monitor) advance(inst *instance, e *Event) {
 	cs := &inst.cp.stages[inst.stage]
+	m.pmx[inst.propIdx].matches.Inc()
 	if inst.stage > 0 {
 		m.remove(inst) // leaves timers canceled and indexes clean
-		m.stats.Advanced++
+		m.stats.advanced.Add(1)
 	}
 	for _, bd := range cs.st.Binds {
 		v, ok := e.Field(bd.Field)
@@ -488,7 +556,8 @@ func (m *Monitor) advance(inst *instance, e *Event) {
 func (m *Monitor) advanceByTimeout(inst *instance) {
 	cs := &inst.cp.stages[inst.stage]
 	m.remove(inst)
-	m.stats.Advanced++
+	m.stats.advanced.Add(1)
+	m.pmx[inst.propIdx].timeouts.Inc()
 	now := m.sched.Now()
 	if m.cfg.Provenance == ProvFull {
 		inst.history = append(inst.history, ProvRecord{
@@ -518,7 +587,7 @@ func (m *Monitor) enter(inst *instance) {
 	b := m.buckets[inst.propIdx][inst.stage]
 	sig := inst.cp.signature(inst.stage, inst.binds, inst.packets)
 	if b.suppressed[sig] {
-		m.stats.Suppressed++
+		m.stats.suppressed.Add(1)
 		m.release(inst)
 		return
 	}
@@ -531,7 +600,7 @@ func (m *Monitor) enter(inst *instance) {
 		// interval anchored at stage entry, not a sliding idle timeout —
 		// refreshing it would turn "N events within T" into "N events
 		// with gaps under T".
-		m.stats.Deduped++
+		m.stats.deduped.Add(1)
 		if !cs.st.Negative && cs.st.MinCount <= 1 {
 			if d, ok := m.windowOf(cs, exist.binds); ok {
 				if exist.timer != nil {
@@ -539,7 +608,7 @@ func (m *Monitor) enter(inst *instance) {
 				}
 				ex := exist
 				exist.timer = m.sched.After(d, func() { m.expire(ex) })
-				m.stats.Refreshed++
+				m.stats.refreshed.Add(1)
 			}
 		}
 		m.release(inst)
@@ -556,6 +625,9 @@ func (m *Monitor) enter(inst *instance) {
 	inst.sig = sig
 	inst.filed = true
 	m.live++
+	if m.mx != nil {
+		m.mx.occupancy.Add(1)
+	}
 	b.bySig[sig] = inst
 	b.all[inst.id] = inst
 	inst.idxKeys = instanceIndexKeys(cs, inst.binds, inst.packets, inst.idxKeys[:0])
@@ -598,7 +670,9 @@ func (m *Monitor) windowOf(cs *compiledStage, env bindings) (time.Duration, bool
 // monitored obligation no longer applies (Feature 3).
 func (m *Monitor) expire(inst *instance) {
 	m.remove(inst)
-	m.stats.Expired++
+	m.stats.expired.Add(1)
+	m.pmx[inst.propIdx].expired.Inc()
+	m.pmx[inst.propIdx].timeouts.Inc()
 	m.release(inst)
 }
 
@@ -613,6 +687,9 @@ func (m *Monitor) remove(inst *instance) {
 	if inst.filed {
 		inst.filed = false
 		m.live--
+		if m.mx != nil {
+			m.mx.occupancy.Add(-1)
+		}
 	}
 	b := m.buckets[inst.propIdx][inst.stage]
 	delete(b.all, inst.id)
@@ -670,7 +747,7 @@ func (m *Monitor) seedSuppressions(cp *compiledProp, bs []*bucket, e *Event) {
 			}
 			if inst, live := b.bySig[sig]; live {
 				m.remove(inst)
-				m.stats.Suppressed++
+				m.stats.suppressed.Add(1)
 				m.release(inst)
 			}
 		}
@@ -687,16 +764,19 @@ func (m *Monitor) evictOldest() {
 			continue // stale entry: already advanced, removed, or recycled
 		}
 		m.remove(ref.inst)
-		m.stats.Evicted++
+		m.stats.evicted.Add(1)
 		m.release(ref.inst)
 		return
 	}
 }
 
-// violate emits a report.
+// violate emits a report: counters always, then a trace record into the
+// configured ring and the user callback, each carrying as much
+// provenance as the configured level allows.
 func (m *Monitor) violate(inst *instance, at time.Time, trigger string) {
-	m.stats.Violations++
-	if m.cfg.OnViolation == nil {
+	m.stats.violations.Add(1)
+	m.pmx[inst.propIdx].violations.Inc()
+	if m.cfg.OnViolation == nil && m.cfg.Violations == nil {
 		return
 	}
 	v := &Violation{
@@ -713,5 +793,10 @@ func (m *Monitor) violate(inst *instance, at time.Time, trigger string) {
 	if m.cfg.Provenance == ProvFull {
 		v.History = append([]ProvRecord(nil), inst.history...)
 	}
-	m.cfg.OnViolation(v)
+	if m.cfg.Violations != nil {
+		m.cfg.Violations.Record(v.TraceRecord())
+	}
+	if m.cfg.OnViolation != nil {
+		m.cfg.OnViolation(v)
+	}
 }

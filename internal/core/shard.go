@@ -2,9 +2,11 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
+	"switchmon/internal/obs"
 	"switchmon/internal/property"
 	"switchmon/internal/sim"
 )
@@ -47,6 +49,9 @@ type shard struct {
 	mon     *Monitor
 	ch      chan shardCtl
 	pending []shardMsg
+	// depth is the shard's queue-depth gauge (batches waiting on ch),
+	// refreshed at every flush; nil without telemetry.
+	depth *obs.Gauge
 }
 
 // ShardedMonitor scales the single-threaded Monitor across cores: N
@@ -84,6 +89,11 @@ type ShardedMonitor struct {
 	// freeBatches recycles processed batch slices from workers back to
 	// the router without a lock on the fast path.
 	freeBatches chan []shardMsg
+	// smx holds the router-side telemetry handles (nil when Config.
+	// Metrics is nil); hasCatchall notes whether any installed property
+	// fell back to shard 0, the numerator of the catch-all ratio.
+	smx         *shardedMetrics
+	hasCatchall bool
 	violMu      sync.Mutex
 	startOnce   sync.Once
 	started     bool
@@ -104,6 +114,9 @@ func NewShardedMonitor(shards int, cfg Config) *ShardedMonitor {
 		createScratch: make([]uint64, shards),
 		freeBatches:   make(chan []shardMsg, 4*shards),
 	}
+	if cfg.Metrics != nil {
+		sm.smx = newShardedMetrics(cfg.Metrics, cfg.MetricsLabels)
+	}
 	shardCfg := cfg
 	shardCfg.Mode = Inline
 	shardCfg.SplitFlushLimit = 0
@@ -117,11 +130,23 @@ func NewShardedMonitor(shards int, cfg Config) *ShardedMonitor {
 	}
 	for i := 0; i < shards; i++ {
 		sched := sim.NewScheduler()
-		sm.shards = append(sm.shards, &shard{
+		s := &shard{
 			sched: sched,
-			mon:   NewMonitor(sched, shardCfg),
 			ch:    make(chan shardCtl, 64),
-		})
+		}
+		cfgI := shardCfg
+		if cfg.Metrics != nil {
+			// Engine-level series get a shard label; the per-property
+			// counters omit it (see propMetrics), so all shards share
+			// one aggregated series per property.
+			lbl := obs.L("shard", strconv.Itoa(i))
+			cfgI.MetricsLabels = append(append([]obs.Label(nil), cfg.MetricsLabels...), lbl)
+			s.depth = cfg.Metrics.Gauge("switchmon_shard_queue_depth",
+				"Batches queued on the shard's channel at the last flush.",
+				cfgI.MetricsLabels...)
+		}
+		s.mon = NewMonitor(sched, cfgI)
+		sm.shards = append(sm.shards, s)
 	}
 	return sm
 }
@@ -147,6 +172,9 @@ func (sm *ShardedMonitor) AddProperty(p *property.Property) error {
 		// Routing is derived from the index paths; without them every
 		// property is catch-all.
 		plan = shardPlan{}
+	}
+	if !plan.shardable {
+		sm.hasCatchall = true
 	}
 	for _, s := range sm.shards {
 		if err := s.mon.AddProperty(p); err != nil {
@@ -223,6 +251,7 @@ func (sm *ShardedMonitor) Submit(e Event) {
 			cm[h%n] |= bit
 		}
 	}
+	delivered := 0
 	for si := range sm.shards {
 		if mm[si] == 0 && cm[si] == 0 {
 			continue
@@ -230,8 +259,19 @@ func (sm *ShardedMonitor) Submit(e Event) {
 		s := sm.shards[si]
 		s.pending = append(s.pending, shardMsg{ev: e, matchMask: mm[si], createMask: cm[si]})
 		mm[si], cm[si] = 0, 0
+		delivered++
 		if len(s.pending) >= shardBatchSize {
 			sm.flushShard(s)
+		}
+	}
+	if sm.smx != nil {
+		sm.smx.events.Inc()
+		sm.smx.deliveries.Add(uint64(delivered))
+		if sm.hasCatchall {
+			sm.smx.catchall.Inc()
+		}
+		if delivered == 0 {
+			sm.smx.unroutable.Inc()
 		}
 	}
 }
@@ -249,7 +289,13 @@ func (sm *ShardedMonitor) flushShard(s *shard) {
 	if len(s.pending) == 0 {
 		return
 	}
+	if sm.smx != nil {
+		sm.smx.batchSize.Observe(uint64(len(s.pending)))
+	}
 	s.ch <- shardCtl{batch: s.pending}
+	// len on a channel is a safe (if momentary) read; good enough for a
+	// backpressure gauge refreshed once per batch.
+	s.depth.Set(int64(len(s.ch)))
 	select {
 	case b := <-sm.freeBatches:
 		s.pending = b
@@ -316,7 +362,7 @@ func (sm *ShardedMonitor) Drain() uint64 {
 	sm.Barrier()
 	var n uint64
 	for _, s := range sm.shards {
-		n += s.mon.stats.Events
+		n += s.mon.stats.events.Load()
 	}
 	return n
 }
@@ -400,7 +446,11 @@ func (sm *ShardedMonitor) SelfCheck() error {
 // set; the router's static analysis guarantees the cleared bits could not
 // have acted at this shard.
 func (m *Monitor) applyRouted(e *Event, matchMask, createMask uint64) {
-	m.stats.Events++
+	var start time.Time
+	if m.mx != nil {
+		start = time.Now()
+	}
+	m.stats.events.Add(1)
 	m.seq++
 	seq := m.seq
 	for pi, cp := range m.props {
@@ -408,6 +458,7 @@ func (m *Monitor) applyRouted(e *Event, matchMask, createMask uint64) {
 		if matchMask&bit == 0 && createMask&bit == 0 {
 			continue
 		}
+		m.pmx[pi].events.Inc()
 		bs := m.buckets[pi]
 		if matchMask&bit != 0 {
 			m.seedSuppressions(cp, bs, e)
@@ -426,5 +477,9 @@ func (m *Monitor) applyRouted(e *Event, matchMask, createMask uint64) {
 				m.createInstance(pi, cp, e, seq)
 			}
 		}
+	}
+	if m.mx != nil {
+		m.mx.events.Inc()
+		m.mx.eventNs.Observe(uint64(time.Since(start)))
 	}
 }

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"switchmon/internal/packet"
+	"switchmon/internal/property"
+	"switchmon/internal/sim"
+)
+
+// The split-processing deployment the paper's Feature 9 describes runs
+// the slow path on its own goroutine: the forwarding path queues events,
+// a worker drains them with Flush, and an operator (or the /metrics
+// endpoint) polls Stats concurrently. Stats must therefore be a proper
+// atomic snapshot — this test drives exactly that topology under -race.
+// Before the snapshot was made atomic, the worker's counter increments
+// raced with the reader's struct copy and this test failed.
+func TestStatsConcurrentWithSplitWorker(t *testing.T) {
+	sched := sim.NewScheduler()
+	mon := NewMonitor(sched, Config{Mode: Split, SplitFlushLimit: 64})
+	if err := mon.AddProperty(property.CatalogByName(property.DefaultParams(), "firewall-basic")); err != nil {
+		t.Fatal(err)
+	}
+
+	events := make([]Event, 0, 512)
+	var pid PacketID
+	for f := 0; f < 128; f++ {
+		src := packet.IPv4FromUint32(0x0a000000 | uint32(f))
+		dst := packet.IPv4FromUint32(0xcb007100 | uint32(f))
+		open := packet.NewTCP(macA, macB, src, dst, uint16(20000+f), 80, packet.FlagSYN, nil)
+		ret := packet.NewTCP(macB, macA, dst, src, 80, uint16(20000+f), packet.FlagACK, nil)
+		pid++
+		events = append(events,
+			Event{Kind: KindArrival, Time: sched.Now(), PacketID: pid, Packet: open, InPort: 1},
+			Event{Kind: KindEgress, Time: sched.Now(), PacketID: pid, Packet: open, InPort: 1, OutPort: 2})
+		pid++
+		events = append(events,
+			Event{Kind: KindEgress, Time: sched.Now(), PacketID: pid, Packet: ret, InPort: 2, OutPort: 1})
+	}
+
+	// Worker goroutine: owns the monitor, alternately queues and flushes —
+	// the single-threaded driving contract, moved off the main goroutine.
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		for round := 0; round < 50; round++ {
+			for i := range events {
+				mon.HandleEvent(events[i])
+				if i%17 == 0 {
+					mon.Flush()
+				}
+			}
+			mon.Flush()
+		}
+	}()
+
+	// Reader: polls the snapshot and the queue depth like a scrape loop.
+	var last Stats
+	for {
+		select {
+		case <-done:
+			wg.Wait()
+			final := mon.Stats()
+			if final.Events == 0 {
+				t.Fatal("worker applied no events")
+			}
+			if final.Events < last.Events {
+				t.Fatalf("events went backwards: %d then %d", last.Events, final.Events)
+			}
+			return
+		default:
+			st := mon.Stats()
+			if st.Events < last.Events {
+				t.Fatalf("events went backwards: %d then %d", last.Events, st.Events)
+			}
+			last = st
+			_ = mon.PendingEvents()
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"switchmon/internal/obs"
 	"switchmon/internal/packet"
 	"switchmon/internal/property"
 )
@@ -85,4 +86,24 @@ func (v *Violation) String() string {
 		fmt.Fprintf(&b, "\n  stage %d (%s) at %s: %s", r.Stage, r.Label, r.Time.Format(time.RFC3339Nano), r.Event)
 	}
 	return b.String()
+}
+
+// TraceRecord converts the violation into the obs trace-ring / JSON
+// representation, carrying whatever provenance the report itself holds
+// (bindings at ProvLimited and above, history at ProvFull). Seq is left
+// zero; the ring stamps it on append.
+func (v *Violation) TraceRecord() obs.TraceRecord {
+	rec := obs.TraceRecord{Time: v.Time, Property: v.Property, Trigger: v.Trigger}
+	if len(v.Bindings) > 0 {
+		rec.Bindings = make(map[string]string, len(v.Bindings))
+		for k, val := range v.Bindings {
+			rec.Bindings[string(k)] = val.String()
+		}
+	}
+	for _, h := range v.History {
+		rec.History = append(rec.History, obs.TraceStep{
+			Stage: h.Stage, Label: h.Label, Time: h.Time, Event: h.Event,
+		})
+	}
+	return rec
 }

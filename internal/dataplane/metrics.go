@@ -1,0 +1,93 @@
+package dataplane
+
+import (
+	"strconv"
+
+	"switchmon/internal/obs"
+)
+
+// switchMetrics holds one switch's telemetry handles, resolved at
+// SetMetrics time so the packet path only touches atomic instruments.
+// Per-table hit/miss counters are registered lazily (the Varanus
+// backend grows pipelines at run time); growth happens on the packet
+// path only the first time a new table index is seen.
+type switchMetrics struct {
+	reg    *obs.Registry
+	labels []obs.Label
+
+	packetsIn    *obs.Counter
+	packetsOut   *obs.Counter
+	packetsDrop  *obs.Counter
+	packetsFlood *obs.Counter
+	packetIns    *obs.Counter
+	egressDrops  *obs.Counter
+	learns       *obs.Counter
+	ruleMods     *obs.Counter
+	ruleExpiries *obs.Counter
+
+	tableHits   []*obs.Counter
+	tableMisses []*obs.Counter
+}
+
+// SetMetrics wires the switch into the telemetry registry. Every series
+// carries a switch=<name> label, so several switches (a chassis, the
+// multi-switch collector) can share one registry. Call it once, before
+// traffic; nil disables instrumentation again.
+//
+// The switch always carries a non-nil switchMetrics so packet-path call
+// sites can dereference counter fields unconditionally: with no registry
+// the handles are nil and every record is an inert nil-receiver call.
+func (sw *Switch) SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		sw.mx = &switchMetrics{}
+		return
+	}
+	l := []obs.Label{obs.L("switch", sw.name)}
+	mx := &switchMetrics{
+		reg:          reg,
+		labels:       l,
+		packetsIn:    reg.Counter("switchmon_dataplane_packets_in_total", "Packets injected into the switch.", l...),
+		packetsOut:   reg.Counter("switchmon_dataplane_packets_out_total", "Per-port packet emissions.", l...),
+		packetsDrop:  reg.Counter("switchmon_dataplane_packets_dropped_total", "Ingress-pipeline drop decisions.", l...),
+		packetsFlood: reg.Counter("switchmon_dataplane_packets_flood_total", "Per-port emissions that were part of a multi-port output.", l...),
+		packetIns:    reg.Counter("switchmon_dataplane_packetins_total", "Packets punted to the controller.", l...),
+		egressDrops:  reg.Counter("switchmon_dataplane_egress_drops_total", "Per-port copies discarded by the egress pipeline.", l...),
+		learns:       reg.Counter("switchmon_dataplane_learn_installs_total", "Rules installed by learn actions.", l...),
+		ruleMods:     reg.Counter("switchmon_dataplane_rule_mods_total", "Flow-table rule installs and removals.", l...),
+		ruleExpiries: reg.Counter("switchmon_dataplane_rule_expiries_total", "Rules removed by idle or hard timeout.", l...),
+	}
+	for i := range sw.tables {
+		mx.growTables(i)
+	}
+	sw.mx = mx
+}
+
+// growTables ensures per-table counters exist through index i.
+func (mx *switchMetrics) growTables(i int) {
+	for len(mx.tableHits) <= i {
+		t := strconv.Itoa(len(mx.tableHits))
+		ls := append(append([]obs.Label(nil), mx.labels...), obs.L("table", t))
+		mx.tableHits = append(mx.tableHits,
+			mx.reg.Counter("switchmon_dataplane_table_hits_total", "Flow-table rule matches.", ls...))
+		mx.tableMisses = append(mx.tableMisses,
+			mx.reg.Counter("switchmon_dataplane_table_misses_total", "Flow-table lookups matching no rule.", ls...))
+	}
+}
+
+// tableHit records a rule match in table i.
+func (mx *switchMetrics) tableHit(i int) {
+	if mx == nil || mx.reg == nil {
+		return
+	}
+	mx.growTables(i)
+	mx.tableHits[i].Inc()
+}
+
+// tableMiss records a missed lookup in table i.
+func (mx *switchMetrics) tableMiss(i int) {
+	if mx == nil || mx.reg == nil {
+		return
+	}
+	mx.growTables(i)
+	mx.tableMisses[i].Inc()
+}

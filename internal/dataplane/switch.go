@@ -72,6 +72,8 @@ type Switch struct {
 	// ingress decision, with the output port matchable. Ingress-dropped
 	// packets never enter it — the paper's Sec. 3.2 gap, reproduced.
 	egressStart int
+	// mx holds the telemetry handles (nil until SetMetrics).
+	mx *switchMetrics
 }
 
 // New creates a switch with the given number of flow tables.
@@ -84,6 +86,7 @@ func New(name string, sched *sim.Scheduler, numTables int) *Switch {
 		sched: sched,
 		ports: map[PortNo]*port{},
 		regs:  NewRegisterFile(),
+		mx:    &switchMetrics{},
 	}
 	for i := 0; i < numTables; i++ {
 		sw.tables = append(sw.tables, &Table{sw: sw, index: i})
@@ -197,6 +200,7 @@ func (sw *Switch) Inject(inPort PortNo, p *packet.Packet) core.PacketID {
 	sw.nextPID++
 	pid := sw.nextPID
 	sw.stats.PacketsIn++
+	sw.mx.packetsIn.Inc()
 	now := sw.sched.Now()
 	sw.emit(core.Event{
 		Kind: core.KindArrival, Time: now, PacketID: pid, SwitchID: sw.dpid,
@@ -249,6 +253,7 @@ func (sw *Switch) runPipeline(work *packet.Packet, inPort PortNo) ([]PortNo, ver
 		table := sw.tables[ti]
 		rule := table.lookup(work, inPort)
 		if rule == nil {
+			sw.mx.tableMiss(ti)
 			if ti == 0 && len(outs) == 0 {
 				switch sw.miss {
 				case MissController:
@@ -311,6 +316,7 @@ func (sw *Switch) floodPorts(inPort PortNo) []PortNo {
 // external-monitoring volume cost of Sec. 1.
 func (sw *Switch) packetIn(inPort PortNo, p *packet.Packet) {
 	sw.stats.PacketIns++
+	sw.mx.packetIns.Inc()
 	if data, err := p.Encode(); err == nil {
 		sw.stats.PacketInBytes += uint64(len(data))
 	}
@@ -352,6 +358,7 @@ func (sw *Switch) applyLearn(spec *LearnSpec, p *packet.Packet, inPort PortNo) {
 		}
 	}
 	table.Add(rule)
+	sw.mx.learns.Inc()
 }
 
 // matchEqual compares two matches structurally.
@@ -387,6 +394,7 @@ func (sw *Switch) emitOutputs(pid core.PacketID, work *packet.Packet, inPort Por
 			copyOut, dropped = sw.runEgress(work, inPort, o)
 			if dropped {
 				sw.stats.EgressDrops++
+				sw.mx.egressDrops.Inc()
 				sw.emit(core.Event{
 					Kind: core.KindEgress, Time: now, PacketID: pid, SwitchID: sw.dpid,
 					Packet: copyOut, InPort: uint64(inPort), Dropped: true,
@@ -395,8 +403,10 @@ func (sw *Switch) emitOutputs(pid core.PacketID, work *packet.Packet, inPort Por
 			}
 		}
 		sw.stats.PacketsOut++
+		sw.mx.packetsOut.Inc()
 		if multi {
 			sw.stats.PacketsFlood++
+			sw.mx.packetsFlood.Inc()
 		}
 		sw.emit(core.Event{
 			Kind: core.KindEgress, Time: now, PacketID: pid, SwitchID: sw.dpid,
@@ -429,6 +439,7 @@ func (sw *Switch) runEgress(work *packet.Packet, inPort, outPort PortNo) (*packe
 			}
 		}
 		if hitRule == nil {
+			sw.mx.tableMiss(ti)
 			break
 		}
 		sw.tables[ti].hit(hitRule, 1)
@@ -461,6 +472,7 @@ func (sw *Switch) runEgress(work *packet.Packet, inPort, outPort PortNo) (*packe
 
 func (sw *Switch) emitDrop(pid core.PacketID, work *packet.Packet, inPort PortNo) {
 	sw.stats.PacketsDrop++
+	sw.mx.packetsDrop.Inc()
 	sw.emit(core.Event{
 		Kind: core.KindEgress, Time: sw.sched.Now(), PacketID: pid, SwitchID: sw.dpid,
 		Packet: work, InPort: uint64(inPort), Dropped: true,

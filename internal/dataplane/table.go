@@ -70,6 +70,7 @@ func (t *Table) Add(r *Rule) *Rule {
 	copy(t.rules[idx+1:], t.rules[idx:])
 	t.rules[idx] = r
 	t.sw.stats.RuleMods++
+	t.sw.mx.ruleMods.Inc()
 	t.armTimeout(r)
 	return r
 }
@@ -86,6 +87,7 @@ func (t *Table) Remove(r *Rule) {
 				r.timer = nil
 			}
 			t.sw.stats.RuleMods++
+			t.sw.mx.ruleMods.Inc()
 			return
 		}
 	}
@@ -113,6 +115,7 @@ func (t *Table) RemoveByCookie(cookie uint64) int {
 	t.rules = kept
 	if removed > 0 {
 		t.sw.stats.RuleMods += uint64(removed)
+		t.sw.mx.ruleMods.Add(uint64(removed))
 	}
 	return removed
 }
@@ -132,6 +135,7 @@ func (t *Table) hit(r *Rule, size int) {
 	r.packets++
 	r.bytes += uint64(size)
 	r.lastUsed = t.sw.sched.Now()
+	t.sw.mx.tableHit(t.index)
 }
 
 // armTimeout schedules expiry. Hard timeouts fire unconditionally; idle
@@ -149,6 +153,7 @@ func (t *Table) expire(r *Rule) {
 	r.timer = nil
 	t.Remove(r)
 	t.sw.stats.RuleExpiries++
+	t.sw.mx.ruleExpiries.Inc()
 }
 
 func (t *Table) idleCheck(r *Rule) {
@@ -161,4 +166,5 @@ func (t *Table) idleCheck(r *Rule) {
 	}
 	t.Remove(r)
 	t.sw.stats.RuleExpiries++
+	t.sw.mx.ruleExpiries.Inc()
 }

@@ -18,6 +18,7 @@ import (
 var libraryPackages = []string{
 	"sim", "packet", "property", "dsl", "core",
 	"dataplane", "backend", "varanus", "apps", "netsim", "trace", "tables",
+	"obs", "obs/export",
 }
 
 func TestEveryExportedIdentifierIsDocumented(t *testing.T) {

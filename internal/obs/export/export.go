@@ -1,0 +1,168 @@
+// Package export turns obs registry snapshots into wire formats and
+// serves them over HTTP: Prometheus text exposition and JSON renderings
+// of the metrics, a violation-ring dump with provenance, a health probe,
+// and the standard pprof handlers — the switch-scope introspection
+// endpoint behind switchmon's -metrics-addr flag.
+//
+// The exporters work on obs.Snapshot values, never on live instruments,
+// so a scrape costs one snapshot (atomic loads under the registry lock)
+// and zero coordination with the hot path.
+package export
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+
+	"switchmon/internal/obs"
+)
+
+// PromText writes the snapshot in Prometheus text exposition format
+// (version 0.0.4). Histograms are rendered as cumulative le-buckets at
+// the power-of-two bounds obs.BucketBound defines, plus _sum and _count.
+func PromText(w io.Writer, s obs.Snapshot) error {
+	for _, f := range s.Families {
+		if f.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.Name, escapeHelp(f.Help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, f.Kind); err != nil {
+			return err
+		}
+		for _, ser := range f.Series {
+			if err := writeSeries(w, f, ser); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeSeries renders one labeled series of family f.
+func writeSeries(w io.Writer, f obs.FamilySnapshot, ser obs.SeriesSnapshot) error {
+	if f.Kind != "histogram" {
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.Name, labelBlock(ser.Labels, "", ""), ser.Value)
+		return err
+	}
+	cum := uint64(0)
+	for i, n := range ser.Buckets {
+		cum += n
+		if n == 0 {
+			continue // elide empty buckets; cumulative counts stay exact
+		}
+		le := strconv.FormatUint(obs.BucketBound(i), 10)
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.Name, labelBlock(ser.Labels, "le", le), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.Name, labelBlock(ser.Labels, "le", "+Inf"), ser.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", f.Name, labelBlock(ser.Labels, "", ""), ser.Sum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.Name, labelBlock(ser.Labels, "", ""), ser.Count)
+	return err
+}
+
+// labelBlock renders {k="v",...}, appending the extra pair when set, or
+// "" for an unlabeled series.
+func labelBlock(labels []obs.Label, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	if extraKey != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraKey)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(extraVal))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// escapeHelp escapes a HELP string per the exposition format.
+func escapeHelp(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// WriteJSON writes the snapshot as one indented JSON document.
+func WriteJSON(w io.Writer, s obs.Snapshot) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// NewMux builds the introspection endpoint:
+//
+//	/metrics          Prometheus text (or JSON with ?format=json)
+//	/healthz          liveness probe ("ok")
+//	/violations       JSON dump of the violation ring, oldest first
+//	/debug/pprof/...  standard runtime profiles
+//
+// reg and ring may each be nil; the handlers then serve empty documents.
+func NewMux(reg *obs.Registry, ring *obs.Ring) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		snap := reg.Snapshot()
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = WriteJSON(w, snap)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = PromText(w, snap)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/violations", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var recs []obs.TraceRecord
+		var total uint64
+		if ring != nil {
+			recs = ring.Snapshot()
+			total = ring.Total()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			Total      uint64            `json:"total"`
+			Retained   int               `json:"retained"`
+			Violations []obs.TraceRecord `json:"violations"`
+		}{Total: total, Retained: len(recs), Violations: recs})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,144 @@
+package export
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"switchmon/internal/obs"
+)
+
+func testRegistry() (*obs.Registry, *obs.Ring) {
+	reg := obs.NewRegistry()
+	reg.Counter("t_events_total", "Events.", obs.L("property", "fw")).Add(7)
+	reg.Gauge("t_instances", "Live instances.").Set(-3)
+	h := reg.Histogram("t_latency_ns", "Latency.")
+	h.Observe(0) // bucket 0
+	h.Observe(1) // bucket 1
+	h.Observe(1)
+	h.Observe(9) // bucket 4 (bits.Len64(9)=4)
+	ring := obs.NewRing(4)
+	ring.Record(obs.TraceRecord{
+		Time:     time.Unix(100, 0).UTC(),
+		Property: "fw",
+		Trigger:  "timeout",
+		Bindings: map[string]string{"src": "10.0.0.1"},
+		History:  []obs.TraceStep{{Stage: 0, Label: "open"}},
+	})
+	return reg, ring
+}
+
+func TestPromTextFormat(t *testing.T) {
+	reg, _ := testRegistry()
+	var b strings.Builder
+	if err := PromText(&b, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP t_events_total Events.",
+		"# TYPE t_events_total counter",
+		`t_events_total{property="fw"} 7`,
+		"# TYPE t_instances gauge",
+		"t_instances -3",
+		"# TYPE t_latency_ns histogram",
+		`t_latency_ns_bucket{le="0"} 1`,  // 1 obs of value 0
+		`t_latency_ns_bucket{le="1"} 3`,  // cumulative: +2 obs of value 1
+		`t_latency_ns_bucket{le="15"} 4`, // cumulative: +1 obs of value 9
+		`t_latency_ns_bucket{le="+Inf"} 4`,
+		"t_latency_ns_sum 11",
+		"t_latency_ns_count 4",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("missing line %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("t_total", "h", obs.L("k", "a\"b\\c\nd")).Inc()
+	var b strings.Builder
+	if err := PromText(&b, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `t_total{k="a\"b\\c\nd"} 1`) {
+		t.Fatalf("escaping wrong:\n%s", b.String())
+	}
+}
+
+func TestMuxEndpoints(t *testing.T) {
+	reg, ring := testRegistry()
+	srv := httptest.NewServer(NewMux(reg, ring))
+	defer srv.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	if body := get("/healthz"); strings.TrimSpace(body) != "ok" {
+		t.Fatalf("/healthz = %q", body)
+	}
+	if body := get("/metrics"); !strings.Contains(body, `t_events_total{property="fw"} 7`) {
+		t.Fatalf("/metrics missing counter:\n%s", body)
+	}
+
+	var snap obs.Snapshot
+	if err := json.Unmarshal([]byte(get("/metrics?format=json")), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Families) != 3 {
+		t.Fatalf("json families = %d, want 3", len(snap.Families))
+	}
+
+	var dump struct {
+		Total      uint64            `json:"total"`
+		Retained   int               `json:"retained"`
+		Violations []obs.TraceRecord `json:"violations"`
+	}
+	if err := json.Unmarshal([]byte(get("/violations")), &dump); err != nil {
+		t.Fatal(err)
+	}
+	if dump.Total != 1 || dump.Retained != 1 || len(dump.Violations) != 1 {
+		t.Fatalf("violations dump = %+v", dump)
+	}
+	v := dump.Violations[0]
+	if v.Property != "fw" || v.Trigger != "timeout" || v.Bindings["src"] != "10.0.0.1" || len(v.History) != 1 {
+		t.Fatalf("trace record lost fields: %+v", v)
+	}
+
+	if body := get("/debug/pprof/cmdline"); body == "" {
+		t.Fatal("pprof cmdline empty")
+	}
+}
+
+func TestMuxNilSources(t *testing.T) {
+	srv := httptest.NewServer(NewMux(nil, nil))
+	defer srv.Close()
+	for _, path := range []string{"/metrics", "/violations", "/healthz"} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s with nil sources: status %d", path, resp.StatusCode)
+		}
+	}
+}

@@ -1,0 +1,273 @@
+// Package obs is the switch-scope telemetry subsystem: atomic counters,
+// gauges, power-of-two-bucket latency histograms, and a fixed-size ring
+// buffer of recent violation trace records (ring.go). It exists so the
+// monitor can explain what it is doing — shard occupancy, queue drops,
+// per-property match rates, per-event latency — without perturbing the
+// data plane: every hot-path recording operation (Counter.Inc,
+// Gauge.Add, Histogram.Observe) is a handful of uncontended atomic
+// instructions and allocates nothing. Instrument handles are resolved
+// once at registration time (monitor construction, property install);
+// the event path never touches the registry, its lock, or a map.
+//
+// The registry is get-or-create on (name, labels): registering the same
+// series twice returns the same instrument. Shards exploit this to
+// share one per-property counter family — every shard increments the
+// same atomic word, so the registry's view is the cross-shard aggregate
+// with no merge step.
+//
+// Export formats (Prometheus text, JSON, HTTP) live in obs/export so
+// engines that only record never link the encoders.
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one key=value pair attached to a metric series.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value reads the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomically settable instantaneous value (occupancy, queue
+// depth). Negative values are representable: deltas may transiently
+// undershoot.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the value.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add applies a delta.
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value reads the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the bucket count of a Histogram: bucket i holds
+// observations v with bits.Len64(v) == i, i.e. 2^(i-1) <= v < 2^i
+// (bucket 0 holds v == 0). 65 covers the full uint64 range.
+const histBuckets = 65
+
+// Histogram is a power-of-two-bucket histogram of uint64 observations
+// (latencies in nanoseconds, batch sizes). Observe is wait-free: one
+// bit-length computation and three atomic adds, no allocation.
+type Histogram struct {
+	buckets [histBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.buckets[bits.Len64(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum reports the sum of all observed values.
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Buckets returns the per-bucket counts; index i counts observations
+// with bit length i (upper bound 2^i - 1).
+func (h *Histogram) Buckets() [histBuckets]uint64 {
+	var out [histBuckets]uint64
+	if h == nil {
+		return out
+	}
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// BucketBound reports the inclusive upper bound of bucket i.
+func BucketBound(i int) uint64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(i) - 1
+}
+
+// metricKind discriminates the series types a family can hold.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+// series is one labeled instrument inside a family.
+type series struct {
+	labels []Label
+	ctr    *Counter
+	gauge  *Gauge
+	hist   *Histogram
+}
+
+// family groups all series sharing a metric name.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	order  int
+	series map[string]*series
+}
+
+// Registry holds named metric families. Registration (Counter, Gauge,
+// Histogram) is get-or-create keyed on (name, labels) and safe for
+// concurrent use; it is intended for construction time, not the event
+// path. Snapshot may be called concurrently with recording — values are
+// read atomically, so a scrape sees a consistent-enough live view
+// without stopping the engine.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	nextOrd  int
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// canonLabels returns a sorted copy of labels and their canonical key.
+func canonLabels(labels []Label) ([]Label, string) {
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	for _, l := range ls {
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+		b.WriteByte(',')
+	}
+	return ls, b.String()
+}
+
+// lookup finds or creates the family and series for (name, labels).
+func (r *Registry) lookup(name, help string, kind metricKind, labels []Label) *series {
+	ls, key := canonLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind, order: r.nextOrd, series: map[string]*series{}}
+		r.nextOrd++
+		r.families[name] = f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as two different kinds", name))
+	}
+	s := f.series[key]
+	if s == nil {
+		s = &series{labels: ls}
+		switch kind {
+		case kindCounter:
+			s.ctr = &Counter{}
+		case kindGauge:
+			s.gauge = &Gauge{}
+		case kindHistogram:
+			s.hist = &Histogram{}
+		}
+		f.series[key] = s
+	}
+	return s
+}
+
+// Counter registers (or finds) a counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, kindCounter, labels).ctr
+}
+
+// Gauge registers (or finds) a gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, kindGauge, labels).gauge
+}
+
+// Histogram registers (or finds) a histogram series.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, kindHistogram, labels).hist
+}

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// TraceStep is one stage of a violation's provenance history.
+type TraceStep struct {
+	Stage int       `json:"stage"`
+	Label string    `json:"label"`
+	Time  time.Time `json:"time"`
+	Event string    `json:"event"`
+}
+
+// TraceRecord is one violation with as much provenance as the
+// monitor's configured level allowed: Bindings at limited and above,
+// History at full. Seq is the record's position in the total stream
+// (assigned by the ring), so a reader can detect records it missed
+// after wraparound.
+type TraceRecord struct {
+	Seq      uint64            `json:"seq"`
+	Time     time.Time         `json:"time"`
+	Property string            `json:"property"`
+	Trigger  string            `json:"trigger"`
+	Bindings map[string]string `json:"bindings,omitempty"`
+	History  []TraceStep       `json:"history,omitempty"`
+}
+
+// Ring is a fixed-size ring buffer of recent violation trace records —
+// the paper's F10 provenance made inspectable at run time without
+// unbounded memory. Writers overwrite the oldest record once full.
+// Record is mutex-guarded: violations are orders of magnitude rarer
+// than events, so the lock is off the event hot path by construction;
+// shards share one ring safely.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []TraceRecord
+	next uint64
+}
+
+// NewRing creates a ring holding up to capacity records (minimum 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]TraceRecord, 0, capacity)}
+}
+
+// Record appends one record, stamping its Seq and evicting the oldest
+// record when full. Nil-safe: a nil ring drops the record.
+func (r *Ring) Record(rec TraceRecord) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	rec.Seq = r.next
+	r.next++
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, rec)
+	} else {
+		r.buf[rec.Seq%uint64(cap(r.buf))] = rec
+	}
+	r.mu.Unlock()
+}
+
+// Total reports how many records were ever appended (>= len(Snapshot)).
+func (r *Ring) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.next
+}
+
+// Snapshot copies the retained records, oldest first.
+func (r *Ring) Snapshot() []TraceRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]TraceRecord, 0, len(r.buf))
+	if len(r.buf) < cap(r.buf) {
+		return append(out, r.buf...)
+	}
+	start := r.next % uint64(cap(r.buf))
+	out = append(out, r.buf[start:]...)
+	return append(out, r.buf[:start]...)
+}

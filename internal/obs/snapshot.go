@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+)
+
+// SeriesSnapshot is one labeled series captured by Snapshot.
+type SeriesSnapshot struct {
+	Labels []Label `json:"labels,omitempty"`
+	// Value carries a counter's count or a gauge's level.
+	Value int64 `json:"value"`
+	// Count, Sum, and Buckets are histogram-only. Buckets[i] counts
+	// observations with bit length i (upper bound BucketBound(i)).
+	Count   uint64   `json:"count,omitempty"`
+	Sum     uint64   `json:"sum,omitempty"`
+	Buckets []uint64 `json:"buckets,omitempty"`
+}
+
+// FamilySnapshot is one metric family captured by Snapshot.
+type FamilySnapshot struct {
+	Name string `json:"name"`
+	Help string `json:"help,omitempty"`
+	// Kind is "counter", "gauge", or "histogram".
+	Kind   string           `json:"kind"`
+	Series []SeriesSnapshot `json:"series"`
+}
+
+// Snapshot is a point-in-time copy of a registry's metrics, ordered by
+// registration: the unit the exporters encode and benchsweep diffs.
+type Snapshot struct {
+	Families []FamilySnapshot `json:"families"`
+}
+
+// kindName names a metricKind for snapshots and exporters.
+func (k metricKind) kindName() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// Snapshot captures every registered series. Safe to call while other
+// goroutines record; each value is read atomically.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].order < fams[j].order })
+
+	var snap Snapshot
+	for _, f := range fams {
+		fs := FamilySnapshot{Name: f.name, Help: f.help, Kind: f.kind.kindName()}
+		keys := make([]string, 0, len(f.series))
+		r.mu.Lock()
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s := f.series[k]
+			ss := SeriesSnapshot{Labels: s.labels}
+			switch f.kind {
+			case kindCounter:
+				ss.Value = int64(s.ctr.Value())
+			case kindGauge:
+				ss.Value = s.gauge.Value()
+			case kindHistogram:
+				b := s.hist.Buckets()
+				ss.Count = s.hist.Count()
+				ss.Sum = s.hist.Sum()
+				// Trim trailing empty buckets; exporters re-derive bounds.
+				hi := len(b)
+				for hi > 0 && b[hi-1] == 0 {
+					hi--
+				}
+				ss.Buckets = append([]uint64(nil), b[:hi]...)
+			}
+			fs.Series = append(fs.Series, ss)
+		}
+		r.mu.Unlock()
+		snap.Families = append(snap.Families, fs)
+	}
+	return snap
+}
+
+// SeriesKey renders "name{k1=v1,k2=v2}" (or bare name when unlabeled) —
+// the flat key used by Counters and DiffCounters.
+func SeriesKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Counters flattens the snapshot's counter series into key -> value.
+func (s Snapshot) Counters() map[string]uint64 {
+	out := map[string]uint64{}
+	for _, f := range s.Families {
+		if f.Kind != "counter" {
+			continue
+		}
+		for _, ser := range f.Series {
+			out[SeriesKey(f.Name, ser.Labels)] = uint64(ser.Value)
+		}
+	}
+	return out
+}
+
+// CounterValue finds one counter series by name and exact label set.
+func (s Snapshot) CounterValue(name string, labels ...Label) uint64 {
+	ls, _ := canonLabels(labels)
+	return s.Counters()[SeriesKey(name, ls)]
+}
+
+// DiffCounters returns after-minus-before deltas for every counter
+// series present in after, omitting zero deltas — the payload attached
+// to BENCH_*.json entries.
+func DiffCounters(before, after Snapshot) map[string]uint64 {
+	b := before.Counters()
+	out := map[string]uint64{}
+	for k, v := range after.Counters() {
+		if d := v - b[k]; d != 0 {
+			out[k] = d
+		}
+	}
+	return out
+}

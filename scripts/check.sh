@@ -20,4 +20,11 @@ go test ./...
 echo "==> go test -race ./internal/core/... ./internal/backend/... ./internal/integration/..."
 go test -race ./internal/core/... ./internal/backend/... ./internal/integration/...
 
+# Telemetry overhead gate: recording on the hot path must stay
+# allocation-free, with and without a registry attached. These run
+# -count=1 so a cached pass can't mask a regression.
+echo "==> zero-alloc telemetry gates"
+go test -count=1 -run 'TestHotPathZeroAlloc' ./internal/obs/
+go test -count=1 -run 'TestSteadyStateAllocationBudget' ./internal/core/
+
 echo "OK"
