@@ -34,6 +34,7 @@ import (
 
 	"switchmon/internal/backend"
 	"switchmon/internal/core"
+	"switchmon/internal/fault"
 	"switchmon/internal/obs"
 	"switchmon/internal/property"
 	"switchmon/internal/sim"
@@ -67,7 +68,7 @@ func writeRows(dir, exp string, rows []benchRow) error {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, e3, e4, e5, e6, e7, e8")
+	exp := flag.String("exp", "all", "experiment to run: all, e3, e4, e5, e6, e7, e8, e12")
 	jsonDir := flag.String("json", "", "also write BENCH_<exp>.json rows into this directory")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (after the sweep) to this file")
@@ -103,11 +104,11 @@ func main() {
 	}()
 	run := map[string]func() []benchRow{
 		"e3": sweepE3, "e4": sweepE4, "e5": sweepE5, "e6": sweepE6, "e7": sweepE7,
-		"e8": sweepE8,
+		"e8": sweepE8, "e12": sweepE12,
 	}
 	names := []string{*exp}
 	if *exp == "all" {
-		names = []string{"e3", "e4", "e5", "e6", "e7", "e8"}
+		names = []string{"e3", "e4", "e5", "e6", "e7", "e8", "e12"}
 	}
 	for i, name := range names {
 		fn, ok := run[name]
@@ -459,6 +460,95 @@ func sweepE8() []benchRow {
 			Extra:         map[string]any{"violations": viols},
 			CounterDeltas: obs.DiffCounters(before, reg.Snapshot()),
 		})
+	}
+	return rows
+}
+
+// sweepE12: detection rate vs injected event loss. For each workload the
+// zero-loss run establishes ground truth; then the same stream goes
+// through a deterministic fault injector at increasing drop rates, and
+// the row records how many of the ground-truth violations the monitor
+// still detects alongside what the soundness ledger admits was lost.
+// The point of the experiment is the pairing: detection degrades, and
+// the engine says so.
+func sweepE12() []benchRow {
+	var rows []benchRow
+	fmt.Println("E12: detection rate vs injected feed loss (seed=12)")
+	fmt.Printf("%-16s %-8s %10s %10s %10s %10s %10s\n",
+		"workload", "drop", "events", "dropped", "expected", "detected", "det_rate")
+
+	type workload struct {
+		name   string
+		prop   string
+		events []core.Event
+	}
+	workloads := []workload{
+		{
+			name: "firewall", prop: "firewall-basic",
+			events: trace.FirewallWorkload{
+				Flows: 2000, ReturnsPerFlow: 3, ViolationEvery: 10, Gap: time.Millisecond,
+			}.Events(sim.Epoch),
+		},
+		{
+			name: "nat", prop: "nat-reverse",
+			events: trace.NATWorkload{
+				Flows: 4000, MistranslateEvery: 10, Gap: time.Millisecond,
+			}.Events(sim.Epoch),
+		},
+	}
+	rates := []float64{0, 0.01, 0.02, 0.05, 0.1, 0.2}
+
+	for _, wl := range workloads {
+		expected := uint64(0)
+		for _, rate := range rates {
+			spec := fault.DefaultSpec()
+			spec.Drop = rate
+			spec.Seed = 12
+
+			sched := sim.NewScheduler()
+			reg := obs.NewRegistry()
+			mon := core.NewMonitor(sched, core.Config{Metrics: reg})
+			if err := mon.AddProperty(property.CatalogByName(property.DefaultParams(), wl.prop)); err != nil {
+				panic(err)
+			}
+			inj := fault.NewInjector(spec)
+			inj.OnDrop = func(e core.Event) { mon.MarkFeedLoss(e.Time, 1, "e12 injected drop") }
+			evs := inj.Apply(wl.events)
+			before := reg.Snapshot()
+			start := time.Now()
+			trace.Replay(sched, evs, mon.HandleEvent)
+			sched.RunFor(time.Hour)
+			elapsed := time.Since(start)
+
+			st := mon.Stats()
+			if rate == 0 {
+				expected = st.Violations // ground truth: the fault-free run
+			}
+			detRate := 0.0
+			if expected > 0 {
+				detRate = float64(st.Violations) / float64(expected)
+			}
+			is := inj.Stats()
+			marks := mon.Ledger().Snapshot()
+			fmt.Printf("%-16s %-8.2f %10d %10d %10d %10d %10.3f\n",
+				wl.name, rate, len(wl.events), is.Dropped, expected, st.Violations, detRate)
+			rows = append(rows, benchRow{
+				Exp: "e12",
+				Params: map[string]any{
+					"workload": wl.name, "property": wl.prop, "drop_rate": rate, "seed": spec.Seed,
+				},
+				NsPerEvent: float64(elapsed.Nanoseconds()) / float64(len(evs)),
+				Extra: map[string]any{
+					"events":              len(wl.events),
+					"dropped_events":      is.Dropped,
+					"expected_violations": expected,
+					"detected_violations": st.Violations,
+					"detection_rate":      detRate,
+					"unsound_properties":  len(marks),
+				},
+				CounterDeltas: obs.DiffCounters(before, reg.Snapshot()),
+			})
+		}
 	}
 	return rows
 }

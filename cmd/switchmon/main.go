@@ -8,6 +8,7 @@
 //	switchmon -trace events.trc -props my.properties
 //	switchmon -demo firewall
 //	switchmon -demo firewall -metrics-addr :9090
+//	switchmon -trace events.trc -catalog firewall-basic -fault drop=0.01,dup=0.001,seed=7
 //	switchmon -list
 //
 // Properties come from the built-in catalogue (-catalog, comma-separated
@@ -20,6 +21,20 @@
 // run: until SIGINT by default, or for -hold duration. With -json,
 // violations stream to stdout as one JSON object per line instead of
 // the human-readable rendering.
+//
+// -fault injects deterministic faults into the run (internal/fault);
+// every injected loss lands in the soundness ledger, which the exit
+// report prints and /healthz serves as a degradation report. The spec
+// grammar is comma-separated key=value:
+//
+//	drop=F            probability in [0,1] of dropping each event
+//	dup=F             probability in [0,1] of duplicating each event
+//	reorder=F         probability of swapping adjacent events (-trace only)
+//	delay=DUR         jitter timestamps by uniform [0,DUR) (-trace only)
+//	seed=N            PRNG seed; same seed+spec = same run
+//	panic-shard=S@N   panic shard S at its Nth event (needs -shards)
+//	stall-shard=S@N   stall shard S at its Nth event (needs -shards)
+//	stall=DUR         stall duration (default 10ms)
 package main
 
 import (
@@ -38,6 +53,7 @@ import (
 	"switchmon/internal/core"
 	"switchmon/internal/dataplane"
 	"switchmon/internal/dsl"
+	"switchmon/internal/fault"
 	"switchmon/internal/obs"
 	"switchmon/internal/obs/export"
 	"switchmon/internal/packet"
@@ -66,6 +82,12 @@ type engine interface {
 	// event, firing outstanding deadline monitors.
 	Drain()
 	Stats() core.Stats
+	// Ledger snapshots the per-property soundness marks (empty when every
+	// verdict is still complete).
+	Ledger() []core.UnsoundMark
+	// MarkFeedLoss records events lost upstream of the engine, marking
+	// every property unsound.
+	MarkFeedLoss(at time.Time, n uint64, detail string)
 }
 
 // inlineEngine drives a single-threaded Monitor on the shared scheduler.
@@ -81,7 +103,11 @@ func (ie *inlineEngine) Drain() {
 	ie.mon.Flush()
 	ie.sched.RunFor(time.Hour)
 }
-func (ie *inlineEngine) Stats() core.Stats { return ie.mon.Stats() }
+func (ie *inlineEngine) Stats() core.Stats          { return ie.mon.Stats() }
+func (ie *inlineEngine) Ledger() []core.UnsoundMark { return ie.mon.Ledger().Snapshot() }
+func (ie *inlineEngine) MarkFeedLoss(at time.Time, n uint64, detail string) {
+	ie.mon.MarkFeedLoss(at, n, detail)
+}
 
 // shardedEngine drives a ShardedMonitor, keeping shard clocks tracking
 // the event stream with non-blocking Ticks (the backend-adapter idiom).
@@ -112,7 +138,11 @@ func (se *shardedEngine) Drain() {
 	se.Flush()
 	se.sm.AdvanceTo(se.last.Add(time.Hour))
 }
-func (se *shardedEngine) Stats() core.Stats { return se.sm.Stats() }
+func (se *shardedEngine) Stats() core.Stats          { return se.sm.Stats() }
+func (se *shardedEngine) Ledger() []core.UnsoundMark { return se.sm.Ledger().Snapshot() }
+func (se *shardedEngine) MarkFeedLoss(at time.Time, n uint64, detail string) {
+	se.sm.MarkFeedLoss(at, n, detail)
+}
 
 func run() error {
 	var (
@@ -126,6 +156,8 @@ func run() error {
 		shards    = flag.Int("shards", 0, "run the sharded multi-core engine with this many shards (0 = single engine)")
 		list      = flag.Bool("list", false, "list built-in catalogue properties and exit")
 
+		faultSpec = flag.String("fault", "", "inject deterministic faults: drop=F,dup=F,reorder=F,delay=DUR,seed=N,panic-shard=S@N,stall-shard=S@N,stall=DUR")
+
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /healthz, /violations, /debug/pprof on this address")
 		hold        = flag.Duration("hold", 0, "with -metrics-addr: keep serving this long after the run (0 = until SIGINT)")
 		jsonOut     = flag.Bool("json", false, "emit violations as one JSON object per line")
@@ -138,6 +170,17 @@ func run() error {
 			fmt.Printf("%-26s %-18s %s\n", e.Prop.Name, "("+e.Group+")", e.Prop.Description)
 		}
 		return nil
+	}
+
+	spec, err := fault.ParseSpec(*faultSpec)
+	if err != nil {
+		return err
+	}
+	if (spec.PanicShard >= 0 || spec.StallShard >= 0) && *shards <= 0 {
+		return fmt.Errorf("-fault %s: panic-shard/stall-shard need -shards", spec)
+	}
+	if spec.NeedsBuffer() && *traceFile == "" {
+		return fmt.Errorf("-fault %s: reorder/delay need the buffered -trace path", spec)
 	}
 
 	cfg := core.Config{}
@@ -197,9 +240,21 @@ func run() error {
 		}
 		sm := core.NewShardedMonitor(*shards, cfg)
 		defer sm.Close()
+		if err := fault.ArmShardFaults(sm, spec); err != nil {
+			return err
+		}
 		mon = &shardedEngine{sm: sm, sched: sched}
 	} else {
 		mon = &inlineEngine{mon: core.NewMonitor(sched, cfg), sched: sched}
+	}
+
+	// The feed injector: drops and duplicates apply online (both paths);
+	// reorder/delay apply in the buffered trace path. Every drop lands in
+	// the soundness ledger via MarkFeedLoss.
+	var inj *fault.Injector
+	if !spec.Zero() {
+		inj = fault.NewInjector(spec)
+		inj.OnDrop = func(e core.Event) { mon.MarkFeedLoss(e.Time, 1, "injected drop (-fault)") }
 	}
 
 	var srv *http.Server
@@ -208,7 +263,13 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		srv = &http.Server{Handler: export.NewMux(reg, ring)}
+		// /healthz degrades whenever the soundness ledger is non-empty,
+		// serving the per-property unsound-since marks as the detail.
+		health := func() (bool, any) {
+			marks := mon.Ledger()
+			return len(marks) == 0, marks
+		}
+		srv = &http.Server{Handler: export.NewMux(reg, ring, health)}
 		go func() { _ = srv.Serve(ln) }()
 		fmt.Fprintf(os.Stderr, "metrics: serving on http://%s/metrics\n", ln.Addr())
 	}
@@ -255,7 +316,11 @@ func run() error {
 		if *record != "" {
 			rec = &trace.Recorder{}
 		}
-		if err := runDemo(sched, mon, rec, reg, *demo); err != nil {
+		handle := mon.HandleEvent
+		if inj != nil {
+			handle = inj.Wrap(handle)
+		}
+		if err := runDemo(sched, mon, handle, rec, reg, *demo); err != nil {
 			return err
 		}
 		if rec != nil {
@@ -285,6 +350,9 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		if inj != nil {
+			events = inj.Apply(events)
+		}
 		trace.Replay(sched, events, mon.HandleEvent)
 		mon.Drain()
 	default:
@@ -294,6 +362,19 @@ func run() error {
 	st := mon.Stats()
 	fmt.Printf("\nevents=%d instances_created=%d advanced=%d discharged=%d expired=%d violations=%d\n",
 		st.Events, st.Created, st.Advanced, st.Discharged, st.Expired, st.Violations)
+	if inj != nil {
+		is := inj.Stats()
+		fmt.Printf("fault: spec=%s injected dropped=%d duplicated=%d reordered=%d delayed=%d\n",
+			spec, is.Dropped, is.Duplicated, is.Reordered, is.Delayed)
+	}
+	if marks := mon.Ledger(); len(marks) > 0 {
+		fmt.Printf("degradation ledger: %d propert%s unsound (shed=%d quarantined=%d)\n",
+			len(marks), pluralYIes(len(marks)), st.ShedEvents, st.QuarantinedProperties)
+		for _, m := range marks {
+			fmt.Printf("  %-26s %-14s since seq=%d (%s) lost=%d %s\n",
+				m.Property, m.Reason, m.SinceSeq, m.SinceTime.Format(time.RFC3339), m.Events, m.Detail)
+		}
+	}
 
 	if srv != nil {
 		if *hold > 0 {
@@ -331,10 +412,19 @@ func installDemoDefaults(mon engine, demo string) error {
 	return nil
 }
 
+// pluralYIes picks the y/ies suffix for "property"/"properties".
+func pluralYIes(n int) string {
+	if n == 1 {
+		return "y"
+	}
+	return "ies"
+}
+
 // runDemo executes a built-in faulty scenario against the monitor,
 // optionally recording the event stream and registering the demo
-// switch's dataplane counters.
-func runDemo(sched *sim.Scheduler, mon engine, rec *trace.Recorder, reg *obs.Registry, demo string) error {
+// switch's dataplane counters. handle is the event sink — usually
+// mon.HandleEvent, possibly wrapped by a fault injector.
+func runDemo(sched *sim.Scheduler, mon engine, handle func(core.Event), rec *trace.Recorder, reg *obs.Registry, demo string) error {
 	macA := packet.MustMAC("02:00:00:00:00:0a")
 	macB := packet.MustMAC("02:00:00:00:00:0b")
 	ipA := packet.MustIPv4("10.0.0.1")
@@ -348,7 +438,7 @@ func runDemo(sched *sim.Scheduler, mon engine, rec *trace.Recorder, reg *obs.Reg
 	if rec != nil {
 		sw.Observe(rec.Observe)
 	}
-	sw.Observe(mon.HandleEvent)
+	sw.Observe(handle)
 
 	switch demo {
 	case "firewall":

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"encoding/json"
+	"sort"
+	"sync"
+	"time"
+
+	"switchmon/internal/obs"
+)
+
+// UnsoundReason classifies why a property's verdicts stopped being
+// trustworthy. The paper's premise is that the monitor sees everything
+// the switch does; once that stops being true — events shed under
+// overload, a property quarantined after a panic, loss injected into
+// the feed — the engine must say so rather than keep reporting verdicts
+// as if nothing happened. Each reason names one way the "sees
+// everything" assumption broke.
+type UnsoundReason uint8
+
+// Reasons a property can be marked unsound.
+const (
+	// UnsoundShed: events routed to the property were shed by a bounded
+	// shard queue (ShedDropNewest / ShedDropOldest).
+	UnsoundShed UnsoundReason = iota
+	// UnsoundQuarantine: the property's step panicked; the property was
+	// quarantined and sees no further events anywhere.
+	UnsoundQuarantine
+	// UnsoundInjectedLoss: the event feed itself reported losing events
+	// (fault injection, a lossy OOB channel) via MarkFeedLoss.
+	UnsoundInjectedLoss
+	// UnsoundSplitOverflow: split-mode queue overflow dropped events
+	// before they reached monitor state.
+	UnsoundSplitOverflow
+)
+
+// String names the reason.
+func (r UnsoundReason) String() string {
+	switch r {
+	case UnsoundShed:
+		return "shed"
+	case UnsoundQuarantine:
+		return "quarantine"
+	case UnsoundInjectedLoss:
+		return "injected-loss"
+	case UnsoundSplitOverflow:
+		return "split-overflow"
+	default:
+		return "unknown"
+	}
+}
+
+// MarshalJSON renders the reason as its name, so ledger snapshots are
+// readable on /healthz and in NDJSON output.
+func (r UnsoundReason) MarshalJSON() ([]byte, error) {
+	return json.Marshal(r.String())
+}
+
+// UnsoundMark is one property's degradation record: the first moment its
+// verdicts stopped being complete, and how much has been lost since. A
+// marked property can still report violations — they are real — but the
+// absence of a violation no longer means the property held.
+type UnsoundMark struct {
+	Property string        `json:"property"`
+	Reason   UnsoundReason `json:"reason"`
+	// SinceSeq is the engine's applied-event sequence number at the first
+	// mark (shard-local under sharding, router-submitted for feed loss).
+	SinceSeq uint64 `json:"since_seq"`
+	// SinceTime is the virtual time of the first mark.
+	SinceTime time.Time `json:"since_time"`
+	// Events counts events known lost to this property since the mark.
+	// Zero for quarantine, where the loss is open-ended.
+	Events uint64 `json:"events"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Ledger is the per-property soundness record shared by an engine and
+// its observers. The engine marks it on the degradation paths (shed,
+// quarantine, overflow, reported feed loss) — never on the clean hot
+// path — and observers (Stats, /healthz, the exit report) snapshot it
+// from any goroutine. A property keeps its first mark's reason and
+// since-point; later marks only accumulate the loss count.
+type Ledger struct {
+	mu        sync.Mutex
+	marks     map[string]*UnsoundMark
+	quarProps map[string]bool
+	shed      uint64
+	loss      uint64
+	overflow  uint64
+
+	// Telemetry handles (nil-safe no-ops when uninstrumented).
+	unsoundG *obs.Gauge
+	shedC    *obs.Counter
+	quarC    *obs.Counter
+	lossC    *obs.Counter
+	ovflC    *obs.Counter
+}
+
+func newLedger() *Ledger {
+	return &Ledger{
+		marks:     map[string]*UnsoundMark{},
+		quarProps: map[string]bool{},
+	}
+}
+
+// instrument registers the ledger's series. Registration happens once at
+// engine construction; the mark paths then record through atomic handles.
+func (l *Ledger) instrument(reg *obs.Registry, labels []obs.Label) {
+	if reg == nil {
+		return
+	}
+	l.unsoundG = reg.Gauge("switchmon_monitor_unsound_properties",
+		"Properties whose verdicts are degraded (shed, quarantined, or lossy feed).", labels...)
+	l.shedC = reg.Counter("switchmon_ledger_shed_events_total",
+		"Events shed by bounded shard queues.", labels...)
+	l.quarC = reg.Counter("switchmon_ledger_quarantined_properties_total",
+		"Properties quarantined after a panic in their step.", labels...)
+	l.lossC = reg.Counter("switchmon_ledger_injected_loss_events_total",
+		"Feed events reported lost upstream of the monitor.", labels...)
+	l.ovflC = reg.Counter("switchmon_ledger_overflow_events_total",
+		"Events dropped by split-mode queue overflow.", labels...)
+}
+
+// Mark records that prop became (or stays) unsound for reason. The first
+// mark pins the since-point; subsequent marks add n to the loss count.
+// Safe from any goroutine.
+func (l *Ledger) Mark(prop string, reason UnsoundReason, seq uint64, at time.Time, n uint64, detail string) {
+	l.mu.Lock()
+	m := l.marks[prop]
+	if m == nil {
+		m = &UnsoundMark{Property: prop, Reason: reason, SinceSeq: seq, SinceTime: at, Detail: detail}
+		l.marks[prop] = m
+		l.unsoundG.Set(int64(len(l.marks)))
+	}
+	m.Events += n
+	if reason == UnsoundQuarantine && !l.quarProps[prop] {
+		l.quarProps[prop] = true
+		l.quarC.Inc()
+	}
+	l.mu.Unlock()
+}
+
+// recordLost adds n lost events to the reason's aggregate counters —
+// once per loss occurrence, regardless of how many properties the lost
+// events could have affected (Mark handles per-property attribution).
+func (l *Ledger) recordLost(reason UnsoundReason, n uint64) {
+	l.mu.Lock()
+	switch reason {
+	case UnsoundShed:
+		l.shed += n
+		l.shedC.Add(n)
+	case UnsoundInjectedLoss:
+		l.loss += n
+		l.lossC.Add(n)
+	case UnsoundSplitOverflow:
+		l.overflow += n
+		l.ovflC.Add(n)
+	}
+	l.mu.Unlock()
+}
+
+// Sound reports whether every installed property's verdicts are still
+// complete — no marks of any kind.
+func (l *Ledger) Sound() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.marks) == 0
+}
+
+// Snapshot returns the marks sorted by property name. Safe from any
+// goroutine; the result is a copy.
+func (l *Ledger) Snapshot() []UnsoundMark {
+	l.mu.Lock()
+	out := make([]UnsoundMark, 0, len(l.marks))
+	for _, m := range l.marks {
+		out = append(out, *m)
+	}
+	l.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Property < out[j].Property })
+	return out
+}
+
+// robustnessTotals reports the aggregates surfaced through Stats: total
+// shed events and the count of quarantined properties.
+func (l *Ledger) robustnessTotals() (shed, quarantined uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.shed, uint64(len(l.quarProps))
+}
+
+// lostEvents reports the injected-loss and overflow aggregates (used by
+// tests and the CLI exit report).
+func (l *Ledger) lostEvents() (loss, overflow uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.loss, l.overflow
+}

@@ -81,6 +81,22 @@ type Config struct {
 	// buffer behind a live /violations endpoint. Recording takes the
 	// ring's mutex, but only on the rare violation path.
 	Violations *obs.Ring
+	// ShardQueueLen bounds each shard's control queue, in batches of up
+	// to shardBatchSize events each; 0 means the default (64). Only the
+	// ShardedMonitor reads it.
+	ShardQueueLen int
+	// ShedPolicy decides what happens when a shard's queue is full at
+	// flush time: block the router (default, the pre-robustness
+	// behavior), shed the newest batch, or shed the oldest queued batch.
+	// Shedding marks every affected property unsound in the Ledger. Only
+	// the ShardedMonitor reads it.
+	ShedPolicy ShedPolicy
+	// DisableSupervision turns off shard panic recovery: a panic in a
+	// property step kills the shard goroutine and the process, exactly
+	// the pre-supervision behavior. It exists so the crash-regression
+	// test can demonstrate what supervision prevents. Only the
+	// ShardedMonitor reads it.
+	DisableSupervision bool
 }
 
 // Stats counts monitor activity. Retrieve a snapshot with Monitor.Stats.
@@ -111,6 +127,14 @@ type Stats struct {
 	// DroppedEvents counts split-mode queue overflow drops, one count per
 	// dropped event (not per overflow batch).
 	DroppedEvents uint64
+	// ShedEvents counts events shed by bounded shard queues under a
+	// drop-newest or drop-oldest policy, one count per shed event. Always
+	// zero on a fault-free run, so sharded-vs-inline differential checks
+	// comparing whole Stats values keep holding.
+	ShedEvents uint64
+	// QuarantinedProperties counts properties quarantined after a panic
+	// in their step function.
+	QuarantinedProperties uint64
 }
 
 // instance is one partially completed violation pattern (Feature 8's
@@ -206,15 +230,62 @@ type Monitor struct {
 	keyScratch  []uint64
 	// envScratch is reused by seedSuppressions for synthesized identities.
 	envScratch bindings
+	// ledger is the soundness record (always non-nil; shared across
+	// shards under a ShardedMonitor).
+	ledger *Ledger
+	// quarantined is the bitmask of properties this monitor no longer
+	// steps (panicked and purged). Only the first 64 properties are
+	// mask-addressable; an inline monitor with more properties simply
+	// cannot quarantine the rest, which is fine — quarantine is driven by
+	// the ShardedMonitor, whose property count is capped at 64.
+	quarantined uint64
+	// curProp is the property currently being stepped (-1 outside a
+	// step), the attribution a supervisor reads after recovering a panic.
+	curProp int
+	// stepProbe, when non-nil, runs at the start of every property step
+	// with (propIdx, applied-event seq). It is the fault-injection hook:
+	// a probe that panics simulates a bug in that property's step and is
+	// recovered (and attributed) exactly like one.
+	stepProbe func(prop int, seq uint64)
 }
 
 // NewMonitor creates a monitor driven by the given scheduler's clock.
 func NewMonitor(sched *sim.Scheduler, cfg Config) *Monitor {
-	m := &Monitor{sched: sched, cfg: cfg, buckets: map[int][]*bucket{}}
+	return newMonitorWithLedger(sched, cfg, nil)
+}
+
+// newMonitorWithLedger is NewMonitor with a caller-supplied ledger (the
+// ShardedMonitor shares one across its shards); nil means own ledger.
+func newMonitorWithLedger(sched *sim.Scheduler, cfg Config, led *Ledger) *Monitor {
+	m := &Monitor{sched: sched, cfg: cfg, buckets: map[int][]*bucket{}, curProp: -1}
 	if cfg.Metrics != nil {
 		m.mx = newMonitorMetrics(cfg.Metrics, cfg.MetricsLabels)
 	}
+	if led == nil {
+		led = newLedger()
+		led.instrument(cfg.Metrics, cfg.MetricsLabels)
+	}
+	m.ledger = led
 	return m
+}
+
+// Ledger returns the monitor's soundness ledger. Safe to read (Snapshot,
+// Sound) from any goroutine.
+func (m *Monitor) Ledger() *Ledger { return m.ledger }
+
+// SetStepProbe installs a fault-injection probe called at the start of
+// every property step. Install before feeding events.
+func (m *Monitor) SetStepProbe(fn func(prop int, seq uint64)) { m.stepProbe = fn }
+
+// MarkFeedLoss records that n events were lost upstream of the monitor
+// (a lossy link or OOB channel, an injected drop): every installed
+// property is marked unsound, because any of them might have needed the
+// lost events. at is the stream time of the loss; detail is free text.
+func (m *Monitor) MarkFeedLoss(at time.Time, n uint64, detail string) {
+	for _, cp := range m.props {
+		m.ledger.Mark(cp.prop.Name, UnsoundInjectedLoss, m.seq, at, n, detail)
+	}
+	m.ledger.recordLost(UnsoundInjectedLoss, n)
 }
 
 // AddProperty compiles and installs a property.
@@ -251,7 +322,11 @@ func (m *Monitor) Properties() []string {
 // assembled with atomic loads, so it may be taken from any goroutine —
 // including while a split-mode worker owns the monitor and is applying
 // events — without a lock and without racing the hot path.
-func (m *Monitor) Stats() Stats { return m.stats.snapshot() }
+func (m *Monitor) Stats() Stats {
+	s := m.stats.snapshot()
+	s.ShedEvents, s.QuarantinedProperties = m.ledger.robustnessTotals()
+	return s
+}
 
 // ActiveInstances reports the number of live instances — the quantity
 // that determines Varanus's pipeline depth (Sec. 3.3) and this engine's
@@ -298,6 +373,14 @@ func (m *Monitor) HandleEvent(e Event) {
 			if m.mx != nil {
 				m.mx.dropped.Add(uint64(drop))
 			}
+			// The dropped events never reach monitor state, so every
+			// property's verdicts are incomplete from here on: record the
+			// loss in the soundness ledger (overflow is off the steady-state
+			// path, so the ledger cost is paid only when already degraded).
+			for _, cp := range m.props {
+				m.ledger.Mark(cp.prop.Name, UnsoundSplitOverflow, m.seq, e.Time, uint64(drop), "split-mode queue overflow")
+			}
+			m.ledger.recordLost(UnsoundSplitOverflow, uint64(drop))
 			m.pending = append(m.pending[:0], m.pending[drop:]...)
 		}
 		m.pending = append(m.pending, e)
@@ -331,8 +414,29 @@ func (m *Monitor) apply(e *Event) {
 	m.seq++
 	seq := m.seq
 	for pi, cp := range m.props {
-		m.pmx[pi].events.Inc()
-		bs := m.buckets[pi]
+		if m.quarantined != 0 && pi < maxShardedProperties && m.quarantined&(uint64(1)<<uint(pi)) != 0 {
+			continue
+		}
+		m.curProp = pi
+		if m.stepProbe != nil {
+			m.stepProbe(pi, seq)
+		}
+		m.stepProp(pi, cp, e, seq, true, true)
+	}
+	if m.mx != nil {
+		m.mx.events.Inc()
+		m.mx.eventNs.Observe(uint64(time.Since(start)))
+	}
+}
+
+// stepProp runs one event through one property: suppression seeding and
+// stage >= 1 matching when match is set, stage-zero creation when create
+// is set. It is the unit of blast radius for supervision — a panic in
+// here is attributed to property pi via curProp and quarantines only pi.
+func (m *Monitor) stepProp(pi int, cp *compiledProp, e *Event, seq uint64, match, create bool) {
+	m.pmx[pi].events.Inc()
+	bs := m.buckets[pi]
+	if match {
 		m.seedSuppressions(cp, bs, e)
 		// Walk pending stages from the deepest back to 1 so an instance
 		// advanced by this event is not advanced again, then consider
@@ -345,16 +449,45 @@ func (m *Monitor) apply(e *Event) {
 			cs := &cp.stages[si]
 			m.matchStage(pi, si, cs, b, e, seq)
 		}
+	}
+	if create {
 		cs0 := &cp.stages[0]
 		if stagePatternMatches(cs0, e, nil, nil) {
 			m.createInstance(pi, cp, e, seq)
 		}
 	}
-	if m.mx != nil {
-		m.mx.events.Inc()
-		m.mx.eventNs.Observe(uint64(time.Since(start)))
+}
+
+// quarantineLocal stops stepping the masked properties and purges their
+// live instances from this monitor, canceling their timers. Purging
+// (rather than freezing) matters after a panic: the interrupted step may
+// have left a property's instances half-advanced, and a stopped timer
+// is the guarantee that no scheduler callback resurrects them.
+func (m *Monitor) quarantineLocal(bits uint64) {
+	m.quarantined |= bits
+	for pi := range m.props {
+		if pi >= maxShardedProperties || bits&(uint64(1)<<uint(pi)) == 0 {
+			continue
+		}
+		for _, b := range m.buckets[pi] {
+			if len(b.all) == 0 {
+				continue
+			}
+			// Collect first: remove mutates the maps being iterated.
+			doomed := make([]*instance, 0, len(b.all))
+			for _, inst := range b.all {
+				doomed = append(doomed, inst)
+			}
+			for _, inst := range doomed {
+				m.remove(inst)
+				m.release(inst)
+			}
+		}
 	}
 }
+
+// Quarantined reports the bitmask of quarantined properties.
+func (m *Monitor) Quarantined() uint64 { return m.quarantined }
 
 // matchStage advances, discharges, or leaves alone the instances waiting
 // at one stage for one event. The candidate set is the union of the index
@@ -554,6 +687,7 @@ func (m *Monitor) advance(inst *instance, e *Event) {
 // advanceByTimeout is the Feature 7 path: a negative observation's
 // deadline fired with no discharging event, which *advances* the instance.
 func (m *Monitor) advanceByTimeout(inst *instance) {
+	m.curProp = inst.propIdx // attribution if a supervisor recovers a panic below
 	cs := &inst.cp.stages[inst.stage]
 	m.remove(inst)
 	m.stats.advanced.Add(1)
@@ -669,6 +803,7 @@ func (m *Monitor) windowOf(cs *compiledStage, env bindings) (time.Duration, bool
 // expire removes an instance whose positive-stage window lapsed: the
 // monitored obligation no longer applies (Feature 3).
 func (m *Monitor) expire(inst *instance) {
+	m.curProp = inst.propIdx // attribution if a supervisor recovers a panic below
 	m.remove(inst)
 	m.stats.expired.Add(1)
 	m.pmx[inst.propIdx].expired.Inc()

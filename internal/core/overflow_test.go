@@ -1,0 +1,146 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"switchmon/internal/obs"
+	"switchmon/internal/property"
+	"switchmon/internal/sim"
+)
+
+// splitEvents builds n minimal arrival events with sequential PacketIDs
+// (1..n) and millisecond spacing, for white-box queue inspection.
+func splitEvents(n int) []Event {
+	evs := make([]Event, n)
+	now := sim.Epoch
+	for i := range evs {
+		now = now.Add(time.Millisecond)
+		evs[i] = Event{Kind: KindArrival, Time: now, PacketID: PacketID(i + 1), InPort: 1}
+	}
+	return evs
+}
+
+// pendingIDs reads the split-mode queue's PacketIDs (white-box).
+func pendingIDs(m *Monitor) []PacketID {
+	ids := make([]PacketID, len(m.pending))
+	for i := range m.pending {
+		ids[i] = m.pending[i].PacketID
+	}
+	return ids
+}
+
+// SplitFlushLimit=1 is the degenerate cap: every event after the first
+// displaces its predecessor (drop = limit/2 clamps up to 1), so of five
+// events exactly four are dropped and only the newest survives to Flush.
+func TestSplitOverflowLimitOne(t *testing.T) {
+	m := NewMonitor(sim.NewScheduler(), Config{Mode: Split, SplitFlushLimit: 1})
+	evs := splitEvents(5)
+	for i := range evs {
+		m.HandleEvent(evs[i])
+	}
+	if got := m.Stats().DroppedEvents; got != 4 {
+		t.Fatalf("DroppedEvents = %d, want 4", got)
+	}
+	if ids := pendingIDs(m); len(ids) != 1 || ids[0] != 5 {
+		t.Fatalf("pending = %v, want [5] (only the newest event survives)", ids)
+	}
+	if n := m.Flush(); n != 1 {
+		t.Fatalf("Flush = %d, want 1", n)
+	}
+	if m.PendingEvents() != 0 {
+		t.Fatalf("pending after Flush = %d", m.PendingEvents())
+	}
+}
+
+// Repeated overflow must shed strictly from the head: with limit 4 and
+// ten events, overflows at e5 (drops e1,e2) and e9 (drops e5,e6) plus
+// the fill pattern leave exactly e7..e10 queued, in arrival order.
+func TestSplitOverflowFlushOrdering(t *testing.T) {
+	m := NewMonitor(sim.NewScheduler(), Config{Mode: Split, SplitFlushLimit: 4})
+	evs := splitEvents(10)
+	for i := range evs {
+		m.HandleEvent(evs[i])
+	}
+	// e1-e4 fill; e5 overflows (drop e1,e2 → [e3,e4,e5]); e6 appends;
+	// e7 overflows (drop e3,e4 → [e5,e6,e7]); e8 appends; e9 overflows
+	// (drop e5,e6 → [e7,e8,e9]); e10 appends. Dropped: 3 overflows x 2.
+	if got := m.Stats().DroppedEvents; got != 6 {
+		t.Fatalf("DroppedEvents = %d, want 6", got)
+	}
+	want := []PacketID{7, 8, 9, 10}
+	ids := pendingIDs(m)
+	if len(ids) != len(want) {
+		t.Fatalf("pending = %v, want %v", ids, want)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("pending = %v, want %v (arrival order preserved)", ids, want)
+		}
+	}
+}
+
+// Stats.DroppedEvents and the switchmon_monitor_dropped_events_total
+// counter are two views of the same ledger and must agree exactly.
+func TestSplitOverflowStatsMatchObsCounter(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewMonitor(sim.NewScheduler(), Config{Mode: Split, SplitFlushLimit: 8, Metrics: reg})
+	evs := splitEvents(100)
+	for i := range evs {
+		m.HandleEvent(evs[i])
+	}
+	dropped := m.Stats().DroppedEvents
+	if dropped == 0 {
+		t.Fatal("no overflow occurred; the test is vacuous")
+	}
+	var counter uint64
+	found := false
+	for _, fam := range reg.Snapshot().Families {
+		if fam.Name == "switchmon_monitor_dropped_events_total" {
+			found = true
+			for _, s := range fam.Series {
+				counter += uint64(s.Value)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("switchmon_monitor_dropped_events_total not registered")
+	}
+	if counter != dropped {
+		t.Fatalf("obs counter = %d, Stats.DroppedEvents = %d; they must match exactly", counter, dropped)
+	}
+}
+
+// A split-mode overflow is a soundness event: every installed property
+// must be marked unsound with the split-overflow reason, the per-mark
+// event count must track the drops, and totals must reconcile.
+func TestSplitOverflowMarksLedger(t *testing.T) {
+	m := NewMonitor(sim.NewScheduler(), Config{Mode: Split, SplitFlushLimit: 1})
+	for _, name := range []string{"firewall-basic", "nat-reverse"} {
+		if err := m.AddProperty(property.CatalogByName(property.DefaultParams(), name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	evs := splitEvents(5)
+	for i := range evs {
+		m.HandleEvent(evs[i])
+	}
+	marks := m.Ledger().Snapshot()
+	if len(marks) != 2 {
+		t.Fatalf("ledger marks = %+v, want one per property", marks)
+	}
+	for _, mk := range marks {
+		if mk.Reason != UnsoundSplitOverflow {
+			t.Fatalf("mark %+v: reason %v, want %v", mk, mk.Reason, UnsoundSplitOverflow)
+		}
+		if mk.Events != 4 {
+			t.Fatalf("mark %+v: Events = %d, want 4 (one per dropped event)", mk, mk.Events)
+		}
+	}
+	if m.Ledger().Sound() {
+		t.Fatal("ledger claims soundness after overflow")
+	}
+	if _, overflow := m.Ledger().lostEvents(); overflow != 4 {
+		t.Fatalf("lostEvents overflow = %d, want 4 (counted once, not per property)", overflow)
+	}
+}

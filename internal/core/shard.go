@@ -1,9 +1,12 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"math/bits"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"switchmon/internal/obs"
@@ -16,9 +19,49 @@ import (
 // channel synchronization; Barrier and Drain flush partial batches.
 const shardBatchSize = 64
 
+// defaultShardQueueLen is the per-shard queue bound, in batches, when
+// Config.ShardQueueLen is zero.
+const defaultShardQueueLen = 64
+
 // maxShardedProperties bounds the property count of a ShardedMonitor:
 // routing masks are single 64-bit words.
 const maxShardedProperties = 64
+
+// ErrClosed is returned by Submit and SubmitBatch after Close. Before
+// the robustness work a post-Close Submit panicked on a closed channel;
+// now it refuses cleanly.
+var ErrClosed = errors.New("core: ShardedMonitor is closed")
+
+// ShedPolicy decides what a full shard queue does to the batch being
+// flushed. Blocking preserves exact semantics at the cost of router
+// stalls; the shedding policies bound router latency and record the
+// loss in the soundness Ledger instead of hiding it.
+type ShedPolicy uint8
+
+// Shed policies.
+const (
+	// ShedBlock stalls the router until the shard drains (the default,
+	// and the only policy that never loses events).
+	ShedBlock ShedPolicy = iota
+	// ShedDropNewest sheds the batch being flushed.
+	ShedDropNewest
+	// ShedDropOldest sheds the oldest queued batch to make room.
+	ShedDropOldest
+)
+
+// String names the policy.
+func (p ShedPolicy) String() string {
+	switch p {
+	case ShedBlock:
+		return "block"
+	case ShedDropNewest:
+		return "drop-newest"
+	case ShedDropOldest:
+		return "drop-oldest"
+	default:
+		return fmt.Sprintf("ShedPolicy(%d)", uint8(p))
+	}
+}
 
 // shardMsg is one event routed to one shard, with per-property bits
 // saying what the shard may do with it: matchMask bits permit advancing,
@@ -34,17 +77,22 @@ type shardMsg struct {
 }
 
 // shardCtl is one unit of work on a shard's queue: an event batch, an
-// optional virtual-clock advance, and an optional barrier acknowledgment.
+// optional virtual-clock advance, an optional barrier acknowledgment,
+// and an optional stop order (Close's shutdown token, which replaced
+// closing the channel so a late Submit can fail softly instead of
+// panicking).
 type shardCtl struct {
 	batch    []shardMsg
 	runUntil time.Time
 	ack      *sync.WaitGroup
+	stop     bool
 }
 
 // shard is one partition: a single-threaded Monitor with its own
 // deterministic scheduler, fed in FIFO order by its own goroutine.
 // pending is the router-side batch under construction (router-owned).
 type shard struct {
+	idx     int
 	sched   *sim.Scheduler
 	mon     *Monitor
 	ch      chan shardCtl
@@ -65,22 +113,36 @@ type shard struct {
 // preserving exact single-engine semantics at the cost of parallelism.
 //
 // The router side (Submit, SubmitBatch, Barrier, AdvanceTo, Drain, Close,
-// and the aggregate accessors) must be driven from one goroutine; the
-// shards run concurrently underneath. Shard goroutines start lazily on
-// the first Submit, so constructing a ShardedMonitor (for capability
-// probing, say) spawns nothing.
+// and the aggregate accessors) is serialized by an internal mutex, so
+// Close is safe to call concurrently with Submit (Submit returns
+// ErrClosed afterwards); for deterministic event ordering the router
+// should still be driven from one goroutine. The shards run concurrently
+// underneath. Shard goroutines start lazily on the first Submit, so
+// constructing a ShardedMonitor (for capability probing, say) spawns
+// nothing.
+//
+// Shard goroutines are supervised: a panic inside a property's step is
+// recovered, the offending property is quarantined engine-wide (its
+// routing bit is cleared and its live instances are purged on every
+// shard), the quarantine is recorded in the soundness Ledger, and the
+// shard keeps draining its queue — every other property keeps
+// monitoring. Config.DisableSupervision restores the old crash-the-
+// process behavior for regression demonstration.
 //
 // Config caveats: Mode and SplitFlushLimit are ignored — shards always
-// apply events inline, the per-shard queues being the split.
+// apply events inline, the per-shard queues being the split (bounded by
+// ShardQueueLen with ShedPolicy deciding overflow behavior).
 // MaxInstances applies per shard, not globally. DisableIndex disables
 // the routing analysis too (all properties become catch-all), since
 // routing is derived from the same index paths. Violation callbacks are
 // serialized by an internal mutex but arrive in nondeterministic
 // cross-shard order; order-sensitive consumers should compare multisets.
 type ShardedMonitor struct {
-	cfg       Config
-	shards    []*shard
-	plans     []shardPlan
+	cfg    Config
+	shards []*shard
+	plans  []shardPlan
+	// names are the installed property names by index (for ledger marks).
+	names     []string
 	submitted uint64
 	// matchScratch/createScratch are the per-event, per-shard routing
 	// mask accumulators (router-owned, zeroed after each event).
@@ -94,11 +156,22 @@ type ShardedMonitor struct {
 	// fell back to shard 0, the numerator of the catch-all ratio.
 	smx         *shardedMetrics
 	hasCatchall bool
-	violMu      sync.Mutex
-	startOnce   sync.Once
-	started     bool
-	closed      bool
-	wg          sync.WaitGroup
+	// ledger is the engine-wide soundness record, shared with every
+	// shard's Monitor.
+	ledger *Ledger
+	// quarMask is the engine-wide quarantine bitmask: set by whichever
+	// shard recovers the panic, read by the router (to stop routing) and
+	// by every worker (to purge its local instances). The only cross-
+	// goroutine monitor state, hence atomic.
+	quarMask atomic.Uint64
+	violMu   sync.Mutex
+	// routerMu serializes the router-side entry points so Close is safe
+	// against a racing Submit.
+	routerMu  sync.Mutex
+	startOnce sync.Once
+	started   bool
+	closed    bool
+	wg        sync.WaitGroup
 }
 
 // NewShardedMonitor creates a sharded monitor with the given number of
@@ -108,12 +181,18 @@ func NewShardedMonitor(shards int, cfg Config) *ShardedMonitor {
 	if shards < 1 {
 		shards = 1
 	}
+	qlen := cfg.ShardQueueLen
+	if qlen <= 0 {
+		qlen = defaultShardQueueLen
+	}
 	sm := &ShardedMonitor{
 		cfg:           cfg,
 		matchScratch:  make([]uint64, shards),
 		createScratch: make([]uint64, shards),
 		freeBatches:   make(chan []shardMsg, 4*shards),
+		ledger:        newLedger(),
 	}
+	sm.ledger.instrument(cfg.Metrics, cfg.MetricsLabels)
 	if cfg.Metrics != nil {
 		sm.smx = newShardedMetrics(cfg.Metrics, cfg.MetricsLabels)
 	}
@@ -131,8 +210,9 @@ func NewShardedMonitor(shards int, cfg Config) *ShardedMonitor {
 	for i := 0; i < shards; i++ {
 		sched := sim.NewScheduler()
 		s := &shard{
+			idx:   i,
 			sched: sched,
-			ch:    make(chan shardCtl, 64),
+			ch:    make(chan shardCtl, qlen),
 		}
 		cfgI := shardCfg
 		if cfg.Metrics != nil {
@@ -145,7 +225,7 @@ func NewShardedMonitor(shards int, cfg Config) *ShardedMonitor {
 				"Batches queued on the shard's channel at the last flush.",
 				cfgI.MetricsLabels...)
 		}
-		s.mon = NewMonitor(sched, cfgI)
+		s.mon = newMonitorWithLedger(sched, cfgI, sm.ledger)
 		sm.shards = append(sm.shards, s)
 	}
 	return sm
@@ -154,9 +234,15 @@ func NewShardedMonitor(shards int, cfg Config) *ShardedMonitor {
 // Shards reports the shard count.
 func (sm *ShardedMonitor) Shards() int { return len(sm.shards) }
 
+// Ledger returns the engine-wide soundness ledger. Safe to read from any
+// goroutine without a barrier — it is what /healthz polls live.
+func (sm *ShardedMonitor) Ledger() *Ledger { return sm.ledger }
+
 // AddProperty compiles and installs a property on every shard. It must be
 // called before the first Submit.
 func (sm *ShardedMonitor) AddProperty(p *property.Property) error {
+	sm.routerMu.Lock()
+	defer sm.routerMu.Unlock()
 	if sm.started {
 		return fmt.Errorf("core: AddProperty after first Submit")
 	}
@@ -182,12 +268,31 @@ func (sm *ShardedMonitor) AddProperty(p *property.Property) error {
 		}
 	}
 	sm.plans = append(sm.plans, plan)
+	sm.names = append(sm.names, p.Name)
 	return nil
 }
 
 // Shardable reports whether the i-th installed property got a stable
 // shard key from the static analysis (false means catch-all shard 0).
 func (sm *ShardedMonitor) Shardable(i int) bool { return sm.plans[i].shardable }
+
+// SetShardProbe installs a fault-injection probe on one shard's monitor,
+// called at the start of every property step with (propIdx, shard-local
+// event seq). A panicking probe exercises the supervision path exactly
+// like a bug in the property's step would. Must be called before the
+// first Submit.
+func (sm *ShardedMonitor) SetShardProbe(shard int, fn func(prop int, seq uint64)) error {
+	sm.routerMu.Lock()
+	defer sm.routerMu.Unlock()
+	if sm.started {
+		return fmt.Errorf("core: SetShardProbe after first Submit")
+	}
+	if shard < 0 || shard >= len(sm.shards) {
+		return fmt.Errorf("core: SetShardProbe shard %d out of range [0,%d)", shard, len(sm.shards))
+	}
+	sm.shards[shard].mon.SetStepProbe(fn)
+	return nil
+}
 
 // start launches the shard goroutines (idempotent).
 func (sm *ShardedMonitor) start() {
@@ -202,13 +307,33 @@ func (sm *ShardedMonitor) start() {
 
 // worker drains one shard's queue: applies event batches in FIFO order,
 // advances the shard's virtual clock on request, and acknowledges
-// barriers. It owns the shard's Monitor exclusively.
+// barriers. It owns the shard's Monitor exclusively. Under supervision
+// (the default) every unit of work is panic-protected: a recovered panic
+// quarantines the property it was attributed to and the worker keeps
+// going — this is the "restart" in shard supervision, the goroutine
+// itself never dies.
 func (sm *ShardedMonitor) worker(s *shard) {
 	defer sm.wg.Done()
-	for ctl := range s.ch {
-		if len(ctl.batch) > 0 {
-			for i := range ctl.batch {
-				msg := &ctl.batch[i]
+	supervised := !sm.cfg.DisableSupervision
+	var onPanic func(prop int, cause any)
+	if supervised {
+		onPanic = func(prop int, cause any) { sm.quarantine(s, prop, cause) }
+	}
+	for {
+		ctl := <-s.ch
+		if supervised {
+			// Adopt quarantines published by other shards before touching
+			// state: the batch may still carry mask bits for a property
+			// another shard just quarantined.
+			if q := sm.quarMask.Load(); q&^s.mon.quarantined != 0 {
+				s.mon.quarantineLocal(q &^ s.mon.quarantined)
+			}
+		}
+		for i := range ctl.batch {
+			msg := &ctl.batch[i]
+			if supervised {
+				s.mon.applyRoutedSupervised(&msg.ev, msg.matchMask, msg.createMask, onPanic)
+			} else {
 				s.mon.applyRouted(&msg.ev, msg.matchMask, msg.createMask)
 			}
 		}
@@ -219,24 +344,101 @@ func (sm *ShardedMonitor) worker(s *shard) {
 			}
 		}
 		if !ctl.runUntil.IsZero() {
-			s.sched.RunUntil(ctl.runUntil)
+			if supervised {
+				sm.runShardUntil(s, ctl.runUntil)
+			} else {
+				s.sched.RunUntil(ctl.runUntil)
+			}
 		}
 		if ctl.ack != nil {
 			ctl.ack.Done()
 		}
+		if ctl.stop {
+			return
+		}
+	}
+}
+
+// runShardUntil is Scheduler.RunUntil under supervision: a panic in a
+// timer callback (window expiry, negative-observation advance, a user
+// violation callback) is recovered and attributed via Monitor.curProp,
+// the property quarantined, and the run resumed — the scheduler pops a
+// task before executing it, so the panicking task is consumed and the
+// remaining queue is intact. A panic with no attribution is re-raised:
+// it did not come from a property step, and masking it would hide an
+// engine bug.
+func (sm *ShardedMonitor) runShardUntil(s *shard, t time.Time) {
+	for {
+		done := func() (completed bool) {
+			defer func() {
+				if r := recover(); r != nil {
+					pi := s.mon.curProp
+					if pi < 0 {
+						panic(r)
+					}
+					sm.quarantine(s, pi, r)
+					completed = false
+				}
+			}()
+			s.mon.curProp = -1
+			s.sched.RunUntil(t)
+			return true
+		}()
+		if done {
+			return
+		}
+	}
+}
+
+// quarantine publishes property pi's quarantine engine-wide, purges it
+// from the recovering shard, and records it in the ledger (first
+// publisher only — concurrent recoveries on several shards converge on
+// one mark).
+func (sm *ShardedMonitor) quarantine(s *shard, pi int, cause any) {
+	bit := uint64(1) << uint(pi)
+	first := false
+	for {
+		old := sm.quarMask.Load()
+		if old&bit != 0 {
+			break
+		}
+		if sm.quarMask.CompareAndSwap(old, old|bit) {
+			first = true
+			break
+		}
+	}
+	s.mon.quarantineLocal(bit)
+	if first {
+		sm.ledger.Mark(sm.names[pi], UnsoundQuarantine, s.mon.seq, s.sched.Now(), 0,
+			fmt.Sprintf("panic on shard %d: %v", s.idx, cause))
 	}
 }
 
 // Submit routes one event to the shards it can affect and enqueues it.
-// Events that no property can act on are dropped at the router.
-func (sm *ShardedMonitor) Submit(e Event) {
+// Events that no property can act on are dropped at the router, as are
+// routes to quarantined properties. After Close, Submit reports
+// ErrClosed instead of enqueueing.
+func (sm *ShardedMonitor) Submit(e Event) error {
+	sm.routerMu.Lock()
+	defer sm.routerMu.Unlock()
+	return sm.submitLocked(e)
+}
+
+func (sm *ShardedMonitor) submitLocked(e Event) error {
+	if sm.closed {
+		return ErrClosed
+	}
 	sm.start()
 	sm.submitted++
 	n := uint64(len(sm.shards))
+	quar := sm.quarMask.Load()
 	mm, cm := sm.matchScratch, sm.createScratch
 	for pi := range sm.plans {
-		pl := &sm.plans[pi]
 		bit := uint64(1) << uint(pi)
+		if quar&bit != 0 {
+			continue // quarantined: the property sees no further events
+		}
+		pl := &sm.plans[pi]
 		if !pl.shardable {
 			mm[0] |= bit
 			cm[0] |= bit
@@ -274,17 +476,27 @@ func (sm *ShardedMonitor) Submit(e Event) {
 			sm.smx.unroutable.Inc()
 		}
 	}
+	return nil
 }
 
-// SubmitBatch routes a slice of events (batched Submit).
-func (sm *ShardedMonitor) SubmitBatch(evs []Event) {
+// SubmitBatch routes a slice of events (batched Submit). It stops at the
+// first error (only ErrClosed today).
+func (sm *ShardedMonitor) SubmitBatch(evs []Event) error {
+	sm.routerMu.Lock()
+	defer sm.routerMu.Unlock()
 	for i := range evs {
-		sm.Submit(evs[i])
+		if err := sm.submitLocked(evs[i]); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // flushShard hands the shard's pending batch to its goroutine and grabs a
-// recycled batch buffer for the next one.
+// recycled batch buffer for the next one. When the shard's queue is full
+// the configured ShedPolicy decides: block until the worker drains
+// (default), shed this batch, or shed the oldest queued batch — shed
+// events are recorded per affected property in the soundness ledger.
 func (sm *ShardedMonitor) flushShard(s *shard) {
 	if len(s.pending) == 0 {
 		return
@@ -292,7 +504,58 @@ func (sm *ShardedMonitor) flushShard(s *shard) {
 	if sm.smx != nil {
 		sm.smx.batchSize.Observe(uint64(len(s.pending)))
 	}
-	s.ch <- shardCtl{batch: s.pending}
+	ctl := shardCtl{batch: s.pending}
+	switch sm.cfg.ShedPolicy {
+	case ShedDropNewest:
+		select {
+		case s.ch <- ctl:
+		default:
+			// Queue full: shed the batch under construction and reuse its
+			// backing array for the next one.
+			sm.shed(s.pending)
+			s.pending = s.pending[:0]
+			s.depth.Set(int64(len(s.ch)))
+			return
+		}
+	case ShedDropOldest:
+	send:
+		for {
+			select {
+			case s.ch <- ctl:
+				break send
+			default:
+			}
+			select {
+			case old := <-s.ch:
+				// Shed the oldest batch but preserve any control payload
+				// it carried: fold its clock advance into ours and forward
+				// its barrier ack. (Acks cannot actually be queued here —
+				// Barrier holds the router lock until they are consumed —
+				// but losing one silently would deadlock a future caller.)
+				if old.batch != nil {
+					sm.shed(old.batch)
+					select {
+					case sm.freeBatches <- old.batch[:0]:
+					default:
+					}
+				}
+				if old.runUntil.After(ctl.runUntil) {
+					ctl.runUntil = old.runUntil
+				}
+				if old.ack != nil {
+					if ctl.ack == nil {
+						ctl.ack = old.ack
+					} else {
+						old.ack.Done()
+					}
+				}
+			default:
+				// The worker drained between our probes; retry the send.
+			}
+		}
+	default: // ShedBlock
+		s.ch <- ctl
+	}
 	// len on a channel is a safe (if momentary) read; good enough for a
 	// backpressure gauge refreshed once per batch.
 	s.depth.Set(int64(len(s.ch)))
@@ -304,10 +567,39 @@ func (sm *ShardedMonitor) flushShard(s *shard) {
 	}
 }
 
+// shed records a dropped batch in the soundness ledger: the aggregate
+// shed count once, plus one per-property mark counting how many of the
+// batch's events each property would have seen.
+func (sm *ShardedMonitor) shed(batch []shardMsg) {
+	var perProp [maxShardedProperties]uint64
+	for i := range batch {
+		mask := batch[i].matchMask | batch[i].createMask
+		for mask != 0 {
+			pi := bits.TrailingZeros64(mask)
+			mask &= mask - 1
+			perProp[pi]++
+		}
+	}
+	at := batch[0].ev.Time
+	for pi, c := range perProp {
+		if c == 0 {
+			continue
+		}
+		sm.ledger.Mark(sm.names[pi], UnsoundShed, sm.submitted, at, c, "shard queue overflow shed")
+	}
+	sm.ledger.recordLost(UnsoundShed, uint64(len(batch)))
+}
+
 // Barrier flushes all pending batches and blocks until every shard has
 // applied everything submitted before the call. After Barrier (and before
 // the next Submit) the aggregate accessors read a consistent snapshot.
 func (sm *ShardedMonitor) Barrier() {
+	sm.routerMu.Lock()
+	defer sm.routerMu.Unlock()
+	sm.barrierLocked()
+}
+
+func (sm *ShardedMonitor) barrierLocked() {
 	if sm.closed {
 		return
 	}
@@ -326,6 +618,8 @@ func (sm *ShardedMonitor) Barrier() {
 // deadlines). It blocks until all shards reach t, mirroring a
 // single-engine driver calling Scheduler.RunUntil.
 func (sm *ShardedMonitor) AdvanceTo(t time.Time) {
+	sm.routerMu.Lock()
+	defer sm.routerMu.Unlock()
 	if sm.closed {
 		return
 	}
@@ -345,6 +639,8 @@ func (sm *ShardedMonitor) AdvanceTo(t time.Time) {
 // traces) use it to keep shard clocks tracking the stream without a
 // barrier per event.
 func (sm *ShardedMonitor) Tick(t time.Time) {
+	sm.routerMu.Lock()
+	defer sm.routerMu.Unlock()
 	if sm.closed {
 		return
 	}
@@ -368,29 +664,37 @@ func (sm *ShardedMonitor) Drain() uint64 {
 }
 
 // Close flushes, stops all shard goroutines, and waits for them to exit.
-// The aggregate accessors remain usable; Submit must not be called again.
+// It is idempotent and safe to call concurrently — with itself or with
+// Submit, which reports ErrClosed once the close has begun. The
+// aggregate accessors remain usable after Close.
 func (sm *ShardedMonitor) Close() {
+	sm.routerMu.Lock()
+	defer sm.routerMu.Unlock()
 	if sm.closed {
 		return
 	}
-	sm.start() // ensure workers exist so close(ch) terminates them
+	sm.closed = true
+	if !sm.started {
+		return // no goroutines were ever spawned
+	}
 	for _, s := range sm.shards {
 		sm.flushShard(s)
-		close(s.ch)
+		s.ch <- shardCtl{stop: true}
 	}
 	sm.wg.Wait()
-	sm.closed = true
 }
 
 // Stats aggregates shard counters (after an implicit Barrier). Events is
 // the router-side submission count, so a sharded and a single-threaded
 // run over the same trace report identical Stats; per-shard applied
-// counts are available from ShardStats.
+// counts are available from ShardStats. ShedEvents and
+// QuarantinedProperties come from the shared ledger, counted once (not
+// per shard).
 func (sm *ShardedMonitor) Stats() Stats {
 	sm.Barrier()
 	var agg Stats
 	for _, s := range sm.shards {
-		st := s.mon.Stats()
+		st := s.mon.stats.snapshot()
 		agg.Created += st.Created
 		agg.Advanced += st.Advanced
 		agg.Violations += st.Violations
@@ -403,7 +707,19 @@ func (sm *ShardedMonitor) Stats() Stats {
 		agg.DroppedEvents += st.DroppedEvents
 	}
 	agg.Events = sm.submitted
+	agg.ShedEvents, agg.QuarantinedProperties = sm.ledger.robustnessTotals()
 	return agg
+}
+
+// / MarkFeedLoss records that n events were lost upstream of the router:
+// every installed property is marked unsound in the shared ledger.
+func (sm *ShardedMonitor) MarkFeedLoss(at time.Time, n uint64, detail string) {
+	sm.routerMu.Lock()
+	defer sm.routerMu.Unlock()
+	for _, name := range sm.names {
+		sm.ledger.Mark(name, UnsoundInjectedLoss, sm.submitted, at, n, detail)
+	}
+	sm.ledger.recordLost(UnsoundInjectedLoss, n)
 }
 
 // ShardStats returns each shard's raw counters (after an implicit
@@ -412,7 +728,7 @@ func (sm *ShardedMonitor) ShardStats() []Stats {
 	sm.Barrier()
 	out := make([]Stats, len(sm.shards))
 	for i, s := range sm.shards {
-		out[i] = s.mon.Stats()
+		out[i] = s.mon.stats.snapshot()
 	}
 	return out
 }
@@ -427,6 +743,10 @@ func (sm *ShardedMonitor) ActiveInstances() int {
 	}
 	return n
 }
+
+// Quarantined reports the engine-wide quarantine bitmask. Safe from any
+// goroutine.
+func (sm *ShardedMonitor) Quarantined() uint64 { return sm.quarMask.Load() }
 
 // SelfCheck runs every shard's invariant check (after an implicit
 // Barrier).
@@ -455,31 +775,73 @@ func (m *Monitor) applyRouted(e *Event, matchMask, createMask uint64) {
 	seq := m.seq
 	for pi, cp := range m.props {
 		bit := uint64(1) << uint(pi)
-		if matchMask&bit == 0 && createMask&bit == 0 {
+		if (matchMask|createMask)&bit == 0 || m.quarantined&bit != 0 {
 			continue
 		}
-		m.pmx[pi].events.Inc()
-		bs := m.buckets[pi]
-		if matchMask&bit != 0 {
-			m.seedSuppressions(cp, bs, e)
-			for si := len(cp.stages) - 1; si >= 1; si-- {
-				b := bs[si]
-				if len(b.all) == 0 {
-					continue
-				}
-				cs := &cp.stages[si]
-				m.matchStage(pi, si, cs, b, e, seq)
-			}
+		m.curProp = pi
+		if m.stepProbe != nil {
+			m.stepProbe(pi, seq)
 		}
-		if createMask&bit != 0 {
-			cs0 := &cp.stages[0]
-			if stagePatternMatches(cs0, e, nil, nil) {
-				m.createInstance(pi, cp, e, seq)
-			}
-		}
+		m.stepProp(pi, cp, e, seq, matchMask&bit != 0, createMask&bit != 0)
 	}
 	if m.mx != nil {
 		m.mx.events.Inc()
 		m.mx.eventNs.Observe(uint64(time.Since(start)))
 	}
+}
+
+// applyRoutedSupervised is applyRouted with per-property panic recovery:
+// a panic during property pi's step (including one raised by a fault
+// probe) is reported to onPanic — which is expected to quarantine pi —
+// and the remaining properties are stepped as if nothing happened. The
+// event and latency accounting happen exactly once regardless of how
+// many properties fail.
+func (m *Monitor) applyRoutedSupervised(e *Event, matchMask, createMask uint64, onPanic func(prop int, cause any)) {
+	var start time.Time
+	if m.mx != nil {
+		start = time.Now()
+	}
+	m.stats.events.Add(1)
+	m.seq++
+	seq := m.seq
+	from := 0
+	for from < len(m.props) {
+		failed, cause, ok := m.stepPropsProtected(e, seq, matchMask, createMask, from)
+		if ok {
+			break
+		}
+		onPanic(failed, cause)
+		from = failed + 1
+	}
+	if m.mx != nil {
+		m.mx.events.Inc()
+		m.mx.eventNs.Observe(uint64(time.Since(start)))
+	}
+}
+
+// stepPropsProtected steps properties [from, len) under a recover. On a
+// panic it reports the failing property (read from curProp, which every
+// step sets before doing work) and the panic value; ok means the whole
+// range completed.
+func (m *Monitor) stepPropsProtected(e *Event, seq uint64, matchMask, createMask uint64, from int) (failed int, cause any, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			failed = m.curProp
+			cause = r
+			ok = false
+		}
+	}()
+	for pi := from; pi < len(m.props); pi++ {
+		cp := m.props[pi]
+		bit := uint64(1) << uint(pi)
+		if (matchMask|createMask)&bit == 0 || m.quarantined&bit != 0 {
+			continue
+		}
+		m.curProp = pi
+		if m.stepProbe != nil {
+			m.stepProbe(pi, seq)
+		}
+		m.stepProp(pi, cp, e, seq, matchMask&bit != 0, createMask&bit != 0)
+	}
+	return -1, nil, true
 }

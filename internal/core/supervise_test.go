@@ -1,0 +1,406 @@
+package core
+
+import (
+	"errors"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"switchmon/internal/packet"
+	"switchmon/internal/property"
+	"switchmon/internal/sim"
+)
+
+// superviseStream is a deterministic firewall-shaped workload: flows
+// open, exchange returns, and every tenth return is wrongfully dropped
+// (a firewall-basic violation). Distinct (src,dst) pairs spread the
+// stream across shards.
+func superviseStream(flows, returns int) []Event {
+	var evs []Event
+	var pid PacketID
+	now := sim.Epoch
+	step := func() time.Time {
+		now = now.Add(time.Millisecond)
+		return now
+	}
+	for f := 0; f < flows; f++ {
+		src := packet.IPv4FromUint32(0x0a000000 + uint32(f))
+		dst := packet.IPv4FromUint32(0xcb000000 + uint32(f))
+		open := packet.NewTCP(macA, macB, src, dst, uint16(10000+f%50000), 80, packet.FlagSYN, nil)
+		pid++
+		evs = append(evs,
+			Event{Kind: KindArrival, Time: step(), PacketID: pid, Packet: open, InPort: 1},
+			Event{Kind: KindEgress, Time: now, PacketID: pid, Packet: open, InPort: 1, OutPort: 2})
+	}
+	n := 0
+	for r := 0; r < returns; r++ {
+		for f := 0; f < flows; f++ {
+			src := packet.IPv4FromUint32(0x0a000000 + uint32(f))
+			dst := packet.IPv4FromUint32(0xcb000000 + uint32(f))
+			ret := packet.NewTCP(macB, macA, dst, src, 80, uint16(10000+f%50000), packet.FlagACK, nil)
+			pid++
+			n++
+			eg := Event{Kind: KindEgress, Time: step(), PacketID: pid, Packet: ret, InPort: 2, OutPort: 1}
+			if n%10 == 0 {
+				eg.OutPort = 0
+				eg.Dropped = true
+			}
+			evs = append(evs,
+				Event{Kind: KindArrival, Time: now, PacketID: pid, Packet: ret, InPort: 2},
+				eg)
+		}
+	}
+	return evs
+}
+
+// TestShardPanicKillsProcessWithoutSupervision demonstrates the
+// pre-supervision failure mode this PR exists to remove: with
+// DisableSupervision a panic in one property's step on one shard kills
+// the whole process. The test re-executes itself as a child process
+// (the only way to observe a process death) and expects the child to
+// die with the panic on stderr.
+func TestShardPanicKillsProcessWithoutSupervision(t *testing.T) {
+	if os.Getenv("SWITCHMON_CRASH_PROBE") == "1" {
+		sm := NewShardedMonitor(2, Config{DisableSupervision: true})
+		if err := sm.AddProperty(property.CatalogByName(property.DefaultParams(), "firewall-basic")); err != nil {
+			t.Fatal(err)
+		}
+		if err := sm.SetShardProbe(0, func(prop int, seq uint64) {
+			if seq == 3 {
+				panic("injected step panic (unsupervised)")
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		evs := superviseStream(100, 2)
+		for i := range evs {
+			_ = sm.Submit(evs[i])
+		}
+		sm.Barrier()
+		// Unreachable when the panic propagates; exiting 0 would tell the
+		// parent that the process survived.
+		os.Exit(0)
+	}
+	cmd := exec.Command(os.Args[0], "-test.run=TestShardPanicKillsProcessWithoutSupervision$", "-test.v")
+	cmd.Env = append(os.Environ(), "SWITCHMON_CRASH_PROBE=1")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("unsupervised shard panic did not kill the process; child output:\n%s", out)
+	}
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("child failed to run at all: %v", err)
+	}
+	if !strings.Contains(string(out), "injected step panic (unsupervised)") {
+		t.Fatalf("child died, but not from the injected panic:\n%s", out)
+	}
+}
+
+// The differential quarantine gate (acceptance criterion): inject a
+// panic into one property on one shard; the process must survive, the
+// panicking property must be quarantined and flagged unsound, and every
+// other property's violation count must be identical to an inline
+// engine's on the same trace.
+func TestShardPanicQuarantinesOnlyThatProperty(t *testing.T) {
+	props := []*property.Property{
+		property.CatalogByName(property.DefaultParams(), "firewall-basic"),
+		property.CatalogByName(property.DefaultParams(), "firewall-until-close"),
+		property.CatalogByName(property.DefaultParams(), "nat-reverse"), // catch-all: exercises shard 0
+	}
+	const victim = 1 // firewall-until-close
+	evs := superviseStream(300, 3)
+
+	// Inline reference run.
+	inlineCounts := map[string]int{}
+	sched := sim.NewScheduler()
+	mi := NewMonitor(sched, Config{OnViolation: func(v *Violation) { inlineCounts[v.Property]++ }})
+	for _, p := range props {
+		if err := mi.AddProperty(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range evs {
+		if evs[i].Time.After(sched.Now()) {
+			sched.RunUntil(evs[i].Time)
+		}
+		mi.HandleEvent(evs[i])
+	}
+	sched.RunFor(time.Hour)
+
+	// Sharded run with an injected panic in the victim property.
+	shardedCounts := map[string]int{}
+	var mu sync.Mutex
+	sm := NewShardedMonitor(4, Config{OnViolation: func(v *Violation) {
+		mu.Lock()
+		shardedCounts[v.Property]++
+		mu.Unlock()
+	}})
+	defer sm.Close()
+	for _, p := range props {
+		if err := sm.AddProperty(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sm.SetShardProbe(2, func(prop int, seq uint64) {
+		if prop == victim {
+			panic("injected step panic (supervised)")
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range evs {
+		if err := sm.Submit(evs[i]); err != nil {
+			t.Fatal(err)
+		}
+		sm.Tick(evs[i].Time)
+	}
+	sm.AdvanceTo(evs[len(evs)-1].Time.Add(time.Hour))
+
+	// The process survived (we are here). The victim must be quarantined
+	// and flagged unsound with the panic attributed.
+	st := sm.Stats()
+	if st.QuarantinedProperties != 1 {
+		t.Fatalf("QuarantinedProperties=%d want 1", st.QuarantinedProperties)
+	}
+	if sm.Quarantined() != uint64(1)<<victim {
+		t.Fatalf("quarantine mask=%b want bit %d", sm.Quarantined(), victim)
+	}
+	marks := sm.Ledger().Snapshot()
+	if len(marks) != 1 || marks[0].Property != props[victim].Name || marks[0].Reason != UnsoundQuarantine {
+		t.Fatalf("ledger marks=%+v want one quarantine mark for %s", marks, props[victim].Name)
+	}
+	if !strings.Contains(marks[0].Detail, "injected step panic") {
+		t.Fatalf("mark detail %q does not carry the panic", marks[0].Detail)
+	}
+	// Differential gate: every surviving property agrees with inline.
+	// nat-reverse legitimately sees zero violations on a firewall-shaped
+	// stream (it rides along as the catch-all/shard-0 property), so the
+	// non-vacuity requirement is on the gate as a whole, not per property.
+	nonVacuous := false
+	for i, p := range props {
+		if i == victim {
+			continue
+		}
+		if inlineCounts[p.Name] != shardedCounts[p.Name] {
+			t.Errorf("%s: inline=%d sharded=%d violations", p.Name, inlineCounts[p.Name], shardedCounts[p.Name])
+		}
+		if inlineCounts[p.Name] > 0 {
+			nonVacuous = true
+		}
+	}
+	if !nonVacuous {
+		t.Error("no surviving property found violations; the gate is vacuous")
+	}
+	if err := sm.SelfCheck(); err != nil {
+		t.Fatalf("post-quarantine invariants: %v", err)
+	}
+}
+
+// A panic inside a timer callback — here the user violation callback,
+// fired by ping-reply-within's UnlessWithin deadline expiring with no
+// reply — is recovered by the RunUntil supervisor and attributed to the
+// right property. This exercises the timer path (advanceByTimeout),
+// which runs under Scheduler.RunUntil rather than batch application.
+func TestTimerPanicIsSupervised(t *testing.T) {
+	sm := NewShardedMonitor(2, Config{OnViolation: func(v *Violation) {
+		if v.Property == "ping-reply-within" {
+			panic("violation callback exploded")
+		}
+	}})
+	defer sm.Close()
+	if err := sm.AddProperty(property.CatalogByName(property.DefaultParams(), "ping-reply-within")); err != nil {
+		t.Fatal(err)
+	}
+	// Echo requests that never get a reply: each one violates when its
+	// window deadline fires during AdvanceTo.
+	now := sim.Epoch
+	var evs []Event
+	for i := 0; i < 20; i++ {
+		src := packet.IPv4FromUint32(0x0a000000 + uint32(i))
+		dst := packet.IPv4FromUint32(0xcb000000 + uint32(i))
+		req := packet.NewICMPEcho(macA, macB, src, dst, uint16(i+1), 1, false)
+		now = now.Add(time.Millisecond)
+		evs = append(evs, Event{Kind: KindArrival, Time: now, PacketID: PacketID(i + 1), Packet: req, InPort: 1})
+	}
+	if err := sm.SubmitBatch(evs); err != nil {
+		t.Fatal(err)
+	}
+	sm.AdvanceTo(now.Add(24 * time.Hour))
+	marks := sm.Ledger().Snapshot()
+	if len(marks) != 1 || marks[0].Reason != UnsoundQuarantine || marks[0].Property != "ping-reply-within" {
+		t.Fatalf("expected ping-reply-within quarantined from a timer panic, got %+v", marks)
+	}
+}
+
+// Close satellite: idempotent, concurrency-safe, and Submit reports
+// ErrClosed afterwards instead of panicking on a closed channel.
+func TestCloseIdempotentAndSubmitAfterClose(t *testing.T) {
+	sm := NewShardedMonitor(2, Config{})
+	if err := sm.AddProperty(property.CatalogByName(property.DefaultParams(), "firewall-basic")); err != nil {
+		t.Fatal(err)
+	}
+	evs := superviseStream(20, 1)
+	for i := range evs {
+		if err := sm.Submit(evs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sm.Close()
+		}()
+	}
+	wg.Wait()
+	sm.Close() // and again, after it is already closed
+	if err := sm.Submit(evs[0]); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
+	}
+	if err := sm.SubmitBatch(evs); !errors.Is(err, ErrClosed) {
+		t.Fatalf("SubmitBatch after Close = %v, want ErrClosed", err)
+	}
+	// Aggregate accessors stay usable after Close.
+	if st := sm.Stats(); st.Events == 0 {
+		t.Fatal("Stats unusable after Close")
+	}
+}
+
+// Close racing Submit: the loser of the race gets ErrClosed, never a
+// panic. Run under -race in check.sh.
+func TestCloseConcurrentWithSubmit(t *testing.T) {
+	sm := NewShardedMonitor(2, Config{})
+	if err := sm.AddProperty(property.CatalogByName(property.DefaultParams(), "firewall-basic")); err != nil {
+		t.Fatal(err)
+	}
+	evs := superviseStream(50, 2)
+	done := make(chan error, 1)
+	go func() {
+		for {
+			for i := range evs {
+				if err := sm.Submit(evs[i]); err != nil {
+					done <- err
+					return
+				}
+			}
+		}
+	}()
+	time.Sleep(5 * time.Millisecond)
+	sm.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("racing Submit returned %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("submitter never observed the close")
+	}
+}
+
+// Shed policies: a stalled shard with a bounded queue must shed instead
+// of blocking forever, count every shed event, and mark the affected
+// properties unsound — while ShedBlock (the default) never sheds.
+func TestShedPolicies(t *testing.T) {
+	run := func(policy ShedPolicy) Stats {
+		release := make(chan struct{})
+		var once sync.Once
+		sm := NewShardedMonitor(1, Config{
+			ShardQueueLen: 1,
+			ShedPolicy:    policy,
+		})
+		defer sm.Close()
+		if err := sm.AddProperty(property.CatalogByName(property.DefaultParams(), "firewall-basic")); err != nil {
+			t.Fatal(err)
+		}
+		// Stall the only shard on its first event so the router outruns it.
+		if err := sm.SetShardProbe(0, func(prop int, seq uint64) {
+			once.Do(func() { <-release })
+		}); err != nil {
+			t.Fatal(err)
+		}
+		evs := superviseStream(400, 2)
+		go func() {
+			// Hold the worker just long enough for the router to fill the
+			// queue; the router never blocks under the shedding policies,
+			// so this cannot deadlock the test.
+			time.Sleep(20 * time.Millisecond)
+			close(release)
+		}()
+		if policy == ShedBlock {
+			// With a blocking policy the router would stall against the
+			// held worker; release immediately instead — this run only
+			// establishes the no-shed baseline.
+			once.Do(func() {}) // consume the once so the probe never blocks
+		}
+		for i := range evs {
+			if err := sm.Submit(evs[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st := sm.Stats()
+		if err := sm.SelfCheck(); err != nil {
+			t.Fatalf("%v after shedding: %v", policy, err)
+		}
+		return st
+	}
+
+	if st := run(ShedBlock); st.ShedEvents != 0 {
+		t.Fatalf("ShedBlock shed %d events; must never shed", st.ShedEvents)
+	}
+	for _, policy := range []ShedPolicy{ShedDropNewest, ShedDropOldest} {
+		st := run(policy)
+		if st.ShedEvents == 0 {
+			t.Fatalf("%v: stalled shard with a 1-batch queue shed nothing", policy)
+		}
+		if st.Events == 0 {
+			t.Fatalf("%v: no events submitted?", policy)
+		}
+	}
+
+	// The shed run must mark the property unsound with the shed reason.
+	release := make(chan struct{})
+	var once sync.Once
+	sm := NewShardedMonitor(1, Config{ShardQueueLen: 1, ShedPolicy: ShedDropOldest})
+	defer sm.Close()
+	if err := sm.AddProperty(property.CatalogByName(property.DefaultParams(), "firewall-basic")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sm.SetShardProbe(0, func(prop int, seq uint64) {
+		once.Do(func() { <-release })
+	}); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		close(release)
+	}()
+	evs := superviseStream(400, 2)
+	for i := range evs {
+		if err := sm.Submit(evs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sm.Barrier()
+	marks := sm.Ledger().Snapshot()
+	if len(marks) == 0 || marks[0].Reason != UnsoundShed || marks[0].Events == 0 {
+		t.Fatalf("expected a shed mark with an event count, got %+v", marks)
+	}
+	if sm.Ledger().Sound() {
+		t.Fatal("ledger claims soundness after shedding")
+	}
+}
+
+// ShedPolicy and ShedBlock string forms (used in CLI/docs output).
+func TestShedPolicyString(t *testing.T) {
+	for want, p := range map[string]ShedPolicy{
+		"block": ShedBlock, "drop-newest": ShedDropNewest, "drop-oldest": ShedDropOldest,
+	} {
+		if p.String() != want {
+			t.Errorf("%d.String()=%q want %q", p, p.String(), want)
+		}
+	}
+}

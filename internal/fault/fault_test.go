@@ -1,0 +1,289 @@
+package fault
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"switchmon/internal/core"
+	"switchmon/internal/property"
+	"switchmon/internal/sim"
+	"switchmon/internal/trace"
+)
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	cases := []string{
+		"drop=0.01,dup=0.001,seed=7",
+		"drop=0.05",
+		"reorder=0.1,delay=5ms,seed=42",
+		"panic-shard=2@100",
+		"stall-shard=1@50,stall=20ms",
+		"none",
+	}
+	for _, in := range cases {
+		sp, err := ParseSpec(in)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", in, err)
+		}
+		// Re-parsing the rendered form must yield the same spec.
+		sp2, err := ParseSpec(sp.String())
+		if err != nil {
+			t.Fatalf("ParseSpec(String(%q)=%q): %v", in, sp.String(), err)
+		}
+		// The default stall duration is not rendered when no stall fault
+		// is armed, so compare with it normalized.
+		if sp2.Stall == 10*time.Millisecond && sp.Stall == 10*time.Millisecond {
+			sp2.Stall = sp.Stall
+		}
+		if sp != sp2 {
+			t.Errorf("%q: round-trip mismatch\n first: %+v\nsecond: %+v", in, sp, sp2)
+		}
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, in := range []string{
+		"drop=1.5",        // probability out of range
+		"drop=x",          // not a float
+		"delay=-3ms",      // negative duration
+		"delay=fast",      // not a duration
+		"panic-shard=3",   // missing @EVENT
+		"panic-shard=a@b", // not integers
+		"seed=π",          // not an integer
+		"bogus=1",         // unknown key
+		"drop",            // not key=value
+	} {
+		if _, err := ParseSpec(in); err == nil {
+			t.Errorf("ParseSpec(%q): expected error, got none", in)
+		}
+	}
+}
+
+func TestParseSpecEmptyIsZero(t *testing.T) {
+	sp, err := ParseSpec("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sp.Zero() {
+		t.Fatalf("empty spec should be Zero, got %+v", sp)
+	}
+}
+
+func fwEvents() []core.Event {
+	return trace.FirewallWorkload{
+		Flows: 300, ReturnsPerFlow: 3, ViolationEvery: 10, Gap: time.Millisecond,
+	}.Events(sim.Epoch)
+}
+
+// Same seed, same spec, same input: Apply must produce identical output
+// and identical stats. A different seed must produce a different stream.
+func TestApplyDeterministic(t *testing.T) {
+	evs := fwEvents()
+	spec, err := ParseSpec("drop=0.05,dup=0.02,reorder=0.03,delay=2ms,seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewInjector(spec).Apply(evs)
+	b := NewInjector(spec).Apply(evs)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed+spec produced different streams")
+	}
+	spec.Seed = 8
+	c := NewInjector(spec).Apply(evs)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seed produced an identical stream")
+	}
+}
+
+// Apply must keep the stream time-monotone even with delay jitter and
+// reordering, because trace replay and shard clock ticking assume
+// non-decreasing timestamps.
+func TestApplyKeepsTimeMonotone(t *testing.T) {
+	evs := fwEvents()
+	spec, _ := ParseSpec("reorder=0.2,delay=10ms,seed=3")
+	out := NewInjector(spec).Apply(evs)
+	for i := 1; i < len(out); i++ {
+		if out[i].Time.Before(out[i-1].Time) {
+			t.Fatalf("event %d at %v precedes event %d at %v", i, out[i].Time, i-1, out[i-1].Time)
+		}
+	}
+}
+
+func TestApplyAccounting(t *testing.T) {
+	evs := fwEvents()
+	spec, _ := ParseSpec("drop=0.1,dup=0.05,seed=1")
+	in := NewInjector(spec)
+	var dropped int
+	in.OnDrop = func(core.Event) { dropped++ }
+	out := in.Apply(evs)
+	st := in.Stats()
+	if st.Events != uint64(len(evs)) {
+		t.Fatalf("Events=%d want %d", st.Events, len(evs))
+	}
+	if uint64(dropped) != st.Dropped {
+		t.Fatalf("OnDrop fired %d times, Dropped=%d", dropped, st.Dropped)
+	}
+	if want := uint64(len(evs)) - st.Dropped + st.Duplicated; uint64(len(out)) != want {
+		t.Fatalf("len(out)=%d want %d (events-%d dropped+%d duplicated)", len(out), want, st.Dropped, st.Duplicated)
+	}
+	if st.Dropped == 0 || st.Duplicated == 0 {
+		t.Fatalf("expected some drops and duplicates at these rates, got %+v", st)
+	}
+}
+
+func TestWrapOnline(t *testing.T) {
+	evs := fwEvents()
+	spec, _ := ParseSpec("drop=0.1,dup=0.05,seed=2")
+	in := NewInjector(spec)
+	delivered := 0
+	h := in.Wrap(func(core.Event) { delivered++ })
+	for i := range evs {
+		h(evs[i])
+	}
+	st := in.Stats()
+	if want := uint64(len(evs)) - st.Dropped + st.Duplicated; uint64(delivered) != want {
+		t.Fatalf("delivered %d want %d", delivered, want)
+	}
+}
+
+// violationLedger runs an inline monitor over an injected stream and
+// serializes everything observable: the violation log in arrival order,
+// the final Stats, and the soundness ledger as JSON.
+func violationLedger(t *testing.T, spec Spec, props ...string) []byte {
+	t.Helper()
+	sched := sim.NewScheduler()
+	var buf bytes.Buffer
+	mon := core.NewMonitor(sched, core.Config{OnViolation: func(v *core.Violation) {
+		fmt.Fprintf(&buf, "%s %s %s\n", v.Time.Format(time.RFC3339Nano), v.Property, v.Trigger)
+	}})
+	for _, name := range props {
+		if err := mon.AddProperty(property.CatalogByName(property.DefaultParams(), name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	in := NewInjector(spec)
+	in.OnDrop = func(e core.Event) { mon.MarkFeedLoss(e.Time, 1, "injected drop") }
+	evs := in.Apply(fwEvents())
+	trace.Replay(sched, evs, mon.HandleEvent)
+	sched.RunFor(time.Hour)
+	fmt.Fprintf(&buf, "stats: %+v\n", mon.Stats())
+	led, err := json.Marshal(mon.Ledger().Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Write(led)
+	return buf.Bytes()
+}
+
+// The acceptance gate: same seed + same spec ⇒ byte-identical violation
+// ledgers across two full runs (injection, monitoring, soundness marks).
+func TestInjectionDeterministicEndToEnd(t *testing.T) {
+	spec, err := ParseSpec("drop=0.05,dup=0.01,seed=11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := violationLedger(t, spec, "firewall-basic", "firewall-until-close")
+	b := violationLedger(t, spec, "firewall-basic", "firewall-until-close")
+	if !bytes.Equal(a, b) {
+		t.Fatalf("two runs with the same seed+spec diverged:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
+	}
+	if !strings.Contains(string(a), "injected-loss") {
+		t.Fatalf("ledger did not record injected loss:\n%s", a)
+	}
+}
+
+// Injected drops must degrade detection monotonically-ish and land in
+// the ledger: with loss the monitor reports no more violations than the
+// fault-free run, and every property is marked unsound.
+func TestDropDegradesDetection(t *testing.T) {
+	run := func(spec Spec) (uint64, []core.UnsoundMark) {
+		sched := sim.NewScheduler()
+		mon := core.NewMonitor(sched, core.Config{})
+		if err := mon.AddProperty(property.CatalogByName(property.DefaultParams(), "firewall-basic")); err != nil {
+			t.Fatal(err)
+		}
+		in := NewInjector(spec)
+		in.OnDrop = func(e core.Event) { mon.MarkFeedLoss(e.Time, 1, "injected drop") }
+		evs := in.Apply(fwEvents())
+		trace.Replay(sched, evs, mon.HandleEvent)
+		sched.RunFor(time.Hour)
+		return mon.Stats().Violations, mon.Ledger().Snapshot()
+	}
+	clean, cleanMarks := run(DefaultSpec())
+	if clean == 0 {
+		t.Fatal("fault-free run found no violations; workload is wrong")
+	}
+	if len(cleanMarks) != 0 {
+		t.Fatalf("fault-free run marked properties unsound: %+v", cleanMarks)
+	}
+	spec, _ := ParseSpec("drop=0.3,seed=5")
+	lossy, marks := run(spec)
+	if lossy >= clean {
+		t.Fatalf("30%% loss did not reduce detections: clean=%d lossy=%d", clean, lossy)
+	}
+	if len(marks) != 1 || marks[0].Reason != core.UnsoundInjectedLoss || marks[0].Events == 0 {
+		t.Fatalf("expected one injected-loss mark with a loss count, got %+v", marks)
+	}
+}
+
+// ArmShardFaults: an injected shard panic must not crash the process;
+// the property stepped at the fault point is quarantined and the engine
+// keeps answering.
+func TestArmShardFaultsPanicQuarantines(t *testing.T) {
+	sm := core.NewShardedMonitor(4, core.Config{})
+	defer sm.Close()
+	if err := sm.AddProperty(property.CatalogByName(property.DefaultParams(), "firewall-basic")); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := ParseSpec("panic-shard=0@5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ArmShardFaults(sm, spec); err != nil {
+		t.Fatal(err)
+	}
+	evs := fwEvents()
+	for i := range evs {
+		if err := sm.Submit(evs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := sm.Stats()
+	if st.QuarantinedProperties != 1 {
+		t.Fatalf("QuarantinedProperties=%d want 1", st.QuarantinedProperties)
+	}
+	marks := sm.Ledger().Snapshot()
+	if len(marks) != 1 || marks[0].Reason != core.UnsoundQuarantine || marks[0].Property != "firewall-basic" {
+		t.Fatalf("expected a quarantine mark for firewall-basic, got %+v", marks)
+	}
+	if !strings.Contains(marks[0].Detail, "injected panic") {
+		t.Fatalf("mark detail should carry the panic message, got %q", marks[0].Detail)
+	}
+	if err := sm.SelfCheck(); err != nil {
+		t.Fatalf("post-quarantine invariants: %v", err)
+	}
+}
+
+// ArmShardFaults rejects out-of-range shards and arming after Submit.
+func TestArmShardFaultsValidation(t *testing.T) {
+	sm := core.NewShardedMonitor(2, core.Config{})
+	defer sm.Close()
+	if err := sm.AddProperty(property.CatalogByName(property.DefaultParams(), "firewall-basic")); err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := ParseSpec("panic-shard=9@1")
+	if err := ArmShardFaults(sm, spec); err == nil {
+		t.Fatal("expected out-of-range shard to be rejected")
+	}
+	if err := sm.Submit(core.Event{Kind: core.KindArrival, Time: sim.Epoch}); err != nil {
+		t.Fatal(err)
+	}
+	spec, _ = ParseSpec("panic-shard=0@1")
+	if err := ArmShardFaults(sm, spec); err == nil {
+		t.Fatal("expected arming after Submit to be rejected")
+	}
+}

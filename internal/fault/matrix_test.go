@@ -1,0 +1,112 @@
+package fault
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"switchmon/internal/core"
+	"switchmon/internal/property"
+	"switchmon/internal/sim"
+	"switchmon/internal/trace"
+)
+
+// TestFaultMatrix is the CI chaos gate: for each (mode, seed) cell it
+// runs a full monitored workload under that fault and asserts the
+// graceful-degradation contract — no crash, a truthful ledger, and
+// (for feed faults) a deterministic outcome. The ci.yml fault-matrix
+// job pins one cell per runner via FAULT_MATRIX_MODE and
+// FAULT_MATRIX_SEED; with the variables unset (a local `go test`) every
+// cell runs in-process.
+func TestFaultMatrix(t *testing.T) {
+	modes := []string{"panic-shard", "drop"}
+	seeds := []int64{1, 2, 3}
+	if m := os.Getenv("FAULT_MATRIX_MODE"); m != "" {
+		modes = []string{m}
+	}
+	if s := os.Getenv("FAULT_MATRIX_SEED"); s != "" {
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("FAULT_MATRIX_SEED=%q: %v", s, err)
+		}
+		seeds = []int64{n}
+	}
+	for _, mode := range modes {
+		for _, seed := range seeds {
+			t.Run(fmt.Sprintf("%s/seed=%d", mode, seed), func(t *testing.T) {
+				switch mode {
+				case "panic-shard":
+					matrixPanicShard(t, seed)
+				case "drop":
+					matrixDrop(t, seed)
+				default:
+					t.Fatalf("unknown FAULT_MATRIX_MODE %q", mode)
+				}
+			})
+		}
+	}
+}
+
+// matrixPanicShard injects a panic into one shard (the shard index and
+// fault point vary with the seed) and checks that the engine survives,
+// quarantines exactly one property, and still detects violations for
+// the surviving properties.
+func matrixPanicShard(t *testing.T, seed int64) {
+	shards := 4
+	spec, err := ParseSpec(fmt.Sprintf("panic-shard=%d@%d,seed=%d", seed%int64(shards), 10+seed*7, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm := core.NewShardedMonitor(shards, core.Config{})
+	defer sm.Close()
+	props := []string{"firewall-basic", "firewall-until-close"}
+	for _, name := range props {
+		if err := sm.AddProperty(property.CatalogByName(property.DefaultParams(), name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ArmShardFaults(sm, spec); err != nil {
+		t.Fatal(err)
+	}
+	evs := trace.FirewallWorkload{
+		Flows: 400, ReturnsPerFlow: 3, ViolationEvery: 10, Gap: time.Millisecond,
+	}.Events(sim.Epoch)
+	if err := sm.SubmitBatch(evs); err != nil {
+		t.Fatal(err)
+	}
+	sm.AdvanceTo(evs[len(evs)-1].Time.Add(time.Hour))
+	st := sm.Stats()
+	if st.QuarantinedProperties != 1 {
+		t.Fatalf("QuarantinedProperties=%d want 1 (marks: %+v)", st.QuarantinedProperties, sm.Ledger().Snapshot())
+	}
+	if st.Violations == 0 {
+		t.Fatal("surviving properties detected nothing after the quarantine")
+	}
+	if sm.Ledger().Sound() {
+		t.Fatal("ledger claims soundness after a quarantine")
+	}
+	if err := sm.SelfCheck(); err != nil {
+		t.Fatalf("post-quarantine invariants: %v", err)
+	}
+}
+
+// matrixDrop injects 5% event loss and checks the determinism contract
+// (two identical runs, byte-identical observable output) plus a
+// truthful injected-loss ledger.
+func matrixDrop(t *testing.T, seed int64) {
+	spec, err := ParseSpec(fmt.Sprintf("drop=0.05,seed=%d", seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := violationLedger(t, spec, "firewall-basic")
+	b := violationLedger(t, spec, "firewall-basic")
+	if !bytes.Equal(a, b) {
+		t.Fatalf("drop=0.05 seed=%d: two runs diverged:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", seed, a, b)
+	}
+	if !bytes.Contains(a, []byte("injected-loss")) {
+		t.Fatalf("ledger did not record the injected loss:\n%s", a)
+	}
+}

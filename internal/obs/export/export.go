@@ -119,15 +119,26 @@ func WriteJSON(w io.Writer, s obs.Snapshot) error {
 	return enc.Encode(s)
 }
 
+// HealthFunc lets the engine report degradation through /healthz. It
+// returns whether the engine is fully sound and, when it is not, a
+// JSON-serializable detail (typically the soundness ledger's marks).
+type HealthFunc func() (healthy bool, detail any)
+
 // NewMux builds the introspection endpoint:
 //
 //	/metrics          Prometheus text (or JSON with ?format=json)
-//	/healthz          liveness probe ("ok")
+//	/healthz          liveness + soundness probe ("ok", or a JSON
+//	                  degradation report when health says unsound)
 //	/violations       JSON dump of the violation ring, oldest first
 //	/debug/pprof/...  standard runtime profiles
 //
-// reg and ring may each be nil; the handlers then serve empty documents.
-func NewMux(reg *obs.Registry, ring *obs.Ring) *http.ServeMux {
+// reg, ring, and health may each be nil; the handlers then serve empty
+// documents (and /healthz is a plain liveness probe).
+//
+// /healthz answers 200 even when degraded: the process is alive and
+// still monitoring, just with a documented soundness gap. Probes that
+// want to alarm on degradation should parse the status field.
+func NewMux(reg *obs.Registry, ring *obs.Ring, health HealthFunc) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		snap := reg.Snapshot()
@@ -140,6 +151,18 @@ func NewMux(reg *obs.Registry, ring *obs.Ring) *http.ServeMux {
 		_ = PromText(w, snap)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if health != nil {
+			if healthy, detail := health(); !healthy {
+				w.Header().Set("Content-Type", "application/json")
+				enc := json.NewEncoder(w)
+				enc.SetIndent("", "  ")
+				_ = enc.Encode(struct {
+					Status string `json:"status"`
+					Detail any    `json:"detail,omitempty"`
+				}{Status: "degraded", Detail: detail})
+				return
+			}
+		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})

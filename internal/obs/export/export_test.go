@@ -72,7 +72,7 @@ func TestLabelEscaping(t *testing.T) {
 
 func TestMuxEndpoints(t *testing.T) {
 	reg, ring := testRegistry()
-	srv := httptest.NewServer(NewMux(reg, ring))
+	srv := httptest.NewServer(NewMux(reg, ring, nil))
 	defer srv.Close()
 
 	get := func(path string) string {
@@ -128,8 +128,58 @@ func TestMuxEndpoints(t *testing.T) {
 	}
 }
 
+// /healthz with a HealthFunc: healthy stays the plain "ok" liveness
+// answer; unsound flips to a JSON degradation report carrying the
+// detail (the soundness ledger), still with status 200 — the process is
+// alive, just degraded.
+func TestMuxHealthzDegraded(t *testing.T) {
+	healthy := true
+	detail := []map[string]any{{"property": "firewall-basic", "reason": "quarantine"}}
+	srv := httptest.NewServer(NewMux(nil, nil, func() (bool, any) {
+		return healthy, detail
+	}))
+	defer srv.Close()
+
+	get := func() (int, string) {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get(); code != 200 || strings.TrimSpace(body) != "ok" {
+		t.Fatalf("healthy /healthz = %d %q, want 200 ok", code, body)
+	}
+
+	healthy = false
+	code, body := get()
+	if code != 200 {
+		t.Fatalf("degraded /healthz status = %d, want 200 (alive but degraded)", code)
+	}
+	var rep struct {
+		Status string           `json:"status"`
+		Detail []map[string]any `json:"detail"`
+	}
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatalf("degraded /healthz is not JSON: %v\n%s", err, body)
+	}
+	if rep.Status != "degraded" {
+		t.Fatalf("status = %q, want degraded", rep.Status)
+	}
+	if len(rep.Detail) != 1 || rep.Detail[0]["property"] != "firewall-basic" || rep.Detail[0]["reason"] != "quarantine" {
+		t.Fatalf("detail lost the ledger: %+v", rep.Detail)
+	}
+}
+
 func TestMuxNilSources(t *testing.T) {
-	srv := httptest.NewServer(NewMux(nil, nil))
+	srv := httptest.NewServer(NewMux(nil, nil, nil))
 	defer srv.Close()
 	for _, path := range []string{"/metrics", "/violations", "/healthz"} {
 		resp, err := srv.Client().Get(srv.URL + path)

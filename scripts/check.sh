@@ -27,4 +27,10 @@ echo "==> zero-alloc telemetry gates"
 go test -count=1 -run 'TestHotPathZeroAlloc' ./internal/obs/
 go test -count=1 -run 'TestSteadyStateAllocationBudget' ./internal/core/
 
+# Codec fuzz smoke: a few seconds of coverage-guided input on the packet
+# codec's decode/encode fixed point. Real fuzzing budgets come from
+# running `go test -fuzz` by hand; this just keeps the target healthy.
+echo "==> packet codec fuzz smoke (10s)"
+go test -fuzz FuzzCodecRoundTrip -fuzztime 10s -run '^$' ./internal/packet/
+
 echo "OK"
