@@ -11,8 +11,11 @@
 //	e7  external monitoring redirect volume (OpenFlow 1.3) vs. on-switch
 //	e8  sharded-engine throughput vs. shard count on the high-flow
 //	    steady state (speedup needs GOMAXPROCS >= shards)
+//	e11 telemetry overhead: the fully instrumented engine vs. bare
+//	e13 distributed-fabric throughput vs. wire batch size (exporter ->
+//	    TCP -> collector), per-event framing as the degenerate case
 //
-// Usage: benchsweep [-exp all|e3|e4|e5|e6|e7|e8] [-json dir] [-cpuprofile f] [-memprofile f]
+// Usage: benchsweep [-exp all|e3|e4|e5|e6|e7|e8|e11|e12|e13] [-json dir] [-cpuprofile f] [-memprofile f]
 //
 // With -json, each experiment additionally writes BENCH_<exp>.json (one
 // JSON array of rows) into the given directory. Sweeps that drive the
@@ -30,10 +33,13 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"sync/atomic"
 	"time"
 
 	"switchmon/internal/backend"
+	"switchmon/internal/collector"
 	"switchmon/internal/core"
+	"switchmon/internal/exporter"
 	"switchmon/internal/fault"
 	"switchmon/internal/obs"
 	"switchmon/internal/property"
@@ -68,7 +74,7 @@ func writeRows(dir, exp string, rows []benchRow) error {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, e3, e4, e5, e6, e7, e8, e12")
+	exp := flag.String("exp", "all", "experiment to run: all, e3, e4, e5, e6, e7, e8, e11, e12, e13")
 	jsonDir := flag.String("json", "", "also write BENCH_<exp>.json rows into this directory")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (after the sweep) to this file")
@@ -104,11 +110,11 @@ func main() {
 	}()
 	run := map[string]func() []benchRow{
 		"e3": sweepE3, "e4": sweepE4, "e5": sweepE5, "e6": sweepE6, "e7": sweepE7,
-		"e8": sweepE8, "e12": sweepE12,
+		"e8": sweepE8, "e11": sweepE11, "e12": sweepE12, "e13": sweepE13,
 	}
 	names := []string{*exp}
 	if *exp == "all" {
-		names = []string{"e3", "e4", "e5", "e6", "e7", "e8", "e12"}
+		names = []string{"e3", "e4", "e5", "e6", "e7", "e8", "e11", "e12", "e13"}
 	}
 	for i, name := range names {
 		fn, ok := run[name]
@@ -460,6 +466,188 @@ func sweepE8() []benchRow {
 			Extra:         map[string]any{"violations": viols},
 			CounterDeltas: obs.DiffCounters(before, reg.Snapshot()),
 		})
+	}
+	return rows
+}
+
+// sweepE11: telemetry overhead. The same engine and steady state as
+// BenchmarkE11TelemetryOverhead — 8192 established flows probed by
+// return traffic — once bare and once with the full observability
+// surface attached (counter registry + violation ring), so the cost of
+// "always-on" telemetry is a committed number, not a one-off bench run.
+func sweepE11() []benchRow {
+	var rows []benchRow
+	fmt.Println("E11: telemetry overhead (registry + violation ring vs bare engine)")
+	fmt.Printf("%-10s %12s %14s\n", "telemetry", "ns/event", "events/sec")
+	const flows = 8192
+	open := trace.HighFlowWorkload{Flows: flows, Gap: time.Microsecond}.Events(sim.Epoch)
+	work := trace.HighFlowWorkload{Flows: flows, Rounds: 8, ViolationEvery: 1000, Gap: time.Microsecond}.Events(sim.Epoch)
+	returns := work[2*flows:]
+
+	for _, telemetry := range []bool{false, true} {
+		sched := sim.NewScheduler()
+		cfg := core.Config{}
+		var reg *obs.Registry
+		if telemetry {
+			reg = obs.NewRegistry()
+			cfg.Metrics = reg
+			cfg.Violations = obs.NewRing(256)
+		}
+		mon := core.NewMonitor(sched, cfg)
+		if err := mon.AddProperty(fwProp()); err != nil {
+			panic(err)
+		}
+		for _, e := range open {
+			mon.HandleEvent(e)
+		}
+		// Warm the return path once, then take the best of three timed
+		// passes — the off/on delta is tens of ns/event, well inside
+		// cold-cache noise on a single pass.
+		for i := range returns {
+			mon.HandleEvent(returns[i])
+		}
+		var before obs.Snapshot
+		if reg != nil {
+			before = reg.Snapshot()
+		}
+		best := time.Duration(1<<63 - 1)
+		for pass := 0; pass < 3; pass++ {
+			start := time.Now()
+			for i := range returns {
+				mon.HandleEvent(returns[i])
+			}
+			if elapsed := time.Since(start); elapsed < best {
+				best = elapsed
+			}
+		}
+		ns := float64(best.Nanoseconds()) / float64(len(returns))
+		label := "off"
+		if telemetry {
+			label = "on"
+		}
+		fmt.Printf("%-10s %12.0f %14.0f\n", label, ns, float64(len(returns))/best.Seconds())
+		row := benchRow{
+			Exp:        "e11",
+			Params:     map[string]any{"telemetry": label, "flows": flows},
+			NsPerEvent: ns,
+			Extra:      map[string]any{"events": len(returns)},
+		}
+		if reg != nil {
+			row.CounterDeltas = obs.DiffCounters(before, reg.Snapshot())
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// countingSink is a collector.Sink that only counts, so the e13 sweep
+// can measure the wire fabric (framing, syscalls, ack flow) in
+// isolation from property-evaluation cost.
+type countingSink struct {
+	events atomic.Uint64
+	lost   atomic.Uint64
+}
+
+func (s *countingSink) Submit(core.Event) error { s.events.Add(1); return nil }
+func (s *countingSink) Tick(time.Time)          {}
+func (s *countingSink) MarkLoss(_ core.UnsoundReason, _ time.Time, n uint64, _ string) {
+	s.lost.Add(n)
+}
+
+// sweepE13: distributed-fabric throughput vs. wire batch size. The same
+// event stream goes exporter -> real TCP -> collector at each BatchSize;
+// batch=1 is per-event framing (one frame, one length prefix, one write
+// per event — what a naive exporter would do) and is the baseline the
+// batched rows are compared against. The "count" sink isolates the wire;
+// the "engine" sink is deployment context, the central sharded monitor
+// evaluating the firewall property on the same stream.
+func sweepE13() []benchRow {
+	var rows []benchRow
+	fmt.Println("E13: fabric throughput vs wire batch size (exporter -> TCP -> collector)")
+	fmt.Printf("%-8s %-8s %12s %14s %10s %12s %10s\n",
+		"sink", "batch", "ns/event", "events/sec", "batches", "bytes/event", "speedup")
+	const flows = 4096
+	open := trace.HighFlowWorkload{Flows: flows, Gap: time.Microsecond}.Events(sim.Epoch)
+	work := trace.HighFlowWorkload{Flows: flows, Rounds: 8, ViolationEvery: 1000, Gap: time.Microsecond}.Events(sim.Epoch)
+	returns := work[2*flows:]
+
+	for _, sinkKind := range []string{"count", "engine"} {
+		var perEventBaseline float64 // events/sec at batch=1
+		for _, batch := range []int{1, 8, 64, 256, 1024} {
+			var (
+				sink collector.Sink
+				sm   *core.ShardedMonitor
+			)
+			if sinkKind == "count" {
+				sink = &countingSink{}
+			} else {
+				sm = core.NewShardedMonitor(4, core.Config{OnViolation: func(*core.Violation) {}})
+				if err := sm.AddProperty(fwProp()); err != nil {
+					panic(err)
+				}
+				sm.SubmitBatch(open)
+				sm.Drain()
+				sink = sm
+			}
+			col, err := collector.New(collector.Config{Addr: "127.0.0.1:0"}, sink)
+			if err != nil {
+				panic(err)
+			}
+			col.Serve()
+			// A long MaxBatchAge keeps BatchSize the governing knob; the
+			// trailing partial batch is sealed by Flush.
+			x, err := exporter.New(exporter.Config{
+				Addr: col.Addr().String(), DPID: 1,
+				BatchSize: batch, MaxBatchAge: 50 * time.Millisecond,
+			})
+			if err != nil {
+				panic(err)
+			}
+			x.Start()
+			start := time.Now()
+			for i := range returns {
+				x.Publish(returns[i])
+			}
+			x.Flush()
+			deadline := time.Now().Add(30 * time.Second)
+			for col.Stats().Events < uint64(len(returns)) {
+				if time.Now().After(deadline) {
+					panic(fmt.Sprintf("e13: collector applied %d of %d events", col.Stats().Events, len(returns)))
+				}
+				time.Sleep(time.Millisecond)
+			}
+			elapsed := time.Since(start)
+			if abandoned := x.Close(5 * time.Second); abandoned != 0 {
+				panic(fmt.Sprintf("e13: exporter abandoned %d events", abandoned))
+			}
+			col.Close()
+			if sm != nil {
+				sm.Close()
+			}
+			cs := col.Stats()
+			ns := float64(elapsed.Nanoseconds()) / float64(len(returns))
+			evps := float64(len(returns)) / elapsed.Seconds()
+			if batch == 1 {
+				perEventBaseline = evps
+			}
+			speedup := evps / perEventBaseline
+			fmt.Printf("%-8s %-8d %12.0f %14.0f %10d %12.1f %9.1fx\n",
+				sinkKind, batch, ns, evps, cs.Batches,
+				float64(cs.Bytes)/float64(len(returns)), speedup)
+			rows = append(rows, benchRow{
+				Exp:        "e13",
+				Params:     map[string]any{"sink": sinkKind, "batch_size": batch},
+				NsPerEvent: ns,
+				Extra: map[string]any{
+					"events":               len(returns),
+					"events_per_sec":       evps,
+					"batches":              cs.Batches,
+					"wire_bytes":           cs.Bytes,
+					"bytes_per_event":      float64(cs.Bytes) / float64(len(returns)),
+					"speedup_vs_per_event": speedup,
+				},
+			})
+		}
 	}
 	return rows
 }

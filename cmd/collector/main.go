@@ -1,0 +1,191 @@
+// Command collector is the central half of the distributed monitoring
+// fabric: a TCP server that accepts switch-side exporters (switchmon
+// -export, internal/exporter), merges their per-datapath event streams
+// with sequence-gap and replay accounting, and evaluates properties
+// centrally on the sharded engine. This is the deployment split the
+// paper's Sec. 3.2 sketches — switches keep a sequencer and a bounded
+// queue, the stateful monitor runs here — with the soundness discipline
+// carried over the wire: every lost event becomes a per-property
+// wire-loss mark, never a silently wrong verdict.
+//
+// Usage:
+//
+//	collector -listen :9190 -catalog firewall-basic
+//	collector -listen :9190 -props net.properties -shards 8 -metrics-addr :9090
+//
+// The process serves until SIGINT, printing violations as they fire
+// (or as NDJSON with -json), then prints an exit report: engine stats,
+// per-datapath wire accounting, and the degradation ledger.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"time"
+
+	"switchmon/internal/collector"
+	"switchmon/internal/core"
+	"switchmon/internal/dsl"
+	"switchmon/internal/obs"
+	"switchmon/internal/obs/export"
+	"switchmon/internal/property"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "collector:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		listen    = flag.String("listen", ":9190", "TCP address to accept exporter connections on")
+		propsFile = flag.String("props", "", "DSL file with property definitions")
+		catalog   = flag.String("catalog", "", "comma-separated built-in property names (switchmon -list)")
+		provLevel = flag.String("provenance", "limited", "provenance level: none, limited, full")
+		shards    = flag.Int("shards", 4, "shard count for the central engine")
+		hold      = flag.Duration("hold", 0, "serve this long, then exit (0 = until SIGINT)")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /healthz, /violations, /debug/pprof on this address")
+		jsonOut     = flag.Bool("json", false, "emit violations as one JSON object per line")
+		ringSize    = flag.Int("violation-ring", 256, "violation trace records retained for /violations")
+	)
+	flag.Parse()
+
+	cfg := core.Config{}
+	switch *provLevel {
+	case "none":
+		cfg.Provenance = core.ProvNone
+	case "limited":
+		cfg.Provenance = core.ProvLimited
+	case "full":
+		cfg.Provenance = core.ProvFull
+	default:
+		return fmt.Errorf("unknown provenance level %q", *provLevel)
+	}
+	if *shards <= 0 {
+		return fmt.Errorf("-shards must be positive")
+	}
+
+	var (
+		reg  *obs.Registry
+		ring *obs.Ring
+	)
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+		ring = obs.NewRing(*ringSize)
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	var vmu sync.Mutex // shard goroutines report concurrently
+	violations := 0
+	cfg.OnViolation = func(v *core.Violation) {
+		vmu.Lock()
+		defer vmu.Unlock()
+		violations++
+		if *jsonOut {
+			_ = enc.Encode(v.TraceRecord())
+			return
+		}
+		fmt.Println(v)
+	}
+	cfg.Metrics = reg
+	cfg.Violations = ring
+
+	sm := core.NewShardedMonitor(*shards, cfg)
+	defer sm.Close()
+
+	installed := 0
+	if *catalog != "" {
+		for _, name := range strings.Split(*catalog, ",") {
+			name = strings.TrimSpace(name)
+			p := property.CatalogByName(property.DefaultParams(), name)
+			if p == nil {
+				return fmt.Errorf("unknown catalogue property %q (use switchmon -list)", name)
+			}
+			if err := sm.AddProperty(p); err != nil {
+				return err
+			}
+			installed++
+		}
+	}
+	if *propsFile != "" {
+		src, err := os.ReadFile(*propsFile)
+		if err != nil {
+			return err
+		}
+		props, err := dsl.ParseAll(string(src))
+		if err != nil {
+			return err
+		}
+		for _, p := range props {
+			if err := sm.AddProperty(p); err != nil {
+				return err
+			}
+			installed++
+		}
+	}
+	if installed == 0 {
+		return fmt.Errorf("no properties installed (use -catalog and/or -props)")
+	}
+
+	col, err := collector.New(collector.Config{Addr: *listen, Metrics: reg}, sm)
+	if err != nil {
+		return err
+	}
+	col.Serve()
+	fmt.Fprintf(os.Stderr, "collector: accepting exporters on %s (%d properties, %d shards)\n",
+		col.Addr(), installed, *shards)
+
+	var srv *http.Server
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return err
+		}
+		health := func() (bool, any) {
+			marks := sm.Ledger().Snapshot()
+			return len(marks) == 0, marks
+		}
+		srv = &http.Server{Handler: export.NewMux(reg, ring, health)}
+		go func() { _ = srv.Serve(ln) }()
+		fmt.Fprintf(os.Stderr, "metrics: serving on http://%s/metrics\n", ln.Addr())
+	}
+
+	if *hold > 0 {
+		time.Sleep(*hold)
+	} else {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
+	}
+	col.Close()
+	if srv != nil {
+		_ = srv.Close()
+	}
+
+	// Fire deadline monitors still pending at shutdown before reporting.
+	sm.Drain()
+	st := sm.Stats()
+	cs := col.Stats()
+	fmt.Printf("\nevents=%d instances_created=%d advanced=%d discharged=%d expired=%d violations=%d\n",
+		st.Events, st.Created, st.Advanced, st.Discharged, st.Expired, st.Violations)
+	fmt.Printf("wire: datapaths=%d batches=%d events=%d bytes=%d gaps=%d deduped=%d reconnects=%d\n",
+		cs.Datapaths, cs.Batches, cs.Events, cs.Bytes, cs.GapEvents, cs.Deduped, cs.Reconnects)
+	if marks := sm.Ledger().Snapshot(); len(marks) > 0 {
+		fmt.Printf("degradation ledger: %d unsound\n", len(marks))
+		for _, m := range marks {
+			fmt.Printf("  %-26s %-14s since %s lost=%d %s\n",
+				m.Property, m.Reason, m.SinceTime.Format(time.RFC3339), m.Events, m.Detail)
+		}
+	}
+	return nil
+}

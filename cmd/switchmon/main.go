@@ -9,6 +9,7 @@
 //	switchmon -demo firewall
 //	switchmon -demo firewall -metrics-addr :9090
 //	switchmon -trace events.trc -catalog firewall-basic -fault drop=0.01,dup=0.001,seed=7
+//	switchmon -demo firewall -export 127.0.0.1:9190
 //	switchmon -list
 //
 // Properties come from the built-in catalogue (-catalog, comma-separated
@@ -21,6 +22,12 @@
 // run: until SIGINT by default, or for -hold duration. With -json,
 // violations stream to stdout as one JSON object per line instead of
 // the human-readable rendering.
+//
+// With -export the process acts as the switch-side half of the
+// distributed monitoring fabric: every event is also shipped over TCP
+// to a central collector (cmd/collector) as sequenced wire batches,
+// with at-least-once delivery and wire-loss accounting in the exit
+// report. -export-dpid sets the datapath id announced to the collector.
 //
 // -fault injects deterministic faults into the run (internal/fault);
 // every injected loss lands in the soundness ledger, which the exit
@@ -53,6 +60,7 @@ import (
 	"switchmon/internal/core"
 	"switchmon/internal/dataplane"
 	"switchmon/internal/dsl"
+	"switchmon/internal/exporter"
 	"switchmon/internal/fault"
 	"switchmon/internal/obs"
 	"switchmon/internal/obs/export"
@@ -158,6 +166,9 @@ func run() error {
 
 		faultSpec = flag.String("fault", "", "inject deterministic faults: drop=F,dup=F,reorder=F,delay=DUR,seed=N,panic-shard=S@N,stall-shard=S@N,stall=DUR")
 
+		exportAddr = flag.String("export", "", "also ship the event stream to a central collector at this address (cmd/collector)")
+		exportDPID = flag.Uint64("export-dpid", 1, "datapath id announced to the collector by -export")
+
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /healthz, /violations, /debug/pprof on this address")
 		hold        = flag.Duration("hold", 0, "with -metrics-addr: keep serving this long after the run (0 = until SIGINT)")
 		jsonOut     = flag.Bool("json", false, "emit violations as one JSON object per line")
@@ -248,6 +259,23 @@ func run() error {
 		mon = &inlineEngine{mon: core.NewMonitor(sched, cfg), sched: sched}
 	}
 
+	// The exporter, when -export is set, receives a copy of every event
+	// the local engine sees; the collector at the far end evaluates its
+	// own properties over the merged streams.
+	var exp *exporter.Exporter
+	feed := mon.HandleEvent
+	if *exportAddr != "" {
+		exp, err = exporter.New(exporter.Config{Addr: *exportAddr, DPID: *exportDPID, Metrics: reg})
+		if err != nil {
+			return err
+		}
+		exp.Start()
+		feed = func(e core.Event) {
+			mon.HandleEvent(e)
+			exp.Publish(e)
+		}
+	}
+
 	// The feed injector: drops and duplicates apply online (both paths);
 	// reorder/delay apply in the buffered trace path. Every drop lands in
 	// the soundness ledger via MarkFeedLoss.
@@ -316,7 +344,7 @@ func run() error {
 		if *record != "" {
 			rec = &trace.Recorder{}
 		}
-		handle := mon.HandleEvent
+		handle := feed
 		if inj != nil {
 			handle = inj.Wrap(handle)
 		}
@@ -353,7 +381,7 @@ func run() error {
 		if inj != nil {
 			events = inj.Apply(events)
 		}
-		trace.Replay(sched, events, mon.HandleEvent)
+		trace.Replay(sched, events, feed)
 		mon.Drain()
 	default:
 		return fmt.Errorf("nothing to do: pass -trace, -demo, or -list")
@@ -362,6 +390,17 @@ func run() error {
 	st := mon.Stats()
 	fmt.Printf("\nevents=%d instances_created=%d advanced=%d discharged=%d expired=%d violations=%d\n",
 		st.Events, st.Created, st.Advanced, st.Discharged, st.Expired, st.Violations)
+	if exp != nil {
+		exp.Flush()
+		abandoned := exp.Close(5 * time.Second)
+		es := exp.Stats()
+		fmt.Printf("export: collector=%s dpid=%d events=%d batches_acked=%d bytes=%d reconnects=%d shed=%d abandoned=%d\n",
+			*exportAddr, *exportDPID, es.Published, es.BatchesAcked, es.BytesSent, es.Reconnects, es.ShedEvents, abandoned)
+		for _, m := range exp.Ledger().Snapshot() {
+			fmt.Printf("  export loss: %-14s since %s lost=%d %s\n",
+				m.Reason, m.SinceTime.Format(time.RFC3339), m.Events, m.Detail)
+		}
+	}
 	if inj != nil {
 		is := inj.Stats()
 		fmt.Printf("fault: spec=%s injected dropped=%d duplicated=%d reordered=%d delayed=%d\n",

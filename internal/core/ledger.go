@@ -32,6 +32,12 @@ const (
 	// UnsoundSplitOverflow: split-mode queue overflow dropped events
 	// before they reached monitor state.
 	UnsoundSplitOverflow
+	// UnsoundWireLoss: events were lost between a switch-side exporter
+	// and the central collector — shed from the exporter's bounded send
+	// queue, unacknowledged at a disconnect, or dropped on the link
+	// itself. Detected as sequence-number gaps by the collector and as
+	// local queue accounting by the exporter.
+	UnsoundWireLoss
 )
 
 // String names the reason.
@@ -45,6 +51,8 @@ func (r UnsoundReason) String() string {
 		return "injected-loss"
 	case UnsoundSplitOverflow:
 		return "split-overflow"
+	case UnsoundWireLoss:
+		return "wire-loss"
 	default:
 		return "unknown"
 	}
@@ -87,6 +95,7 @@ type Ledger struct {
 	shed      uint64
 	loss      uint64
 	overflow  uint64
+	wire      uint64
 
 	// Telemetry handles (nil-safe no-ops when uninstrumented).
 	unsoundG *obs.Gauge
@@ -94,6 +103,7 @@ type Ledger struct {
 	quarC    *obs.Counter
 	lossC    *obs.Counter
 	ovflC    *obs.Counter
+	wireC    *obs.Counter
 }
 
 func newLedger() *Ledger {
@@ -102,6 +112,13 @@ func newLedger() *Ledger {
 		quarProps: map[string]bool{},
 	}
 }
+
+// NewLedger creates a standalone soundness ledger. Engines build their
+// own internally; the exported constructor exists for components that
+// track degradation without owning an engine — the switch-side exporter
+// records its wire losses here so a switchmon -export process can report
+// them exactly like in-process shedding.
+func NewLedger() *Ledger { return newLedger() }
 
 // instrument registers the ledger's series. Registration happens once at
 // engine construction; the mark paths then record through atomic handles.
@@ -119,6 +136,8 @@ func (l *Ledger) instrument(reg *obs.Registry, labels []obs.Label) {
 		"Feed events reported lost upstream of the monitor.", labels...)
 	l.ovflC = reg.Counter("switchmon_ledger_overflow_events_total",
 		"Events dropped by split-mode queue overflow.", labels...)
+	l.wireC = reg.Counter("switchmon_ledger_wire_loss_events_total",
+		"Events lost between exporter and collector (gaps, shed batches, unacked disconnects).", labels...)
 }
 
 // Mark records that prop became (or stays) unsound for reason. The first
@@ -155,9 +174,18 @@ func (l *Ledger) recordLost(reason UnsoundReason, n uint64) {
 	case UnsoundSplitOverflow:
 		l.overflow += n
 		l.ovflC.Add(n)
+	case UnsoundWireLoss:
+		l.wire += n
+		l.wireC.Add(n)
 	}
 	l.mu.Unlock()
 }
+
+// RecordLost adds n lost events to the reason's aggregate counter
+// without touching per-property marks — the exported half of the mark
+// protocol for components (the exporter) that attribute loss themselves
+// via Mark and still want the aggregate series to move.
+func (l *Ledger) RecordLost(reason UnsoundReason, n uint64) { l.recordLost(reason, n) }
 
 // Sound reports whether every installed property's verdicts are still
 // complete — no marks of any kind.

@@ -282,10 +282,17 @@ func (m *Monitor) SetStepProbe(fn func(prop int, seq uint64)) { m.stepProbe = fn
 // property is marked unsound, because any of them might have needed the
 // lost events. at is the stream time of the loss; detail is free text.
 func (m *Monitor) MarkFeedLoss(at time.Time, n uint64, detail string) {
+	m.MarkLoss(UnsoundInjectedLoss, at, n, detail)
+}
+
+// MarkLoss is MarkFeedLoss with an explicit reason — the collector uses
+// it to record sequence-number gaps as wire loss rather than injected
+// loss, keeping the two degradation paths distinguishable in /healthz.
+func (m *Monitor) MarkLoss(reason UnsoundReason, at time.Time, n uint64, detail string) {
 	for _, cp := range m.props {
-		m.ledger.Mark(cp.prop.Name, UnsoundInjectedLoss, m.seq, at, n, detail)
+		m.ledger.Mark(cp.prop.Name, reason, m.seq, at, n, detail)
 	}
-	m.ledger.recordLost(UnsoundInjectedLoss, n)
+	m.ledger.recordLost(reason, n)
 }
 
 // AddProperty compiles and installs a property.

@@ -711,15 +711,23 @@ func (sm *ShardedMonitor) Stats() Stats {
 	return agg
 }
 
-// / MarkFeedLoss records that n events were lost upstream of the router:
+// MarkFeedLoss records that n events were lost upstream of the router:
 // every installed property is marked unsound in the shared ledger.
 func (sm *ShardedMonitor) MarkFeedLoss(at time.Time, n uint64, detail string) {
+	sm.MarkLoss(UnsoundInjectedLoss, at, n, detail)
+}
+
+// MarkLoss is MarkFeedLoss with an explicit reason. The collector calls
+// it with UnsoundWireLoss when per-datapath sequence numbers reveal a
+// gap, so network-induced degradation stays distinguishable from
+// locally injected loss.
+func (sm *ShardedMonitor) MarkLoss(reason UnsoundReason, at time.Time, n uint64, detail string) {
 	sm.routerMu.Lock()
 	defer sm.routerMu.Unlock()
 	for _, name := range sm.names {
-		sm.ledger.Mark(name, UnsoundInjectedLoss, sm.submitted, at, n, detail)
+		sm.ledger.Mark(name, reason, sm.submitted, at, n, detail)
 	}
-	sm.ledger.recordLost(UnsoundInjectedLoss, n)
+	sm.ledger.recordLost(reason, n)
 }
 
 // ShardStats returns each shard's raw counters (after an implicit

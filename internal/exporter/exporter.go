@@ -1,0 +1,610 @@
+// Package exporter is the switch-side half of the distributed
+// monitoring fabric: it subscribes to a dataplane switch's event stream
+// (sw.Observe(exp.Publish)), assigns every observation a per-datapath
+// sequence number, batches by count and age, and ships wire.Batch
+// frames to the central collector (internal/collector) over TCP.
+//
+// The paper's deployment question — "how much monitoring belongs on the
+// switch?" — gets a concrete answer here: the switch keeps only a
+// sequencer and a bounded queue; the stateful property engine runs
+// wherever the collector does. What the fabric promises is that the
+// soundness story survives the move:
+//
+//   - Delivery is at-least-once. Batches are retained until the
+//     collector's cumulative Ack covers them; a reconnect replays the
+//     unacknowledged tail from the HelloAck resume point and the
+//     collector deduplicates by sequence number.
+//   - Loss is never silent. Every event the exporter sheds (bounded
+//     queue overflow under a ShedDrop* policy) or abandons (unacked at
+//     Close) is recorded in a local soundness ledger under reason
+//     wire-loss, and — because shed events consume sequence numbers
+//     that are then never sent — surfaces independently at the
+//     collector as a sequence gap, which marks the authoritative
+//     per-property ledger there. A gap at the tail of the stream, with
+//     no later batch to reveal it, is surfaced by an empty
+//     sequence-advance batch queued right behind the loss, so even the
+//     last event's disappearance is detectable. NoteLoss extends the
+//     same guarantee to
+//     loss upstream of the exporter: a fault.Injector wrapping Publish
+//     reports its drops via OnDrop → NoteLoss, so even "the link ate
+//     it" becomes a detectable gap rather than silently missing state
+//     transitions.
+//
+// The queue policy reuses core.ShedPolicy semantics: ShedBlock applies
+// backpressure to the dataplane (never loses events), ShedDropNewest
+// sheds the batch being enqueued, ShedDropOldest sheds the oldest
+// not-yet-sent batch. Already-sent batches awaiting ack are never shed
+// — they may be applied at the collector, and dropping them would turn
+// "unacknowledged" into "unaccountable".
+package exporter
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"switchmon/internal/core"
+	"switchmon/internal/obs"
+	"switchmon/internal/sim"
+	"switchmon/internal/wire"
+)
+
+// Config parameterizes an Exporter. The zero value of every field has a
+// usable default except Addr (required unless Dial is set).
+type Config struct {
+	// Addr is the collector's TCP address (host:port).
+	Addr string
+	// DPID is the datapath id announced in the Hello handshake. Events
+	// published with SwitchID zero are stamped with it.
+	DPID uint64
+	// BatchSize seals a batch when it reaches this many events
+	// (default 128).
+	BatchSize int
+	// MaxBatchAge seals a non-empty batch this long after its first
+	// event, bounding added detection latency (default 5ms).
+	MaxBatchAge time.Duration
+	// QueueBatches bounds the send queue, counting both unsent batches
+	// and sent batches awaiting ack (default 64).
+	QueueBatches int
+	// Shed is the queue-overflow policy (default core.ShedBlock).
+	Shed core.ShedPolicy
+	// BackoffMin and BackoffMax bound the jittered exponential reconnect
+	// backoff (defaults 10ms and 2s).
+	BackoffMin time.Duration
+	BackoffMax time.Duration
+	// DialTimeout bounds one connection attempt (default 1s).
+	DialTimeout time.Duration
+	// ConnWriteBuffer sizes the TCP connection's kernel send buffer in
+	// bytes (default 1 MiB, negative leaves the OS default), so a full
+	// send window released at once after an ack fits in the socket
+	// without blocking the sender mid-burst.
+	ConnWriteBuffer int
+	// Seed seeds the backoff jitter PRNG (deterministic, via sim.NewRand).
+	Seed int64
+	// Metrics, when non-nil, receives the exporter's series. All
+	// instruments are nil-safe, so a nil registry costs nothing.
+	Metrics *obs.Registry
+	// Dial overrides the transport, for tests and fault injection.
+	Dial func() (net.Conn, error)
+}
+
+func (cfg *Config) fillDefaults() {
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 128
+	}
+	if cfg.MaxBatchAge <= 0 {
+		cfg.MaxBatchAge = 5 * time.Millisecond
+	}
+	if cfg.QueueBatches <= 0 {
+		cfg.QueueBatches = 64
+	}
+	if cfg.BackoffMin <= 0 {
+		cfg.BackoffMin = 10 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 2 * time.Second
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = time.Second
+	}
+	if cfg.ConnWriteBuffer == 0 {
+		cfg.ConnWriteBuffer = 1 << 20
+	}
+	if cfg.Dial == nil {
+		addr := cfg.Addr
+		timeout := cfg.DialTimeout
+		cfg.Dial = func() (net.Conn, error) { return net.DialTimeout("tcp", addr, timeout) }
+	}
+}
+
+// Stats is a snapshot of the exporter's counters.
+type Stats struct {
+	// Published counts events accepted by Publish.
+	Published uint64
+	// LossNoted counts sequence numbers consumed by NoteLoss.
+	LossNoted uint64
+	// ShedEvents counts events lost to queue overflow.
+	ShedEvents uint64
+	// BatchesSent and BatchesAcked count wire batches (resends recount).
+	BatchesSent  uint64
+	BatchesAcked uint64
+	// BytesSent counts encoded frame bytes written.
+	BytesSent uint64
+	// Reconnects counts connections established after the first.
+	Reconnects uint64
+	// QueueDepth is the current number of queued batches (sent-unacked
+	// plus unsent).
+	QueueDepth int
+}
+
+// Exporter ships a switch's event stream to a collector. Publish and
+// NoteLoss are safe for one producer goroutine (the dataplane is
+// single-threaded); the sender runs on its own goroutines after Start.
+type Exporter struct {
+	cfg    Config
+	ledger *core.Ledger
+
+	mu           sync.Mutex
+	space        sync.Cond // queue has room (ShedBlock waiters)
+	pending      []core.Event
+	pendingFirst uint64
+	pendingBorn  time.Time
+	nextSeq      uint64
+	queue        []*wire.Batch
+	sentIdx      int // queue[:sentIdx] sent awaiting ack; rest unsent
+	conn         net.Conn
+	closed       bool
+	connected    uint64
+	stats        Stats
+
+	kick    chan struct{} // unsent work available
+	closeCh chan struct{}
+	done    chan struct{}
+	rng     *rand.Rand
+
+	eventsC     *obs.Counter
+	shedC       *obs.Counter
+	batchesC    *obs.Counter
+	bytesC      *obs.Counter
+	reconnectsC *obs.Counter
+	depthG      *obs.Gauge
+}
+
+// New builds an Exporter; Start launches it.
+func New(cfg Config) (*Exporter, error) {
+	if cfg.Addr == "" && cfg.Dial == nil {
+		return nil, fmt.Errorf("exporter: Config.Addr or Config.Dial required")
+	}
+	cfg.fillDefaults()
+	x := &Exporter{
+		cfg:     cfg,
+		ledger:  core.NewLedger(),
+		nextSeq: 1,
+		kick:    make(chan struct{}, 1),
+		closeCh: make(chan struct{}),
+		done:    make(chan struct{}),
+		rng:     sim.NewRand(cfg.Seed),
+	}
+	x.space.L = &x.mu
+	if reg := cfg.Metrics; reg != nil {
+		dp := obs.L("dpid", fmt.Sprintf("%d", cfg.DPID))
+		x.eventsC = reg.Counter("switchmon_exporter_events_total", "events accepted for export", dp)
+		x.shedC = reg.Counter("switchmon_exporter_shed_events_total", "events lost to send-queue overflow", dp)
+		x.batchesC = reg.Counter("switchmon_exporter_batches_sent_total", "wire batches written (resends recount)", dp)
+		x.bytesC = reg.Counter("switchmon_exporter_bytes_sent_total", "encoded frame bytes written", dp)
+		x.reconnectsC = reg.Counter("switchmon_exporter_reconnects_total", "connections established after the first", dp)
+		x.depthG = reg.Gauge("switchmon_exporter_queue_depth", "queued batches (sent-unacked plus unsent)", dp)
+	}
+	return x, nil
+}
+
+// Ledger exposes the exporter's local soundness ledger. All marks land
+// on the pseudo-property "*": the exporter does not know which
+// properties an event feeds — the collector's per-property ledger is
+// the authoritative account — but its own process can still report "I
+// lost n events since t" on exit and over /healthz.
+func (x *Exporter) Ledger() *core.Ledger { return x.ledger }
+
+// Start launches the sender and the age-based flusher.
+func (x *Exporter) Start() {
+	go x.senderLoop()
+	go x.flushLoop()
+}
+
+// Publish accepts one event, stamping SwitchID with the configured DPID
+// when unset. It blocks only under core.ShedBlock with a full queue —
+// deliberate backpressure; the shedding policies bound it. Events
+// arriving after Close are dropped silently (the switch is shutting
+// down).
+func (x *Exporter) Publish(e core.Event) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if x.closed {
+		return
+	}
+	if e.SwitchID == 0 {
+		e.SwitchID = x.cfg.DPID
+	}
+	if len(x.pending) == 0 {
+		x.pendingFirst = x.nextSeq
+		x.pendingBorn = time.Now()
+	}
+	x.nextSeq++
+	x.stats.Published++
+	x.eventsC.Inc()
+	x.pending = append(x.pending, e)
+	if len(x.pending) >= x.cfg.BatchSize {
+		x.sealLocked()
+	}
+}
+
+// NoteLoss records that n events were lost upstream of the exporter
+// (e.g. dropped by a fault.Injector wrapping Publish — wire its OnDrop
+// here). Each lost event consumes a sequence number without ever being
+// sent, so the collector sees a gap and marks its ledger; the local
+// ledger records the same loss for this process's own reporting.
+func (x *Exporter) NoteLoss(n uint64) {
+	if n == 0 {
+		return
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if x.closed {
+		return
+	}
+	x.sealLocked() // batches must stay sequence-contiguous
+	x.ledger.Mark("*", core.UnsoundWireLoss, x.nextSeq, time.Now(), n, "lost before export")
+	x.ledger.RecordLost(core.UnsoundWireLoss, n)
+	x.nextSeq += n
+	x.stats.LossNoted += n
+	x.advanceLocked(x.nextSeq)
+}
+
+// Flush seals the pending batch immediately, without waiting for
+// BatchSize or MaxBatchAge.
+func (x *Exporter) Flush() {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.sealLocked()
+}
+
+// sealLocked moves the pending events into the bounded queue, applying
+// the shed policy on overflow. Caller holds mu.
+func (x *Exporter) sealLocked() {
+	if len(x.pending) == 0 {
+		return
+	}
+	b := &wire.Batch{FirstSeq: x.pendingFirst, Events: x.pending}
+	x.pending = make([]core.Event, 0, x.cfg.BatchSize)
+	for len(x.queue) >= x.cfg.QueueBatches && !x.closed {
+		switch x.cfg.Shed {
+		case core.ShedDropNewest:
+			x.shedLocked(b, "send queue full, shed newest batch")
+			return
+		case core.ShedDropOldest:
+			// The victim must be unsent (dropping an in-flight batch would
+			// turn "unacknowledged" into "unaccountable") and non-empty
+			// (shedding an advance marker frees no room and loses gap info).
+			vi := -1
+			for i := x.sentIdx; i < len(x.queue); i++ {
+				if len(x.queue[i].Events) > 0 {
+					vi = i
+					break
+				}
+			}
+			if vi >= 0 {
+				victim := x.queue[vi]
+				x.queue = append(x.queue[:vi], x.queue[vi+1:]...)
+				x.shedLocked(victim, "send queue full, shed oldest unsent batch")
+			} else {
+				x.shedLocked(b, "send queue full of in-flight batches, shed newest")
+				return
+			}
+		default: // core.ShedBlock
+			x.space.Wait()
+		}
+	}
+	if x.closed && len(x.queue) >= x.cfg.QueueBatches {
+		x.shedLocked(b, "closing with full send queue")
+		return
+	}
+	x.queue = append(x.queue, b)
+	x.depthG.Set(int64(len(x.queue)))
+	select {
+	case x.kick <- struct{}{}:
+	default:
+	}
+}
+
+// shedLocked accounts one batch of lost events. The sequence numbers it
+// held are never sent, so the collector detects the gap — via the next
+// real batch, or via the advance marker queued here if nothing follows.
+func (x *Exporter) shedLocked(b *wire.Batch, detail string) {
+	n := uint64(len(b.Events))
+	x.stats.ShedEvents += n
+	x.shedC.Add(n)
+	x.ledger.Mark("*", core.UnsoundWireLoss, b.FirstSeq, time.Now(), n, detail)
+	x.ledger.RecordLost(core.UnsoundWireLoss, n)
+	x.advanceLocked(b.LastSeq() + 1)
+}
+
+// advanceLocked queues an empty sequence-advance batch telling the
+// collector "nothing below firstSeq is still coming", making losses at
+// the tail of the stream detectable (a gap is otherwise only visible
+// once a later batch arrives). Markers bypass the queue bound — they
+// carry no events and encode to a few bytes — and coalesce into an
+// unsent marker already at the tail, so they cannot accumulate while
+// disconnected. A marker whose FirstSeq trails later queued batches is
+// harmless: the collector ignores stale advances. Caller holds mu.
+func (x *Exporter) advanceLocked(firstSeq uint64) {
+	if n := len(x.queue); n > x.sentIdx {
+		if tail := x.queue[n-1]; len(tail.Events) == 0 {
+			if firstSeq > tail.FirstSeq {
+				tail.FirstSeq = firstSeq
+			}
+			return
+		}
+	}
+	x.queue = append(x.queue, &wire.Batch{FirstSeq: firstSeq})
+	x.depthG.Set(int64(len(x.queue)))
+	select {
+	case x.kick <- struct{}{}:
+	default:
+	}
+}
+
+// Stats snapshots the exporter's counters.
+func (x *Exporter) Stats() Stats {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	s := x.stats
+	s.QueueDepth = len(x.queue)
+	return s
+}
+
+// Close seals pending events, waits up to drainTimeout for the queue to
+// be acknowledged, then stops the sender. Events still unacknowledged
+// are recorded in the local ledger as wire-loss ("unacked at close") —
+// the collector may or may not have applied them; conservatively they
+// count as lost. Returns the number of events abandoned.
+func (x *Exporter) Close(drainTimeout time.Duration) uint64 {
+	x.mu.Lock()
+	x.closed = true // before sealing, so the seal can never block on a full queue
+	x.sealLocked()
+	x.space.Broadcast()
+	x.mu.Unlock()
+
+	deadline := time.Now().Add(drainTimeout)
+	for {
+		x.mu.Lock()
+		drained := len(x.queue) == 0
+		x.mu.Unlock()
+		if drained || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	close(x.closeCh)
+	x.mu.Lock()
+	if x.conn != nil {
+		x.conn.Close() // unblock reads/writes in the sender
+	}
+	var abandoned uint64
+	for _, b := range x.queue {
+		abandoned += uint64(len(b.Events))
+	}
+	if abandoned > 0 {
+		x.ledger.Mark("*", core.UnsoundWireLoss, x.queue[0].FirstSeq, time.Now(), abandoned, "unacked at close")
+		x.ledger.RecordLost(core.UnsoundWireLoss, abandoned)
+	}
+	x.queue = nil
+	x.sentIdx = 0
+	x.depthG.Set(0)
+	x.mu.Unlock()
+	<-x.done
+	return abandoned
+}
+
+// flushLoop seals pending batches that exceed MaxBatchAge.
+func (x *Exporter) flushLoop() {
+	interval := x.cfg.MaxBatchAge / 4
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-x.closeCh:
+			return
+		case <-t.C:
+			x.mu.Lock()
+			if len(x.pending) > 0 && time.Since(x.pendingBorn) >= x.cfg.MaxBatchAge {
+				x.sealLocked()
+			}
+			x.mu.Unlock()
+		}
+	}
+}
+
+// senderLoop owns the connection: dial with jittered exponential
+// backoff, handshake, replay the unacknowledged tail, then stream new
+// batches while a reader goroutine applies cumulative acks.
+func (x *Exporter) senderLoop() {
+	defer close(x.done)
+	backoff := x.cfg.BackoffMin
+	var encBuf []byte
+	for {
+		select {
+		case <-x.closeCh:
+			return
+		default:
+		}
+		conn, err := x.cfg.Dial()
+		if err != nil {
+			if !x.sleepBackoff(&backoff) {
+				return
+			}
+			continue
+		}
+		if !x.runConn(conn, &encBuf) {
+			return
+		}
+		if !x.sleepBackoff(&backoff) {
+			return
+		}
+	}
+}
+
+// sleepBackoff sleeps the current jittered backoff, doubling it for next
+// time. Returns false when the exporter is closing.
+func (x *Exporter) sleepBackoff(backoff *time.Duration) bool {
+	x.mu.Lock()
+	d := *backoff + time.Duration(x.rng.Int63n(int64(*backoff)))
+	x.mu.Unlock()
+	*backoff *= 2
+	if *backoff > x.cfg.BackoffMax {
+		*backoff = x.cfg.BackoffMax
+	}
+	select {
+	case <-x.closeCh:
+		return false
+	case <-time.After(d):
+		return true
+	}
+}
+
+// runConn drives one connection to completion. Returns false when the
+// exporter is closing (stop reconnecting).
+func (x *Exporter) runConn(conn net.Conn, encBuf *[]byte) bool {
+	defer conn.Close()
+	if tc, ok := conn.(*net.TCPConn); ok && x.cfg.ConnWriteBuffer > 0 {
+		_ = tc.SetWriteBuffer(x.cfg.ConnWriteBuffer)
+	}
+
+	x.mu.Lock()
+	if x.closed && len(x.queue) == 0 {
+		x.mu.Unlock()
+		return false
+	}
+	x.conn = conn
+	first := x.connected == 0
+	x.connected++
+	// The resume point is the oldest sequence number this exporter can
+	// still deliver: the queue head, else unsealed pending events, else
+	// the next unassigned sequence number.
+	nextSeq := x.nextSeq
+	if len(x.pending) > 0 {
+		nextSeq = x.pendingFirst
+	}
+	if len(x.queue) > 0 {
+		nextSeq = x.queue[0].FirstSeq
+	}
+	x.mu.Unlock()
+	if !first {
+		x.mu.Lock()
+		x.stats.Reconnects++
+		x.mu.Unlock()
+		x.reconnectsC.Inc()
+	}
+
+	if _, err := conn.Write(wire.AppendHello(nil, wire.Hello{DPID: x.cfg.DPID, NextSeq: nextSeq})); err != nil {
+		return true
+	}
+	r := wire.NewReader(conn)
+	f, err := r.Next()
+	if err != nil {
+		return true
+	}
+	ha, ok := f.(wire.HelloAck)
+	if !ok {
+		return true
+	}
+	x.applyAck(ha.AckSeq)
+	x.mu.Lock()
+	x.sentIdx = 0 // everything still queued needs (re)sending on this conn
+	x.mu.Unlock()
+
+	// Reader goroutine: applies cumulative acks until the connection dies.
+	connDead := make(chan struct{})
+	go func() {
+		defer close(connDead)
+		for {
+			f, err := r.Next()
+			if err != nil {
+				return
+			}
+			if a, ok := f.(wire.Ack); ok {
+				x.applyAck(a.AckSeq)
+			}
+		}
+	}()
+
+	for {
+		x.mu.Lock()
+		var b *wire.Batch
+		if x.sentIdx < len(x.queue) {
+			b = x.queue[x.sentIdx]
+			x.sentIdx++
+		}
+		x.mu.Unlock()
+		if b == nil {
+			select {
+			case <-x.closeCh:
+				conn.Close()
+				<-connDead
+				return false
+			case <-connDead:
+				return true
+			case <-x.kick:
+				continue
+			}
+		}
+		enc, err := wire.AppendBatch((*encBuf)[:0], b)
+		if err != nil {
+			// An unencodable batch can never be delivered; shed it so the
+			// stream can make progress past the gap it leaves.
+			x.mu.Lock()
+			for i, q := range x.queue {
+				if q == b {
+					x.queue = append(x.queue[:i], x.queue[i+1:]...)
+					x.sentIdx--
+					break
+				}
+			}
+			x.shedLocked(b, fmt.Sprintf("unencodable batch: %v", err))
+			x.mu.Unlock()
+			continue
+		}
+		*encBuf = enc
+		if _, err := conn.Write(enc); err != nil {
+			<-connDead
+			return true
+		}
+		x.mu.Lock()
+		x.stats.BatchesSent++
+		x.stats.BytesSent += uint64(len(enc))
+		x.mu.Unlock()
+		x.batchesC.Inc()
+		x.bytesC.Add(uint64(len(enc)))
+	}
+}
+
+// applyAck pops acknowledged batches off the queue head and wakes
+// ShedBlock waiters.
+func (x *Exporter) applyAck(ackSeq uint64) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	for len(x.queue) > 0 && x.queue[0].LastSeq() <= ackSeq {
+		x.queue = x.queue[1:]
+		if x.sentIdx > 0 {
+			x.sentIdx--
+		}
+		x.stats.BatchesAcked++
+	}
+	x.depthG.Set(int64(len(x.queue)))
+	x.space.Broadcast()
+}

@@ -4,11 +4,15 @@ import (
 	"bytes"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
+	"sync"
 	"testing"
 	"time"
 
+	"switchmon/internal/collector"
 	"switchmon/internal/core"
+	"switchmon/internal/exporter"
 	"switchmon/internal/property"
 	"switchmon/internal/sim"
 	"switchmon/internal/trace"
@@ -22,7 +26,7 @@ import (
 // FAULT_MATRIX_SEED; with the variables unset (a local `go test`) every
 // cell runs in-process.
 func TestFaultMatrix(t *testing.T) {
-	modes := []string{"panic-shard", "drop"}
+	modes := []string{"panic-shard", "drop", "wire-drop", "wire-delay"}
 	seeds := []int64{1, 2, 3}
 	if m := os.Getenv("FAULT_MATRIX_MODE"); m != "" {
 		modes = []string{m}
@@ -42,6 +46,10 @@ func TestFaultMatrix(t *testing.T) {
 					matrixPanicShard(t, seed)
 				case "drop":
 					matrixDrop(t, seed)
+				case "wire-drop":
+					matrixWireDrop(t, seed)
+				case "wire-delay":
+					matrixWireDelay(t, seed)
 				default:
 					t.Fatalf("unknown FAULT_MATRIX_MODE %q", mode)
 				}
@@ -109,4 +117,132 @@ func matrixDrop(t *testing.T, seed int64) {
 	if !bytes.Contains(a, []byte("injected-loss")) {
 		t.Fatalf("ledger did not record the injected loss:\n%s", a)
 	}
+}
+
+// matrixWireDrop runs the same workload through the full distributed
+// fabric (exporter → TCP → collector → sharded engine) with the fault
+// on the exporter link: every drop is reported via NoteLoss, becomes a
+// sequence gap, and must be accounted exactly — collector gap events
+// equal to injected drops — while the verdict set stays deterministic.
+func matrixWireDrop(t *testing.T, seed int64) {
+	spec, err := ParseSpec(fmt.Sprintf("drop=0.05,seed=%d", seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := wireOutcome(t, spec)
+	b := wireOutcome(t, spec)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("wire drop=0.05 seed=%d: two runs diverged:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", seed, a, b)
+	}
+	if !bytes.Contains(a, []byte("wire-loss")) {
+		t.Fatalf("ledger did not record the wire loss:\n%s", a)
+	}
+}
+
+// matrixWireDelay jitters event timestamps (the injector's offline path;
+// delay cannot be applied online) before export. Delay perturbs when
+// things happen, not whether they arrive, so the fabric must deliver
+// everything — a sound ledger and zero gaps — and stay deterministic.
+func matrixWireDelay(t *testing.T, seed int64) {
+	spec, err := ParseSpec(fmt.Sprintf("delay=5ms,seed=%d", seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := wireOutcome(t, spec)
+	b := wireOutcome(t, spec)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("wire delay=5ms seed=%d: two runs diverged:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", seed, a, b)
+	}
+	if bytes.Contains(a, []byte("wire-loss")) {
+		t.Fatalf("delay-only fault lost events:\n%s", a)
+	}
+}
+
+// wireOutcome runs fwEvents through exporter → TCP → collector → sharded
+// engine under the spec's feed fault and renders everything observable
+// (sorted verdicts, soundness marks, loss accounting) as bytes for the
+// determinism comparison. Delay/reorder specs use the offline Apply path
+// upstream of the exporter; drop/dup wrap its Publish online.
+func wireOutcome(t *testing.T, spec Spec) []byte {
+	t.Helper()
+	var mu sync.Mutex
+	var viols []string
+	sm := core.NewShardedMonitor(2, core.Config{OnViolation: func(v *core.Violation) {
+		mu.Lock()
+		viols = append(viols, fmt.Sprintf("%s %s %s", v.Time.Format(time.RFC3339Nano), v.Property, v.Trigger))
+		mu.Unlock()
+	}})
+	defer sm.Close()
+	if err := sm.AddProperty(property.CatalogByName(property.DefaultParams(), "firewall-basic")); err != nil {
+		t.Fatal(err)
+	}
+	col, err := collector.New(collector.Config{Addr: "127.0.0.1:0"}, sm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col.Serve()
+	defer col.Close()
+	x, err := exporter.New(exporter.Config{Addr: col.Addr().String(), DPID: 1, BatchSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x.Start()
+
+	in := NewInjector(spec)
+	evs := fwEvents()
+	if spec.NeedsBuffer() {
+		evs = in.Apply(evs)
+		for _, e := range evs {
+			x.Publish(e)
+		}
+	} else {
+		in.OnDrop = func(core.Event) { x.NoteLoss(1) }
+		publish := in.Wrap(x.Publish)
+		for _, e := range evs {
+			publish(e)
+		}
+		if in.Stats().Dropped == 0 {
+			t.Fatal("injector dropped nothing; the cell no longer exercises wire loss")
+		}
+	}
+	x.Flush()
+	if abandoned := x.Close(5 * time.Second); abandoned != 0 {
+		t.Fatalf("exporter abandoned %d events", abandoned)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for col.Stats().Events < x.Stats().Published {
+		if time.Now().After(deadline) {
+			t.Fatalf("collector applied %d of %d events", col.Stats().Events, x.Stats().Published)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	sm.AdvanceTo(sim.Epoch.Add(time.Hour))
+	sm.Barrier()
+
+	// The gap-accounting contract: every injected drop, including at the
+	// tail of the stream, is visible to the collector as a gap event.
+	if gaps := col.Stats().GapEvents; gaps != in.Stats().Dropped {
+		t.Fatalf("collector gap events = %d, injector dropped = %d", gaps, in.Stats().Dropped)
+	}
+	if err := sm.SelfCheck(); err != nil {
+		t.Fatalf("post-run invariants: %v", err)
+	}
+
+	var buf bytes.Buffer
+	st := in.Stats()
+	fmt.Fprintf(&buf, "injected: dropped=%d delayed=%d\n", st.Dropped, st.Delayed)
+	mu.Lock()
+	sort.Strings(viols)
+	for _, v := range viols {
+		fmt.Fprintln(&buf, v)
+	}
+	mu.Unlock()
+	for _, m := range sm.Ledger().Snapshot() {
+		// Times and sequence points vary with wall-clock batching; the
+		// attribution and the loss count must not.
+		fmt.Fprintf(&buf, "mark: %s %s events=%d\n", m.Property, m.Reason, m.Events)
+	}
+	cs := col.Stats()
+	fmt.Fprintf(&buf, "collector: events=%d gaps=%d deduped=%d\n", cs.Events, cs.GapEvents, cs.Deduped)
+	return buf.Bytes()
 }

@@ -1,0 +1,94 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// appendCorpus builds one packet per codec family, the same shapes the
+// fuzz seeds use.
+func appendCorpus() []*Packet {
+	macS := MustMAC("02:00:00:00:00:0a")
+	macD := MustMAC("02:00:00:00:00:0b")
+	ipS := MustIPv4("10.0.0.1")
+	ipD := MustIPv4("203.0.113.9")
+	return []*Packet{
+		NewTCP(macS, macD, ipS, ipD, 40000, 80, FlagSYN|FlagACK, []byte("payload")),
+		NewUDP(macS, macD, ipS, ipD, 40000, 53, []byte{1, 2, 3}),
+		NewICMPEcho(macS, macD, ipS, ipD, 7, 1, false),
+		NewARPRequest(macS, ipS, ipD),
+		NewARPReply(macS, ipS, macD, ipD),
+		NewDHCP(macS, macD, MustIPv4("0.0.0.0"), MustIPv4("255.255.255.255"), &DHCPv4{
+			Op: DHCPBootRequest, Xid: 42, MsgType: DHCPDiscover, ClientMAC: macS,
+			RequestedIP: MustIPv4("10.0.0.50"), LeaseSecs: 3600,
+		}),
+		NewDNSQuery(macS, macD, ipS, ipD, 40000, 99, "example.com"),
+		NewDNSResponse(macD, macS, ipD, ipS, 40000, 99, "example.com", MustIPv4("93.184.216.34")),
+		NewFTPCommand(macS, macD, ipS, ipD, 40000, "PORT", "10,0,0,1,156,64"),
+	}
+}
+
+// TestAppendEncodeRoundTrips checks that the append-style encoder
+// produces frames Decode accepts (checksums and lengths were patched
+// correctly) and that appending lands after existing buffer content.
+func TestAppendEncodeRoundTrips(t *testing.T) {
+	for _, p := range appendCorpus() {
+		prefix := []byte{0xde, 0xad}
+		b, err := p.AppendEncode(append([]byte(nil), prefix...))
+		if err != nil {
+			t.Fatalf("%s: %v", p.Summary(), err)
+		}
+		if !bytes.HasPrefix(b, prefix) {
+			t.Fatalf("%s: AppendEncode clobbered existing buffer content", p.Summary())
+		}
+		frame := b[len(prefix):]
+		q, err := Decode(frame)
+		if err != nil {
+			t.Fatalf("%s: decode of appended frame failed: %v", p.Summary(), err)
+		}
+		direct, err := p.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(frame, direct) {
+			t.Fatalf("%s: AppendEncode and Encode disagree\nappend: %x\ndirect: %x", p.Summary(), frame, direct)
+		}
+		re, err := q.Encode()
+		if err != nil {
+			t.Fatalf("%s: re-encode: %v", p.Summary(), err)
+		}
+		if !bytes.Equal(frame, re) {
+			t.Fatalf("%s: decode/re-encode not a fixed point", p.Summary())
+		}
+	}
+}
+
+// TestAppendEncodeZeroAlloc gates the wire exporter's hot path: once the
+// destination buffer has capacity, serializing a frame-level packet
+// (no string-bearing L7 layer) must not allocate.
+func TestAppendEncodeZeroAlloc(t *testing.T) {
+	macS := MustMAC("02:00:00:00:00:0a")
+	macD := MustMAC("02:00:00:00:00:0b")
+	ipS := MustIPv4("10.0.0.1")
+	ipD := MustIPv4("203.0.113.9")
+	pkts := []*Packet{
+		NewTCP(macS, macD, ipS, ipD, 40000, 80, FlagSYN, []byte("0123456789abcdef")),
+		NewUDP(macS, macD, ipS, ipD, 40000, 5000, []byte{9, 9, 9}),
+		NewICMPEcho(macS, macD, ipS, ipD, 7, 1, false),
+		NewARPRequest(macS, ipS, ipD),
+	}
+	buf := make([]byte, 0, 4096)
+	for _, p := range pkts {
+		p := p
+		allocs := testing.AllocsPerRun(100, func() {
+			var err error
+			buf, err = p.AppendEncode(buf[:0])
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%s: AppendEncode allocates %.1f/op, want 0", p.Summary(), allocs)
+		}
+	}
+}

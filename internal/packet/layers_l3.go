@@ -63,6 +63,15 @@ func (h *IPv4Header) encodeTo(b []byte, payloadLen int) []byte {
 	return b
 }
 
+// patchIPv4 rewrites an already-appended header's total length for the
+// actual payload size and recomputes the header checksum in place. hdr
+// is the 20-byte header region within the frame buffer.
+func patchIPv4(hdr []byte, payloadLen int) {
+	binary.BigEndian.PutUint16(hdr[2:4], uint16(ipv4HeaderLen+payloadLen))
+	hdr[10], hdr[11] = 0, 0
+	binary.BigEndian.PutUint16(hdr[10:12], internetChecksum(hdr[:ipv4HeaderLen], 0))
+}
+
 func decodeIPv4(data []byte) (*IPv4Header, []byte, error) {
 	if len(data) < ipv4HeaderLen {
 		return nil, nil, fmt.Errorf("packet: IPv4 header too short (%d bytes)", len(data))

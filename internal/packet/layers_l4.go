@@ -60,8 +60,9 @@ type TCP struct {
 
 const tcpHeaderLen = 20
 
-func (t *TCP) encodeTo(b []byte, src, dst IPv4) []byte {
-	start := len(b)
+// appendHeader appends the 20-byte TCP header with a zero checksum; the
+// caller appends the payload and then patches via patchTCPChecksum.
+func (t *TCP) appendHeader(b []byte) []byte {
 	b = binary.BigEndian.AppendUint16(b, t.SrcPort)
 	b = binary.BigEndian.AppendUint16(b, t.DstPort)
 	b = binary.BigEndian.AppendUint32(b, t.Seq)
@@ -70,11 +71,14 @@ func (t *TCP) encodeTo(b []byte, src, dst IPv4) []byte {
 	b = binary.BigEndian.AppendUint16(b, t.Window)
 	b = append(b, 0, 0) // checksum placeholder
 	b = binary.BigEndian.AppendUint16(b, t.Urgent)
-	b = append(b, t.Payload...)
-	seg := b[start:]
-	sum := internetChecksum(seg, pseudoHeaderSum(src, dst, ProtoTCP, len(seg)))
-	binary.BigEndian.PutUint16(b[start+16:start+18], sum)
 	return b
+}
+
+// patchTCPChecksum computes the segment checksum over seg (header plus
+// payload, checksum field zero) and writes it in place.
+func patchTCPChecksum(seg []byte, src, dst IPv4) {
+	sum := internetChecksum(seg, pseudoHeaderSum(src, dst, ProtoTCP, len(seg)))
+	binary.BigEndian.PutUint16(seg[16:18], sum)
 }
 
 func decodeTCP(data []byte, src, dst IPv4) (*TCP, error) {
@@ -112,21 +116,25 @@ type UDP struct {
 
 const udpHeaderLen = 8
 
-func (u *UDP) encodeTo(b []byte, src, dst IPv4) []byte {
-	start := len(b)
-	length := udpHeaderLen + len(u.Payload)
+// appendHeader appends the 8-byte UDP header with zero length and
+// checksum; the caller appends the payload and then patches via patchUDP.
+func (u *UDP) appendHeader(b []byte) []byte {
 	b = binary.BigEndian.AppendUint16(b, u.SrcPort)
 	b = binary.BigEndian.AppendUint16(b, u.DstPort)
-	b = binary.BigEndian.AppendUint16(b, uint16(length))
+	b = append(b, 0, 0) // length patched once the payload has landed
 	b = append(b, 0, 0) // checksum placeholder
-	b = append(b, u.Payload...)
-	dg := b[start:]
+	return b
+}
+
+// patchUDP writes the datagram length and checksum into dg (header plus
+// payload, both fields zero).
+func patchUDP(dg []byte, src, dst IPv4) {
+	binary.BigEndian.PutUint16(dg[4:6], uint16(len(dg)))
 	sum := internetChecksum(dg, pseudoHeaderSum(src, dst, ProtoUDP, len(dg)))
 	if sum == 0 {
 		sum = 0xffff // RFC 768: transmitted zero means "no checksum"
 	}
-	binary.BigEndian.PutUint16(b[start+6:start+8], sum)
-	return b
+	binary.BigEndian.PutUint16(dg[6:8], sum)
 }
 
 func decodeUDP(data []byte, src, dst IPv4) (*UDP, error) {

@@ -113,71 +113,86 @@ func (p *Packet) decodeApp(src, dst uint16, payload []byte) {
 }
 
 // Encode serializes the packet to wire format, computing lengths and
-// checksums. The L7 layer (or raw Payload) is serialized first and becomes
-// the transport payload.
+// checksums. The L7 layer (or raw Payload) is serialized last, directly
+// into the frame, and the enclosing headers are patched afterwards.
 func (p *Packet) Encode() ([]byte, error) {
+	return p.AppendEncode(make([]byte, 0, 128))
+}
+
+// AppendEncode is Encode appending to b: every layer serializes directly
+// into the destination buffer (inner lengths and checksums are patched
+// in place after the payload lands), so encoding performs no heap
+// allocation once b has capacity. The wire exporter's hot path leans on
+// this — one reusable buffer per connection, zero garbage per event.
+func (p *Packet) AppendEncode(b []byte) ([]byte, error) {
 	if p.Eth == nil {
 		return nil, fmt.Errorf("packet: cannot encode without an Ethernet layer")
 	}
-	b := make([]byte, 0, 128)
 	b = p.Eth.encodeTo(b)
 	switch {
 	case p.ARP != nil:
 		return p.ARP.encodeTo(b), nil
 	case p.IPv4 != nil:
-		payload, err := p.encodeTransport()
+		ipStart := len(b)
+		b = p.IPv4.encodeTo(b, 0) // total length and checksum patched below
+		payloadStart := len(b)
+		var err error
+		b, err = p.appendTransport(b)
 		if err != nil {
 			return nil, err
 		}
-		b = p.IPv4.encodeTo(b, len(payload))
-		return append(b, payload...), nil
+		patchIPv4(b[ipStart:payloadStart], len(b)-payloadStart)
+		return b, nil
 	default:
 		return append(b, p.Payload...), nil
 	}
 }
 
-func (p *Packet) encodeTransport() ([]byte, error) {
-	app := p.appPayload()
+// appendTransport appends the L4 segment — header, then the L7 payload
+// rendered inline — and patches the transport checksum (and, for UDP,
+// the length) over the appended region.
+func (p *Packet) appendTransport(b []byte) ([]byte, error) {
 	switch p.IPv4.Protocol {
 	case ProtoICMP:
 		if p.ICMP == nil {
 			return nil, fmt.Errorf("packet: IPv4 protocol ICMP but no ICMP layer")
 		}
-		return p.ICMP.encodeTo(nil), nil
+		return p.ICMP.encodeTo(b), nil
 	case ProtoTCP:
 		if p.TCP == nil {
 			return nil, fmt.Errorf("packet: IPv4 protocol TCP but no TCP layer")
 		}
-		t := *p.TCP
-		if app != nil {
-			t.Payload = app
-		}
-		return t.encodeTo(nil, p.IPv4.Src, p.IPv4.Dst), nil
+		start := len(b)
+		b = p.TCP.appendHeader(b)
+		b = p.appendAppPayload(b, p.TCP.Payload)
+		patchTCPChecksum(b[start:], p.IPv4.Src, p.IPv4.Dst)
+		return b, nil
 	case ProtoUDP:
 		if p.UDP == nil {
 			return nil, fmt.Errorf("packet: IPv4 protocol UDP but no UDP layer")
 		}
-		u := *p.UDP
-		if app != nil {
-			u.Payload = app
-		}
-		return u.encodeTo(nil, p.IPv4.Src, p.IPv4.Dst), nil
+		start := len(b)
+		b = p.UDP.appendHeader(b)
+		b = p.appendAppPayload(b, p.UDP.Payload)
+		patchUDP(b[start:], p.IPv4.Src, p.IPv4.Dst)
+		return b, nil
 	default:
-		return p.Payload, nil
+		return append(b, p.Payload...), nil
 	}
 }
 
-// appPayload renders the L7 layer, if any, to bytes.
-func (p *Packet) appPayload() []byte {
+// appendAppPayload appends the L7 layer's serialization when a decoded
+// L7 layer is present, or the transport's raw payload bytes otherwise.
+func (p *Packet) appendAppPayload(b, raw []byte) []byte {
 	switch {
 	case p.DHCP != nil:
-		return p.DHCP.encodeTo(nil)
+		return p.DHCP.encodeTo(b)
 	case p.DNS != nil:
-		return p.DNS.encodeTo(nil)
+		return p.DNS.encodeTo(b)
 	case p.FTP != nil:
-		return p.FTP.encodeTo(nil)
+		return p.FTP.encodeTo(b)
 	default:
-		return nil
+		return append(b, raw...)
 	}
 }
 

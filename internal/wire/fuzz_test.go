@@ -1,0 +1,81 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"switchmon/internal/core"
+	"switchmon/internal/packet"
+)
+
+// FuzzWireRoundTrip is the codec's canonicality contract, the same
+// fixed-point shape as the packet codec's FuzzCodecRoundTrip: any input
+// DecodeFrame accepts must re-encode to bytes that decode to the same
+// frame and re-encode identically. Non-minimal varints in a fuzzed
+// input normalize at the first re-encode; from then on the bytes are a
+// fixed point. This is what lets the collector deduplicate replayed
+// batches and the ledger trust sequence arithmetic: there is exactly
+// one wire form per frame.
+func FuzzWireRoundTrip(f *testing.F) {
+	seed := func(frame any) []byte {
+		enc, err := EncodeFrame(frame)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return enc
+	}
+	macS := packet.MustMAC("02:00:00:00:00:0a")
+	macD := packet.MustMAC("02:00:00:00:00:0b")
+	ipS := packet.MustIPv4("10.0.0.1")
+	ipD := packet.MustIPv4("10.0.0.2")
+	tcp := packet.NewTCP(macS, macD, ipS, ipD, 40000, 80, packet.FlagSYN, []byte("hi"))
+	udp := packet.NewUDP(macS, macD, ipS, ipD, 40000, 53, []byte{1, 2})
+	base := time.Unix(1700000000, 0)
+
+	f.Add(seed(Hello{DPID: 1, NextSeq: 1}))
+	f.Add(seed(Hello{DPID: 1<<64 - 1, NextSeq: 1 << 40}))
+	f.Add(seed(HelloAck{AckSeq: 0}))
+	f.Add(seed(Ack{AckSeq: 123456}))
+	f.Add(seed(&Batch{FirstSeq: 1, Events: []core.Event{
+		{Kind: core.KindArrival, Time: base, SwitchID: 2, PacketID: 9, Packet: tcp, InPort: 1},
+		{Kind: core.KindEgress, Time: base.Add(time.Millisecond), SwitchID: 2, PacketID: 9, Packet: tcp, InPort: 1, OutPort: 3},
+	}}))
+	f.Add(seed(&Batch{FirstSeq: 7, Events: []core.Event{
+		{Kind: core.KindEgress, Time: base, SwitchID: 1, PacketID: 4, Packet: udp, InPort: 2, Dropped: true},
+		{Kind: core.KindEgress, Time: base, SwitchID: 1, PacketID: 5, Packet: udp, InPort: 2, OutPort: 6, Multicast: true},
+		{Kind: core.KindOutOfBand, Time: base, SwitchID: 1, OOBKind: packet.OOBLinkUp, OOBPort: 6},
+	}}))
+	// An empty batch is the sequence-advance marker exporters use to
+	// surface tail loss.
+	f.Add(seed(&Batch{FirstSeq: 99}))
+	// A metadata-only event (no packet) exercises the hasPacket=0 path.
+	f.Add(seed(&Batch{FirstSeq: 3, Events: []core.Event{
+		{Kind: core.KindArrival, Time: base, SwitchID: 5, PacketID: 11, InPort: 4},
+	}}))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		f1, n, err := DecodeFrame(data)
+		if err != nil {
+			return // invalid inputs are rejected, not round-tripped
+		}
+		e1, err := EncodeFrame(f1)
+		if err != nil {
+			t.Fatalf("re-encode of decoded frame failed: %v\ninput (%d consumed): %x", err, n, data)
+		}
+		f2, n2, err := DecodeFrame(e1)
+		if err != nil {
+			t.Fatalf("decode of re-encoded frame failed: %v\ne1: %x", err, e1)
+		}
+		if n2 != len(e1) {
+			t.Fatalf("re-encoded frame not fully consumed: %d of %d", n2, len(e1))
+		}
+		e2, err := EncodeFrame(f2)
+		if err != nil {
+			t.Fatalf("second re-encode failed: %v", err)
+		}
+		if !bytes.Equal(e1, e2) {
+			t.Fatalf("encoding not a fixed point\ne1: %x\ne2: %x", e1, e2)
+		}
+	})
+}

@@ -1,0 +1,566 @@
+// Package wire is the monitoring fabric's binary protocol: a versioned,
+// length-prefixed frame codec connecting switch-side exporters
+// (internal/exporter) to the central collector (internal/collector).
+// The paper's scalability story (Sec. 3.3) runs monitoring adjacent to
+// the switch and ships events to where the property state lives; this
+// package is the ship.
+//
+// A connection carries four frame types:
+//
+//	Hello     exporter → collector: protocol magic+version, the
+//	          exporter's datapath id, and the sequence number of the
+//	          next event it will send (its resume point).
+//	HelloAck  collector → exporter: the last event sequence number the
+//	          collector has applied for that datapath, so a reconnecting
+//	          exporter can drop already-delivered batches and replay
+//	          only the unacknowledged tail (the collector deduplicates
+//	          any overlap).
+//	Batch     exporter → collector: a run of sequence-contiguous events
+//	          starting at FirstSeq. Gaps between consecutive batches are
+//	          loss, and the collector marks them in the soundness
+//	          ledger; overlap is replay, and the collector skips it.
+//	Ack       collector → exporter: cumulative acknowledgment of the
+//	          highest contiguous event sequence applied.
+//
+// Every frame is a 4-byte big-endian payload length followed by the
+// payload, whose first byte is the frame type. Integers inside payloads
+// are varints, timestamps are zigzag-encoded UnixNano, and packets ride
+// as length-prefixed frames serialized by the packet codec. Encoding is
+// append-style and allocation-free once the destination buffer has
+// capacity (packets serialize via packet.AppendEncode); decoding is
+// strict — unknown frame types, unknown flag bits, truncated or
+// trailing bytes, and oversized frames are all errors, so a confused
+// peer fails fast instead of feeding garbage to the monitor.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+
+	"switchmon/internal/core"
+	"switchmon/internal/packet"
+)
+
+// Version is the protocol version carried in Hello/HelloAck frames. A
+// version mismatch is a handshake error: the fabric has no cross-version
+// compatibility story yet, and pretending otherwise would corrupt
+// monitor state silently.
+const Version uint16 = 1
+
+// helloMagic guards against pointing an exporter at a non-collector
+// port (or vice versa): the first four payload bytes of a Hello spell
+// "SWMF" (switch monitor fabric).
+const helloMagic uint32 = 0x53574d46
+
+// MaxFrameLen bounds a frame payload (16 MiB). A length prefix beyond
+// the bound is rejected before any allocation, so a garbage peer cannot
+// make the reader allocate unbounded memory.
+const MaxFrameLen = 1 << 24
+
+// MaxBatchEvents bounds the event count declared by a batch header,
+// again to cap what a hostile or corrupt declared count can allocate.
+const MaxBatchEvents = 1 << 17
+
+// FrameType discriminates frames on the wire.
+type FrameType uint8
+
+// Frame types.
+const (
+	// FrameHello opens a connection (exporter → collector).
+	FrameHello FrameType = iota + 1
+	// FrameHelloAck answers a Hello (collector → exporter).
+	FrameHelloAck
+	// FrameBatch carries sequence-contiguous events.
+	FrameBatch
+	// FrameAck acknowledges applied events cumulatively.
+	FrameAck
+)
+
+// String names the frame type.
+func (t FrameType) String() string {
+	switch t {
+	case FrameHello:
+		return "hello"
+	case FrameHelloAck:
+		return "hello-ack"
+	case FrameBatch:
+		return "batch"
+	case FrameAck:
+		return "ack"
+	default:
+		return fmt.Sprintf("FrameType(%d)", uint8(t))
+	}
+}
+
+// Hello is the exporter's opening frame.
+type Hello struct {
+	// DPID is the datapath id of the switch this exporter speaks for.
+	DPID uint64
+	// NextSeq is the sequence number of the first event the exporter
+	// will send on this connection (1 for a fresh exporter; the head of
+	// its retained queue after a reconnect).
+	NextSeq uint64
+}
+
+// HelloAck is the collector's handshake answer.
+type HelloAck struct {
+	// AckSeq is the highest contiguous event sequence the collector has
+	// applied for the datapath (0 when it has seen nothing), the
+	// exporter's replay trim point.
+	AckSeq uint64
+}
+
+// Ack is the collector's cumulative acknowledgment.
+type Ack struct {
+	// AckSeq is the highest contiguous event sequence applied.
+	AckSeq uint64
+}
+
+// Batch is a run of events with consecutive sequence numbers: event i
+// carries sequence FirstSeq+i. An empty batch is a sequence-advance
+// marker: "I will never send anything below FirstSeq" — how an exporter
+// makes a loss at the tail of its stream (shed or NoteLoss with nothing
+// following) detectable, since a gap is otherwise only visible once a
+// later batch arrives.
+type Batch struct {
+	FirstSeq uint64
+	Events   []core.Event
+}
+
+// LastSeq is the sequence number of the batch's final event. For an
+// empty (sequence-advance) batch it is FirstSeq-1 — the arithmetic that
+// makes a marker retire from the retransmit queue as soon as the
+// collector's cumulative ack reaches the seq before the gap.
+func (b *Batch) LastSeq() uint64 { return b.FirstSeq + uint64(len(b.Events)) - 1 }
+
+// Event flag bits.
+const (
+	flagDropped   = 1 << 0
+	flagMulticast = 1 << 1
+	flagHasPacket = 1 << 2
+	flagsKnown    = flagDropped | flagMulticast | flagHasPacket
+)
+
+// beginFrame reserves the 4-byte length prefix and appends the type
+// byte, returning the offset endFrame patches.
+func beginFrame(buf []byte, t FrameType) ([]byte, int) {
+	lenAt := len(buf)
+	buf = append(buf, 0, 0, 0, 0, byte(t))
+	return buf, lenAt
+}
+
+// endFrame patches the length prefix reserved by beginFrame.
+func endFrame(buf []byte, lenAt int) ([]byte, error) {
+	n := len(buf) - lenAt - 4
+	if n > MaxFrameLen {
+		return nil, fmt.Errorf("wire: frame payload %d exceeds MaxFrameLen %d", n, MaxFrameLen)
+	}
+	binary.BigEndian.PutUint32(buf[lenAt:lenAt+4], uint32(n))
+	return buf, nil
+}
+
+// AppendHello appends an encoded Hello frame to buf.
+func AppendHello(buf []byte, h Hello) []byte {
+	buf, lenAt := beginFrame(buf, FrameHello)
+	buf = binary.BigEndian.AppendUint32(buf, helloMagic)
+	buf = binary.BigEndian.AppendUint16(buf, Version)
+	buf = binary.AppendUvarint(buf, h.DPID)
+	buf = binary.AppendUvarint(buf, h.NextSeq)
+	buf, _ = endFrame(buf, lenAt) // fixed-size payload, cannot overflow
+	return buf
+}
+
+// AppendHelloAck appends an encoded HelloAck frame to buf.
+func AppendHelloAck(buf []byte, a HelloAck) []byte {
+	buf, lenAt := beginFrame(buf, FrameHelloAck)
+	buf = binary.BigEndian.AppendUint16(buf, Version)
+	buf = binary.AppendUvarint(buf, a.AckSeq)
+	buf, _ = endFrame(buf, lenAt)
+	return buf
+}
+
+// AppendAck appends an encoded Ack frame to buf.
+func AppendAck(buf []byte, a Ack) []byte {
+	buf, lenAt := beginFrame(buf, FrameAck)
+	buf = binary.AppendUvarint(buf, a.AckSeq)
+	buf, _ = endFrame(buf, lenAt)
+	return buf
+}
+
+// AppendBatch appends an encoded Batch frame to buf. Events serialize
+// in order; the only error source is a packet that cannot encode (or a
+// frame overflowing MaxFrameLen), in which case buf's original content
+// is still valid but the returned slice must be discarded.
+func AppendBatch(buf []byte, b *Batch) ([]byte, error) {
+	if len(b.Events) > MaxBatchEvents {
+		return nil, fmt.Errorf("wire: batch of %d events exceeds MaxBatchEvents %d", len(b.Events), MaxBatchEvents)
+	}
+	buf, lenAt := beginFrame(buf, FrameBatch)
+	buf = binary.AppendUvarint(buf, b.FirstSeq)
+	buf = binary.AppendUvarint(buf, uint64(len(b.Events)))
+	var err error
+	for i := range b.Events {
+		buf, err = appendEvent(buf, &b.Events[i])
+		if err != nil {
+			return nil, err
+		}
+	}
+	return endFrame(buf, lenAt)
+}
+
+// appendEvent appends one event's encoding.
+func appendEvent(buf []byte, e *core.Event) ([]byte, error) {
+	buf = append(buf, byte(e.Kind))
+	var flags byte
+	if e.Dropped {
+		flags |= flagDropped
+	}
+	if e.Multicast {
+		flags |= flagMulticast
+	}
+	if e.Packet != nil {
+		flags |= flagHasPacket
+	}
+	buf = append(buf, flags)
+	buf = binary.AppendVarint(buf, e.Time.UnixNano())
+	buf = binary.AppendUvarint(buf, e.SwitchID)
+	buf = binary.AppendUvarint(buf, uint64(e.PacketID))
+	buf = binary.AppendUvarint(buf, e.InPort)
+	buf = binary.AppendUvarint(buf, e.OutPort)
+	buf = binary.AppendUvarint(buf, uint64(e.OOBKind))
+	buf = binary.AppendUvarint(buf, e.OOBPort)
+	if e.Packet == nil {
+		return buf, nil
+	}
+	// Length-prefix the packet: reserve a fixed-width 4-byte length so
+	// the packet can serialize straight into buf and the prefix be
+	// patched afterwards (a varint prefix would need the length first,
+	// forcing a separate packet buffer and a copy).
+	lenAt := len(buf)
+	buf = append(buf, 0, 0, 0, 0)
+	buf, err := e.Packet.AppendEncode(buf)
+	if err != nil {
+		return nil, fmt.Errorf("wire: encode packet: %w", err)
+	}
+	binary.BigEndian.PutUint32(buf[lenAt:lenAt+4], uint32(len(buf)-lenAt-4))
+	return buf, nil
+}
+
+// EncodeFrame renders any frame value (Hello, HelloAck, Ack, *Batch) to
+// a fresh buffer — the convenience path for handshakes and tests; hot
+// paths use the Append functions with a reusable buffer.
+func EncodeFrame(frame any) ([]byte, error) {
+	switch f := frame.(type) {
+	case Hello:
+		return AppendHello(nil, f), nil
+	case *Hello:
+		return AppendHello(nil, *f), nil
+	case HelloAck:
+		return AppendHelloAck(nil, f), nil
+	case *HelloAck:
+		return AppendHelloAck(nil, *f), nil
+	case Ack:
+		return AppendAck(nil, f), nil
+	case *Ack:
+		return AppendAck(nil, *f), nil
+	case *Batch:
+		return AppendBatch(nil, f)
+	default:
+		return nil, fmt.Errorf("wire: cannot encode %T", frame)
+	}
+}
+
+// cursor walks a frame payload with strict varint reads.
+type cursor struct {
+	data []byte
+	off  int
+}
+
+func (c *cursor) remaining() int { return len(c.data) - c.off }
+
+func (c *cursor) byte() (byte, error) {
+	if c.off >= len(c.data) {
+		return 0, fmt.Errorf("wire: truncated frame")
+	}
+	b := c.data[c.off]
+	c.off++
+	return b, nil
+}
+
+func (c *cursor) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(c.data[c.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("wire: bad uvarint")
+	}
+	c.off += n
+	return v, nil
+}
+
+func (c *cursor) varint() (int64, error) {
+	v, n := binary.Varint(c.data[c.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("wire: bad varint")
+	}
+	c.off += n
+	return v, nil
+}
+
+func (c *cursor) take(n int) ([]byte, error) {
+	if n < 0 || c.remaining() < n {
+		return nil, fmt.Errorf("wire: truncated frame (want %d bytes, have %d)", n, c.remaining())
+	}
+	b := c.data[c.off : c.off+n]
+	c.off += n
+	return b, nil
+}
+
+func (c *cursor) u16() (uint16, error) {
+	b, err := c.take(2)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint16(b), nil
+}
+
+func (c *cursor) u32() (uint32, error) {
+	b, err := c.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint32(b), nil
+}
+
+// DecodeFrame decodes the first complete frame in data, returning the
+// typed frame (Hello, HelloAck, Ack, or *Batch) and the total bytes
+// consumed including the length prefix. io.ErrUnexpectedEOF means data
+// holds only part of a frame — read more and retry.
+func DecodeFrame(data []byte) (any, int, error) {
+	if len(data) < 4 {
+		return nil, 0, io.ErrUnexpectedEOF
+	}
+	n := binary.BigEndian.Uint32(data[:4])
+	if n > MaxFrameLen {
+		return nil, 0, fmt.Errorf("wire: frame length %d exceeds MaxFrameLen %d", n, MaxFrameLen)
+	}
+	if len(data) < 4+int(n) {
+		return nil, 0, io.ErrUnexpectedEOF
+	}
+	frame, err := decodePayload(data[4 : 4+int(n)])
+	if err != nil {
+		return nil, 0, err
+	}
+	return frame, 4 + int(n), nil
+}
+
+// decodePayload decodes one frame payload (type byte onward). The whole
+// payload must be consumed: trailing bytes are an error, keeping the
+// encoding canonical for the round-trip fuzz target.
+func decodePayload(payload []byte) (any, error) {
+	c := &cursor{data: payload}
+	tb, err := c.byte()
+	if err != nil {
+		return nil, fmt.Errorf("wire: empty frame payload")
+	}
+	var frame any
+	switch FrameType(tb) {
+	case FrameHello:
+		frame, err = decodeHello(c)
+	case FrameHelloAck:
+		frame, err = decodeHelloAck(c)
+	case FrameBatch:
+		frame, err = decodeBatch(c)
+	case FrameAck:
+		var seq uint64
+		if seq, err = c.uvarint(); err == nil {
+			frame = Ack{AckSeq: seq}
+		}
+	default:
+		return nil, fmt.Errorf("wire: unknown frame type %d", tb)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if c.remaining() != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes after %s frame", c.remaining(), FrameType(tb))
+	}
+	return frame, nil
+}
+
+func decodeHello(c *cursor) (Hello, error) {
+	magic, err := c.u32()
+	if err != nil {
+		return Hello{}, err
+	}
+	if magic != helloMagic {
+		return Hello{}, fmt.Errorf("wire: bad hello magic %08x (peer is not a monitoring exporter?)", magic)
+	}
+	ver, err := c.u16()
+	if err != nil {
+		return Hello{}, err
+	}
+	if ver != Version {
+		return Hello{}, fmt.Errorf("wire: protocol version %d, want %d", ver, Version)
+	}
+	var h Hello
+	if h.DPID, err = c.uvarint(); err != nil {
+		return Hello{}, err
+	}
+	if h.NextSeq, err = c.uvarint(); err != nil {
+		return Hello{}, err
+	}
+	return h, nil
+}
+
+func decodeHelloAck(c *cursor) (HelloAck, error) {
+	ver, err := c.u16()
+	if err != nil {
+		return HelloAck{}, err
+	}
+	if ver != Version {
+		return HelloAck{}, fmt.Errorf("wire: protocol version %d, want %d", ver, Version)
+	}
+	var a HelloAck
+	if a.AckSeq, err = c.uvarint(); err != nil {
+		return HelloAck{}, err
+	}
+	return a, nil
+}
+
+func decodeBatch(c *cursor) (*Batch, error) {
+	b := &Batch{}
+	var err error
+	if b.FirstSeq, err = c.uvarint(); err != nil {
+		return nil, err
+	}
+	count, err := c.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if count == 0 {
+		return b, nil // sequence-advance marker
+	}
+	if count > MaxBatchEvents {
+		return nil, fmt.Errorf("wire: batch declares %d events, max %d", count, MaxBatchEvents)
+	}
+	// Sanity-bound the allocation by the bytes actually present: even a
+	// packetless event costs at least 9 payload bytes.
+	if int(count) > c.remaining() {
+		return nil, fmt.Errorf("wire: batch declares %d events in %d bytes", count, c.remaining())
+	}
+	b.Events = make([]core.Event, count)
+	for i := range b.Events {
+		if err := decodeEvent(c, &b.Events[i]); err != nil {
+			return nil, fmt.Errorf("wire: event %d: %w", i, err)
+		}
+	}
+	return b, nil
+}
+
+func decodeEvent(c *cursor, e *core.Event) error {
+	kb, err := c.byte()
+	if err != nil {
+		return err
+	}
+	kind := core.EventKind(kb)
+	switch kind {
+	case core.KindArrival, core.KindEgress, core.KindOutOfBand:
+	default:
+		return fmt.Errorf("unknown event kind %d", kb)
+	}
+	e.Kind = kind
+	flags, err := c.byte()
+	if err != nil {
+		return err
+	}
+	if flags&^byte(flagsKnown) != 0 {
+		return fmt.Errorf("unknown event flags %02x", flags)
+	}
+	if kind != core.KindEgress && flags&(flagDropped|flagMulticast) != 0 {
+		return fmt.Errorf("dropped/multicast flags on a %s event", kind)
+	}
+	e.Dropped = flags&flagDropped != 0
+	e.Multicast = flags&flagMulticast != 0
+	nanos, err := c.varint()
+	if err != nil {
+		return err
+	}
+	e.Time = time.Unix(0, nanos)
+	if e.SwitchID, err = c.uvarint(); err != nil {
+		return err
+	}
+	pid, err := c.uvarint()
+	if err != nil {
+		return err
+	}
+	e.PacketID = core.PacketID(pid)
+	if e.InPort, err = c.uvarint(); err != nil {
+		return err
+	}
+	if e.OutPort, err = c.uvarint(); err != nil {
+		return err
+	}
+	oobKind, err := c.uvarint()
+	if err != nil {
+		return err
+	}
+	e.OOBKind = packet.OOBKind(oobKind)
+	if e.OOBPort, err = c.uvarint(); err != nil {
+		return err
+	}
+	if flags&flagHasPacket == 0 {
+		return nil
+	}
+	pktLen, err := c.u32()
+	if err != nil {
+		return err
+	}
+	raw, err := c.take(int(pktLen))
+	if err != nil {
+		return err
+	}
+	pkt, err := packet.Decode(raw)
+	if err != nil {
+		return fmt.Errorf("embedded packet: %w", err)
+	}
+	e.Packet = pkt
+	return nil
+}
+
+// Reader decodes a frame stream from an io.Reader, reusing one buffer
+// across frames (the returned frames own their data — event slices and
+// packets are freshly decoded — so the buffer reuse is invisible to
+// callers).
+type Reader struct {
+	r   io.Reader
+	buf []byte
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// Next reads and decodes the next frame. It returns io.EOF cleanly only
+// on a frame boundary; a connection cut mid-frame is
+// io.ErrUnexpectedEOF.
+func (r *Reader) Next() (any, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		return nil, err // io.EOF on a clean boundary
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameLen {
+		return nil, fmt.Errorf("wire: frame length %d exceeds MaxFrameLen %d", n, MaxFrameLen)
+	}
+	if cap(r.buf) < int(n) {
+		r.buf = make([]byte, n)
+	}
+	r.buf = r.buf[:n]
+	if _, err := io.ReadFull(r.r, r.buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return decodePayload(r.buf)
+}

@@ -11,6 +11,15 @@ cd "$(dirname "$0")/.."
 echo "==> go vet ./..."
 go vet ./...
 
+# staticcheck is advisory locally (skipped when not installed); CI
+# installs a pinned version so the gate is enforced there.
+if command -v staticcheck >/dev/null 2>&1; then
+  echo "==> staticcheck ./..."
+  staticcheck ./...
+else
+  echo "==> staticcheck not installed; skipping (CI runs it)"
+fi
+
 echo "==> go build ./..."
 go build ./...
 
@@ -32,5 +41,10 @@ go test -count=1 -run 'TestSteadyStateAllocationBudget' ./internal/core/
 # running `go test -fuzz` by hand; this just keeps the target healthy.
 echo "==> packet codec fuzz smoke (10s)"
 go test -fuzz FuzzCodecRoundTrip -fuzztime 10s -run '^$' ./internal/packet/
+
+# Same discipline for the monitoring fabric's wire codec: strict decode
+# and canonical re-encode must stay a fixed point for any input.
+echo "==> wire codec fuzz smoke (10s)"
+go test -fuzz FuzzWireRoundTrip -fuzztime 10s -run '^$' ./internal/wire/
 
 echo "OK"
