@@ -26,6 +26,7 @@ import (
 	"switchmon/internal/backend"
 	"switchmon/internal/core"
 	"switchmon/internal/obs"
+	"switchmon/internal/obs/tracer"
 	"switchmon/internal/property"
 	"switchmon/internal/sim"
 	"switchmon/internal/tables"
@@ -276,6 +277,54 @@ func BenchmarkE11TelemetryOverhead(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				mon.HandleEvent(returns[i%len(returns)])
+			}
+		})
+	}
+}
+
+// BenchmarkE14TraceOverhead measures what end-to-end tracing costs on
+// the firewall steady state: the same engine with tracing off, sampling
+// 1-in-64 (the deployment rate), and 1-in-1 (every event traced). Each
+// event takes the dataplane's ingress path — a Sample call, and for
+// sampled events an ingress stamp plus a Finish at the verdict. The
+// claim under test: the unsampled path is a hash and a compare with
+// zero allocations, so 1-in-64 stays within a few percent of off.
+func BenchmarkE14TraceOverhead(b *testing.B) {
+	const flows = 8192
+	open := trace.HighFlowWorkload{Flows: flows, Gap: time.Microsecond}.Events(sim.Epoch)
+	work := trace.HighFlowWorkload{Flows: flows, Rounds: 1, Gap: time.Microsecond}.Events(sim.Epoch)
+	returns := work[2*flows:]
+
+	for _, sampleN := range []uint64{0, 64, 1} {
+		name := "trace=off"
+		if sampleN > 0 {
+			name = fmt.Sprintf("trace=1in%d", sampleN)
+		}
+		b.Run(name, func(b *testing.B) {
+			sched := sim.NewScheduler()
+			cfg := core.Config{}
+			var tr *tracer.Tracer
+			if sampleN > 0 {
+				tr = tracer.New(tracer.Config{SampleN: sampleN})
+				cfg.Tracer = tr
+			}
+			mon := core.NewMonitor(sched, cfg)
+			if err := mon.AddProperty(fwProp(b)); err != nil {
+				b.Fatal(err)
+			}
+			for _, e := range open {
+				mon.HandleEvent(e)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e := returns[i%len(returns)]
+				e.PacketID = core.PacketID(i)
+				if sp := tr.Sample(e.SwitchID, uint64(e.PacketID), uint8(e.Kind)); sp != nil {
+					sp.Stamp(tracer.StageIngress)
+					e.Trace = sp
+				}
+				mon.HandleEvent(e)
 			}
 		})
 	}

@@ -14,8 +14,10 @@
 //	e11 telemetry overhead: the fully instrumented engine vs. bare
 //	e13 distributed-fabric throughput vs. wire batch size (exporter ->
 //	    TCP -> collector), per-event framing as the degenerate case
+//	e14 detection latency vs. wire batch size: per-stage and end-to-end
+//	    p50/p99 from traced spans crossing the same fabric
 //
-// Usage: benchsweep [-exp all|e3|e4|e5|e6|e7|e8|e11|e12|e13] [-json dir] [-cpuprofile f] [-memprofile f]
+// Usage: benchsweep [-exp all|e3|e4|e5|e6|e7|e8|e11|e12|e13|e14] [-json dir] [-cpuprofile f] [-memprofile f]
 //
 // With -json, each experiment additionally writes BENCH_<exp>.json (one
 // JSON array of rows) into the given directory. Sweeps that drive the
@@ -33,6 +35,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"sync/atomic"
 	"time"
 
@@ -42,6 +45,7 @@ import (
 	"switchmon/internal/exporter"
 	"switchmon/internal/fault"
 	"switchmon/internal/obs"
+	"switchmon/internal/obs/tracer"
 	"switchmon/internal/property"
 	"switchmon/internal/sim"
 	"switchmon/internal/trace"
@@ -74,7 +78,7 @@ func writeRows(dir, exp string, rows []benchRow) error {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, e3, e4, e5, e6, e7, e8, e11, e12, e13")
+	exp := flag.String("exp", "all", "experiment to run: all, e3, e4, e5, e6, e7, e8, e11, e12, e13, e14")
 	jsonDir := flag.String("json", "", "also write BENCH_<exp>.json rows into this directory")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (after the sweep) to this file")
@@ -111,10 +115,11 @@ func main() {
 	run := map[string]func() []benchRow{
 		"e3": sweepE3, "e4": sweepE4, "e5": sweepE5, "e6": sweepE6, "e7": sweepE7,
 		"e8": sweepE8, "e11": sweepE11, "e12": sweepE12, "e13": sweepE13,
+		"e14": sweepE14,
 	}
 	names := []string{*exp}
 	if *exp == "all" {
-		names = []string{"e3", "e4", "e5", "e6", "e7", "e8", "e11", "e12", "e13"}
+		names = []string{"e3", "e4", "e5", "e6", "e7", "e8", "e11", "e12", "e13", "e14"}
 	}
 	for i, name := range names {
 		fn, ok := run[name]
@@ -648,6 +653,137 @@ func sweepE13() []benchRow {
 				},
 			})
 		}
+	}
+	return rows
+}
+
+// pctNs picks the p-th percentile (0..1) out of ns samples, sorting a
+// copy so callers can keep accumulating.
+func pctNs(vals []int64, p float64) int64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	s := append([]int64(nil), vals...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[int(float64(len(s)-1)*p)]
+}
+
+// sweepE14: detection latency vs. wire batch size. Every event carries
+// a span (SampleN=1) through the same exporter -> TCP -> collector ->
+// sharded-engine fabric as e13, but the publisher is paced well below
+// the fabric's capacity (e13 measured ~87k events/s at batch=1) so the
+// percentiles measure the pipeline — batch fill/age wait, wire flight,
+// shard dispatch, verdict — rather than queue saturation. The claim
+// under test: batching buys wire throughput (e13) at the price of
+// detection latency, with the batch-seal wait as the moving part; at
+// large batches the MaxBatchAge deadline caps the wait, so latency
+// plateaus near the age bound instead of growing without limit.
+func sweepE14() []benchRow {
+	var rows []benchRow
+	fmt.Println("E14: detection latency vs wire batch size (traced spans, exporter -> TCP -> collector)")
+	fmt.Printf("%-8s %-8s %12s %12s %12s %12s %12s\n",
+		"batch", "spans", "e2e_p50", "e2e_p99", "seal_p50", "recv_p50", "verdict_p50")
+	const (
+		flows   = 2048
+		pace    = 32               // events per paced burst
+		gap     = time.Millisecond // sleep between bursts: ~32k events/s
+		age     = 5 * time.Millisecond
+		sampleN = 1
+	)
+	open := trace.HighFlowWorkload{Flows: flows, Gap: time.Microsecond}.Events(sim.Epoch)
+	work := trace.HighFlowWorkload{Flows: flows, Rounds: 2, Gap: time.Microsecond}.Events(sim.Epoch)
+	returns := work[2*flows:]
+
+	for _, batch := range []int{1, 8, 64, 256} {
+		swTr := tracer.New(tracer.Config{SampleN: sampleN})
+		colTr := tracer.New(tracer.Config{SampleN: sampleN, Ring: 2 * len(returns)})
+		sm := core.NewShardedMonitor(4, core.Config{
+			OnViolation: func(*core.Violation) {}, Tracer: colTr,
+		})
+		if err := sm.AddProperty(fwProp()); err != nil {
+			panic(err)
+		}
+		sm.SubmitBatch(open)
+		sm.Drain()
+		col, err := collector.New(collector.Config{Addr: "127.0.0.1:0", Tracer: colTr}, sm)
+		if err != nil {
+			panic(err)
+		}
+		col.Serve()
+		x, err := exporter.New(exporter.Config{
+			Addr: col.Addr().String(), DPID: 1,
+			BatchSize: batch, MaxBatchAge: age, Tracer: swTr,
+		})
+		if err != nil {
+			panic(err)
+		}
+		x.Start()
+		for i := range returns {
+			e := returns[i]
+			e.PacketID = core.PacketID(i + 1)
+			if sp := swTr.Sample(1, uint64(e.PacketID), uint8(e.Kind)); sp != nil {
+				sp.Stamp(tracer.StageIngress)
+				e.Trace = sp
+			}
+			x.Publish(e)
+			if (i+1)%pace == 0 {
+				time.Sleep(gap)
+			}
+		}
+		x.Flush()
+		deadline := time.Now().Add(30 * time.Second)
+		for col.Stats().Events < uint64(len(returns)) {
+			if time.Now().After(deadline) {
+				panic(fmt.Sprintf("e14: collector applied %d of %d events", col.Stats().Events, len(returns)))
+			}
+			time.Sleep(time.Millisecond)
+		}
+		if abandoned := x.Close(5 * time.Second); abandoned != 0 {
+			panic(fmt.Sprintf("e14: exporter abandoned %d events", abandoned))
+		}
+		col.Close()
+		sm.Drain()
+
+		recs := colTr.Snapshot()
+		stageVals := map[string][]int64{}
+		var e2e []int64
+		for _, r := range recs {
+			for st, d := range r.StageNs {
+				stageVals[st] = append(stageVals[st], d)
+			}
+			if r.E2ENs > 0 {
+				e2e = append(e2e, r.E2ENs)
+			}
+		}
+		sm.Close()
+		stageP50 := map[string]any{}
+		stageP99 := map[string]any{}
+		for st, vals := range stageVals {
+			stageP50[st] = pctNs(vals, 0.50)
+			stageP99[st] = pctNs(vals, 0.99)
+		}
+		e2eP50, e2eP99 := pctNs(e2e, 0.50), pctNs(e2e, 0.99)
+		fmt.Printf("%-8d %-8d %12d %12d %12d %12d %12d\n",
+			batch, len(recs), e2eP50, e2eP99,
+			pctNs(stageVals["batch_seal"], 0.50),
+			pctNs(stageVals["collector_recv"], 0.50),
+			pctNs(stageVals["verdict"], 0.50))
+		rows = append(rows, benchRow{
+			Exp: "e14",
+			Params: map[string]any{
+				"batch_size": batch, "sample_n": sampleN,
+				"max_batch_age_ms": age.Milliseconds(),
+			},
+			NsPerEvent: float64(e2eP50),
+			Extra: map[string]any{
+				"spans":        len(recs),
+				"events":       len(returns),
+				"e2e_p50_ns":   e2eP50,
+				"e2e_p99_ns":   e2eP99,
+				"stage_p50_ns": stageP50,
+				"stage_p99_ns": stageP99,
+			},
+		})
 	}
 	return rows
 }

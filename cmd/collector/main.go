@@ -35,6 +35,7 @@ import (
 	"switchmon/internal/dsl"
 	"switchmon/internal/obs"
 	"switchmon/internal/obs/export"
+	"switchmon/internal/obs/tracer"
 	"switchmon/internal/property"
 )
 
@@ -57,6 +58,9 @@ func run() error {
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /healthz, /violations, /debug/pprof on this address")
 		jsonOut     = flag.Bool("json", false, "emit violations as one JSON object per line")
 		ringSize    = flag.Int("violation-ring", 256, "violation trace records retained for /violations")
+
+		traceSample = flag.Uint64("trace-sample", 0, "negotiate end-to-end tracing with exporters and sample every Nth event of untraced streams (0 = off); completed spans served at /trace")
+		traceRing   = flag.Int("trace-ring", 0, "completed tracing spans retained for /trace (0 = default 2048)")
 	)
 	flag.Parse()
 
@@ -84,6 +88,12 @@ func run() error {
 		ring = obs.NewRing(*ringSize)
 	}
 
+	// Nil tracer = tracing off everywhere downstream (nil-receiver safe).
+	var tr *tracer.Tracer
+	if *traceSample > 0 {
+		tr = tracer.New(tracer.Config{SampleN: *traceSample, Ring: *traceRing, Metrics: reg})
+	}
+
 	enc := json.NewEncoder(os.Stdout)
 	var vmu sync.Mutex // shard goroutines report concurrently
 	violations := 0
@@ -99,6 +109,7 @@ func run() error {
 	}
 	cfg.Metrics = reg
 	cfg.Violations = ring
+	cfg.Tracer = tr
 
 	sm := core.NewShardedMonitor(*shards, cfg)
 	defer sm.Close()
@@ -137,7 +148,7 @@ func run() error {
 		return fmt.Errorf("no properties installed (use -catalog and/or -props)")
 	}
 
-	col, err := collector.New(collector.Config{Addr: *listen, Metrics: reg}, sm)
+	col, err := collector.New(collector.Config{Addr: *listen, Metrics: reg, Tracer: tr}, sm)
 	if err != nil {
 		return err
 	}
@@ -155,7 +166,7 @@ func run() error {
 			marks := sm.Ledger().Snapshot()
 			return len(marks) == 0, marks
 		}
-		srv = &http.Server{Handler: export.NewMux(reg, ring, health)}
+		srv = &http.Server{Handler: export.NewMux(reg, ring, health, tr)}
 		go func() { _ = srv.Serve(ln) }()
 		fmt.Fprintf(os.Stderr, "metrics: serving on http://%s/metrics\n", ln.Addr())
 	}

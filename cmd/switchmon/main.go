@@ -64,6 +64,7 @@ import (
 	"switchmon/internal/fault"
 	"switchmon/internal/obs"
 	"switchmon/internal/obs/export"
+	"switchmon/internal/obs/tracer"
 	"switchmon/internal/packet"
 	"switchmon/internal/property"
 	"switchmon/internal/sim"
@@ -173,6 +174,9 @@ func run() error {
 		hold        = flag.Duration("hold", 0, "with -metrics-addr: keep serving this long after the run (0 = until SIGINT)")
 		jsonOut     = flag.Bool("json", false, "emit violations as one JSON object per line")
 		ringSize    = flag.Int("violation-ring", 256, "violation trace records retained for /violations")
+
+		traceSample = flag.Uint64("trace-sample", 0, "stamp every Nth event with end-to-end stage marks (0 = tracing off); completed spans served at /trace")
+		traceRing   = flag.Int("trace-ring", 0, "completed tracing spans retained for /trace (0 = default 2048)")
 	)
 	flag.Parse()
 
@@ -225,6 +229,13 @@ func run() error {
 		ring = obs.NewRing(*ringSize)
 	}
 
+	// The tracer exists only when sampling is on; everywhere else a nil
+	// *tracer.Tracer is the documented off switch (nil-receiver safe).
+	var tr *tracer.Tracer
+	if *traceSample > 0 {
+		tr = tracer.New(tracer.Config{SampleN: *traceSample, Ring: *traceRing, Metrics: reg})
+	}
+
 	sched := sim.NewScheduler()
 	violations := 0
 	enc := json.NewEncoder(os.Stdout)
@@ -243,6 +254,7 @@ func run() error {
 	}
 	cfg.Metrics = reg
 	cfg.Violations = ring
+	cfg.Tracer = tr
 
 	var mon engine
 	if *shards > 0 {
@@ -265,7 +277,7 @@ func run() error {
 	var exp *exporter.Exporter
 	feed := mon.HandleEvent
 	if *exportAddr != "" {
-		exp, err = exporter.New(exporter.Config{Addr: *exportAddr, DPID: *exportDPID, Metrics: reg})
+		exp, err = exporter.New(exporter.Config{Addr: *exportAddr, DPID: *exportDPID, Metrics: reg, Tracer: tr})
 		if err != nil {
 			return err
 		}
@@ -297,7 +309,7 @@ func run() error {
 			marks := mon.Ledger()
 			return len(marks) == 0, marks
 		}
-		srv = &http.Server{Handler: export.NewMux(reg, ring, health)}
+		srv = &http.Server{Handler: export.NewMux(reg, ring, health, tr)}
 		go func() { _ = srv.Serve(ln) }()
 		fmt.Fprintf(os.Stderr, "metrics: serving on http://%s/metrics\n", ln.Addr())
 	}
@@ -348,7 +360,7 @@ func run() error {
 		if inj != nil {
 			handle = inj.Wrap(handle)
 		}
-		if err := runDemo(sched, mon, handle, rec, reg, *demo); err != nil {
+		if err := runDemo(sched, mon, handle, rec, reg, tr, *demo); err != nil {
 			return err
 		}
 		if rec != nil {
@@ -381,7 +393,20 @@ func run() error {
 		if inj != nil {
 			events = inj.Apply(events)
 		}
-		trace.Replay(sched, events, feed)
+		// The replay path has no dataplane switch, so spans originate
+		// here: the same deterministic sampling decision the dataplane
+		// would have made, stamped at the replay boundary as ingress.
+		sink := feed
+		if tr != nil {
+			sink = func(e core.Event) {
+				if sp := tr.Sample(e.SwitchID, uint64(e.PacketID), uint8(e.Kind)); sp != nil {
+					sp.Stamp(tracer.StageIngress)
+					e.Trace = sp
+				}
+				feed(e)
+			}
+		}
+		trace.Replay(sched, events, sink)
 		mon.Drain()
 	default:
 		return fmt.Errorf("nothing to do: pass -trace, -demo, or -list")
@@ -463,7 +488,7 @@ func pluralYIes(n int) string {
 // optionally recording the event stream and registering the demo
 // switch's dataplane counters. handle is the event sink — usually
 // mon.HandleEvent, possibly wrapped by a fault injector.
-func runDemo(sched *sim.Scheduler, mon engine, handle func(core.Event), rec *trace.Recorder, reg *obs.Registry, demo string) error {
+func runDemo(sched *sim.Scheduler, mon engine, handle func(core.Event), rec *trace.Recorder, reg *obs.Registry, tr *tracer.Tracer, demo string) error {
 	macA := packet.MustMAC("02:00:00:00:00:0a")
 	macB := packet.MustMAC("02:00:00:00:00:0b")
 	ipA := packet.MustIPv4("10.0.0.1")
@@ -471,6 +496,7 @@ func runDemo(sched *sim.Scheduler, mon engine, handle func(core.Event), rec *tra
 
 	sw := dataplane.New("demo", sched, 2)
 	sw.SetMetrics(reg)
+	sw.SetTracer(tr)
 	for i := 1; i <= 4; i++ {
 		sw.AddPort(dataplane.PortNo(i), nil)
 	}

@@ -34,6 +34,7 @@ import (
 
 	"switchmon/internal/core"
 	"switchmon/internal/obs"
+	"switchmon/internal/obs/tracer"
 	"switchmon/internal/wire"
 )
 
@@ -64,6 +65,13 @@ type Config struct {
 	ConnReadBuffer int
 	// Metrics, when non-nil, receives per-datapath series.
 	Metrics *obs.Registry
+	// Tracer, when non-nil, enables tracing on this collector: the
+	// FeatureTrace offer is accepted in handshakes, spans shipped in
+	// traced batches are stamped collector_recv and fed to the engine,
+	// and events from untraced (v1) exporters get spans originated here
+	// — the deterministic sampler makes the same 1-in-N decision the
+	// switch would have.
+	Tracer *tracer.Tracer
 }
 
 // Stats is a snapshot of collector-wide counters.
@@ -87,14 +95,28 @@ type Stats struct {
 // dpState is one datapath's demux state, shared across its reconnects.
 type dpState struct {
 	nextSeq  uint64 // next event sequence expected
+	acked    uint64 // highest cumulative ack issued (mirrors ackedC)
 	conns    uint64 // connections ever accepted for this dpid
 	batchesC *obs.Counter
 	eventsC  *obs.Counter
 	bytesC   *obs.Counter
 	gapsC    *obs.Counter
 	dedupC   *obs.Counter
+	ackedC   *obs.Counter
 	reconnC  *obs.Counter
 	windowG  *obs.Gauge
+}
+
+// advanceAckedLocked folds the datapath's current cumulative ack into
+// its monotone acked-events counter. Gap sequences count too: a
+// cumulative ack covers them, and that is exactly the signal the
+// counter exists to expose — acked minus applied equals lost. Caller
+// holds mu.
+func (dp *dpState) advanceAckedLocked() {
+	if ack := dp.nextSeq - 1; ack > dp.acked {
+		dp.ackedC.Add(ack - dp.acked)
+		dp.acked = ack
+	}
 }
 
 // Collector accepts exporter connections and feeds a Sink.
@@ -218,6 +240,7 @@ func (c *Collector) dpStateFor(dpid uint64) *dpState {
 		dp.bytesC = reg.Counter("switchmon_collector_bytes_total", "frame bytes received", l)
 		dp.gapsC = reg.Counter("switchmon_collector_gap_events_total", "events declared lost by sequence gaps", l)
 		dp.dedupC = reg.Counter("switchmon_collector_deduped_events_total", "replayed events skipped by dedup", l)
+		dp.ackedC = reg.Counter("switchmon_collector_acked_events_total", "cumulative event sequence acknowledged (applied plus declared-lost)", l)
 		dp.reconnC = reg.Counter("switchmon_collector_reconnects_total", "connections beyond the first", l)
 		dp.windowG = reg.Gauge("switchmon_collector_window_events", "events received but not yet acknowledged", l)
 	}
@@ -250,9 +273,20 @@ func (c *Collector) serveConn(conn net.Conn) {
 	if err != nil {
 		return
 	}
+	recvNs := time.Now().UnixNano() // the handshake's T2
 	hello, ok := f.(wire.Hello)
 	if !ok {
 		return
+	}
+	// Negotiate: speak the lower of the two versions, intersect the
+	// feature offers with what this collector supports.
+	ver := hello.Version
+	if ver == 0 {
+		ver = 1 // decoded v1 hellos carry Version 1; 0 never reaches here
+	}
+	var features uint64
+	if c.cfg.Tracer != nil {
+		features = hello.Features & wire.FeatureTrace
 	}
 
 	c.mu.Lock()
@@ -268,10 +302,13 @@ func (c *Collector) serveConn(conn net.Conn) {
 	if hello.NextSeq > dp.nextSeq {
 		c.markGapLocked(hello.DPID, dp, hello.NextSeq, time.Now())
 	}
+	dp.advanceAckedLocked()
 	ack := dp.nextSeq - 1
 	c.mu.Unlock()
 
-	if _, err := conn.Write(wire.AppendHelloAck(nil, wire.HelloAck{AckSeq: ack})); err != nil {
+	ha := wire.HelloAck{AckSeq: ack, Version: ver, Features: features,
+		RecvNs: recvNs, SentNs: time.Now().UnixNano()}
+	if _, err := conn.Write(wire.AppendHelloAck(nil, ha)); err != nil {
 		return
 	}
 
@@ -282,6 +319,7 @@ func (c *Collector) serveConn(conn net.Conn) {
 		if err != nil {
 			return // disconnect (exporter will reconnect) or protocol error
 		}
+		recvNs := time.Now().UnixNano()
 		b, ok := f.(*wire.Batch)
 		if !ok {
 			return // only batches flow exporter→collector after the handshake
@@ -289,12 +327,16 @@ func (c *Collector) serveConn(conn net.Conn) {
 		if b.FirstSeq == 0 {
 			return // sequences start at 1; 0 would corrupt the gap math
 		}
-		ackSeq, applied := c.applyBatch(hello.DPID, dp, b, cr.n-prevBytes)
+		ackSeq, applied := c.applyBatch(hello.DPID, dp, b, cr.n-prevBytes, recvNs)
 		prevBytes = cr.n
 		if !applied {
 			return
 		}
-		ackBuf = wire.AppendAck(ackBuf[:0], wire.Ack{AckSeq: ackSeq})
+		a := wire.Ack{AckSeq: ackSeq}
+		if ver >= 2 {
+			a.SentNs = time.Now().UnixNano() // an ongoing clock sample
+		}
+		ackBuf = wire.AppendAck(ackBuf[:0], a)
 		if _, err := conn.Write(ackBuf); err != nil {
 			return
 		}
@@ -304,7 +346,7 @@ func (c *Collector) serveConn(conn net.Conn) {
 // applyBatch performs gap/replay accounting and feeds the batch's new
 // events to the sink. It returns the cumulative ack for the datapath
 // and whether the connection should continue.
-func (c *Collector) applyBatch(dpid uint64, dp *dpState, b *wire.Batch, frameBytes uint64) (uint64, bool) {
+func (c *Collector) applyBatch(dpid uint64, dp *dpState, b *wire.Batch, frameBytes uint64, recvNs int64) (uint64, bool) {
 	c.mu.Lock()
 	dp.windowG.Set(int64(len(b.Events)))
 
@@ -329,6 +371,7 @@ func (c *Collector) applyBatch(dpid uint64, dp *dpState, b *wire.Batch, frameByt
 	}
 	evs := b.Events[skip:]
 	dp.nextSeq += uint64(len(evs))
+	dp.advanceAckedLocked()
 	c.stats.Batches++
 	c.stats.Events += uint64(len(evs))
 	c.stats.Bytes += frameBytes
@@ -339,7 +382,23 @@ func (c *Collector) applyBatch(dpid uint64, dp *dpState, b *wire.Batch, frameByt
 	c.mu.Unlock()
 
 	for i := range evs {
-		if err := c.sink.Submit(evs[i]); err != nil {
+		e := &evs[i]
+		if b.Traced {
+			// Continue the span the switch started: align its remote
+			// marks with the shipped clock estimate and stamp arrival.
+			// Replayed copies of already-applied events sit in the
+			// skipped prefix and never reach here, so no span is
+			// stamped or finished twice.
+			e.Trace.SetClock(b.ClockOffsetNs, b.ClockDispNs)
+			e.Trace.StampAt(tracer.StageCollectorRecv, recvNs)
+		} else if sp := c.cfg.Tracer.Sample(e.SwitchID, uint64(e.PacketID), uint8(e.Kind)); sp != nil {
+			// Untraced (v1) exporter: originate the span here. The
+			// sampler is deterministic, so the same 1-in-N events are
+			// traced either way — just without switch-side stages.
+			sp.StampAt(tracer.StageCollectorRecv, recvNs)
+			e.Trace = sp
+		}
+		if err := c.sink.Submit(*e); err != nil {
 			return 0, false // core.ErrClosed: the engine is shutting down
 		}
 	}

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"time"
 
+	"switchmon/internal/obs/tracer"
 	"switchmon/internal/packet"
 )
 
@@ -87,6 +88,13 @@ type Event struct {
 	// OOBKind and OOBPort describe an out-of-band event.
 	OOBKind packet.OOBKind
 	OOBPort uint64
+	// Trace is the event's sampled tracing span — nil for the vast
+	// majority of events (1-in-N sampling). It rides along every copy
+	// the pipeline makes but is pure observability metadata: no part of
+	// the event's semantic identity, never consulted by property steps,
+	// and carried on the wire in the batch's trace block rather than
+	// the event encoding.
+	Trace *tracer.Span
 }
 
 // Field extracts a field from the event: switch metadata from the event

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"switchmon/internal/obs"
+	"switchmon/internal/obs/tracer"
 	"switchmon/internal/packet"
 	"switchmon/internal/property"
 	"switchmon/internal/sim"
@@ -97,6 +98,12 @@ type Config struct {
 	// test can demonstrate what supervision prevents. Only the
 	// ShardedMonitor reads it.
 	DisableSupervision bool
+	// Tracer, when non-nil, completes sampled event spans: the engine
+	// stamps shard_dispatch when it picks an event up and verdict when
+	// every property has stepped, then finishes the span into the
+	// tracer's ring and latency histograms. Events without a span (the
+	// unsampled majority) pay one pointer test.
+	Tracer *tracer.Tracer
 }
 
 // Stats counts monitor activity. Retrieve a snapshot with Monitor.Stats.
@@ -417,6 +424,9 @@ func (m *Monitor) apply(e *Event) {
 	if m.mx != nil {
 		start = time.Now()
 	}
+	if tr := m.cfg.Tracer; tr != nil && e.Trace != nil {
+		e.Trace.Stamp(tracer.StageShardDispatch)
+	}
 	m.stats.events.Add(1)
 	m.seq++
 	seq := m.seq
@@ -433,6 +443,10 @@ func (m *Monitor) apply(e *Event) {
 	if m.mx != nil {
 		m.mx.events.Inc()
 		m.mx.eventNs.Observe(uint64(time.Since(start)))
+	}
+	if tr := m.cfg.Tracer; tr != nil && e.Trace != nil {
+		e.Trace.Stamp(tracer.StageVerdict)
+		tr.Finish(e.Trace)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"switchmon/internal/obs"
+	"switchmon/internal/obs/tracer"
 	"switchmon/internal/property"
 	"switchmon/internal/sim"
 )
@@ -331,10 +332,17 @@ func (sm *ShardedMonitor) worker(s *shard) {
 		}
 		for i := range ctl.batch {
 			msg := &ctl.batch[i]
+			if sp := msg.ev.Trace; sp != nil && sm.cfg.Tracer != nil {
+				sp.Stamp(tracer.StageShardDispatch)
+			}
 			if supervised {
 				s.mon.applyRoutedSupervised(&msg.ev, msg.matchMask, msg.createMask, onPanic)
 			} else {
 				s.mon.applyRouted(&msg.ev, msg.matchMask, msg.createMask)
+			}
+			if sp := msg.ev.Trace; sp != nil && sm.cfg.Tracer != nil && sp.Release() {
+				sp.Stamp(tracer.StageVerdict)
+				sm.cfg.Tracer.Finish(sp)
 			}
 		}
 		if ctl.batch != nil {
@@ -451,6 +459,25 @@ func (sm *ShardedMonitor) submitLocked(e Event) error {
 		}
 		if h, ok := routeHash(&e, pl.createFields); ok {
 			cm[h%n] |= bit
+		}
+	}
+	if sp := e.Trace; sp != nil && sm.cfg.Tracer != nil {
+		// Reference the span once per shard that will see a copy of the
+		// event, before any copy is enqueued: a worker may drain and
+		// Release its copy while this loop is still appending others, and
+		// only the last Release may stamp the verdict. An unroutable
+		// event gets no verdict; finish its span now so it still reaches
+		// the ring.
+		nDeliver := int32(0)
+		for si := range sm.shards {
+			if mm[si]|cm[si] != 0 {
+				nDeliver++
+			}
+		}
+		if nDeliver == 0 {
+			sm.cfg.Tracer.Finish(sp)
+		} else {
+			sp.AddRefs(nDeliver)
 		}
 	}
 	delivered := 0
@@ -578,6 +605,11 @@ func (sm *ShardedMonitor) shed(batch []shardMsg) {
 			pi := bits.TrailingZeros64(mask)
 			mask &= mask - 1
 			perProp[pi]++
+		}
+		if sp := batch[i].ev.Trace; sp != nil && sm.cfg.Tracer != nil && sp.Release() {
+			// The shed copy was this span's last outstanding reference:
+			// no verdict will ever come, so finish it verdict-less.
+			sm.cfg.Tracer.Finish(sp)
 		}
 	}
 	at := batch[0].ev.Time

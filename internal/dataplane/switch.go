@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"switchmon/internal/core"
+	"switchmon/internal/obs/tracer"
 	"switchmon/internal/packet"
 	"switchmon/internal/sim"
 )
@@ -74,6 +75,9 @@ type Switch struct {
 	egressStart int
 	// mx holds the telemetry handles (nil until SetMetrics).
 	mx *switchMetrics
+	// tracer, when non-nil, samples emitted events for end-to-end
+	// tracing (nil-safe: the unsampled path is one hash per event).
+	tracer *tracer.Tracer
 }
 
 // New creates a switch with the given number of flow tables.
@@ -159,7 +163,17 @@ func (sw *Switch) AddPort(no PortNo, deliver func(*packet.Packet)) {
 // decisions including drops, out-of-band events).
 func (sw *Switch) Observe(fn func(core.Event)) { sw.observers = append(sw.observers, fn) }
 
+// SetTracer attaches an event tracer: every emitted event runs the
+// deterministic 1-in-N sampler, and a sampled event carries its span —
+// stamped ingress here, at the instant of emission — to every observer
+// (local engine and exporter alike).
+func (sw *Switch) SetTracer(tr *tracer.Tracer) { sw.tracer = tr }
+
 func (sw *Switch) emit(e core.Event) {
+	if sp := sw.tracer.Sample(e.SwitchID, uint64(e.PacketID), uint8(e.Kind)); sp != nil {
+		sp.Stamp(tracer.StageIngress)
+		e.Trace = sp
+	}
 	for _, fn := range sw.observers {
 		fn(e)
 	}

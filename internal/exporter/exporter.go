@@ -47,6 +47,7 @@ import (
 
 	"switchmon/internal/core"
 	"switchmon/internal/obs"
+	"switchmon/internal/obs/tracer"
 	"switchmon/internal/sim"
 	"switchmon/internal/wire"
 )
@@ -86,6 +87,15 @@ type Config struct {
 	// Metrics, when non-nil, receives the exporter's series. All
 	// instruments are nil-safe, so a nil registry costs nothing.
 	Metrics *obs.Registry
+	// Tracer, when non-nil, enables event tracing on this exporter: the
+	// enqueue, batch-seal and wire-send stages are stamped on sampled
+	// spans, FeatureTrace is offered in the handshake, and on a version
+	// ≥ 2 connection batches carry their spans' switch-side marks plus
+	// the clock-offset estimate in a trace block.
+	Tracer *tracer.Tracer
+	// ProtocolVersion caps the version offered in the Hello (default
+	// wire.Version). Set 1 to emulate a legacy peer in interop tests.
+	ProtocolVersion uint16
 	// Dial overrides the transport, for tests and fault injection.
 	Dial func() (net.Conn, error)
 }
@@ -111,6 +121,9 @@ func (cfg *Config) fillDefaults() {
 	}
 	if cfg.ConnWriteBuffer == 0 {
 		cfg.ConnWriteBuffer = 1 << 20
+	}
+	if cfg.ProtocolVersion == 0 {
+		cfg.ProtocolVersion = wire.Version
 	}
 	if cfg.Dial == nil {
 		addr := cfg.Addr
@@ -164,6 +177,9 @@ type Exporter struct {
 	done    chan struct{}
 	rng     *rand.Rand
 
+	clock  *tracer.ClockEstimator
+	sendNs map[uint64]int64 // batch LastSeq → local send ns (ack clock pairing)
+
 	eventsC     *obs.Counter
 	shedC       *obs.Counter
 	batchesC    *obs.Counter
@@ -188,8 +204,13 @@ func New(cfg Config) (*Exporter, error) {
 		rng:     sim.NewRand(cfg.Seed),
 	}
 	x.space.L = &x.mu
+	var offG, dspG *obs.Gauge
 	if reg := cfg.Metrics; reg != nil {
 		dp := obs.L("dpid", fmt.Sprintf("%d", cfg.DPID))
+		offG = reg.Gauge("switchmon_exporter_clock_offset_ns",
+			"estimated collector clock minus switch clock", dp)
+		dspG = reg.Gauge("switchmon_exporter_clock_dispersion_ns",
+			"clock-offset estimate dispersion (half RTT, smoothed)", dp)
 		x.eventsC = reg.Counter("switchmon_exporter_events_total", "events accepted for export", dp)
 		x.shedC = reg.Counter("switchmon_exporter_shed_events_total", "events lost to send-queue overflow", dp)
 		x.batchesC = reg.Counter("switchmon_exporter_batches_sent_total", "wire batches written (resends recount)", dp)
@@ -197,8 +218,14 @@ func New(cfg Config) (*Exporter, error) {
 		x.reconnectsC = reg.Counter("switchmon_exporter_reconnects_total", "connections established after the first", dp)
 		x.depthG = reg.Gauge("switchmon_exporter_queue_depth", "queued batches (sent-unacked plus unsent)", dp)
 	}
+	x.clock = tracer.NewClockEstimator(offG, dspG)
 	return x, nil
 }
+
+// Clock exposes the exporter's collector-clock offset estimator (fed
+// by the Hello handshake and timestamped Acks on version ≥ 2
+// connections).
+func (x *Exporter) Clock() *tracer.ClockEstimator { return x.clock }
 
 // Ledger exposes the exporter's local soundness ledger. All marks land
 // on the pseudo-property "*": the exporter does not know which
@@ -234,6 +261,7 @@ func (x *Exporter) Publish(e core.Event) {
 	x.nextSeq++
 	x.stats.Published++
 	x.eventsC.Inc()
+	e.Trace.Stamp(tracer.StageEnqueue)
 	x.pending = append(x.pending, e)
 	if len(x.pending) >= x.cfg.BatchSize {
 		x.sealLocked()
@@ -275,6 +303,11 @@ func (x *Exporter) Flush() {
 func (x *Exporter) sealLocked() {
 	if len(x.pending) == 0 {
 		return
+	}
+	if x.cfg.Tracer != nil {
+		for i := range x.pending {
+			x.pending[i].Trace.Stamp(tracer.StageBatchSeal)
+		}
 	}
 	b := &wire.Batch{FirstSeq: x.pendingFirst, Events: x.pending}
 	x.pending = make([]core.Event, 0, x.cfg.BatchSize)
@@ -511,7 +544,14 @@ func (x *Exporter) runConn(conn net.Conn, encBuf *[]byte) bool {
 		x.reconnectsC.Inc()
 	}
 
-	if _, err := conn.Write(wire.AppendHello(nil, wire.Hello{DPID: x.cfg.DPID, NextSeq: nextSeq})); err != nil {
+	var features uint64
+	if x.cfg.Tracer != nil && x.cfg.ProtocolVersion >= 2 {
+		features = wire.FeatureTrace
+	}
+	t1 := time.Now().UnixNano()
+	hello := wire.Hello{DPID: x.cfg.DPID, NextSeq: nextSeq,
+		Version: x.cfg.ProtocolVersion, Features: features, SentNs: t1}
+	if _, err := conn.Write(wire.AppendHello(nil, hello)); err != nil {
 		return true
 	}
 	r := wire.NewReader(conn)
@@ -523,12 +563,24 @@ func (x *Exporter) runConn(conn net.Conn, encBuf *[]byte) bool {
 	if !ok {
 		return true
 	}
+	// The handshake is the first clock sample: T1/T4 bracket it locally,
+	// the ack's receive/reply stamps are the collector's midpoint.
+	if ha.Version >= 2 {
+		x.clock.AddSample(t1, (ha.RecvNs+ha.SentNs)/2, time.Now().UnixNano())
+	}
+	traced := features != 0 && ha.Version >= 2 && ha.Features&wire.FeatureTrace != 0
 	x.applyAck(ha.AckSeq)
 	x.mu.Lock()
 	x.sentIdx = 0 // everything still queued needs (re)sending on this conn
+	x.sendNs = nil
+	if traced {
+		x.sendNs = make(map[uint64]int64)
+	}
 	x.mu.Unlock()
 
-	// Reader goroutine: applies cumulative acks until the connection dies.
+	// Reader goroutine: applies cumulative acks until the connection
+	// dies, pairing timestamped acks with the matching batch's send time
+	// for ongoing clock sampling.
 	connDead := make(chan struct{})
 	go func() {
 		defer close(connDead)
@@ -538,6 +590,20 @@ func (x *Exporter) runConn(conn net.Conn, encBuf *[]byte) bool {
 				return
 			}
 			if a, ok := f.(wire.Ack); ok {
+				if a.SentNs != 0 {
+					t4 := time.Now().UnixNano()
+					x.mu.Lock()
+					sendT, found := x.sendNs[a.AckSeq]
+					for k := range x.sendNs {
+						if k <= a.AckSeq {
+							delete(x.sendNs, k)
+						}
+					}
+					x.mu.Unlock()
+					if found {
+						x.clock.AddSample(sendT, a.SentNs, t4)
+					}
+				}
 				x.applyAck(a.AckSeq)
 			}
 		}
@@ -562,6 +628,21 @@ func (x *Exporter) runConn(conn net.Conn, encBuf *[]byte) bool {
 			case <-x.kick:
 				continue
 			}
+		}
+		// Traced is per-connection state on a shared batch: a replay on a
+		// later v1 connection must re-encode as a plain Batch, so it is
+		// (re)set on every send rather than once at seal.
+		b.Traced = traced
+		if traced {
+			for i := range b.Events {
+				b.Events[i].Trace.Stamp(tracer.StageWireSend)
+			}
+			if off, dsp, ok := x.clock.Estimate(); ok {
+				b.ClockOffsetNs, b.ClockDispNs = off, dsp
+			}
+			x.mu.Lock()
+			x.sendNs[b.LastSeq()] = time.Now().UnixNano()
+			x.mu.Unlock()
 		}
 		enc, err := wire.AppendBatch((*encBuf)[:0], b)
 		if err != nil {

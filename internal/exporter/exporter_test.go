@@ -29,6 +29,10 @@ type stubServer struct {
 	// killAfterBatches, when > 0, closes each connection after that many
 	// batches without acking the last one.
 	killAfterBatches int
+
+	// ackFeatures is the feature set the HelloAck grants (the collector
+	// side of the trace negotiation).
+	ackFeatures uint64
 }
 
 func newStubServer(t *testing.T) *stubServer {
@@ -69,8 +73,11 @@ func (s *stubServer) serve(conn net.Conn) {
 	s.mu.Lock()
 	s.hellos = append(s.hellos, h)
 	ack := s.applied
+	features := s.ackFeatures & h.Features
 	s.mu.Unlock()
-	if _, err := conn.Write(wire.AppendHelloAck(nil, wire.HelloAck{AckSeq: ack})); err != nil {
+	now := time.Now().UnixNano()
+	ha := wire.HelloAck{AckSeq: ack, Features: features, RecvNs: now, SentNs: now}
+	if _, err := conn.Write(wire.AppendHelloAck(nil, ha)); err != nil {
 		return
 	}
 	seen := 0

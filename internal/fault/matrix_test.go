@@ -13,6 +13,7 @@ import (
 	"switchmon/internal/collector"
 	"switchmon/internal/core"
 	"switchmon/internal/exporter"
+	"switchmon/internal/obs/tracer"
 	"switchmon/internal/property"
 	"switchmon/internal/sim"
 	"switchmon/internal/trace"
@@ -129,8 +130,8 @@ func matrixWireDrop(t *testing.T, seed int64) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a := wireOutcome(t, spec)
-	b := wireOutcome(t, spec)
+	a, _ := wireOutcome(t, spec, false)
+	b, _ := wireOutcome(t, spec, false)
 	if !bytes.Equal(a, b) {
 		t.Fatalf("wire drop=0.05 seed=%d: two runs diverged:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", seed, a, b)
 	}
@@ -143,18 +144,50 @@ func matrixWireDrop(t *testing.T, seed int64) {
 // delay cannot be applied online) before export. Delay perturbs when
 // things happen, not whether they arrive, so the fabric must deliver
 // everything — a sound ledger and zero gaps — and stay deterministic.
+// The cell then re-runs with every event traced: spans must not change
+// the observable outcome by a byte, and within each host's clock domain
+// the raw stage marks must stay monotone.
 func matrixWireDelay(t *testing.T, seed int64) {
 	spec, err := ParseSpec(fmt.Sprintf("delay=5ms,seed=%d", seed))
 	if err != nil {
 		t.Fatal(err)
 	}
-	a := wireOutcome(t, spec)
-	b := wireOutcome(t, spec)
+	a, _ := wireOutcome(t, spec, false)
+	b, _ := wireOutcome(t, spec, false)
 	if !bytes.Equal(a, b) {
 		t.Fatalf("wire delay=5ms seed=%d: two runs diverged:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", seed, a, b)
 	}
 	if bytes.Contains(a, []byte("wire-loss")) {
 		t.Fatalf("delay-only fault lost events:\n%s", a)
+	}
+
+	c, colTr := wireOutcome(t, spec, true)
+	if !bytes.Equal(a, c) {
+		t.Fatalf("wire delay=5ms seed=%d: tracing changed the outcome:\n--- untraced ---\n%s\n--- traced ---\n%s", seed, a, c)
+	}
+	recs := colTr.Snapshot()
+	if len(recs) == 0 {
+		t.Fatal("traced run completed no spans")
+	}
+	domains := [][]string{
+		{"ingress", "enqueue", "batch_seal", "wire_send"},
+		{"collector_recv", "shard_dispatch", "verdict"},
+	}
+	for _, r := range recs {
+		for _, domain := range domains {
+			prev := int64(0)
+			for _, st := range domain {
+				m := r.Marks[st]
+				if m == 0 {
+					continue
+				}
+				if m < prev {
+					t.Fatalf("span %x: stage %s mark %d precedes previous stage (%d); marks=%v",
+						r.Key, st, m, prev, r.Marks)
+				}
+				prev = m
+			}
+		}
 	}
 }
 
@@ -162,12 +195,19 @@ func matrixWireDelay(t *testing.T, seed int64) {
 // engine under the spec's feed fault and renders everything observable
 // (sorted verdicts, soundness marks, loss accounting) as bytes for the
 // determinism comparison. Delay/reorder specs use the offline Apply path
-// upstream of the exporter; drop/dup wrap its Publish online.
-func wireOutcome(t *testing.T, spec Spec) []byte {
+// upstream of the exporter; drop/dup wrap its Publish online. With
+// traced set, every event carries a span across the fabric and the
+// collector-side tracer is returned for stage-mark assertions.
+func wireOutcome(t *testing.T, spec Spec, traced bool) ([]byte, *tracer.Tracer) {
 	t.Helper()
 	var mu sync.Mutex
 	var viols []string
-	sm := core.NewShardedMonitor(2, core.Config{OnViolation: func(v *core.Violation) {
+	var swTr, colTr *tracer.Tracer
+	if traced {
+		swTr = tracer.New(tracer.Config{SampleN: 1})
+		colTr = tracer.New(tracer.Config{SampleN: 1, Ring: 1 << 13})
+	}
+	sm := core.NewShardedMonitor(2, core.Config{Tracer: colTr, OnViolation: func(v *core.Violation) {
 		mu.Lock()
 		viols = append(viols, fmt.Sprintf("%s %s %s", v.Time.Format(time.RFC3339Nano), v.Property, v.Trigger))
 		mu.Unlock()
@@ -176,28 +216,36 @@ func wireOutcome(t *testing.T, spec Spec) []byte {
 	if err := sm.AddProperty(property.CatalogByName(property.DefaultParams(), "firewall-basic")); err != nil {
 		t.Fatal(err)
 	}
-	col, err := collector.New(collector.Config{Addr: "127.0.0.1:0"}, sm)
+	col, err := collector.New(collector.Config{Addr: "127.0.0.1:0", Tracer: colTr}, sm)
 	if err != nil {
 		t.Fatal(err)
 	}
 	col.Serve()
 	defer col.Close()
-	x, err := exporter.New(exporter.Config{Addr: col.Addr().String(), DPID: 1, BatchSize: 32})
+	x, err := exporter.New(exporter.Config{Addr: col.Addr().String(), DPID: 1, BatchSize: 32, Tracer: swTr})
 	if err != nil {
 		t.Fatal(err)
 	}
 	x.Start()
+
+	ingress := func(e core.Event) {
+		if sp := swTr.Sample(1, uint64(e.PacketID), uint8(e.Kind)); sp != nil {
+			sp.Stamp(tracer.StageIngress)
+			e.Trace = sp
+		}
+		x.Publish(e)
+	}
 
 	in := NewInjector(spec)
 	evs := fwEvents()
 	if spec.NeedsBuffer() {
 		evs = in.Apply(evs)
 		for _, e := range evs {
-			x.Publish(e)
+			ingress(e)
 		}
 	} else {
 		in.OnDrop = func(core.Event) { x.NoteLoss(1) }
-		publish := in.Wrap(x.Publish)
+		publish := in.Wrap(ingress)
 		for _, e := range evs {
 			publish(e)
 		}
@@ -244,5 +292,5 @@ func wireOutcome(t *testing.T, spec Spec) []byte {
 	}
 	cs := col.Stats()
 	fmt.Fprintf(&buf, "collector: events=%d gaps=%d deduped=%d\n", cs.Events, cs.GapEvents, cs.Deduped)
-	return buf.Bytes()
+	return buf.Bytes(), colTr
 }

@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"switchmon/internal/obs"
+	"switchmon/internal/obs/tracer"
 )
 
 // PromText writes the snapshot in Prometheus text exposition format
@@ -130,15 +131,16 @@ type HealthFunc func() (healthy bool, detail any)
 //	/healthz          liveness + soundness probe ("ok", or a JSON
 //	                  degradation report when health says unsound)
 //	/violations       JSON dump of the violation ring, oldest first
+//	/trace            completed tracing spans as NDJSON, oldest first
 //	/debug/pprof/...  standard runtime profiles
 //
-// reg, ring, and health may each be nil; the handlers then serve empty
-// documents (and /healthz is a plain liveness probe).
+// reg, ring, health, and tr may each be nil; the handlers then serve
+// empty documents (and /healthz is a plain liveness probe).
 //
 // /healthz answers 200 even when degraded: the process is alive and
 // still monitoring, just with a documented soundness gap. Probes that
 // want to alarm on degradation should parse the status field.
-func NewMux(reg *obs.Registry, ring *obs.Ring, health HealthFunc) *http.ServeMux {
+func NewMux(reg *obs.Registry, ring *obs.Ring, health HealthFunc, tr *tracer.Tracer) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		snap := reg.Snapshot()
@@ -181,6 +183,11 @@ func NewMux(reg *obs.Registry, ring *obs.Ring, health HealthFunc) *http.ServeMux
 			Retained   int               `json:"retained"`
 			Violations []obs.TraceRecord `json:"violations"`
 		}{Total: total, Retained: len(recs), Violations: recs})
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Header().Set("X-Trace-Total", strconv.FormatUint(tr.Total(), 10))
+		_ = tracer.WriteNDJSON(w, tr.Snapshot())
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

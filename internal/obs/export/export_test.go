@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"switchmon/internal/obs"
+	"switchmon/internal/obs/tracer"
 )
 
 func testRegistry() (*obs.Registry, *obs.Ring) {
@@ -72,7 +73,12 @@ func TestLabelEscaping(t *testing.T) {
 
 func TestMuxEndpoints(t *testing.T) {
 	reg, ring := testRegistry()
-	srv := httptest.NewServer(NewMux(reg, ring, nil))
+	tr := tracer.New(tracer.Config{SampleN: 1})
+	sp := tr.Sample(7, 42, 0)
+	sp.StampAt(tracer.StageIngress, 100)
+	sp.StampAt(tracer.StageVerdict, 350)
+	tr.Finish(sp)
+	srv := httptest.NewServer(NewMux(reg, ring, nil, tr))
 	defer srv.Close()
 
 	get := func(path string) string {
@@ -126,6 +132,14 @@ func TestMuxEndpoints(t *testing.T) {
 	if body := get("/debug/pprof/cmdline"); body == "" {
 		t.Fatal("pprof cmdline empty")
 	}
+
+	var rec tracer.SpanRecord
+	if err := json.Unmarshal([]byte(get("/trace")), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.DPID != 7 || rec.PacketID != 42 || rec.E2ENs != 250 {
+		t.Fatalf("/trace record = %+v", rec)
+	}
 }
 
 // /healthz with a HealthFunc: healthy stays the plain "ok" liveness
@@ -137,7 +151,7 @@ func TestMuxHealthzDegraded(t *testing.T) {
 	detail := []map[string]any{{"property": "firewall-basic", "reason": "quarantine"}}
 	srv := httptest.NewServer(NewMux(nil, nil, func() (bool, any) {
 		return healthy, detail
-	}))
+	}, nil))
 	defer srv.Close()
 
 	get := func() (int, string) {
@@ -179,9 +193,9 @@ func TestMuxHealthzDegraded(t *testing.T) {
 }
 
 func TestMuxNilSources(t *testing.T) {
-	srv := httptest.NewServer(NewMux(nil, nil, nil))
+	srv := httptest.NewServer(NewMux(nil, nil, nil, nil))
 	defer srv.Close()
-	for _, path := range []string{"/metrics", "/violations", "/healthz"} {
+	for _, path := range []string{"/metrics", "/violations", "/healthz", "/trace"} {
 		resp, err := srv.Client().Get(srv.URL + path)
 		if err != nil {
 			t.Fatal(err)

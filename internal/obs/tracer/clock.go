@@ -1,0 +1,95 @@
+package tracer
+
+import (
+	"sync"
+
+	"switchmon/internal/obs"
+)
+
+// ClockEstimator tracks the offset between a peer's clock and the
+// local clock from round-trip timestamp samples, NTP style: each
+// sample is (local send time T1, peer time T — the midpoint of the
+// peer's receive and reply stamps, local receive time T4), giving
+//
+//	offset ≈ T − (T1+T4)/2        (peer clock − local clock)
+//	dispersion ≈ (T4−T1)/2        (half the RTT bounds the error)
+//
+// Samples come from the fabric's existing control traffic — the
+// Hello/HelloAck handshake and timestamped cumulative Acks — so the
+// estimate costs no extra frames. Offset and dispersion are smoothed
+// with the TCP-RTT EWMA gain (1/8) and exported as gauges.
+//
+// The estimator's consumer is span alignment: a collector shifts the
+// switch-stamped marks of an incoming span by the (negated) offset
+// before comparing them with its own stamps.
+type ClockEstimator struct {
+	mu      sync.Mutex
+	init    bool
+	offset  float64
+	disp    float64
+	samples uint64
+
+	offsetG *obs.Gauge
+	dispG   *obs.Gauge
+}
+
+// NewClockEstimator builds an estimator publishing to the given
+// gauges (either may be nil).
+func NewClockEstimator(offsetG, dispG *obs.Gauge) *ClockEstimator {
+	return &ClockEstimator{offsetG: offsetG, dispG: dispG}
+}
+
+// AddSample folds in one round trip: localSend and localRecv bracket
+// the exchange on the local clock, peer is the peer's clock reading
+// mid-exchange. Samples with a negative apparent RTT are discarded.
+// Nil-receiver safe.
+func (c *ClockEstimator) AddSample(localSendNs, peerNs, localRecvNs int64) {
+	if c == nil || peerNs == 0 {
+		return
+	}
+	rtt := localRecvNs - localSendNs
+	if rtt < 0 {
+		return
+	}
+	off := float64(peerNs) - (float64(localSendNs) + float64(rtt)/2)
+	dsp := float64(rtt) / 2
+	c.mu.Lock()
+	if !c.init {
+		c.init = true
+		c.offset = off
+		c.disp = dsp
+	} else {
+		const alpha = 1.0 / 8
+		c.offset += alpha * (off - c.offset)
+		c.disp += alpha * (dsp - c.disp)
+	}
+	c.samples++
+	offI, dspI := int64(c.offset), int64(c.disp)
+	c.mu.Unlock()
+	c.offsetG.Set(offI)
+	c.dispG.Set(dspI)
+}
+
+// Estimate returns the current (peer − local) offset and dispersion
+// in ns; ok is false before the first sample. Nil-receiver safe.
+func (c *ClockEstimator) Estimate() (offsetNs, dispNs int64, ok bool) {
+	if c == nil {
+		return 0, 0, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.init {
+		return 0, 0, false
+	}
+	return int64(c.offset), int64(c.disp), true
+}
+
+// Samples counts accepted samples. Nil-receiver safe.
+func (c *ClockEstimator) Samples() uint64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.samples
+}

@@ -55,7 +55,7 @@ func (h *IPv4Header) encodeTo(b []byte, payloadLen int) []byte {
 	b = binary.BigEndian.AppendUint16(b, h.ID)
 	b = binary.BigEndian.AppendUint16(b, uint16(h.Flags)<<13|h.FragOff&0x1fff)
 	b = append(b, h.TTL, byte(h.Protocol))
-	b = append(b, 0, 0) // checksum placeholder
+	b = append(b, 0, 0) // checksum, written below once the header is complete
 	b = append(b, h.Src[:]...)
 	b = append(b, h.Dst[:]...)
 	sum := internetChecksum(b[start:], 0)

@@ -60,8 +60,11 @@ type TCP struct {
 
 const tcpHeaderLen = 20
 
-// appendHeader appends the 20-byte TCP header with a zero checksum; the
-// caller appends the payload and then patches via patchTCPChecksum.
+// appendHeader appends the 20-byte TCP header with the checksum field
+// zeroed; the caller appends the payload directly into the buffer and
+// then calls fillChecksum over the whole segment. The two-phase shape
+// keeps encoding zero-alloc: the payload never passes through a
+// temporary buffer just to be summed.
 func (t *TCP) appendHeader(b []byte) []byte {
 	b = binary.BigEndian.AppendUint16(b, t.SrcPort)
 	b = binary.BigEndian.AppendUint16(b, t.DstPort)
@@ -69,14 +72,15 @@ func (t *TCP) appendHeader(b []byte) []byte {
 	b = binary.BigEndian.AppendUint32(b, t.Ack)
 	b = append(b, 5<<4, byte(t.Flags)) // data offset 5 words
 	b = binary.BigEndian.AppendUint16(b, t.Window)
-	b = append(b, 0, 0) // checksum placeholder
+	b = append(b, 0, 0) // checksum, written by fillChecksum
 	b = binary.BigEndian.AppendUint16(b, t.Urgent)
 	return b
 }
 
-// patchTCPChecksum computes the segment checksum over seg (header plus
-// payload, checksum field zero) and writes it in place.
-func patchTCPChecksum(seg []byte, src, dst IPv4) {
+// fillChecksum computes the RFC 793 segment checksum — pseudo-header
+// plus seg (header and payload, checksum field still zero) — and writes
+// it into the header in place.
+func (t *TCP) fillChecksum(seg []byte, src, dst IPv4) {
 	sum := internetChecksum(seg, pseudoHeaderSum(src, dst, ProtoTCP, len(seg)))
 	binary.BigEndian.PutUint16(seg[16:18], sum)
 }
@@ -116,23 +120,26 @@ type UDP struct {
 
 const udpHeaderLen = 8
 
-// appendHeader appends the 8-byte UDP header with zero length and
-// checksum; the caller appends the payload and then patches via patchUDP.
+// appendHeader appends the 8-byte UDP header with the length and
+// checksum fields zeroed; the caller appends the payload directly into
+// the buffer and then calls fillChecksum over the whole datagram.
 func (u *UDP) appendHeader(b []byte) []byte {
 	b = binary.BigEndian.AppendUint16(b, u.SrcPort)
 	b = binary.BigEndian.AppendUint16(b, u.DstPort)
-	b = append(b, 0, 0) // length patched once the payload has landed
-	b = append(b, 0, 0) // checksum placeholder
+	b = append(b, 0, 0) // length, written by fillChecksum
+	b = append(b, 0, 0) // checksum, written by fillChecksum
 	return b
 }
 
-// patchUDP writes the datagram length and checksum into dg (header plus
-// payload, both fields zero).
-func patchUDP(dg []byte, src, dst IPv4) {
+// fillChecksum writes the datagram length and the RFC 768 checksum
+// (pseudo-header plus header and payload) into dg in place. A computed
+// sum of zero transmits as 0xffff: on the wire, zero means "no
+// checksum".
+func (u *UDP) fillChecksum(dg []byte, src, dst IPv4) {
 	binary.BigEndian.PutUint16(dg[4:6], uint16(len(dg)))
 	sum := internetChecksum(dg, pseudoHeaderSum(src, dst, ProtoUDP, len(dg)))
 	if sum == 0 {
-		sum = 0xffff // RFC 768: transmitted zero means "no checksum"
+		sum = 0xffff
 	}
 	binary.BigEndian.PutUint16(dg[6:8], sum)
 }

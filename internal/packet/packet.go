@@ -165,7 +165,7 @@ func (p *Packet) appendTransport(b []byte) ([]byte, error) {
 		start := len(b)
 		b = p.TCP.appendHeader(b)
 		b = p.appendAppPayload(b, p.TCP.Payload)
-		patchTCPChecksum(b[start:], p.IPv4.Src, p.IPv4.Dst)
+		p.TCP.fillChecksum(b[start:], p.IPv4.Src, p.IPv4.Dst)
 		return b, nil
 	case ProtoUDP:
 		if p.UDP == nil {
@@ -174,7 +174,7 @@ func (p *Packet) appendTransport(b []byte) ([]byte, error) {
 		start := len(b)
 		b = p.UDP.appendHeader(b)
 		b = p.appendAppPayload(b, p.UDP.Payload)
-		patchUDP(b[start:], p.IPv4.Src, p.IPv4.Dst)
+		p.UDP.fillChecksum(b[start:], p.IPv4.Src, p.IPv4.Dst)
 		return b, nil
 	default:
 		return append(b, p.Payload...), nil

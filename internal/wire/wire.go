@@ -5,22 +5,38 @@
 // the switch and ships events to where the property state lives; this
 // package is the ship.
 //
-// A connection carries four frame types:
+// A connection carries five frame types:
 //
-//	Hello     exporter → collector: protocol magic+version, the
-//	          exporter's datapath id, and the sequence number of the
-//	          next event it will send (its resume point).
-//	HelloAck  collector → exporter: the last event sequence number the
-//	          collector has applied for that datapath, so a reconnecting
-//	          exporter can drop already-delivered batches and replay
-//	          only the unacknowledged tail (the collector deduplicates
-//	          any overlap).
-//	Batch     exporter → collector: a run of sequence-contiguous events
-//	          starting at FirstSeq. Gaps between consecutive batches are
-//	          loss, and the collector marks them in the soundness
-//	          ledger; overlap is replay, and the collector skips it.
-//	Ack       collector → exporter: cumulative acknowledgment of the
-//	          highest contiguous event sequence applied.
+//	Hello        exporter → collector: protocol magic+version, the
+//	             exporter's datapath id, and the sequence number of the
+//	             next event it will send (its resume point). Version 2
+//	             hellos also carry a feature bitmap and a send
+//	             timestamp (the first clock sample).
+//	HelloAck     collector → exporter: the last event sequence number
+//	             the collector has applied for that datapath, so a
+//	             reconnecting exporter can drop already-delivered
+//	             batches and replay only the unacknowledged tail (the
+//	             collector deduplicates any overlap). Version 2 acks
+//	             echo the negotiated version and features plus
+//	             receive/reply timestamps, completing an NTP-style
+//	             clock-offset sample.
+//	Batch        exporter → collector: a run of sequence-contiguous
+//	             events starting at FirstSeq. Gaps between consecutive
+//	             batches are loss, and the collector marks them in the
+//	             soundness ledger; overlap is replay, and the collector
+//	             skips it.
+//	TracedBatch  a Batch followed by a trace block: the clock-offset
+//	             estimate and, per sampled event, the span key and the
+//	             switch-side stage marks (version 2 connections with
+//	             FeatureTrace negotiated only).
+//	Ack          collector → exporter: cumulative acknowledgment of the
+//	             highest contiguous event sequence applied, optionally
+//	             timestamped for ongoing clock sampling.
+//
+// Version negotiation is one round: the exporter offers its version and
+// features in Hello, the collector answers with min(offered, own) and
+// the feature intersection, and both sides speak the result. A version
+// 1 peer simply omits the new fields and never sees a TracedBatch.
 //
 // Every frame is a 4-byte big-endian payload length followed by the
 // payload, whose first byte is the frame type. Integers inside payloads
@@ -40,14 +56,28 @@ import (
 	"time"
 
 	"switchmon/internal/core"
+	"switchmon/internal/obs/tracer"
 	"switchmon/internal/packet"
 )
 
-// Version is the protocol version carried in Hello/HelloAck frames. A
-// version mismatch is a handshake error: the fabric has no cross-version
-// compatibility story yet, and pretending otherwise would corrupt
-// monitor state silently.
-const Version uint16 = 1
+// Version is the highest protocol version this build speaks; MinVersion
+// the lowest it still accepts. A version outside the window is a
+// handshake error — within it, the two sides settle on the minimum of
+// their offers, so mixed fleets interoperate without corrupting monitor
+// state silently.
+const (
+	Version    uint16 = 2
+	MinVersion uint16 = 1
+)
+
+// Feature bits offered in a version ≥ 2 Hello and answered (ANDed) in
+// the HelloAck. Unknown bits are ignored, never rejected: a future peer
+// offering more simply gets this build's subset back.
+const (
+	// FeatureTrace enables TracedBatch frames and timestamped Acks on
+	// the connection.
+	FeatureTrace uint64 = 1 << 0
+)
 
 // helloMagic guards against pointing an exporter at a non-collector
 // port (or vice versa): the first four payload bytes of a Hello spell
@@ -76,6 +106,9 @@ const (
 	FrameBatch
 	// FrameAck acknowledges applied events cumulatively.
 	FrameAck
+	// FrameTracedBatch is a Batch with a trailing trace block (version
+	// ≥ 2 connections with FeatureTrace negotiated).
+	FrameTracedBatch
 )
 
 // String names the frame type.
@@ -89,6 +122,8 @@ func (t FrameType) String() string {
 		return "batch"
 	case FrameAck:
 		return "ack"
+	case FrameTracedBatch:
+		return "traced-batch"
 	default:
 		return fmt.Sprintf("FrameType(%d)", uint8(t))
 	}
@@ -102,6 +137,15 @@ type Hello struct {
 	// will send on this connection (1 for a fresh exporter; the head of
 	// its retained queue after a reconnect).
 	NextSeq uint64
+	// Version is the protocol version offered (0 encodes as Version —
+	// the current build's maximum). Decode fills the version actually
+	// on the wire.
+	Version uint16
+	// Features is the feature bitmap offered (version ≥ 2 only).
+	Features uint64
+	// SentNs is the sender's clock when the Hello was built, the T1 of
+	// the handshake's clock-offset sample (version ≥ 2 only).
+	SentNs int64
 }
 
 // HelloAck is the collector's handshake answer.
@@ -110,12 +154,28 @@ type HelloAck struct {
 	// applied for the datapath (0 when it has seen nothing), the
 	// exporter's replay trim point.
 	AckSeq uint64
+	// Version is the negotiated protocol version: min(offered, own).
+	// 0 encodes as the current build's Version.
+	Version uint16
+	// Features is the negotiated feature intersection (version ≥ 2).
+	Features uint64
+	// RecvNs and SentNs are the collector's clock when the Hello
+	// arrived (T2) and when this answer was built (T3) — with the
+	// exporter's T1/T4 they complete one NTP-style offset sample
+	// (version ≥ 2 only).
+	RecvNs int64
+	SentNs int64
 }
 
 // Ack is the collector's cumulative acknowledgment.
 type Ack struct {
 	// AckSeq is the highest contiguous event sequence applied.
 	AckSeq uint64
+	// SentNs, when nonzero, is the collector's clock when the Ack was
+	// built — an ongoing clock sample for the exporter's offset
+	// estimator. Zero is never encoded (a v1 Ack simply ends after
+	// AckSeq), which keeps the encoding canonical.
+	SentNs int64
 }
 
 // Batch is a run of events with consecutive sequence numbers: event i
@@ -127,6 +187,18 @@ type Ack struct {
 type Batch struct {
 	FirstSeq uint64
 	Events   []core.Event
+
+	// Traced selects the TracedBatch encoding: the batch carries a
+	// trace block with the clock-offset estimate and the switch-side
+	// stage marks of every sampled event. Only version ≥ 2 connections
+	// with FeatureTrace negotiated may set it.
+	Traced bool
+	// ClockOffsetNs/ClockDispNs are the sender's estimate of
+	// (collector clock − switch clock) and its dispersion, shipped so
+	// the collector can align the remote marks without re-deriving the
+	// estimate (Traced batches only).
+	ClockOffsetNs int64
+	ClockDispNs   int64
 }
 
 // LastSeq is the sequence number of the batch's final event. For an
@@ -161,30 +233,55 @@ func endFrame(buf []byte, lenAt int) ([]byte, error) {
 	return buf, nil
 }
 
-// AppendHello appends an encoded Hello frame to buf.
+// AppendHello appends an encoded Hello frame to buf. A zero Version
+// encodes as the current build's Version; version 1 omits the feature
+// and timestamp fields.
 func AppendHello(buf []byte, h Hello) []byte {
+	ver := h.Version
+	if ver == 0 {
+		ver = Version
+	}
 	buf, lenAt := beginFrame(buf, FrameHello)
 	buf = binary.BigEndian.AppendUint32(buf, helloMagic)
-	buf = binary.BigEndian.AppendUint16(buf, Version)
+	buf = binary.BigEndian.AppendUint16(buf, ver)
 	buf = binary.AppendUvarint(buf, h.DPID)
 	buf = binary.AppendUvarint(buf, h.NextSeq)
+	if ver >= 2 {
+		buf = binary.AppendUvarint(buf, h.Features)
+		buf = binary.AppendVarint(buf, h.SentNs)
+	}
 	buf, _ = endFrame(buf, lenAt) // fixed-size payload, cannot overflow
 	return buf
 }
 
-// AppendHelloAck appends an encoded HelloAck frame to buf.
+// AppendHelloAck appends an encoded HelloAck frame to buf. A zero
+// Version encodes as the current build's Version.
 func AppendHelloAck(buf []byte, a HelloAck) []byte {
+	ver := a.Version
+	if ver == 0 {
+		ver = Version
+	}
 	buf, lenAt := beginFrame(buf, FrameHelloAck)
-	buf = binary.BigEndian.AppendUint16(buf, Version)
+	buf = binary.BigEndian.AppendUint16(buf, ver)
 	buf = binary.AppendUvarint(buf, a.AckSeq)
+	if ver >= 2 {
+		buf = binary.AppendUvarint(buf, a.Features)
+		buf = binary.AppendVarint(buf, a.RecvNs)
+		buf = binary.AppendVarint(buf, a.SentNs)
+	}
 	buf, _ = endFrame(buf, lenAt)
 	return buf
 }
 
-// AppendAck appends an encoded Ack frame to buf.
+// AppendAck appends an encoded Ack frame to buf. The timestamp rides
+// only when nonzero, so v1 receivers (which reject trailing bytes)
+// are only ever sent untimed Acks by a correct peer.
 func AppendAck(buf []byte, a Ack) []byte {
 	buf, lenAt := beginFrame(buf, FrameAck)
 	buf = binary.AppendUvarint(buf, a.AckSeq)
+	if a.SentNs != 0 {
+		buf = binary.AppendVarint(buf, a.SentNs)
+	}
 	buf, _ = endFrame(buf, lenAt)
 	return buf
 }
@@ -197,7 +294,11 @@ func AppendBatch(buf []byte, b *Batch) ([]byte, error) {
 	if len(b.Events) > MaxBatchEvents {
 		return nil, fmt.Errorf("wire: batch of %d events exceeds MaxBatchEvents %d", len(b.Events), MaxBatchEvents)
 	}
-	buf, lenAt := beginFrame(buf, FrameBatch)
+	ft := FrameBatch
+	if b.Traced {
+		ft = FrameTracedBatch
+	}
+	buf, lenAt := beginFrame(buf, ft)
 	buf = binary.AppendUvarint(buf, b.FirstSeq)
 	buf = binary.AppendUvarint(buf, uint64(len(b.Events)))
 	var err error
@@ -207,7 +308,48 @@ func AppendBatch(buf []byte, b *Batch) ([]byte, error) {
 			return nil, err
 		}
 	}
+	if b.Traced {
+		buf = appendTraceBlock(buf, b)
+	}
 	return endFrame(buf, lenAt)
+}
+
+// appendTraceBlock appends the batch's trace block: the clock-offset
+// estimate, then one entry per event carrying a span — its index, span
+// key, switch-stage mask, and the marks for each set bit.
+//
+// Only SwitchStageMask bits are shipped: every switch-side stage is
+// stamped before the send loop encodes the batch (and marks are
+// write-once), so the masked view is stable even while a co-located
+// engine keeps stamping the span's collector-side stages concurrently.
+// That stability is what lets the two passes below (count, then emit)
+// agree, and what makes a replayed batch re-encode the same block.
+func appendTraceBlock(buf []byte, b *Batch) []byte {
+	buf = binary.AppendVarint(buf, b.ClockOffsetNs)
+	buf = binary.AppendUvarint(buf, uint64(b.ClockDispNs))
+	cnt := 0
+	for i := range b.Events {
+		if b.Events[i].Trace.StageMask()&tracer.SwitchStageMask != 0 {
+			cnt++
+		}
+	}
+	buf = binary.AppendUvarint(buf, uint64(cnt))
+	for i := range b.Events {
+		sp := b.Events[i].Trace
+		mask := sp.StageMask() & tracer.SwitchStageMask
+		if mask == 0 {
+			continue
+		}
+		buf = binary.AppendUvarint(buf, uint64(i))
+		buf = binary.BigEndian.AppendUint64(buf, sp.Key)
+		buf = append(buf, mask)
+		for st := tracer.Stage(0); st < tracer.NumStages; st++ {
+			if mask&(1<<st) != 0 {
+				buf = binary.AppendVarint(buf, sp.Mark(st))
+			}
+		}
+	}
+	return buf
 }
 
 // appendEvent appends one event's encoding.
@@ -370,12 +512,11 @@ func decodePayload(payload []byte) (any, error) {
 	case FrameHelloAck:
 		frame, err = decodeHelloAck(c)
 	case FrameBatch:
-		frame, err = decodeBatch(c)
+		frame, err = decodeBatch(c, false)
+	case FrameTracedBatch:
+		frame, err = decodeBatch(c, true)
 	case FrameAck:
-		var seq uint64
-		if seq, err = c.uvarint(); err == nil {
-			frame = Ack{AckSeq: seq}
-		}
+		frame, err = decodeAck(c)
 	default:
 		return nil, fmt.Errorf("wire: unknown frame type %d", tb)
 	}
@@ -400,15 +541,23 @@ func decodeHello(c *cursor) (Hello, error) {
 	if err != nil {
 		return Hello{}, err
 	}
-	if ver != Version {
-		return Hello{}, fmt.Errorf("wire: protocol version %d, want %d", ver, Version)
+	if ver < MinVersion || ver > Version {
+		return Hello{}, fmt.Errorf("wire: protocol version %d, want %d..%d", ver, MinVersion, Version)
 	}
-	var h Hello
+	h := Hello{Version: ver}
 	if h.DPID, err = c.uvarint(); err != nil {
 		return Hello{}, err
 	}
 	if h.NextSeq, err = c.uvarint(); err != nil {
 		return Hello{}, err
+	}
+	if ver >= 2 {
+		if h.Features, err = c.uvarint(); err != nil {
+			return Hello{}, err
+		}
+		if h.SentNs, err = c.varint(); err != nil {
+			return Hello{}, err
+		}
 	}
 	return h, nil
 }
@@ -418,18 +567,50 @@ func decodeHelloAck(c *cursor) (HelloAck, error) {
 	if err != nil {
 		return HelloAck{}, err
 	}
-	if ver != Version {
-		return HelloAck{}, fmt.Errorf("wire: protocol version %d, want %d", ver, Version)
+	if ver < MinVersion || ver > Version {
+		return HelloAck{}, fmt.Errorf("wire: protocol version %d, want %d..%d", ver, MinVersion, Version)
 	}
-	var a HelloAck
+	a := HelloAck{Version: ver}
 	if a.AckSeq, err = c.uvarint(); err != nil {
 		return HelloAck{}, err
+	}
+	if ver >= 2 {
+		if a.Features, err = c.uvarint(); err != nil {
+			return HelloAck{}, err
+		}
+		if a.RecvNs, err = c.varint(); err != nil {
+			return HelloAck{}, err
+		}
+		if a.SentNs, err = c.varint(); err != nil {
+			return HelloAck{}, err
+		}
 	}
 	return a, nil
 }
 
-func decodeBatch(c *cursor) (*Batch, error) {
-	b := &Batch{}
+// decodeAck reads an Ack: the cumulative sequence, plus an optional
+// trailing timestamp. A present timestamp must be nonzero — zero is
+// "absent" and encoding it would make two byte strings decode to the
+// same value, breaking the codec's canonical round trip.
+func decodeAck(c *cursor) (Ack, error) {
+	var a Ack
+	var err error
+	if a.AckSeq, err = c.uvarint(); err != nil {
+		return Ack{}, err
+	}
+	if c.remaining() > 0 {
+		if a.SentNs, err = c.varint(); err != nil {
+			return Ack{}, err
+		}
+		if a.SentNs == 0 {
+			return Ack{}, fmt.Errorf("wire: explicit zero ack timestamp")
+		}
+	}
+	return a, nil
+}
+
+func decodeBatch(c *cursor, traced bool) (*Batch, error) {
+	b := &Batch{Traced: traced}
 	var err error
 	if b.FirstSeq, err = c.uvarint(); err != nil {
 		return nil, err
@@ -438,24 +619,98 @@ func decodeBatch(c *cursor) (*Batch, error) {
 	if err != nil {
 		return nil, err
 	}
-	if count == 0 {
-		return b, nil // sequence-advance marker
-	}
 	if count > MaxBatchEvents {
 		return nil, fmt.Errorf("wire: batch declares %d events, max %d", count, MaxBatchEvents)
 	}
-	// Sanity-bound the allocation by the bytes actually present: even a
-	// packetless event costs at least 9 payload bytes.
-	if int(count) > c.remaining() {
-		return nil, fmt.Errorf("wire: batch declares %d events in %d bytes", count, c.remaining())
+	if count > 0 {
+		// Sanity-bound the allocation by the bytes actually present:
+		// even a packetless event costs at least 9 payload bytes.
+		if int(count) > c.remaining() {
+			return nil, fmt.Errorf("wire: batch declares %d events in %d bytes", count, c.remaining())
+		}
+		b.Events = make([]core.Event, count)
+		for i := range b.Events {
+			if err := decodeEvent(c, &b.Events[i]); err != nil {
+				return nil, fmt.Errorf("wire: event %d: %w", i, err)
+			}
+		}
 	}
-	b.Events = make([]core.Event, count)
-	for i := range b.Events {
-		if err := decodeEvent(c, &b.Events[i]); err != nil {
-			return nil, fmt.Errorf("wire: event %d: %w", i, err)
+	if traced {
+		if err := decodeTraceBlock(c, b); err != nil {
+			return nil, err
 		}
 	}
 	return b, nil
+}
+
+// decodeTraceBlock reads a TracedBatch's trailing trace block and
+// materializes a span on each listed event, carrying the switch-side
+// marks flagged as remote-clock. Strictness mirrors the rest of the
+// codec: entry indexes must be in range and strictly ascending, stage
+// masks nonzero and within SwitchStageMask, marks nonzero — every
+// accepted block re-encodes byte-identically.
+func decodeTraceBlock(c *cursor, b *Batch) error {
+	var err error
+	if b.ClockOffsetNs, err = c.varint(); err != nil {
+		return err
+	}
+	disp, err := c.uvarint()
+	if err != nil {
+		return err
+	}
+	b.ClockDispNs = int64(disp)
+	count, err := c.uvarint()
+	if err != nil {
+		return err
+	}
+	if count > uint64(len(b.Events)) {
+		return fmt.Errorf("wire: trace block declares %d entries for %d events", count, len(b.Events))
+	}
+	last := -1
+	for k := uint64(0); k < count; k++ {
+		idx, err := c.uvarint()
+		if err != nil {
+			return err
+		}
+		if idx >= uint64(len(b.Events)) || int(idx) <= last {
+			return fmt.Errorf("wire: trace entry index %d (after %d, %d events)", idx, last, len(b.Events))
+		}
+		last = int(idx)
+		keyB, err := c.take(8)
+		if err != nil {
+			return err
+		}
+		mask, err := c.byte()
+		if err != nil {
+			return err
+		}
+		if mask == 0 || mask&^tracer.SwitchStageMask != 0 {
+			return fmt.Errorf("wire: trace entry stage mask %02x", mask)
+		}
+		e := &b.Events[idx]
+		sp := &tracer.Span{
+			Key:      binary.BigEndian.Uint64(keyB),
+			DPID:     e.SwitchID,
+			PacketID: uint64(e.PacketID),
+			Kind:     uint8(e.Kind),
+		}
+		sp.MarkRemote(mask)
+		for st := tracer.Stage(0); st < tracer.NumStages; st++ {
+			if mask&(1<<st) == 0 {
+				continue
+			}
+			m, err := c.varint()
+			if err != nil {
+				return err
+			}
+			if m == 0 {
+				return fmt.Errorf("wire: zero trace mark for stage %s", st)
+			}
+			sp.StampAt(st, m)
+		}
+		e.Trace = sp
+	}
+	return nil
 }
 
 func decodeEvent(c *cursor, e *core.Event) error {

@@ -32,9 +32,12 @@ func testEvents(t *testing.T) []core.Event {
 // field-level equality plus byte-level stability on re-encode.
 func TestFrameRoundTrips(t *testing.T) {
 	frames := []any{
-		Hello{DPID: 42, NextSeq: 7},
-		HelloAck{AckSeq: 6},
+		Hello{DPID: 42, NextSeq: 7, Version: 1},
+		Hello{DPID: 42, NextSeq: 7, Version: 2, Features: FeatureTrace, SentNs: 123456789},
+		HelloAck{AckSeq: 6, Version: 1},
+		HelloAck{AckSeq: 6, Version: 2, Features: FeatureTrace, RecvNs: 1000, SentNs: 2000},
 		Ack{AckSeq: 9000},
+		Ack{AckSeq: 9001, SentNs: 77777},
 		&Batch{FirstSeq: 11, Events: testEvents(t)},
 	}
 	for _, f := range frames {

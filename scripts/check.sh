@@ -34,6 +34,7 @@ go test -race ./internal/core/... ./internal/backend/... ./internal/integration/
 # -count=1 so a cached pass can't mask a regression.
 echo "==> zero-alloc telemetry gates"
 go test -count=1 -run 'TestHotPathZeroAlloc' ./internal/obs/
+go test -count=1 -run 'TestUnsampledPathZeroAlloc' ./internal/obs/tracer/
 go test -count=1 -run 'TestSteadyStateAllocationBudget' ./internal/core/
 
 # Codec fuzz smoke: a few seconds of coverage-guided input on the packet
@@ -46,5 +47,10 @@ go test -fuzz FuzzCodecRoundTrip -fuzztime 10s -run '^$' ./internal/packet/
 # and canonical re-encode must stay a fixed point for any input.
 echo "==> wire codec fuzz smoke (10s)"
 go test -fuzz FuzzWireRoundTrip -fuzztime 10s -run '^$' ./internal/wire/
+
+# And for the v2 trace block: batches carrying span marks must decode
+# and canonically re-encode for any input, without disturbing v1 frames.
+echo "==> trace block fuzz smoke (10s)"
+go test -fuzz FuzzTraceBlockRoundTrip -fuzztime 10s -run '^$' ./internal/wire/
 
 echo "OK"
