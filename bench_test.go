@@ -233,7 +233,7 @@ func BenchmarkE8Sharding(b *testing.B) {
 			if err := sm.AddProperty(fwProp(b)); err != nil {
 				b.Fatal(err)
 			}
-			sm.SubmitBatch(open)
+			sm.SubmitBatch(open, nil)
 			sm.Drain()
 			b.ReportAllocs()
 			b.ResetTimer()

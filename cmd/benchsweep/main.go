@@ -16,8 +16,15 @@
 //	    TCP -> collector), per-event framing as the degenerate case
 //	e14 detection latency vs. wire batch size: per-stage and end-to-end
 //	    p50/p99 from traced spans crossing the same fabric
+//	e15 adaptive sealing vs fixed batch sizes: sustained throughput and
+//	    detection latency per config — does one adaptive config reach
+//	    e13's throughput at e14's best-case latency?
 //
-// Usage: benchsweep [-exp all|e3|e4|e5|e6|e7|e8|e11|e12|e13|e14] [-json dir] [-cpuprofile f] [-memprofile f]
+// Usage: benchsweep [-exp all|e3|e4|e5|e6|e7|e8|e11|e12|e13|e14|e15] [-smoke] [-json dir] [-cpuprofile f] [-memprofile f]
+//
+// -smoke shrinks every workload so the selected sweeps finish in
+// seconds; CI runs `benchsweep -exp e15 -smoke` as a fabric liveness
+// gate. Committed BENCH_*.json artifacts always come from full runs.
 //
 // With -json, each experiment additionally writes BENCH_<exp>.json (one
 // JSON array of rows) into the given directory. Sweeps that drive the
@@ -77,8 +84,13 @@ func writeRows(dir, exp string, rows []benchRow) error {
 	return f.Close()
 }
 
+// smoke shrinks every sweep's workload to a fast liveness check; set
+// by the -smoke flag, read by the sweeps that honor it.
+var smoke bool
+
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, e3, e4, e5, e6, e7, e8, e11, e12, e13, e14")
+	exp := flag.String("exp", "all", "experiment to run: all, e3, e4, e5, e6, e7, e8, e11, e12, e13, e14, e15")
+	flag.BoolVar(&smoke, "smoke", false, "shrink workloads to a seconds-long smoke run (CI liveness, not a benchmark)")
 	jsonDir := flag.String("json", "", "also write BENCH_<exp>.json rows into this directory")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (after the sweep) to this file")
@@ -115,11 +127,11 @@ func main() {
 	run := map[string]func() []benchRow{
 		"e3": sweepE3, "e4": sweepE4, "e5": sweepE5, "e6": sweepE6, "e7": sweepE7,
 		"e8": sweepE8, "e11": sweepE11, "e12": sweepE12, "e13": sweepE13,
-		"e14": sweepE14,
+		"e14": sweepE14, "e15": sweepE15,
 	}
 	names := []string{*exp}
 	if *exp == "all" {
-		names = []string{"e3", "e4", "e5", "e6", "e7", "e8", "e11", "e12", "e13", "e14"}
+		names = []string{"e3", "e4", "e5", "e6", "e7", "e8", "e11", "e12", "e13", "e14", "e15"}
 	}
 	for i, name := range names {
 		fn, ok := run[name]
@@ -453,11 +465,11 @@ func sweepE8() []benchRow {
 		if err := sm.AddProperty(fwProp()); err != nil {
 			panic(err)
 		}
-		sm.SubmitBatch(open)
+		sm.SubmitBatch(open, nil)
 		sm.Drain()
 		before := reg.Snapshot()
 		start := time.Now()
-		sm.SubmitBatch(returns)
+		sm.SubmitBatch(returns, nil)
 		sm.Barrier()
 		elapsed := time.Since(start)
 		ns := float64(elapsed.Nanoseconds()) / float64(len(returns))
@@ -553,8 +565,14 @@ type countingSink struct {
 	lost   atomic.Uint64
 }
 
-func (s *countingSink) Submit(core.Event) error { s.events.Add(1); return nil }
-func (s *countingSink) Tick(time.Time)          {}
+func (s *countingSink) SubmitBatch(evs []core.Event, release func()) error {
+	s.events.Add(uint64(len(evs)))
+	if release != nil {
+		release()
+	}
+	return nil
+}
+func (s *countingSink) Tick(time.Time) {}
 func (s *countingSink) MarkLoss(_ core.UnsoundReason, _ time.Time, n uint64, _ string) {
 	s.lost.Add(n)
 }
@@ -590,7 +608,7 @@ func sweepE13() []benchRow {
 				if err := sm.AddProperty(fwProp()); err != nil {
 					panic(err)
 				}
-				sm.SubmitBatch(open)
+				sm.SubmitBatch(open, nil)
 				sm.Drain()
 				sink = sm
 			}
@@ -703,7 +721,7 @@ func sweepE14() []benchRow {
 		if err := sm.AddProperty(fwProp()); err != nil {
 			panic(err)
 		}
-		sm.SubmitBatch(open)
+		sm.SubmitBatch(open, nil)
 		sm.Drain()
 		col, err := collector.New(collector.Config{Addr: "127.0.0.1:0", Tracer: colTr}, sm)
 		if err != nil {
@@ -873,6 +891,205 @@ func sweepE12() []benchRow {
 				CounterDeltas: obs.DiffCounters(before, reg.Snapshot()),
 			})
 		}
+	}
+	return rows
+}
+
+// e15Throughput blasts the return traffic through exporter -> TCP ->
+// collector -> sharded engine as fast as the fabric accepts it (the
+// e13 "engine" protocol) and reports the sustained rate.
+func e15Throughput(xcfg exporter.Config, flows, rounds int) (evps, ns float64, batches, bytes uint64) {
+	open := trace.HighFlowWorkload{Flows: flows, Gap: time.Microsecond}.Events(sim.Epoch)
+	work := trace.HighFlowWorkload{Flows: flows, Rounds: rounds, ViolationEvery: 1000, Gap: time.Microsecond}.Events(sim.Epoch)
+	returns := work[2*flows:]
+
+	sm := core.NewShardedMonitor(4, core.Config{OnViolation: func(*core.Violation) {}})
+	if err := sm.AddProperty(fwProp()); err != nil {
+		panic(err)
+	}
+	sm.SubmitBatch(open, nil)
+	sm.Drain()
+	col, err := collector.New(collector.Config{Addr: "127.0.0.1:0"}, sm)
+	if err != nil {
+		panic(err)
+	}
+	col.Serve()
+	xcfg.Addr = col.Addr().String()
+	xcfg.DPID = 1
+	x, err := exporter.New(xcfg)
+	if err != nil {
+		panic(err)
+	}
+	x.Start()
+	start := time.Now()
+	for i := range returns {
+		x.Publish(returns[i])
+	}
+	x.Flush()
+	deadline := time.Now().Add(30 * time.Second)
+	for col.Stats().Events < uint64(len(returns)) {
+		if time.Now().After(deadline) {
+			panic(fmt.Sprintf("e15: collector applied %d of %d events", col.Stats().Events, len(returns)))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	elapsed := time.Since(start)
+	if abandoned := x.Close(5 * time.Second); abandoned != 0 {
+		panic(fmt.Sprintf("e15: exporter abandoned %d events", abandoned))
+	}
+	col.Close()
+	sm.Close()
+	cs := col.Stats()
+	return float64(len(returns)) / elapsed.Seconds(),
+		float64(elapsed.Nanoseconds()) / float64(len(returns)),
+		cs.Batches, cs.Bytes
+}
+
+// e15Latency drives the same fabric with every event traced (SampleN=1)
+// and the publisher paced to a steady per-event gap via time.Sleep —
+// sleeping, not spinning, so on small machines (CI runs this with one
+// CPU) the pauses are exactly when the collector and shards get the
+// processor, as they would with a real network between the hosts. The
+// OS rounds short sleeps up, so the realized gap (reported in the row)
+// is the measurement's rate, not the nominal one. Reports end-to-end
+// detection-latency percentiles and the batch-seal wait.
+func e15Latency(xcfg exporter.Config, flows, rounds int, paceGap time.Duration) (p50, p99, sealP50 int64, spans int, realizedGap time.Duration) {
+	open := trace.HighFlowWorkload{Flows: flows, Gap: time.Microsecond}.Events(sim.Epoch)
+	work := trace.HighFlowWorkload{Flows: flows, Rounds: rounds, Gap: time.Microsecond}.Events(sim.Epoch)
+	returns := work[2*flows:]
+
+	swTr := tracer.New(tracer.Config{SampleN: 1})
+	colTr := tracer.New(tracer.Config{SampleN: 1, Ring: 2 * len(returns)})
+	sm := core.NewShardedMonitor(4, core.Config{OnViolation: func(*core.Violation) {}, Tracer: colTr})
+	if err := sm.AddProperty(fwProp()); err != nil {
+		panic(err)
+	}
+	sm.SubmitBatch(open, nil)
+	sm.Drain()
+	col, err := collector.New(collector.Config{Addr: "127.0.0.1:0", Tracer: colTr}, sm)
+	if err != nil {
+		panic(err)
+	}
+	col.Serve()
+	xcfg.Addr = col.Addr().String()
+	xcfg.DPID = 1
+	xcfg.Tracer = swTr
+	x, err := exporter.New(xcfg)
+	if err != nil {
+		panic(err)
+	}
+	x.Start()
+	start := time.Now()
+	for i := range returns {
+		e := returns[i]
+		e.PacketID = core.PacketID(i + 1)
+		if sp := swTr.Sample(1, uint64(e.PacketID), uint8(e.Kind)); sp != nil {
+			sp.Stamp(tracer.StageIngress)
+			e.Trace = sp
+		}
+		x.Publish(e)
+		time.Sleep(paceGap)
+	}
+	realizedGap = time.Since(start) / time.Duration(len(returns))
+	x.Flush()
+	deadline := time.Now().Add(30 * time.Second)
+	for col.Stats().Events < uint64(len(returns)) {
+		if time.Now().After(deadline) {
+			panic(fmt.Sprintf("e15: collector applied %d of %d events", col.Stats().Events, len(returns)))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if abandoned := x.Close(5 * time.Second); abandoned != 0 {
+		panic(fmt.Sprintf("e15: exporter abandoned %d events", abandoned))
+	}
+	col.Close()
+	sm.Drain()
+
+	recs := colTr.Snapshot()
+	var e2e, seal []int64
+	for _, r := range recs {
+		if r.E2ENs > 0 {
+			e2e = append(e2e, r.E2ENs)
+		}
+		if d, ok := r.StageNs["batch_seal"]; ok {
+			seal = append(seal, d)
+		}
+	}
+	sm.Close()
+	return pctNs(e2e, 0.50), pctNs(e2e, 0.99), pctNs(seal, 0.50), len(recs), realizedGap
+}
+
+// sweepE15: the latency/throughput frontier with one config. e13 shows
+// sustained fabric throughput needs big batches; e14 shows detection
+// latency needs small ones. Each config here is measured both ways —
+// an unpaced blast for throughput, then a steadily paced fully-traced
+// stream for latency percentiles — so the row answers whether the
+// adaptive controller (switchmon -export defaults: -batch-slo 250µs,
+// -batch-max 256) reaches the fixed sweep's best throughput and its
+// best-case latency simultaneously, where every fixed size gets only
+// one side of the frontier.
+func sweepE15() []benchRow {
+	var rows []benchRow
+	fmt.Println("E15: adaptive sealing vs fixed batch size: throughput and detection latency, one config")
+	fmt.Printf("%-12s %14s %12s %12s %12s %12s %12s\n",
+		"config", "events/sec", "ns/event", "e2e_p50", "e2e_p99", "seal_p50", "pace_gap")
+
+	const (
+		slo     = 250 * time.Microsecond
+		maxB    = 256
+		paceGap = 25 * time.Microsecond // steady ~40k events/s for the latency phase
+	)
+	tFlows, tRounds := 4096, 8
+	lFlows, lRounds := 2048, 2
+	if smoke {
+		tFlows, tRounds = 512, 2
+		lFlows, lRounds = 256, 2
+	}
+
+	type config struct {
+		label string
+		batch int // 0 = adaptive
+	}
+	configs := []config{{"fixed/8", 8}, {"fixed/64", 64}, {"fixed/256", 256}, {"adaptive", 0}}
+	for _, c := range configs {
+		// Throughput phase: fixed configs get e13's long age bound so
+		// BatchSize governs; the adaptive config is identical in both
+		// phases — that is the claim under test.
+		txc := exporter.Config{TargetSealLatency: slo, BatchSizeMax: maxB}
+		lxc := txc
+		if c.batch > 0 {
+			txc = exporter.Config{BatchSize: c.batch, MaxBatchAge: 50 * time.Millisecond}
+			// Latency phase: e14's age bound, so a partial batch cannot
+			// strand a verdict for 50ms.
+			lxc = exporter.Config{BatchSize: c.batch, MaxBatchAge: 5 * time.Millisecond}
+		}
+		evps, ns, batches, bytes := e15Throughput(txc, tFlows, tRounds)
+		p50, p99, sealP50, spans, realized := e15Latency(lxc, lFlows, lRounds, paceGap)
+		fmt.Printf("%-12s %14.0f %12.0f %12d %12d %12d %12s\n", c.label, evps, ns, p50, p99, sealP50, realized)
+		params := map[string]any{"config": c.label, "batch_size": c.batch}
+		if c.batch == 0 {
+			params["slo_us"] = slo.Microseconds()
+			params["batch_max"] = maxB
+		}
+		rows = append(rows, benchRow{
+			Exp:        "e15",
+			Params:     params,
+			NsPerEvent: ns,
+			Extra: map[string]any{
+				"events_per_sec":  evps,
+				"batches":         batches,
+				"wire_bytes":      bytes,
+				"e2e_p50_ns":      p50,
+				"e2e_p99_ns":      p99,
+				"seal_p50_ns":     sealP50,
+				"spans":           spans,
+				"pace_gap_ns":     paceGap.Nanoseconds(),
+				"realized_gap_ns": realized.Nanoseconds(),
+				"smoke":           smoke,
+				"events_tput":     tFlows * tRounds,
+				"events_latency":  lFlows * lRounds,
+			},
+		})
 	}
 	return rows
 }

@@ -16,6 +16,12 @@
 // The process serves until SIGINT, printing violations as they fire
 // (or as NDJSON with -json), then prints an exit report: engine stats,
 // per-datapath wire accounting, and the degradation ledger.
+//
+// Batching is negotiated switch-side: exporters seal adaptively
+// against a latency SLO (switchmon -export defaults: -batch-slo 250µs,
+// -batch-max 256), so the collector sees per-event frames under
+// trickle traffic and full batches under bursts. The pooled ingest
+// path here decodes either shape without per-event allocation.
 package main
 
 import (

@@ -28,6 +28,10 @@
 // to a central collector (cmd/collector) as sequenced wire batches,
 // with at-least-once delivery and wire-loss accounting in the exit
 // report. -export-dpid sets the datapath id announced to the collector.
+// Batch sealing is adaptive: -batch-slo sets the target seal latency
+// (default 250µs) and -batch-max the size clamp (default 256); the
+// exporter grows batches toward the clamp under bursts and collapses
+// to per-event shipping under trickle traffic.
 //
 // -fault injects deterministic faults into the run (internal/fault);
 // every injected loss lands in the soundness ledger, which the exit
@@ -169,6 +173,8 @@ func run() error {
 
 		exportAddr = flag.String("export", "", "also ship the event stream to a central collector at this address (cmd/collector)")
 		exportDPID = flag.Uint64("export-dpid", 1, "datapath id announced to the collector by -export")
+		batchSLO   = flag.Duration("batch-slo", 250*time.Microsecond, "with -export: target batch-seal latency; the exporter adapts its batch size to fill within this budget")
+		batchMax   = flag.Int("batch-max", 256, "with -export: upper clamp on the adaptive batch size")
 
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /healthz, /violations, /debug/pprof on this address")
 		hold        = flag.Duration("hold", 0, "with -metrics-addr: keep serving this long after the run (0 = until SIGINT)")
@@ -277,7 +283,17 @@ func run() error {
 	var exp *exporter.Exporter
 	feed := mon.HandleEvent
 	if *exportAddr != "" {
-		exp, err = exporter.New(exporter.Config{Addr: *exportAddr, DPID: *exportDPID, Metrics: reg, Tracer: tr})
+		if *batchSLO <= 0 {
+			return fmt.Errorf("-batch-slo %v: the seal-latency budget must be positive", *batchSLO)
+		}
+		if *batchMax < 1 {
+			return fmt.Errorf("-batch-max %d: the batch-size clamp must be at least 1", *batchMax)
+		}
+		exp, err = exporter.New(exporter.Config{
+			Addr: *exportAddr, DPID: *exportDPID,
+			TargetSealLatency: *batchSLO, BatchSizeMax: *batchMax,
+			Metrics: reg, Tracer: tr,
+		})
 		if err != nil {
 			return err
 		}

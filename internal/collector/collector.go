@@ -41,8 +41,13 @@ import (
 // Sink consumes the merged event stream. *core.ShardedMonitor satisfies
 // it directly; tests substitute recorders.
 type Sink interface {
-	// Submit feeds one event to the engine.
-	Submit(e core.Event) error
+	// SubmitBatch feeds a batch of events to the engine. When release is
+	// non-nil the events are borrowed: the sink may read them (by
+	// reference) until it calls release, after which the backing storage
+	// is recycled. release must be called exactly once on every path,
+	// including errors. A nil release means the events are owned by the
+	// caller indefinitely and the sink may retain or copy them freely.
+	SubmitBatch(evs []core.Event, release func()) error
 	// Tick advances the engine's clocks to t (fires due timers).
 	Tick(t time.Time)
 	// MarkLoss records n lost events against every installed property.
@@ -268,7 +273,10 @@ func (c *Collector) serveConn(conn net.Conn) {
 		_ = tc.SetReadBuffer(c.cfg.ConnReadBuffer)
 	}
 	cr := &countingReader{r: conn}
-	r := wire.NewReader(cr)
+	// Pooled decode: each batch's events live in a per-batch arena that
+	// applyBatch lends to the sink and recycles on release — zero
+	// steady-state allocation on the ingest path.
+	r := wire.NewPooledReader(cr)
 	f, err := r.Next()
 	if err != nil {
 		return
@@ -325,6 +333,7 @@ func (c *Collector) serveConn(conn net.Conn) {
 			return // only batches flow exporter→collector after the handshake
 		}
 		if b.FirstSeq == 0 {
+			b.Release()
 			return // sequences start at 1; 0 would corrupt the gap math
 		}
 		ackSeq, applied := c.applyBatch(hello.DPID, dp, b, cr.n-prevBytes, recvNs)
@@ -398,12 +407,19 @@ func (c *Collector) applyBatch(dpid uint64, dp *dpState, b *wire.Batch, frameByt
 			sp.StampAt(tracer.StageCollectorRecv, recvNs)
 			e.Trace = sp
 		}
-		if err := c.sink.Submit(*e); err != nil {
-			return 0, false // core.ErrClosed: the engine is shutting down
-		}
+	}
+	// The sink borrows the batch's arena; it is recycled once the last
+	// shard has dispatched. Read the tick time before handing the events
+	// off — after SubmitBatch they may be released at any moment.
+	var tickAt time.Time
+	if len(evs) > 0 {
+		tickAt = evs[len(evs)-1].Time
+	}
+	if err := c.sink.SubmitBatch(evs, b.ReleaseFunc()); err != nil {
+		return 0, false // core.ErrClosed: the engine is shutting down
 	}
 	if len(evs) > 0 {
-		c.tick(evs[len(evs)-1].Time)
+		c.tick(tickAt)
 	}
 	c.mu.Lock()
 	dp.windowG.Set(0)

@@ -25,10 +25,15 @@ type lossRec struct {
 	detail string
 }
 
-func (s *recSink) Submit(e core.Event) error {
+func (s *recSink) SubmitBatch(evs []core.Event, release func()) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.events = append(s.events, e)
+	// Copy before release: borrowed events are invalid afterwards. The
+	// shallow copy is enough here — assertions only read scalar fields.
+	s.events = append(s.events, evs...)
+	s.mu.Unlock()
+	if release != nil {
+		release()
+	}
 	return nil
 }
 

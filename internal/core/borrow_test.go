@@ -1,0 +1,113 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"switchmon/internal/packet"
+	"switchmon/internal/property"
+	"switchmon/internal/sim"
+)
+
+// borrowedStream builds a firewall open/violate workload as batches,
+// mirroring TestShardedHighVolumeDrain's stream shape.
+func borrowedStream(flows, perBatch int) [][]Event {
+	now := sim.Epoch
+	var pid PacketID
+	var batches [][]Event
+	cur := make([]Event, 0, perBatch)
+	push := func(e Event) {
+		cur = append(cur, e)
+		if len(cur) == perBatch {
+			batches = append(batches, cur)
+			cur = make([]Event, 0, perBatch)
+		}
+	}
+	for f := 0; f < flows; f++ {
+		src := packet.IPv4FromUint32(0x0a000000 | uint32(f))
+		dst := packet.IPv4FromUint32(0xcb007100 | uint32(f%200))
+		open := packet.NewTCP(macA, macB, src, dst, uint16(10000+f%50000), 80, packet.FlagSYN, nil)
+		pid++
+		push(Event{Kind: KindArrival, Time: now, PacketID: pid, Packet: open, InPort: 1})
+		push(Event{Kind: KindEgress, Time: now, PacketID: pid, Packet: open, InPort: 1, OutPort: 2})
+		ret := packet.NewTCP(macB, macA, dst, src, 80, uint16(10000+f%50000), packet.FlagACK, nil)
+		pid++
+		ev := Event{Kind: KindEgress, Time: now, PacketID: pid, Packet: ret, InPort: 2}
+		if f%10 == 0 {
+			ev.Dropped = true
+		} else {
+			ev.OutPort = 1
+		}
+		push(ev)
+		now = now.Add(time.Microsecond)
+	}
+	if len(cur) > 0 {
+		batches = append(batches, cur)
+	}
+	return batches
+}
+
+// Borrowed SubmitBatch must produce the same verdicts as the copying
+// form, and every batch's release must fire exactly once.
+func TestSubmitBatchBorrowedMatchesCopied(t *testing.T) {
+	const flows = 2000
+	run := func(borrow bool) (Stats, int64) {
+		fw := property.CatalogByName(property.DefaultParams(), "firewall-basic")
+		sm := NewShardedMonitor(4, Config{})
+		defer sm.Close()
+		if err := sm.AddProperty(fw); err != nil {
+			t.Fatal(err)
+		}
+		var released atomic.Int64
+		for _, batch := range borrowedStream(flows, 64) {
+			var rel func()
+			if borrow {
+				rel = func() { released.Add(1) }
+			}
+			if err := sm.SubmitBatch(batch, rel); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sm.Drain()
+		return sm.Stats(), released.Load()
+	}
+
+	copied, _ := run(false)
+	borrowed, released := run(true)
+	if copied.Violations != borrowed.Violations || copied.Created != borrowed.Created ||
+		copied.Events != borrowed.Events {
+		t.Fatalf("borrowed stats %+v differ from copied %+v", borrowed, copied)
+	}
+	wantBatches := int64(len(borrowedStream(flows, 64)))
+	if released != wantBatches {
+		t.Fatalf("release fired %d times for %d batches", released, wantBatches)
+	}
+}
+
+// Release must fire even when the batch routes nowhere or the monitor
+// is closed — a leaked arena would starve the pool.
+func TestSubmitBatchReleaseAlwaysFires(t *testing.T) {
+	fw := property.CatalogByName(property.DefaultParams(), "firewall-basic")
+	sm := NewShardedMonitor(2, Config{})
+	if err := sm.AddProperty(fw); err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	// An empty borrow: nothing routes, release fires before return.
+	if err := sm.SubmitBatch(nil, func() { fired++ }); err != nil {
+		t.Fatal(err)
+	}
+	sm.Barrier()
+	if fired != 1 {
+		t.Fatalf("empty-batch release fired %d times, want 1", fired)
+	}
+	sm.Close()
+	err := sm.SubmitBatch(make([]Event, 3), func() { fired++ })
+	if err != ErrClosed {
+		t.Fatalf("SubmitBatch after Close = %v, want ErrClosed", err)
+	}
+	if fired != 2 {
+		t.Fatalf("post-Close release fired %d times total, want 2", fired)
+	}
+}

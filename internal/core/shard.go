@@ -71,10 +71,58 @@ func (p ShedPolicy) String() string {
 // event's stage-zero identity hash and its later-stage route hashes can
 // land on different shards — only the creation shard may instantiate, or
 // the same flow would be born twice.
+//
+// Two delivery forms share the struct: a copied event lives in ev
+// (ref nil); a borrowed event (SubmitBatch with a release callback)
+// is referenced as &ref.events[idx] with ev left zero — no per-shard
+// copy. Resolve with shardMsg.event.
 type shardMsg struct {
 	ev         Event
+	ref        *batchRef
+	idx        int32
 	matchMask  uint64
 	createMask uint64
+}
+
+// event resolves the message's event: the inline copy, or the borrowed
+// slab entry.
+func (m *shardMsg) event() *Event {
+	if m.ref != nil {
+		return &m.ref.events[m.idx]
+	}
+	return &m.ev
+}
+
+// batchRef tracks one borrowed event slab through shard dispatch. refs
+// counts outstanding holds — one per delivered shardMsg, plus the
+// router's own hold while routing — and release fires exactly once,
+// when the count hits zero: only after the last shard has applied (or
+// shed) its references may the arena behind events be recycled.
+// Workers only read the borrowed events (concurrent shards may share
+// one event; span stamps are write-once CAS), so no lock is needed
+// beyond the atomic count.
+type batchRef struct {
+	events  []Event
+	release func()
+	refs    atomic.Int32
+}
+
+// batchRefPool recycles batchRef headers so a borrowed submit costs no
+// allocation beyond the caller's own arena machinery.
+var batchRefPool = sync.Pool{New: func() any { return new(batchRef) }}
+
+// unref drops one hold; the last hold runs the release callback and
+// recycles the header.
+func (r *batchRef) unref() {
+	if r.refs.Add(-1) != 0 {
+		return
+	}
+	rel := r.release
+	r.events, r.release = nil, nil
+	batchRefPool.Put(r)
+	if rel != nil {
+		rel()
+	}
 }
 
 // shardCtl is one unit of work on a shard's queue: an event batch, an
@@ -166,6 +214,12 @@ type ShardedMonitor struct {
 	// goroutine monitor state, hence atomic.
 	quarMask atomic.Uint64
 	violMu   sync.Mutex
+	// barrierWG is the reusable ack group for barrier-family operations
+	// (Barrier, AdvanceTo, Drain, Stats). A field rather than a local:
+	// a local WaitGroup escapes through the shardCtl channel send and
+	// costs one heap allocation per barrier. Guarded by routerMu.
+	barrierWG sync.WaitGroup
+
 	// routerMu serializes the router-side entry points so Close is safe
 	// against a racing Submit.
 	routerMu  sync.Mutex
@@ -190,8 +244,12 @@ func NewShardedMonitor(shards int, cfg Config) *ShardedMonitor {
 		cfg:           cfg,
 		matchScratch:  make([]uint64, shards),
 		createScratch: make([]uint64, shards),
-		freeBatches:   make(chan []shardMsg, 4*shards),
-		ledger:        newLedger(),
+		// Sized so recycling is lossless: the total batch-buffer
+		// population is bounded by qlen queued + router-pending + in-
+		// worker per shard, so a worker's Put always finds room and the
+		// steady state allocates no new buffers.
+		freeBatches: make(chan []shardMsg, shards*(qlen+2)),
+		ledger:      newLedger(),
 	}
 	sm.ledger.instrument(cfg.Metrics, cfg.MetricsLabels)
 	if cfg.Metrics != nil {
@@ -332,17 +390,23 @@ func (sm *ShardedMonitor) worker(s *shard) {
 		}
 		for i := range ctl.batch {
 			msg := &ctl.batch[i]
-			if sp := msg.ev.Trace; sp != nil && sm.cfg.Tracer != nil {
+			ev := msg.event()
+			if sp := ev.Trace; sp != nil && sm.cfg.Tracer != nil {
 				sp.Stamp(tracer.StageShardDispatch)
 			}
 			if supervised {
-				s.mon.applyRoutedSupervised(&msg.ev, msg.matchMask, msg.createMask, onPanic)
+				s.mon.applyRoutedSupervised(ev, msg.matchMask, msg.createMask, onPanic)
 			} else {
-				s.mon.applyRouted(&msg.ev, msg.matchMask, msg.createMask)
+				s.mon.applyRouted(ev, msg.matchMask, msg.createMask)
 			}
-			if sp := msg.ev.Trace; sp != nil && sm.cfg.Tracer != nil && sp.Release() {
+			if sp := ev.Trace; sp != nil && sm.cfg.Tracer != nil && sp.Release() {
 				sp.Stamp(tracer.StageVerdict)
 				sm.cfg.Tracer.Finish(sp)
+			}
+			if msg.ref != nil {
+				// This shard's hold on the borrowed slab: the event must
+				// not be touched past this point.
+				msg.ref.unref()
 			}
 		}
 		if ctl.batch != nil {
@@ -436,6 +500,15 @@ func (sm *ShardedMonitor) submitLocked(e Event) error {
 	if sm.closed {
 		return ErrClosed
 	}
+	sm.routeLocked(&e, nil, 0)
+	return nil
+}
+
+// routeLocked computes the per-shard routing masks for one event and
+// enqueues it: by value when ref is nil, as a (ref, idx) borrow
+// otherwise — the borrowed form takes one additional hold on ref per
+// delivering shard. Caller holds routerMu and has checked closed.
+func (sm *ShardedMonitor) routeLocked(e *Event, ref *batchRef, idx int32) {
 	sm.start()
 	sm.submitted++
 	n := uint64(len(sm.shards))
@@ -453,11 +526,11 @@ func (sm *ShardedMonitor) submitLocked(e Event) error {
 			continue
 		}
 		for ri := range pl.routes {
-			if h, ok := routeHash(&e, pl.routes[ri].fields); ok {
+			if h, ok := routeHash(e, pl.routes[ri].fields); ok {
 				mm[h%n] |= bit
 			}
 		}
-		if h, ok := routeHash(&e, pl.createFields); ok {
+		if h, ok := routeHash(e, pl.createFields); ok {
 			cm[h%n] |= bit
 		}
 	}
@@ -486,7 +559,14 @@ func (sm *ShardedMonitor) submitLocked(e Event) error {
 			continue
 		}
 		s := sm.shards[si]
-		s.pending = append(s.pending, shardMsg{ev: e, matchMask: mm[si], createMask: cm[si]})
+		msg := shardMsg{matchMask: mm[si], createMask: cm[si]}
+		if ref != nil {
+			ref.refs.Add(1)
+			msg.ref, msg.idx = ref, idx
+		} else {
+			msg.ev = *e
+		}
+		s.pending = append(s.pending, msg)
 		mm[si], cm[si] = 0, 0
 		delivered++
 		if len(s.pending) >= shardBatchSize {
@@ -503,19 +583,44 @@ func (sm *ShardedMonitor) submitLocked(e Event) error {
 			sm.smx.unroutable.Inc()
 		}
 	}
-	return nil
 }
 
 // SubmitBatch routes a slice of events (batched Submit). It stops at the
 // first error (only ErrClosed today).
-func (sm *ShardedMonitor) SubmitBatch(evs []Event) error {
+//
+// A non-nil release turns the call into a borrow: evs stays owned by
+// the caller's arena, shards route index references into it instead of
+// copying each event, and release is invoked exactly once — after the
+// last shard holding a reference has applied (or shed) it, or
+// immediately when nothing needs the batch. Until release fires the
+// slice and everything it points to must stay untouched; after it
+// fires the arena may be recycled (the engine retains only value
+// copies of what it read — see DESIGN.md §5g). With a nil release,
+// events are copied into the shard queues and evs is the caller's
+// again on return.
+func (sm *ShardedMonitor) SubmitBatch(evs []Event, release func()) error {
 	sm.routerMu.Lock()
 	defer sm.routerMu.Unlock()
-	for i := range evs {
-		if err := sm.submitLocked(evs[i]); err != nil {
-			return err
+	if sm.closed {
+		if release != nil {
+			release()
 		}
+		return ErrClosed
 	}
+	if release == nil {
+		for i := range evs {
+			sm.routeLocked(&evs[i], nil, 0)
+		}
+		return nil
+	}
+	ref := batchRefPool.Get().(*batchRef)
+	ref.events = evs
+	ref.release = release
+	ref.refs.Store(1) // the router's own hold, dropped below
+	for i := range evs {
+		sm.routeLocked(&evs[i], ref, int32(i))
+	}
+	ref.unref()
 	return nil
 }
 
@@ -598,6 +703,7 @@ func (sm *ShardedMonitor) flushShard(s *shard) {
 // shed count once, plus one per-property mark counting how many of the
 // batch's events each property would have seen.
 func (sm *ShardedMonitor) shed(batch []shardMsg) {
+	at := batch[0].event().Time // before any unref can recycle the slab
 	var perProp [maxShardedProperties]uint64
 	for i := range batch {
 		mask := batch[i].matchMask | batch[i].createMask
@@ -606,13 +712,17 @@ func (sm *ShardedMonitor) shed(batch []shardMsg) {
 			mask &= mask - 1
 			perProp[pi]++
 		}
-		if sp := batch[i].ev.Trace; sp != nil && sm.cfg.Tracer != nil && sp.Release() {
+		if sp := batch[i].event().Trace; sp != nil && sm.cfg.Tracer != nil && sp.Release() {
 			// The shed copy was this span's last outstanding reference:
 			// no verdict will ever come, so finish it verdict-less.
 			sm.cfg.Tracer.Finish(sp)
 		}
+		if r := batch[i].ref; r != nil {
+			// A shed delivery drops its hold too, or the arena would
+			// never be released.
+			r.unref()
+		}
 	}
-	at := batch[0].ev.Time
 	for pi, c := range perProp {
 		if c == 0 {
 			continue
@@ -636,13 +746,12 @@ func (sm *ShardedMonitor) barrierLocked() {
 		return
 	}
 	sm.start()
-	var wg sync.WaitGroup
-	wg.Add(len(sm.shards))
+	sm.barrierWG.Add(len(sm.shards))
 	for _, s := range sm.shards {
 		sm.flushShard(s)
-		s.ch <- shardCtl{ack: &wg}
+		s.ch <- shardCtl{ack: &sm.barrierWG}
 	}
-	wg.Wait()
+	sm.barrierWG.Wait()
 }
 
 // AdvanceTo advances every shard's virtual clock to t — after applying
@@ -656,13 +765,12 @@ func (sm *ShardedMonitor) AdvanceTo(t time.Time) {
 		return
 	}
 	sm.start()
-	var wg sync.WaitGroup
-	wg.Add(len(sm.shards))
+	sm.barrierWG.Add(len(sm.shards))
 	for _, s := range sm.shards {
 		sm.flushShard(s)
-		s.ch <- shardCtl{runUntil: t, ack: &wg}
+		s.ch <- shardCtl{runUntil: t, ack: &sm.barrierWG}
 	}
-	wg.Wait()
+	sm.barrierWG.Wait()
 }
 
 // Tick is the non-blocking AdvanceTo: it queues a clock advance to t

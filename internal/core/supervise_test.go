@@ -225,7 +225,7 @@ func TestTimerPanicIsSupervised(t *testing.T) {
 		now = now.Add(time.Millisecond)
 		evs = append(evs, Event{Kind: KindArrival, Time: now, PacketID: PacketID(i + 1), Packet: req, InPort: 1})
 	}
-	if err := sm.SubmitBatch(evs); err != nil {
+	if err := sm.SubmitBatch(evs, nil); err != nil {
 		t.Fatal(err)
 	}
 	sm.AdvanceTo(now.Add(24 * time.Hour))
@@ -261,7 +261,7 @@ func TestCloseIdempotentAndSubmitAfterClose(t *testing.T) {
 	if err := sm.Submit(evs[0]); !errors.Is(err, ErrClosed) {
 		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
 	}
-	if err := sm.SubmitBatch(evs); !errors.Is(err, ErrClosed) {
+	if err := sm.SubmitBatch(evs, nil); !errors.Is(err, ErrClosed) {
 		t.Fatalf("SubmitBatch after Close = %v, want ErrClosed", err)
 	}
 	// Aggregate accessors stay usable after Close.

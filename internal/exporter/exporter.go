@@ -61,11 +61,26 @@ type Config struct {
 	// published with SwitchID zero are stamped with it.
 	DPID uint64
 	// BatchSize seals a batch when it reaches this many events
-	// (default 128).
+	// (default 128). Ignored when TargetSealLatency enables adaptive
+	// sealing, which picks the size itself.
 	BatchSize int
 	// MaxBatchAge seals a non-empty batch this long after its first
-	// event, bounding added detection latency (default 5ms).
+	// event, bounding added detection latency (default 5ms; defaults to
+	// TargetSealLatency in adaptive mode).
 	MaxBatchAge time.Duration
+	// TargetSealLatency, when positive, replaces fixed-size sealing with
+	// the adaptive controller (see sealController): batches grow to the
+	// largest size expected to fill within this latency budget at the
+	// observed arrival rate, clamped to [1, BatchSizeMax]. 250µs is a
+	// good starting point: it buys e13-scale batches under load while
+	// keeping trickle-traffic detection latency near per-event shipping.
+	TargetSealLatency time.Duration
+	// BatchSizeMax bounds the adaptive batch size (default 256).
+	BatchSizeMax int
+	// Now overrides the clock used for batch aging and arrival-rate
+	// estimation (default time.Now). Tests inject a fake clock to pin
+	// controller trajectories deterministically.
+	Now func() time.Time
 	// QueueBatches bounds the send queue, counting both unsent batches
 	// and sent batches awaiting ack (default 64).
 	QueueBatches int
@@ -100,7 +115,27 @@ type Config struct {
 	Dial func() (net.Conn, error)
 }
 
+// adaptive reports whether the config enables the seal controller.
+func (cfg *Config) adaptive() bool { return cfg.TargetSealLatency > 0 }
+
 func (cfg *Config) fillDefaults() {
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.adaptive() {
+		if cfg.BatchSizeMax <= 0 {
+			cfg.BatchSizeMax = 256
+		}
+		// BatchSize becomes the pending slab's capacity hint; the
+		// controller owns the seal decision.
+		cfg.BatchSize = cfg.BatchSizeMax
+		if cfg.MaxBatchAge <= 0 {
+			// The SLO doubles as the age bound: a batch the controller
+			// sized optimistically for a burst that then dried up still
+			// ships within the latency budget.
+			cfg.MaxBatchAge = cfg.TargetSealLatency
+		}
+	}
 	if cfg.BatchSize <= 0 {
 		cfg.BatchSize = 128
 	}
@@ -150,6 +185,9 @@ type Stats struct {
 	// QueueDepth is the current number of queued batches (sent-unacked
 	// plus unsent).
 	QueueDepth int
+	// BatchTarget is the current batch-size target: the adaptive
+	// controller's pick, or the fixed BatchSize.
+	BatchTarget int
 }
 
 // Exporter ships a switch's event stream to a collector. Publish and
@@ -180,18 +218,36 @@ type Exporter struct {
 	clock  *tracer.ClockEstimator
 	sendNs map[uint64]int64 // batch LastSeq → local send ns (ack clock pairing)
 
+	// ctl is the adaptive seal controller, nil in fixed-size mode.
+	// Guarded by mu.
+	ctl *sealController
+	// freeEvs recycles acked batches' event slabs back into x.pending,
+	// so steady-state sealing stops allocating a fresh slice per batch.
+	// Bounded: the seal rate and the ack rate match in steady state, so
+	// two slabs (one filling, one in flight) cover the common case.
+	freeEvs [][]core.Event
+
 	eventsC     *obs.Counter
 	shedC       *obs.Counter
 	batchesC    *obs.Counter
 	bytesC      *obs.Counter
 	reconnectsC *obs.Counter
 	depthG      *obs.Gauge
+	targetG     *obs.Gauge
+	rateG       *obs.Gauge
+	sealsC      [sealReasons]*obs.Counter
 }
 
 // New builds an Exporter; Start launches it.
 func New(cfg Config) (*Exporter, error) {
 	if cfg.Addr == "" && cfg.Dial == nil {
 		return nil, fmt.Errorf("exporter: Config.Addr or Config.Dial required")
+	}
+	if cfg.TargetSealLatency < 0 {
+		return nil, fmt.Errorf("exporter: TargetSealLatency %v must be positive", cfg.TargetSealLatency)
+	}
+	if cfg.adaptive() && cfg.BatchSizeMax < 0 {
+		return nil, fmt.Errorf("exporter: BatchSizeMax %d must be at least 1", cfg.BatchSizeMax)
 	}
 	cfg.fillDefaults()
 	x := &Exporter{
@@ -217,9 +273,29 @@ func New(cfg Config) (*Exporter, error) {
 		x.bytesC = reg.Counter("switchmon_exporter_bytes_sent_total", "encoded frame bytes written", dp)
 		x.reconnectsC = reg.Counter("switchmon_exporter_reconnects_total", "connections established after the first", dp)
 		x.depthG = reg.Gauge("switchmon_exporter_queue_depth", "queued batches (sent-unacked plus unsent)", dp)
+		x.targetG = reg.Gauge("switchmon_exporter_batch_target", "current batch-size target (adaptive pick, or fixed BatchSize)", dp)
+		x.rateG = reg.Gauge("switchmon_exporter_arrival_rate_eps", "estimated event arrival rate, events/sec (EWMA)", dp)
+		for r := sealReason(0); r < sealReasons; r++ {
+			x.sealsC[r] = reg.Counter("switchmon_exporter_batch_seals_total",
+				"batches sealed, by what sealed them", dp, obs.L("reason", r.String()))
+		}
 	}
+	if cfg.adaptive() {
+		x.ctl = newSealController(cfg.TargetSealLatency, cfg.BatchSizeMax)
+	}
+	x.targetG.Set(int64(x.batchTargetLocked()))
 	x.clock = tracer.NewClockEstimator(offG, dspG)
 	return x, nil
+}
+
+// batchTargetLocked is the current seal threshold: the controller's
+// target in adaptive mode, the fixed BatchSize otherwise. Caller holds
+// mu (or is still constructing x).
+func (x *Exporter) batchTargetLocked() int {
+	if x.ctl != nil {
+		return x.ctl.target
+	}
+	return x.cfg.BatchSize
 }
 
 // Clock exposes the exporter's collector-clock offset estimator (fed
@@ -254,17 +330,21 @@ func (x *Exporter) Publish(e core.Event) {
 	if e.SwitchID == 0 {
 		e.SwitchID = x.cfg.DPID
 	}
+	now := x.cfg.Now()
+	if x.ctl != nil {
+		x.ctl.observe(now.UnixNano())
+	}
 	if len(x.pending) == 0 {
 		x.pendingFirst = x.nextSeq
-		x.pendingBorn = time.Now()
+		x.pendingBorn = now
 	}
 	x.nextSeq++
 	x.stats.Published++
 	x.eventsC.Inc()
 	e.Trace.Stamp(tracer.StageEnqueue)
 	x.pending = append(x.pending, e)
-	if len(x.pending) >= x.cfg.BatchSize {
-		x.sealLocked()
+	if len(x.pending) >= x.batchTargetLocked() {
+		x.sealLocked(sealSize)
 	}
 }
 
@@ -282,7 +362,7 @@ func (x *Exporter) NoteLoss(n uint64) {
 	if x.closed {
 		return
 	}
-	x.sealLocked() // batches must stay sequence-contiguous
+	x.sealLocked(sealLoss) // batches must stay sequence-contiguous
 	x.ledger.Mark("*", core.UnsoundWireLoss, x.nextSeq, time.Now(), n, "lost before export")
 	x.ledger.RecordLost(core.UnsoundWireLoss, n)
 	x.nextSeq += n
@@ -295,12 +375,13 @@ func (x *Exporter) NoteLoss(n uint64) {
 func (x *Exporter) Flush() {
 	x.mu.Lock()
 	defer x.mu.Unlock()
-	x.sealLocked()
+	x.sealLocked(sealFlush)
 }
 
 // sealLocked moves the pending events into the bounded queue, applying
-// the shed policy on overflow. Caller holds mu.
-func (x *Exporter) sealLocked() {
+// the shed policy on overflow, and — in adaptive mode — retunes the
+// batch-size target for the next batch. Caller holds mu.
+func (x *Exporter) sealLocked(reason sealReason) {
 	if len(x.pending) == 0 {
 		return
 	}
@@ -309,8 +390,18 @@ func (x *Exporter) sealLocked() {
 			x.pending[i].Trace.Stamp(tracer.StageBatchSeal)
 		}
 	}
+	x.sealsC[reason].Inc()
+	if x.ctl != nil {
+		x.targetG.Set(int64(x.ctl.reseal()))
+		x.rateG.Set(x.ctl.rateEPS())
+	}
 	b := &wire.Batch{FirstSeq: x.pendingFirst, Events: x.pending}
-	x.pending = make([]core.Event, 0, x.cfg.BatchSize)
+	if n := len(x.freeEvs); n > 0 {
+		x.pending = x.freeEvs[n-1]
+		x.freeEvs = x.freeEvs[:n-1]
+	} else {
+		x.pending = make([]core.Event, 0, x.cfg.BatchSize)
+	}
 	for len(x.queue) >= x.cfg.QueueBatches && !x.closed {
 		switch x.cfg.Shed {
 		case core.ShedDropNewest:
@@ -394,6 +485,7 @@ func (x *Exporter) Stats() Stats {
 	defer x.mu.Unlock()
 	s := x.stats
 	s.QueueDepth = len(x.queue)
+	s.BatchTarget = x.batchTargetLocked()
 	return s
 }
 
@@ -405,7 +497,7 @@ func (x *Exporter) Stats() Stats {
 func (x *Exporter) Close(drainTimeout time.Duration) uint64 {
 	x.mu.Lock()
 	x.closed = true // before sealing, so the seal can never block on a full queue
-	x.sealLocked()
+	x.sealLocked(sealClose)
 	x.space.Broadcast()
 	x.mu.Unlock()
 
@@ -444,8 +536,15 @@ func (x *Exporter) Close(drainTimeout time.Duration) uint64 {
 // flushLoop seals pending batches that exceed MaxBatchAge.
 func (x *Exporter) flushLoop() {
 	interval := x.cfg.MaxBatchAge / 4
-	if interval < time.Millisecond {
-		interval = time.Millisecond
+	// The fixed-size floor of 1ms is too coarse for an adaptive SLO in
+	// the hundreds of microseconds; there the flusher spins at 100µs so
+	// the age seal lands within ~¼ SLO of its deadline.
+	floor := time.Millisecond
+	if x.cfg.adaptive() {
+		floor = 100 * time.Microsecond
+	}
+	if interval < floor {
+		interval = floor
 	}
 	t := time.NewTicker(interval)
 	defer t.Stop()
@@ -455,8 +554,8 @@ func (x *Exporter) flushLoop() {
 			return
 		case <-t.C:
 			x.mu.Lock()
-			if len(x.pending) > 0 && time.Since(x.pendingBorn) >= x.cfg.MaxBatchAge {
-				x.sealLocked()
+			if len(x.pending) > 0 && x.cfg.Now().Sub(x.pendingBorn) >= x.cfg.MaxBatchAge {
+				x.sealLocked(sealAge)
 			}
 			x.mu.Unlock()
 		}
@@ -641,7 +740,9 @@ func (x *Exporter) runConn(conn net.Conn, encBuf *[]byte) bool {
 				b.ClockOffsetNs, b.ClockDispNs = off, dsp
 			}
 			x.mu.Lock()
-			x.sendNs[b.LastSeq()] = time.Now().UnixNano()
+			nowNs := time.Now().UnixNano()
+			x.evictSendNsLocked(nowNs)
+			x.sendNs[b.LastSeq()] = nowNs
 			x.mu.Unlock()
 		}
 		enc, err := wire.AppendBatch((*encBuf)[:0], b)
@@ -674,17 +775,42 @@ func (x *Exporter) runConn(conn net.Conn, encBuf *[]byte) bool {
 	}
 }
 
-// applyAck pops acknowledged batches off the queue head and wakes
-// ShedBlock waiters.
+// sendNsHorizon bounds how long a send timestamp waits for its
+// timestamped ack before eviction. Entries normally retire when an ack
+// covers them, but a batch shed after its timestamp was recorded (e.g.
+// unencodable), or a peer that stops timestamping acks, would strand
+// its entry forever — a slow leak on a long-lived connection.
+const sendNsHorizon = 10 * time.Second
+
+// evictSendNsLocked drops send-time entries older than the horizon.
+// Caller holds mu. Called on the send path, so the map's population is
+// bounded by the batches sent per horizon even if no ack ever cleans it.
+func (x *Exporter) evictSendNsLocked(nowNs int64) {
+	for k, t := range x.sendNs {
+		if nowNs-t > int64(sendNsHorizon) {
+			delete(x.sendNs, k)
+		}
+	}
+}
+
+// applyAck pops acknowledged batches off the queue head, recycles their
+// event slabs into the pending free list, and wakes ShedBlock waiters.
 func (x *Exporter) applyAck(ackSeq uint64) {
 	x.mu.Lock()
 	defer x.mu.Unlock()
 	for len(x.queue) > 0 && x.queue[0].LastSeq() <= ackSeq {
+		b := x.queue[0]
 		x.queue = x.queue[1:]
 		if x.sentIdx > 0 {
 			x.sentIdx--
 		}
 		x.stats.BatchesAcked++
+		// An acked batch is never resent: its slab is free to back the
+		// next pending batch instead of a fresh allocation.
+		if cap(b.Events) > 0 && len(x.freeEvs) < 2 {
+			x.freeEvs = append(x.freeEvs, b.Events[:0])
+			b.Events = nil
+		}
 	}
 	x.depthG.Set(int64(len(x.queue)))
 	x.space.Broadcast()

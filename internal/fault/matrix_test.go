@@ -83,7 +83,7 @@ func matrixPanicShard(t *testing.T, seed int64) {
 	evs := trace.FirewallWorkload{
 		Flows: 400, ReturnsPerFlow: 3, ViolationEvery: 10, Gap: time.Millisecond,
 	}.Events(sim.Epoch)
-	if err := sm.SubmitBatch(evs); err != nil {
+	if err := sm.SubmitBatch(evs, nil); err != nil {
 		t.Fatal(err)
 	}
 	sm.AdvanceTo(evs[len(evs)-1].Time.Add(time.Hour))

@@ -16,7 +16,9 @@ import (
 // exporters, one collector-side tracer on the collector and the sharded
 // engine. A non-zero wireDelay interposes a delay proxy on the
 // exporter->collector path.
-func newTracedFabricRig(t *testing.T, batchSize int, sampleN uint64, wireDelay time.Duration) (*fabricRig, *tracer.Tracer, *tracer.Tracer) {
+// A non-zero adaptiveSLO switches the exporters to adaptive sealing
+// (batchSize then only caps the batch via BatchSizeMax).
+func newTracedFabricRig(t *testing.T, batchSize int, sampleN uint64, wireDelay, adaptiveSLO time.Duration) (*fabricRig, *tracer.Tracer, *tracer.Tracer) {
 	t.Helper()
 	swTr := tracer.New(tracer.Config{SampleN: sampleN})
 	colTr := tracer.New(tracer.Config{SampleN: sampleN})
@@ -39,9 +41,13 @@ func newTracedFabricRig(t *testing.T, batchSize int, sampleN uint64, wireDelay t
 		dialAddr = delayProxy(t, dialAddr, wireDelay)
 	}
 	for i, dpid := range []uint64{1, 2} {
-		x, err := exporter.New(exporter.Config{
-			Addr: dialAddr, DPID: dpid, BatchSize: batchSize, Tracer: swTr,
-		})
+		xcfg := exporter.Config{Addr: dialAddr, DPID: dpid, BatchSize: batchSize, Tracer: swTr}
+		if adaptiveSLO > 0 {
+			xcfg.BatchSize = 0
+			xcfg.TargetSealLatency = adaptiveSLO
+			xcfg.BatchSizeMax = batchSize
+		}
+		x, err := exporter.New(xcfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -57,15 +63,26 @@ func newTracedFabricRig(t *testing.T, batchSize int, sampleN uint64, wireDelay t
 // layer: with tracing enabled at any sample rate, fabric verdicts must
 // stay byte-identical to the inline engine — spans are observability
 // metadata, never semantics. At 1-in-1 sampling the collector must also
-// complete spans that carry all seven stages.
+// complete spans that carry all seven stages. The adaptive case runs
+// the same traffic with the seal controller choosing batch sizes: how
+// events are grouped into wire batches must never leak into verdicts.
 func TestFabricTracingDifferential(t *testing.T) {
 	want := runInline(t)
 	if len(want) != 2 {
 		t.Fatalf("inline reference found %d violations, want 2:\n%v", len(want), want)
 	}
 
-	for _, sampleN := range []uint64{1, 3} {
-		rig, _, colTr := newTracedFabricRig(t, 4, sampleN, 0)
+	cases := []struct {
+		name    string
+		sampleN uint64
+		slo     time.Duration
+	}{
+		{"fixed/sample=1", 1, 0},
+		{"fixed/sample=3", 3, 0},
+		{"adaptive/sample=1", 1, 250 * time.Microsecond},
+	}
+	for _, tc := range cases {
+		rig, _, colTr := newTracedFabricRig(t, 4, tc.sampleN, 0, tc.slo)
 		rig.n.Switch("edge").Observe(rig.exps[0].Publish)
 		rig.n.Switch("core").Observe(rig.exps[1].Publish)
 		driveFabricTraffic(rig.n, func() { rig.sync(t) })
@@ -73,24 +90,24 @@ func TestFabricTracingDifferential(t *testing.T) {
 
 		got := rig.rec.sorted()
 		if len(got) != len(want) {
-			t.Fatalf("sample=%d: fabric found %d violations, inline %d:\nfabric: %v\ninline: %v",
-				sampleN, len(got), len(want), got, want)
+			t.Fatalf("%s: fabric found %d violations, inline %d:\nfabric: %v\ninline: %v",
+				tc.name, len(got), len(want), got, want)
 		}
 		for i := range want {
 			if got[i] != want[i] {
-				t.Fatalf("sample=%d: verdict %d differs with tracing on\nfabric: %s\ninline: %s",
-					sampleN, i, got[i], want[i])
+				t.Fatalf("%s: verdict %d differs with tracing on\nfabric: %s\ninline: %s",
+					tc.name, i, got[i], want[i])
 			}
 		}
 		if !rig.sm.Ledger().Sound() {
-			t.Fatalf("sample=%d: tracing left unsound ledger: %+v", sampleN, rig.sm.Ledger().Snapshot())
+			t.Fatalf("%s: tracing left unsound ledger: %+v", tc.name, rig.sm.Ledger().Snapshot())
 		}
 
 		recs := colTr.Snapshot()
 		if len(recs) == 0 {
-			t.Fatalf("sample=%d: no spans completed at the collector", sampleN)
+			t.Fatalf("%s: no spans completed at the collector", tc.name)
 		}
-		if sampleN == 1 {
+		if tc.sampleN == 1 {
 			full := 0
 			for _, r := range recs {
 				if len(r.Marks) == int(tracer.NumStages) {
@@ -98,7 +115,7 @@ func TestFabricTracingDifferential(t *testing.T) {
 				}
 			}
 			if full == 0 {
-				t.Fatalf("sample=1: no span carries all %d stages: %+v", tracer.NumStages, recs[0].Marks)
+				t.Fatalf("%s: no span carries all %d stages: %+v", tc.name, tracer.NumStages, recs[0].Marks)
 			}
 		}
 		rig.close()
@@ -158,7 +175,7 @@ func delayProxy(t *testing.T, target string, d time.Duration) string {
 // physical and must not.
 func TestFaultMatrixWireDelayTracingMonotone(t *testing.T) {
 	const oneWay = 3 * time.Millisecond
-	rig, _, colTr := newTracedFabricRig(t, 2, 1, oneWay)
+	rig, _, colTr := newTracedFabricRig(t, 2, 1, oneWay, 0)
 	defer rig.close()
 	rig.n.Switch("edge").Observe(rig.exps[0].Publish)
 	rig.n.Switch("core").Observe(rig.exps[1].Publish)

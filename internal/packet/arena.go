@@ -1,0 +1,128 @@
+package packet
+
+// Arena is a slab allocator for decoded packets. One Arena per wire
+// batch amortizes header allocation across every packet in the batch:
+// each layer struct lands in a typed slab and payload bytes in one
+// shared buffer, so a steady state of same-shaped batches decodes with
+// zero per-packet heap allocations once the slabs have grown to the
+// batch's working set.
+//
+// Packets decoded through an Arena stay valid until the owner calls
+// Reset. That contract is safe for the monitoring engine because it
+// retains only value copies of what it reads — field bindings are
+// packet.Value copies and provenance records are Summary strings —
+// never *Packet or layer pointers (see DESIGN.md §5g for the full
+// borrow/release lifecycle).
+//
+// Slab growth is append-based: when a slab grows, future headers move
+// to a new backing array while pointers already handed out keep the old
+// one alive, so earlier packets in the batch are never invalidated.
+type Arena struct {
+	pkts  []Packet
+	eths  []Ethernet
+	arps  []ARP
+	ips   []IPv4Header
+	icmps []ICMPv4
+	tcps  []TCP
+	udps  []UDP
+	bytes []byte
+}
+
+// Reset truncates every slab for reuse, keeping the final backing
+// arrays. Every packet previously decoded through the arena becomes
+// invalid.
+func (a *Arena) Reset() {
+	a.pkts = a.pkts[:0]
+	a.eths = a.eths[:0]
+	a.arps = a.arps[:0]
+	a.ips = a.ips[:0]
+	a.icmps = a.icmps[:0]
+	a.tcps = a.tcps[:0]
+	a.udps = a.udps[:0]
+	a.bytes = a.bytes[:0]
+}
+
+// grab appends a zero value to the slab and returns its address. The
+// zero-then-parse order means a half-parsed entry never leaks stale
+// fields from a previous batch.
+func grab[T any](s *[]T) *T {
+	var zero T
+	*s = append(*s, zero)
+	return &(*s)[len(*s)-1]
+}
+
+// copyBytes copies src into the shared byte slab, returning a
+// capacity-clamped view (so later appends cannot scribble on it).
+func (a *Arena) copyBytes(src []byte) []byte {
+	if len(src) == 0 {
+		return nil
+	}
+	n := len(a.bytes)
+	a.bytes = append(a.bytes, src...)
+	return a.bytes[n:len(a.bytes):len(a.bytes)]
+}
+
+// Decode is packet.Decode into the arena. The L7 codecs (DHCP, DNS,
+// FTP) still heap-allocate their layers — they are string-heavy, rare,
+// and outside every hot path — but L2–L4 headers and payload bytes all
+// come from the slabs.
+func (a *Arena) Decode(data []byte) (*Packet, error) {
+	p := grab(&a.pkts)
+	eth := grab(&a.eths)
+	rest, err := parseEthernet(eth, data)
+	if err != nil {
+		return nil, err
+	}
+	p.Eth = eth
+	switch eth.Type {
+	case EtherTypeARP:
+		arp := grab(&a.arps)
+		if err := parseARP(arp, rest); err != nil {
+			return nil, err
+		}
+		p.ARP = arp
+		return p, nil
+	case EtherTypeIPv4:
+		ip := grab(&a.ips)
+		payload, err := parseIPv4(ip, rest)
+		if err != nil {
+			return nil, err
+		}
+		p.IPv4 = ip
+		return p, a.decodeTransport(p, payload)
+	default:
+		p.Payload = a.copyBytes(rest)
+		return p, nil
+	}
+}
+
+func (a *Arena) decodeTransport(p *Packet, payload []byte) error {
+	switch p.IPv4.Protocol {
+	case ProtoICMP:
+		icmp := grab(&a.icmps)
+		if err := parseICMPv4(icmp, payload); err != nil {
+			return err
+		}
+		icmp.Payload = a.copyBytes(icmp.Payload)
+		p.ICMP = icmp
+	case ProtoTCP:
+		t := grab(&a.tcps)
+		if err := parseTCP(t, payload, p.IPv4.Src, p.IPv4.Dst); err != nil {
+			return err
+		}
+		t.Payload = a.copyBytes(t.Payload)
+		p.TCP = t
+		p.decodeApp(t.SrcPort, t.DstPort, t.Payload)
+	case ProtoUDP:
+		u := grab(&a.udps)
+		if err := parseUDP(u, payload, p.IPv4.Src, p.IPv4.Dst); err != nil {
+			return err
+		}
+		u.Payload = a.copyBytes(u.Payload)
+		p.UDP = u
+		p.decodeApp(u.SrcPort, u.DstPort, u.Payload)
+	default:
+		p.Payload = a.copyBytes(payload)
+	}
+	return nil
+}

@@ -45,13 +45,25 @@ func (e *Ethernet) encodeTo(b []byte) []byte {
 // decodeEthernet parses an Ethernet II header, returning the header and its
 // payload.
 func decodeEthernet(data []byte) (*Ethernet, []byte, error) {
-	if len(data) < ethernetHeaderLen {
-		return nil, nil, fmt.Errorf("packet: ethernet frame too short (%d bytes)", len(data))
+	e := &Ethernet{}
+	rest, err := parseEthernet(e, data)
+	if err != nil {
+		return nil, nil, err
 	}
-	e := &Ethernet{Type: EtherType(binary.BigEndian.Uint16(data[12:14]))}
+	return e, rest, nil
+}
+
+// parseEthernet decodes an Ethernet II header into a caller-supplied
+// struct, returning the payload. The parse/allocate split lets the
+// arena decoder target slab-backed headers.
+func parseEthernet(e *Ethernet, data []byte) ([]byte, error) {
+	if len(data) < ethernetHeaderLen {
+		return nil, fmt.Errorf("packet: ethernet frame too short (%d bytes)", len(data))
+	}
+	*e = Ethernet{Type: EtherType(binary.BigEndian.Uint16(data[12:14]))}
 	copy(e.Dst[:], data[0:6])
 	copy(e.Src[:], data[6:12])
-	return e, data[ethernetHeaderLen:], nil
+	return data[ethernetHeaderLen:], nil
 }
 
 // ARPOp is the ARP operation code.
@@ -99,22 +111,30 @@ func (a *ARP) encodeTo(b []byte) []byte {
 }
 
 func decodeARP(data []byte) (*ARP, error) {
+	a := &ARP{}
+	if err := parseARP(a, data); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+func parseARP(a *ARP, data []byte) error {
 	if len(data) < arpLen {
-		return nil, fmt.Errorf("packet: ARP message too short (%d bytes)", len(data))
+		return fmt.Errorf("packet: ARP message too short (%d bytes)", len(data))
 	}
 	if htype := binary.BigEndian.Uint16(data[0:2]); htype != 1 {
-		return nil, fmt.Errorf("packet: unsupported ARP hardware type %d", htype)
+		return fmt.Errorf("packet: unsupported ARP hardware type %d", htype)
 	}
 	if ptype := binary.BigEndian.Uint16(data[2:4]); ptype != 0x0800 {
-		return nil, fmt.Errorf("packet: unsupported ARP protocol type 0x%04x", ptype)
+		return fmt.Errorf("packet: unsupported ARP protocol type 0x%04x", ptype)
 	}
 	if data[4] != 6 || data[5] != 4 {
-		return nil, fmt.Errorf("packet: unsupported ARP address lengths %d/%d", data[4], data[5])
+		return fmt.Errorf("packet: unsupported ARP address lengths %d/%d", data[4], data[5])
 	}
-	a := &ARP{Op: ARPOp(binary.BigEndian.Uint16(data[6:8]))}
+	*a = ARP{Op: ARPOp(binary.BigEndian.Uint16(data[6:8]))}
 	copy(a.SenderMAC[:], data[8:14])
 	copy(a.SenderIP[:], data[14:18])
 	copy(a.TargetMAC[:], data[18:24])
 	copy(a.TargetIP[:], data[24:28])
-	return a, nil
+	return nil
 }

@@ -73,24 +73,33 @@ func patchIPv4(hdr []byte, payloadLen int) {
 }
 
 func decodeIPv4(data []byte) (*IPv4Header, []byte, error) {
+	h := &IPv4Header{}
+	payload, err := parseIPv4(h, data)
+	if err != nil {
+		return nil, nil, err
+	}
+	return h, payload, nil
+}
+
+func parseIPv4(h *IPv4Header, data []byte) ([]byte, error) {
 	if len(data) < ipv4HeaderLen {
-		return nil, nil, fmt.Errorf("packet: IPv4 header too short (%d bytes)", len(data))
+		return nil, fmt.Errorf("packet: IPv4 header too short (%d bytes)", len(data))
 	}
 	if v := data[0] >> 4; v != 4 {
-		return nil, nil, fmt.Errorf("packet: IP version %d, want 4", v)
+		return nil, fmt.Errorf("packet: IP version %d, want 4", v)
 	}
 	ihl := int(data[0]&0x0f) * 4
 	if ihl != ipv4HeaderLen {
-		return nil, nil, fmt.Errorf("packet: IPv4 options unsupported (IHL=%d bytes)", ihl)
+		return nil, fmt.Errorf("packet: IPv4 options unsupported (IHL=%d bytes)", ihl)
 	}
 	total := int(binary.BigEndian.Uint16(data[2:4]))
 	if total < ihl || total > len(data) {
-		return nil, nil, fmt.Errorf("packet: IPv4 total length %d outside frame of %d", total, len(data))
+		return nil, fmt.Errorf("packet: IPv4 total length %d outside frame of %d", total, len(data))
 	}
 	if sum := internetChecksum(data[:ihl], 0); sum != 0 {
-		return nil, nil, fmt.Errorf("packet: bad IPv4 header checksum")
+		return nil, fmt.Errorf("packet: bad IPv4 header checksum")
 	}
-	h := &IPv4Header{
+	*h = IPv4Header{
 		TOS:      data[1],
 		ID:       binary.BigEndian.Uint16(data[4:6]),
 		Flags:    data[6] >> 5,
@@ -100,7 +109,7 @@ func decodeIPv4(data []byte) (*IPv4Header, []byte, error) {
 	}
 	copy(h.Src[:], data[12:16])
 	copy(h.Dst[:], data[16:20])
-	return h, data[ihl:total], nil
+	return data[ihl:total], nil
 }
 
 // internetChecksum computes the RFC 1071 ones-complement checksum of data,
@@ -170,20 +179,33 @@ func (m *ICMPv4) encodeTo(b []byte) []byte {
 }
 
 func decodeICMPv4(data []byte) (*ICMPv4, error) {
+	m := &ICMPv4{}
+	if err := parseICMPv4(m, data); err != nil {
+		return nil, err
+	}
+	if m.Payload != nil {
+		m.Payload = append([]byte(nil), m.Payload...)
+	}
+	return m, nil
+}
+
+// parseICMPv4 decodes into m, leaving Payload aliasing data — the
+// caller copies it into whatever storage owns the packet.
+func parseICMPv4(m *ICMPv4, data []byte) error {
 	if len(data) < icmpHeaderLen {
-		return nil, fmt.Errorf("packet: ICMP message too short (%d bytes)", len(data))
+		return fmt.Errorf("packet: ICMP message too short (%d bytes)", len(data))
 	}
 	if sum := internetChecksum(data, 0); sum != 0 {
-		return nil, fmt.Errorf("packet: bad ICMP checksum")
+		return fmt.Errorf("packet: bad ICMP checksum")
 	}
-	m := &ICMPv4{
+	*m = ICMPv4{
 		Type: ICMPType(data[0]),
 		Code: data[1],
 		ID:   binary.BigEndian.Uint16(data[4:6]),
 		Seq:  binary.BigEndian.Uint16(data[6:8]),
 	}
 	if len(data) > icmpHeaderLen {
-		m.Payload = append([]byte(nil), data[icmpHeaderLen:]...)
+		m.Payload = data[icmpHeaderLen:]
 	}
-	return m, nil
+	return nil
 }

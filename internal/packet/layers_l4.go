@@ -86,17 +86,30 @@ func (t *TCP) fillChecksum(seg []byte, src, dst IPv4) {
 }
 
 func decodeTCP(data []byte, src, dst IPv4) (*TCP, error) {
+	t := &TCP{}
+	if err := parseTCP(t, data, src, dst); err != nil {
+		return nil, err
+	}
+	if t.Payload != nil {
+		t.Payload = append([]byte(nil), t.Payload...)
+	}
+	return t, nil
+}
+
+// parseTCP decodes into t, leaving Payload aliasing data — the caller
+// copies it into whatever storage owns the packet.
+func parseTCP(t *TCP, data []byte, src, dst IPv4) error {
 	if len(data) < tcpHeaderLen {
-		return nil, fmt.Errorf("packet: TCP segment too short (%d bytes)", len(data))
+		return fmt.Errorf("packet: TCP segment too short (%d bytes)", len(data))
 	}
 	off := int(data[12]>>4) * 4
 	if off < tcpHeaderLen || off > len(data) {
-		return nil, fmt.Errorf("packet: bad TCP data offset %d", off)
+		return fmt.Errorf("packet: bad TCP data offset %d", off)
 	}
 	if sum := internetChecksum(data, pseudoHeaderSum(src, dst, ProtoTCP, len(data))); sum != 0 {
-		return nil, fmt.Errorf("packet: bad TCP checksum")
+		return fmt.Errorf("packet: bad TCP checksum")
 	}
-	t := &TCP{
+	*t = TCP{
 		SrcPort: binary.BigEndian.Uint16(data[0:2]),
 		DstPort: binary.BigEndian.Uint16(data[2:4]),
 		Seq:     binary.BigEndian.Uint32(data[4:8]),
@@ -106,9 +119,9 @@ func decodeTCP(data []byte, src, dst IPv4) (*TCP, error) {
 		Urgent:  binary.BigEndian.Uint16(data[18:20]),
 	}
 	if len(data) > off {
-		t.Payload = append([]byte(nil), data[off:]...)
+		t.Payload = data[off:]
 	}
-	return t, nil
+	return nil
 }
 
 // UDP is a UDP datagram header plus payload.
@@ -145,25 +158,38 @@ func (u *UDP) fillChecksum(dg []byte, src, dst IPv4) {
 }
 
 func decodeUDP(data []byte, src, dst IPv4) (*UDP, error) {
+	u := &UDP{}
+	if err := parseUDP(u, data, src, dst); err != nil {
+		return nil, err
+	}
+	if u.Payload != nil {
+		u.Payload = append([]byte(nil), u.Payload...)
+	}
+	return u, nil
+}
+
+// parseUDP decodes into u, leaving Payload aliasing data — the caller
+// copies it into whatever storage owns the packet.
+func parseUDP(u *UDP, data []byte, src, dst IPv4) error {
 	if len(data) < udpHeaderLen {
-		return nil, fmt.Errorf("packet: UDP datagram too short (%d bytes)", len(data))
+		return fmt.Errorf("packet: UDP datagram too short (%d bytes)", len(data))
 	}
 	length := int(binary.BigEndian.Uint16(data[4:6]))
 	if length < udpHeaderLen || length > len(data) {
-		return nil, fmt.Errorf("packet: UDP length %d outside datagram of %d", length, len(data))
+		return fmt.Errorf("packet: UDP length %d outside datagram of %d", length, len(data))
 	}
 	data = data[:length]
 	if binary.BigEndian.Uint16(data[6:8]) != 0 {
 		if sum := internetChecksum(data, pseudoHeaderSum(src, dst, ProtoUDP, len(data))); sum != 0 {
-			return nil, fmt.Errorf("packet: bad UDP checksum")
+			return fmt.Errorf("packet: bad UDP checksum")
 		}
 	}
-	u := &UDP{
+	*u = UDP{
 		SrcPort: binary.BigEndian.Uint16(data[0:2]),
 		DstPort: binary.BigEndian.Uint16(data[2:4]),
 	}
 	if length > udpHeaderLen {
-		u.Payload = append([]byte(nil), data[udpHeaderLen:length]...)
+		u.Payload = data[udpHeaderLen:length]
 	}
-	return u, nil
+	return nil
 }

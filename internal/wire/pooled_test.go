@@ -1,0 +1,73 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+)
+
+// A pooled Reader must decode batches observationally identically to a
+// plain Reader, and recycling via Release must not corrupt batches
+// decoded afterwards.
+func TestPooledReaderMatchesPlainReader(t *testing.T) {
+	evs := testEvents(t)
+	var stream []byte
+	for i := 0; i < 4; i++ {
+		b := &Batch{FirstSeq: uint64(1 + i*len(evs)), Events: evs}
+		enc, err := EncodeFrame(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream = append(stream, enc...)
+	}
+
+	plain := NewReader(bytes.NewReader(stream))
+	pooled := NewPooledReader(bytes.NewReader(stream))
+	for i := 0; ; i++ {
+		fw, errW := plain.Next()
+		fp, errP := pooled.Next()
+		if (errW == nil) != (errP == nil) {
+			t.Fatalf("frame %d: plain err %v, pooled err %v", i, errW, errP)
+		}
+		if errW == io.EOF {
+			break
+		}
+		if errW != nil {
+			t.Fatalf("frame %d: %v", i, errW)
+		}
+		bw, bp := fw.(*Batch), fp.(*Batch)
+		if bw.FirstSeq != bp.FirstSeq || !reflect.DeepEqual(bw.Events, bp.Events) {
+			t.Fatalf("frame %d: pooled decode differs from plain decode", i)
+		}
+		// Release AFTER the comparison: the contract is that the events
+		// are valid until then, and invalid after.
+		bp.Release()
+	}
+}
+
+// Release must be a no-op for batches that own their storage, and
+// idempotent for pooled ones.
+func TestBatchReleaseSafety(t *testing.T) {
+	owned := &Batch{FirstSeq: 1, Events: testEvents(t)}
+	owned.Release()
+	if owned.Events == nil {
+		t.Fatal("Release cleared an owned batch's events")
+	}
+
+	enc, err := EncodeFrame(&Batch{FirstSeq: 1, Events: testEvents(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewPooledReader(bytes.NewReader(enc))
+	f, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := f.(*Batch)
+	b.Release()
+	if b.Events != nil {
+		t.Fatal("Release left a pooled batch's events visible")
+	}
+	b.Release() // second call must not double-Put
+}

@@ -53,6 +53,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"switchmon/internal/core"
@@ -199,6 +200,77 @@ type Batch struct {
 	// estimate (Traced batches only).
 	ClockOffsetNs int64
 	ClockDispNs   int64
+
+	// arena is the pooled backing store this batch decoded into (pooled
+	// Readers only; nil for batches that own their storage).
+	arena *batchArena
+}
+
+// batchArena is the pooled backing store for one decoded batch: the
+// Batch header itself, the event slab, and the packet arena its
+// embedded packets decode into. One pool Get covers the whole batch —
+// header included — which is what keeps the collector's ingest path
+// allocation-free per event and per frame.
+type batchArena struct {
+	b   Batch
+	evs []core.Event
+	pkt packet.Arena
+	// release is the one bound closure for this arena's lifetime, handed
+	// to borrowers via ReleaseFunc; building `b.Release` per batch would
+	// allocate a method-value closure on every frame.
+	release func()
+}
+
+var batchArenaPool sync.Pool
+
+func init() {
+	// Not a composite-literal New: the closure references (*Batch).Release,
+	// which references the pool — an initialization cycle at package level.
+	batchArenaPool.New = func() any {
+		ba := new(batchArena)
+		ba.release = ba.b.Release
+		return ba
+	}
+}
+
+// take returns the arena's event slab resized and zeroed for n events.
+// Zeroing matters: the slab is reused across batches, and a stale
+// Trace or Packet pointer surviving into a new event would alias freed
+// state.
+func (ba *batchArena) take(n int) []core.Event {
+	if cap(ba.evs) < n {
+		ba.evs = make([]core.Event, n)
+	}
+	ba.evs = ba.evs[:n]
+	clear(ba.evs)
+	return ba.evs
+}
+
+// Release returns a pooled batch's backing store for reuse. It is a
+// no-op for batches that own their storage (DecodeFrame, a plain
+// NewReader, exporter-built batches), so callers can invoke it
+// unconditionally. After Release, the batch's Events — and every
+// packet they reference — must not be touched.
+func (b *Batch) Release() {
+	ba := b.arena
+	if ba == nil {
+		return
+	}
+	b.arena = nil
+	b.Events = nil
+	ba.pkt.Reset()
+	batchArenaPool.Put(ba)
+}
+
+// ReleaseFunc returns the batch's release callback without allocating:
+// pooled batches reuse a closure bound once per arena, owned batches
+// return nil (there is nothing to recycle, and a nil release tells
+// borrow-based sinks the events are theirs to keep).
+func (b *Batch) ReleaseFunc() func() {
+	if b.arena == nil {
+		return nil
+	}
+	return b.arena.release
 }
 
 // LastSeq is the sequence number of the batch's final event. For an
@@ -489,7 +561,7 @@ func DecodeFrame(data []byte) (any, int, error) {
 	if len(data) < 4+int(n) {
 		return nil, 0, io.ErrUnexpectedEOF
 	}
-	frame, err := decodePayload(data[4 : 4+int(n)])
+	frame, err := decodePayload(data[4:4+int(n)], false)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -498,8 +570,10 @@ func DecodeFrame(data []byte) (any, int, error) {
 
 // decodePayload decodes one frame payload (type byte onward). The whole
 // payload must be consumed: trailing bytes are an error, keeping the
-// encoding canonical for the round-trip fuzz target.
-func decodePayload(payload []byte) (any, error) {
+// encoding canonical for the round-trip fuzz target. With pooled set,
+// batch frames decode into pool-backed storage and must be Released by
+// the caller.
+func decodePayload(payload []byte, pooled bool) (any, error) {
 	c := &cursor{data: payload}
 	tb, err := c.byte()
 	if err != nil {
@@ -512,9 +586,9 @@ func decodePayload(payload []byte) (any, error) {
 	case FrameHelloAck:
 		frame, err = decodeHelloAck(c)
 	case FrameBatch:
-		frame, err = decodeBatch(c, false)
+		frame, err = decodeBatch(c, false, pooled)
 	case FrameTracedBatch:
-		frame, err = decodeBatch(c, true)
+		frame, err = decodeBatch(c, true, pooled)
 	case FrameAck:
 		frame, err = decodeAck(c)
 	default:
@@ -609,34 +683,57 @@ func decodeAck(c *cursor) (Ack, error) {
 	return a, nil
 }
 
-func decodeBatch(c *cursor, traced bool) (*Batch, error) {
-	b := &Batch{Traced: traced}
+func decodeBatch(c *cursor, traced, pooled bool) (*Batch, error) {
+	var b *Batch
+	var ba *batchArena
+	if pooled {
+		// The header lives inside the arena too: decoding a pooled frame
+		// performs zero heap allocations in steady state. The header is
+		// recycled with the rest of the arena on Release.
+		ba = batchArenaPool.Get().(*batchArena)
+		b = &ba.b
+		*b = Batch{Traced: traced, arena: ba}
+	} else {
+		b = &Batch{Traced: traced}
+	}
 	var err error
 	if b.FirstSeq, err = c.uvarint(); err != nil {
+		b.Release()
 		return nil, err
 	}
 	count, err := c.uvarint()
 	if err != nil {
+		b.Release()
 		return nil, err
 	}
 	if count > MaxBatchEvents {
+		b.Release()
 		return nil, fmt.Errorf("wire: batch declares %d events, max %d", count, MaxBatchEvents)
 	}
 	if count > 0 {
 		// Sanity-bound the allocation by the bytes actually present:
 		// even a packetless event costs at least 9 payload bytes.
 		if int(count) > c.remaining() {
+			b.Release()
 			return nil, fmt.Errorf("wire: batch declares %d events in %d bytes", count, c.remaining())
 		}
-		b.Events = make([]core.Event, count)
+		var pa *packet.Arena
+		if pooled {
+			b.Events = ba.take(int(count))
+			pa = &ba.pkt
+		} else {
+			b.Events = make([]core.Event, count)
+		}
 		for i := range b.Events {
-			if err := decodeEvent(c, &b.Events[i]); err != nil {
+			if err := decodeEvent(c, &b.Events[i], pa); err != nil {
+				b.Release() // hand the arena back on the error path
 				return nil, fmt.Errorf("wire: event %d: %w", i, err)
 			}
 		}
 	}
 	if traced {
 		if err := decodeTraceBlock(c, b); err != nil {
+			b.Release()
 			return nil, err
 		}
 	}
@@ -713,7 +810,9 @@ func decodeTraceBlock(c *cursor, b *Batch) error {
 	return nil
 }
 
-func decodeEvent(c *cursor, e *core.Event) error {
+// decodeEvent decodes one event. A non-nil pa decodes the embedded
+// packet into the arena instead of the heap.
+func decodeEvent(c *cursor, e *core.Event, pa *packet.Arena) error {
 	kb, err := c.byte()
 	if err != nil {
 		return err
@@ -775,7 +874,12 @@ func decodeEvent(c *cursor, e *core.Event) error {
 	if err != nil {
 		return err
 	}
-	pkt, err := packet.Decode(raw)
+	var pkt *packet.Packet
+	if pa != nil {
+		pkt, err = pa.Decode(raw)
+	} else {
+		pkt, err = packet.Decode(raw)
+	}
 	if err != nil {
 		return fmt.Errorf("embedded packet: %w", err)
 	}
@@ -786,24 +890,38 @@ func decodeEvent(c *cursor, e *core.Event) error {
 // Reader decodes a frame stream from an io.Reader, reusing one buffer
 // across frames (the returned frames own their data — event slices and
 // packets are freshly decoded — so the buffer reuse is invisible to
-// callers).
+// callers). A pooled Reader (NewPooledReader) weakens that ownership
+// for batches only: they borrow pool-backed storage and must be
+// Released.
 type Reader struct {
-	r   io.Reader
-	buf []byte
+	r      io.Reader
+	buf    []byte
+	hdr    [4]byte
+	pooled bool
 }
 
 // NewReader wraps r.
 func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
 
+// NewPooledReader is NewReader with batch pooling: each decoded Batch
+// borrows its event slab and packet storage from a shared sync.Pool —
+// one Get per batch, not per event — and the caller must call
+// (*Batch).Release once it no longer references the batch's events.
+// The collector's ingest path uses this to stay allocation-free per
+// event in steady state.
+func NewPooledReader(r io.Reader) *Reader { return &Reader{r: r, pooled: true} }
+
 // Next reads and decodes the next frame. It returns io.EOF cleanly only
 // on a frame boundary; a connection cut mid-frame is
 // io.ErrUnexpectedEOF.
 func (r *Reader) Next() (any, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+	// The length prefix reads into a Reader field, not a local: a local
+	// array passed through the io.Reader interface escapes, costing one
+	// heap allocation per frame on the ingest hot path.
+	if _, err := io.ReadFull(r.r, r.hdr[:]); err != nil {
 		return nil, err // io.EOF on a clean boundary
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	n := binary.BigEndian.Uint32(r.hdr[:])
 	if n > MaxFrameLen {
 		return nil, fmt.Errorf("wire: frame length %d exceeds MaxFrameLen %d", n, MaxFrameLen)
 	}
@@ -817,5 +935,5 @@ func (r *Reader) Next() (any, error) {
 		}
 		return nil, err
 	}
-	return decodePayload(r.buf)
+	return decodePayload(r.buf, r.pooled)
 }

@@ -37,6 +37,12 @@ go test -count=1 -run 'TestHotPathZeroAlloc' ./internal/obs/
 go test -count=1 -run 'TestUnsampledPathZeroAlloc' ./internal/obs/tracer/
 go test -count=1 -run 'TestSteadyStateAllocationBudget' ./internal/core/
 
+# Zero-copy ingest gate: moving one event from wire bytes into the
+# sharded engine (pooled decode, borrowed SubmitBatch, shard dispatch)
+# must stay allocation-free in steady state.
+echo "==> zero-alloc collector ingest gate"
+go test -count=1 -run 'TestCollectorIngestZeroAlloc' ./internal/collector/
+
 # Codec fuzz smoke: a few seconds of coverage-guided input on the packet
 # codec's decode/encode fixed point. Real fuzzing budgets come from
 # running `go test -fuzz` by hand; this just keeps the target healthy.
