@@ -330,6 +330,48 @@ func BenchmarkE14TraceOverhead(b *testing.B) {
 	}
 }
 
+// BenchmarkE16StateAccounting measures what per-property state-cost
+// accounting (internal/obs/statesize) adds to the firewall steady
+// state, against the same engine with accounting disabled. On the
+// steady-state return path the accounting cost is two uncontended
+// atomic adds (a pool pop and a pool push around the dedup hit); the
+// filing path additionally hashes the bindings into the heavy-hitter
+// sketch when the filing falls in the sample class. The claim under
+// test (E16): accounting adds at most ~15ns/event over the PR 6
+// baseline and zero allocations at every sample rate.
+func BenchmarkE16StateAccounting(b *testing.B) {
+	const flows = 8192
+	open := trace.HighFlowWorkload{Flows: flows, Gap: time.Microsecond}.Events(sim.Epoch)
+	work := trace.HighFlowWorkload{Flows: flows, Rounds: 1, Gap: time.Microsecond}.Events(sim.Epoch)
+	returns := work[2*flows:]
+
+	configs := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"accounting=off", core.Config{DisableStateAccounting: true}},
+		{"accounting=on", core.Config{StateTopK: 32, StateSample: 8}},
+		{"accounting=on/sample=1", core.Config{StateTopK: 32, StateSample: 1}},
+	}
+	for _, c := range configs {
+		b.Run(c.name, func(b *testing.B) {
+			sched := sim.NewScheduler()
+			mon := core.NewMonitor(sched, c.cfg)
+			if err := mon.AddProperty(fwProp(b)); err != nil {
+				b.Fatal(err)
+			}
+			for _, e := range open {
+				mon.HandleEvent(e)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mon.HandleEvent(returns[i%len(returns)])
+			}
+		})
+	}
+}
+
 // BenchmarkAblationIndexing quantifies what the Feature 8 instance
 // indexes buy: the same engine with keyed lookups versus forced linear
 // scans, at growing instance populations. (The scan engine is also what

@@ -61,12 +61,16 @@ func run() error {
 		shards    = flag.Int("shards", 4, "shard count for the central engine")
 		hold      = flag.Duration("hold", 0, "serve this long, then exit (0 = until SIGINT)")
 
-		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /healthz, /violations, /debug/pprof on this address")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /healthz, /violations, /trace, /state, /buildinfo, /debug/pprof on this address")
 		jsonOut     = flag.Bool("json", false, "emit violations as one JSON object per line")
 		ringSize    = flag.Int("violation-ring", 256, "violation trace records retained for /violations")
 
 		traceSample = flag.Uint64("trace-sample", 0, "negotiate end-to-end tracing with exporters and sample every Nth event of untraced streams (0 = off); completed spans served at /trace")
 		traceRing   = flag.Int("trace-ring", 0, "completed tracing spans retained for /trace (0 = default 2048)")
+
+		stateTopK      = flag.Int("state-topk", 32, "heavy-hitter sketch capacity per property for /state top_keys (0 = sketch off)")
+		stateSample    = flag.Uint64("state-sample", 8, "sample 1 in N instance filings into the heavy-hitter sketch (1 = every filing)")
+		stateWatermark = flag.Int64("state-watermark", 0, "per-property live-instance count that raises the state_pressure warning metric (0 = off)")
 	)
 	flag.Parse()
 
@@ -116,6 +120,9 @@ func run() error {
 	cfg.Metrics = reg
 	cfg.Violations = ring
 	cfg.Tracer = tr
+	cfg.StateTopK = *stateTopK
+	cfg.StateSample = *stateSample
+	cfg.StateWatermark = *stateWatermark
 
 	sm := core.NewShardedMonitor(*shards, cfg)
 	defer sm.Close()
@@ -172,7 +179,10 @@ func run() error {
 			marks := sm.Ledger().Snapshot()
 			return len(marks) == 0, marks
 		}
-		srv = &http.Server{Handler: export.NewMux(reg, ring, health, tr)}
+		srv = &http.Server{Handler: export.NewMux(export.MuxConfig{
+			Registry: reg, Ring: ring, Health: health, Tracer: tr,
+			State: func() any { return sm.StateReport() },
+		})}
 		go func() { _ = srv.Serve(ln) }()
 		fmt.Fprintf(os.Stderr, "metrics: serving on http://%s/metrics\n", ln.Addr())
 	}

@@ -18,10 +18,18 @@
 //
 // With -metrics-addr the process serves a live introspection endpoint
 // (/metrics in Prometheus text or ?format=json, /healthz, /violations
-// with full provenance traces, /debug/pprof) and stays up after the
-// run: until SIGINT by default, or for -hold duration. With -json,
-// violations stream to stdout as one JSON object per line instead of
-// the human-readable rendering.
+// with full provenance traces, /state with per-property state-cost
+// accounting and heavy-hitter keys, /buildinfo, /debug/pprof) and stays
+// up after the run: until SIGINT by default, or for -hold duration.
+// With -json, violations stream to stdout as one JSON object per line
+// instead of the human-readable rendering. /violations and /trace
+// accept ?since=<seq> and ?limit=N for incremental reads.
+//
+// State accounting runs always (a few atomic adds per instance
+// lifecycle); -state-topk sets the heavy-hitter sketch capacity behind
+// /state's top_keys, -state-sample its 1-in-N filing sample rate, and
+// -state-watermark the per-property live-instance count that raises the
+// switchmon_state_pressure early-warning metric (0 = off).
 //
 // With -export the process acts as the switch-side half of the
 // distributed monitoring fabric: every event is also shipped over TCP
@@ -68,6 +76,7 @@ import (
 	"switchmon/internal/fault"
 	"switchmon/internal/obs"
 	"switchmon/internal/obs/export"
+	"switchmon/internal/obs/statesize"
 	"switchmon/internal/obs/tracer"
 	"switchmon/internal/packet"
 	"switchmon/internal/property"
@@ -101,6 +110,9 @@ type engine interface {
 	// MarkFeedLoss records events lost upstream of the engine, marking
 	// every property unsound.
 	MarkFeedLoss(at time.Time, n uint64, detail string)
+	// StateReport snapshots per-property state-cost accounting (live
+	// instances, bytes, timers, heavy-hitter keys) for /state.
+	StateReport() statesize.Report
 }
 
 // inlineEngine drives a single-threaded Monitor on the shared scheduler.
@@ -121,6 +133,7 @@ func (ie *inlineEngine) Ledger() []core.UnsoundMark { return ie.mon.Ledger().Sna
 func (ie *inlineEngine) MarkFeedLoss(at time.Time, n uint64, detail string) {
 	ie.mon.MarkFeedLoss(at, n, detail)
 }
+func (ie *inlineEngine) StateReport() statesize.Report { return ie.mon.StateReport() }
 
 // shardedEngine drives a ShardedMonitor, keeping shard clocks tracking
 // the event stream with non-blocking Ticks (the backend-adapter idiom).
@@ -156,6 +169,7 @@ func (se *shardedEngine) Ledger() []core.UnsoundMark { return se.sm.Ledger().Sna
 func (se *shardedEngine) MarkFeedLoss(at time.Time, n uint64, detail string) {
 	se.sm.MarkFeedLoss(at, n, detail)
 }
+func (se *shardedEngine) StateReport() statesize.Report { return se.sm.StateReport() }
 
 func run() error {
 	var (
@@ -176,13 +190,17 @@ func run() error {
 		batchSLO   = flag.Duration("batch-slo", 250*time.Microsecond, "with -export: target batch-seal latency; the exporter adapts its batch size to fill within this budget")
 		batchMax   = flag.Int("batch-max", 256, "with -export: upper clamp on the adaptive batch size")
 
-		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /healthz, /violations, /debug/pprof on this address")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /healthz, /violations, /trace, /state, /buildinfo, /debug/pprof on this address")
 		hold        = flag.Duration("hold", 0, "with -metrics-addr: keep serving this long after the run (0 = until SIGINT)")
 		jsonOut     = flag.Bool("json", false, "emit violations as one JSON object per line")
 		ringSize    = flag.Int("violation-ring", 256, "violation trace records retained for /violations")
 
 		traceSample = flag.Uint64("trace-sample", 0, "stamp every Nth event with end-to-end stage marks (0 = tracing off); completed spans served at /trace")
 		traceRing   = flag.Int("trace-ring", 0, "completed tracing spans retained for /trace (0 = default 2048)")
+
+		stateTopK      = flag.Int("state-topk", 32, "heavy-hitter sketch capacity per property for /state top_keys (0 = sketch off)")
+		stateSample    = flag.Uint64("state-sample", 8, "sample 1 in N instance filings into the heavy-hitter sketch (1 = every filing)")
+		stateWatermark = flag.Int64("state-watermark", 0, "per-property live-instance count that raises the state_pressure warning metric (0 = off)")
 	)
 	flag.Parse()
 
@@ -261,6 +279,9 @@ func run() error {
 	cfg.Metrics = reg
 	cfg.Violations = ring
 	cfg.Tracer = tr
+	cfg.StateTopK = *stateTopK
+	cfg.StateSample = *stateSample
+	cfg.StateWatermark = *stateWatermark
 
 	var mon engine
 	if *shards > 0 {
@@ -325,7 +346,10 @@ func run() error {
 			marks := mon.Ledger()
 			return len(marks) == 0, marks
 		}
-		srv = &http.Server{Handler: export.NewMux(reg, ring, health, tr)}
+		srv = &http.Server{Handler: export.NewMux(export.MuxConfig{
+			Registry: reg, Ring: ring, Health: health, Tracer: tr,
+			State: func() any { return mon.StateReport() },
+		})}
 		go func() { _ = srv.Serve(ln) }()
 		fmt.Fprintf(os.Stderr, "metrics: serving on http://%s/metrics\n", ln.Addr())
 	}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"switchmon/internal/obs"
+	"switchmon/internal/obs/statesize"
 	"switchmon/internal/obs/tracer"
 	"switchmon/internal/packet"
 	"switchmon/internal/property"
@@ -98,6 +99,24 @@ type Config struct {
 	// test can demonstrate what supervision prevents. Only the
 	// ShardedMonitor reads it.
 	DisableSupervision bool
+	// StateTopK sets the capacity of the per-property heavy-hitter
+	// sketch behind StateReport ("which keys hold the most monitor
+	// state"); 0 disables the sketch. Accounting itself (live counts,
+	// bytes, timers) runs regardless.
+	StateTopK int
+	// StateSample samples one filing in N into the heavy-hitter sketch,
+	// chosen by the filing key's identity-hash class so a given flow is
+	// always in or always out; 0 or 1 observes every filing.
+	StateSample uint64
+	// StateWatermark is the per-property live-instance count above which
+	// the state_pressure metric raises — an early warning that fires
+	// before any shed or quarantine does; 0 disables watermarking.
+	StateWatermark int64
+	// DisableStateAccounting turns off state-cost accounting entirely
+	// (StateReport returns an empty report). It exists to measure what
+	// accounting costs — the E16 benchmark's baseline — mirroring
+	// DisableIndex.
+	DisableStateAccounting bool
 	// Tracer, when non-nil, completes sampled event spans: the engine
 	// stamps shard_dispatch when it picks an event up and verdict when
 	// every property has stepped, then finishes the span into the
@@ -171,6 +190,10 @@ type instance struct {
 	idxKeys     []uint64
 	sig         uint64
 	filed       bool
+	// acctBytes is the approximate resident cost charged to state
+	// accounting when the instance was filed; remove returns exactly
+	// this much, so the bytes gauge converges under churn.
+	acctBytes int64
 }
 
 // bucket holds the instances of one property waiting at one stage.
@@ -240,6 +263,14 @@ type Monitor struct {
 	// ledger is the soundness record (always non-nil; shared across
 	// shards under a ShardedMonitor).
 	ledger *Ledger
+	// state is the state-cost accounting store (shared across shards
+	// under a ShardedMonitor; nil when accounting is disabled), shardIdx
+	// is this monitor's cell in it, and sx holds the per-property
+	// hot-path handles, indexed by propIdx (nil entries when disabled —
+	// every accounting method is nil-receiver safe).
+	state    *statesize.Tracker
+	shardIdx int
+	sx       []*statesize.Handle
 	// quarantined is the bitmask of properties this monitor no longer
 	// steps (panicked and purged). Only the first 64 properties are
 	// mask-addressable; an inline monitor with more properties simply
@@ -258,12 +289,15 @@ type Monitor struct {
 
 // NewMonitor creates a monitor driven by the given scheduler's clock.
 func NewMonitor(sched *sim.Scheduler, cfg Config) *Monitor {
-	return newMonitorWithLedger(sched, cfg, nil)
+	return newMonitorWithLedger(sched, cfg, nil, nil, 0)
 }
 
-// newMonitorWithLedger is NewMonitor with a caller-supplied ledger (the
-// ShardedMonitor shares one across its shards); nil means own ledger.
-func newMonitorWithLedger(sched *sim.Scheduler, cfg Config, led *Ledger) *Monitor {
+// newMonitorWithLedger is NewMonitor with a caller-supplied ledger and
+// state tracker (the ShardedMonitor shares one of each across its
+// shards, identifying this shard's accounting cell by shardIdx); nil
+// ledger means own ledger, nil tracker means own single-shard tracker
+// unless accounting is disabled.
+func newMonitorWithLedger(sched *sim.Scheduler, cfg Config, led *Ledger, st *statesize.Tracker, shardIdx int) *Monitor {
 	m := &Monitor{sched: sched, cfg: cfg, buckets: map[int][]*bucket{}, curProp: -1}
 	if cfg.Metrics != nil {
 		m.mx = newMonitorMetrics(cfg.Metrics, cfg.MetricsLabels)
@@ -273,6 +307,18 @@ func newMonitorWithLedger(sched *sim.Scheduler, cfg Config, led *Ledger) *Monito
 		led.instrument(cfg.Metrics, cfg.MetricsLabels)
 	}
 	m.ledger = led
+	if st == nil && !cfg.DisableStateAccounting {
+		st = statesize.NewTracker(statesize.Config{
+			Shards:    1,
+			TopK:      cfg.StateTopK,
+			SampleN:   cfg.StateSample,
+			Watermark: cfg.StateWatermark,
+			Metrics:   cfg.Metrics,
+		})
+		shardIdx = 0
+	}
+	m.state = st
+	m.shardIdx = shardIdx
 	return m
 }
 
@@ -319,6 +365,12 @@ func (m *Monitor) AddProperty(p *property.Property) error {
 		m.pmx = append(m.pmx, newPropMetrics(m.cfg.Metrics, p.Name))
 	} else {
 		m.pmx = append(m.pmx, propMetrics{})
+	}
+	if m.state != nil {
+		m.state.Install(idx, p.Name)
+		m.sx = append(m.sx, m.state.Handle(idx, m.shardIdx))
+	} else {
+		m.sx = append(m.sx, nil)
 	}
 	return nil
 }
@@ -631,6 +683,7 @@ func (m *Monitor) createInstance(pi int, cp *compiledProp, e *Event, seq uint64)
 		inst = m.freeList[n-1]
 		m.freeList[n-1] = nil
 		m.freeList = m.freeList[:n-1]
+		m.state.PoolGet(m.shardIdx)
 	} else {
 		inst = &instance{binds: bindings{}}
 	}
@@ -665,6 +718,7 @@ func (m *Monitor) release(inst *instance) {
 	inst.deadlineNegative = false
 	clear(inst.binds)
 	m.freeList = append(m.freeList, inst)
+	m.state.PoolPut(m.shardIdx)
 }
 
 // advance applies the event's bindings and moves the instance forward,
@@ -783,6 +837,14 @@ func (m *Monitor) enter(inst *instance) {
 	if m.mx != nil {
 		m.mx.occupancy.Add(1)
 	}
+	if h := m.sx[inst.propIdx]; h != nil {
+		inst.acctBytes = approxInstanceBytes(inst)
+		var fk uint64
+		if h.Sketching() {
+			fk = flowKey(inst.binds)
+		}
+		h.File(fk, inst.acctBytes)
+	}
 	b.bySig[sig] = inst
 	b.all[inst.id] = inst
 	inst.idxKeys = instanceIndexKeys(cs, inst.binds, inst.packets, inst.idxKeys[:0])
@@ -803,6 +865,7 @@ func (m *Monitor) enter(inst *instance) {
 			inst.deadlineNegative = false
 			inst.timer = m.sched.After(d, func() { m.expire(in) })
 		}
+		m.sx[inst.propIdx].ArmTimer()
 	}
 }
 
@@ -839,6 +902,7 @@ func (m *Monitor) remove(inst *instance) {
 	if inst.timer != nil {
 		inst.timer.Stop()
 		inst.timer = nil
+		m.sx[inst.propIdx].DisarmTimer()
 	}
 	if inst.filed {
 		inst.filed = false
@@ -846,6 +910,7 @@ func (m *Monitor) remove(inst *instance) {
 		if m.mx != nil {
 			m.mx.occupancy.Add(-1)
 		}
+		m.sx[inst.propIdx].Unfile(inst.acctBytes)
 	}
 	b := m.buckets[inst.propIdx][inst.stage]
 	delete(b.all, inst.id)

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"switchmon/internal/obs"
+	"switchmon/internal/obs/statesize"
 	"switchmon/internal/obs/tracer"
 	"switchmon/internal/property"
 	"switchmon/internal/sim"
@@ -208,6 +209,11 @@ type ShardedMonitor struct {
 	// ledger is the engine-wide soundness record, shared with every
 	// shard's Monitor.
 	ledger *Ledger
+	// state is the engine-wide state-cost accounting store, shared with
+	// every shard's Monitor the same way (nil when accounting is
+	// disabled). Each shard updates its own cell, so the hot path never
+	// contends; StateReport reads it live, without a barrier.
+	state *statesize.Tracker
 	// quarMask is the engine-wide quarantine bitmask: set by whichever
 	// shard recovers the panic, read by the router (to stop routing) and
 	// by every worker (to purge its local instances). The only cross-
@@ -255,6 +261,19 @@ func NewShardedMonitor(shards int, cfg Config) *ShardedMonitor {
 	if cfg.Metrics != nil {
 		sm.smx = newShardedMetrics(cfg.Metrics, cfg.MetricsLabels)
 	}
+	if !cfg.DisableStateAccounting {
+		// Per-property accounting series deliberately carry no shard
+		// label (like propMetrics), so the tracker gets the engine-level
+		// labels only.
+		sm.state = statesize.NewTracker(statesize.Config{
+			Shards:    shards,
+			TopK:      cfg.StateTopK,
+			SampleN:   cfg.StateSample,
+			Watermark: cfg.StateWatermark,
+			Metrics:   cfg.Metrics,
+			Labels:    cfg.MetricsLabels,
+		})
+	}
 	shardCfg := cfg
 	shardCfg.Mode = Inline
 	shardCfg.SplitFlushLimit = 0
@@ -284,7 +303,7 @@ func NewShardedMonitor(shards int, cfg Config) *ShardedMonitor {
 				"Batches queued on the shard's channel at the last flush.",
 				cfgI.MetricsLabels...)
 		}
-		s.mon = newMonitorWithLedger(sched, cfgI, sm.ledger)
+		s.mon = newMonitorWithLedger(sched, cfgI, sm.ledger, sm.state, i)
 		sm.shards = append(sm.shards, s)
 	}
 	return sm
@@ -296,6 +315,18 @@ func (sm *ShardedMonitor) Shards() int { return len(sm.shards) }
 // Ledger returns the engine-wide soundness ledger. Safe to read from any
 // goroutine without a barrier — it is what /healthz polls live.
 func (sm *ShardedMonitor) Ledger() *Ledger { return sm.ledger }
+
+// StateReport snapshots the engine's state-cost accounting (per
+// property, per shard, with heavy-hitter keys) and cross-references each
+// property against quarantine and the soundness ledger. Deliberately
+// barrier-free — it is what /state polls while shards run — so totals
+// are per-field consistent, not a frozen transaction; exact agreement
+// with ActiveInstances holds once the engine quiesces.
+func (sm *ShardedMonitor) StateReport() statesize.Report {
+	r := sm.state.Report()
+	annotateReport(&r, sm.quarMask.Load(), sm.ledger)
+	return r
+}
 
 // AddProperty compiles and installs a property on every shard. It must be
 // called before the first Submit.

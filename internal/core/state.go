@@ -1,0 +1,90 @@
+package core
+
+// State-cost accounting glue: the per-instance byte estimate and flow
+// key the statesize hooks in monitor.go charge, and the StateReport
+// snapshots both engines expose behind /state. The tracker itself lives
+// in internal/obs/statesize; this file is the part that knows what an
+// instance is.
+
+import "switchmon/internal/obs/statesize"
+
+const (
+	// instanceBaseBytes approximates an instance's fixed overhead: the
+	// struct itself plus the bindings map header and bucket/index map
+	// entries it occupies while filed. A calibration constant, not a
+	// measurement — comparable across properties, stable across runs.
+	instanceBaseBytes = 256
+	// Per-element costs of an instance's variable-size parts: one
+	// bindings map entry (key + value + bucket overhead), one PacketID
+	// slot, one index key, one provenance record (strings dominate).
+	bindEntryBytes  = 48
+	packetSlotBytes = 8
+	idxKeyBytes     = 8
+	provRecordBytes = 96
+)
+
+// approxInstanceBytes estimates the resident cost of a filed instance.
+// Called once per filing (off the dedup fast path); remove credits back
+// exactly what was charged, via instance.acctBytes.
+func approxInstanceBytes(inst *instance) int64 {
+	n := int64(instanceBaseBytes)
+	n += int64(len(inst.binds)) * bindEntryBytes
+	n += int64(cap(inst.packets)) * packetSlotBytes
+	n += int64(cap(inst.idxKeys)) * idxKeyBytes
+	n += int64(len(inst.history)) * provRecordBytes
+	return n
+}
+
+// flowKey hashes an instance's bindings into the key the heavy-hitter
+// sketch attributes state to. It is the bindings half of compiledProp's
+// signature — the same per-binding FNV-1a + mix64 terms, summed for
+// order invariance — but with no stage tag, so one flow keeps one key
+// as its instances advance stages and its filings aggregate instead of
+// splintering per stage.
+func flowKey(env bindings) uint64 {
+	var sum uint64
+	for v, val := range env {
+		h := fnvString(fnvOffset, string(v))
+		h = fnvByte(h, '=')
+		h = fnvValue(h, val)
+		sum += mix64(h)
+	}
+	if sum == 0 {
+		sum = 1
+	}
+	return sum
+}
+
+// StateReport snapshots the monitor's state-cost accounting and
+// cross-references each property against quarantine and the soundness
+// ledger. Accounting fields are assembled from atomic loads, so the
+// report may be taken from any goroutine; with accounting disabled it
+// is empty.
+func (m *Monitor) StateReport() statesize.Report {
+	r := m.state.Report()
+	annotateReport(&r, m.quarantined, m.ledger)
+	return r
+}
+
+// annotateReport fills the Quarantined and Unsound cross-references the
+// tracker cannot know: the engine's quarantine mask and the ledger's
+// first-mark-wins unsound records, matched by property install order
+// (report order is install order).
+func annotateReport(r *statesize.Report, quarMask uint64, led *Ledger) {
+	var marks map[string]UnsoundMark
+	for _, um := range led.Snapshot() {
+		if marks == nil {
+			marks = make(map[string]UnsoundMark)
+		}
+		marks[um.Property] = um
+	}
+	for i := range r.Properties {
+		p := &r.Properties[i]
+		if i < maxShardedProperties && quarMask&(uint64(1)<<uint(i)) != 0 {
+			p.Quarantined = true
+		}
+		if um, ok := marks[p.Property]; ok {
+			p.Unsound = um
+		}
+	}
+}

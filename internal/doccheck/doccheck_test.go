@@ -18,7 +18,7 @@ import (
 var libraryPackages = []string{
 	"sim", "packet", "property", "dsl", "core",
 	"dataplane", "backend", "varanus", "apps", "netsim", "trace", "tables",
-	"obs", "obs/export", "wire", "exporter", "collector",
+	"obs", "obs/export", "obs/statesize", "wire", "exporter", "collector",
 }
 
 func TestEveryExportedIdentifierIsDocumented(t *testing.T) {

@@ -145,7 +145,13 @@ func runInline(t *testing.T) []string {
 	t.Helper()
 	n := buildFabricPath(t)
 	rec := &violationRecorder{}
-	mon := core.NewMonitor(n.Scheduler(), core.Config{Provenance: core.ProvLimited, OnViolation: rec.record})
+	// Full state accounting — sketch on every filing, watermark low
+	// enough to trip — so the differential also pins that the state
+	// observatory never perturbs verdicts.
+	mon := core.NewMonitor(n.Scheduler(), core.Config{
+		Provenance: core.ProvLimited, OnViolation: rec.record,
+		StateTopK: 16, StateSample: 1, StateWatermark: 1,
+	})
 	if err := mon.AddProperty(parseLeasedMAC(t)); err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +174,12 @@ type fabricRig struct {
 func newFabricRig(t *testing.T, batchSize int) *fabricRig {
 	t.Helper()
 	rig := &fabricRig{n: buildFabricPath(t), rec: &violationRecorder{}}
-	rig.sm = core.NewShardedMonitor(4, core.Config{Provenance: core.ProvLimited, OnViolation: rig.rec.record})
+	// Mirror runInline's state-accounting settings: the differential is
+	// only meaningful when both sides run the same observability load.
+	rig.sm = core.NewShardedMonitor(4, core.Config{
+		Provenance: core.ProvLimited, OnViolation: rig.rec.record,
+		StateTopK: 16, StateSample: 1, StateWatermark: 1,
+	})
 	if err := rig.sm.AddProperty(parseLeasedMAC(t)); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,159 @@
+package integration
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"switchmon/internal/core"
+	"switchmon/internal/obs"
+	"switchmon/internal/obs/export"
+	"switchmon/internal/obs/statesize"
+	"switchmon/internal/packet"
+	"switchmon/internal/property"
+	"switchmon/internal/sim"
+)
+
+// TestStateEndpointUnderChurn hammers a 4-shard engine with instance
+// churn — flows opening on firewall-basic (which never expires) and
+// firewall-timeout (whose windows lapse as the clock advances) — while
+// a poller GETs /state concurrently. It asserts two things: live polls
+// never tear the report structurally (valid JSON, shard breakdown sums
+// to the property total at some instant... the sums themselves are
+// per-field atomic, so cross-field totals are only checked after
+// quiesce), and once the engine quiesces the accounting converges
+// exactly to the true instance count. Run under -race (check.sh's
+// integration race line covers this file), this is also the proof that
+// hot-path accounting writes and observer reads are properly
+// synchronized.
+func TestStateEndpointUnderChurn(t *testing.T) {
+	reg := obs.NewRegistry()
+	sm := core.NewShardedMonitor(4, core.Config{
+		Metrics:     reg,
+		StateTopK:   16,
+		StateSample: 1,
+	})
+	defer sm.Close()
+	for _, name := range []string{"firewall-basic", "firewall-timeout"} {
+		if err := sm.AddProperty(property.CatalogByName(property.DefaultParams(), name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := httptest.NewServer(export.NewMux(export.MuxConfig{
+		Registry: reg,
+		State:    func() any { return sm.StateReport() },
+	}))
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	polls := 0
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			resp, err := srv.Client().Get(srv.URL + "/state")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			var rep statesize.Report
+			err = json.NewDecoder(resp.Body).Decode(&rep)
+			resp.Body.Close()
+			if err != nil {
+				t.Errorf("mid-churn /state is not valid JSON: %v", err)
+				return
+			}
+			if rep.Shards != 4 || len(rep.Properties) != 2 {
+				t.Errorf("mid-churn /state shape: shards=%d properties=%d", rep.Shards, len(rep.Properties))
+				return
+			}
+			polls++
+		}
+	}()
+
+	// Feed from one goroutine (the router contract) while the poller
+	// runs: 64 distinct flows opened repeatedly across 40 rounds, with
+	// the clock advanced past the firewall window every few rounds so
+	// firewall-timeout instances expire and refile — pool churn, timer
+	// churn, and dedup refreshes all active while /state is polled.
+	const flows = 64
+	sched := sim.NewScheduler()
+	var pid core.PacketID
+	now := sched.Now()
+	for round := 0; round < 40; round++ {
+		for f := 0; f < flows; f++ {
+			src := packet.IPv4FromUint32(0x0a000000 | uint32(f))
+			dst := packet.IPv4FromUint32(0xcb007100 | uint32(f))
+			p := packet.NewTCP(macC, macD, src, dst, uint16(10000+f), 80, packet.FlagSYN, nil)
+			pid++
+			sm.Submit(core.Event{Kind: core.KindArrival, Time: now, PacketID: pid, Packet: p, InPort: 1})
+		}
+		if round%4 == 3 {
+			now = now.Add(property.DefaultParams().FirewallWindow + time.Second)
+			sm.AdvanceTo(now)
+		} else {
+			now = now.Add(time.Second)
+			sm.Tick(now)
+		}
+	}
+
+	// Quiesce: a barrier settles every queued batch, then a final
+	// advance fires the outstanding windows.
+	sm.AdvanceTo(now.Add(property.DefaultParams().FirewallWindow + time.Hour))
+	sm.Barrier()
+	close(stop)
+	wg.Wait()
+	if polls == 0 {
+		t.Fatal("poller never completed a /state read during churn")
+	}
+
+	rep := sm.StateReport()
+	var live int64
+	for _, p := range rep.Properties {
+		var shardSum int64
+		for _, s := range p.Shards {
+			shardSum += s.Live
+		}
+		if shardSum != p.Live {
+			t.Fatalf("%s: shard live sum %d != total %d after quiesce", p.Property, shardSum, p.Live)
+		}
+		if p.Timers != 0 && p.Property == "firewall-timeout" {
+			t.Fatalf("firewall-timeout still holds %d timers after all windows lapsed", p.Timers)
+		}
+		live += p.Live
+	}
+	if truth := int64(sm.ActiveInstances()); live != truth {
+		t.Fatalf("accounting says %d live instances, engine says %d", live, truth)
+	}
+	// firewall-basic never expires: its 64 distinct flows are still
+	// live. firewall-timeout expired with the last advance.
+	byName := map[string]statesize.PropState{}
+	for _, p := range rep.Properties {
+		byName[p.Property] = p
+	}
+	if got := byName["firewall-basic"].Live; got != flows {
+		t.Fatalf("firewall-basic live = %d, want %d", got, flows)
+	}
+	if got := byName["firewall-timeout"].Live; got != 0 {
+		t.Fatalf("firewall-timeout live = %d, want 0 after expiry", got)
+	}
+	// The sketch saw every filing (sample 1): firewall-timeout's top
+	// keys carry 10 filings each (40 rounds / 4 rounds per window).
+	ft := byName["firewall-timeout"]
+	if len(ft.TopKeys) != 16 {
+		t.Fatalf("topk entries = %d, want the full sketch capacity 16", len(ft.TopKeys))
+	}
+	for _, kw := range ft.TopKeys {
+		if lo := kw.Filings - kw.MaxOver; lo > 10 || kw.Filings < 10 {
+			t.Fatalf("top key %s: bound [%d,%d] excludes the true 10 filings/flow", kw.Key, lo, kw.Filings)
+		}
+	}
+}

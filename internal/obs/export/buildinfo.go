@@ -1,0 +1,69 @@
+package export
+
+import (
+	"runtime"
+	"runtime/debug"
+
+	"switchmon/internal/obs"
+)
+
+// BuildInfo identifies a running binary: what was built, from which
+// commit, with which toolchain. It backs /buildinfo and the
+// switchmon_build_info metric, answering "what version is this daemon"
+// without shelling into the host.
+type BuildInfo struct {
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	// Path is the main package's import path.
+	Path string `json:"path,omitempty"`
+	// Version is the main module's version ("(devel)" for tree builds).
+	Version string `json:"version,omitempty"`
+	// VCSRevision, VCSTime, and VCSModified are the commit the binary
+	// was built from, its author time, and whether the tree was dirty —
+	// present only when the build had VCS metadata (not `go test`).
+	VCSRevision string `json:"vcs_revision,omitempty"`
+	VCSTime     string `json:"vcs_time,omitempty"`
+	VCSModified string `json:"vcs_modified,omitempty"`
+}
+
+// buildInfo assembles the binary's identity from the runtime. It
+// degrades gracefully: binaries without embedded build info (or VCS
+// stamps) report the fields the runtime does know.
+func buildInfo() BuildInfo {
+	bi := BuildInfo{GoVersion: runtime.Version()}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return bi
+	}
+	bi.Path = info.Path
+	bi.Version = info.Main.Version
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			bi.VCSRevision = s.Value
+		case "vcs.time":
+			bi.VCSTime = s.Value
+		case "vcs.modified":
+			bi.VCSModified = s.Value
+		}
+	}
+	return bi
+}
+
+// registerBuildInfo publishes the constant-1 switchmon_build_info gauge
+// whose labels carry the binary's identity — the Prometheus idiom for
+// joining version metadata onto any other series.
+func registerBuildInfo(reg *obs.Registry) {
+	bi := buildInfo()
+	rev := bi.VCSRevision
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	reg.Gauge("switchmon_build_info",
+		"Build identity; constant 1, metadata in the labels.",
+		obs.L("go_version", bi.GoVersion),
+		obs.L("path", bi.Path),
+		obs.L("version", bi.Version),
+		obs.L("revision", rev),
+	).Set(1)
+}

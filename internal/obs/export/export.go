@@ -125,24 +125,82 @@ func WriteJSON(w io.Writer, s obs.Snapshot) error {
 // JSON-serializable detail (typically the soundness ledger's marks).
 type HealthFunc func() (healthy bool, detail any)
 
+// StateFunc lets the engine expose its state-cost accounting through
+// /state. It returns a JSON-serializable report (typically a
+// statesize.Report, which both engines produce via StateReport); it is
+// called per request, so the report is always live.
+type StateFunc func() any
+
+// MuxConfig wires the introspection endpoint's data sources. Every
+// field may be nil: the corresponding handlers then serve empty
+// documents (and /healthz degrades to a plain liveness probe).
+type MuxConfig struct {
+	// Registry backs /metrics; when non-nil the mux also registers the
+	// switchmon_build_info series and refreshes Go runtime health gauges
+	// (goroutines, heap, GC pauses) before every snapshot.
+	Registry *obs.Registry
+	// Ring backs /violations.
+	Ring *obs.Ring
+	// Health backs /healthz.
+	Health HealthFunc
+	// Tracer backs /trace.
+	Tracer *tracer.Tracer
+	// State backs /state.
+	State StateFunc
+}
+
+// sinceLimit parses the shared incremental-read query parameters:
+// ?since=<seq> keeps only records with seq strictly greater, and
+// ?limit=N keeps the newest N of what remains. Absent or unparseable
+// values fall back to "everything". hasSince distinguishes ?since=0
+// (skip seq 0 only) from no filter at all.
+func sinceLimit(r *http.Request) (since uint64, hasSince bool, limit int) {
+	q := r.URL.Query()
+	limit = -1
+	if v := q.Get("since"); v != "" {
+		if n, err := strconv.ParseUint(v, 10, 64); err == nil {
+			since, hasSince = n, true
+		}
+	}
+	if v := q.Get("limit"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n >= 0 {
+			limit = n
+		}
+	}
+	return since, hasSince, limit
+}
+
 // NewMux builds the introspection endpoint:
 //
-//	/metrics          Prometheus text (or JSON with ?format=json)
+//	/metrics          Prometheus text (or JSON with ?format=json),
+//	                  including Go runtime health series
 //	/healthz          liveness + soundness probe ("ok", or a JSON
 //	                  degradation report when health says unsound)
 //	/violations       JSON dump of the violation ring, oldest first
 //	/trace            completed tracing spans as NDJSON, oldest first
+//	/state            live state-cost accounting report as JSON
+//	/buildinfo        module, VCS, and toolchain identity as JSON
 //	/debug/pprof/...  standard runtime profiles
 //
-// reg, ring, health, and tr may each be nil; the handlers then serve
-// empty documents (and /healthz is a plain liveness probe).
+// /violations and /trace accept ?since=<seq> (records with a strictly
+// greater sequence number only) and ?limit=N (the newest N after the
+// since filter), so pollers can read incrementally; records carry
+// contiguous sequence numbers, so a page whose first record's seq
+// exceeds since+1 proves records were missed (evicted or truncated).
 //
 // /healthz answers 200 even when degraded: the process is alive and
 // still monitoring, just with a documented soundness gap. Probes that
 // want to alarm on degradation should parse the status field.
-func NewMux(reg *obs.Registry, ring *obs.Ring, health HealthFunc, tr *tracer.Tracer) *http.ServeMux {
+func NewMux(cfg MuxConfig) *http.ServeMux {
+	reg, ring, health, tr := cfg.Registry, cfg.Ring, cfg.Health, cfg.Tracer
+	var rc *runtimeCollector
+	if reg != nil {
+		rc = newRuntimeCollector(reg)
+		registerBuildInfo(reg)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		rc.collect()
 		snap := reg.Snapshot()
 		if r.URL.Query().Get("format") == "json" {
 			w.Header().Set("Content-Type", "application/json")
@@ -168,13 +226,24 @@ func NewMux(reg *obs.Registry, ring *obs.Ring, health HealthFunc, tr *tracer.Tra
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
-	mux.HandleFunc("/violations", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/violations", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		var recs []obs.TraceRecord
 		var total uint64
 		if ring != nil {
 			recs = ring.Snapshot()
 			total = ring.Total()
+		}
+		since, hasSince, limit := sinceLimit(r)
+		if hasSince {
+			cut := 0
+			for cut < len(recs) && recs[cut].Seq <= since {
+				cut++
+			}
+			recs = recs[cut:]
+		}
+		if limit >= 0 && len(recs) > limit {
+			recs = recs[len(recs)-limit:]
 		}
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
@@ -184,10 +253,38 @@ func NewMux(reg *obs.Registry, ring *obs.Ring, health HealthFunc, tr *tracer.Tra
 			Violations []obs.TraceRecord `json:"violations"`
 		}{Total: total, Retained: len(recs), Violations: recs})
 	})
-	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		w.Header().Set("X-Trace-Total", strconv.FormatUint(tr.Total(), 10))
-		_ = tracer.WriteNDJSON(w, tr.Snapshot())
+		recs := tr.Snapshot()
+		since, hasSince, limit := sinceLimit(r)
+		if hasSince {
+			cut := 0
+			for cut < len(recs) && recs[cut].Seq <= since {
+				cut++
+			}
+			recs = recs[cut:]
+		}
+		if limit >= 0 && len(recs) > limit {
+			recs = recs[len(recs)-limit:]
+		}
+		_ = tracer.WriteNDJSON(w, recs)
+	})
+	mux.HandleFunc("/state", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var rep any = struct{}{}
+		if cfg.State != nil {
+			rep = cfg.State()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(rep)
+	})
+	mux.HandleFunc("/buildinfo", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(buildInfo())
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -78,7 +79,7 @@ func TestMuxEndpoints(t *testing.T) {
 	sp.StampAt(tracer.StageIngress, 100)
 	sp.StampAt(tracer.StageVerdict, 350)
 	tr.Finish(sp)
-	srv := httptest.NewServer(NewMux(reg, ring, nil, tr))
+	srv := httptest.NewServer(NewMux(MuxConfig{Registry: reg, Ring: ring, Tracer: tr}))
 	defer srv.Close()
 
 	get := func(path string) string {
@@ -109,8 +110,20 @@ func TestMuxEndpoints(t *testing.T) {
 	if err := json.Unmarshal([]byte(get("/metrics?format=json")), &snap); err != nil {
 		t.Fatal(err)
 	}
-	if len(snap.Families) != 3 {
-		t.Fatalf("json families = %d, want 3", len(snap.Families))
+	// The three test families plus the mux's own contributions: the
+	// build-info series and the Go runtime health series.
+	have := map[string]bool{}
+	for _, f := range snap.Families {
+		have[f.Name] = true
+	}
+	for _, want := range []string{
+		"t_events_total", "t_instances", "t_latency_ns",
+		"switchmon_build_info", "switchmon_go_goroutines",
+		"switchmon_go_heap_alloc_bytes", "switchmon_go_gc_pause_ns",
+	} {
+		if !have[want] {
+			t.Fatalf("json families missing %s: %v", want, have)
+		}
 	}
 
 	var dump struct {
@@ -149,9 +162,9 @@ func TestMuxEndpoints(t *testing.T) {
 func TestMuxHealthzDegraded(t *testing.T) {
 	healthy := true
 	detail := []map[string]any{{"property": "firewall-basic", "reason": "quarantine"}}
-	srv := httptest.NewServer(NewMux(nil, nil, func() (bool, any) {
+	srv := httptest.NewServer(NewMux(MuxConfig{Health: func() (bool, any) {
 		return healthy, detail
-	}, nil))
+	}}))
 	defer srv.Close()
 
 	get := func() (int, string) {
@@ -193,9 +206,9 @@ func TestMuxHealthzDegraded(t *testing.T) {
 }
 
 func TestMuxNilSources(t *testing.T) {
-	srv := httptest.NewServer(NewMux(nil, nil, nil, nil))
+	srv := httptest.NewServer(NewMux(MuxConfig{}))
 	defer srv.Close()
-	for _, path := range []string{"/metrics", "/violations", "/healthz", "/trace"} {
+	for _, path := range []string{"/metrics", "/violations", "/healthz", "/trace", "/state", "/buildinfo"} {
 		resp, err := srv.Client().Get(srv.URL + path)
 		if err != nil {
 			t.Fatal(err)
@@ -205,4 +218,233 @@ func TestMuxNilSources(t *testing.T) {
 			t.Fatalf("GET %s with nil sources: status %d", path, resp.StatusCode)
 		}
 	}
+}
+
+// TestViolationsWraparoundGapDetectable is the incremental-read
+// contract: a ring that wrapped has evicted records, and a poller
+// resuming from ?since can prove it missed some because the retained
+// sequence numbers are contiguous — the first returned seq exceeding
+// since+1 is the gap signal.
+func TestViolationsWraparoundGapDetectable(t *testing.T) {
+	ring := obs.NewRing(4)
+	for i := 0; i < 10; i++ {
+		ring.Record(obs.TraceRecord{Property: "fw", Trigger: "t"})
+	}
+	srv := httptest.NewServer(NewMux(MuxConfig{Ring: ring}))
+	defer srv.Close()
+
+	var dump struct {
+		Total      uint64            `json:"total"`
+		Retained   int               `json:"retained"`
+		Violations []obs.TraceRecord `json:"violations"`
+	}
+	get := func(path string) {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dump = struct {
+			Total      uint64            `json:"total"`
+			Retained   int               `json:"retained"`
+			Violations []obs.TraceRecord `json:"violations"`
+		}{}
+		if err := json.Unmarshal(body, &dump); err != nil {
+			t.Fatalf("GET %s: %v\n%s", path, err, body)
+		}
+	}
+
+	// The ring retains seqs 6..9 of 10 recorded (0..9).
+	get("/violations")
+	if dump.Total != 10 || dump.Retained != 4 || dump.Violations[0].Seq != 6 {
+		t.Fatalf("full dump = total %d retained %d first seq %d, want 10/4/6",
+			dump.Total, dump.Retained, dump.Violations[0].Seq)
+	}
+
+	// A poller that last saw seq 2 asks for everything after it. Seqs
+	// 3..5 are gone; the response must make that detectable.
+	get("/violations?since=2")
+	if dump.Retained != 4 {
+		t.Fatalf("since=2 returned %d records, want the 4 retained", dump.Retained)
+	}
+	if first := dump.Violations[0].Seq; first <= 2+1 {
+		t.Fatalf("first seq = %d; a wrapped ring must expose the gap (want > 3)", first)
+	} else if first != 6 {
+		t.Fatalf("first seq = %d, want 6", first)
+	}
+
+	// A poller that kept up sees a gapless continuation.
+	get("/violations?since=7")
+	if dump.Retained != 2 || dump.Violations[0].Seq != 8 || dump.Violations[1].Seq != 9 {
+		t.Fatalf("since=7 = %+v, want seqs 8,9", dump.Violations)
+	}
+
+	// limit keeps the newest N; order stays oldest-first.
+	get("/violations?limit=2")
+	if dump.Retained != 2 || dump.Violations[0].Seq != 8 || dump.Violations[1].Seq != 9 {
+		t.Fatalf("limit=2 = %+v, want seqs 8,9", dump.Violations)
+	}
+	get("/violations?since=6&limit=1")
+	if dump.Retained != 1 || dump.Violations[0].Seq != 9 {
+		t.Fatalf("since=6&limit=1 = %+v, want seq 9 only", dump.Violations)
+	}
+	get("/violations?limit=0")
+	if dump.Retained != 0 || dump.Total != 10 {
+		t.Fatalf("limit=0 = retained %d total %d, want 0 records but the true total", dump.Retained, dump.Total)
+	}
+}
+
+// TestTraceWraparoundGapDetectable proves the same contract for /trace:
+// span seqs survive ring eviction contiguously, so ?since reveals
+// missed spans, and ?limit pages from the newest.
+func TestTraceWraparoundGapDetectable(t *testing.T) {
+	tr := tracer.New(tracer.Config{SampleN: 1, Ring: 4})
+	for i := 0; i < 10; i++ {
+		sp := tr.Sample(7, uint64(100+i), 0)
+		sp.StampAt(tracer.StageIngress, int64(100+i))
+		sp.StampAt(tracer.StageVerdict, int64(200+i))
+		tr.Finish(sp)
+	}
+	srv := httptest.NewServer(NewMux(MuxConfig{Tracer: tr}))
+	defer srv.Close()
+
+	get := func(path string) []tracer.SpanRecord {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if got := resp.Header.Get("X-Trace-Total"); got != "10" {
+			t.Fatalf("X-Trace-Total = %q, want 10", got)
+		}
+		var recs []tracer.SpanRecord
+		dec := json.NewDecoder(resp.Body)
+		for dec.More() {
+			var r tracer.SpanRecord
+			if err := dec.Decode(&r); err != nil {
+				t.Fatal(err)
+			}
+			recs = append(recs, r)
+		}
+		return recs
+	}
+
+	full := get("/trace")
+	if len(full) != 4 || full[0].Seq != 6 || full[3].Seq != 9 {
+		t.Fatalf("full /trace = %+v, want seqs 6..9", full)
+	}
+	if full[0].PacketID != 106 {
+		t.Fatalf("seq 6 carries packet %d, want 106 (seq assigned in finish order)", full[0].PacketID)
+	}
+	after := get("/trace?since=2")
+	if len(after) != 4 || after[0].Seq != 6 {
+		t.Fatalf("since=2 = %+v; first seq 6 > 3 is the detectable gap", after)
+	}
+	page := get("/trace?since=6&limit=2")
+	if len(page) != 2 || page[0].Seq != 8 || page[1].Seq != 9 {
+		t.Fatalf("since=6&limit=2 = %+v, want seqs 8,9", page)
+	}
+}
+
+// TestStateEndpoint serves a StateFunc's report verbatim as JSON.
+func TestStateEndpoint(t *testing.T) {
+	calls := 0
+	srv := httptest.NewServer(NewMux(MuxConfig{State: func() any {
+		calls++
+		return map[string]any{"shards": 4, "poll": calls}
+	}}))
+	defer srv.Close()
+	for want := 1; want <= 2; want++ {
+		resp, err := srv.Client().Get(srv.URL + "/state")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("content type = %q", ct)
+		}
+		var rep struct {
+			Shards int `json:"shards"`
+			Poll   int `json:"poll"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&rep)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Shards != 4 || rep.Poll != want {
+			t.Fatalf("poll %d: got %+v; the report must be produced per request", want, rep)
+		}
+	}
+}
+
+// TestBuildInfoEndpointAndMetric checks both build-identity surfaces:
+// /buildinfo always knows the toolchain (even under `go test`, which
+// embeds no VCS stamp), and a registry-backed mux carries the
+// constant-1 switchmon_build_info series.
+func TestBuildInfoEndpointAndMetric(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv := httptest.NewServer(NewMux(MuxConfig{Registry: reg}))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/buildinfo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bi BuildInfo
+	err = json.NewDecoder(resp.Body).Decode(&bi)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(bi.GoVersion, "go") {
+		t.Fatalf("go_version = %q", bi.GoVersion)
+	}
+	resp, err = srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "switchmon_build_info{") {
+		t.Fatalf("/metrics missing build info series:\n%s", body)
+	}
+}
+
+// TestRuntimeMetricsRefreshed checks the runtime collector actually
+// collects: after a scrape, the goroutine gauge is positive and the GC
+// cycle counter matches a forced collection.
+func TestRuntimeMetricsRefreshed(t *testing.T) {
+	reg := obs.NewRegistry()
+	rc := newRuntimeCollector(reg)
+	runtime.GC()
+	rc.collect()
+	if v := rc.goroutines.Value(); v < 1 {
+		t.Fatalf("goroutines = %d, want >= 1", v)
+	}
+	if v := rc.heapAlloc.Value(); v <= 0 {
+		t.Fatalf("heap alloc = %d, want positive", v)
+	}
+	if rc.gcCycles.Value() == 0 {
+		t.Fatal("gc cycles = 0 after a forced GC")
+	}
+	if rc.gcPauseNs.Count() == 0 {
+		t.Fatal("no GC pauses observed after a forced GC")
+	}
+	// A second collect must not double-count old cycles.
+	before := rc.gcCycles.Value()
+	pauses := rc.gcPauseNs.Count()
+	rc.collect()
+	if rc.gcCycles.Value() != before || rc.gcPauseNs.Count() != pauses {
+		t.Fatal("idle collect re-observed old GC cycles")
+	}
+	var nilRC *runtimeCollector
+	nilRC.collect() // nil-safe: a mux without a registry has no collector
 }

@@ -1,0 +1,68 @@
+package export
+
+import (
+	"runtime"
+	"sync"
+
+	"switchmon/internal/obs"
+)
+
+// runtimeCollector refreshes Go runtime health series in a registry —
+// goroutine count, heap occupancy, and the GC pause distribution — so a
+// /metrics scrape reports process health alongside engine telemetry.
+// Collection is pull-driven (once per scrape, not on a timer) and
+// mutex-guarded so concurrent scrapes neither race nor double-count GC
+// pauses.
+type runtimeCollector struct {
+	goroutines *obs.Gauge
+	heapAlloc  *obs.Gauge
+	heapSys    *obs.Gauge
+	heapObjs   *obs.Gauge
+	gcCycles   *obs.Counter
+	gcPauseNs  *obs.Histogram
+
+	mu     sync.Mutex
+	lastGC uint32 // NumGC high-water mark: pauses up to here are observed
+}
+
+func newRuntimeCollector(reg *obs.Registry) *runtimeCollector {
+	return &runtimeCollector{
+		goroutines: reg.Gauge("switchmon_go_goroutines", "Live goroutines at the last scrape."),
+		heapAlloc:  reg.Gauge("switchmon_go_heap_alloc_bytes", "Heap bytes allocated and still in use."),
+		heapSys:    reg.Gauge("switchmon_go_heap_sys_bytes", "Heap bytes obtained from the OS."),
+		heapObjs:   reg.Gauge("switchmon_go_heap_objects", "Live heap objects."),
+		gcCycles:   reg.Counter("switchmon_go_gc_cycles_total", "Completed GC cycles."),
+		gcPauseNs:  reg.Histogram("switchmon_go_gc_pause_ns", "Stop-the-world GC pause durations, nanoseconds."),
+	}
+}
+
+// collect refreshes the series from the runtime. Nil-safe (a mux with
+// no registry has no collector).
+func (rc *runtimeCollector) collect() {
+	if rc == nil {
+		return
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	rc.goroutines.Set(int64(runtime.NumGoroutine()))
+	rc.heapAlloc.Set(int64(ms.HeapAlloc))
+	rc.heapSys.Set(int64(ms.HeapSys))
+	rc.heapObjs.Set(int64(ms.HeapObjects))
+	// PauseNs is a circular buffer of the last 256 pauses; the pause of
+	// GC cycle i lives at PauseNs[(i+255)%256]. Observe each cycle since
+	// the previous scrape exactly once, clamping to the buffer depth
+	// when more than 256 cycles passed between scrapes.
+	first := rc.lastGC + 1
+	if ms.NumGC > 256 && first < ms.NumGC-255 {
+		first = ms.NumGC - 255
+	}
+	for i := first; i <= ms.NumGC; i++ {
+		rc.gcPauseNs.Observe(ms.PauseNs[(i+255)%256])
+	}
+	if ms.NumGC > rc.lastGC {
+		rc.gcCycles.Add(uint64(ms.NumGC - rc.lastGC))
+		rc.lastGC = ms.NumGC
+	}
+}

@@ -1,0 +1,497 @@
+// Package statesize is the engine's state-cost accounting: how much
+// monitor state each property holds right now, and which flow keys hold
+// it. The paper's Table 2 compares switch designs by exactly this cost;
+// this package makes it a live, queryable quantity instead of a
+// post-mortem estimate — the /state introspection endpoint, the
+// state_pressure early-warning series, and the per-tenant quota work the
+// ROADMAP sketches all read from here.
+//
+// The design constraints mirror internal/obs: the hot path (instance
+// filed, instance removed, timer armed, pool recycle) pays a few
+// uncontended atomic adds and allocates nothing; snapshots (Report) are
+// assembled from atomic loads on the observer's goroutine, so a /state
+// poll never stops the engine. Heavy-hitter attribution uses a per-shard
+// space-saving sketch over fixed atomic slots — single-writer per shard,
+// lock-free readers — fed by the same deterministic 1-in-N identity-hash
+// sampling idiom the tracer uses (murmur-finalized fastrange), so the
+// sampled path costs one multiply-compare per filing.
+package statesize
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"switchmon/internal/obs"
+)
+
+// Config parameterizes a Tracker.
+type Config struct {
+	// Shards is the number of engine shards feeding the tracker
+	// (clamped to at least 1). Each shard gets its own counter cell and
+	// sketch, so hot-path updates never contend across shards.
+	Shards int
+	// TopK is the per-property, per-shard heavy-hitter sketch capacity;
+	// 0 disables the sketch (accounting still runs).
+	TopK int
+	// SampleN samples one filing in N into the sketch, decided by the
+	// filing key's identity-hash class — deterministic, so the same flow
+	// is always sampled or always skipped. 0 or 1 observes every filing.
+	SampleN uint64
+	// Watermark is the per-property live-instance count above which the
+	// property is flagged under state pressure (a soundness-ledger-
+	// adjacent warning that fires before any shed or quarantine does);
+	// 0 disables watermarking.
+	Watermark int64
+	// Metrics, when non-nil, registers the tracker's gauge/counter
+	// series; per-property series carry only the property label (plus
+	// Labels), so shards sharing a registry aggregate per property.
+	Metrics *obs.Registry
+	// Labels are attached to every series the tracker registers.
+	Labels []obs.Label
+}
+
+// counters is one accounting cell: the live/bytes/timers triple plus the
+// cumulative filing count. All fields are atomically updated, so a cell
+// can be read while its owning shard is mid-event.
+type counters struct {
+	live    atomic.Int64
+	bytes   atomic.Int64
+	timers  atomic.Int64
+	filings atomic.Uint64
+}
+
+// prop is one property's accounting: engine-wide totals (every shard
+// adds here too, so watermarks see the aggregate), per-shard cells for
+// the breakdown, and per-shard sketches for heavy-hitter keys.
+type prop struct {
+	name      string
+	total     counters
+	shards    []counters
+	sketch    []sketch
+	pressure  atomic.Uint32 // 0 = below watermark, 1 = over
+	crossings atomic.Uint64 // lifetime 0->1 transitions
+
+	// Telemetry handles (nil-safe no-ops when uninstrumented).
+	liveG     *obs.Gauge
+	bytesG    *obs.Gauge
+	timersG   *obs.Gauge
+	pressureG *obs.Gauge
+	pressureC *obs.Counter
+}
+
+// Tracker is the engine-wide accounting store. One Tracker is shared by
+// all shards of an engine (like the soundness Ledger); each shard
+// resolves per-property Handles at install time and updates through
+// them on its own goroutine. Report may be called from any goroutine at
+// any time.
+type Tracker struct {
+	cfg  Config
+	pool []atomic.Int64 // per-shard instance free-list population
+
+	mu    sync.Mutex
+	props []*prop
+}
+
+// NewTracker builds a tracker for an engine with cfg.Shards shards.
+func NewTracker(cfg Config) *Tracker {
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	if cfg.TopK < 0 {
+		cfg.TopK = 0
+	}
+	return &Tracker{cfg: cfg, pool: make([]atomic.Int64, cfg.Shards)}
+}
+
+// Install registers property idx under name (idempotent: every shard of
+// a sharded engine installs the same property at the same index, and
+// only the first call creates the entry). Indices must be installed in
+// order, matching the engine's property indices.
+func (t *Tracker) Install(idx int, name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for len(t.props) <= idx {
+		t.props = append(t.props, nil)
+	}
+	if t.props[idx] != nil {
+		return
+	}
+	p := &prop{name: name, shards: make([]counters, t.cfg.Shards)}
+	if k := t.cfg.TopK; k > 0 {
+		p.sketch = make([]sketch, t.cfg.Shards)
+		for i := range p.sketch {
+			p.sketch[i].init(k)
+		}
+	}
+	if reg := t.cfg.Metrics; reg != nil {
+		l := append(append([]obs.Label(nil), t.cfg.Labels...), obs.L("property", name))
+		p.liveG = reg.Gauge("switchmon_state_live_instances",
+			"Live (filed) monitor instances held by the property.", l...)
+		p.bytesG = reg.Gauge("switchmon_state_approx_bytes",
+			"Approximate bytes of instance state (bindings, provenance, index keys) held by the property.", l...)
+		p.timersG = reg.Gauge("switchmon_state_pending_timers",
+			"Armed deadline timers (windows, negative-observation deadlines) held by the property.", l...)
+		p.pressureG = reg.Gauge("switchmon_state_pressure",
+			"1 while the property's live instance count exceeds the configured watermark.", l...)
+		p.pressureC = reg.Counter("switchmon_state_pressure_crossings_total",
+			"Watermark crossings: transitions from below to above the state watermark.", l...)
+	}
+	t.props[idx] = p
+}
+
+// Handle returns the hot-path accounting handle for (property idx,
+// shard). Install must have run for idx first. Handles are resolved
+// once at install time, never on the event path.
+func (t *Tracker) Handle(idx, shard int) *Handle {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	p := t.props[idx]
+	t.mu.Unlock()
+	h := &Handle{p: p, local: &p.shards[shard], sampleN: t.cfg.SampleN, watermark: t.cfg.Watermark}
+	if p.sketch != nil {
+		h.sk = &p.sketch[shard]
+	}
+	return h
+}
+
+// PoolGet records an instance leaving the shard's free list (recycled
+// into use). Nil-safe.
+func (t *Tracker) PoolGet(shard int) {
+	if t != nil {
+		t.pool[shard].Add(-1)
+	}
+}
+
+// PoolPut records a terminally dead instance returning to the shard's
+// free list. Nil-safe.
+func (t *Tracker) PoolPut(shard int) {
+	if t != nil {
+		t.pool[shard].Add(1)
+	}
+}
+
+// Handle is the per-(property, shard) hot-path handle: direct pointers
+// to the cells its updates touch, resolved once. All methods are
+// nil-receiver safe (a nil handle is the accounting-disabled case) and
+// allocation-free.
+type Handle struct {
+	p         *prop
+	local     *counters
+	sk        *sketch
+	sampleN   uint64
+	watermark int64
+}
+
+// File records an instance being filed: live population, approximate
+// byte cost, the filing counter, the watermark check, and — when the
+// filing key lands in the sampled 1-in-N class — the heavy-hitter
+// sketch. key is the order-invariant hash of the instance's bindings
+// (stable as the flow advances stages); bytes is the caller's estimate
+// of the instance's resident cost, which the matching Unfile must
+// return exactly.
+func (h *Handle) File(key uint64, bytes int64) {
+	if h == nil {
+		return
+	}
+	h.local.live.Add(1)
+	h.local.bytes.Add(bytes)
+	h.local.filings.Add(1)
+	p := h.p
+	live := p.total.live.Add(1)
+	p.total.bytes.Add(bytes)
+	p.total.filings.Add(1)
+	p.liveG.Add(1)
+	p.bytesG.Add(bytes)
+	if w := h.watermark; w > 0 && live > w && p.pressure.CompareAndSwap(0, 1) {
+		p.crossings.Add(1)
+		p.pressureC.Inc()
+		p.pressureG.Set(1)
+	}
+	if h.sk != nil && (h.sampleN <= 1 || inClass(mix64(key), h.sampleN)) {
+		h.sk.observe(key)
+	}
+}
+
+// Unfile records an instance being unfiled (advanced, discharged,
+// expired, evicted, suppressed, or purged), returning the bytes the
+// File charged. Pressure clears with hysteresis: only once the live
+// count falls to three quarters of the watermark, so a population
+// oscillating at the line does not flap the flag.
+func (h *Handle) Unfile(bytes int64) {
+	if h == nil {
+		return
+	}
+	h.local.live.Add(-1)
+	h.local.bytes.Add(-bytes)
+	p := h.p
+	live := p.total.live.Add(-1)
+	p.total.bytes.Add(-bytes)
+	p.liveG.Add(-1)
+	p.bytesG.Add(-bytes)
+	if w := h.watermark; w > 0 && live <= w-(w>>2) && p.pressure.CompareAndSwap(1, 0) {
+		p.pressureG.Set(0)
+	}
+}
+
+// ArmTimer records a deadline timer being armed for the property.
+func (h *Handle) ArmTimer() {
+	if h == nil {
+		return
+	}
+	h.local.timers.Add(1)
+	h.p.total.timers.Add(1)
+	h.p.timersG.Add(1)
+}
+
+// DisarmTimer records a deadline timer being stopped or fired.
+func (h *Handle) DisarmTimer() {
+	if h == nil {
+		return
+	}
+	h.local.timers.Add(-1)
+	h.p.total.timers.Add(-1)
+	h.p.timersG.Add(-1)
+}
+
+// Sketching reports whether filings feed a heavy-hitter sketch (lets
+// callers skip computing the filing key when they would not use it).
+func (h *Handle) Sketching() bool { return h != nil && h.sk != nil }
+
+// sketch is a space-saving heavy-hitter summary over fixed atomic
+// slots. The owning shard is the only writer, so the lookup-or-min scan
+// needs no lock; concurrent readers load slots atomically and tolerate
+// an occasional torn (key, count, err) triple mid-replacement — a
+// monitoring answer, not an audit record. A key's true (sampled) filing
+// count c is bounded by count-err <= c <= count, the standard
+// space-saving guarantee; err is at most total/K.
+type sketch struct {
+	keys   []atomic.Uint64
+	counts []atomic.Uint64
+	errs   []atomic.Uint64
+}
+
+func (s *sketch) init(k int) {
+	s.keys = make([]atomic.Uint64, k)
+	s.counts = make([]atomic.Uint64, k)
+	s.errs = make([]atomic.Uint64, k)
+}
+
+// observe counts one filing of key. A present key increments in place;
+// otherwise the minimum-count slot is evicted and the new key inherits
+// its count as overestimation error (the space-saving replacement
+// rule). Zero is the empty-slot sentinel, so a real zero key is nudged.
+func (s *sketch) observe(key uint64) {
+	if key == 0 {
+		key = 1
+	}
+	minI, minC := 0, ^uint64(0)
+	for i := range s.keys {
+		if s.keys[i].Load() == key {
+			s.counts[i].Add(1)
+			return
+		}
+		if c := s.counts[i].Load(); c < minC {
+			minC, minI = c, i
+		}
+	}
+	s.keys[minI].Store(key)
+	s.errs[minI].Store(minC)
+	s.counts[minI].Store(minC + 1)
+}
+
+// mix64 is the murmur3 fmix64 finalizer (the tracer's sampling mixer):
+// a bijection whose output bits depend on every input bit, so sampling
+// classes stay uniform even for structured keys.
+func mix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// inClass reports whether a mixed key lands in the 1-in-n sampled
+// class, via fastrange (one multiply) instead of a modulo.
+func inClass(mixed, n uint64) bool {
+	hi, _ := bits.Mul64(mixed, n)
+	return hi == 0
+}
+
+// KeyWeight is one heavy-hitter entry in a report: a filing key, its
+// estimated filing count, and the space-saving overcount bound. When
+// sampling is on (SampleN > 1) both numbers are scaled back up by N, so
+// they estimate true filings; the true count c for an unsampled sketch
+// satisfies Filings-MaxOver <= c <= Filings.
+type KeyWeight struct {
+	// Key is the filing key in hex (uint64 keys exceed JSON's safe
+	// integer range, so the wire form is a string).
+	Key string `json:"key"`
+	// Filings is the estimated filing count attributed to the key.
+	Filings uint64 `json:"filings"`
+	// MaxOver bounds how much Filings may overcount.
+	MaxOver uint64 `json:"max_overcount"`
+}
+
+// ShardState is one shard's slice of a property's accounting.
+type ShardState struct {
+	// Shard is the shard index.
+	Shard int `json:"shard"`
+	// Live counts instances filed on the shard.
+	Live int64 `json:"live"`
+	// Bytes is the shard's approximate resident instance state.
+	Bytes int64 `json:"approx_bytes"`
+	// Timers counts deadline timers armed on the shard.
+	Timers int64 `json:"pending_timers"`
+	// Filings counts filings ever performed on the shard.
+	Filings uint64 `json:"filings"`
+}
+
+// PropState is one property's accounting snapshot.
+type PropState struct {
+	// Property is the property's name.
+	Property string `json:"property"`
+	// Live counts filed instances engine-wide.
+	Live int64 `json:"live"`
+	// Bytes approximates the property's resident instance state.
+	Bytes int64 `json:"approx_bytes"`
+	// Timers counts armed deadline timers engine-wide.
+	Timers int64 `json:"pending_timers"`
+	// Filings counts filings ever performed engine-wide.
+	Filings uint64 `json:"filings"`
+	// Pressure reports whether the live count currently exceeds the
+	// watermark; Crossings counts lifetime below-to-above transitions.
+	Pressure  bool   `json:"pressure"`
+	Crossings uint64 `json:"pressure_crossings"`
+	// Quarantined and Unsound are cross-references filled in by the
+	// engine (the tracker does not know the ledger): whether the
+	// property is quarantined, and its soundness mark if any.
+	Quarantined bool `json:"quarantined"`
+	Unsound     any  `json:"unsound,omitempty"`
+	// Shards is the per-shard breakdown (omitted for one-shard engines).
+	Shards []ShardState `json:"per_shard,omitempty"`
+	// TopKeys are the property's heaviest filing keys, merged across
+	// shard sketches, heaviest first (nil when the sketch is off).
+	TopKeys []KeyWeight `json:"top_keys,omitempty"`
+}
+
+// Report is a full accounting snapshot: engine shape, sketch and
+// watermark configuration, the instance pool split, and per-property
+// state. Assembled from atomic loads — per-field consistent, not a
+// cross-field transaction, like every other live view in this system.
+type Report struct {
+	// Shards is the engine's shard count.
+	Shards int `json:"shards"`
+	// TopK, SampleN, and Watermark echo the tracker's configuration.
+	TopK      int    `json:"topk"`
+	SampleN   uint64 `json:"sample_n"`
+	Watermark int64  `json:"watermark"`
+	// Pooled counts instances parked on free lists (the pooled half of
+	// the pooled-vs-live split); PooledPerShard is its breakdown.
+	Pooled         int64   `json:"pooled_instances"`
+	PooledPerShard []int64 `json:"pooled_per_shard,omitempty"`
+	// Properties holds one entry per installed property, in install
+	// order.
+	Properties []PropState `json:"properties"`
+}
+
+// Report assembles a snapshot. Safe from any goroutine, concurrently
+// with hot-path updates; allocation is fine here (observer path).
+func (t *Tracker) Report() Report {
+	if t == nil {
+		return Report{}
+	}
+	r := Report{
+		Shards: t.cfg.Shards, TopK: t.cfg.TopK,
+		SampleN: t.cfg.SampleN, Watermark: t.cfg.Watermark,
+	}
+	if t.cfg.SampleN == 0 {
+		r.SampleN = 1
+	}
+	for i := range t.pool {
+		n := t.pool[i].Load()
+		r.Pooled += n
+		if t.cfg.Shards > 1 {
+			r.PooledPerShard = append(r.PooledPerShard, n)
+		}
+	}
+	t.mu.Lock()
+	props := append([]*prop(nil), t.props...)
+	t.mu.Unlock()
+	for _, p := range props {
+		if p == nil {
+			continue
+		}
+		ps := PropState{
+			Property:  p.name,
+			Live:      p.total.live.Load(),
+			Bytes:     p.total.bytes.Load(),
+			Timers:    p.total.timers.Load(),
+			Filings:   p.total.filings.Load(),
+			Pressure:  p.pressure.Load() == 1,
+			Crossings: p.crossings.Load(),
+		}
+		if t.cfg.Shards > 1 {
+			for si := range p.shards {
+				c := &p.shards[si]
+				ps.Shards = append(ps.Shards, ShardState{
+					Shard: si, Live: c.live.Load(), Bytes: c.bytes.Load(),
+					Timers: c.timers.Load(), Filings: c.filings.Load(),
+				})
+			}
+		}
+		if p.sketch != nil {
+			ps.TopKeys = mergeSketches(p.sketch, t.cfg.TopK, r.SampleN)
+		}
+		r.Properties = append(r.Properties, ps)
+	}
+	return r
+}
+
+// mergeSketches folds per-shard sketches into one top-K list: counts
+// and error bounds for the same key sum across shards (each shard's
+// bound holds independently), then the heaviest K survive. Estimates
+// are scaled by the sample rate so they approximate true filings.
+func mergeSketches(sks []sketch, k int, sampleN uint64) []KeyWeight {
+	type cw struct{ count, err uint64 }
+	merged := map[uint64]cw{}
+	for si := range sks {
+		s := &sks[si]
+		for i := range s.keys {
+			key := s.keys[i].Load()
+			if key == 0 {
+				continue
+			}
+			m := merged[key]
+			m.count += s.counts[i].Load()
+			m.err += s.errs[i].Load()
+			merged[key] = m
+		}
+	}
+	out := make([]KeyWeight, 0, len(merged))
+	for key, m := range merged {
+		out = append(out, KeyWeight{
+			Key:     fmt.Sprintf("%#016x", key),
+			Filings: m.count * sampleN,
+			MaxOver: m.err * sampleN,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Filings != out[j].Filings {
+			return out[i].Filings > out[j].Filings
+		}
+		return out[i].Key < out[j].Key
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

@@ -204,6 +204,11 @@ func (s *Span) adjusted(st Stage) int64 {
 // (from the previous stamped stage), and the end-to-end detection
 // latency when both endpoints were stamped.
 type SpanRecord struct {
+	// Seq numbers completed spans in Finish order, starting at 0. The
+	// ring evicts oldest-first, so retained seqs are contiguous: a
+	// poller reading ?since=s that gets a first record with seq > s+1
+	// has detected a gap (spans evicted between polls).
+	Seq      uint64           `json:"seq"`
 	Key      uint64           `json:"key"`
 	DPID     uint64           `json:"dpid"`
 	PacketID uint64           `json:"packet_id"`
@@ -236,6 +241,7 @@ type Config struct {
 // can legitimately clamp to zero, so presence can't be inferred from
 // the value).
 type slot struct {
+	seq                 uint64
 	key, dpid, packetID uint64
 	kind                uint8
 	deltas              uint8
@@ -248,6 +254,7 @@ type slot struct {
 // record expands a slot into the /trace wire form.
 func (sl *slot) record() SpanRecord {
 	rec := SpanRecord{
+		Seq: sl.seq,
 		Key: sl.key, DPID: sl.dpid, PacketID: sl.packetID, Kind: sl.kind,
 		OffsetNs: sl.offsetNs, DispNs: sl.dispNs, E2ENs: sl.e2eNs,
 		Marks: make(map[string]int64, int(NumStages)),
@@ -413,6 +420,7 @@ func (t *Tracer) Finish(s *Span) {
 	}
 
 	t.mu.Lock()
+	sl.seq = t.total
 	if len(t.recs) < cap(t.recs) {
 		t.recs = append(t.recs, sl)
 	} else {

@@ -37,6 +37,12 @@ go test -count=1 -run 'TestHotPathZeroAlloc' ./internal/obs/
 go test -count=1 -run 'TestUnsampledPathZeroAlloc' ./internal/obs/tracer/
 go test -count=1 -run 'TestSteadyStateAllocationBudget' ./internal/core/
 
+# State-accounting gate (E16): the per-property state observatory —
+# live/bytes/timer accounting plus the heavy-hitter sketch — must stay
+# allocation-free on the steady state and under instance churn.
+echo "==> zero-alloc state-accounting gate"
+go test -count=1 -run 'TestStateAccountingZeroAlloc' ./internal/core/
+
 # Zero-copy ingest gate: moving one event from wire bytes into the
 # sharded engine (pooled decode, borrowed SubmitBatch, shard dispatch)
 # must stay allocation-free in steady state.
@@ -58,5 +64,13 @@ go test -fuzz FuzzWireRoundTrip -fuzztime 10s -run '^$' ./internal/wire/
 # and canonically re-encode for any input, without disturbing v1 frames.
 echo "==> trace block fuzz smoke (10s)"
 go test -fuzz FuzzTraceBlockRoundTrip -fuzztime 10s -run '^$' ./internal/wire/
+
+# Introspection-surface smoke: start a real switchmon with the full
+# observability surface on and hit every endpoint the mux serves,
+# failing on any non-200 or malformed body. Catches wiring regressions
+# (a flag that stops reaching the mux, an endpoint panicking on a live
+# engine) that unit tests against hand-built MuxConfigs cannot.
+echo "==> endpoint smoke (live switchmon, every introspection endpoint)"
+go run ./scripts/endpointsmoke
 
 echo "OK"
