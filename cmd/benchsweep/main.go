@@ -23,8 +23,12 @@
 //	    observability (live/bytes/timer gauges + heavy-hitter sketch)
 //	    vs the same engine with accounting disabled — the claim is a
 //	    delta of at most ~15ns/event on the steady state
+//	e17 lifecycle churn soak: repeated live remove/reinstall of one
+//	    property while the sharded engine runs the high-flow steady
+//	    state at full load — per-op fence latency (install and remove
+//	    p50/p99) and the throughput dip vs an identical churn-free run
 //
-// Usage: benchsweep [-exp all|e3|e4|e5|e6|e7|e8|e11|e12|e13|e14|e15|e16] [-smoke] [-json dir] [-cpuprofile f] [-memprofile f]
+// Usage: benchsweep [-exp all|e3|e4|e5|e6|e7|e8|e11|e12|e13|e14|e15|e16|e17] [-smoke] [-json dir] [-cpuprofile f] [-memprofile f]
 //
 // -smoke shrinks every workload so the selected sweeps finish in
 // seconds; CI runs `benchsweep -exp e15 -smoke` as a fabric liveness
@@ -93,7 +97,7 @@ func writeRows(dir, exp string, rows []benchRow) error {
 var smoke bool
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, e3, e4, e5, e6, e7, e8, e11, e12, e13, e14, e15, e16")
+	exp := flag.String("exp", "all", "experiment to run: all, e3, e4, e5, e6, e7, e8, e11, e12, e13, e14, e15, e16, e17")
 	flag.BoolVar(&smoke, "smoke", false, "shrink workloads to a seconds-long smoke run (CI liveness, not a benchmark)")
 	jsonDir := flag.String("json", "", "also write BENCH_<exp>.json rows into this directory")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
@@ -131,11 +135,11 @@ func main() {
 	run := map[string]func() []benchRow{
 		"e3": sweepE3, "e4": sweepE4, "e5": sweepE5, "e6": sweepE6, "e7": sweepE7,
 		"e8": sweepE8, "e11": sweepE11, "e12": sweepE12, "e13": sweepE13,
-		"e14": sweepE14, "e15": sweepE15, "e16": sweepE16,
+		"e14": sweepE14, "e15": sweepE15, "e16": sweepE16, "e17": sweepE17,
 	}
 	names := []string{*exp}
 	if *exp == "all" {
-		names = []string{"e3", "e4", "e5", "e6", "e7", "e8", "e11", "e12", "e13", "e14", "e15", "e16"}
+		names = []string{"e3", "e4", "e5", "e6", "e7", "e8", "e11", "e12", "e13", "e14", "e15", "e16", "e17"}
 	}
 	for i, name := range names {
 		fn, ok := run[name]
@@ -1095,6 +1099,156 @@ func sweepE15() []benchRow {
 			},
 		})
 	}
+	return rows
+}
+
+// e17Run drives the high-flow return stream through the sharded engine
+// in fixed-size chunks, performing `cycles` remove+reinstall pairs of
+// the named rider property at evenly spaced stream positions (cycles=0
+// is the churn-free baseline). The pair is back-to-back so the rider
+// is installed for virtually the whole stream — a lone remove would
+// shed its evaluation work and make the churn run *faster*, hiding the
+// cost under test. Each operation is a full fenced round trip —
+// tombstone/validate on the router, barrier across every shard, ledger
+// record — timed from the caller's seat.
+func e17Run(flows, rounds, cycles, chunk int, riderName string) (evps, ns float64, installNs, removeNs []int64, epoch uint64) {
+	open := trace.HighFlowWorkload{Flows: flows, Gap: time.Microsecond}.Events(sim.Epoch)
+	work := trace.HighFlowWorkload{Flows: flows, Rounds: rounds, ViolationEvery: 1000, Gap: time.Microsecond}.Events(sim.Epoch)
+	returns := work[2*flows:]
+
+	sm := core.NewShardedMonitor(4, core.Config{OnViolation: func(*core.Violation) {}})
+	defer sm.Close()
+	if err := sm.AddProperty(fwProp()); err != nil {
+		panic(err)
+	}
+	rider := property.CatalogByName(property.DefaultParams(), riderName)
+	if err := sm.AddProperty(rider); err != nil {
+		panic(err)
+	}
+	sm.SubmitBatch(open, nil)
+	sm.Drain()
+
+	chunks := (len(returns) + chunk - 1) / chunk
+	interval := 0
+	if cycles > 0 {
+		interval = chunks / (cycles + 1)
+		if interval == 0 {
+			interval = 1
+		}
+	}
+	done := 0
+	start := time.Now()
+	for c := 0; c < chunks; c++ {
+		lo, hi := c*chunk, (c+1)*chunk
+		if hi > len(returns) {
+			hi = len(returns)
+		}
+		sm.SubmitBatch(returns[lo:hi], nil)
+		if cycles > 0 && done < cycles && (c+1)%interval == 0 {
+			opStart := time.Now()
+			if err := sm.RemoveProperty(rider.Name); err != nil {
+				panic(err)
+			}
+			removed := time.Now()
+			removeNs = append(removeNs, removed.Sub(opStart).Nanoseconds())
+			if err := sm.InstallProperty(property.CatalogByName(property.DefaultParams(), rider.Name)); err != nil {
+				panic(err)
+			}
+			installNs = append(installNs, time.Since(removed).Nanoseconds())
+			done++
+		}
+	}
+	sm.Barrier()
+	elapsed := time.Since(start)
+	return float64(len(returns)) / elapsed.Seconds(),
+		float64(elapsed.Nanoseconds()) / float64(len(returns)),
+		installNs, removeNs, sm.Epoch()
+}
+
+// sweepE17: lifecycle churn soak. The question a live fabric asks of
+// hot install/remove: what does one fenced operation cost while the
+// engine is saturated, and what does sustained churn do to throughput?
+// Two rider choices separate the two costs. The churn rows cycle an
+// inert rider (nat-reverse never matches firewall traffic, so it holds
+// no instances): removal sheds no evaluation work, and the throughput
+// dip vs the churn-free baseline isolates the fencing itself — every
+// operation barriers all four shards, so its latency is the
+// install-point fence the soundness ledger depends on, the number that
+// bounds how stale a /properties POST can be. The purge row removes
+// the armed rider (firewall-until-close holding `flows` live
+// instances) exactly once mid-stream: its remove latency is fence plus
+// instance purge, the worst case a live remove pays.
+func sweepE17() []benchRow {
+	var rows []benchRow
+	fmt.Println("E17: lifecycle churn soak: fenced install/remove latency and throughput dip under full load")
+	fmt.Printf("%-14s %14s %12s %12s %12s %12s %12s %8s\n",
+		"config", "events/sec", "ns/event", "inst_p50", "inst_p99", "rm_p50", "rm_p99", "dip")
+	// chunk is sized so the densest churn config still has more chunks
+	// than operations; baseline and churn runs share it for a fair
+	// throughput comparison.
+	flows, rounds, chunk := 8192, 8, 256
+	cycleCounts := []int{8, 32, 128}
+	if smoke {
+		flows, rounds, chunk = 512, 2, 64
+		cycleCounts = []int{4}
+	}
+	const inertRider = "nat-reverse"
+
+	emit := func(label, rider string, cycles int, evps, ns float64, installNs, removeNs []int64, epoch uint64, dip any) {
+		row := benchRow{
+			Exp:        "e17",
+			Params:     map[string]any{"config": label, "rider": rider, "flows": flows, "ops": 2 * cycles},
+			NsPerEvent: ns,
+			Extra: map[string]any{
+				"events_per_sec":  evps,
+				"events":          flows * rounds,
+				"lifecycle_epoch": epoch,
+				"smoke":           smoke,
+			},
+		}
+		if cycles > 0 {
+			row.Extra["install_p50_ns"] = pctNs(installNs, 0.50)
+			row.Extra["install_p99_ns"] = pctNs(installNs, 0.99)
+			row.Extra["remove_p50_ns"] = pctNs(removeNs, 0.50)
+			row.Extra["remove_p99_ns"] = pctNs(removeNs, 0.99)
+		}
+		if dip != nil {
+			row.Extra["throughput_dip_pct"] = dip
+		}
+		rows = append(rows, row)
+	}
+
+	baseEvps, baseNs, _, _, _ := e17Run(flows, rounds, 0, chunk, inertRider)
+	fmt.Printf("%-14s %14.0f %12.0f %12s %12s %12s %12s %8s\n",
+		"baseline", baseEvps, baseNs, "-", "-", "-", "-", "-")
+	emit("baseline", inertRider, 0, baseEvps, baseNs, nil, nil, 0, nil)
+
+	for _, cycles := range cycleCounts {
+		evps, ns, installNs, removeNs, epoch := e17Run(flows, rounds, cycles, chunk, inertRider)
+		if int(epoch) != 2*cycles {
+			panic(fmt.Sprintf("e17: lifecycle epoch %d after %d operations", epoch, 2*cycles))
+		}
+		dip := (baseEvps - evps) / baseEvps * 100
+		label := fmt.Sprintf("churn/%d", cycles)
+		fmt.Printf("%-14s %14.0f %12.0f %12d %12d %12d %12d %7.1f%%\n",
+			label, evps, ns,
+			pctNs(installNs, 0.50), pctNs(installNs, 0.99),
+			pctNs(removeNs, 0.50), pctNs(removeNs, 0.99), dip)
+		emit(label, inertRider, cycles, evps, ns, installNs, removeNs, epoch, dip)
+	}
+
+	// Purge worst case: one remove of a rider holding `flows` live
+	// instances. No dip claim — purging state legitimately changes the
+	// remaining workload's cost.
+	evps, ns, installNs, removeNs, epoch := e17Run(flows, rounds, 1, chunk, "firewall-until-close")
+	if epoch != 2 {
+		panic(fmt.Sprintf("e17: purge run epoch %d, want 2", epoch))
+	}
+	fmt.Printf("%-14s %14.0f %12.0f %12d %12d %12d %12d %8s\n",
+		"purge", evps, ns,
+		pctNs(installNs, 0.50), pctNs(installNs, 0.99),
+		pctNs(removeNs, 0.50), pctNs(removeNs, 0.99), "-")
+	emit("purge", "firewall-until-close", 1, evps, ns, installNs, removeNs, epoch, nil)
 	return rows
 }
 

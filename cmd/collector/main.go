@@ -22,6 +22,14 @@
 // -batch-max 256), so the collector sees per-event frames under
 // trickle traffic and full batches under bursts. The pooled ingest
 // path here decodes either shape without per-event allocation.
+//
+// With -metrics-addr the collector also serves POST/DELETE /properties
+// for live install/remove; every change is fenced across the sharded
+// engine and pushed to connected lifecycle-capable exporters as a
+// PropertySetUpdate frame, so switch and collector converge on one
+// property set. On SIGINT/SIGTERM the collector drains: it waits up to
+// -drain-timeout for in-flight exporter batches to quiesce before
+// closing, then prints the exit soundness report.
 package main
 
 import (
@@ -34,6 +42,7 @@ import (
 	"os/signal"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"switchmon/internal/collector"
@@ -43,6 +52,7 @@ import (
 	"switchmon/internal/obs/export"
 	"switchmon/internal/obs/tracer"
 	"switchmon/internal/property"
+	"switchmon/internal/wire"
 )
 
 func main() {
@@ -59,7 +69,10 @@ func run() error {
 		catalog   = flag.String("catalog", "", "comma-separated built-in property names (switchmon -list)")
 		provLevel = flag.String("provenance", "limited", "provenance level: none, limited, full")
 		shards    = flag.Int("shards", 4, "shard count for the central engine")
-		hold      = flag.Duration("hold", 0, "serve this long, then exit (0 = until SIGINT)")
+		hold      = flag.Duration("hold", 0, "serve this long, then exit (0 = until SIGINT/SIGTERM)")
+		drainTO   = flag.Duration("drain-timeout", 5*time.Second, "after SIGINT/SIGTERM: how long to wait for in-flight exporter batches to quiesce before closing")
+
+		tenantQuotas = flag.String("tenant-quotas", "", "per-tenant quotas as tenant=maxInstances[:maxQueued], comma-separated; breaches shed that tenant's events into the soundness ledger")
 
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /healthz, /violations, /trace, /state, /buildinfo, /debug/pprof on this address")
 		jsonOut     = flag.Bool("json", false, "emit violations as one JSON object per line")
@@ -123,9 +136,31 @@ func run() error {
 	cfg.StateTopK = *stateTopK
 	cfg.StateSample = *stateSample
 	cfg.StateWatermark = *stateWatermark
+	if *tenantQuotas != "" {
+		quotas, err := core.ParseTenantQuotas(*tenantQuotas)
+		if err != nil {
+			return err
+		}
+		cfg.TenantQuotas = quotas
+	}
 
 	sm := core.NewShardedMonitor(*shards, cfg)
 	defer sm.Close()
+
+	// propObjs keeps the installed property objects so lifecycle pushes
+	// can carry the full DSL source (dsl.FormatAll round-trips) — the
+	// engine itself only hands back names.
+	var propMu sync.Mutex
+	propObjs := map[string]*property.Property{}
+	install := func(p *property.Property) error {
+		if err := sm.AddProperty(p); err != nil {
+			return err
+		}
+		propMu.Lock()
+		propObjs[p.Name] = p
+		propMu.Unlock()
+		return nil
+	}
 
 	installed := 0
 	if *catalog != "" {
@@ -135,7 +170,7 @@ func run() error {
 			if p == nil {
 				return fmt.Errorf("unknown catalogue property %q (use switchmon -list)", name)
 			}
-			if err := sm.AddProperty(p); err != nil {
+			if err := install(p); err != nil {
 				return err
 			}
 			installed++
@@ -151,14 +186,14 @@ func run() error {
 			return err
 		}
 		for _, p := range props {
-			if err := sm.AddProperty(p); err != nil {
+			if err := install(p); err != nil {
 				return err
 			}
 			installed++
 		}
 	}
-	if installed == 0 {
-		return fmt.Errorf("no properties installed (use -catalog and/or -props)")
+	if installed == 0 && *metricsAddr == "" {
+		return fmt.Errorf("no properties installed (use -catalog and/or -props, or -metrics-addr for live POST /properties)")
 	}
 
 	col, err := collector.New(collector.Config{Addr: *listen, Metrics: reg, Tracer: tr}, sm)
@@ -168,6 +203,29 @@ func run() error {
 	col.Serve()
 	fmt.Fprintf(os.Stderr, "collector: accepting exporters on %s (%d properties, %d shards)\n",
 		col.Addr(), installed, *shards)
+
+	// broadcast pushes the current property set (epoch, names, tenants,
+	// and the full DSL source) to every lifecycle-capable exporter; the
+	// collector retains it for exporters that connect later.
+	broadcast := func() {
+		propMu.Lock()
+		u := &wire.PropertySetUpdate{Epoch: sm.Epoch(), Source: ""}
+		ordered := make([]*property.Property, 0, len(propObjs))
+		for _, name := range sm.Properties() {
+			p := propObjs[name]
+			if p == nil {
+				continue
+			}
+			ordered = append(ordered, p)
+			u.Props = append(u.Props, wire.PropMeta{Name: p.Name, Tenant: p.Tenant})
+		}
+		u.Source = dsl.FormatAll(ordered)
+		propMu.Unlock()
+		if err := col.BroadcastPropertySet(u); err != nil {
+			fmt.Fprintf(os.Stderr, "collector: property-set push: %v\n", err)
+		}
+	}
+	broadcast()
 
 	var srv *http.Server
 	if *metricsAddr != "" {
@@ -182,17 +240,75 @@ func run() error {
 		srv = &http.Server{Handler: export.NewMux(export.MuxConfig{
 			Registry: reg, Ring: ring, Health: health, Tracer: tr,
 			State: func() any { return sm.StateReport() },
+			Properties: &export.PropertiesConfig{
+				List: func() any {
+					return struct {
+						Epoch      uint64   `json:"epoch"`
+						Properties []string `json:"properties"`
+					}{sm.Epoch(), sm.Properties()}
+				},
+				Install: func(src, tenant string) error {
+					props, err := dsl.ParseAll(src)
+					if err != nil {
+						return err
+					}
+					if len(props) == 0 {
+						return fmt.Errorf("no properties in body")
+					}
+					for _, p := range props {
+						p.Tenant = tenant
+						if err := install(p); err != nil {
+							return err
+						}
+					}
+					broadcast()
+					return nil
+				},
+				Remove: func(name string) error {
+					if err := sm.RemoveProperty(name); err != nil {
+						return err
+					}
+					propMu.Lock()
+					delete(propObjs, name)
+					propMu.Unlock()
+					broadcast()
+					return nil
+				},
+			},
 		})}
 		go func() { _ = srv.Serve(ln) }()
 		fmt.Fprintf(os.Stderr, "metrics: serving on http://%s/metrics\n", ln.Addr())
 	}
 
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	if *hold > 0 {
-		time.Sleep(*hold)
+		select {
+		case <-time.After(*hold):
+		case s := <-sig:
+			fmt.Fprintf(os.Stderr, "collector: %s, draining\n", s)
+		}
 	} else {
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt)
-		<-sig
+		s := <-sig
+		fmt.Fprintf(os.Stderr, "collector: %s, draining\n", s)
+	}
+	signal.Stop(sig)
+
+	// Graceful drain: connected exporters keep shipping until their
+	// queues empty; wait for ingest to quiesce (two consecutive idle
+	// polls) or the -drain-timeout deadline, whichever first.
+	deadline := time.Now().Add(*drainTO)
+	prev := col.Stats()
+	idle := 0
+	for time.Now().Before(deadline) && idle < 2 {
+		time.Sleep(50 * time.Millisecond)
+		cur := col.Stats()
+		if cur.Batches == prev.Batches && cur.Events == prev.Events {
+			idle++
+		} else {
+			idle = 0
+		}
+		prev = cur
 	}
 	col.Close()
 	if srv != nil {

@@ -66,6 +66,7 @@ import (
 	"os/signal"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"switchmon/internal/apps"
@@ -82,6 +83,7 @@ import (
 	"switchmon/internal/property"
 	"switchmon/internal/sim"
 	"switchmon/internal/trace"
+	"switchmon/internal/wire"
 )
 
 func main() {
@@ -96,6 +98,11 @@ func main() {
 // read aggregate stats.
 type engine interface {
 	AddProperty(p *property.Property) error
+	// RemoveProperty removes an installed property live; Properties
+	// lists the installed names; Epoch is the lifecycle generation.
+	RemoveProperty(name string) error
+	Properties() []string
+	Epoch() uint64
 	HandleEvent(e core.Event)
 	// Flush settles everything fed so far (split-mode queue, shard
 	// channels) without advancing time.
@@ -116,22 +123,57 @@ type engine interface {
 }
 
 // inlineEngine drives a single-threaded Monitor on the shared scheduler.
+// A mutex serializes the feed loop against the /properties admin
+// endpoint (and property-set updates applied from the exporter's reader
+// goroutine) — the Monitor itself is single-threaded by contract.
 type inlineEngine struct {
+	mu    sync.Mutex
 	mon   *core.Monitor
 	sched *sim.Scheduler
 }
 
-func (ie *inlineEngine) AddProperty(p *property.Property) error { return ie.mon.AddProperty(p) }
-func (ie *inlineEngine) HandleEvent(e core.Event)               { ie.mon.HandleEvent(e) }
-func (ie *inlineEngine) Flush()                                 { ie.mon.Flush() }
+func (ie *inlineEngine) AddProperty(p *property.Property) error {
+	ie.mu.Lock()
+	defer ie.mu.Unlock()
+	return ie.mon.AddProperty(p)
+}
+func (ie *inlineEngine) RemoveProperty(name string) error {
+	ie.mu.Lock()
+	defer ie.mu.Unlock()
+	return ie.mon.RemoveProperty(name)
+}
+func (ie *inlineEngine) Properties() []string {
+	ie.mu.Lock()
+	defer ie.mu.Unlock()
+	return ie.mon.Properties()
+}
+func (ie *inlineEngine) Epoch() uint64 { return ie.mon.Epoch() }
+func (ie *inlineEngine) HandleEvent(e core.Event) {
+	ie.mu.Lock()
+	ie.mon.HandleEvent(e)
+	ie.mu.Unlock()
+}
+func (ie *inlineEngine) Flush() {
+	ie.mu.Lock()
+	ie.mon.Flush()
+	ie.mu.Unlock()
+}
 func (ie *inlineEngine) Drain() {
+	ie.mu.Lock()
+	defer ie.mu.Unlock()
 	ie.mon.Flush()
 	ie.sched.RunFor(time.Hour)
 }
-func (ie *inlineEngine) Stats() core.Stats          { return ie.mon.Stats() }
+func (ie *inlineEngine) Stats() core.Stats {
+	ie.mu.Lock()
+	defer ie.mu.Unlock()
+	return ie.mon.Stats()
+}
 func (ie *inlineEngine) Ledger() []core.UnsoundMark { return ie.mon.Ledger().Snapshot() }
 func (ie *inlineEngine) MarkFeedLoss(at time.Time, n uint64, detail string) {
+	ie.mu.Lock()
 	ie.mon.MarkFeedLoss(at, n, detail)
+	ie.mu.Unlock()
 }
 func (ie *inlineEngine) StateReport() statesize.Report { return ie.mon.StateReport() }
 
@@ -147,6 +189,9 @@ type shardedEngine struct {
 }
 
 func (se *shardedEngine) AddProperty(p *property.Property) error { return se.sm.AddProperty(p) }
+func (se *shardedEngine) RemoveProperty(name string) error       { return se.sm.RemoveProperty(name) }
+func (se *shardedEngine) Properties() []string                   { return se.sm.Properties() }
+func (se *shardedEngine) Epoch() uint64                          { return se.sm.Epoch() }
 func (se *shardedEngine) HandleEvent(e core.Event) {
 	if e.Time.After(se.last) {
 		se.sm.Tick(e.Time)
@@ -189,6 +234,9 @@ func run() error {
 		exportDPID = flag.Uint64("export-dpid", 1, "datapath id announced to the collector by -export")
 		batchSLO   = flag.Duration("batch-slo", 250*time.Microsecond, "with -export: target batch-seal latency; the exporter adapts its batch size to fill within this budget")
 		batchMax   = flag.Int("batch-max", 256, "with -export: upper clamp on the adaptive batch size")
+		drainTO    = flag.Duration("drain-timeout", 5*time.Second, "with -export: how long the exit drain waits for unacked batches before abandoning them")
+
+		tenantQuotas = flag.String("tenant-quotas", "", "per-tenant quotas as tenant=maxInstances[:maxQueued], comma-separated; breaches shed that tenant's events into the soundness ledger")
 
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /healthz, /violations, /trace, /state, /buildinfo, /debug/pprof on this address")
 		hold        = flag.Duration("hold", 0, "with -metrics-addr: keep serving this long after the run (0 = until SIGINT)")
@@ -282,6 +330,13 @@ func run() error {
 	cfg.StateTopK = *stateTopK
 	cfg.StateSample = *stateSample
 	cfg.StateWatermark = *stateWatermark
+	if *tenantQuotas != "" {
+		quotas, err := core.ParseTenantQuotas(*tenantQuotas)
+		if err != nil {
+			return err
+		}
+		cfg.TenantQuotas = quotas
+	}
 
 	var mon engine
 	if *shards > 0 {
@@ -314,6 +369,10 @@ func run() error {
 			Addr: *exportAddr, DPID: *exportDPID,
 			TargetSealLatency: *batchSLO, BatchSizeMax: *batchMax,
 			Metrics: reg, Tracer: tr,
+			// The collector pushes its property set on lifecycle
+			// connections; converge the local engine onto it so switch
+			// and collector evaluate the same set.
+			OnPropertySet: func(u *wire.PropertySetUpdate) { applyPropertySet(mon, u) },
 		})
 		if err != nil {
 			return err
@@ -349,6 +408,31 @@ func run() error {
 		srv = &http.Server{Handler: export.NewMux(export.MuxConfig{
 			Registry: reg, Ring: ring, Health: health, Tracer: tr,
 			State: func() any { return mon.StateReport() },
+			Properties: &export.PropertiesConfig{
+				List: func() any {
+					return struct {
+						Epoch      uint64   `json:"epoch"`
+						Properties []string `json:"properties"`
+					}{mon.Epoch(), mon.Properties()}
+				},
+				Install: func(src, tenant string) error {
+					props, err := dsl.ParseAll(src)
+					if err != nil {
+						return err
+					}
+					if len(props) == 0 {
+						return fmt.Errorf("no properties in body")
+					}
+					for _, p := range props {
+						p.Tenant = tenant
+						if err := mon.AddProperty(p); err != nil {
+							return err
+						}
+					}
+					return nil
+				},
+				Remove: mon.RemoveProperty,
+			},
 		})}
 		go func() { _ = srv.Serve(ln) }()
 		fmt.Fprintf(os.Stderr, "metrics: serving on http://%s/metrics\n", ln.Addr())
@@ -457,7 +541,7 @@ func run() error {
 		st.Events, st.Created, st.Advanced, st.Discharged, st.Expired, st.Violations)
 	if exp != nil {
 		exp.Flush()
-		abandoned := exp.Close(5 * time.Second)
+		abandoned := exp.Close(*drainTO)
 		es := exp.Stats()
 		fmt.Printf("export: collector=%s dpid=%d events=%d batches_acked=%d bytes=%d reconnects=%d shed=%d abandoned=%d\n",
 			*exportAddr, *exportDPID, es.Published, es.BatchesAcked, es.BytesSent, es.Reconnects, es.ShedEvents, abandoned)
@@ -481,18 +565,64 @@ func run() error {
 	}
 
 	if srv != nil {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		if *hold > 0 {
 			fmt.Fprintf(os.Stderr, "metrics: holding for %s\n", *hold)
-			time.Sleep(*hold)
+			select {
+			case <-time.After(*hold):
+			case s := <-sig:
+				fmt.Fprintf(os.Stderr, "metrics: %s, draining\n", s)
+			}
 		} else {
-			fmt.Fprintln(os.Stderr, "metrics: run complete, serving until SIGINT")
-			sig := make(chan os.Signal, 1)
-			signal.Notify(sig, os.Interrupt)
-			<-sig
+			fmt.Fprintln(os.Stderr, "metrics: run complete, serving until SIGINT/SIGTERM")
+			s := <-sig
+			fmt.Fprintf(os.Stderr, "metrics: %s, draining\n", s)
 		}
+		signal.Stop(sig)
 		_ = srv.Close()
 	}
 	return nil
+}
+
+// applyPropertySet converges the local engine onto a collector-pushed
+// property set: install properties we lack (compiled from the update's
+// DSL source), remove properties the collector dropped. Failures are
+// logged, not fatal — the engine keeps running on its previous set.
+func applyPropertySet(mon engine, u *wire.PropertySetUpdate) {
+	want := make(map[string]string, len(u.Props)) // name -> tenant
+	for _, pm := range u.Props {
+		want[pm.Name] = pm.Tenant
+	}
+	for _, name := range mon.Properties() {
+		if _, ok := want[name]; !ok {
+			if err := mon.RemoveProperty(name); err != nil {
+				fmt.Fprintf(os.Stderr, "property-set epoch %d: remove %s: %v\n", u.Epoch, name, err)
+			}
+		}
+	}
+	if u.Source == "" {
+		return
+	}
+	props, err := dsl.ParseAll(u.Source)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "property-set epoch %d: parse source: %v\n", u.Epoch, err)
+		return
+	}
+	have := make(map[string]bool)
+	for _, name := range mon.Properties() {
+		have[name] = true
+	}
+	for _, p := range props {
+		tenant, wanted := want[p.Name]
+		if !wanted || have[p.Name] {
+			continue
+		}
+		p.Tenant = tenant
+		if err := mon.AddProperty(p); err != nil {
+			fmt.Fprintf(os.Stderr, "property-set epoch %d: install %s: %v\n", u.Epoch, p.Name, err)
+		}
+	}
 }
 
 // installDemoDefaults installs the properties each demo scenario needs.

@@ -95,6 +95,11 @@ type Stats struct {
 	GapEvents uint64
 	// Reconnects counts connections beyond the first per datapath.
 	Reconnects uint64
+	// PropertySetEpoch is the epoch of the last property set broadcast
+	// to lifecycle-negotiated exporters (0 when none was ever pushed).
+	PropertySetEpoch uint64
+	// PropertySetAcks counts PropertySetAck frames received.
+	PropertySetAcks uint64
 }
 
 // dpState is one datapath's demux state, shared across its reconnects.
@@ -124,6 +129,16 @@ func (dp *dpState) advanceAckedLocked() {
 	}
 }
 
+// connState is the collector's per-connection bookkeeping: the write
+// mutex that serializes the read loop's acks against property-set
+// broadcasts from other goroutines, and whether the connection
+// negotiated FeatureLifecycle (set under mu after the handshake reply,
+// so a broadcast never races the HelloAck).
+type connState struct {
+	wmu       sync.Mutex
+	lifecycle bool
+}
+
 // Collector accepts exporter connections and feeds a Sink.
 type Collector struct {
 	cfg  Config
@@ -132,10 +147,14 @@ type Collector struct {
 
 	mu       sync.Mutex
 	dps      map[uint64]*dpState
-	conns    map[net.Conn]struct{}
+	conns    map[net.Conn]*connState
 	lastTick time.Time
 	stats    Stats
 	closed   bool
+	// propSet is the latest property set pushed to lifecycle exporters
+	// (nil until the first BroadcastPropertySet); new lifecycle
+	// connections receive it right after the handshake.
+	propSet *wire.PropertySetUpdate
 
 	connsG *obs.Gauge
 	wg     sync.WaitGroup
@@ -163,7 +182,7 @@ func New(cfg Config, sink Sink) (*Collector, error) {
 		sink:  sink,
 		ln:    ln,
 		dps:   map[uint64]*dpState{},
-		conns: map[net.Conn]struct{}{},
+		conns: map[net.Conn]*connState{},
 	}
 	if reg := cfg.Metrics; reg != nil {
 		c.connsG = reg.Gauge("switchmon_collector_conns", "currently connected exporters")
@@ -190,14 +209,15 @@ func (c *Collector) Serve() {
 				conn.Close()
 				return
 			}
-			c.conns[conn] = struct{}{}
+			cs := &connState{}
+			c.conns[conn] = cs
 			c.stats.Conns++
 			c.connsG.Add(1)
 			c.mu.Unlock()
 			c.wg.Add(1)
 			go func() {
 				defer c.wg.Done()
-				c.serveConn(conn)
+				c.serveConn(conn, cs)
 				c.mu.Lock()
 				delete(c.conns, conn)
 				c.stats.Conns--
@@ -265,9 +285,46 @@ func (cr *countingReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
+// BroadcastPropertySet pushes a new property set to every connected
+// lifecycle-negotiated exporter and retains it for future connections
+// (each receives it right after its handshake). The daemons call this
+// from the /properties admin path after every install/remove/replace,
+// which is how the whole fabric converges on one property set.
+func (c *Collector) BroadcastPropertySet(u *wire.PropertySetUpdate) error {
+	buf, err := wire.AppendPropertySetUpdate(nil, u)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.propSet = u
+	c.stats.PropertySetEpoch = u.Epoch
+	type target struct {
+		conn net.Conn
+		cs   *connState
+	}
+	var targets []target
+	for conn, cs := range c.conns {
+		if cs.lifecycle {
+			targets = append(targets, target{conn, cs})
+		}
+	}
+	c.mu.Unlock()
+	for _, t := range targets {
+		t.cs.wmu.Lock()
+		_, werr := t.conn.Write(buf)
+		t.cs.wmu.Unlock()
+		if werr != nil {
+			// The connection is dying; its read loop will notice and the
+			// exporter will pick the set up again on reconnect.
+			t.conn.Close()
+		}
+	}
+	return nil
+}
+
 // serveConn drives one exporter connection: handshake, then a
 // batch/ack loop until the peer disconnects or misbehaves.
-func (c *Collector) serveConn(conn net.Conn) {
+func (c *Collector) serveConn(conn net.Conn, cs *connState) {
 	defer conn.Close()
 	if tc, ok := conn.(*net.TCPConn); ok && c.cfg.ConnReadBuffer > 0 {
 		_ = tc.SetReadBuffer(c.cfg.ConnReadBuffer)
@@ -296,6 +353,7 @@ func (c *Collector) serveConn(conn net.Conn) {
 	if c.cfg.Tracer != nil {
 		features = hello.Features & wire.FeatureTrace
 	}
+	features |= hello.Features & wire.FeatureLifecycle
 
 	c.mu.Lock()
 	dp := c.dpStateFor(hello.DPID)
@@ -316,8 +374,32 @@ func (c *Collector) serveConn(conn net.Conn) {
 
 	ha := wire.HelloAck{AckSeq: ack, Version: ver, Features: features,
 		RecvNs: recvNs, SentNs: time.Now().UnixNano()}
-	if _, err := conn.Write(wire.AppendHelloAck(nil, ha)); err != nil {
+	cs.wmu.Lock()
+	_, err = conn.Write(wire.AppendHelloAck(nil, ha))
+	cs.wmu.Unlock()
+	if err != nil {
 		return
+	}
+	if features&wire.FeatureLifecycle != 0 {
+		// Mark the connection broadcast-eligible and push the current
+		// property set (if one was ever published) so a reconnecting
+		// exporter converges immediately instead of waiting for the next
+		// change.
+		c.mu.Lock()
+		cs.lifecycle = true
+		u := c.propSet
+		c.mu.Unlock()
+		if u != nil {
+			buf, aerr := wire.AppendPropertySetUpdate(nil, u)
+			if aerr == nil {
+				cs.wmu.Lock()
+				_, err = conn.Write(buf)
+				cs.wmu.Unlock()
+				if err != nil {
+					return
+				}
+			}
+		}
 	}
 
 	var ackBuf []byte
@@ -328,9 +410,21 @@ func (c *Collector) serveConn(conn net.Conn) {
 			return // disconnect (exporter will reconnect) or protocol error
 		}
 		recvNs := time.Now().UnixNano()
-		b, ok := f.(*wire.Batch)
-		if !ok {
-			return // only batches flow exporter→collector after the handshake
+		var b *wire.Batch
+		switch fr := f.(type) {
+		case *wire.Batch:
+			b = fr
+		case wire.PropertySetAck:
+			if features&wire.FeatureLifecycle == 0 {
+				return // not negotiated: protocol error
+			}
+			c.mu.Lock()
+			c.stats.PropertySetAcks++
+			c.mu.Unlock()
+			prevBytes = cr.n
+			continue
+		default:
+			return // nothing else flows exporter→collector after the handshake
 		}
 		if b.FirstSeq == 0 {
 			b.Release()
@@ -346,7 +440,10 @@ func (c *Collector) serveConn(conn net.Conn) {
 			a.SentNs = time.Now().UnixNano() // an ongoing clock sample
 		}
 		ackBuf = wire.AppendAck(ackBuf[:0], a)
-		if _, err := conn.Write(ackBuf); err != nil {
+		cs.wmu.Lock()
+		_, err = conn.Write(ackBuf)
+		cs.wmu.Unlock()
+		if err != nil {
 			return
 		}
 	}

@@ -38,6 +38,15 @@ const (
 	// itself. Detected as sequence-number gaps by the collector and as
 	// local queue accounting by the exporter.
 	UnsoundWireLoss
+	// UnsoundReinstalled: the property was removed and later installed
+	// again under the same name. Verdicts are sound from the newest
+	// install point, but the stream between remove and reinstall is a
+	// documented gap — absence of a violation across it proves nothing.
+	UnsoundReinstalled
+	// UnsoundQuota: events or instances belonging to the property's
+	// tenant were rejected by a per-tenant quota (instance cap or shard
+	// queue share). The loss is confined to that tenant's properties.
+	UnsoundQuota
 )
 
 // String names the reason.
@@ -53,6 +62,10 @@ func (r UnsoundReason) String() string {
 		return "split-overflow"
 	case UnsoundWireLoss:
 		return "wire-loss"
+	case UnsoundReinstalled:
+		return "reinstalled"
+	case UnsoundQuota:
+		return "quota"
 	default:
 		return "unknown"
 	}
@@ -92,10 +105,12 @@ type Ledger struct {
 	mu        sync.Mutex
 	marks     map[string]*UnsoundMark
 	quarProps map[string]bool
+	installs  map[string]*InstallRecord
 	shed      uint64
 	loss      uint64
 	overflow  uint64
 	wire      uint64
+	quota     uint64
 
 	// Telemetry handles (nil-safe no-ops when uninstrumented).
 	unsoundG *obs.Gauge
@@ -104,12 +119,34 @@ type Ledger struct {
 	lossC    *obs.Counter
 	ovflC    *obs.Counter
 	wireC    *obs.Counter
+	quotaC   *obs.Counter
+}
+
+// InstallRecord is one property's install-point watermark: when (and in
+// which lifecycle epoch) the property was last installed. A property is
+// sound *from here*, not from process start — losses that predate the
+// watermark never mark it. Generation counts installs under this name;
+// a generation above one means the name was removed and reinstalled.
+type InstallRecord struct {
+	Property string `json:"property"`
+	Tenant   string `json:"tenant,omitempty"`
+	// Epoch is the engine's lifecycle epoch at install (0 for the
+	// startup property set, then one per Install/Remove/Replace).
+	Epoch uint64 `json:"epoch"`
+	// Seq is the engine's applied-event sequence number at install.
+	Seq uint64 `json:"since_seq"`
+	// At is the virtual install time; zero for startup installs, which
+	// are sound from the beginning of the stream.
+	At         time.Time `json:"installed_at"`
+	Generation int       `json:"generation"`
+	removed    bool
 }
 
 func newLedger() *Ledger {
 	return &Ledger{
 		marks:     map[string]*UnsoundMark{},
 		quarProps: map[string]bool{},
+		installs:  map[string]*InstallRecord{},
 	}
 }
 
@@ -138,13 +175,26 @@ func (l *Ledger) instrument(reg *obs.Registry, labels []obs.Label) {
 		"Events dropped by split-mode queue overflow.", labels...)
 	l.wireC = reg.Counter("switchmon_ledger_wire_loss_events_total",
 		"Events lost between exporter and collector (gaps, shed batches, unacked disconnects).", labels...)
+	l.quotaC = reg.Counter("switchmon_ledger_quota_events_total",
+		"Events and instances rejected by per-tenant quotas.", labels...)
 }
 
 // Mark records that prop became (or stays) unsound for reason. The first
 // mark pins the since-point; subsequent marks add n to the loss count.
-// Safe from any goroutine.
+// A loss whose time predates the property's install-point watermark is
+// dropped: the property was not installed when those events flowed, so
+// its verdicts owe nothing for them. Safe from any goroutine.
 func (l *Ledger) Mark(prop string, reason UnsoundReason, seq uint64, at time.Time, n uint64, detail string) {
 	l.mu.Lock()
+	if rec := l.installs[prop]; rec != nil && !rec.At.IsZero() && at.Before(rec.At) {
+		l.mu.Unlock()
+		return
+	}
+	l.markLocked(prop, reason, seq, at, n, detail)
+	l.mu.Unlock()
+}
+
+func (l *Ledger) markLocked(prop string, reason UnsoundReason, seq uint64, at time.Time, n uint64, detail string) {
 	m := l.marks[prop]
 	if m == nil {
 		m = &UnsoundMark{Property: prop, Reason: reason, SinceSeq: seq, SinceTime: at, Detail: detail}
@@ -156,7 +206,75 @@ func (l *Ledger) Mark(prop string, reason UnsoundReason, seq uint64, at time.Tim
 		l.quarProps[prop] = true
 		l.quarC.Inc()
 	}
+}
+
+// RecordInstall stamps prop's install-point watermark: sound from (at,
+// seq) in lifecycle epoch. A zero at means "sound from the beginning of
+// the stream" (the startup property set). Installing a name that was
+// installed before reports reinstalled=true and — because the stream
+// between remove and reinstall is a verdict gap — records an
+// UnsoundReinstalled mark (first-mark-wins: an earlier mark survives
+// with its original reason). Safe from any goroutine.
+func (l *Ledger) RecordInstall(prop, tenant string, epoch, seq uint64, at time.Time) (reinstalled bool) {
+	l.mu.Lock()
+	rec := l.installs[prop]
+	if rec == nil {
+		rec = &InstallRecord{Property: prop}
+		l.installs[prop] = rec
+	} else {
+		reinstalled = true
+	}
+	rec.Tenant = tenant
+	rec.Epoch = epoch
+	rec.Seq = seq
+	rec.At = at
+	rec.Generation++
+	rec.removed = false
+	if reinstalled {
+		l.markLocked(prop, UnsoundReinstalled, seq, at, 0,
+			"removed and reinstalled; verdicts sound from the newest install point")
+	}
 	l.mu.Unlock()
+	return reinstalled
+}
+
+// RecordRemove retires prop's install record from InstallSnapshot while
+// keeping its generation (so a later install of the same name counts as
+// a reinstall) and any unsound marks (degradation history survives the
+// property). Safe from any goroutine.
+func (l *Ledger) RecordRemove(prop string) {
+	l.mu.Lock()
+	if rec := l.installs[prop]; rec != nil {
+		rec.removed = true
+	}
+	l.mu.Unlock()
+}
+
+// InstallEpoch reports the lifecycle epoch prop was last installed in,
+// and whether it is currently installed.
+func (l *Ledger) InstallEpoch(prop string) (epoch uint64, installed bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	rec := l.installs[prop]
+	if rec == nil || rec.removed {
+		return 0, false
+	}
+	return rec.Epoch, true
+}
+
+// InstallSnapshot returns the live properties' install records sorted by
+// name. Removed properties are omitted; the result is a copy.
+func (l *Ledger) InstallSnapshot() []InstallRecord {
+	l.mu.Lock()
+	out := make([]InstallRecord, 0, len(l.installs))
+	for _, rec := range l.installs {
+		if !rec.removed {
+			out = append(out, *rec)
+		}
+	}
+	l.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Property < out[j].Property })
+	return out
 }
 
 // recordLost adds n lost events to the reason's aggregate counters —
@@ -177,6 +295,9 @@ func (l *Ledger) recordLost(reason UnsoundReason, n uint64) {
 	case UnsoundWireLoss:
 		l.wire += n
 		l.wireC.Add(n)
+	case UnsoundQuota:
+		l.quota += n
+		l.quotaC.Add(n)
 	}
 	l.mu.Unlock()
 }

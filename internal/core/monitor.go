@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -123,6 +125,56 @@ type Config struct {
 	// tracer's ring and latency histograms. Events without a span (the
 	// unsampled majority) pay one pointer test.
 	Tracer *tracer.Tracer
+	// TenantQuotas caps resource use per tenant (property.Property.Tenant).
+	// A tenant at its instance cap has new instances rejected — recorded
+	// as that tenant's quota marks in the ledger, never the neighbors' —
+	// and a tenant over its queue share (sharded engine) stops receiving
+	// routed events until its backlog drains. Properties with no tenant,
+	// or a tenant absent from this map, are unquotaed.
+	TenantQuotas map[string]TenantQuota
+}
+
+// TenantQuota bounds one tenant's resource consumption.
+type TenantQuota struct {
+	// MaxInstances caps the tenant's live instances across all its
+	// properties engine-wide; 0 = unlimited.
+	MaxInstances int64
+	// MaxQueued caps the tenant's queued per-shard messages at the
+	// sharded engine's router; 0 = unlimited. Inline engines ignore it.
+	MaxQueued int64
+}
+
+// ParseTenantQuotas parses the flag grammar both daemons use for
+// Config.TenantQuotas: comma-separated tenant=maxInstances[:maxQueued].
+// A zero field means no cap on that axis.
+func ParseTenantQuotas(spec string) (map[string]TenantQuota, error) {
+	quotas := make(map[string]TenantQuota)
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, vals, ok := strings.Cut(part, "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("tenant quota %q: want tenant=maxInstances[:maxQueued]", part)
+		}
+		var q TenantQuota
+		instStr, queuedStr, hasQueued := strings.Cut(vals, ":")
+		var err error
+		if q.MaxInstances, err = strconv.ParseInt(instStr, 10, 64); err != nil {
+			return nil, fmt.Errorf("tenant quota %q: bad maxInstances %q", part, instStr)
+		}
+		if hasQueued {
+			if q.MaxQueued, err = strconv.ParseInt(queuedStr, 10, 64); err != nil {
+				return nil, fmt.Errorf("tenant quota %q: bad maxQueued %q", part, queuedStr)
+			}
+		}
+		if q.MaxInstances < 0 || q.MaxQueued < 0 {
+			return nil, fmt.Errorf("tenant quota %q: quotas must be non-negative", part)
+		}
+		quotas[name] = q
+	}
+	return quotas, nil
 }
 
 // Stats counts monitor activity. Retrieve a snapshot with Monitor.Stats.
@@ -161,6 +213,10 @@ type Stats struct {
 	// QuarantinedProperties counts properties quarantined after a panic
 	// in their step function.
 	QuarantinedProperties uint64
+	// LifecycleEpoch is the engine's property-set epoch: 0 for the
+	// startup set, bumped by every live Install/Remove/Replace. Equal
+	// across engines that saw the same lifecycle history.
+	LifecycleEpoch uint64
 }
 
 // instance is one partially completed violation pattern (Feature 8's
@@ -271,6 +327,16 @@ type Monitor struct {
 	state    *statesize.Tracker
 	shardIdx int
 	sx       []*statesize.Handle
+	// tcell and tcap are the per-property tenant quota hooks, indexed by
+	// propIdx: the tenant's shared accounting cell (nil for untenanted
+	// properties or when accounting is off) and its live-instance cap
+	// (0 = uncapped). The hot path pays one nil check per filing.
+	tcell []*statesize.TenantCell
+	tcap  []int64
+	// epoch is the property-set lifecycle epoch: 0 for the startup set,
+	// bumped by every live Install/Remove/Replace. Atomic so Stats can
+	// read it from any goroutine.
+	epoch atomic.Uint64
 	// quarantined is the bitmask of properties this monitor no longer
 	// steps (panicked and purged). Only the first 64 properties are
 	// mask-addressable; an inline monitor with more properties simply
@@ -307,7 +373,10 @@ func newMonitorWithLedger(sched *sim.Scheduler, cfg Config, led *Ledger, st *sta
 		led.instrument(cfg.Metrics, cfg.MetricsLabels)
 	}
 	m.ledger = led
-	if st == nil && !cfg.DisableStateAccounting {
+	// Tenant quotas are enforced through the tracker's tenant cells, so
+	// configuring quotas forces accounting on even when benchmarking asked
+	// for it off.
+	if st == nil && (!cfg.DisableStateAccounting || len(cfg.TenantQuotas) > 0) {
 		st = statesize.NewTracker(statesize.Config{
 			Shards:    1,
 			TopK:      cfg.StateTopK,
@@ -343,43 +412,167 @@ func (m *Monitor) MarkFeedLoss(at time.Time, n uint64, detail string) {
 // loss, keeping the two degradation paths distinguishable in /healthz.
 func (m *Monitor) MarkLoss(reason UnsoundReason, at time.Time, n uint64, detail string) {
 	for _, cp := range m.props {
+		if cp == nil {
+			continue
+		}
 		m.ledger.Mark(cp.prop.Name, reason, m.seq, at, n, detail)
 	}
 	m.ledger.recordLost(reason, n)
 }
 
-// AddProperty compiles and installs a property.
-func (m *Monitor) AddProperty(p *property.Property) error {
-	cp, err := compile(p)
-	if err != nil {
+// AddProperty compiles and installs a property. It is InstallProperty
+// under its historical name; both work on a live monitor.
+func (m *Monitor) AddProperty(p *property.Property) error { return m.InstallProperty(p) }
+
+// InstallProperty compiles and installs a property on the (possibly
+// live) monitor. The property is sound from here: its install-point
+// watermark is stamped into the ledger, so losses that predate the
+// install never mark it. Installing a name that is already installed is
+// an error (RemoveProperty it first, or use ReplaceProperty).
+func (m *Monitor) InstallProperty(p *property.Property) error {
+	if m.propIndex(p.Name) >= 0 {
+		return fmt.Errorf("core: property %q already installed", p.Name)
+	}
+	if _, err := m.installLocal(p); err != nil {
 		return err
 	}
-	idx := len(m.props)
-	m.props = append(m.props, cp)
+	live := m.seq > 0 || len(m.pending) > 0
+	var at time.Time
+	if live {
+		at = m.sched.Now()
+		m.epoch.Add(1)
+	}
+	m.ledger.RecordInstall(p.Name, p.Tenant, m.epoch.Load(), m.seq, at)
+	return nil
+}
+
+// RemoveProperty uninstalls the named property: its live instances are
+// purged, pending timers canceled, pooled accounting refunded, and its
+// quarantine bit (if any) cleared so a later install into the reused
+// slot starts clean. The property's unsound marks survive removal —
+// degradation history is part of the record. The slot is tombstoned for
+// reuse by the next install.
+func (m *Monitor) RemoveProperty(name string) error {
+	idx := m.propIndex(name)
+	if idx < 0 {
+		return fmt.Errorf("core: property %q not installed", name)
+	}
+	m.removeLocal(idx, true)
+	if m.seq > 0 || len(m.pending) > 0 {
+		m.epoch.Add(1)
+	}
+	m.ledger.RecordRemove(name)
+	return nil
+}
+
+// ReplaceProperty atomically swaps the named property for a fresh
+// compile: remove (when installed) then install. The ledger records the
+// reinstall — verdicts are sound from the new install point only.
+func (m *Monitor) ReplaceProperty(p *property.Property) error {
+	if idx := m.propIndex(p.Name); idx >= 0 {
+		if err := m.RemoveProperty(p.Name); err != nil {
+			return err
+		}
+	}
+	return m.InstallProperty(p)
+}
+
+// Epoch reports the property-set lifecycle epoch (see Stats.LifecycleEpoch).
+func (m *Monitor) Epoch() uint64 { return m.epoch.Load() }
+
+// propIndex finds the slot holding the named property, or -1.
+func (m *Monitor) propIndex(name string) int {
+	for i, cp := range m.props {
+		if cp != nil && cp.prop.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// installLocal compiles p into the first free slot (a tombstone left by
+// a removal, else a fresh append) and wires its buckets, metrics, and
+// accounting handles. It does not touch the ledger — engine-level
+// wrappers (InstallProperty here, the ShardedMonitor's lifecycle ops)
+// own install records, so N shards sharing one ledger record one
+// install, not N.
+func (m *Monitor) installLocal(p *property.Property) (int, error) {
+	cp, err := compile(p)
+	if err != nil {
+		return -1, err
+	}
+	idx := -1
+	for i, slot := range m.props {
+		if slot == nil {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		idx = len(m.props)
+		m.props = append(m.props, nil)
+		m.pmx = append(m.pmx, propMetrics{})
+		m.sx = append(m.sx, nil)
+		m.tcell = append(m.tcell, nil)
+		m.tcap = append(m.tcap, 0)
+	}
+	m.props[idx] = cp
 	bs := make([]*bucket, len(cp.stages))
 	for i := range bs {
 		bs[i] = newBucket()
 	}
 	m.buckets[idx] = bs
 	if m.cfg.Metrics != nil {
-		m.pmx = append(m.pmx, newPropMetrics(m.cfg.Metrics, p.Name))
+		m.pmx[idx] = newPropMetrics(m.cfg.Metrics, p.Name)
 	} else {
-		m.pmx = append(m.pmx, propMetrics{})
+		m.pmx[idx] = propMetrics{}
 	}
 	if m.state != nil {
-		m.state.Install(idx, p.Name)
-		m.sx = append(m.sx, m.state.Handle(idx, m.shardIdx))
+		m.state.InstallTenant(idx, p.Name, p.Tenant)
+		m.sx[idx] = m.state.Handle(idx, m.shardIdx)
+		if p.Tenant != "" {
+			m.tcell[idx] = m.state.Tenant(p.Tenant)
+			m.tcap[idx] = m.cfg.TenantQuotas[p.Tenant].MaxInstances
+		} else {
+			m.tcell[idx] = nil
+			m.tcap[idx] = 0
+		}
 	} else {
-		m.sx = append(m.sx, nil)
+		m.sx[idx] = nil
+		m.tcell[idx] = nil
+		m.tcap[idx] = 0
 	}
-	return nil
+	return idx, nil
+}
+
+// removeLocal purges slot idx's instances and timers, clears its local
+// quarantine bit, and tombstones the slot. uninstallTracker retires the
+// slot in the shared accounting tracker too — true for an inline
+// monitor, false for a shard (the ShardedMonitor's router retires the
+// tracker slot once, after every shard has purged).
+func (m *Monitor) removeLocal(idx int, uninstallTracker bool) {
+	m.purgeProp(idx)
+	if idx < maxShardedProperties {
+		m.quarantined &^= uint64(1) << uint(idx)
+	}
+	m.props[idx] = nil
+	delete(m.buckets, idx)
+	m.pmx[idx] = propMetrics{}
+	if m.state != nil && uninstallTracker {
+		m.state.Uninstall(idx)
+	}
+	m.sx[idx] = nil
+	m.tcell[idx] = nil
+	m.tcap[idx] = 0
 }
 
 // Properties returns the names of installed properties.
 func (m *Monitor) Properties() []string {
-	names := make([]string, len(m.props))
-	for i, cp := range m.props {
-		names[i] = cp.prop.Name
+	names := make([]string, 0, len(m.props))
+	for _, cp := range m.props {
+		if cp != nil {
+			names = append(names, cp.prop.Name)
+		}
 	}
 	return names
 }
@@ -391,6 +584,7 @@ func (m *Monitor) Properties() []string {
 func (m *Monitor) Stats() Stats {
 	s := m.stats.snapshot()
 	s.ShedEvents, s.QuarantinedProperties = m.ledger.robustnessTotals()
+	s.LifecycleEpoch = m.epoch.Load()
 	return s
 }
 
@@ -444,6 +638,9 @@ func (m *Monitor) HandleEvent(e Event) {
 			// loss in the soundness ledger (overflow is off the steady-state
 			// path, so the ledger cost is paid only when already degraded).
 			for _, cp := range m.props {
+				if cp == nil {
+					continue
+				}
 				m.ledger.Mark(cp.prop.Name, UnsoundSplitOverflow, m.seq, e.Time, uint64(drop), "split-mode queue overflow")
 			}
 			m.ledger.recordLost(UnsoundSplitOverflow, uint64(drop))
@@ -483,6 +680,9 @@ func (m *Monitor) apply(e *Event) {
 	m.seq++
 	seq := m.seq
 	for pi, cp := range m.props {
+		if cp == nil {
+			continue // tombstone: slot freed by RemoveProperty
+		}
 		if m.quarantined != 0 && pi < maxShardedProperties && m.quarantined&(uint64(1)<<uint(pi)) != 0 {
 			continue
 		}
@@ -538,23 +738,30 @@ func (m *Monitor) stepProp(pi int, cp *compiledProp, e *Event, seq uint64, match
 // is the guarantee that no scheduler callback resurrects them.
 func (m *Monitor) quarantineLocal(bits uint64) {
 	m.quarantined |= bits
-	for pi := range m.props {
-		if pi >= maxShardedProperties || bits&(uint64(1)<<uint(pi)) == 0 {
+	for pi, cp := range m.props {
+		if cp == nil || pi >= maxShardedProperties || bits&(uint64(1)<<uint(pi)) == 0 {
 			continue
 		}
-		for _, b := range m.buckets[pi] {
-			if len(b.all) == 0 {
-				continue
-			}
-			// Collect first: remove mutates the maps being iterated.
-			doomed := make([]*instance, 0, len(b.all))
-			for _, inst := range b.all {
-				doomed = append(doomed, inst)
-			}
-			for _, inst := range doomed {
-				m.remove(inst)
-				m.release(inst)
-			}
+		m.purgeProp(pi)
+	}
+}
+
+// purgeProp removes every live instance of property pi, canceling its
+// timers and refunding its accounting — the shared teardown of
+// quarantine and removal.
+func (m *Monitor) purgeProp(pi int) {
+	for _, b := range m.buckets[pi] {
+		if len(b.all) == 0 {
+			continue
+		}
+		// Collect first: remove mutates the maps being iterated.
+		doomed := make([]*instance, 0, len(b.all))
+		for _, inst := range b.all {
+			doomed = append(doomed, inst)
+		}
+		for _, inst := range doomed {
+			m.remove(inst)
+			m.release(inst)
 		}
 	}
 }
@@ -823,6 +1030,19 @@ func (m *Monitor) enter(inst *instance) {
 		m.release(inst)
 		return
 	}
+	// Per-tenant instance cap: a tenant at its cap has the new instance
+	// rejected and its own properties marked unsound (quota) — neighbors
+	// never pay. Untenanted properties carry a nil cell: one pointer test.
+	if c := m.tcell[inst.propIdx]; c != nil {
+		if cap := m.tcap[inst.propIdx]; cap > 0 && c.Instances() >= cap {
+			c.Shed(1)
+			m.ledger.Mark(inst.cp.prop.Name, UnsoundQuota, m.seq, m.sched.Now(), 1, "tenant instance cap reached")
+			m.ledger.recordLost(UnsoundQuota, 1)
+			m.release(inst)
+			return
+		}
+		c.FileInstance()
+	}
 	if m.cfg.MaxInstances > 0 {
 		if m.live >= m.cfg.MaxInstances {
 			m.evictOldest()
@@ -911,6 +1131,9 @@ func (m *Monitor) remove(inst *instance) {
 			m.mx.occupancy.Add(-1)
 		}
 		m.sx[inst.propIdx].Unfile(inst.acctBytes)
+		if c := m.tcell[inst.propIdx]; c != nil {
+			c.UnfileInstance()
+		}
 	}
 	b := m.buckets[inst.propIdx][inst.stage]
 	delete(b.all, inst.id)

@@ -83,6 +83,12 @@ type shardMsg struct {
 	idx        int32
 	matchMask  uint64
 	createMask uint64
+	// tq, when non-nil, is the tenant queue this message is charged
+	// against: the router incremented its pending count at route time and
+	// whoever consumes the message — the worker after applying it, or
+	// shed() — must decrement it exactly once. A pointer (not a mask)
+	// so the charge survives property-slot reuse across lifecycle ops.
+	tq *tenantQueue
 }
 
 // event resolves the message's event: the inline copy, or the borrowed
@@ -136,6 +142,24 @@ type shardCtl struct {
 	runUntil time.Time
 	ack      *sync.WaitGroup
 	stop     bool
+	// apply, when non-nil, runs on the worker goroutine against the
+	// shard's Monitor after the batch (if any) — the lifecycle fence:
+	// because the queue is FIFO, events routed before the fence see the
+	// old property set and events routed after see the new one.
+	apply func(*Monitor)
+}
+
+// tenantQueue is the router-side queue-share account for one quota'd
+// tenant: pending counts the tenant's shard-queue messages in flight
+// (routed but not yet applied or shed). When pending reaches max the
+// router stops delivering the tenant's properties — shedding only that
+// tenant's events, marked UnsoundQuota in the ledger — so one tenant's
+// pathological property cannot starve the shared shard queues.
+type tenantQueue struct {
+	name    string
+	max     int64
+	pending atomic.Int64
+	cell    *statesize.TenantCell
 }
 
 // shard is one partition: a single-threaded Monitor with its own
@@ -220,6 +244,23 @@ type ShardedMonitor struct {
 	// goroutine monitor state, hence atomic.
 	quarMask atomic.Uint64
 	violMu   sync.Mutex
+	// epoch counts live property-set changes (install/remove after the
+	// first Submit). Readable without the router lock — /healthz and
+	// /state poll it while the engine runs.
+	epoch atomic.Uint64
+	// lastTick is the high-water virtual time the router has told the
+	// shards about (Tick/AdvanceTo), used as the install-point watermark
+	// for live installs. Router-owned.
+	lastTick time.Time
+	// quotaByName maps a tenant name to its queue-share accounting; built
+	// once at construction from Config.TenantQuotas (MaxQueued > 0).
+	// tenantOf[pi] is the routing-time lookup: the quota'd tenant owning
+	// property slot pi, nil for unquotaed slots. quotaBits is the union of
+	// owned slots' bits, a fast-path gate. All router-owned except the
+	// queues' atomic pending counters.
+	quotaByName map[string]*tenantQueue
+	tenantOf    [maxShardedProperties]*tenantQueue
+	quotaBits   uint64
 	// barrierWG is the reusable ack group for barrier-family operations
 	// (Barrier, AdvanceTo, Drain, Stats). A field rather than a local:
 	// a local WaitGroup escapes through the shardCtl channel send and
@@ -261,10 +302,11 @@ func NewShardedMonitor(shards int, cfg Config) *ShardedMonitor {
 	if cfg.Metrics != nil {
 		sm.smx = newShardedMetrics(cfg.Metrics, cfg.MetricsLabels)
 	}
-	if !cfg.DisableStateAccounting {
+	if !cfg.DisableStateAccounting || len(cfg.TenantQuotas) > 0 {
 		// Per-property accounting series deliberately carry no shard
 		// label (like propMetrics), so the tracker gets the engine-level
-		// labels only.
+		// labels only. Tenant quotas need the tracker's tenant cells, so
+		// they force it on.
 		sm.state = statesize.NewTracker(statesize.Config{
 			Shards:    shards,
 			TopK:      cfg.StateTopK,
@@ -273,6 +315,14 @@ func NewShardedMonitor(shards int, cfg Config) *ShardedMonitor {
 			Metrics:   cfg.Metrics,
 			Labels:    cfg.MetricsLabels,
 		})
+	}
+	if len(cfg.TenantQuotas) > 0 {
+		sm.quotaByName = make(map[string]*tenantQueue, len(cfg.TenantQuotas))
+		for name, q := range cfg.TenantQuotas {
+			if q.MaxQueued > 0 {
+				sm.quotaByName[name] = &tenantQueue{name: name, max: q.MaxQueued, cell: sm.state.Tenant(name)}
+			}
+		}
 	}
 	shardCfg := cfg
 	shardCfg.Mode = Inline
@@ -328,18 +378,37 @@ func (sm *ShardedMonitor) StateReport() statesize.Report {
 	return r
 }
 
-// AddProperty compiles and installs a property on every shard. It must be
-// called before the first Submit.
+// AddProperty compiles and installs a property on every shard. Kept as
+// the historical name; since the lifecycle work it is InstallProperty
+// and works on a live engine too.
 func (sm *ShardedMonitor) AddProperty(p *property.Property) error {
+	return sm.InstallProperty(p)
+}
+
+// InstallProperty compiles and installs a property on every shard,
+// before or after the first Submit. A live install is epoch-fenced:
+// the install order rides every shard's FIFO queue, so each in-flight
+// event observes one consistent property set — either entirely before
+// or entirely after the install — and routing for the new property only
+// opens once every shard has acknowledged it. The install point (seq +
+// virtual time) is recorded in the ledger; loss marks that predate it
+// do not make the new property unsound.
+func (sm *ShardedMonitor) InstallProperty(p *property.Property) error {
 	sm.routerMu.Lock()
 	defer sm.routerMu.Unlock()
-	if sm.started {
-		return fmt.Errorf("core: AddProperty after first Submit")
+	if sm.closed {
+		return ErrClosed
 	}
-	if len(sm.plans) >= maxShardedProperties {
-		return fmt.Errorf("core: ShardedMonitor supports at most %d properties", maxShardedProperties)
+	return sm.installLocked(p)
+}
+
+func (sm *ShardedMonitor) installLocked(p *property.Property) error {
+	for _, n := range sm.names {
+		if n == p.Name {
+			return fmt.Errorf("core: property %q already installed", p.Name)
+		}
 	}
-	cp, err := compile(p)
+	cp, err := compile(p) // validate router-side before touching any shard
 	if err != nil {
 		return err
 	}
@@ -349,17 +418,185 @@ func (sm *ShardedMonitor) AddProperty(p *property.Property) error {
 		// property is catch-all.
 		plan = shardPlan{}
 	}
+	// Reserve a slot: the first tombstone, else append. Shard monitors
+	// pick their slot independently (installLocal takes the first nil
+	// props entry) but necessarily agree with the router: every lifecycle
+	// op is applied to all shards through the same fenced sequence, so
+	// router tombstones and shard tombstones coincide.
+	idx := -1
+	for i, n := range sm.names {
+		if n == "" {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		if len(sm.names) >= maxShardedProperties {
+			return fmt.Errorf("core: ShardedMonitor supports at most %d properties", maxShardedProperties)
+		}
+		idx = len(sm.names)
+		sm.names = append(sm.names, "")
+		sm.plans = append(sm.plans, shardPlan{})
+	}
+	if sm.started {
+		sm.fenceApply(func(m *Monitor) { _, _ = m.installLocal(p) })
+	} else {
+		for _, s := range sm.shards {
+			if _, err := s.mon.installLocal(p); err != nil {
+				return err
+			}
+		}
+	}
+	// Only now — with the property resident on every shard — open routing.
+	sm.plans[idx] = plan
+	sm.names[idx] = p.Name
 	if !plan.shardable {
 		sm.hasCatchall = true
 	}
-	for _, s := range sm.shards {
-		if err := s.mon.AddProperty(p); err != nil {
-			return err
+	if tq := sm.quotaByName[p.Tenant]; tq != nil {
+		sm.tenantOf[idx] = tq
+		sm.quotaBits |= uint64(1) << uint(idx)
+	}
+	at := time.Time{}
+	if sm.started && sm.submitted > 0 {
+		// A live install gets the router's clock high-water mark as its
+		// soundness watermark; bootstrap installs keep the zero time so
+		// they are accountable for the whole run.
+		at = sm.lastTick
+		sm.epoch.Add(1)
+	}
+	sm.ledger.RecordInstall(p.Name, p.Tenant, sm.epoch.Load(), sm.submitted, at)
+	return nil
+}
+
+// RemoveProperty removes a property from every shard, live. Routing is
+// closed first, then a fence rides every shard's FIFO queue purging the
+// property's instances, pooled state, and pending timers — events
+// already in flight still apply to it before the fence; nothing after
+// does. The slot (and its routing bit) is reusable by a later install;
+// the ledger keeps the property's marks and records the removal.
+func (sm *ShardedMonitor) RemoveProperty(name string) error {
+	sm.routerMu.Lock()
+	defer sm.routerMu.Unlock()
+	if sm.closed {
+		return ErrClosed
+	}
+	return sm.removeLocked(name)
+}
+
+func (sm *ShardedMonitor) removeLocked(name string) error {
+	idx := -1
+	for i, n := range sm.names {
+		if n == name {
+			idx = i
+			break
 		}
 	}
-	sm.plans = append(sm.plans, plan)
-	sm.names = append(sm.names, p.Name)
+	if idx < 0 {
+		return fmt.Errorf("core: property %q not installed", name)
+	}
+	bit := uint64(1) << uint(idx)
+	// Close routing before anything else: no new deliveries carry the bit.
+	sm.names[idx] = ""
+	sm.plans[idx] = shardPlan{}
+	sm.hasCatchall = false
+	for i := range sm.plans {
+		if sm.names[i] != "" && !sm.plans[i].shardable {
+			sm.hasCatchall = true
+			break
+		}
+	}
+	if tq := sm.tenantOf[idx]; tq != nil {
+		sm.tenantOf[idx] = nil
+		sm.quotaBits &^= bit
+	}
+	// Clear the engine-wide quarantine bit before the fence so no worker
+	// re-adopts it onto the (about to be freed) slot, and again after —
+	// a shard may still publish a quarantine for the property while
+	// draining its pre-fence queue.
+	sm.clearQuarBit(bit)
+	if sm.started {
+		sm.fenceApply(func(m *Monitor) { m.removeLocal(idx, false) })
+	} else {
+		for _, s := range sm.shards {
+			s.mon.removeLocal(idx, false)
+		}
+	}
+	sm.clearQuarBit(bit)
+	// Retire the shared tracker slot exactly once, after every shard has
+	// stopped touching it.
+	sm.state.Uninstall(idx)
+	if sm.started && sm.submitted > 0 {
+		sm.epoch.Add(1)
+	}
+	sm.ledger.RecordRemove(name)
 	return nil
+}
+
+// ReplaceProperty atomically (from the event stream's point of view)
+// swaps the named property for a new compilation: remove + install under
+// one router critical section. The ledger marks the property reinstalled
+// — verdicts are sound from the new install point only.
+func (sm *ShardedMonitor) ReplaceProperty(p *property.Property) error {
+	sm.routerMu.Lock()
+	defer sm.routerMu.Unlock()
+	if sm.closed {
+		return ErrClosed
+	}
+	for _, n := range sm.names {
+		if n == p.Name {
+			if err := sm.removeLocked(p.Name); err != nil {
+				return err
+			}
+			break
+		}
+	}
+	return sm.installLocked(p)
+}
+
+// Epoch reports the live property-set generation — bumped by every
+// install or remove after the first Submit. Safe from any goroutine.
+func (sm *ShardedMonitor) Epoch() uint64 { return sm.epoch.Load() }
+
+// Properties lists the currently installed property names (tombstoned
+// slots omitted), in slot order.
+func (sm *ShardedMonitor) Properties() []string {
+	sm.routerMu.Lock()
+	defer sm.routerMu.Unlock()
+	out := make([]string, 0, len(sm.names))
+	for _, n := range sm.names {
+		if n != "" {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// fenceApply pushes fn through every shard's FIFO queue and waits for
+// all shards to execute it: events routed before the fence are applied
+// before fn runs, events routed after it see its effects. Caller holds
+// routerMu with the engine started.
+func (sm *ShardedMonitor) fenceApply(fn func(*Monitor)) {
+	sm.barrierWG.Add(len(sm.shards))
+	for _, s := range sm.shards {
+		sm.flushShard(s)
+		s.ch <- shardCtl{apply: fn, ack: &sm.barrierWG}
+	}
+	sm.barrierWG.Wait()
+}
+
+// clearQuarBit clears one property's engine-wide quarantine bit (CAS
+// loop; the mask is contended by recovering shards).
+func (sm *ShardedMonitor) clearQuarBit(bit uint64) {
+	for {
+		old := sm.quarMask.Load()
+		if old&bit == 0 {
+			return
+		}
+		if sm.quarMask.CompareAndSwap(old, old&^bit) {
+			return
+		}
+	}
 }
 
 // Shardable reports whether the i-th installed property got a stable
@@ -439,12 +676,22 @@ func (sm *ShardedMonitor) worker(s *shard) {
 				// not be touched past this point.
 				msg.ref.unref()
 			}
+			if msg.tq != nil {
+				// Settle the tenant's queue-share charge taken at route
+				// time: the message has been applied.
+				msg.tq.pending.Add(-1)
+			}
 		}
 		if ctl.batch != nil {
 			select {
 			case sm.freeBatches <- ctl.batch[:0]:
 			default: // pool full; let the GC have it
 			}
+		}
+		if ctl.apply != nil {
+			// Lifecycle fence: mutate this shard's property set at a point
+			// totally ordered against the event stream (FIFO queue).
+			ctl.apply(s.mon)
 		}
 		if !ctl.runUntil.IsZero() {
 			if supervised {
@@ -512,8 +759,17 @@ func (sm *ShardedMonitor) quarantine(s *shard, pi int, cause any) {
 	}
 	s.mon.quarantineLocal(bit)
 	if first {
-		sm.ledger.Mark(sm.names[pi], UnsoundQuarantine, s.mon.seq, s.sched.Now(), 0,
-			fmt.Sprintf("panic on shard %d: %v", s.idx, cause))
+		// Read the name from the worker-owned monitor, not sm.names —
+		// the router may be mutating the name table for an unrelated
+		// lifecycle op right now.
+		name := ""
+		if cp := s.mon.props[pi]; cp != nil {
+			name = cp.prop.Name
+		}
+		if name != "" {
+			sm.ledger.Mark(name, UnsoundQuarantine, s.mon.seq, s.sched.Now(), 0,
+				fmt.Sprintf("panic on shard %d: %v", s.idx, cause))
+		}
 	}
 }
 
@@ -545,10 +801,26 @@ func (sm *ShardedMonitor) routeLocked(e *Event, ref *batchRef, idx int32) {
 	n := uint64(len(sm.shards))
 	quar := sm.quarMask.Load()
 	mm, cm := sm.matchScratch, sm.createScratch
+	quotaShed := false
 	for pi := range sm.plans {
 		bit := uint64(1) << uint(pi)
 		if quar&bit != 0 {
 			continue // quarantined: the property sees no further events
+		}
+		if sm.names[pi] == "" {
+			continue // tombstone: slot freed by RemoveProperty
+		}
+		if sm.quotaBits&bit != 0 {
+			if tq := sm.tenantOf[pi]; tq.pending.Load() >= tq.max {
+				// The tenant's queue share is exhausted: shed this
+				// delivery for this tenant's property only — other
+				// tenants' verdicts stay exact — and account for it.
+				tq.cell.Shed(1)
+				sm.ledger.Mark(sm.names[pi], UnsoundQuota, sm.submitted, e.Time, 1,
+					"tenant queue share exhausted")
+				quotaShed = true
+				continue
+			}
 		}
 		pl := &sm.plans[pi]
 		if !pl.shardable {
@@ -564,6 +836,9 @@ func (sm *ShardedMonitor) routeLocked(e *Event, ref *batchRef, idx int32) {
 		if h, ok := routeHash(e, pl.createFields); ok {
 			cm[h%n] |= bit
 		}
+	}
+	if quotaShed {
+		sm.ledger.recordLost(UnsoundQuota, 1)
 	}
 	if sp := e.Trace; sp != nil && sm.cfg.Tracer != nil {
 		// Reference the span once per shard that will see a copy of the
@@ -591,6 +866,14 @@ func (sm *ShardedMonitor) routeLocked(e *Event, ref *batchRef, idx int32) {
 		}
 		s := sm.shards[si]
 		msg := shardMsg{matchMask: mm[si], createMask: cm[si]}
+		if qb := (mm[si] | cm[si]) & sm.quotaBits; qb != 0 {
+			// Charge the delivery to one tenant's queue share: the owner
+			// of the lowest quota'd property bit present. One charge per
+			// message keeps the accounting exact under slot reuse.
+			tq := sm.tenantOf[bits.TrailingZeros64(qb)]
+			tq.pending.Add(1)
+			msg.tq = tq
+		}
 		if ref != nil {
 			ref.refs.Add(1)
 			msg.ref, msg.idx = ref, idx
@@ -705,6 +988,18 @@ func (sm *ShardedMonitor) flushShard(s *shard) {
 				if old.runUntil.After(ctl.runUntil) {
 					ctl.runUntil = old.runUntil
 				}
+				if old.apply != nil {
+					// Lifecycle fences must never be shed. (Like acks they
+					// cannot actually be queued here — fenceApply holds the
+					// router lock — but losing one would corrupt the
+					// property set.)
+					if prev := ctl.apply; prev != nil {
+						oldApply := old.apply
+						ctl.apply = func(m *Monitor) { oldApply(m); prev(m) }
+					} else {
+						ctl.apply = old.apply
+					}
+				}
 				if old.ack != nil {
 					if ctl.ack == nil {
 						ctl.ack = old.ack
@@ -753,9 +1048,15 @@ func (sm *ShardedMonitor) shed(batch []shardMsg) {
 			// never be released.
 			r.unref()
 		}
+		if tq := batch[i].tq; tq != nil {
+			// A shed delivery settles its tenant queue-share charge too.
+			tq.pending.Add(-1)
+		}
 	}
 	for pi, c := range perProp {
-		if c == 0 {
+		if c == 0 || sm.names[pi] == "" {
+			// Tombstoned slots can still appear in old masks during a
+			// remove; the property is going away — nothing to mark.
 			continue
 		}
 		sm.ledger.Mark(sm.names[pi], UnsoundShed, sm.submitted, at, c, "shard queue overflow shed")
@@ -796,6 +1097,9 @@ func (sm *ShardedMonitor) AdvanceTo(t time.Time) {
 		return
 	}
 	sm.start()
+	if t.After(sm.lastTick) {
+		sm.lastTick = t
+	}
 	sm.barrierWG.Add(len(sm.shards))
 	for _, s := range sm.shards {
 		sm.flushShard(s)
@@ -816,6 +1120,9 @@ func (sm *ShardedMonitor) Tick(t time.Time) {
 		return
 	}
 	sm.start()
+	if t.After(sm.lastTick) {
+		sm.lastTick = t
+	}
 	for _, s := range sm.shards {
 		sm.flushShard(s)
 		s.ch <- shardCtl{runUntil: t}
@@ -879,6 +1186,7 @@ func (sm *ShardedMonitor) Stats() Stats {
 	}
 	agg.Events = sm.submitted
 	agg.ShedEvents, agg.QuarantinedProperties = sm.ledger.robustnessTotals()
+	agg.LifecycleEpoch = sm.epoch.Load()
 	return agg
 }
 
@@ -896,6 +1204,9 @@ func (sm *ShardedMonitor) MarkLoss(reason UnsoundReason, at time.Time, n uint64,
 	sm.routerMu.Lock()
 	defer sm.routerMu.Unlock()
 	for _, name := range sm.names {
+		if name == "" {
+			continue // tombstoned slot
+		}
 		sm.ledger.Mark(name, reason, sm.submitted, at, n, detail)
 	}
 	sm.ledger.recordLost(reason, n)
@@ -954,8 +1265,8 @@ func (m *Monitor) applyRouted(e *Event, matchMask, createMask uint64) {
 	seq := m.seq
 	for pi, cp := range m.props {
 		bit := uint64(1) << uint(pi)
-		if (matchMask|createMask)&bit == 0 || m.quarantined&bit != 0 {
-			continue
+		if cp == nil || (matchMask|createMask)&bit == 0 || m.quarantined&bit != 0 {
+			continue // nil cp: tombstone with a stale mask bit from a remove in flight
 		}
 		m.curProp = pi
 		if m.stepProbe != nil {
@@ -1013,7 +1324,7 @@ func (m *Monitor) stepPropsProtected(e *Event, seq uint64, matchMask, createMask
 	for pi := from; pi < len(m.props); pi++ {
 		cp := m.props[pi]
 		bit := uint64(1) << uint(pi)
-		if (matchMask|createMask)&bit == 0 || m.quarantined&bit != 0 {
+		if cp == nil || (matchMask|createMask)&bit == 0 || m.quarantined&bit != 0 {
 			continue
 		}
 		m.curProp = pi

@@ -66,10 +66,11 @@ func (m *Monitor) StateReport() statesize.Report {
 	return r
 }
 
-// annotateReport fills the Quarantined and Unsound cross-references the
-// tracker cannot know: the engine's quarantine mask and the ledger's
-// first-mark-wins unsound records, matched by property install order
-// (report order is install order).
+// annotateReport fills the cross-references the tracker cannot know:
+// the engine's quarantine mask (matched by slot, which with live
+// install/remove is no longer the report position), the ledger's
+// first-mark-wins unsound records, and each property's install record
+// (epoch, tenant fallback).
 func annotateReport(r *statesize.Report, quarMask uint64, led *Ledger) {
 	var marks map[string]UnsoundMark
 	for _, um := range led.Snapshot() {
@@ -78,13 +79,26 @@ func annotateReport(r *statesize.Report, quarMask uint64, led *Ledger) {
 		}
 		marks[um.Property] = um
 	}
+	var installs map[string]InstallRecord
+	for _, ir := range led.InstallSnapshot() {
+		if installs == nil {
+			installs = make(map[string]InstallRecord)
+		}
+		installs[ir.Property] = ir
+	}
 	for i := range r.Properties {
 		p := &r.Properties[i]
-		if i < maxShardedProperties && quarMask&(uint64(1)<<uint(i)) != 0 {
+		if p.Slot < maxShardedProperties && quarMask&(uint64(1)<<uint(p.Slot)) != 0 {
 			p.Quarantined = true
 		}
 		if um, ok := marks[p.Property]; ok {
 			p.Unsound = um
+		}
+		if ir, ok := installs[p.Property]; ok {
+			p.InstallEpoch = ir.Epoch
+			if p.Tenant == "" {
+				p.Tenant = ir.Tenant
+			}
 		}
 	}
 }

@@ -111,6 +111,14 @@ type Config struct {
 	// ProtocolVersion caps the version offered in the Hello (default
 	// wire.Version). Set 1 to emulate a legacy peer in interop tests.
 	ProtocolVersion uint16
+	// OnPropertySet, when non-nil, makes the exporter offer
+	// FeatureLifecycle (on version ≥ 2 connections) and invoke the
+	// callback for every property-set update the collector pushes —
+	// stale epochs already filtered. The callback runs on the reader
+	// goroutine; the update is acknowledged on the wire after it
+	// returns. Co-located engines use it to mirror the collector's
+	// live property set.
+	OnPropertySet func(*wire.PropertySetUpdate)
 	// Dial overrides the transport, for tests and fault injection.
 	Dial func() (net.Conn, error)
 }
@@ -185,6 +193,10 @@ type Stats struct {
 	// QueueDepth is the current number of queued batches (sent-unacked
 	// plus unsent).
 	QueueDepth int
+	// PropertySetEpoch is the epoch of the last property-set update
+	// applied; PropertySets counts updates applied.
+	PropertySetEpoch uint64
+	PropertySets     uint64
 	// BatchTarget is the current batch-size target: the adaptive
 	// controller's pick, or the fixed BatchSize.
 	BatchTarget int
@@ -214,6 +226,17 @@ type Exporter struct {
 	closeCh chan struct{}
 	done    chan struct{}
 	rng     *rand.Rand
+
+	// Property-set lifecycle state (guarded by mu): the highest epoch
+	// applied, and the epoch whose wire ack the sender still owes (the
+	// reader applies updates but the sender owns the connection's write
+	// side, so acks ride the send loop via a kick).
+	lastPropEpoch  uint64
+	propAckEpoch   uint64
+	propAckPending bool
+	// drainTimedOut flags that Close's drain deadline fired, releasing
+	// its queue-empty wait (guarded by mu).
+	drainTimedOut bool
 
 	clock  *tracer.ClockEstimator
 	sendNs map[uint64]int64 // batch LastSeq → local send ns (ack clock pairing)
@@ -501,16 +524,22 @@ func (x *Exporter) Close(drainTimeout time.Duration) uint64 {
 	x.space.Broadcast()
 	x.mu.Unlock()
 
-	deadline := time.Now().Add(drainTimeout)
-	for {
+	// Event-driven drain wait: applyAck broadcasts on every ack (and
+	// whenever the queue empties), so the wait wakes the moment the last
+	// batch is acknowledged instead of polling; the timer releases it at
+	// the deadline.
+	timer := time.AfterFunc(drainTimeout, func() {
 		x.mu.Lock()
-		drained := len(x.queue) == 0
+		x.drainTimedOut = true
+		x.space.Broadcast()
 		x.mu.Unlock()
-		if drained || time.Now().After(deadline) {
-			break
-		}
-		time.Sleep(2 * time.Millisecond)
+	})
+	x.mu.Lock()
+	for len(x.queue) > 0 && !x.drainTimedOut {
+		x.space.Wait()
 	}
+	x.mu.Unlock()
+	timer.Stop()
 
 	close(x.closeCh)
 	x.mu.Lock()
@@ -647,6 +676,9 @@ func (x *Exporter) runConn(conn net.Conn, encBuf *[]byte) bool {
 	if x.cfg.Tracer != nil && x.cfg.ProtocolVersion >= 2 {
 		features = wire.FeatureTrace
 	}
+	if x.cfg.OnPropertySet != nil && x.cfg.ProtocolVersion >= 2 {
+		features |= wire.FeatureLifecycle
+	}
 	t1 := time.Now().UnixNano()
 	hello := wire.Hello{DPID: x.cfg.DPID, NextSeq: nextSeq,
 		Version: x.cfg.ProtocolVersion, Features: features, SentNs: t1}
@@ -667,7 +699,8 @@ func (x *Exporter) runConn(conn net.Conn, encBuf *[]byte) bool {
 	if ha.Version >= 2 {
 		x.clock.AddSample(t1, (ha.RecvNs+ha.SentNs)/2, time.Now().UnixNano())
 	}
-	traced := features != 0 && ha.Version >= 2 && ha.Features&wire.FeatureTrace != 0
+	traced := ha.Version >= 2 && features&wire.FeatureTrace != 0 && ha.Features&wire.FeatureTrace != 0
+	lifecycle := ha.Version >= 2 && features&wire.FeatureLifecycle != 0 && ha.Features&wire.FeatureLifecycle != 0
 	x.applyAck(ha.AckSeq)
 	x.mu.Lock()
 	x.sentIdx = 0 // everything still queued needs (re)sending on this conn
@@ -675,6 +708,7 @@ func (x *Exporter) runConn(conn net.Conn, encBuf *[]byte) bool {
 	if traced {
 		x.sendNs = make(map[uint64]int64)
 	}
+	x.propAckPending = false // any owed ack belonged to the previous conn
 	x.mu.Unlock()
 
 	// Reader goroutine: applies cumulative acks until the connection
@@ -688,22 +722,53 @@ func (x *Exporter) runConn(conn net.Conn, encBuf *[]byte) bool {
 			if err != nil {
 				return
 			}
-			if a, ok := f.(wire.Ack); ok {
-				if a.SentNs != 0 {
+			switch fr := f.(type) {
+			case wire.Ack:
+				if fr.SentNs != 0 {
 					t4 := time.Now().UnixNano()
 					x.mu.Lock()
-					sendT, found := x.sendNs[a.AckSeq]
+					sendT, found := x.sendNs[fr.AckSeq]
 					for k := range x.sendNs {
-						if k <= a.AckSeq {
+						if k <= fr.AckSeq {
 							delete(x.sendNs, k)
 						}
 					}
 					x.mu.Unlock()
 					if found {
-						x.clock.AddSample(sendT, a.SentNs, t4)
+						x.clock.AddSample(sendT, fr.SentNs, t4)
 					}
 				}
-				x.applyAck(a.AckSeq)
+				x.applyAck(fr.AckSeq)
+			case *wire.PropertySetUpdate:
+				if !lifecycle {
+					return // protocol violation: frame never negotiated
+				}
+				x.mu.Lock()
+				stale := fr.Epoch < x.lastPropEpoch
+				if !stale {
+					x.lastPropEpoch = fr.Epoch
+					x.stats.PropertySetEpoch = fr.Epoch
+					x.stats.PropertySets++
+				}
+				x.mu.Unlock()
+				if stale {
+					continue
+				}
+				if cb := x.cfg.OnPropertySet; cb != nil {
+					cb(fr)
+				}
+				// The sender owns the connection's write side; leave it
+				// the ack and kick it awake. Acks are cumulative like
+				// batch acks: back-to-back pushes coalesce into a single
+				// ack for the latest applied epoch.
+				x.mu.Lock()
+				x.propAckEpoch = fr.Epoch
+				x.propAckPending = true
+				x.mu.Unlock()
+				select {
+				case x.kick <- struct{}{}:
+				default:
+				}
 			}
 		}
 	}()
@@ -715,7 +780,15 @@ func (x *Exporter) runConn(conn net.Conn, encBuf *[]byte) bool {
 			b = x.queue[x.sentIdx]
 			x.sentIdx++
 		}
+		ackProp, ackEpoch := x.propAckPending, x.propAckEpoch
+		x.propAckPending = false
 		x.mu.Unlock()
+		if ackProp {
+			if _, err := conn.Write(wire.AppendPropertySetAck(nil, wire.PropertySetAck{Epoch: ackEpoch})); err != nil {
+				<-connDead
+				return true
+			}
+		}
 		if b == nil {
 			select {
 			case <-x.closeCh:

@@ -27,7 +27,7 @@ import (
 // FAULT_MATRIX_SEED; with the variables unset (a local `go test`) every
 // cell runs in-process.
 func TestFaultMatrix(t *testing.T) {
-	modes := []string{"panic-shard", "drop", "wire-drop", "wire-delay"}
+	modes := []string{"panic-shard", "drop", "wire-drop", "wire-delay", "lifecycle-churn"}
 	seeds := []int64{1, 2, 3}
 	if m := os.Getenv("FAULT_MATRIX_MODE"); m != "" {
 		modes = []string{m}
@@ -51,6 +51,8 @@ func TestFaultMatrix(t *testing.T) {
 					matrixWireDrop(t, seed)
 				case "wire-delay":
 					matrixWireDelay(t, seed)
+				case "lifecycle-churn":
+					matrixLifecycleChurn(t, seed)
 				default:
 					t.Fatalf("unknown FAULT_MATRIX_MODE %q", mode)
 				}
@@ -189,6 +191,120 @@ func matrixWireDelay(t *testing.T, seed int64) {
 			}
 		}
 	}
+}
+
+// matrixLifecycleChurn is lifecycle disturbance as a chaos cell: one
+// property is removed and reinstalled at seed-derived points while the
+// sharded engine evaluates a full workload. The contract mirrors the
+// feed faults — two identical runs are byte-identical, the stable
+// property's verdicts match a static inline engine exactly, and the
+// churned property carries its reinstalled mark (a truthful ledger,
+// never a silently thinner verdict stream).
+func matrixLifecycleChurn(t *testing.T, seed int64) {
+	a, stableA := churnOutcome(t, seed)
+	b, _ := churnOutcome(t, seed)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("lifecycle-churn seed=%d: two runs diverged:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", seed, a, b)
+	}
+	if !bytes.Contains(a, []byte("reinstalled")) {
+		t.Fatalf("ledger did not record the reinstall:\n%s", a)
+	}
+
+	// Static inline reference for the stable property only: churn of the
+	// neighbor must not perturb it by a byte.
+	sched := sim.NewScheduler()
+	var want []string
+	mon := core.NewMonitor(sched, core.Config{OnViolation: func(v *core.Violation) {
+		want = append(want, fmt.Sprintf("%s %s %s", v.Time.Format(time.RFC3339Nano), v.Property, v.Trigger))
+	}})
+	if err := mon.AddProperty(property.CatalogByName(property.DefaultParams(), "firewall-basic")); err != nil {
+		t.Fatal(err)
+	}
+	trace.Replay(sched, fwEvents(), mon.HandleEvent)
+	sched.RunFor(time.Hour)
+	sort.Strings(want)
+	if len(want) == 0 {
+		t.Fatal("inline reference found no stable-property violations; the cell is vacuous")
+	}
+	if len(stableA) != len(want) {
+		t.Fatalf("stable property: churned run %d violations, inline %d", len(stableA), len(want))
+	}
+	for i := range want {
+		if stableA[i] != want[i] {
+			t.Fatalf("stable verdict %d differs under churn\nchurned: %s\ninline:  %s", i, stableA[i], want[i])
+		}
+	}
+}
+
+// churnOutcome runs the firewall workload on a sharded engine, removing
+// firewall-until-close and reinstalling it at seed-derived stream
+// positions, and renders everything observable as bytes plus the stable
+// property's sorted verdicts for the inline comparison.
+func churnOutcome(t *testing.T, seed int64) ([]byte, []string) {
+	t.Helper()
+	evs := fwEvents()
+	removeAt := len(evs)/4 + int(seed*31)%(len(evs)/4)
+	reinstallAt := len(evs)/2 + int(seed*17)%(len(evs)/4)
+
+	var mu sync.Mutex
+	viols := map[string][]string{}
+	sm := core.NewShardedMonitor(4, core.Config{OnViolation: func(v *core.Violation) {
+		mu.Lock()
+		viols[v.Property] = append(viols[v.Property],
+			fmt.Sprintf("%s %s %s", v.Time.Format(time.RFC3339Nano), v.Property, v.Trigger))
+		mu.Unlock()
+	}})
+	defer sm.Close()
+	const churnName = "firewall-until-close"
+	for _, name := range []string{"firewall-basic", churnName} {
+		if err := sm.AddProperty(property.CatalogByName(property.DefaultParams(), name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range evs {
+		switch i {
+		case removeAt:
+			if err := sm.RemoveProperty(churnName); err != nil {
+				t.Fatal(err)
+			}
+		case reinstallAt:
+			if err := sm.InstallProperty(property.CatalogByName(property.DefaultParams(), churnName)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := sm.Submit(evs[i]); err != nil {
+			t.Fatal(err)
+		}
+		sm.Tick(evs[i].Time)
+	}
+	sm.AdvanceTo(evs[len(evs)-1].Time.Add(time.Hour))
+	if got := sm.Epoch(); got != 2 {
+		t.Fatalf("lifecycle epoch = %d, want 2", got)
+	}
+	if err := sm.SelfCheck(); err != nil {
+		t.Fatalf("post-churn invariants: %v", err)
+	}
+
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "churn: remove@%d reinstall@%d\n", removeAt, reinstallAt)
+	mu.Lock()
+	names := make([]string, 0, len(viols))
+	for name := range viols {
+		names = append(names, name)
+		sort.Strings(viols[name])
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		for _, v := range viols[name] {
+			fmt.Fprintln(&buf, v)
+		}
+	}
+	stable := append([]string(nil), viols["firewall-basic"]...)
+	mu.Unlock()
+	for _, m := range sm.Ledger().Snapshot() {
+		fmt.Fprintf(&buf, "mark: %s %s events=%d\n", m.Property, m.Reason, m.Events)
+	}
+	return buf.Bytes(), stable
 }
 
 // wireOutcome runs fwEvents through exporter → TCP → collector → sharded

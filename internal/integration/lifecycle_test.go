@@ -1,0 +1,160 @@
+package integration
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"switchmon/internal/collector"
+	"switchmon/internal/core"
+	"switchmon/internal/dsl"
+	"switchmon/internal/exporter"
+	"switchmon/internal/property"
+	"switchmon/internal/wire"
+)
+
+func waitCond(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// The fabric half of the lifecycle differential gate: properties are
+// removed and reinstalled on the collector's sharded engine while two
+// switches stream events over real TCP, and every property-set change
+// is pushed to the lifecycle-negotiated exporters and acked. The stable
+// property's verdicts must be byte-identical to the static inline
+// reference; the churned property carries exactly its reinstalled mark.
+func TestFabricLifecycleChurnDifferential(t *testing.T) {
+	want := runInline(t)
+	if len(want) != 2 {
+		t.Fatalf("inline reference found %d violations, want 2:\n%v", len(want), want)
+	}
+
+	n := buildFabricPath(t)
+	rec := &violationRecorder{}
+	sm := core.NewShardedMonitor(4, core.Config{
+		Provenance: core.ProvLimited, OnViolation: rec.record,
+		StateTopK: 16, StateSample: 1, StateWatermark: 1,
+	})
+	defer sm.Close()
+	stable := parseLeasedMAC(t)
+	churnName := "firewall-basic"
+	if err := sm.AddProperty(stable); err != nil {
+		t.Fatal(err)
+	}
+	if err := sm.AddProperty(property.CatalogByName(property.DefaultParams(), churnName)); err != nil {
+		t.Fatal(err)
+	}
+
+	col, err := collector.New(collector.Config{Addr: "127.0.0.1:0"}, sm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col.Serve()
+	defer col.Close()
+
+	// Both exporters negotiate the lifecycle feature and record every
+	// property set pushed to them.
+	var pmu sync.Mutex
+	pushed := map[uint64][][]wire.PropMeta{} // exporter index is irrelevant; key by epoch
+	var exps [2]*exporter.Exporter
+	for i, dpid := range []uint64{1, 2} {
+		x, err := exporter.New(exporter.Config{
+			Addr: col.Addr().String(), DPID: dpid, BatchSize: 1,
+			OnPropertySet: func(u *wire.PropertySetUpdate) {
+				pmu.Lock()
+				pushed[u.Epoch] = append(pushed[u.Epoch], u.Props)
+				pmu.Unlock()
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		x.Start()
+		exps[i] = x
+	}
+	rig := &fabricRig{n: n, sm: sm, col: col, exps: exps, rec: rec}
+	n.Switch("edge").Observe(exps[0].Publish)
+	n.Switch("core").Observe(exps[1].Publish)
+
+	// broadcast mirrors what cmd/collector does after each lifecycle op:
+	// epoch, per-property tenant metadata, and the full DSL source.
+	broadcast := func(props ...*property.Property) {
+		u := &wire.PropertySetUpdate{Epoch: sm.Epoch(), Source: dsl.FormatAll(props)}
+		for _, p := range props {
+			u.Props = append(u.Props, wire.PropMeta{Name: p.Name, Tenant: p.Tenant})
+		}
+		if err := col.BroadcastPropertySet(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	driveFabricTraffic(n, func() {
+		rig.sync(t)
+		// Mid-stream churn between the causal phases: remove the riding
+		// property, push the shrunk set, reinstall, push again.
+		if err := sm.RemoveProperty(churnName); err != nil {
+			t.Fatal(err)
+		}
+		broadcast(stable)
+		if err := sm.InstallProperty(property.CatalogByName(property.DefaultParams(), churnName)); err != nil {
+			t.Fatal(err)
+		}
+		broadcast(stable, property.CatalogByName(property.DefaultParams(), churnName))
+	})
+	// Both pushes reached both exporters and were acked — checked while
+	// the connections are still alive: acks written during shutdown race
+	// the close. Acks are cumulative per connection (back-to-back pushes
+	// coalesce into one ack for the latest epoch), so each exporter owes
+	// at least one once it has applied the final epoch.
+	epochAfterRemove, epochAfterReinstall := uint64(1), uint64(2)
+	waitCond(t, "property-set convergence and acks", func() bool {
+		return exps[0].Stats().PropertySetEpoch == epochAfterReinstall &&
+			exps[1].Stats().PropertySetEpoch == epochAfterReinstall &&
+			col.Stats().PropertySetAcks >= 2
+	})
+	pmu.Lock()
+	if got := len(pushed[epochAfterRemove]); got != 2 {
+		t.Fatalf("remove-epoch push reached %d exporters, want 2 (pushed=%v)", got, pushed)
+	}
+	if got := len(pushed[epochAfterReinstall]); got != 2 {
+		t.Fatalf("reinstall-epoch push reached %d exporters, want 2 (pushed=%v)", got, pushed)
+	}
+	if props := pushed[epochAfterRemove][0]; len(props) != 1 || props[0].Name != "leased-mac-reachable" {
+		t.Fatalf("remove-epoch property set = %+v, want only the stable property", props)
+	}
+	if props := pushed[epochAfterReinstall][0]; len(props) != 2 {
+		t.Fatalf("reinstall-epoch property set = %+v, want both properties", props)
+	}
+	pmu.Unlock()
+	rig.settle(t)
+
+	// The differential: stable verdicts byte-identical to inline.
+	got := rec.sorted()
+	if len(got) != len(want) {
+		t.Fatalf("fabric found %d violations under churn, inline %d:\nfabric: %v\ninline: %v",
+			len(got), len(want), got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("verdict %d differs under lifecycle churn\nfabric: %s\ninline: %s", i, got[i], want[i])
+		}
+	}
+
+	// Exactly the churned property is marked, and only as reinstalled.
+	marks := sm.Ledger().Snapshot()
+	if len(marks) != 1 || marks[0].Property != churnName || marks[0].Reason != core.UnsoundReinstalled {
+		t.Fatalf("marks = %+v, want exactly %s/reinstalled", marks, churnName)
+	}
+	for i, x := range exps {
+		if !x.Ledger().Sound() {
+			t.Fatalf("exporter %d ledger unsound on a lossless run: %+v", i, x.Ledger().Snapshot())
+		}
+	}
+}

@@ -131,6 +131,18 @@ type HealthFunc func() (healthy bool, detail any)
 // called per request, so the report is always live.
 type StateFunc func() any
 
+// PropertiesConfig wires the /properties admin endpoint to a live
+// engine's lifecycle operations. Install receives the property's DSL
+// source plus the tenant to attach; errors map to 400 (bad DSL or
+// duplicate). Remove errors map to 404 (unknown property). List backs
+// GET. Handlers serialize nothing themselves — the engine's own router
+// lock is the serialization point.
+type PropertiesConfig struct {
+	List    func() any
+	Install func(src, tenant string) error
+	Remove  func(name string) error
+}
+
 // MuxConfig wires the introspection endpoint's data sources. Every
 // field may be nil: the corresponding handlers then serve empty
 // documents (and /healthz degrades to a plain liveness probe).
@@ -147,6 +159,9 @@ type MuxConfig struct {
 	Tracer *tracer.Tracer
 	// State backs /state.
 	State StateFunc
+	// Properties, when non-nil, enables the /properties admin endpoint
+	// (live install/remove).
+	Properties *PropertiesConfig
 }
 
 // sinceLimit parses the shared incremental-read query parameters:
@@ -179,6 +194,9 @@ func sinceLimit(r *http.Request) (since uint64, hasSince bool, limit int) {
 //	/violations       JSON dump of the violation ring, oldest first
 //	/trace            completed tracing spans as NDJSON, oldest first
 //	/state            live state-cost accounting report as JSON
+//	/properties       live property lifecycle admin (when configured):
+//	                  GET lists, POST installs the body's DSL source
+//	                  (?tenant= attaches a tenant), DELETE ?name= removes
 //	/buildinfo        module, VCS, and toolchain identity as JSON
 //	/debug/pprof/...  standard runtime profiles
 //
@@ -280,6 +298,54 @@ func NewMux(cfg MuxConfig) *http.ServeMux {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(rep)
 	})
+	if pc := cfg.Properties; pc != nil {
+		mux.HandleFunc("/properties", func(w http.ResponseWriter, r *http.Request) {
+			switch r.Method {
+			case http.MethodGet:
+				w.Header().Set("Content-Type", "application/json")
+				var list any = struct{}{}
+				if pc.List != nil {
+					list = pc.List()
+				}
+				enc := json.NewEncoder(w)
+				enc.SetIndent("", "  ")
+				_ = enc.Encode(list)
+			case http.MethodPost:
+				if pc.Install == nil {
+					http.Error(w, "install not supported", http.StatusMethodNotAllowed)
+					return
+				}
+				src, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+				if err != nil {
+					http.Error(w, err.Error(), http.StatusBadRequest)
+					return
+				}
+				if err := pc.Install(string(src), r.URL.Query().Get("tenant")); err != nil {
+					http.Error(w, err.Error(), http.StatusBadRequest)
+					return
+				}
+				w.WriteHeader(http.StatusCreated)
+				fmt.Fprintln(w, "installed")
+			case http.MethodDelete:
+				if pc.Remove == nil {
+					http.Error(w, "remove not supported", http.StatusMethodNotAllowed)
+					return
+				}
+				name := r.URL.Query().Get("name")
+				if name == "" {
+					http.Error(w, "missing ?name=", http.StatusBadRequest)
+					return
+				}
+				if err := pc.Remove(name); err != nil {
+					http.Error(w, err.Error(), http.StatusNotFound)
+					return
+				}
+				fmt.Fprintln(w, "removed")
+			default:
+				http.Error(w, "GET, POST or DELETE", http.StatusMethodNotAllowed)
+			}
+		})
+	}
 	mux.HandleFunc("/buildinfo", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)

@@ -68,6 +68,7 @@ type counters struct {
 // the breakdown, and per-shard sketches for heavy-hitter keys.
 type prop struct {
 	name      string
+	tenant    string
 	total     counters
 	shards    []counters
 	sketch    []sketch
@@ -91,8 +92,9 @@ type Tracker struct {
 	cfg  Config
 	pool []atomic.Int64 // per-shard instance free-list population
 
-	mu    sync.Mutex
-	props []*prop
+	mu      sync.Mutex
+	props   []*prop
+	tenants map[string]*TenantCell
 }
 
 // NewTracker builds a tracker for an engine with cfg.Shards shards.
@@ -110,7 +112,14 @@ func NewTracker(cfg Config) *Tracker {
 // a sharded engine installs the same property at the same index, and
 // only the first call creates the entry). Indices must be installed in
 // order, matching the engine's property indices.
-func (t *Tracker) Install(idx int, name string) {
+func (t *Tracker) Install(idx int, name string) { t.InstallTenant(idx, name, "") }
+
+// InstallTenant is Install carrying the property's tenant, so tenant
+// accounting and /state attribution survive slot reuse across the
+// property lifecycle. Reinstalling into a slot retired by Uninstall
+// creates a fresh entry; calling it on a live slot is a no-op (the
+// idempotence every shard of a sharded engine relies on).
+func (t *Tracker) InstallTenant(idx int, name, tenant string) {
 	if t == nil {
 		return
 	}
@@ -122,7 +131,7 @@ func (t *Tracker) Install(idx int, name string) {
 	if t.props[idx] != nil {
 		return
 	}
-	p := &prop{name: name, shards: make([]counters, t.cfg.Shards)}
+	p := &prop{name: name, tenant: tenant, shards: make([]counters, t.cfg.Shards)}
 	if k := t.cfg.TopK; k > 0 {
 		p.sketch = make([]sketch, t.cfg.Shards)
 		for i := range p.sketch {
@@ -160,6 +169,119 @@ func (t *Tracker) Handle(idx, shard int) *Handle {
 		h.sk = &p.sketch[shard]
 	}
 	return h
+}
+
+// Uninstall retires property idx: whatever the slot's gauges still hold
+// is returned (so a later reinstall under the same series name starts
+// from zero — the registry is get-or-create by name+labels), pressure is
+// cleared, and the slot is tombstoned for reuse by the next
+// InstallTenant. Callers must have purged the property's instances
+// first; under a sharded engine only the router calls this, once, after
+// every shard has acked its purge. Nil-safe.
+func (t *Tracker) Uninstall(idx int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if idx >= len(t.props) || t.props[idx] == nil {
+		return
+	}
+	p := t.props[idx]
+	p.liveG.Add(-p.total.live.Load())
+	p.bytesG.Add(-p.total.bytes.Load())
+	p.timersG.Add(-p.total.timers.Load())
+	if p.pressure.Load() == 1 {
+		p.pressureG.Set(0)
+	}
+	t.props[idx] = nil
+}
+
+// TenantCell is one tenant's shared accounting: live instances across
+// all the tenant's properties (every shard adds here, like a property's
+// total cell) and the cumulative count of instances or events its
+// quotas rejected. All methods are nil-receiver safe — a nil cell is
+// the untenanted case and costs callers one pointer test.
+type TenantCell struct {
+	name      string
+	instances atomic.Int64
+	shed      atomic.Uint64
+
+	instG *obs.Gauge
+	shedC *obs.Counter
+}
+
+// Instances reports the tenant's live instance population.
+func (c *TenantCell) Instances() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.instances.Load()
+}
+
+// ShedTotal reports how many instances/events the tenant's quotas shed.
+func (c *TenantCell) ShedTotal() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.shed.Load()
+}
+
+// FileInstance records one instance filed under the tenant.
+func (c *TenantCell) FileInstance() {
+	if c == nil {
+		return
+	}
+	c.instances.Add(1)
+	c.instG.Add(1)
+}
+
+// UnfileInstance records one tenant instance unfiled.
+func (c *TenantCell) UnfileInstance() {
+	if c == nil {
+		return
+	}
+	c.instances.Add(-1)
+	c.instG.Add(-1)
+}
+
+// Shed records n instances or routed events rejected by the tenant's
+// quota.
+func (c *TenantCell) Shed(n uint64) {
+	if c == nil {
+		return
+	}
+	c.shed.Add(n)
+	c.shedC.Add(n)
+}
+
+// Tenant returns the named tenant's accounting cell, creating it (and
+// registering its switchmon_tenant_instances / switchmon_tenant_shed_total
+// series) on first use. Cells are engine-lifetime: they survive the
+// tenant's properties being removed, so the shed history reads
+// continuously. Returns nil for the empty (default) tenant.
+func (t *Tracker) Tenant(name string) *TenantCell {
+	if t == nil || name == "" {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.tenants == nil {
+		t.tenants = map[string]*TenantCell{}
+	}
+	if c := t.tenants[name]; c != nil {
+		return c
+	}
+	c := &TenantCell{name: name}
+	if reg := t.cfg.Metrics; reg != nil {
+		l := append(append([]obs.Label(nil), t.cfg.Labels...), obs.L("tenant", name))
+		c.instG = reg.Gauge("switchmon_tenant_instances",
+			"Live monitor instances held by the tenant's properties.", l...)
+		c.shedC = reg.Counter("switchmon_tenant_shed_total",
+			"Instances and routed events rejected by the tenant's quotas.", l...)
+	}
+	t.tenants[name] = c
+	return c
 }
 
 // PoolGet records an instance leaving the shard's free list (recycled
@@ -359,6 +481,16 @@ type ShardState struct {
 type PropState struct {
 	// Property is the property's name.
 	Property string `json:"property"`
+	// Slot is the property's engine slot index (the routing-mask bit).
+	// Stable for the property's lifetime, reusable after removal — with
+	// live install/remove it no longer equals the report position.
+	Slot int `json:"slot"`
+	// Tenant is the owning tenant ("" = default tenant).
+	Tenant string `json:"tenant,omitempty"`
+	// InstallEpoch is the engine lifecycle epoch the property was
+	// installed in (cross-referenced from the ledger by the engine; 0
+	// for the startup set).
+	InstallEpoch uint64 `json:"install_epoch"`
 	// Live counts filed instances engine-wide.
 	Live int64 `json:"live"`
 	// Bytes approximates the property's resident instance state.
@@ -401,6 +533,18 @@ type Report struct {
 	// Properties holds one entry per installed property, in install
 	// order.
 	Properties []PropState `json:"properties"`
+	// Tenants holds one entry per tenant that ever had a quota cell
+	// (sorted by name; empty when no properties carry tenants).
+	Tenants []TenantState `json:"tenants,omitempty"`
+}
+
+// TenantState is one tenant's accounting snapshot.
+type TenantState struct {
+	Tenant string `json:"tenant"`
+	// Instances is the tenant's live instance population.
+	Instances int64 `json:"instances"`
+	// Shed counts instances/events the tenant's quotas rejected.
+	Shed uint64 `json:"shed"`
 }
 
 // Report assembles a snapshot. Safe from any goroutine, concurrently
@@ -425,13 +569,25 @@ func (t *Tracker) Report() Report {
 	}
 	t.mu.Lock()
 	props := append([]*prop(nil), t.props...)
+	var cells []*TenantCell
+	for _, c := range t.tenants {
+		cells = append(cells, c)
+	}
 	t.mu.Unlock()
-	for _, p := range props {
+	sort.Slice(cells, func(i, j int) bool { return cells[i].name < cells[j].name })
+	for _, c := range cells {
+		r.Tenants = append(r.Tenants, TenantState{
+			Tenant: c.name, Instances: c.Instances(), Shed: c.ShedTotal(),
+		})
+	}
+	for idx, p := range props {
 		if p == nil {
 			continue
 		}
 		ps := PropState{
 			Property:  p.name,
+			Slot:      idx,
+			Tenant:    p.tenant,
 			Live:      p.total.live.Load(),
 			Bytes:     p.total.bytes.Load(),
 			Timers:    p.total.timers.Load(),

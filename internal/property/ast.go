@@ -289,7 +289,11 @@ type Property struct {
 	// Description restates the correctness property in prose (the positive
 	// statement whose violation the stages witness).
 	Description string
-	Stages      []Stage
+	// Tenant names the owner for per-tenant quota accounting; empty
+	// means the default (unquotaed) tenant. Not part of the DSL grammar —
+	// operators attach it at install time (admin endpoint, wire update).
+	Tenant string
+	Stages []Stage
 }
 
 // String renders a compact description.

@@ -78,6 +78,12 @@ const (
 	// FeatureTrace enables TracedBatch frames and timestamped Acks on
 	// the connection.
 	FeatureTrace uint64 = 1 << 0
+	// FeatureLifecycle enables PropertySetUpdate/PropertySetAck frames:
+	// the collector pushes its live property set (epoch-stamped) at
+	// handshake and on every change, and the exporter acknowledges the
+	// epoch it has applied — how the fabric converges on one property
+	// set under hot install/remove.
+	FeatureLifecycle uint64 = 1 << 1
 )
 
 // helloMagic guards against pointing an exporter at a non-collector
@@ -110,6 +116,12 @@ const (
 	// FrameTracedBatch is a Batch with a trailing trace block (version
 	// ≥ 2 connections with FeatureTrace negotiated).
 	FrameTracedBatch
+	// FramePropertySetUpdate carries the collector's live property set
+	// (collector → exporter; FeatureLifecycle connections only).
+	FramePropertySetUpdate
+	// FramePropertySetAck acknowledges an applied property-set epoch
+	// (exporter → collector; FeatureLifecycle connections only).
+	FramePropertySetAck
 )
 
 // String names the frame type.
@@ -125,6 +137,10 @@ func (t FrameType) String() string {
 		return "ack"
 	case FrameTracedBatch:
 		return "traced-batch"
+	case FramePropertySetUpdate:
+		return "property-set-update"
+	case FramePropertySetAck:
+		return "property-set-ack"
 	default:
 		return fmt.Sprintf("FrameType(%d)", uint8(t))
 	}
@@ -177,6 +193,37 @@ type Ack struct {
 	// estimator. Zero is never encoded (a v1 Ack simply ends after
 	// AckSeq), which keeps the encoding canonical.
 	SentNs int64
+}
+
+// PropMeta is one property's identity inside a PropertySetUpdate.
+type PropMeta struct {
+	// Name is the property's slug.
+	Name string
+	// Tenant is the owning tenant for quota accounting ("" = default).
+	Tenant string
+}
+
+// PropertySetUpdate is the collector's live property set: pushed at
+// handshake and after every install/remove/replace so co-located
+// exporter-side engines (and dashboards reading the exporter) converge
+// on the same set. FeatureLifecycle connections only.
+type PropertySetUpdate struct {
+	// Epoch is the collector engine's lifecycle generation for this set;
+	// acknowledgments echo it, and a stale update (lower epoch than one
+	// already applied) is ignored by receivers.
+	Epoch uint64
+	// Props lists the installed properties in slot order.
+	Props []PropMeta
+	// Source is the set's DSL source (the concatenated property blocks),
+	// enough for the receiver to compile the same set. Empty when the
+	// collector chooses to ship identities only.
+	Source string
+}
+
+// PropertySetAck acknowledges that the exporter has applied the
+// property set of the given epoch.
+type PropertySetAck struct {
+	Epoch uint64
 }
 
 // Batch is a run of events with consecutive sequence numbers: event i
@@ -358,6 +405,35 @@ func AppendAck(buf []byte, a Ack) []byte {
 	return buf
 }
 
+// appendString appends a uvarint-length-prefixed string.
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// AppendPropertySetUpdate appends an encoded PropertySetUpdate frame.
+// The only error source is a frame overflowing MaxFrameLen (a huge
+// Source).
+func AppendPropertySetUpdate(buf []byte, u *PropertySetUpdate) ([]byte, error) {
+	buf, lenAt := beginFrame(buf, FramePropertySetUpdate)
+	buf = binary.AppendUvarint(buf, u.Epoch)
+	buf = binary.AppendUvarint(buf, uint64(len(u.Props)))
+	for i := range u.Props {
+		buf = appendString(buf, u.Props[i].Name)
+		buf = appendString(buf, u.Props[i].Tenant)
+	}
+	buf = appendString(buf, u.Source)
+	return endFrame(buf, lenAt)
+}
+
+// AppendPropertySetAck appends an encoded PropertySetAck frame.
+func AppendPropertySetAck(buf []byte, a PropertySetAck) []byte {
+	buf, lenAt := beginFrame(buf, FramePropertySetAck)
+	buf = binary.AppendUvarint(buf, a.Epoch)
+	buf, _ = endFrame(buf, lenAt)
+	return buf
+}
+
 // AppendBatch appends an encoded Batch frame to buf. Events serialize
 // in order; the only error source is a packet that cannot encode (or a
 // frame overflowing MaxFrameLen), in which case buf's original content
@@ -481,6 +557,14 @@ func EncodeFrame(frame any) ([]byte, error) {
 		return AppendAck(nil, *f), nil
 	case *Batch:
 		return AppendBatch(nil, f)
+	case PropertySetUpdate:
+		return AppendPropertySetUpdate(nil, &f)
+	case *PropertySetUpdate:
+		return AppendPropertySetUpdate(nil, f)
+	case PropertySetAck:
+		return AppendPropertySetAck(nil, f), nil
+	case *PropertySetAck:
+		return AppendPropertySetAck(nil, *f), nil
 	default:
 		return nil, fmt.Errorf("wire: cannot encode %T", frame)
 	}
@@ -591,6 +675,10 @@ func decodePayload(payload []byte, pooled bool) (any, error) {
 		frame, err = decodeBatch(c, true, pooled)
 	case FrameAck:
 		frame, err = decodeAck(c)
+	case FramePropertySetUpdate:
+		frame, err = decodePropertySetUpdate(c)
+	case FramePropertySetAck:
+		frame, err = decodePropertySetAck(c)
 	default:
 		return nil, fmt.Errorf("wire: unknown frame type %d", tb)
 	}
@@ -679,6 +767,68 @@ func decodeAck(c *cursor) (Ack, error) {
 		if a.SentNs == 0 {
 			return Ack{}, fmt.Errorf("wire: explicit zero ack timestamp")
 		}
+	}
+	return a, nil
+}
+
+// str reads a uvarint-length-prefixed string, copying out of the frame
+// buffer (the Reader reuses it across frames).
+func (c *cursor) str() (string, error) {
+	n, err := c.uvarint()
+	if err != nil {
+		return "", err
+	}
+	b, err := c.take(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// maxPropertySetProps bounds the property count declared by a
+// PropertySetUpdate header (matches the engines' 64-property routing
+// masks with slack for future growth), capping what a corrupt count can
+// allocate.
+const maxPropertySetProps = 1 << 10
+
+func decodePropertySetUpdate(c *cursor) (*PropertySetUpdate, error) {
+	u := &PropertySetUpdate{}
+	var err error
+	if u.Epoch, err = c.uvarint(); err != nil {
+		return nil, err
+	}
+	count, err := c.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if count > maxPropertySetProps {
+		return nil, fmt.Errorf("wire: property set declares %d properties, max %d", count, maxPropertySetProps)
+	}
+	if count > 0 {
+		if int(count) > c.remaining() {
+			return nil, fmt.Errorf("wire: property set declares %d properties in %d bytes", count, c.remaining())
+		}
+		u.Props = make([]PropMeta, count)
+		for i := range u.Props {
+			if u.Props[i].Name, err = c.str(); err != nil {
+				return nil, err
+			}
+			if u.Props[i].Tenant, err = c.str(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if u.Source, err = c.str(); err != nil {
+		return nil, err
+	}
+	return u, nil
+}
+
+func decodePropertySetAck(c *cursor) (PropertySetAck, error) {
+	var a PropertySetAck
+	var err error
+	if a.Epoch, err = c.uvarint(); err != nil {
+		return PropertySetAck{}, err
 	}
 	return a, nil
 }

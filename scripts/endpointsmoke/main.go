@@ -143,7 +143,126 @@ func run() error {
 			return fmt.Errorf("/state: property %s has no top_keys despite -state-sample 1", p.Property)
 		}
 	}
+	return properties(client, base)
+}
+
+// properties drives the /properties admin endpoint through one full
+// lifecycle against the live engine: list, install a probe property
+// from DSL source, confirm it appears with a bumped epoch, remove it,
+// and confirm the 4xx paths (malformed DSL, unknown name) reject
+// without disturbing the installed set.
+func properties(client *http.Client, base string) error {
+	list := func() (epoch uint64, names []string, err error) {
+		body, err := get(client, base+"/properties")
+		if err != nil {
+			return 0, nil, err
+		}
+		var v struct {
+			Epoch      uint64   `json:"epoch"`
+			Properties []string `json:"properties"`
+		}
+		if err := json.Unmarshal(body, &v); err != nil {
+			return 0, nil, fmt.Errorf("invalid JSON: %w", err)
+		}
+		return v.Epoch, v.Properties, nil
+	}
+	epoch0, names0, err := list()
+	if err != nil {
+		return fmt.Errorf("GET /properties: %w", err)
+	}
+	if len(names0) == 0 {
+		return fmt.Errorf("/properties: demo engine lists no properties")
+	}
+
+	const probe = "endpointsmoke-probe"
+	src := `property "` + probe + `" {
+  description "install/remove probe for the endpoint smoke"
+  on arrival "echo-request" {
+    match icmp.type == 8
+    bind $ID = icmp.id
+  }
+  unless egress "no-reply" within 2s {
+    match icmp.type == 0
+    match icmp.id == $ID
+  }
+}`
+	if status, body, err := do(client, http.MethodPost, base+"/properties?tenant=smoke", src); err != nil {
+		return fmt.Errorf("POST /properties: %w", err)
+	} else if status != http.StatusCreated {
+		return fmt.Errorf("POST /properties: status %d, want 201: %s", status, body)
+	}
+	epoch1, names1, err := list()
+	if err != nil {
+		return fmt.Errorf("GET /properties after install: %w", err)
+	}
+	if epoch1 <= epoch0 {
+		return fmt.Errorf("/properties: epoch %d did not advance past %d on install", epoch1, epoch0)
+	}
+	if !slicesContains(names1, probe) {
+		return fmt.Errorf("/properties: %q missing after install: %v", probe, names1)
+	}
+
+	// The 4xx paths must reject without side effects: malformed DSL is
+	// 400, removing an unknown name is 404.
+	if status, _, err := do(client, http.MethodPost, base+"/properties", `property "broken" {`); err != nil {
+		return fmt.Errorf("POST bad DSL: %w", err)
+	} else if status != http.StatusBadRequest {
+		return fmt.Errorf("POST bad DSL: status %d, want 400", status)
+	}
+	if status, _, err := do(client, http.MethodDelete, base+"/properties?name=no-such-property", ""); err != nil {
+		return fmt.Errorf("DELETE unknown: %w", err)
+	} else if status != http.StatusNotFound {
+		return fmt.Errorf("DELETE unknown: status %d, want 404", status)
+	}
+
+	if status, body, err := do(client, http.MethodDelete, base+"/properties?name="+probe, ""); err != nil {
+		return fmt.Errorf("DELETE /properties: %w", err)
+	} else if status != http.StatusOK {
+		return fmt.Errorf("DELETE /properties: status %d, want 200: %s", status, body)
+	}
+	epoch2, names2, err := list()
+	if err != nil {
+		return fmt.Errorf("GET /properties after remove: %w", err)
+	}
+	if epoch2 <= epoch1 {
+		return fmt.Errorf("/properties: epoch %d did not advance past %d on remove", epoch2, epoch1)
+	}
+	if slicesContains(names2, probe) {
+		return fmt.Errorf("/properties: %q still listed after remove: %v", probe, names2)
+	}
+	if len(names2) != len(names0) {
+		return fmt.Errorf("/properties: install/remove cycle changed the set: before %v, after %v", names0, names2)
+	}
 	return nil
+}
+
+func slicesContains(xs []string, want string) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
+}
+
+// do issues a request with an optional body and returns the status and
+// response body; non-2xx statuses are returned, not errors, so callers
+// can assert the rejection paths.
+func do(client *http.Client, method, url, body string) (int, string, error) {
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		return 0, "", err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, "", err
+	}
+	return resp.StatusCode, string(b), nil
 }
 
 // readServingAddr scans the daemon's stderr for the "metrics: serving
