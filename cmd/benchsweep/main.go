@@ -27,8 +27,13 @@
 //	    property while the sharded engine runs the high-flow steady
 //	    state at full load — per-op fence latency (install and remove
 //	    p50/p99) and the throughput dip vs an identical churn-free run
+//	e18 federated fan-out scaling: switch streams consistent-hashed
+//	    across 1/2/4 collectors through the federation router — fleet
+//	    aggregate ingest capacity vs collector count at equal
+//	    per-event cost (per-member saturation measured sequentially,
+//	    so one benchmark core stands in for N collector machines)
 //
-// Usage: benchsweep [-exp all|e3|e4|e5|e6|e7|e8|e11|e12|e13|e14|e15|e16|e17] [-smoke] [-json dir] [-cpuprofile f] [-memprofile f]
+// Usage: benchsweep [-exp all|e3|e4|e5|e6|e7|e8|e11|e12|e13|e14|e15|e16|e17|e18] [-smoke] [-json dir] [-cpuprofile f] [-memprofile f]
 //
 // -smoke shrinks every workload so the selected sweeps finish in
 // seconds; CI runs `benchsweep -exp e15 -smoke` as a fabric liveness
@@ -59,6 +64,7 @@ import (
 	"switchmon/internal/core"
 	"switchmon/internal/exporter"
 	"switchmon/internal/fault"
+	"switchmon/internal/federation"
 	"switchmon/internal/obs"
 	"switchmon/internal/obs/tracer"
 	"switchmon/internal/property"
@@ -97,7 +103,7 @@ func writeRows(dir, exp string, rows []benchRow) error {
 var smoke bool
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, e3, e4, e5, e6, e7, e8, e11, e12, e13, e14, e15, e16, e17")
+	exp := flag.String("exp", "all", "experiment to run: all, e3, e4, e5, e6, e7, e8, e11, e12, e13, e14, e15, e16, e17, e18")
 	flag.BoolVar(&smoke, "smoke", false, "shrink workloads to a seconds-long smoke run (CI liveness, not a benchmark)")
 	jsonDir := flag.String("json", "", "also write BENCH_<exp>.json rows into this directory")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
@@ -136,10 +142,11 @@ func main() {
 		"e3": sweepE3, "e4": sweepE4, "e5": sweepE5, "e6": sweepE6, "e7": sweepE7,
 		"e8": sweepE8, "e11": sweepE11, "e12": sweepE12, "e13": sweepE13,
 		"e14": sweepE14, "e15": sweepE15, "e16": sweepE16, "e17": sweepE17,
+		"e18": sweepE18,
 	}
 	names := []string{*exp}
 	if *exp == "all" {
-		names = []string{"e3", "e4", "e5", "e6", "e7", "e8", "e11", "e12", "e13", "e14", "e15", "e16", "e17"}
+		names = []string{"e3", "e4", "e5", "e6", "e7", "e8", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18"}
 	}
 	for i, name := range names {
 		fn, ok := run[name]
@@ -1339,6 +1346,203 @@ func sweepE16() []benchRow {
 			row.Extra["sample_n"] = rep.SampleN
 		}
 		rows = append(rows, row)
+	}
+	return rows
+}
+
+// e18OwnedDPID finds a datapath id the given member owns on the fleet's
+// consistent-hash ring, so a saturation stream aimed at one member
+// still travels the full federated path (router ring lookup included).
+func e18OwnedDPID(members []federation.Member, addr string, from uint64) uint64 {
+	ring, err := federation.NewRing(members)
+	if err != nil {
+		panic(err)
+	}
+	for k := from; ; k++ {
+		if ring.Owner(k) == addr {
+			return k
+		}
+	}
+}
+
+// sweepE18 measures federated fan-out scaling across 1/2/4 collectors.
+//
+// Two numbers per fleet size. The wall-clock rate drives 8 switch
+// routers into the whole fleet at once; on a single benchmark core
+// every collector engine competes for the same CPU, so this row shows
+// path overhead, not scaling. The capacity rate is the honest scaling
+// series for one machine: each member is saturated sequentially through
+// the full federated path (router → ring → exporter → TCP → collector →
+// sharded engine) while the others idle, standing in for N collector
+// machines that would sustain those rates concurrently; fleet capacity
+// is their sum. The gate — capacity(2) >= 1.7x and capacity(4) >= 3.0x
+// of capacity(1), at flat per-event cost — fails the sweep loudly
+// (full runs only; -smoke gates liveness, not ratios).
+func sweepE18() []benchRow {
+	var rows []benchRow
+	fmt.Println("E18: federated fan-out scaling: aggregate ingest capacity vs collector count")
+	fmt.Printf("%-11s %14s %16s %12s %10s\n",
+		"collectors", "wall_evps", "capacity_evps", "ns/event", "capacity_x")
+
+	flows, rounds := 4096, 16
+	if smoke {
+		flows, rounds = 256, 2
+	}
+	const switches = 8
+	open := trace.HighFlowWorkload{Flows: flows, Gap: time.Microsecond}.Events(sim.Epoch)
+	work := trace.HighFlowWorkload{Flows: flows, Rounds: rounds, ViolationEvery: 1000, Gap: time.Microsecond}.Events(sim.Epoch)
+	returns := work[2*flows:]
+	xcfg := exporter.Config{TargetSealLatency: 250 * time.Microsecond, BatchSizeMax: 256}
+
+	var capacity1 float64
+	for _, n := range []int{1, 2, 4} {
+		type e18Member struct {
+			sm  *core.ShardedMonitor
+			col *collector.Collector
+		}
+		members := make([]e18Member, n)
+		memList := make([]federation.Member, n)
+		for i := range members {
+			sm := core.NewShardedMonitor(2, core.Config{OnViolation: func(*core.Violation) {}})
+			if err := sm.AddProperty(fwProp()); err != nil {
+				panic(err)
+			}
+			sm.SubmitBatch(open, nil)
+			sm.Drain()
+			col, err := collector.New(collector.Config{Addr: "127.0.0.1:0"}, sm)
+			if err != nil {
+				panic(err)
+			}
+			col.Serve()
+			members[i] = e18Member{sm: sm, col: col}
+			memList[i] = federation.Member{Addr: col.Addr().String()}
+		}
+		fleetApplied := func() uint64 {
+			var total uint64
+			for i := range members {
+				total += members[i].col.Stats().Events
+			}
+			return total
+		}
+
+		// Capacity phase: saturate each member alone over the full
+		// federated path; the fleet's capacity is the sum. Each timed
+		// pass needs a dpid the collector has never seen: its per-dpid
+		// replay dedup outlives connections, so a reused dpid would
+		// skip the stream's head as a replayed prefix. Best of two
+		// passes per member, so a cold first connection does not
+		// masquerade as a capacity difference.
+		nextDPID := uint64(switches + 1)
+		run := func(i int) (rate, ns float64) {
+			dpid := e18OwnedDPID(memList, memList[i].Addr, nextDPID)
+			nextDPID = dpid + 1
+			r, err := federation.NewRouter(federation.Config{
+				Members: memList, DPID: dpid, Exporter: xcfg,
+			})
+			if err != nil {
+				panic(err)
+			}
+			r.Start()
+			before := members[i].col.Stats().Events
+			start := time.Now()
+			for j := range returns {
+				e := returns[j]
+				e.SwitchID = 0
+				r.Publish(e)
+			}
+			r.Flush()
+			deadline := time.Now().Add(60 * time.Second)
+			for members[i].col.Stats().Events-before < uint64(len(returns)) {
+				if time.Now().After(deadline) {
+					panic(fmt.Sprintf("e18: member %d applied %d of %d events",
+						i, members[i].col.Stats().Events-before, len(returns)))
+				}
+				time.Sleep(time.Millisecond)
+			}
+			elapsed := time.Since(start)
+			if abandoned := r.Close(5 * time.Second); abandoned != 0 {
+				panic(fmt.Sprintf("e18: member %d router abandoned %d events", i, abandoned))
+			}
+			return float64(len(returns)) / elapsed.Seconds(),
+				float64(elapsed.Nanoseconds()) / float64(len(returns))
+		}
+		var capacity, nsSum float64
+		perMember := make([]float64, n)
+		for i := range members {
+			rate, ns := run(i)
+			if r2, ns2 := run(i); r2 > rate {
+				rate, ns = r2, ns2
+			}
+			perMember[i] = rate
+			capacity += rate
+			nsSum += ns
+		}
+		// Wall-clock phase: every switch stream into the fleet at once.
+		routers := make([]*federation.Router, switches)
+		for s := range routers {
+			r, err := federation.NewRouter(federation.Config{
+				Members: memList, DPID: uint64(s + 1), Exporter: xcfg,
+			})
+			if err != nil {
+				panic(err)
+			}
+			r.Start()
+			routers[s] = r
+		}
+		start := time.Now()
+		for i := range returns {
+			e := returns[i]
+			e.SwitchID = 0 // the router stamps its own DPID
+			routers[i%switches].Publish(e)
+		}
+		for _, r := range routers {
+			r.Flush()
+		}
+		deadline := time.Now().Add(60 * time.Second)
+		for fleetApplied() < uint64(len(returns)) {
+			if time.Now().After(deadline) {
+				panic(fmt.Sprintf("e18: fleet applied %d of %d events", fleetApplied(), len(returns)))
+			}
+			time.Sleep(time.Millisecond)
+		}
+		wallEvps := float64(len(returns)) / time.Since(start).Seconds()
+		for _, r := range routers {
+			if abandoned := r.Close(5 * time.Second); abandoned != 0 {
+				panic(fmt.Sprintf("e18: router abandoned %d events", abandoned))
+			}
+		}
+
+		meanNs := nsSum / float64(n)
+		if n == 1 {
+			capacity1 = capacity
+		}
+		capX := capacity / capacity1
+		if !smoke {
+			if n == 2 && capX < 1.7 {
+				panic(fmt.Sprintf("e18: capacity at 2 collectors is %.2fx of 1, want >= 1.7x", capX))
+			}
+			if n == 4 && capX < 3.0 {
+				panic(fmt.Sprintf("e18: capacity at 4 collectors is %.2fx of 1, want >= 3.0x", capX))
+			}
+		}
+		fmt.Printf("%-11d %14.0f %16.0f %12.0f %9.2fx\n", n, wallEvps, capacity, meanNs, capX)
+		rows = append(rows, benchRow{
+			Exp:        "e18",
+			Params:     map[string]any{"collectors": n, "switches": switches},
+			NsPerEvent: meanNs,
+			Extra: map[string]any{
+				"wall_events_per_sec":       wallEvps,
+				"capacity_events_per_sec":   capacity,
+				"capacity_x":                capX,
+				"per_member_events_per_sec": perMember,
+				"events":                    len(returns),
+				"smoke":                     smoke,
+			},
+		})
+		for i := range members {
+			members[i].col.Close()
+			members[i].sm.Close()
+		}
 	}
 	return rows
 }

@@ -36,8 +36,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
 	"strings"
@@ -48,6 +50,7 @@ import (
 	"switchmon/internal/collector"
 	"switchmon/internal/core"
 	"switchmon/internal/dsl"
+	"switchmon/internal/federation"
 	"switchmon/internal/obs"
 	"switchmon/internal/obs/export"
 	"switchmon/internal/obs/tracer"
@@ -80,6 +83,8 @@ func run() error {
 
 		traceSample = flag.Uint64("trace-sample", 0, "negotiate end-to-end tracing with exporters and sample every Nth event of untraced streams (0 = off); completed spans served at /trace")
 		traceRing   = flag.Int("trace-ring", 0, "completed tracing spans retained for /trace (0 = default 2048)")
+
+		aggregate = flag.String("aggregate", "", "fleet aggregation-tier base URL; /properties admin ops are forwarded there so install/remove on this collector applies fleet-wide in one order")
 
 		stateTopK      = flag.Int("state-topk", 32, "heavy-hitter sketch capacity per property for /state top_keys (0 = sketch off)")
 		stateSample    = flag.Uint64("state-sample", 8, "sample 1 in N instance filings into the heavy-hitter sketch (1 = every filing)")
@@ -237,7 +242,47 @@ func run() error {
 			marks := sm.Ledger().Snapshot()
 			return len(marks) == 0, marks
 		}
-		srv = &http.Server{Handler: export.NewMux(export.MuxConfig{
+		installLocal := func(src, tenant string) error {
+			props, err := dsl.ParseAll(src)
+			if err != nil {
+				return err
+			}
+			if len(props) == 0 {
+				return fmt.Errorf("no properties in body")
+			}
+			for _, p := range props {
+				p.Tenant = tenant
+				if err := install(p); err != nil {
+					return err
+				}
+			}
+			broadcast()
+			return nil
+		}
+		removeLocal := func(name string) error {
+			if err := sm.RemoveProperty(name); err != nil {
+				return err
+			}
+			propMu.Lock()
+			delete(propObjs, name)
+			propMu.Unlock()
+			broadcast()
+			return nil
+		}
+		// With -aggregate, public admin ops route through the
+		// aggregation tier so they apply on every fleet member in one
+		// serialized order; the tier applies them back here through the
+		// local-only /fleet/properties endpoint.
+		installPublic, removePublic := installLocal, removeLocal
+		if *aggregate != "" {
+			installPublic = func(src, tenant string) error {
+				return forwardInstall(*aggregate, src, tenant)
+			}
+			removePublic = func(name string) error {
+				return forwardRemove(*aggregate, name)
+			}
+		}
+		mux := export.NewMux(export.MuxConfig{
 			Registry: reg, Ring: ring, Health: health, Tracer: tr,
 			State: func() any { return sm.StateReport() },
 			Properties: &export.PropertiesConfig{
@@ -247,35 +292,16 @@ func run() error {
 						Properties []string `json:"properties"`
 					}{sm.Epoch(), sm.Properties()}
 				},
-				Install: func(src, tenant string) error {
-					props, err := dsl.ParseAll(src)
-					if err != nil {
-						return err
-					}
-					if len(props) == 0 {
-						return fmt.Errorf("no properties in body")
-					}
-					for _, p := range props {
-						p.Tenant = tenant
-						if err := install(p); err != nil {
-							return err
-						}
-					}
-					broadcast()
-					return nil
-				},
-				Remove: func(name string) error {
-					if err := sm.RemoveProperty(name); err != nil {
-						return err
-					}
-					propMu.Lock()
-					delete(propObjs, name)
-					propMu.Unlock()
-					broadcast()
-					return nil
-				},
+				Install: installPublic,
+				Remove:  removePublic,
 			},
-		})}
+		})
+		federation.RegisterMemberEndpoints(mux, federation.MemberEndpoints{
+			BroadcastFleet: col.BroadcastFleetConfig,
+			InstallLocal:   installLocal,
+			RemoveLocal:    removeLocal,
+		})
+		srv = &http.Server{Handler: mux}
 		go func() { _ = srv.Serve(ln) }()
 		fmt.Fprintf(os.Stderr, "metrics: serving on http://%s/metrics\n", ln.Addr())
 	}
@@ -329,6 +355,45 @@ func run() error {
 			fmt.Printf("  %-26s %-14s since %s lost=%d %s\n",
 				m.Property, m.Reason, m.SinceTime.Format(time.RFC3339), m.Events, m.Detail)
 		}
+	}
+	return nil
+}
+
+// forwardInstall relays a property install to the aggregation tier,
+// which fans it out to every fleet member (including this one) in the
+// single fleet-wide lifecycle order.
+func forwardInstall(aggURL, src, tenant string) error {
+	u := strings.TrimRight(aggURL, "/") + "/properties"
+	if tenant != "" {
+		u += "?tenant=" + url.QueryEscape(tenant)
+	}
+	resp, err := http.Post(u, "text/plain", strings.NewReader(src))
+	if err != nil {
+		return fmt.Errorf("aggregate forward: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("aggregate forward: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	return nil
+}
+
+// forwardRemove relays a property remove to the aggregation tier.
+func forwardRemove(aggURL, name string) error {
+	u := strings.TrimRight(aggURL, "/") + "/properties?name=" + url.QueryEscape(name)
+	req, err := http.NewRequest(http.MethodDelete, u, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("aggregate forward: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("aggregate forward: %s: %s", resp.Status, strings.TrimSpace(string(body)))
 	}
 	return nil
 }

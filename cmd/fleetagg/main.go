@@ -1,0 +1,106 @@
+// Command fleetagg is the aggregation tier of a federated collector
+// fleet: it merges per-collector metrics, health, state reports, and
+// violation streams into fleet-wide endpoints, serializes property
+// lifecycle operations into one fleet-wide order, and drives fleet
+// membership changes by pushing feature-negotiated FleetConfig frames
+// through the member collectors to every connected exporter.
+//
+// Usage:
+//
+//	fleetagg -listen :9090 -members 127.0.0.1:9190=http://127.0.0.1:9091,127.0.0.1:9290=http://127.0.0.1:9291
+//
+// Each -members entry is exporterAddr=adminURL[=weight]: the TCP
+// address switches dial (what appears in FleetConfig frames and the
+// routers' consistent-hash ring) and the collector's -metrics-addr
+// base URL the aggregator scrapes and administers. The process holds
+// no monitoring state — every answer is composed from live member
+// scrapes — so it can restart at any time.
+//
+// Endpoints: /metrics (summed switchmon_fleet_* namespace), /healthz,
+// /state, /violations, /properties (GET/POST/DELETE, fleet-wide), and
+// /fleet (GET membership, POST a new member set).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"switchmon/internal/federation"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fleetagg:", err)
+		os.Exit(1)
+	}
+}
+
+func parseMembers(spec string) ([]federation.AggMember, error) {
+	var out []federation.AggMember
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		parts := strings.SplitN(entry, "=", 3)
+		if len(parts) < 2 {
+			return nil, fmt.Errorf("member %q: want exporterAddr=adminURL[=weight]", entry)
+		}
+		m := federation.AggMember{Addr: parts[0], Admin: parts[1]}
+		if len(parts) == 3 {
+			w, err := strconv.ParseFloat(parts[2], 64)
+			if err != nil || w <= 0 {
+				return nil, fmt.Errorf("member %q: bad weight %q", entry, parts[2])
+			}
+			m.Weight = w
+		}
+		out = append(out, m)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no members in %q", spec)
+	}
+	return out, nil
+}
+
+func run() error {
+	var (
+		listen  = flag.String("listen", ":9090", "serve the fleet endpoints on this address")
+		members = flag.String("members", "", "comma-separated exporterAddr=adminURL[=weight] collector entries")
+		epoch   = flag.Uint64("epoch", 0, "initial fleet-config epoch (membership changes increment it)")
+		timeout = flag.Duration("timeout", 3*time.Second, "per-member scrape/admin call timeout")
+	)
+	flag.Parse()
+	if *members == "" {
+		return fmt.Errorf("-members is required")
+	}
+	ms, err := parseMembers(*members)
+	if err != nil {
+		return err
+	}
+	agg, err := federation.NewAggregator(federation.AggConfig{
+		Members: ms, Epoch: *epoch, Timeout: *timeout,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: agg.Mux()}
+	go func() { _ = srv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "fleetagg: serving fleet endpoints on http://%s/metrics (%d members)\n", ln.Addr(), len(ms))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	return srv.Close()
+}

@@ -64,8 +64,10 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -75,6 +77,7 @@ import (
 	"switchmon/internal/dsl"
 	"switchmon/internal/exporter"
 	"switchmon/internal/fault"
+	"switchmon/internal/federation"
 	"switchmon/internal/obs"
 	"switchmon/internal/obs/export"
 	"switchmon/internal/obs/statesize"
@@ -231,6 +234,8 @@ func run() error {
 		faultSpec = flag.String("fault", "", "inject deterministic faults: drop=F,dup=F,reorder=F,delay=DUR,seed=N,panic-shard=S@N,stall-shard=S@N,stall=DUR")
 
 		exportAddr = flag.String("export", "", "also ship the event stream to a central collector at this address (cmd/collector)")
+		collectors = flag.String("collectors", "", "comma-separated collector endpoints for federated export: events fan out across the fleet by partition key, each endpoint with its own sequence space, queue, and replay (replaces -export)")
+		partition  = flag.String("partition", "dpid", "with -collectors: fleet partition key — dpid (whole switch on one collector) or identity (property-identity key derived from the installed set; requires -catalog/-props)")
 		exportDPID = flag.Uint64("export-dpid", 1, "datapath id announced to the collector by -export")
 		batchSLO   = flag.Duration("batch-slo", 250*time.Microsecond, "with -export: target batch-seal latency; the exporter adapts its batch size to fill within this budget")
 		batchMax   = flag.Int("batch-max", 256, "with -export: upper clamp on the adaptive batch size")
@@ -357,14 +362,25 @@ func run() error {
 	// the local engine sees; the collector at the far end evaluates its
 	// own properties over the merged streams.
 	var exp *exporter.Exporter
+	var fed *federation.Router
+	// partKey holds the fleet partition key; -partition identity swaps
+	// it after the property set is known, before any traffic flows.
+	var partKey atomic.Value // func(*core.Event) uint64
+	partKey.Store(core.PartitionByDPID)
 	feed := mon.HandleEvent
-	if *exportAddr != "" {
+	if *exportAddr != "" && *collectors != "" {
+		return fmt.Errorf("-collectors replaces -export; pass one or the other")
+	}
+	if *exportAddr != "" || *collectors != "" {
 		if *batchSLO <= 0 {
 			return fmt.Errorf("-batch-slo %v: the seal-latency budget must be positive", *batchSLO)
 		}
 		if *batchMax < 1 {
 			return fmt.Errorf("-batch-max %d: the batch-size clamp must be at least 1", *batchMax)
 		}
+	}
+	switch {
+	case *exportAddr != "":
 		exp, err = exporter.New(exporter.Config{
 			Addr: *exportAddr, DPID: *exportDPID,
 			TargetSealLatency: *batchSLO, BatchSizeMax: *batchMax,
@@ -381,6 +397,37 @@ func run() error {
 		feed = func(e core.Event) {
 			mon.HandleEvent(e)
 			exp.Publish(e)
+		}
+	case *collectors != "":
+		var members []federation.Member
+		for _, a := range strings.Split(*collectors, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				members = append(members, federation.Member{Addr: a})
+			}
+		}
+		fed, err = federation.NewRouter(federation.Config{
+			Members: members, DPID: *exportDPID, DrainTimeout: *drainTO,
+			PartitionKey: func(e *core.Event) uint64 {
+				return partKey.Load().(func(*core.Event) uint64)(e)
+			},
+			// Every collector endpoint gets its own exporter built from
+			// this template: per-route sequence spaces keep the
+			// collector-side gap accounting exact across partition moves.
+			// The per-route registries stay nil — N routes would collide
+			// on the same dpid-labeled series; fleet metrics live on the
+			// collectors and the aggregation tier.
+			Exporter: exporter.Config{
+				TargetSealLatency: *batchSLO, BatchSizeMax: *batchMax,
+				OnPropertySet: func(u *wire.PropertySetUpdate) { applyPropertySet(mon, u) },
+			},
+		})
+		if err != nil {
+			return err
+		}
+		fed.Start()
+		feed = func(e core.Event) {
+			mon.HandleEvent(e)
+			fed.Publish(e)
 		}
 	}
 
@@ -439,6 +486,7 @@ func run() error {
 	}
 
 	var installed []string
+	var installedProps []*property.Property
 	if *catalog != "" {
 		for _, name := range strings.Split(*catalog, ",") {
 			name = strings.TrimSpace(name)
@@ -450,6 +498,7 @@ func run() error {
 				return err
 			}
 			installed = append(installed, name)
+			installedProps = append(installedProps, p)
 		}
 	}
 	if *propsFile != "" {
@@ -466,6 +515,34 @@ func run() error {
 				return err
 			}
 			installed = append(installed, p.Name)
+			installedProps = append(installedProps, p)
+		}
+	}
+
+	// With a federated fleet, pin the partition key now that the
+	// property set is known: dpid keying is checked against the
+	// shardability analysis (a cross-switch property split across
+	// collectors can silently miss violations), identity keying is
+	// derived from it.
+	if fed != nil {
+		switch *partition {
+		case "dpid":
+			if err := core.ValidateDPIDPartition(installedProps); err != nil {
+				fmt.Fprintf(os.Stderr, "federation: warning: %v\n", err)
+			}
+		case "identity":
+			f, err := core.IdentityPartitionFunc(installedProps)
+			if err != nil {
+				return fmt.Errorf("-partition identity: %w", err)
+			}
+			partKey.Store(func(e *core.Event) uint64 {
+				// Unroutable events carry none of the identity fields:
+				// no instance can consume them, any route is correct.
+				k, _ := f(e)
+				return k
+			})
+		default:
+			return fmt.Errorf("unknown -partition %q (dpid or identity)", *partition)
 		}
 	}
 
@@ -546,6 +623,30 @@ func run() error {
 		fmt.Printf("export: collector=%s dpid=%d events=%d batches_acked=%d bytes=%d reconnects=%d shed=%d abandoned=%d\n",
 			*exportAddr, *exportDPID, es.Published, es.BatchesAcked, es.BytesSent, es.Reconnects, es.ShedEvents, abandoned)
 		for _, m := range exp.Ledger().Snapshot() {
+			fmt.Printf("  export loss: %-14s since %s lost=%d %s\n",
+				m.Reason, m.SinceTime.Format(time.RFC3339), m.Events, m.Detail)
+		}
+	}
+	if fed != nil {
+		fed.Flush()
+		// Stats are read after Close: the drain is what lands the final
+		// acks, so a pre-Close snapshot undercounts batches and bytes.
+		abandoned := fed.Close(*drainTO)
+		routeStats := fed.RouteStats()
+		fs := fed.Stats()
+		fmt.Printf("federation: collectors=%d epoch=%d reroutes=%d events=%d replayed=%d batches_acked=%d bytes=%d reconnects=%d shed=%d abandoned=%d\n",
+			fs.Routes, fs.Epoch, fs.Reroutes, fs.Published, fs.Replayed, fs.BatchesAcked, fs.BytesSent, fs.Reconnects, fs.ShedEvents, abandoned)
+		addrs := make([]string, 0, len(routeStats))
+		for addr := range routeStats {
+			addrs = append(addrs, addr)
+		}
+		sort.Strings(addrs)
+		for _, addr := range addrs {
+			es := routeStats[addr]
+			fmt.Printf("  route %-21s events=%d batches_acked=%d bytes=%d reconnects=%d shed=%d\n",
+				addr, es.Published, es.BatchesAcked, es.BytesSent, es.Reconnects, es.ShedEvents)
+		}
+		for _, m := range fed.Ledger() {
 			fmt.Printf("  export loss: %-14s since %s lost=%d %s\n",
 				m.Reason, m.SinceTime.Format(time.RFC3339), m.Events, m.Detail)
 		}

@@ -100,6 +100,13 @@ type Stats struct {
 	PropertySetEpoch uint64
 	// PropertySetAcks counts PropertySetAck frames received.
 	PropertySetAcks uint64
+	// FleetEpoch is the epoch of the last fleet config broadcast to
+	// fleet-negotiated exporters (0 when none was ever pushed).
+	FleetEpoch uint64
+	// FleetConfigAcks counts FleetConfigAck frames received — each one
+	// is an exporter reporting its re-route (drain fence included)
+	// complete.
+	FleetConfigAcks uint64
 }
 
 // dpState is one datapath's demux state, shared across its reconnects.
@@ -137,6 +144,7 @@ func (dp *dpState) advanceAckedLocked() {
 type connState struct {
 	wmu       sync.Mutex
 	lifecycle bool
+	fleet     bool
 }
 
 // Collector accepts exporter connections and feeds a Sink.
@@ -155,6 +163,10 @@ type Collector struct {
 	// (nil until the first BroadcastPropertySet); new lifecycle
 	// connections receive it right after the handshake.
 	propSet *wire.PropertySetUpdate
+	// fleetCfg is the latest fleet config pushed to fleet-negotiated
+	// exporters (nil until the first BroadcastFleetConfig); new fleet
+	// connections receive it right after the handshake.
+	fleetCfg *wire.FleetConfig
 
 	connsG *obs.Gauge
 	wg     sync.WaitGroup
@@ -322,6 +334,45 @@ func (c *Collector) BroadcastPropertySet(u *wire.PropertySetUpdate) error {
 	return nil
 }
 
+// BroadcastFleetConfig pushes a fleet-membership config to every
+// connected fleet-negotiated exporter and retains it for future
+// connections (each receives it right after its handshake) — the
+// membership/handoff protocol's fan-out: the aggregation tier posts a
+// new member list to each collector, each collector pushes it down
+// every exporter link, and every federated router re-derives the same
+// ring and re-routes behind its drain fence.
+func (c *Collector) BroadcastFleetConfig(fc *wire.FleetConfig) error {
+	buf, err := wire.AppendFleetConfig(nil, fc)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.fleetCfg = fc
+	c.stats.FleetEpoch = fc.Epoch
+	type target struct {
+		conn net.Conn
+		cs   *connState
+	}
+	var targets []target
+	for conn, cs := range c.conns {
+		if cs.fleet {
+			targets = append(targets, target{conn, cs})
+		}
+	}
+	c.mu.Unlock()
+	for _, t := range targets {
+		t.cs.wmu.Lock()
+		_, werr := t.conn.Write(buf)
+		t.cs.wmu.Unlock()
+		if werr != nil {
+			// The connection is dying; its read loop will notice and the
+			// exporter will pick the config up again on reconnect.
+			t.conn.Close()
+		}
+	}
+	return nil
+}
+
 // serveConn drives one exporter connection: handshake, then a
 // batch/ack loop until the peer disconnects or misbehaves.
 func (c *Collector) serveConn(conn net.Conn, cs *connState) {
@@ -354,6 +405,7 @@ func (c *Collector) serveConn(conn net.Conn, cs *connState) {
 		features = hello.Features & wire.FeatureTrace
 	}
 	features |= hello.Features & wire.FeatureLifecycle
+	features |= hello.Features & wire.FeatureFleet
 
 	c.mu.Lock()
 	dp := c.dpStateFor(hello.DPID)
@@ -401,6 +453,25 @@ func (c *Collector) serveConn(conn net.Conn, cs *connState) {
 			}
 		}
 	}
+	if features&wire.FeatureFleet != 0 {
+		// Same convergence move for fleet membership: a reconnecting
+		// federated exporter gets the current config immediately.
+		c.mu.Lock()
+		cs.fleet = true
+		fc := c.fleetCfg
+		c.mu.Unlock()
+		if fc != nil {
+			buf, aerr := wire.AppendFleetConfig(nil, fc)
+			if aerr == nil {
+				cs.wmu.Lock()
+				_, err = conn.Write(buf)
+				cs.wmu.Unlock()
+				if err != nil {
+					return
+				}
+			}
+		}
+	}
 
 	var ackBuf []byte
 	prevBytes := cr.n
@@ -420,6 +491,15 @@ func (c *Collector) serveConn(conn net.Conn, cs *connState) {
 			}
 			c.mu.Lock()
 			c.stats.PropertySetAcks++
+			c.mu.Unlock()
+			prevBytes = cr.n
+			continue
+		case wire.FleetConfigAck:
+			if features&wire.FeatureFleet == 0 {
+				return // not negotiated: protocol error
+			}
+			c.mu.Lock()
+			c.stats.FleetConfigAcks++
 			c.mu.Unlock()
 			prevBytes = cr.n
 			continue

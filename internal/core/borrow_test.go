@@ -111,3 +111,53 @@ func TestSubmitBatchReleaseAlwaysFires(t *testing.T) {
 		t.Fatalf("post-Close release fired %d times total, want 2", fired)
 	}
 }
+
+// A batch's events must reach their shard workers by the time
+// SubmitBatch returns, even when the stream's clock never advances.
+// Partial shard batches used to wait for the shardBatchSize overflow or
+// the next Tick/Barrier to flush — so a wire batch of events sharing
+// one timestamp parked in the router's pending buffers indefinitely,
+// and a live collector sat on its verdicts until drain (the
+// -demo-over-wire quickstart showed 1 of 36 events applied). Nothing
+// below may call Tick, Barrier, Drain, or Stats: the verdict has to
+// surface from the submit alone. (Single-event Submit keeps the
+// buffer-until-Tick behavior — its callers tick per event.)
+func TestSubmitBatchFlushesWithoutClockAdvance(t *testing.T) {
+	for _, mode := range []string{"batch-copied", "batch-borrowed"} {
+		t.Run(mode, func(t *testing.T) {
+			fw := property.CatalogByName(property.DefaultParams(), "firewall-basic")
+			got := make(chan struct{}, 4)
+			sm := NewShardedMonitor(4, Config{
+				OnViolation: func(*Violation) { got <- struct{}{} },
+			})
+			defer sm.Close()
+			if err := sm.AddProperty(fw); err != nil {
+				t.Fatal(err)
+			}
+			src := packet.IPv4FromUint32(0x0a000001)
+			dst := packet.IPv4FromUint32(0xcb007101)
+			open := packet.NewTCP(macA, macB, src, dst, 30000, 80, packet.FlagSYN, nil)
+			ret := packet.NewTCP(macB, macA, dst, src, 80, 30000, packet.FlagACK, nil)
+			events := []Event{
+				{Kind: KindArrival, Time: sim.Epoch, PacketID: 1, Packet: open, InPort: 1},
+				{Kind: KindEgress, Time: sim.Epoch, PacketID: 1, Packet: open, InPort: 1, OutPort: 2},
+				{Kind: KindEgress, Time: sim.Epoch, PacketID: 2, Packet: ret, InPort: 2, Dropped: true},
+			}
+			switch mode {
+			case "batch-copied":
+				if err := sm.SubmitBatch(events, nil); err != nil {
+					t.Fatal(err)
+				}
+			case "batch-borrowed":
+				if err := sm.SubmitBatch(events, func() {}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			select {
+			case <-got:
+			case <-time.After(10 * time.Second):
+				t.Fatal("violation never surfaced: equal-timestamp events parked in the router's pending buffers")
+			}
+		})
+	}
+}

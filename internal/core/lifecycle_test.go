@@ -253,4 +253,3 @@ func TestQuarantinedRemovalClearsRoutingBit(t *testing.T) {
 		t.Fatalf("post-lifecycle invariants: %v", err)
 	}
 }
-

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"switchmon/internal/packet"
+	"switchmon/internal/property"
+)
+
+// Process-level partition-key derivation for the federated collector
+// tier (internal/federation). The intra-process sharding analysis
+// (analyzeSharding) proves which event fields address a property's
+// instances; the same proof, lifted to the fleet, tells us when a
+// whole event stream can be split across N collector processes without
+// changing any verdict: every event an instance can ever consume must
+// carry the instance's partition key.
+
+// PartitionByDPID is the default fleet partition key: the datapath id
+// of the switch that emitted the event. It is total (every event has a
+// switch id) and correct for any property set that passes
+// ValidateDPIDPartition.
+func PartitionByDPID(e *Event) uint64 { return e.SwitchID }
+
+// DPIDPartitionable reports whether p's verdicts survive partitioning
+// the event stream by datapath id: the sharding analysis must find an
+// identity variable bound to switch.id at stage zero and pinned to
+// switch.id on every later addressing path — then every event an
+// instance consumes carries the instance's own dpid, so all of an
+// instance's events land on one collector. Properties that correlate
+// events across switches (or defeat the sharding analysis entirely)
+// report false. The error is a compile failure of p itself.
+func DPIDPartitionable(p *property.Property) (bool, error) {
+	cp, err := compile(p)
+	if err != nil {
+		return false, err
+	}
+	plan := &cp.plan
+	if !plan.shardable {
+		return false, nil
+	}
+	for i := range plan.identityVars {
+		if plan.createFields[i] != packet.FieldSwitchID {
+			continue
+		}
+		pinned := true
+		for _, r := range plan.routes {
+			if r.fields[i] != packet.FieldSwitchID {
+				pinned = false
+				break
+			}
+		}
+		if pinned {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// ValidateDPIDPartition checks that every property in the set is
+// dpid-partitionable, returning an error naming the offenders. A
+// federated deployment keyed by PartitionByDPID should refuse (or at
+// least warn about) a set that fails this check: a cross-switch
+// property evaluated on dpid-partitioned collectors can silently miss
+// violations whose evidence spans partitions.
+func ValidateDPIDPartition(props []*property.Property) error {
+	var bad []string
+	for _, p := range props {
+		ok, err := DPIDPartitionable(p)
+		if err != nil {
+			return fmt.Errorf("partition analysis: %s: %w", p.Name, err)
+		}
+		if !ok {
+			bad = append(bad, p.Name)
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("properties not partitionable by datapath id: %v (instances correlate events across switches or defeat the sharding analysis)", bad)
+	}
+	return nil
+}
+
+// IdentityPartitionFunc derives a property-identity partition key from
+// the shared identity of the given set: every property must be
+// shardable with one common identity-field multiset used by its
+// create path and every addressing path, and all properties must agree
+// on that multiset. The returned function maps an event to the
+// order-invariant hash of those field values — the same hash the
+// in-process shard router uses — so a flow and its reverse land on the
+// same collector. ok is false when the event lacks one of the fields;
+// by the analysis no instance of any property in the set can consume
+// such an event, so the caller may route it anywhere.
+func IdentityPartitionFunc(props []*property.Property) (func(e *Event) (uint64, bool), error) {
+	if len(props) == 0 {
+		return nil, fmt.Errorf("identity partition: empty property set")
+	}
+	var shared []packet.Field
+	for _, p := range props {
+		cp, err := compile(p)
+		if err != nil {
+			return nil, fmt.Errorf("identity partition: %s: %w", p.Name, err)
+		}
+		plan := &cp.plan
+		if !plan.shardable {
+			return nil, fmt.Errorf("identity partition: %s is not shardable", p.Name)
+		}
+		want := fieldMultiset(plan.createFields)
+		for _, r := range plan.routes {
+			if !equalFields(fieldMultiset(r.fields), want) {
+				return nil, fmt.Errorf("identity partition: %s addresses instances by %v, creates by %v — paths disagree, the event-level key is ambiguous", p.Name, r.fields, plan.createFields)
+			}
+		}
+		if shared == nil {
+			shared = want
+		} else if !equalFields(shared, want) {
+			return nil, fmt.Errorf("identity partition: %s keys on %v but the set keys on %v", p.Name, want, shared)
+		}
+	}
+	fields := shared
+	return func(e *Event) (uint64, bool) {
+		return routeHash(e, fields)
+	}, nil
+}
+
+// fieldMultiset returns a sorted copy: the addressing hash is
+// order-invariant, so field lists compare as multisets.
+func fieldMultiset(fs []packet.Field) []packet.Field {
+	out := append([]packet.Field(nil), fs...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func equalFields(a, b []packet.Field) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

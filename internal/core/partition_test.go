@@ -1,0 +1,106 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"switchmon/internal/packet"
+	"switchmon/internal/property"
+)
+
+// perSwitchProp builds a two-stage property whose identity pins
+// switch.id: a SYN arriving on a switch must egress on that same
+// switch within a second.
+func perSwitchProp(t *testing.T) *property.Property {
+	t.Helper()
+	b := property.New("per-switch-delivery", "test: dpid-scoped delivery")
+	b.OnArrival("syn").
+		Where(property.Eq(packet.FieldTCPSyn, 1)).
+		Bind("sw", packet.FieldSwitchID).
+		Bind("src", packet.FieldIPSrc)
+	b.OnEgress("fwd").
+		Where(property.EqVar(packet.FieldSwitchID, "sw"), property.EqVar(packet.FieldIPSrc, "src")).
+		Within(time.Second)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return p
+}
+
+// crossSwitchProp correlates events across switches: no switch.id in
+// the identity, so dpid partitioning would split an instance's
+// evidence across collectors.
+func crossSwitchProp(t *testing.T) *property.Property {
+	t.Helper()
+	b := property.New("cross-switch-delivery", "test: fabric-wide delivery")
+	b.OnArrival("in").
+		Where(property.Eq(packet.FieldTCPSyn, 1)).
+		Bind("src", packet.FieldIPSrc).
+		Bind("dst", packet.FieldIPDst)
+	b.OnEgress("out").
+		Where(property.EqVar(packet.FieldIPSrc, "src"), property.EqVar(packet.FieldIPDst, "dst")).
+		Within(time.Second)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return p
+}
+
+func TestDPIDPartitionable(t *testing.T) {
+	ok, err := DPIDPartitionable(perSwitchProp(t))
+	if err != nil {
+		t.Fatalf("analysis: %v", err)
+	}
+	if !ok {
+		t.Fatal("per-switch property reported not dpid-partitionable")
+	}
+	ok, err = DPIDPartitionable(crossSwitchProp(t))
+	if err != nil {
+		t.Fatalf("analysis: %v", err)
+	}
+	if ok {
+		t.Fatal("cross-switch property reported dpid-partitionable")
+	}
+}
+
+func TestValidateDPIDPartition(t *testing.T) {
+	if err := ValidateDPIDPartition([]*property.Property{perSwitchProp(t)}); err != nil {
+		t.Fatalf("clean set rejected: %v", err)
+	}
+	err := ValidateDPIDPartition([]*property.Property{perSwitchProp(t), crossSwitchProp(t)})
+	if err == nil {
+		t.Fatal("cross-switch property accepted")
+	}
+}
+
+func TestIdentityPartitionFunc(t *testing.T) {
+	key, err := IdentityPartitionFunc([]*property.Property{crossSwitchProp(t)})
+	if err != nil {
+		t.Fatalf("derive: %v", err)
+	}
+	tcp := packet.NewTCP(packet.MustMAC("02:00:00:00:00:0a"), packet.MustMAC("02:00:00:00:00:0b"),
+		packet.MustIPv4("10.0.0.1"), packet.MustIPv4("10.0.0.2"), 1234, 80, packet.FlagSYN, nil)
+	e1 := Event{Kind: KindArrival, SwitchID: 1, Packet: tcp}
+	e2 := Event{Kind: KindEgress, SwitchID: 2, Packet: tcp, OutPort: 3}
+	k1, ok1 := key(&e1)
+	k2, ok2 := key(&e2)
+	if !ok1 || !ok2 {
+		t.Fatal("events carrying the identity fields reported unroutable")
+	}
+	if k1 != k2 {
+		t.Fatalf("same flow keyed differently across switches: %x vs %x", k1, k2)
+	}
+	// An out-of-band event carries no IP fields: unroutable by design,
+	// and by the analysis no instance can consume it.
+	oob := Event{Kind: KindOutOfBand, SwitchID: 1, OOBKind: packet.OOBLinkDown, OOBPort: 2}
+	if _, ok := key(&oob); ok {
+		t.Fatal("field-less event reported routable")
+	}
+	// A set whose members key on different identities has no shared
+	// event-level key.
+	if _, err := IdentityPartitionFunc([]*property.Property{crossSwitchProp(t), perSwitchProp(t)}); err == nil {
+		t.Fatal("disagreeing identity sets accepted")
+	}
+}

@@ -662,6 +662,20 @@ func (sm *ShardedMonitor) worker(s *shard) {
 			if sp := ev.Trace; sp != nil && sm.cfg.Tracer != nil {
 				sp.Stamp(tracer.StageShardDispatch)
 			}
+			// Run the shard's clock up to the event's time before applying
+			// it — the inline driver's RunUntil-then-handle discipline.
+			// Without this, an instance armed right after a quiet stretch
+			// anchors its window deadline at the stale clock and the
+			// post-batch tick expires it before its evidence can arrive.
+			// Lagging streams (another switch behind this one) regress in
+			// event time and leave the clock untouched.
+			if ev.Time.After(s.sched.Now()) {
+				if supervised {
+					sm.runShardUntil(s, ev.Time)
+				} else {
+					s.sched.RunUntil(ev.Time)
+				}
+			}
 			if supervised {
 				s.mon.applyRoutedSupervised(ev, msg.matchMask, msg.createMask, onPanic)
 			} else {
@@ -789,6 +803,22 @@ func (sm *ShardedMonitor) submitLocked(e Event) error {
 	}
 	sm.routeLocked(&e, nil, 0)
 	return nil
+}
+
+// flushPendingLocked hands every shard's partially-filled pending batch
+// to its worker. SubmitBatch calls it before releasing the router lock
+// so a batch's events are always en route to a worker when the call
+// returns: the only other flushes are the shardBatchSize overflow and
+// the clock advances, and a stream whose timestamps stall (many events
+// sharing one instant) never advances the clock — a wire batch would
+// otherwise park here until drain. Single-event Submit deliberately
+// keeps the old buffer-until-Tick behavior: its callers pair each
+// Submit with a Tick (which flushes), and tests that park workers rely
+// on the router absorbing a stream without sealing batches.
+func (sm *ShardedMonitor) flushPendingLocked() {
+	for _, s := range sm.shards {
+		sm.flushShard(s)
+	}
 }
 
 // routeLocked computes the per-shard routing masks for one event and
@@ -925,6 +955,7 @@ func (sm *ShardedMonitor) SubmitBatch(evs []Event, release func()) error {
 		for i := range evs {
 			sm.routeLocked(&evs[i], nil, 0)
 		}
+		sm.flushPendingLocked()
 		return nil
 	}
 	ref := batchRefPool.Get().(*batchRef)
@@ -934,6 +965,7 @@ func (sm *ShardedMonitor) SubmitBatch(evs []Event, release func()) error {
 	for i := range evs {
 		sm.routeLocked(&evs[i], ref, int32(i))
 	}
+	sm.flushPendingLocked()
 	ref.unref()
 	return nil
 }

@@ -119,6 +119,16 @@ type Config struct {
 	// returns. Co-located engines use it to mirror the collector's
 	// live property set.
 	OnPropertySet func(*wire.PropertySetUpdate)
+	// OnFleetConfig, when non-nil, makes the exporter offer
+	// FeatureFleet (on version ≥ 2 connections) and invoke the callback
+	// for every fleet-membership config the collector pushes — stale
+	// epochs already filtered. Unlike OnPropertySet the callback runs
+	// on its own goroutine: a federated router's re-route performs a
+	// drain fence that waits for acks on this very connection, which
+	// would deadlock the reader. The config is acknowledged on the wire
+	// after the callback returns (the ack means "re-routed", not
+	// "received").
+	OnFleetConfig func(*wire.FleetConfig)
 	// Dial overrides the transport, for tests and fault injection.
 	Dial func() (net.Conn, error)
 }
@@ -197,6 +207,10 @@ type Stats struct {
 	// applied; PropertySets counts updates applied.
 	PropertySetEpoch uint64
 	PropertySets     uint64
+	// FleetEpoch is the epoch of the last fleet config applied;
+	// FleetConfigs counts configs applied.
+	FleetEpoch   uint64
+	FleetConfigs uint64
 	// BatchTarget is the current batch-size target: the adaptive
 	// controller's pick, or the fixed BatchSize.
 	BatchTarget int
@@ -234,6 +248,12 @@ type Exporter struct {
 	lastPropEpoch  uint64
 	propAckEpoch   uint64
 	propAckPending bool
+	// Fleet-config lifecycle state (guarded by mu), mirroring the
+	// property-set trio: highest epoch applied, plus the epoch whose
+	// wire ack the sender still owes.
+	lastFleetEpoch  uint64
+	fleetAckEpoch   uint64
+	fleetAckPending bool
 	// drainTimedOut flags that Close's drain deadline fired, releasing
 	// its queue-empty wait (guarded by mu).
 	drainTimedOut bool
@@ -512,12 +532,57 @@ func (x *Exporter) Stats() Stats {
 	return s
 }
 
+// Drain seals pending events and waits up to timeout for the send
+// queue to be fully acknowledged, without closing the exporter — the
+// federated handoff fence: once Drain returns true, every event
+// published so far has been applied by the collector, so a partition
+// routed here can move to a new owner with nothing in flight. Returns
+// false when the deadline fires (or the exporter closes) with batches
+// still unacknowledged.
+func (x *Exporter) Drain(timeout time.Duration) bool {
+	x.mu.Lock()
+	x.sealLocked(sealFlush)
+	x.mu.Unlock()
+	expired := false
+	timer := time.AfterFunc(timeout, func() {
+		x.mu.Lock()
+		expired = true
+		x.space.Broadcast()
+		x.mu.Unlock()
+	})
+	x.mu.Lock()
+	for len(x.queue) > 0 && !expired && !x.closed {
+		x.space.Wait()
+	}
+	drained := len(x.queue) == 0
+	x.mu.Unlock()
+	timer.Stop()
+	return drained
+}
+
 // Close seals pending events, waits up to drainTimeout for the queue to
 // be acknowledged, then stops the sender. Events still unacknowledged
 // are recorded in the local ledger as wire-loss ("unacked at close") —
 // the collector may or may not have applied them; conservatively they
 // count as lost. Returns the number of events abandoned.
 func (x *Exporter) Close(drainTimeout time.Duration) uint64 {
+	abandoned, _ := x.shutdown(drainTimeout, false)
+	return abandoned
+}
+
+// CloseExtract is Close for the replay-based handoff path: events
+// still unacknowledged at the drain deadline are returned in sequence
+// order instead of being marked lost, so the caller can replay them to
+// a partition's new owner. The old owner may have applied a sent-but-
+// unacked prefix before dying — replay is the at-least-once side of
+// the bargain, and the surviving fleet's dedup (per-route sequence
+// spaces) guarantees no event is applied twice by the same collector.
+func (x *Exporter) CloseExtract(drainTimeout time.Duration) []core.Event {
+	_, extracted := x.shutdown(drainTimeout, true)
+	return extracted
+}
+
+func (x *Exporter) shutdown(drainTimeout time.Duration, extract bool) (uint64, []core.Event) {
 	x.mu.Lock()
 	x.closed = true // before sealing, so the seal can never block on a full queue
 	x.sealLocked(sealClose)
@@ -547,10 +612,14 @@ func (x *Exporter) Close(drainTimeout time.Duration) uint64 {
 		x.conn.Close() // unblock reads/writes in the sender
 	}
 	var abandoned uint64
+	var extracted []core.Event
 	for _, b := range x.queue {
 		abandoned += uint64(len(b.Events))
+		if extract {
+			extracted = append(extracted, b.Events...)
+		}
 	}
-	if abandoned > 0 {
+	if abandoned > 0 && !extract {
 		x.ledger.Mark("*", core.UnsoundWireLoss, x.queue[0].FirstSeq, time.Now(), abandoned, "unacked at close")
 		x.ledger.RecordLost(core.UnsoundWireLoss, abandoned)
 	}
@@ -559,7 +628,7 @@ func (x *Exporter) Close(drainTimeout time.Duration) uint64 {
 	x.depthG.Set(0)
 	x.mu.Unlock()
 	<-x.done
-	return abandoned
+	return abandoned, extracted
 }
 
 // flushLoop seals pending batches that exceed MaxBatchAge.
@@ -679,6 +748,9 @@ func (x *Exporter) runConn(conn net.Conn, encBuf *[]byte) bool {
 	if x.cfg.OnPropertySet != nil && x.cfg.ProtocolVersion >= 2 {
 		features |= wire.FeatureLifecycle
 	}
+	if x.cfg.OnFleetConfig != nil && x.cfg.ProtocolVersion >= 2 {
+		features |= wire.FeatureFleet
+	}
 	t1 := time.Now().UnixNano()
 	hello := wire.Hello{DPID: x.cfg.DPID, NextSeq: nextSeq,
 		Version: x.cfg.ProtocolVersion, Features: features, SentNs: t1}
@@ -701,6 +773,7 @@ func (x *Exporter) runConn(conn net.Conn, encBuf *[]byte) bool {
 	}
 	traced := ha.Version >= 2 && features&wire.FeatureTrace != 0 && ha.Features&wire.FeatureTrace != 0
 	lifecycle := ha.Version >= 2 && features&wire.FeatureLifecycle != 0 && ha.Features&wire.FeatureLifecycle != 0
+	fleet := ha.Version >= 2 && features&wire.FeatureFleet != 0 && ha.Features&wire.FeatureFleet != 0
 	x.applyAck(ha.AckSeq)
 	x.mu.Lock()
 	x.sentIdx = 0 // everything still queued needs (re)sending on this conn
@@ -709,6 +782,7 @@ func (x *Exporter) runConn(conn net.Conn, encBuf *[]byte) bool {
 		x.sendNs = make(map[uint64]int64)
 	}
 	x.propAckPending = false // any owed ack belonged to the previous conn
+	x.fleetAckPending = false
 	x.mu.Unlock()
 
 	// Reader goroutine: applies cumulative acks until the connection
@@ -769,6 +843,42 @@ func (x *Exporter) runConn(conn net.Conn, encBuf *[]byte) bool {
 				case x.kick <- struct{}{}:
 				default:
 				}
+			case *wire.FleetConfig:
+				if !fleet {
+					return // protocol violation: frame never negotiated
+				}
+				x.mu.Lock()
+				stale := fr.Epoch <= x.lastFleetEpoch && x.stats.FleetConfigs > 0
+				if !stale {
+					x.lastFleetEpoch = fr.Epoch
+					x.stats.FleetEpoch = fr.Epoch
+					x.stats.FleetConfigs++
+				}
+				x.mu.Unlock()
+				if stale {
+					continue
+				}
+				// Applying a fleet config re-routes partitions behind a
+				// drain fence that waits for acks — possibly on this very
+				// connection — so it cannot run on the reader goroutine.
+				// The ack is queued after the apply completes: it means
+				// "re-routed", which is what the collector's handoff
+				// tracking wants to know.
+				go func(fc *wire.FleetConfig) {
+					if cb := x.cfg.OnFleetConfig; cb != nil {
+						cb(fc)
+					}
+					x.mu.Lock()
+					if fc.Epoch > x.fleetAckEpoch || !x.fleetAckPending {
+						x.fleetAckEpoch = fc.Epoch
+						x.fleetAckPending = true
+					}
+					x.mu.Unlock()
+					select {
+					case x.kick <- struct{}{}:
+					default:
+					}
+				}(fr)
 			}
 		}
 	}()
@@ -782,9 +892,17 @@ func (x *Exporter) runConn(conn net.Conn, encBuf *[]byte) bool {
 		}
 		ackProp, ackEpoch := x.propAckPending, x.propAckEpoch
 		x.propAckPending = false
+		ackFleet, ackFleetEpoch := x.fleetAckPending, x.fleetAckEpoch
+		x.fleetAckPending = false
 		x.mu.Unlock()
 		if ackProp {
 			if _, err := conn.Write(wire.AppendPropertySetAck(nil, wire.PropertySetAck{Epoch: ackEpoch})); err != nil {
+				<-connDead
+				return true
+			}
+		}
+		if ackFleet {
+			if _, err := conn.Write(wire.AppendFleetConfigAck(nil, wire.FleetConfigAck{Epoch: ackFleetEpoch})); err != nil {
 				<-connDead
 				return true
 			}

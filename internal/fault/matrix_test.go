@@ -6,17 +6,22 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"switchmon/internal/collector"
 	"switchmon/internal/core"
+	"switchmon/internal/dsl"
 	"switchmon/internal/exporter"
+	"switchmon/internal/federation"
 	"switchmon/internal/obs/tracer"
+	"switchmon/internal/packet"
 	"switchmon/internal/property"
 	"switchmon/internal/sim"
 	"switchmon/internal/trace"
+	"switchmon/internal/wire"
 )
 
 // TestFaultMatrix is the CI chaos gate: for each (mode, seed) cell it
@@ -27,7 +32,7 @@ import (
 // FAULT_MATRIX_SEED; with the variables unset (a local `go test`) every
 // cell runs in-process.
 func TestFaultMatrix(t *testing.T) {
-	modes := []string{"panic-shard", "drop", "wire-drop", "wire-delay", "lifecycle-churn"}
+	modes := []string{"panic-shard", "drop", "wire-drop", "wire-delay", "lifecycle-churn", "collector-leave"}
 	seeds := []int64{1, 2, 3}
 	if m := os.Getenv("FAULT_MATRIX_MODE"); m != "" {
 		modes = []string{m}
@@ -53,6 +58,8 @@ func TestFaultMatrix(t *testing.T) {
 					matrixWireDelay(t, seed)
 				case "lifecycle-churn":
 					matrixLifecycleChurn(t, seed)
+				case "collector-leave":
+					matrixCollectorLeave(t, seed)
 				default:
 					t.Fatalf("unknown FAULT_MATRIX_MODE %q", mode)
 				}
@@ -409,4 +416,267 @@ func wireOutcome(t *testing.T, spec Spec, traced bool) ([]byte, *tracer.Tracer) 
 	cs := col.Stats()
 	fmt.Fprintf(&buf, "collector: events=%d gaps=%d deduped=%d\n", cs.Events, cs.GapEvents, cs.Deduped)
 	return buf.Bytes(), colTr
+}
+
+// leaveProperty is the collector-leave cell's workload property: a
+// violation fires when a switch drops a flow it just forwarded. Its
+// identity pins switch.id on every path, so the property is
+// dpid-partitionable and verdicts carry a $SW binding the cell uses to
+// split the fleet's union back out per switch.
+const leaveProperty = `
+property "leave-local-drop" {
+  description "a forwarded SYN's flow must not be dropped by the same switch within a second"
+
+  on egress "fwd" {
+    match tcp.syn == 1
+    match dropped == 0
+    bind $SW = switch.id
+    bind $SRC = ip.src
+  }
+
+  on egress "dropped" within 1s {
+    match switch.id == $SW
+    match ip.src == $SRC
+    match dropped == 1
+  }
+}
+`
+
+// leavePhase builds one time-ordered phase of traffic for one switch:
+// six forwarded SYN flows, the odd ones dropped by the same switch
+// 200ms later (a violation each).
+func leavePhase(sw uint64, phase int) []core.Event {
+	base := sim.Epoch.Add(time.Duration(phase) * 10 * time.Second)
+	macS := packet.MustMAC("02:00:00:00:00:01")
+	macD := packet.MustMAC("02:00:00:00:00:02")
+	dst := packet.MustIPv4("203.0.113.9")
+	var out []core.Event
+	for f := 1; f <= 6; f++ {
+		src := packet.MustIPv4(fmt.Sprintf("10.%d.%d.%d", phase, sw%200, f))
+		pkt := packet.NewTCP(macS, macD, src, dst, uint16(30000+f), 80, packet.FlagSYN, nil)
+		at := base.Add(time.Duration(f) * 10 * time.Millisecond)
+		out = append(out, core.Event{
+			Kind: core.KindEgress, Time: at, SwitchID: sw,
+			PacketID: core.PacketID(uint64(phase)<<24 | sw<<8 | uint64(f)),
+			Packet:   pkt, InPort: 1, OutPort: 2,
+		})
+		if f%2 == 1 {
+			out = append(out, core.Event{
+				Kind: core.KindEgress, Time: at.Add(200 * time.Millisecond), SwitchID: sw,
+				PacketID: core.PacketID(uint64(phase)<<24 | sw<<8 | uint64(f)),
+				Packet:   pkt, InPort: 1, Dropped: true,
+			})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Time.Before(out[j].Time) })
+	return out
+}
+
+// matrixCollectorLeave kills one of two fleet collectors mid-run and
+// removes it from the fleet while events for its partition sit unacked
+// on the dead route. The contract: the replay-based handoff moves every
+// stranded event to the survivor (router Replayed accounts them
+// exactly, no loss marks anywhere), the non-moved partition's verdicts
+// are byte-identical to an inline engine, and — because the kill lands
+// at a quiescent boundary for engine state — so is the fleet-wide
+// union.
+func matrixCollectorLeave(t *testing.T, seed int64) {
+	prop, err := dsl.Parse(leaveProperty)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	waitOn := func(what string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s", what)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	// Two collectors, each a full sharded engine; the fleet's verdict
+	// union lands in one shared recorder.
+	var mu sync.Mutex
+	var union []string
+	record := func(v *core.Violation) {
+		mu.Lock()
+		union = append(union, v.String())
+		mu.Unlock()
+	}
+	type member struct {
+		sm  *core.ShardedMonitor
+		col *collector.Collector
+	}
+	var cols [2]member
+	for i := range cols {
+		sm := core.NewShardedMonitor(2, core.Config{Provenance: core.ProvLimited, OnViolation: record})
+		if err := sm.AddProperty(prop); err != nil {
+			t.Fatal(err)
+		}
+		col, err := collector.New(collector.Config{Addr: "127.0.0.1:0"}, sm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		col.Serve()
+		defer col.Close()
+		defer sm.Close()
+		cols[i] = member{sm: sm, col: col}
+	}
+	addrA := cols[0].col.Addr().String()
+	addrB := cols[1].col.Addr().String()
+
+	// Pick the partitions by asking the ring itself: one dpid that the
+	// survivor owns (never moves) and one the doomed collector owns
+	// (moves on the leave). The seed varies the search range.
+	ring, err := federation.NewRing([]federation.Member{{Addr: addrA}, {Addr: addrB}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var swStay, swMove uint64
+	for k := uint64(seed*97 + 1); swStay == 0 || swMove == 0; k++ {
+		switch ring.Owner(k) {
+		case addrA:
+			if swStay == 0 {
+				swStay = k
+			}
+		case addrB:
+			if swMove == 0 {
+				swMove = k
+			}
+		}
+	}
+
+	// Inline reference: one engine, both switches, global time order.
+	var events []core.Event
+	for _, sw := range []uint64{swStay, swMove} {
+		for phase := 0; phase < 2; phase++ {
+			events = append(events, leavePhase(sw, phase)...)
+		}
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Time.Before(events[j].Time) })
+	sched := sim.NewScheduler()
+	var want []string
+	mon := core.NewMonitor(sched, core.Config{Provenance: core.ProvLimited, OnViolation: func(v *core.Violation) {
+		want = append(want, v.String())
+	}})
+	if err := mon.AddProperty(prop); err != nil {
+		t.Fatal(err)
+	}
+	trace.Replay(sched, events, mon.HandleEvent)
+	mon.Flush()
+	sched.RunFor(time.Hour)
+	sort.Strings(want)
+	if len(want) != 12 {
+		t.Fatalf("inline reference found %d violations, want 12", len(want))
+	}
+
+	routers := map[uint64]*federation.Router{}
+	for _, sw := range []uint64{swStay, swMove} {
+		r, err := federation.NewRouter(federation.Config{
+			Members:      []federation.Member{{Addr: addrA}, {Addr: addrB}},
+			DPID:         sw,
+			DrainTimeout: 300 * time.Millisecond,
+			Exporter:     exporter.Config{BatchSize: 4, MaxBatchAge: 2 * time.Millisecond},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Start()
+		defer r.Close(time.Second)
+		routers[sw] = r
+	}
+	publish := func(phase int) int {
+		n := 0
+		for _, sw := range []uint64{swStay, swMove} {
+			for _, e := range leavePhase(sw, phase) {
+				routers[sw].Publish(e)
+				n++
+			}
+		}
+		for _, r := range routers {
+			r.Flush()
+		}
+		return n
+	}
+
+	// Phase 0 on the full fleet, then quiesce hard: applied everywhere
+	// AND acked back (empty route queues), so the kill cannot race an
+	// in-flight ack into a double apply.
+	phase0 := publish(0)
+	waitOn("phase 0 applied", func() bool {
+		return cols[0].col.Stats().Events+cols[1].col.Stats().Events == uint64(phase0)
+	})
+	waitOn("phase 0 acked", func() bool {
+		for _, r := range routers {
+			for _, es := range r.RouteStats() {
+				if es.QueueDepth != 0 {
+					return false
+				}
+			}
+		}
+		return true
+	})
+	appliedB := cols[1].col.Stats().Events
+
+	// Kill collector B dead, publish phase 1 while its route cannot ack,
+	// then remove it from the fleet: the handoff must extract the
+	// stranded events and replay them to the survivor.
+	cols[1].col.Close()
+	phase1 := publish(1)
+	fc := &wire.FleetConfig{Epoch: 1, Members: []wire.FleetMember{{Addr: addrA}}}
+	for _, r := range routers {
+		r.ApplyFleetConfig(fc)
+	}
+	for _, r := range routers {
+		r.Flush()
+	}
+	waitOn("phase 1 applied by the survivor", func() bool {
+		return cols[0].col.Stats().Events == uint64(phase0+phase1)-appliedB
+	})
+	for i := range cols {
+		cols[i].sm.Drain()
+	}
+
+	// Replay accounting: exactly the moved partition's stranded phase-1
+	// events, and only on the moved partition's router.
+	moved := uint64(len(leavePhase(swMove, 1)))
+	if got := routers[swMove].Stats().Replayed; got != moved {
+		t.Fatalf("moved partition replayed %d events, want %d", got, moved)
+	}
+	if got := routers[swStay].Stats().Replayed; got != 0 {
+		t.Fatalf("non-moved partition replayed %d events, want 0", got)
+	}
+	for _, sw := range []uint64{swStay, swMove} {
+		if marks := routers[sw].Ledger(); len(marks) != 0 {
+			t.Fatalf("router %d marked loss on a replayed handoff: %+v", sw, marks)
+		}
+	}
+	for i := range cols {
+		if !cols[i].sm.Ledger().Sound() {
+			t.Fatalf("collector %d ledger unsound: %+v", i, cols[i].sm.Ledger().Snapshot())
+		}
+	}
+
+	// Non-moved partition: inline-identical. Moved partition: also
+	// identical here, because the quiescent kill strands events but
+	// never armed engine state.
+	mu.Lock()
+	got := append([]string(nil), union...)
+	mu.Unlock()
+	sort.Strings(got)
+	if len(got) != len(want) {
+		t.Fatalf("fleet union %d violations, inline %d:\nfleet: %v\ninline: %v", len(got), len(want), got, want)
+	}
+	stayTag := fmt.Sprintf("$SW=%d]", swStay)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("verdict %d differs after collector leave\nfleet:  %s\ninline: %s", i, got[i], want[i])
+		}
+		if strings.HasSuffix(want[i], stayTag) && got[i] != want[i] {
+			t.Fatalf("non-moved partition verdict differs: %s", want[i])
+		}
+	}
 }

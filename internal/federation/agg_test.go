@@ -1,0 +1,347 @@
+package federation
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"switchmon/internal/collector"
+	"switchmon/internal/core"
+	"switchmon/internal/dsl"
+	"switchmon/internal/obs"
+	"switchmon/internal/obs/export"
+	"switchmon/internal/property"
+	"switchmon/internal/wire"
+)
+
+const testPropDSL = `
+property "syn-gets-egress" {
+  description "test: an arriving SYN must egress on the same switch"
+
+  on arrival "syn" {
+    match tcp.syn == 1
+    bind $SW = switch.id
+  }
+
+  on egress "out" within 1s {
+    match switch.id == $SW
+  }
+}
+`
+
+// fleetMember is one full collector-side stack as cmd/collector wires
+// it: sharded engine, wire collector, and the admin mux with the fleet
+// member endpoints registered.
+type fleetMember struct {
+	sm    *core.ShardedMonitor
+	col   *collector.Collector
+	admin *httptest.Server
+}
+
+func (m *fleetMember) aggMember() AggMember {
+	return AggMember{Addr: m.col.Addr().String(), Admin: m.admin.URL}
+}
+
+func startFleetMember(t *testing.T) *fleetMember {
+	t.Helper()
+	reg := obs.NewRegistry()
+	sm := core.NewShardedMonitor(2, core.Config{Metrics: reg})
+	t.Cleanup(sm.Close)
+	col, err := collector.New(collector.Config{Addr: "127.0.0.1:0", Metrics: reg}, sm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col.Serve()
+	t.Cleanup(col.Close)
+
+	var propMu sync.Mutex
+	propObjs := map[string]*property.Property{}
+	broadcast := func() {
+		propMu.Lock()
+		u := &wire.PropertySetUpdate{Epoch: sm.Epoch()}
+		ordered := make([]*property.Property, 0, len(propObjs))
+		for _, name := range sm.Properties() {
+			if p := propObjs[name]; p != nil {
+				ordered = append(ordered, p)
+				u.Props = append(u.Props, wire.PropMeta{Name: p.Name, Tenant: p.Tenant})
+			}
+		}
+		u.Source = dsl.FormatAll(ordered)
+		propMu.Unlock()
+		if err := col.BroadcastPropertySet(u); err != nil {
+			t.Errorf("property-set push: %v", err)
+		}
+	}
+	installLocal := func(src, tenant string) error {
+		props, err := dsl.ParseAll(src)
+		if err != nil {
+			return err
+		}
+		if len(props) == 0 {
+			return fmt.Errorf("no properties in body")
+		}
+		for _, p := range props {
+			p.Tenant = tenant
+			if err := sm.AddProperty(p); err != nil {
+				return err
+			}
+			propMu.Lock()
+			propObjs[p.Name] = p
+			propMu.Unlock()
+		}
+		broadcast()
+		return nil
+	}
+	removeLocal := func(name string) error {
+		if err := sm.RemoveProperty(name); err != nil {
+			return err
+		}
+		propMu.Lock()
+		delete(propObjs, name)
+		propMu.Unlock()
+		broadcast()
+		return nil
+	}
+
+	mux := export.NewMux(export.MuxConfig{
+		Registry: reg,
+		Health: func() (bool, any) {
+			marks := sm.Ledger().Snapshot()
+			return len(marks) == 0, marks
+		},
+		State: func() any { return sm.StateReport() },
+		Properties: &export.PropertiesConfig{
+			List: func() any {
+				return struct {
+					Epoch      uint64   `json:"epoch"`
+					Properties []string `json:"properties"`
+				}{sm.Epoch(), sm.Properties()}
+			},
+			Install: installLocal,
+			Remove:  removeLocal,
+		},
+	})
+	RegisterMemberEndpoints(mux, MemberEndpoints{
+		BroadcastFleet: col.BroadcastFleetConfig,
+		InstallLocal:   installLocal,
+		RemoveLocal:    removeLocal,
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return &fleetMember{sm: sm, col: col, admin: srv}
+}
+
+func startAgg(t *testing.T, members ...*fleetMember) (*Aggregator, *httptest.Server) {
+	t.Helper()
+	ms := make([]AggMember, len(members))
+	for i, m := range members {
+		ms[i] = m.aggMember()
+	}
+	a, err := NewAggregator(AggConfig{Members: ms})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(a.Mux())
+	t.Cleanup(srv.Close)
+	return a, srv
+}
+
+func httpDo(t *testing.T, method, url, body string) (int, string) {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(b)
+}
+
+// TestAggregatorLifecyclePropagation is the fleet-wide property
+// lifecycle gate: an install or remove submitted to the aggregation
+// tier must reach every collector AND every exporter, with all members
+// advancing through the same epoch sequence — one fleet-wide lifecycle
+// order — and each epoch applied exactly once at the switch despite
+// arriving on every route.
+func TestAggregatorLifecyclePropagation(t *testing.T) {
+	m1, m2 := startFleetMember(t), startFleetMember(t)
+	_, aggSrv := startAgg(t, m1, m2)
+
+	// A federated switch with a route to each member records every
+	// property-set delivery its (deduplicated) callback sees.
+	var pmu sync.Mutex
+	var gotEpochs []uint64
+	var gotProps [][]wire.PropMeta
+	r := newTestRouter(t, []Member{{Addr: m1.col.Addr().String()}, {Addr: m2.col.Addr().String()}}, func(c *Config) {
+		c.Exporter.OnPropertySet = func(u *wire.PropertySetUpdate) {
+			pmu.Lock()
+			gotEpochs = append(gotEpochs, u.Epoch)
+			gotProps = append(gotProps, append([]wire.PropMeta(nil), u.Props...))
+			pmu.Unlock()
+		}
+	})
+	// Make both engines live first (lifecycle epochs only advance on a
+	// live engine): spread some traffic over both members.
+	for i := 1; i <= 100; i++ {
+		r.Publish(ev(i))
+	}
+	r.Flush()
+	waitFor(t, "both members live", func() bool {
+		return m1.col.Stats().Events > 0 && m2.col.Stats().Events > 0
+	})
+
+	code, body := httpDo(t, http.MethodPost, aggSrv.URL+"/properties", testPropDSL)
+	if code != http.StatusCreated {
+		t.Fatalf("fleet install: %d %s", code, body)
+	}
+	for _, m := range []*fleetMember{m1, m2} {
+		props := m.sm.Properties()
+		if len(props) != 1 || props[0] != "syn-gets-egress" {
+			t.Fatalf("member properties after fleet install: %v", props)
+		}
+		if m.sm.Epoch() != 1 {
+			t.Fatalf("member epoch after install = %d, want 1", m.sm.Epoch())
+		}
+	}
+	// Convergence is visible at the aggregation tier.
+	code, body = httpDo(t, http.MethodGet, aggSrv.URL+"/properties", "")
+	if code != http.StatusOK {
+		t.Fatalf("fleet list: %d %s", code, body)
+	}
+	var list struct {
+		Converged bool `json:"converged"`
+	}
+	if err := json.Unmarshal([]byte(body), &list); err != nil || !list.Converged {
+		t.Fatalf("fleet property list not converged: %s", body)
+	}
+
+	code, body = httpDo(t, http.MethodDelete, aggSrv.URL+"/properties?name=syn-gets-egress", "")
+	if code != http.StatusOK {
+		t.Fatalf("fleet remove: %d %s", code, body)
+	}
+	for _, m := range []*fleetMember{m1, m2} {
+		if got := m.sm.Properties(); len(got) != 0 {
+			t.Fatalf("member properties after fleet remove: %v", got)
+		}
+		if m.sm.Epoch() != 2 {
+			t.Fatalf("member epoch after remove = %d, want 2", m.sm.Epoch())
+		}
+	}
+
+	// The switch saw one delivery per epoch, in fleet order, even though
+	// both members pushed each epoch down both routes.
+	waitFor(t, "switch-side property-set convergence", func() bool {
+		pmu.Lock()
+		defer pmu.Unlock()
+		return len(gotEpochs) >= 2
+	})
+	time.Sleep(50 * time.Millisecond) // any duplicate delivery would land here
+	pmu.Lock()
+	defer pmu.Unlock()
+	if len(gotEpochs) != 2 || gotEpochs[0] != 1 || gotEpochs[1] != 2 {
+		t.Fatalf("switch applied epochs %v, want exactly [1 2]", gotEpochs)
+	}
+	if len(gotProps[0]) != 1 || gotProps[0][0].Name != "syn-gets-egress" || len(gotProps[1]) != 0 {
+		t.Fatalf("switch property sets: %+v", gotProps)
+	}
+}
+
+// TestAggregatorFleetEndpoints covers the merged observability surface:
+// summed switchmon_fleet_* metrics, fleet health, per-member state, and
+// membership changes pushed through the /fleet endpoint all the way to
+// a live router.
+func TestAggregatorFleetEndpoints(t *testing.T) {
+	m1, m2 := startFleetMember(t), startFleetMember(t)
+	addr1, addr2 := m1.col.Addr().String(), m2.col.Addr().String()
+	agg, aggSrv := startAgg(t, m1, m2)
+
+	r := newTestRouter(t, []Member{{Addr: addr1}, {Addr: addr2}}, nil)
+	const n = 100
+	for i := 1; i <= n; i++ {
+		r.Publish(ev(i))
+	}
+	r.Flush()
+	waitFor(t, "fleet ingested the events", func() bool {
+		var total uint64
+		for _, m := range []*fleetMember{m1, m2} {
+			total += m.col.Stats().Events
+		}
+		return total == n
+	})
+
+	code, body := httpDo(t, http.MethodGet, aggSrv.URL+"/healthz", "")
+	if code != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Fatalf("fleet healthz: %d %q", code, body)
+	}
+
+	code, body = httpDo(t, http.MethodGet, aggSrv.URL+"/metrics", "")
+	if code != http.StatusOK {
+		t.Fatalf("fleet metrics: %d", code)
+	}
+	// Both members contribute a dpid="7" series; the fleet view sums
+	// them into one.
+	wantSeries := fmt.Sprintf(`switchmon_fleet_collector_events_total{dpid="7"} %d`, n)
+	if !strings.Contains(body, wantSeries) {
+		t.Fatalf("fleet metrics missing summed series %q in:\n%s", wantSeries, body)
+	}
+	if !strings.Contains(body, "switchmon_fleet_members 2") ||
+		!strings.Contains(body, "switchmon_fleet_members_reachable 2") {
+		t.Fatalf("fleet metrics missing membership gauges:\n%s", body)
+	}
+
+	code, body = httpDo(t, http.MethodGet, aggSrv.URL+"/state", "")
+	if code != http.StatusOK {
+		t.Fatalf("fleet state: %d", code)
+	}
+	var stateDoc struct {
+		Members []memberDoc `json:"members"`
+	}
+	if err := json.Unmarshal([]byte(body), &stateDoc); err != nil || len(stateDoc.Members) != 2 {
+		t.Fatalf("fleet state doc: %v %s", err, body)
+	}
+	for _, d := range stateDoc.Members {
+		if d.Error != "" || len(d.Doc) == 0 {
+			t.Fatalf("fleet state member entry: %+v", d)
+		}
+	}
+
+	// Membership change through the aggregation tier: drop member 2. The
+	// push rides the member collectors' /fleet relays, reaches the
+	// router on its live routes, and re-routes it behind the drain
+	// fence.
+	req, _ := json.Marshal(struct {
+		Members []AggMember `json:"members"`
+	}{[]AggMember{m1.aggMember()}})
+	code, body = httpDo(t, http.MethodPost, aggSrv.URL+"/fleet", string(req))
+	if code != http.StatusOK {
+		t.Fatalf("fleet config post: %d %s", code, body)
+	}
+	waitFor(t, "router applied the pushed membership", func() bool {
+		ms := r.Members()
+		return r.Epoch() == agg.Epoch() && len(ms) == 1 && ms[0].Addr == addr1
+	})
+	for i := n + 1; i <= 2*n; i++ {
+		r.Publish(ev(i))
+	}
+	r.Flush()
+	waitFor(t, "post-change traffic lands on the survivor", func() bool {
+		return m1.col.Stats().Events >= uint64(n) && m1.col.Stats().Events+m2.col.Stats().Events >= 2*n
+	})
+	if got := m2.col.Stats().Events; got > n {
+		t.Fatalf("removed member kept receiving traffic: %d events", got)
+	}
+}

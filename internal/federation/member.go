@@ -1,0 +1,97 @@
+package federation
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"switchmon/internal/wire"
+)
+
+// MemberEndpoints wires a collector's fleet-facing admin surface: the
+// hooks the aggregation tier drives on each member. Local means "apply
+// here, do not forward" — the aggregator already owns the fleet-wide
+// fan-out and ordering, so these handlers must never loop an operation
+// back through it.
+type MemberEndpoints struct {
+	// BroadcastFleet relays a fleet config to this member's connected
+	// exporters (collector.BroadcastFleetConfig).
+	BroadcastFleet func(*wire.FleetConfig) error
+	// InstallLocal installs DSL source on this member only.
+	InstallLocal func(src, tenant string) error
+	// RemoveLocal removes the named property on this member only.
+	RemoveLocal func(name string) error
+}
+
+// RegisterMemberEndpoints adds the fleet-member admin endpoints to a
+// collector's introspection mux:
+//
+//	/fleet             POST a wire.FleetConfig as JSON; the member
+//	                   relays it to every connected fleet-capable
+//	                   exporter
+//	/fleet/properties  POST/DELETE like /properties, but always applied
+//	                   locally — the aggregator's fan-out target
+func RegisterMemberEndpoints(mux *http.ServeMux, m MemberEndpoints) {
+	mux.HandleFunc("/fleet", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		if m.BroadcastFleet == nil {
+			http.Error(w, "fleet relay not supported", http.StatusMethodNotAllowed)
+			return
+		}
+		var fc wire.FleetConfig
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&fc); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if len(fc.Members) == 0 {
+			http.Error(w, "fleet config needs at least one member", http.StatusBadRequest)
+			return
+		}
+		if err := m.BroadcastFleet(&fc); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		fmt.Fprintln(w, "relayed")
+	})
+	mux.HandleFunc("/fleet/properties", func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodPost:
+			if m.InstallLocal == nil {
+				http.Error(w, "install not supported", http.StatusMethodNotAllowed)
+				return
+			}
+			src, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			if err := m.InstallLocal(string(src), r.URL.Query().Get("tenant")); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			w.WriteHeader(http.StatusCreated)
+			fmt.Fprintln(w, "installed")
+		case http.MethodDelete:
+			if m.RemoveLocal == nil {
+				http.Error(w, "remove not supported", http.StatusMethodNotAllowed)
+				return
+			}
+			name := r.URL.Query().Get("name")
+			if name == "" {
+				http.Error(w, "missing ?name=", http.StatusBadRequest)
+				return
+			}
+			if err := m.RemoveLocal(name); err != nil {
+				http.Error(w, err.Error(), http.StatusNotFound)
+				return
+			}
+			fmt.Fprintln(w, "removed")
+		default:
+			http.Error(w, "POST or DELETE", http.StatusMethodNotAllowed)
+		}
+	})
+}

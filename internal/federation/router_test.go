@@ -1,0 +1,413 @@
+package federation
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"switchmon/internal/collector"
+	"switchmon/internal/core"
+	"switchmon/internal/exporter"
+	"switchmon/internal/wire"
+)
+
+// recSink records everything one collector applies.
+type recSink struct {
+	mu     sync.Mutex
+	events []core.Event
+}
+
+func (s *recSink) SubmitBatch(evs []core.Event, release func()) error {
+	s.mu.Lock()
+	s.events = append(s.events, evs...)
+	s.mu.Unlock()
+	if release != nil {
+		release()
+	}
+	return nil
+}
+
+func (s *recSink) Tick(time.Time) {}
+
+func (s *recSink) MarkLoss(core.UnsoundReason, time.Time, uint64, string) {}
+
+func (s *recSink) snapshot() []core.Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]core.Event(nil), s.events...)
+}
+
+type member struct {
+	col  *collector.Collector
+	sink *recSink
+}
+
+func startMember(t *testing.T) *member {
+	t.Helper()
+	sink := &recSink{}
+	c, err := collector.New(collector.Config{Addr: "127.0.0.1:0"}, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Serve()
+	t.Cleanup(c.Close)
+	return &member{col: c, sink: sink}
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func ev(n int) core.Event {
+	return core.Event{Kind: core.KindArrival, Time: time.Unix(1700000000, int64(n)), InPort: uint64(n)}
+}
+
+// byPort is a test partition key that spreads one switch's events over
+// the fleet (the default dpid key pins a whole switch to one route).
+func byPort(e *core.Event) uint64 { return e.InPort }
+
+func newTestRouter(t *testing.T, members []Member, mut func(*Config)) *Router {
+	t.Helper()
+	cfg := Config{
+		Members:      members,
+		DPID:         7,
+		PartitionKey: byPort,
+		DrainTimeout: 3 * time.Second,
+		Exporter:     exporter.Config{BatchSize: 8, MaxBatchAge: 5 * time.Millisecond},
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	r, err := NewRouter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Start()
+	t.Cleanup(func() { r.Close(time.Second) })
+	return r
+}
+
+// portsOf collapses a sink snapshot to the event keys it applied.
+func portsOf(evs []core.Event) []uint64 {
+	out := make([]uint64, len(evs))
+	for i, e := range evs {
+		out[i] = e.InPort
+	}
+	return out
+}
+
+// checkCoverage asserts the members' sinks together applied events
+// 1..n exactly once each, and that each sink's stream is internally
+// ordered per partition key (here: per key, trivially — each key is one
+// event; cross-key order within a route must still be publish order).
+func checkCoverage(t *testing.T, n int, members ...*member) {
+	t.Helper()
+	seen := map[uint64]int{}
+	for _, m := range members {
+		var last uint64
+		var lastOK bool
+		for _, p := range portsOf(m.sink.snapshot()) {
+			seen[p]++
+			// Within one route, publish order is preserved (single
+			// sequence space): keys routed here must arrive ascending.
+			if lastOK && p < last {
+				t.Fatalf("route applied key %d after %d: per-route order broken", p, last)
+			}
+			last, lastOK = p, true
+		}
+	}
+	for i := 1; i <= n; i++ {
+		if seen[uint64(i)] != 1 {
+			t.Fatalf("event %d applied %d times, want exactly once", i, seen[uint64(i)])
+		}
+	}
+	if len(seen) != n {
+		t.Fatalf("applied %d distinct events, want %d", len(seen), n)
+	}
+}
+
+func TestRouterFanOut(t *testing.T) {
+	a, b := startMember(t), startMember(t)
+	r := newTestRouter(t, []Member{{Addr: a.col.Addr().String()}, {Addr: b.col.Addr().String()}}, nil)
+	const n = 200
+	for i := 1; i <= n; i++ {
+		r.Publish(ev(i))
+	}
+	r.Flush()
+	waitFor(t, "all events applied across the fleet", func() bool {
+		return len(a.sink.snapshot())+len(b.sink.snapshot()) == n
+	})
+	checkCoverage(t, n, a, b)
+	if got := len(a.sink.snapshot()); got == 0 || got == n {
+		t.Fatalf("no fan-out: collector A applied %d of %d", got, n)
+	}
+	if marks := r.Ledger(); len(marks) != 0 {
+		t.Fatalf("lossless run marked unsound: %+v", marks)
+	}
+	st := r.Stats()
+	if st.Published != n || st.RoutePublished != n || st.HeldShed != 0 {
+		t.Fatalf("stats off: %+v", st)
+	}
+	// Events carry the router's DPID when published without one.
+	if evs := a.sink.snapshot(); len(evs) > 0 && evs[0].SwitchID != 7 {
+		t.Fatalf("dpid not stamped: %+v", evs[0])
+	}
+}
+
+func TestRouterJoinHandoff(t *testing.T) {
+	a, b := startMember(t), startMember(t)
+	r := newTestRouter(t, []Member{{Addr: a.col.Addr().String()}}, nil)
+	const pre, post = 100, 100
+	for i := 1; i <= pre; i++ {
+		r.Publish(ev(i))
+	}
+	r.ApplyFleetConfig(&wire.FleetConfig{Epoch: 1, Members: []wire.FleetMember{
+		{Addr: a.col.Addr().String()}, {Addr: b.col.Addr().String()},
+	}})
+	if r.Epoch() != 1 || len(r.Members()) != 2 {
+		t.Fatalf("join not applied: epoch %d members %v", r.Epoch(), r.Members())
+	}
+	for i := pre + 1; i <= pre+post; i++ {
+		r.Publish(ev(i))
+	}
+	r.Flush()
+	waitFor(t, "all events applied across the fleet", func() bool {
+		return len(a.sink.snapshot())+len(b.sink.snapshot()) == pre+post
+	})
+	checkCoverage(t, pre+post, a, b)
+	// The drain fence ran before the swap: everything published before
+	// the join was acknowledged by A, so nothing moved mid-flight and B
+	// applied only post-join keys it now owns.
+	for _, p := range portsOf(b.sink.snapshot()) {
+		if p <= pre {
+			t.Fatalf("collector B applied pre-join event %d: fence leaked", p)
+		}
+	}
+	if marks := r.Ledger(); len(marks) != 0 {
+		t.Fatalf("handoff marked unsound: %+v", marks)
+	}
+}
+
+func TestRouterGracefulLeave(t *testing.T) {
+	a, b := startMember(t), startMember(t)
+	addrA, addrB := a.col.Addr().String(), b.col.Addr().String()
+	r := newTestRouter(t, []Member{{Addr: addrA}, {Addr: addrB}}, nil)
+	const pre, post = 100, 100
+	for i := 1; i <= pre; i++ {
+		r.Publish(ev(i))
+	}
+	r.ApplyFleetConfig(&wire.FleetConfig{Epoch: 1, Members: []wire.FleetMember{{Addr: addrA}}})
+	if len(r.Members()) != 1 || r.Members()[0].Addr != addrA {
+		t.Fatalf("leave not applied: %v", r.Members())
+	}
+	preB := len(b.sink.snapshot())
+	for i := pre + 1; i <= pre+post; i++ {
+		r.Publish(ev(i))
+	}
+	r.Flush()
+	waitFor(t, "all events applied across the fleet", func() bool {
+		return len(a.sink.snapshot())+len(b.sink.snapshot()) == pre+post
+	})
+	checkCoverage(t, pre+post, a, b)
+	// Graceful leave: B was drained before close, so its unacked tail
+	// was empty, nothing replayed, and it saw no post-leave traffic.
+	if got := len(b.sink.snapshot()); got != preB {
+		t.Fatalf("departed collector applied %d new events after leave", got-preB)
+	}
+	if st := r.Stats(); st.Replayed != 0 {
+		t.Fatalf("graceful leave replayed %d events, want 0", st.Replayed)
+	}
+	if marks := r.Ledger(); len(marks) != 0 {
+		t.Fatalf("graceful leave marked unsound: %+v", marks)
+	}
+}
+
+func TestRouterDeadLeaveReplaysUnacked(t *testing.T) {
+	a, b := startMember(t), startMember(t)
+	addrA, addrB := a.col.Addr().String(), b.col.Addr().String()
+	r := newTestRouter(t, []Member{{Addr: addrA}, {Addr: addrB}}, func(c *Config) {
+		c.DrainTimeout = 200 * time.Millisecond
+		c.Exporter.BackoffMin = 10 * time.Millisecond
+		c.Exporter.BackoffMax = 20 * time.Millisecond
+	})
+	const n = 200
+	for i := 1; i <= n; i++ {
+		r.Publish(ev(i))
+	}
+	r.Flush()
+	waitFor(t, "both routes acked", func() bool {
+		return len(a.sink.snapshot())+len(b.sink.snapshot()) == n
+	})
+	// Kill B, keep publishing: its route queues unacked batches.
+	b.col.Close()
+	for i := n + 1; i <= 2*n; i++ {
+		r.Publish(ev(i))
+	}
+	r.Flush()
+	// Remove the dead member: the drain fence times out on B, its
+	// unacked tail is extracted and replayed to A.
+	r.ApplyFleetConfig(&wire.FleetConfig{Epoch: 1, Members: []wire.FleetMember{{Addr: addrA}}})
+	waitFor(t, "survivor applied the replayed tail", func() bool {
+		seen := map[uint64]bool{}
+		for _, p := range portsOf(a.sink.snapshot()) {
+			seen[p] = true
+		}
+		for _, p := range portsOf(b.sink.snapshot()) {
+			seen[p] = true
+		}
+		return len(seen) == 2*n
+	})
+	if st := r.Stats(); st.Replayed == 0 {
+		t.Fatal("dead leave extracted nothing for replay")
+	}
+}
+
+// TestRouterFleetConfigPush exercises the full wire path: a collector
+// broadcasts a FleetConfig frame, each route's exporter hands it to the
+// router off the reader goroutine, the router re-routes behind the
+// drain fence and the exporter acks only after the re-route applied.
+func TestRouterFleetConfigPush(t *testing.T) {
+	a, b := startMember(t), startMember(t)
+	addrA, addrB := a.col.Addr().String(), b.col.Addr().String()
+	r := newTestRouter(t, []Member{{Addr: addrA}}, nil)
+	const pre = 50
+	for i := 1; i <= pre; i++ {
+		r.Publish(ev(i))
+	}
+	r.Flush()
+	waitFor(t, "pre-push traffic acked", func() bool { return len(a.sink.snapshot()) == pre })
+	if err := a.col.BroadcastFleetConfig(&wire.FleetConfig{Epoch: 1, Members: []wire.FleetMember{
+		{Addr: addrA}, {Addr: addrB},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "pushed config applied", func() bool { return r.Epoch() == 1 })
+	waitFor(t, "collector saw the ack", func() bool { return a.col.Stats().FleetConfigAcks >= 1 })
+	const post = 100
+	for i := pre + 1; i <= pre+post; i++ {
+		r.Publish(ev(i))
+	}
+	r.Flush()
+	waitFor(t, "post-push traffic applied", func() bool {
+		return len(a.sink.snapshot())+len(b.sink.snapshot()) == pre+post
+	})
+	checkCoverage(t, pre+post, a, b)
+	if got := len(b.sink.snapshot()); got == 0 {
+		t.Fatal("joiner got no traffic after pushed re-route")
+	}
+	// A re-broadcast of the same epoch (every member pushes the
+	// converged config) must be a no-op, not a second re-route.
+	if err := a.col.BroadcastFleetConfig(&wire.FleetConfig{Epoch: 1, Members: []wire.FleetMember{{Addr: addrA}}}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if len(r.Members()) != 2 {
+		t.Fatal("stale fleet epoch re-applied")
+	}
+}
+
+// refusingAddr returns an address that actively refuses connections.
+func refusingAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// TestRouterAllEndpointsDownOneMarkPerRoute is the regression test for
+// the fleet-wide shed-accounting contract: with every endpoint down and
+// a drop policy, repeated shed runs on a route accumulate onto exactly
+// ONE ledger mark for that route — one mark per route, not one per
+// retry cycle, and not one per endpoint times retry cycles.
+func TestRouterAllEndpointsDownOneMarkPerRoute(t *testing.T) {
+	addrs := []string{refusingAddr(t), refusingAddr(t)}
+	r := newTestRouter(t, []Member{{Addr: addrs[0]}, {Addr: addrs[1]}}, func(c *Config) {
+		c.Exporter.BatchSize = 4
+		c.Exporter.QueueBatches = 1
+		c.Exporter.Shed = core.ShedDropNewest
+		c.Exporter.BackoffMin = 5 * time.Millisecond
+		c.Exporter.BackoffMax = 10 * time.Millisecond
+	})
+	// Several publish+flush waves so each route sheds repeatedly across
+	// multiple reconnect/backoff cycles.
+	const waves, perWave = 8, 40
+	for w := 0; w < waves; w++ {
+		for i := 1; i <= perWave; i++ {
+			r.Publish(ev(w*perWave + i))
+		}
+		r.Flush()
+		time.Sleep(15 * time.Millisecond)
+	}
+	waitFor(t, "both routes shed", func() bool {
+		shed := 0
+		for _, es := range r.RouteStats() {
+			if es.ShedEvents > 0 {
+				shed++
+			}
+		}
+		return shed == 2
+	})
+	marks := r.Ledger()
+	if len(marks) != 2 {
+		t.Fatalf("want exactly one mark per route (2 total), got %d: %+v", len(marks), marks)
+	}
+	var total uint64
+	for _, m := range marks {
+		if m.Reason != core.UnsoundWireLoss {
+			t.Fatalf("wrong reason: %+v", m)
+		}
+		if m.Events == 0 {
+			t.Fatalf("mark carries no loss count: %+v", m)
+		}
+		total += m.Events
+	}
+	if st := r.Stats(); total != st.ShedEvents {
+		t.Fatalf("marks account %d events, routes shed %d", total, st.ShedEvents)
+	}
+}
+
+// TestRouterPropertySetDedup: the same converged property set pushed by
+// every member must invoke the wrapped OnPropertySet once per epoch.
+func TestRouterPropertySetDedup(t *testing.T) {
+	a, b := startMember(t), startMember(t)
+	var mu sync.Mutex
+	var got []uint64
+	r := newTestRouter(t, []Member{{Addr: a.col.Addr().String()}, {Addr: b.col.Addr().String()}}, func(c *Config) {
+		c.Exporter.OnPropertySet = func(u *wire.PropertySetUpdate) {
+			mu.Lock()
+			got = append(got, u.Epoch)
+			mu.Unlock()
+		}
+	})
+	_ = r
+	upd := &wire.PropertySetUpdate{Epoch: 5}
+	if err := a.col.BroadcastPropertySet(upd); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.col.BroadcastPropertySet(upd); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "property set delivered", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) >= 1
+	})
+	time.Sleep(50 * time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 || got[0] != 5 {
+		t.Fatalf("want one epoch-5 delivery, got %v", got)
+	}
+}

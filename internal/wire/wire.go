@@ -84,6 +84,12 @@ const (
 	// epoch it has applied — how the fabric converges on one property
 	// set under hot install/remove.
 	FeatureLifecycle uint64 = 1 << 1
+	// FeatureFleet enables FleetConfig/FleetConfigAck frames: the
+	// collector pushes the fleet membership (epoch-stamped collector
+	// endpoints with routing weights) at handshake and on every change,
+	// and a federated exporter acknowledges each epoch after it has
+	// re-routed — how collector join/leave reaches every switch.
+	FeatureFleet uint64 = 1 << 2
 )
 
 // helloMagic guards against pointing an exporter at a non-collector
@@ -122,6 +128,12 @@ const (
 	// FramePropertySetAck acknowledges an applied property-set epoch
 	// (exporter → collector; FeatureLifecycle connections only).
 	FramePropertySetAck
+	// FrameFleetConfig carries the fleet membership (collector →
+	// exporter; FeatureFleet connections only).
+	FrameFleetConfig
+	// FrameFleetConfigAck acknowledges an applied fleet-config epoch
+	// (exporter → collector; FeatureFleet connections only).
+	FrameFleetConfigAck
 )
 
 // String names the frame type.
@@ -141,6 +153,10 @@ func (t FrameType) String() string {
 		return "property-set-update"
 	case FramePropertySetAck:
 		return "property-set-ack"
+	case FrameFleetConfig:
+		return "fleet-config"
+	case FrameFleetConfigAck:
+		return "fleet-config-ack"
 	default:
 		return fmt.Sprintf("FrameType(%d)", uint8(t))
 	}
@@ -223,6 +239,35 @@ type PropertySetUpdate struct {
 // PropertySetAck acknowledges that the exporter has applied the
 // property set of the given epoch.
 type PropertySetAck struct {
+	Epoch uint64
+}
+
+// FleetMember is one collector endpoint inside a FleetConfig. Weight
+// is a relative routing capacity in arbitrary integer units; the wire
+// layer passes it through verbatim (the federation layer treats 0 as
+// the default weight 1).
+type FleetMember struct {
+	Addr   string
+	Weight uint64
+}
+
+// FleetConfig is the fleet membership: pushed by a collector on
+// FeatureFleet connections at handshake and whenever the fleet
+// changes, so every federated exporter re-derives the same consistent-
+// hash ring. FeatureFleet connections only.
+type FleetConfig struct {
+	// Epoch is the fleet configuration generation; acknowledgments echo
+	// it, and a stale config (epoch at or below one already applied) is
+	// ignored by receivers.
+	Epoch uint64
+	// Members lists the collector endpoints in the fleet.
+	Members []FleetMember
+}
+
+// FleetConfigAck acknowledges that the exporter has finished re-
+// routing onto the fleet config of the given epoch (drain fence
+// complete — in-flight batches for moved partitions settled).
+type FleetConfigAck struct {
 	Epoch uint64
 }
 
@@ -434,6 +479,27 @@ func AppendPropertySetAck(buf []byte, a PropertySetAck) []byte {
 	return buf
 }
 
+// AppendFleetConfig appends an encoded FleetConfig frame. The only
+// error source is a frame overflowing MaxFrameLen.
+func AppendFleetConfig(buf []byte, fc *FleetConfig) ([]byte, error) {
+	buf, lenAt := beginFrame(buf, FrameFleetConfig)
+	buf = binary.AppendUvarint(buf, fc.Epoch)
+	buf = binary.AppendUvarint(buf, uint64(len(fc.Members)))
+	for i := range fc.Members {
+		buf = appendString(buf, fc.Members[i].Addr)
+		buf = binary.AppendUvarint(buf, fc.Members[i].Weight)
+	}
+	return endFrame(buf, lenAt)
+}
+
+// AppendFleetConfigAck appends an encoded FleetConfigAck frame.
+func AppendFleetConfigAck(buf []byte, a FleetConfigAck) []byte {
+	buf, lenAt := beginFrame(buf, FrameFleetConfigAck)
+	buf = binary.AppendUvarint(buf, a.Epoch)
+	buf, _ = endFrame(buf, lenAt)
+	return buf
+}
+
 // AppendBatch appends an encoded Batch frame to buf. Events serialize
 // in order; the only error source is a packet that cannot encode (or a
 // frame overflowing MaxFrameLen), in which case buf's original content
@@ -565,6 +631,14 @@ func EncodeFrame(frame any) ([]byte, error) {
 		return AppendPropertySetAck(nil, f), nil
 	case *PropertySetAck:
 		return AppendPropertySetAck(nil, *f), nil
+	case FleetConfig:
+		return AppendFleetConfig(nil, &f)
+	case *FleetConfig:
+		return AppendFleetConfig(nil, f)
+	case FleetConfigAck:
+		return AppendFleetConfigAck(nil, f), nil
+	case *FleetConfigAck:
+		return AppendFleetConfigAck(nil, *f), nil
 	default:
 		return nil, fmt.Errorf("wire: cannot encode %T", frame)
 	}
@@ -679,6 +753,10 @@ func decodePayload(payload []byte, pooled bool) (any, error) {
 		frame, err = decodePropertySetUpdate(c)
 	case FramePropertySetAck:
 		frame, err = decodePropertySetAck(c)
+	case FrameFleetConfig:
+		frame, err = decodeFleetConfig(c)
+	case FrameFleetConfigAck:
+		frame, err = decodeFleetConfigAck(c)
 	default:
 		return nil, fmt.Errorf("wire: unknown frame type %d", tb)
 	}
@@ -829,6 +907,49 @@ func decodePropertySetAck(c *cursor) (PropertySetAck, error) {
 	var err error
 	if a.Epoch, err = c.uvarint(); err != nil {
 		return PropertySetAck{}, err
+	}
+	return a, nil
+}
+
+// maxFleetMembers bounds the member count a FleetConfig header may
+// declare, capping what a corrupt count can allocate.
+const maxFleetMembers = 1 << 10
+
+func decodeFleetConfig(c *cursor) (*FleetConfig, error) {
+	fc := &FleetConfig{}
+	var err error
+	if fc.Epoch, err = c.uvarint(); err != nil {
+		return nil, err
+	}
+	count, err := c.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if count > maxFleetMembers {
+		return nil, fmt.Errorf("wire: fleet config declares %d members, max %d", count, maxFleetMembers)
+	}
+	if count > 0 {
+		if int(count) > c.remaining() {
+			return nil, fmt.Errorf("wire: fleet config declares %d members in %d bytes", count, c.remaining())
+		}
+		fc.Members = make([]FleetMember, count)
+		for i := range fc.Members {
+			if fc.Members[i].Addr, err = c.str(); err != nil {
+				return nil, err
+			}
+			if fc.Members[i].Weight, err = c.uvarint(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return fc, nil
+}
+
+func decodeFleetConfigAck(c *cursor) (FleetConfigAck, error) {
+	var a FleetConfigAck
+	var err error
+	if a.Epoch, err = c.uvarint(); err != nil {
+		return FleetConfigAck{}, err
 	}
 	return a, nil
 }

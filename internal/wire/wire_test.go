@@ -39,6 +39,9 @@ func TestFrameRoundTrips(t *testing.T) {
 		Ack{AckSeq: 9000},
 		Ack{AckSeq: 9001, SentNs: 77777},
 		&Batch{FirstSeq: 11, Events: testEvents(t)},
+		&FleetConfig{Epoch: 3},
+		&FleetConfig{Epoch: 4, Members: []FleetMember{{Addr: "10.0.0.1:9190", Weight: 1}, {Addr: "10.0.0.2:9190", Weight: 2}}},
+		FleetConfigAck{Epoch: 4},
 	}
 	for _, f := range frames {
 		enc, err := EncodeFrame(f)
@@ -71,6 +74,20 @@ func TestFrameRoundTrips(t *testing.T) {
 		case Ack:
 			if got := dec.(Ack); got != want {
 				t.Fatalf("ack round-trip: got %+v want %+v", got, want)
+			}
+		case *FleetConfig:
+			got := dec.(*FleetConfig)
+			if got.Epoch != want.Epoch || len(got.Members) != len(want.Members) {
+				t.Fatalf("fleet-config round-trip: got %+v want %+v", got, want)
+			}
+			for i := range got.Members {
+				if got.Members[i] != want.Members[i] {
+					t.Fatalf("fleet member %d round-trip: got %+v want %+v", i, got.Members[i], want.Members[i])
+				}
+			}
+		case FleetConfigAck:
+			if got := dec.(FleetConfigAck); got != want {
+				t.Fatalf("fleet-config-ack round-trip: got %+v want %+v", got, want)
 			}
 		case *Batch:
 			got := dec.(*Batch)

@@ -26,8 +26,8 @@ go build ./...
 echo "==> go test ./..."
 go test ./...
 
-echo "==> go test -race ./internal/core/... ./internal/backend/... ./internal/integration/..."
-go test -race ./internal/core/... ./internal/backend/... ./internal/integration/...
+echo "==> go test -race ./internal/core/... ./internal/backend/... ./internal/integration/... ./internal/federation/..."
+go test -race ./internal/core/... ./internal/backend/... ./internal/integration/... ./internal/federation/...
 
 # Telemetry overhead gate: recording on the hot path must stay
 # allocation-free, with and without a registry attached. These run
