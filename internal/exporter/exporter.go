@@ -868,8 +868,12 @@ func (x *Exporter) runConn(conn net.Conn, encBuf *[]byte) bool {
 					if cb := x.cfg.OnFleetConfig; cb != nil {
 						cb(fc)
 					}
+					// fleetAckEpoch is the high-water acked epoch: a
+					// slower apply goroutine for an older config must not
+					// regress it, or the collector would see an ack
+					// sequence that un-acks a newer re-route.
 					x.mu.Lock()
-					if fc.Epoch > x.fleetAckEpoch || !x.fleetAckPending {
+					if fc.Epoch > x.fleetAckEpoch {
 						x.fleetAckEpoch = fc.Epoch
 						x.fleetAckPending = true
 					}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/url"
 	"sort"
@@ -342,13 +343,19 @@ func (a *Aggregator) ApplyMembership(members []AggMember) (*wire.FleetConfig, er
 		if m.Addr == "" || m.Admin == "" {
 			return nil, fmt.Errorf("member needs both addr and admin URL: %+v", m)
 		}
+		if m.Weight < 0 || math.IsNaN(m.Weight) || math.IsInf(m.Weight, 0) {
+			return nil, fmt.Errorf("member %s: invalid weight %v", m.Addr, m.Weight)
+		}
 	}
 	a.mu.Lock()
 	old := a.members
 	a.epoch++
 	fc := &wire.FleetConfig{Epoch: a.epoch}
 	for _, m := range members {
-		w := uint64(m.Weight)
+		// The wire carries weight as fixed-point millis so fractional
+		// capacities survive the trip (0 means the default weight 1.0);
+		// any positive weight rounds to at least one milli-unit.
+		w := uint64(math.Round(m.Weight * 1000))
 		if m.Weight > 0 && w == 0 {
 			w = 1
 		}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -343,5 +344,40 @@ func TestAggregatorFleetEndpoints(t *testing.T) {
 	})
 	if got := m2.col.Stats().Events; got > n {
 		t.Fatalf("removed member kept receiving traffic: %d events", got)
+	}
+}
+
+// TestApplyMembershipWeightMillis: fractional member weights must reach
+// the wire as fixed-point millis (not truncated integers), and invalid
+// weights are rejected up front instead of silently distorted.
+func TestApplyMembershipWeightMillis(t *testing.T) {
+	dead := "http://127.0.0.1:1"
+	a, err := NewAggregator(AggConfig{Members: []AggMember{{Addr: "a", Admin: dead}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The push to the dead admin URL fails; the config itself is still
+	// built and returned, which is all this test needs.
+	fc, _ := a.ApplyMembership([]AggMember{
+		{Addr: "a", Admin: dead, Weight: 2.7},
+		{Addr: "b", Admin: dead, Weight: 0.25},
+		{Addr: "c", Admin: dead},
+	})
+	if fc == nil {
+		t.Fatal("no fleet config returned")
+	}
+	want := map[string]uint64{"a": 2700, "b": 250, "c": 0}
+	if len(fc.Members) != len(want) {
+		t.Fatalf("want %d members, got %+v", len(want), fc.Members)
+	}
+	for _, m := range fc.Members {
+		if m.Weight != want[m.Addr] {
+			t.Fatalf("member %s: wire weight %d, want %d", m.Addr, m.Weight, want[m.Addr])
+		}
+	}
+	for _, bad := range []float64{-1, math.NaN(), math.Inf(1)} {
+		if _, err := a.ApplyMembership([]AggMember{{Addr: "a", Admin: dead, Weight: bad}}); err == nil {
+			t.Fatalf("weight %v accepted, want rejection", bad)
+		}
 	}
 }

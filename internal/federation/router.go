@@ -229,10 +229,23 @@ func (r *Router) Publish(e core.Event) {
 		return
 	}
 	rt := r.routes[r.ring.Owner(key)]
-	r.mu.Unlock()
-	if rt != nil {
-		rt.exp.Publish(e)
+	if rt == nil {
+		// Every ring member has a route by construction (members whose
+		// route cannot be built are excluded from the ring), so this is
+		// defense in depth: loss with a mark, never silent.
+		r.noteNoRouteLocked(1)
+		r.mu.Unlock()
+		return
 	}
+	r.mu.Unlock()
+	rt.exp.Publish(e)
+}
+
+// noteNoRouteLocked marks the router ledger for events dropped because
+// the ring owner has no route. Caller holds mu.
+func (r *Router) noteNoRouteLocked(n uint64) {
+	r.ledger.Mark("*", core.UnsoundWireLoss, r.stats.Published, time.Now(), n, "no route for partition owner")
+	r.ledger.RecordLost(core.UnsoundWireLoss, n)
 }
 
 // NoteLoss records events lost upstream of the router. The router
@@ -342,19 +355,23 @@ func (r *Router) Ledger() []core.UnsoundMark {
 }
 
 // ApplyFleetConfig applies a fleet membership change: new routes are
-// dialed, every surviving route is drained (flush + wait for its
-// cumulative acks — the fence that guarantees a moved partition's
-// in-flight events are applied by the old owner before the new owner
-// sees anything newer), removed routes are closed with their unacked
-// tails extracted and replayed through the new ring, and events
-// published during the fence are replayed after it in publish order.
-// Stale epochs (at or below the applied one) are no-ops, so the same
-// config pushed by every collector in the fleet applies once. Also the
-// exporter.Config.OnFleetConfig handler for every route.
+// built and dialed (a member whose route cannot be built is excluded
+// from the new ring rather than installed route-less), every surviving
+// route is drained (flush + wait for its cumulative acks — the fence
+// that guarantees a moved partition's in-flight events are applied by
+// the old owner before the new owner sees anything newer), removed
+// routes are closed with their unacked tails extracted and replayed
+// through the new ring, and events published during the fence are
+// replayed in publish order. The fence stays up until every replayed
+// event has been handed to its new route, so a concurrent Publish can
+// never deliver a newer event ahead of an older held one on the same
+// partition. Stale epochs (at or below the applied one) are no-ops, so
+// the same config pushed by every collector in the fleet applies once.
+// Also the exporter.Config.OnFleetConfig handler for every route.
 func (r *Router) ApplyFleetConfig(fc *wire.FleetConfig) {
 	members := make([]Member, 0, len(fc.Members))
 	for _, m := range fc.Members {
-		w := float64(m.Weight)
+		w := float64(m.Weight) / 1000
 		if m.Weight == 0 {
 			w = 1
 		}
@@ -373,23 +390,52 @@ func (r *Router) ApplyFleetConfig(fc *wire.FleetConfig) {
 		r.mu.Unlock()
 		return
 	}
+	have := make(map[string]bool, len(r.routes))
+	for addr := range r.routes {
+		have[addr] = true
+	}
+	r.mu.Unlock()
+
+	// Build joiner routes before fencing anything. A member whose route
+	// cannot be built must not enter the ring: Publish would resolve it
+	// to a nil route and silently drop everything it owns. Exclude it
+	// and re-derive the ring; if no usable member remains, keep the
+	// working fleet.
+	added := make(map[string]*route)
+	usable := members[:0]
+	for _, m := range members {
+		if have[m.Addr] {
+			usable = append(usable, m)
+			continue
+		}
+		rt, rerr := r.newRoute(m.Addr)
+		if rerr != nil {
+			continue
+		}
+		added[m.Addr] = rt
+		usable = append(usable, m)
+	}
+	if len(usable) < len(members) {
+		nr, nerr := NewRing(usable)
+		if nerr != nil || nr.Size() == 0 {
+			for _, rt := range added {
+				rt.exp.Close(0)
+			}
+			return // no usable member: keep the working fleet
+		}
+		newRing = nr
+		members = usable
+	}
+	// Start joiners now so they connect while the drain runs.
+	for _, rt := range added {
+		rt.exp.Start()
+	}
+
+	r.mu.Lock()
 	r.fence = true
 	oldRoutes := r.routeList()
 	r.mu.Unlock()
 
-	// Dial joiners first so they connect while the drain runs.
-	added := make(map[string]*route)
-	for _, m := range members {
-		r.mu.Lock()
-		_, have := r.routes[m.Addr]
-		r.mu.Unlock()
-		if !have {
-			if rt, rerr := r.newRoute(m.Addr); rerr == nil {
-				rt.exp.Start()
-				added[m.Addr] = rt
-			}
-		}
-	}
 	keep := make(map[string]bool, len(members))
 	for _, m := range members {
 		keep[m.Addr] = true
@@ -425,6 +471,9 @@ func (r *Router) ApplyFleetConfig(fc *wire.FleetConfig) {
 		extracted = append(extracted, rt.exp.CloseExtract(r.cfg.DrainTimeout)...)
 	}
 
+	// Swap the routing state but keep the fence up: a Publish racing
+	// this re-route keeps buffering into held until the replay below
+	// has delivered every older event, preserving per-partition order.
 	r.mu.Lock()
 	for _, rt := range oldRoutes {
 		if !keep[rt.addr] {
@@ -440,7 +489,6 @@ func (r *Router) ApplyFleetConfig(fc *wire.FleetConfig) {
 	r.stats.Reroutes++
 	held := r.held
 	r.held = nil
-	r.fence = false
 	routes := r.routes
 	ring := r.ring
 	r.stats.Replayed += uint64(len(extracted) + len(held))
@@ -448,17 +496,42 @@ func (r *Router) ApplyFleetConfig(fc *wire.FleetConfig) {
 
 	// Replay in causal order: a removed route's extracted tail predates
 	// everything buffered behind the fence.
-	for i := range extracted {
-		e := &extracted[i]
-		if rt := routes[ring.Owner(r.key(e))]; rt != nil {
-			rt.exp.Publish(*e)
+	r.replay(routes, ring, extracted)
+	r.replay(routes, ring, held)
+
+	// Anything published while the replay ran was fenced into held;
+	// drain it in publish order before dropping the fence. Each pass
+	// replays a strictly newer suffix, so the loop terminates once the
+	// producer pauses or the batch drains faster than it refills.
+	for {
+		r.mu.Lock()
+		if len(r.held) == 0 {
+			r.fence = false
+			r.mu.Unlock()
+			return
 		}
+		more := r.held
+		r.held = nil
+		r.stats.Replayed += uint64(len(more))
+		r.mu.Unlock()
+		r.replay(routes, ring, more)
 	}
-	for i := range held {
-		e := &held[i]
-		if rt := routes[ring.Owner(r.key(e))]; rt != nil {
-			rt.exp.Publish(*e)
+}
+
+// replay re-publishes events through the given routing state, marking
+// the router ledger for any event whose ring owner has no route — loss
+// with a mark, never silent.
+func (r *Router) replay(routes map[string]*route, ring *Ring, events []core.Event) {
+	for i := range events {
+		e := &events[i]
+		rt := routes[ring.Owner(r.key(e))]
+		if rt == nil {
+			r.mu.Lock()
+			r.noteNoRouteLocked(1)
+			r.mu.Unlock()
+			continue
 		}
+		rt.exp.Publish(*e)
 	}
 }
 

@@ -378,6 +378,182 @@ func TestRouterAllEndpointsDownOneMarkPerRoute(t *testing.T) {
 	}
 }
 
+// byPortMod64 partitions events into 64 keys, so one partition carries
+// a long ordered stream (InPort doubles as the per-stream position).
+func byPortMod64(e *core.Event) uint64 { return e.InPort % 64 }
+
+// TestRouterReRouteKeepsPartitionOrder is the regression test for the
+// fence/replay race: the fence must stay up until every held event has
+// been replayed, or a Publish racing the re-route hands a newer event
+// to the new owner with a lower sequence than an older held event and
+// the collector applies the partition out of order.
+//
+// The schedule is made deterministic (no timing races — this must work
+// on one CPU) by gating the joiner's dial: the joiner's queue is tiny
+// and ShedBlock, so the re-route goroutine provably blocks mid-replay
+// with held events still un-replayed. The producer then publishes a
+// newer event on the same partition; with the fix it is fenced and
+// replayed last, without it it is enqueued to the joiner ahead of the
+// older held events and the sink sees the partition out of order.
+func TestRouterReRouteKeepsPartitionOrder(t *testing.T) {
+	a, b := startMember(t), startMember(t)
+	addrA, addrB := a.col.Addr().String(), b.col.Addr().String()
+	addrD := refusingAddr(t) // dead member: keeps the drain window open
+
+	gate := make(chan struct{})
+	var gateOnce sync.Once
+	openGate := func() { gateOnce.Do(func() { close(gate) }) }
+	defer openGate()
+	safety := time.AfterFunc(3*time.Second, openGate)
+	defer safety.Stop()
+
+	r := newTestRouter(t, []Member{{Addr: addrA}, {Addr: addrD}}, func(c *Config) {
+		c.PartitionKey = byPortMod64
+		c.DrainTimeout = 500 * time.Millisecond
+		c.Exporter.BatchSize = 4
+		c.Exporter.QueueBatches = 1
+		c.Exporter.Shed = core.ShedBlock
+		c.Exporter.BackoffMin = time.Millisecond
+		c.Exporter.BackoffMax = 5 * time.Millisecond
+		c.Dial = func(addr string) (net.Conn, error) {
+			if addr == addrB {
+				<-gate // joiner cannot connect until released
+			}
+			return net.Dial("tcp", addr)
+		}
+	})
+
+	// Pick the partitions this schedule needs from the two rings: the
+	// stream partition moves A→B on the re-route, and the dead member
+	// owns one other partition so its unacked tail forces CloseExtract
+	// to sit out the full drain timeout.
+	oldRing := mustRingOf(t, addrA, addrD)
+	newRing := mustRingOf(t, addrA, addrB)
+	pStream, pDead := -1, -1
+	for p := 0; p < 64; p++ {
+		if pStream < 0 && oldRing.Owner(uint64(p)) == addrA && newRing.Owner(uint64(p)) == addrB {
+			pStream = p
+		} else if pDead < 0 && oldRing.Owner(uint64(p)) == addrD {
+			pDead = p
+		}
+	}
+	if pStream < 0 || pDead < 0 {
+		t.Fatalf("no usable partitions: stream %d dead %d", pStream, pDead)
+	}
+	at := func(i int) core.Event { return ev(pStream + 64*i) }
+
+	// One event on the dead member, sealed: its unacked batch keeps the
+	// re-route in the drain phase for the full DrainTimeout.
+	r.Publish(ev(pDead))
+	r.Flush()
+
+	applied := make(chan struct{})
+	go func() {
+		defer close(applied)
+		r.ApplyFleetConfig(&wire.FleetConfig{Epoch: 1, Members: []wire.FleetMember{
+			{Addr: addrA}, {Addr: addrB},
+		}})
+	}()
+
+	// Stream into the drain window: everything published behind the
+	// fence is held for replay onto the joiner. Stop as soon as the swap
+	// lands (and never publish after it — the re-route goroutine owns
+	// the joiner until the gate opens).
+	streamN := 0
+	for r.Epoch() != 1 || streamN < 150 {
+		streamN++
+		r.Publish(at(streamN))
+		time.Sleep(time.Millisecond)
+	}
+
+	// The replay is now provably wedged: the joiner's gated dial never
+	// acks, so after QueueBatches+1 sealed batches the re-route
+	// goroutine blocks inside Publish with held events still pending.
+	waitFor(t, "replay reached the joiner", func() bool {
+		return r.RouteStats()[addrB].Published > 0
+	})
+	time.Sleep(50 * time.Millisecond)
+	select {
+	case <-applied:
+		t.Fatal("re-route finished with the joiner gated: replay never blocked")
+	default:
+	}
+
+	// The probe: a newer event on the moved partition, published while
+	// older held events are still un-replayed.
+	probe := at(streamN + 1)
+	r.Publish(probe)
+	openGate()
+	<-applied
+
+	total := streamN + 2 // stream + dead-member event + probe
+	waitFor(t, "all events applied across the fleet", func() bool {
+		return len(a.sink.snapshot())+len(b.sink.snapshot()) == total
+	})
+	seen := map[uint64]int{}
+	for _, m := range []*member{a, b} {
+		last := map[uint64]uint64{}
+		for _, e := range m.sink.snapshot() {
+			seen[e.InPort]++
+			part := e.InPort % 64
+			if prev, ok := last[part]; ok && e.InPort < prev {
+				t.Fatalf("partition %d applied event %d after %d: re-route broke per-partition order", part, e.InPort, prev)
+			}
+			last[part] = e.InPort
+		}
+	}
+	for i := 1; i <= streamN; i++ {
+		if seen[at(i).InPort] != 1 {
+			t.Fatalf("stream event %d applied %d times, want exactly once", i, seen[at(i).InPort])
+		}
+	}
+	if seen[probe.InPort] != 1 || seen[uint64(pDead)] != 1 {
+		t.Fatalf("probe applied %d times, dead-member event %d times, want exactly once each",
+			seen[probe.InPort], seen[uint64(pDead)])
+	}
+	if marks := r.Ledger(); len(marks) != 0 {
+		t.Fatalf("live re-route marked unsound: %+v", marks)
+	}
+}
+
+// mustRingOf builds a default-weight ring over the given addresses.
+func mustRingOf(t *testing.T, addrs ...string) *Ring {
+	t.Helper()
+	members := make([]Member, len(addrs))
+	for i, addr := range addrs {
+		members[i] = Member{Addr: addr}
+	}
+	ring, err := NewRing(members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ring
+}
+
+// TestRouterFleetWeightMillis: wire FleetMember.Weight is fixed-point
+// millis; the router must rebuild the ring with the fractional weights,
+// treating 0 as the default 1.0.
+func TestRouterFleetWeightMillis(t *testing.T) {
+	a := startMember(t)
+	addrA := a.col.Addr().String()
+	r := newTestRouter(t, []Member{{Addr: addrA}}, nil)
+	r.ApplyFleetConfig(&wire.FleetConfig{Epoch: 1, Members: []wire.FleetMember{
+		{Addr: addrA, Weight: 2500},
+		{Addr: "127.0.0.1:1", Weight: 250},
+		{Addr: "127.0.0.2:1"},
+	}})
+	want := map[string]float64{addrA: 2.5, "127.0.0.1:1": 0.25, "127.0.0.2:1": 1}
+	members := r.Members()
+	if len(members) != len(want) {
+		t.Fatalf("want %d members, got %v", len(want), members)
+	}
+	for _, m := range members {
+		if m.Weight != want[m.Addr] {
+			t.Fatalf("member %s: weight %v, want %v", m.Addr, m.Weight, want[m.Addr])
+		}
+	}
+}
+
 // TestRouterPropertySetDedup: the same converged property set pushed by
 // every member must invoke the wrapped OnPropertySet once per epoch.
 func TestRouterPropertySetDedup(t *testing.T) {

@@ -243,9 +243,10 @@ type PropertySetAck struct {
 }
 
 // FleetMember is one collector endpoint inside a FleetConfig. Weight
-// is a relative routing capacity in arbitrary integer units; the wire
+// is a relative routing capacity in fixed-point milli-units (1000 =
+// weight 1.0), so fractional capacities survive the wire; the wire
 // layer passes it through verbatim (the federation layer treats 0 as
-// the default weight 1).
+// the default weight 1.0).
 type FleetMember struct {
 	Addr   string
 	Weight uint64
