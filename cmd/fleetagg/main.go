@@ -19,6 +19,14 @@
 // Endpoints: /metrics (summed switchmon_fleet_* namespace), /healthz,
 // /state, /violations, /properties (GET/POST/DELETE, fleet-wide), and
 // /fleet (GET membership, POST a new member set).
+//
+// The aggregator also self-monitors: a background sampler scrapes the
+// fleet every -sample-every into an in-process history ring (/query),
+// and the SLO engine evaluates burn-rate rules over the merged fleet
+// series (/alerts) — including the built-in reachability rule, so a
+// member going dark is itself an alert. /violations forwards ?since
+// and ?limit to every member, with repeated ?cursor=<addr>=<seq>
+// params overriding since per member.
 package main
 
 import (
@@ -34,6 +42,8 @@ import (
 	"time"
 
 	"switchmon/internal/federation"
+	"switchmon/internal/obs/histdb"
+	"switchmon/internal/obs/slo"
 )
 
 func main() {
@@ -72,11 +82,15 @@ func parseMembers(spec string) ([]federation.AggMember, error) {
 
 func run() error {
 	var (
-		listen  = flag.String("listen", ":9090", "serve the fleet endpoints on this address")
-		members = flag.String("members", "", "comma-separated exporterAddr=adminURL[=weight] collector entries")
-		epoch   = flag.Uint64("epoch", 0, "initial fleet-config epoch (membership changes increment it)")
-		timeout = flag.Duration("timeout", 3*time.Second, "per-member scrape/admin call timeout")
+		listen      = flag.String("listen", ":9090", "serve the fleet endpoints on this address")
+		members     = flag.String("members", "", "comma-separated exporterAddr=adminURL[=weight] collector entries")
+		epoch       = flag.Uint64("epoch", 0, "initial fleet-config epoch (membership changes increment it)")
+		timeout     = flag.Duration("timeout", 3*time.Second, "per-member scrape/admin call timeout")
+		sampleEvery = flag.Duration("sample-every", time.Second, "cadence of the fleet-history sampler behind /query (each tick scrapes every member)")
+		historySpan = flag.Duration("history", 10*time.Minute, "how far back the fleet metrics-history ring reaches")
 	)
+	var sloRules slo.RuleList
+	flag.Var(&sloRules, "slo", "extra fleet SLO rule as name:series-glob:threshold:fast-window (repeatable; slow window is 10x fast; built-in rules are always evaluated)")
 	flag.Parse()
 	if *members == "" {
 		return fmt.Errorf("-members is required")
@@ -91,6 +105,15 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	// Self-monitoring in Source mode: each sampler tick scrapes the
+	// fleet and records the merged snapshot, so /query serves fleet
+	// history and the SLO engine alerts on it (member reachability
+	// included) with no per-member configuration.
+	hist := histdb.New(histdb.Config{Source: agg.FleetSnapshot, SampleEvery: *sampleEvery, Retention: *historySpan})
+	alerts := slo.New(slo.Config{DB: hist, Rules: append(slo.BuiltinRules(), sloRules...)})
+	agg.AttachSelfMonitor(hist, alerts)
+	hist.Start()
+	defer hist.Close()
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		return err

@@ -80,6 +80,8 @@ import (
 	"switchmon/internal/federation"
 	"switchmon/internal/obs"
 	"switchmon/internal/obs/export"
+	"switchmon/internal/obs/histdb"
+	"switchmon/internal/obs/slo"
 	"switchmon/internal/obs/statesize"
 	"switchmon/internal/obs/tracer"
 	"switchmon/internal/packet"
@@ -243,7 +245,9 @@ func run() error {
 
 		tenantQuotas = flag.String("tenant-quotas", "", "per-tenant quotas as tenant=maxInstances[:maxQueued], comma-separated; breaches shed that tenant's events into the soundness ledger")
 
-		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /healthz, /violations, /trace, /state, /buildinfo, /debug/pprof on this address")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /healthz, /violations, /trace, /state, /query, /alerts, /buildinfo, /debug/pprof on this address")
+		sampleEvery = flag.Duration("sample-every", time.Second, "with -metrics-addr: cadence of the in-process metrics-history sampler behind /query")
+		historySpan = flag.Duration("history", 10*time.Minute, "with -metrics-addr: how far back the metrics-history ring reaches")
 		hold        = flag.Duration("hold", 0, "with -metrics-addr: keep serving this long after the run (0 = until SIGINT)")
 		jsonOut     = flag.Bool("json", false, "emit violations as one JSON object per line")
 		ringSize    = flag.Int("violation-ring", 256, "violation trace records retained for /violations")
@@ -255,6 +259,8 @@ func run() error {
 		stateSample    = flag.Uint64("state-sample", 8, "sample 1 in N instance filings into the heavy-hitter sketch (1 = every filing)")
 		stateWatermark = flag.Int64("state-watermark", 0, "per-property live-instance count that raises the state_pressure warning metric (0 = off)")
 	)
+	var sloRules slo.RuleList
+	flag.Var(&sloRules, "slo", "extra SLO rule as name:series-glob:threshold:fast-window (repeatable; slow window is 10x fast; built-in rules are always evaluated)")
 	flag.Parse()
 
 	if *list {
@@ -446,6 +452,12 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		// Self-monitoring: a history ring samples the registry behind
+		// /query, and the SLO engine rides its tick hook behind /alerts.
+		hist := histdb.New(histdb.Config{Registry: reg, SampleEvery: *sampleEvery, Retention: *historySpan})
+		alerts := slo.New(slo.Config{DB: hist, Rules: append(slo.BuiltinRules(), sloRules...), Registry: reg})
+		hist.Start()
+		defer hist.Close()
 		// /healthz degrades whenever the soundness ledger is non-empty,
 		// serving the per-property unsound-since marks as the detail.
 		health := func() (bool, any) {
@@ -454,6 +466,7 @@ func run() error {
 		}
 		srv = &http.Server{Handler: export.NewMux(export.MuxConfig{
 			Registry: reg, Ring: ring, Health: health, Tracer: tr,
+			History: hist, Alerts: alerts,
 			State: func() any { return mon.StateReport() },
 			Properties: &export.PropertiesConfig{
 				List: func() any {

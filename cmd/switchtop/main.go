@@ -1,0 +1,358 @@
+// Command switchtop is a live plain-text dashboard over a switchmon,
+// collector, or fleetagg introspection endpoint. It polls /query,
+// /alerts, /state, and /healthz and renders throughput and
+// detection-latency sparklines, per-property state and soundness, and
+// the firing SLO alerts — no terminal UI dependency, just ANSI clear
+// and Unicode block characters.
+//
+// Usage:
+//
+//	switchtop -target http://127.0.0.1:9091
+//	switchtop -target http://127.0.0.1:9090 -every 5s
+//	switchtop -target http://127.0.0.1:9091 -once
+//
+// The target is any process serving the introspection mux with a
+// history ring (-metrics-addr plus the default -sample-every). Against
+// a fleetagg target the same endpoints serve fleet-merged series, so
+// the dashboard shows fleet-wide throughput and fleet alerts without
+// any flag changes.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/url"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// sparkGlyphs are the eight block levels a sparkline cell can take.
+var sparkGlyphs = []rune("▁▂▃▄▅▆▇█")
+
+// queryDoc mirrors the /query response.
+type queryDoc struct {
+	SampleEveryNS int64 `json:"sample_every_ns"`
+	Series        []struct {
+		Key    string `json:"key"`
+		Kind   string `json:"kind"`
+		Points []struct {
+			T int64   `json:"t"`
+			V float64 `json:"v"`
+		} `json:"points"`
+	} `json:"series"`
+}
+
+// alertsDoc mirrors the /alerts response.
+type alertsDoc struct {
+	Alerts []struct {
+		Rule        string  `json:"rule"`
+		State       string  `json:"state"`
+		SinceUnixNS int64   `json:"since_unix_ns"`
+		Series      string  `json:"series"`
+		Value       float64 `json:"value"`
+		SlowValue   float64 `json:"slow_value"`
+		Threshold   float64 `json:"threshold"`
+	} `json:"alerts"`
+	TransitionsTotal uint64 `json:"transitions_total"`
+}
+
+// propState is the slice of a /state property entry the dashboard
+// renders; unknown fields are ignored.
+type propState struct {
+	Property    string `json:"property"`
+	Tenant      string `json:"tenant"`
+	Live        int64  `json:"live"`
+	Bytes       int64  `json:"approx_bytes"`
+	Timers      int64  `json:"pending_timers"`
+	Pressure    bool   `json:"pressure"`
+	Quarantined bool   `json:"quarantined"`
+	Unsound     any    `json:"unsound"`
+}
+
+// stateDoc matches both shapes /state takes: a member's report carries
+// properties directly; a fleetagg answer nests per-member docs.
+type stateDoc struct {
+	Properties []propState `json:"properties"`
+	Members    []struct {
+		Member string `json:"member"`
+		Error  string `json:"error"`
+		Doc    struct {
+			Properties []propState `json:"properties"`
+		} `json:"doc"`
+	} `json:"members"`
+}
+
+// client wraps the polling target.
+type client struct {
+	base string
+	http *http.Client
+}
+
+func (c *client) getJSON(path string, into any) error {
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s: %s", path, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return json.Unmarshal(body, into)
+}
+
+// healthLine fetches /healthz and collapses it to one status word.
+func (c *client) healthLine() string {
+	resp, err := c.http.Get(c.base + "/healthz")
+	if err != nil {
+		return "UNREACHABLE (" + err.Error() + ")"
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	s := strings.TrimSpace(string(body))
+	if s == "ok" {
+		return "HEALTHY"
+	}
+	return "DEGRADED"
+}
+
+// spark renders points as a fixed-width sparkline, right-aligned so
+// the newest sample is the last cell, plus current/min/max annotation.
+func spark(vals []float64, width int) string {
+	if len(vals) > width {
+		vals = vals[len(vals)-width:]
+	}
+	if len(vals) == 0 {
+		return strings.Repeat(" ", width) + "  (no data)"
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range vals {
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	var b strings.Builder
+	b.WriteString(strings.Repeat(" ", width-len(vals)))
+	for _, v := range vals {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(sparkGlyphs)-1))
+		}
+		b.WriteRune(sparkGlyphs[idx])
+	}
+	cur := vals[len(vals)-1]
+	fmt.Fprintf(&b, "  cur %s  min %s  max %s", human(cur), human(lo), human(hi))
+	return b.String()
+}
+
+// human renders a value compactly: 12.3k, 4.5M, 1.2G.
+func human(v float64) string {
+	a := math.Abs(v)
+	switch {
+	case a >= 1e9:
+		return fmt.Sprintf("%.1fG", v/1e9)
+	case a >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case a >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.1f", v)
+	}
+}
+
+// sumSeries merges every matched series point-by-point on timestamps —
+// sharded engines label per-shard series, and the dashboard wants the
+// whole-process line.
+func sumSeries(doc *queryDoc, pred func(key string) bool) []float64 {
+	byT := map[int64]float64{}
+	for _, s := range doc.Series {
+		if !pred(s.Key) {
+			continue
+		}
+		for _, p := range s.Points {
+			byT[p.T] += p.V
+		}
+	}
+	ts := make([]int64, 0, len(byT))
+	for t := range byT {
+		ts = append(ts, t)
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	out := make([]float64, len(ts))
+	for i, t := range ts {
+		out[i] = byT[t]
+	}
+	return out
+}
+
+// maxSeries is sumSeries with max-merge — right for quantile series,
+// where summing shards would be meaningless.
+func maxSeries(doc *queryDoc, pred func(key string) bool) []float64 {
+	byT := map[int64]float64{}
+	for _, s := range doc.Series {
+		if !pred(s.Key) {
+			continue
+		}
+		for _, p := range s.Points {
+			byT[p.T] = math.Max(byT[p.T], p.V)
+		}
+	}
+	ts := make([]int64, 0, len(byT))
+	for t := range byT {
+		ts = append(ts, t)
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	out := make([]float64, len(ts))
+	for i, t := range ts {
+		out[i] = byT[t]
+	}
+	return out
+}
+
+func hasAll(key string, subs ...string) bool {
+	for _, s := range subs {
+		if !strings.Contains(key, s) {
+			return false
+		}
+	}
+	return true
+}
+
+// frame renders one full dashboard frame to a string.
+func frame(c *client, width int) string {
+	var b strings.Builder
+	now := time.Now().Format("15:04:05")
+	fmt.Fprintf(&b, "switchtop  %s  %s  %s\n\n", c.base, now, c.healthLine())
+
+	// The one /query round-trip fetches every series family the frame
+	// uses; '|' separates alternatives, and the switchmon_* prefix glob
+	// matches fleet-prefixed names too.
+	glob := strings.Join([]string{
+		"switchmon_*monitor_events_total*",
+		"switchmon_*trace_detection_latency_ns_p99*",
+		"switchmon_*trace_detection_latency_ns_max*",
+		"switchmon_*shed_events_total*",
+		"switchmon_*wire_loss_events_total*",
+	}, "|")
+	var q queryDoc
+	if err := c.getJSON("/query?series="+url.QueryEscape(glob), &q); err != nil {
+		fmt.Fprintf(&b, "  /query: %v\n", err)
+	} else {
+		rows := []struct {
+			label string
+			vals  []float64
+		}{
+			{"events/s ", sumSeries(&q, func(k string) bool { return hasAll(k, "monitor_events_total") })},
+			{"p99 ns   ", maxSeries(&q, func(k string) bool { return hasAll(k, "detection_latency_ns_p99") })},
+			{"max ns   ", maxSeries(&q, func(k string) bool { return hasAll(k, "detection_latency_ns_max") })},
+			{"shed/s   ", sumSeries(&q, func(k string) bool { return hasAll(k, "shed_events_total") })},
+			{"loss/s   ", sumSeries(&q, func(k string) bool { return hasAll(k, "wire_loss_events_total") })},
+		}
+		for _, r := range rows {
+			fmt.Fprintf(&b, "  %s %s\n", r.label, spark(r.vals, width))
+		}
+	}
+
+	var a alertsDoc
+	if err := c.getJSON("/alerts", &a); err != nil {
+		fmt.Fprintf(&b, "\n  /alerts: %v\n", err)
+	} else {
+		firing := 0
+		for _, al := range a.Alerts {
+			if al.State == "warning" || al.State == "critical" {
+				firing++
+			}
+		}
+		fmt.Fprintf(&b, "\nALERTS  %d firing, %d rules, %d transitions\n", firing, len(a.Alerts), a.TransitionsTotal)
+		for _, al := range a.Alerts {
+			if al.State != "warning" && al.State != "critical" {
+				continue
+			}
+			since := ""
+			if al.SinceUnixNS > 0 {
+				since = "  since " + time.Unix(0, al.SinceUnixNS).Format("15:04:05")
+			}
+			fmt.Fprintf(&b, "  %-8s %-24s value=%s slow=%s threshold=%s%s\n",
+				al.State, al.Rule, human(al.Value), human(al.SlowValue), human(al.Threshold), since)
+		}
+	}
+
+	var st stateDoc
+	if err := c.getJSON("/state", &st); err != nil {
+		fmt.Fprintf(&b, "\n  /state: %v\n", err)
+		return b.String()
+	}
+	props := st.Properties
+	for _, m := range st.Members {
+		props = append(props, m.Doc.Properties...)
+	}
+	sort.Slice(props, func(i, j int) bool { return props[i].Property < props[j].Property })
+	fmt.Fprintf(&b, "\nPROPERTIES  %d installed\n", len(props))
+	for _, p := range props {
+		sound := "sound"
+		switch {
+		case p.Quarantined:
+			sound = "QUARANTINED"
+		case p.Unsound != nil:
+			sound = "UNSOUND"
+		case p.Pressure:
+			sound = "pressure"
+		}
+		name := p.Property
+		if p.Tenant != "" {
+			name += " (" + p.Tenant + ")"
+		}
+		fmt.Fprintf(&b, "  %-34s live=%-8d bytes=%-8s timers=%-6d %s\n",
+			name, p.Live, human(float64(p.Bytes)), p.Timers, sound)
+	}
+	return b.String()
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "switchtop:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		target = flag.String("target", "http://127.0.0.1:9090", "introspection base URL (switchmon, collector, or fleetagg)")
+		every  = flag.Duration("every", 2*time.Second, "refresh cadence")
+		once   = flag.Bool("once", false, "render one frame and exit (no screen clearing; for scripts and tests)")
+		width  = flag.Int("width", 60, "sparkline width in cells")
+	)
+	flag.Parse()
+	if *width < 8 {
+		return fmt.Errorf("-width %d: want at least 8", *width)
+	}
+	c := &client{base: strings.TrimRight(*target, "/"), http: &http.Client{Timeout: 5 * time.Second}}
+
+	if *once {
+		fmt.Print(frame(c, *width))
+		return nil
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	tick := time.NewTicker(*every)
+	defer tick.Stop()
+	for {
+		// ANSI: clear screen, home cursor.
+		fmt.Print("\x1b[2J\x1b[H" + frame(c, *width))
+		select {
+		case <-sig:
+			fmt.Println()
+			return nil
+		case <-tick.C:
+		}
+	}
+}

@@ -18,7 +18,8 @@ import (
 var libraryPackages = []string{
 	"sim", "packet", "property", "dsl", "core",
 	"dataplane", "backend", "varanus", "apps", "netsim", "trace", "tables",
-	"obs", "obs/export", "obs/statesize", "wire", "exporter", "collector",
+	"obs", "obs/export", "obs/statesize", "obs/histdb", "obs/slo",
+	"wire", "exporter", "collector",
 }
 
 func TestEveryExportedIdentifierIsDocumented(t *testing.T) {

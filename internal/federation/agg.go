@@ -9,12 +9,15 @@ import (
 	"net/http"
 	"net/url"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"switchmon/internal/obs"
 	"switchmon/internal/obs/export"
+	"switchmon/internal/obs/histdb"
+	"switchmon/internal/obs/slo"
 	"switchmon/internal/wire"
 )
 
@@ -59,6 +62,10 @@ type Aggregator struct {
 	timeout time.Duration
 
 	scrapeErrs uint64
+
+	// Self-monitoring, attached via AttachSelfMonitor before Mux().
+	history *histdb.DB
+	alerts  *slo.Engine
 }
 
 // NewAggregator builds the fleet head over the given members.
@@ -133,6 +140,12 @@ type memberDoc struct {
 // collectJSON fetches path from every member concurrently, in member
 // order.
 func (a *Aggregator) collectJSON(path string) []memberDoc {
+	return a.collectJSONPer(func(AggMember) string { return path })
+}
+
+// collectJSONPer is collectJSON with a per-member path, so callers can
+// thread member-specific cursors into the fan-out.
+func (a *Aggregator) collectJSONPer(pathFor func(AggMember) string) []memberDoc {
 	members := a.Members()
 	out := make([]memberDoc, len(members))
 	var wg sync.WaitGroup
@@ -141,7 +154,7 @@ func (a *Aggregator) collectJSON(path string) []memberDoc {
 		go func(i int, m AggMember) {
 			defer wg.Done()
 			out[i].Member = m.Addr
-			body, err := a.get(m.Admin, path)
+			body, err := a.get(m.Admin, pathFor(m))
 			if err != nil {
 				out[i].Error = err.Error()
 				return
@@ -263,9 +276,31 @@ func (a *Aggregator) fleetFamilies(reachable int) []obs.FamilySnapshot {
 	return []obs.FamilySnapshot{
 		g("switchmon_fleet_members", "Collectors in the current fleet config.", int64(n)),
 		g("switchmon_fleet_members_reachable", "Members that answered the last fleet scrape.", int64(reachable)),
+		g("switchmon_fleet_members_unreachable", "Members that did not answer the last fleet scrape.", int64(n-reachable)),
 		g("switchmon_fleet_epoch", "Applied fleet-config epoch.", int64(epoch)),
 		c("switchmon_fleet_scrape_errors_total", "Member admin calls that failed.", int64(errs)),
 	}
+}
+
+// FleetSnapshot scrapes every member and returns the merged fleet
+// snapshot with the aggregator's own fleet gauges prepended — the same
+// document /metrics serves, exposed as a function so a histdb sampler
+// can record fleet history (Source mode) and an SLO engine can alert on
+// it, including on members going dark (the unreachable gauge).
+func (a *Aggregator) FleetSnapshot() obs.Snapshot {
+	snaps, reachable := a.scrapeMetrics()
+	merged := mergeSnapshots(snaps)
+	merged.Families = append(a.fleetFamilies(reachable), merged.Families...)
+	return merged
+}
+
+// AttachSelfMonitor wires the aggregator's own history ring and alert
+// engine into the mux Mux builds: /query and /alerts get registered,
+// and firing rules fold into the /healthz degradation report. Call it
+// before Mux.
+func (a *Aggregator) AttachSelfMonitor(db *histdb.DB, eng *slo.Engine) {
+	a.history = db
+	a.alerts = eng
 }
 
 // scrapeMetrics pulls every member's registry snapshot.
@@ -460,18 +495,26 @@ func (a *Aggregator) RemoveProperty(name string) error {
 //	/healthz     "ok" iff every member is reachable and sound; else a
 //	             JSON degradation report with per-member detail
 //	/state       per-member state-cost reports, keyed by member
-//	/violations  per-member violation dumps, keyed by member
+//	/violations  per-member violation dumps, keyed by member;
+//	             ?since/?limit forward to every member, and repeated
+//	             ?cursor=<addr>=<seq> params override since per member
+//	             so a poller can resume each member's stream where it
+//	             left off
+//	/query       fleet metrics history (when AttachSelfMonitor wired a
+//	             history ring; see export.HistoryHandler)
+//	/alerts      fleet SLO rule status (when AttachSelfMonitor wired an
+//	             alert engine; see export.AlertsHandler)
 //	/properties  GET: per-member property sets plus a converged flag;
 //	             POST/DELETE: the op applied on every member in one
 //	             fleet-wide serialized order
 //	/fleet       GET: current membership and epoch; POST: install a new
 //	             member set and push the FleetConfig fleet-wide
+//
+// Errors answer the admin surface's uniform {"error": "..."} JSON shape.
 func (a *Aggregator) Mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		snaps, reachable := a.scrapeMetrics()
-		merged := mergeSnapshots(snaps)
-		merged.Families = append(a.fleetFamilies(reachable), merged.Families...)
+		merged := a.FleetSnapshot()
 		if r.URL.Query().Get("format") == "json" {
 			w.Header().Set("Content-Type", "application/json")
 			_ = export.WriteJSON(w, merged)
@@ -489,7 +532,11 @@ func (a *Aggregator) Mux() *http.ServeMux {
 				break
 			}
 		}
-		if healthy {
+		var firing []slo.ActiveAlert
+		if a.alerts != nil {
+			firing = a.alerts.Degraded()
+		}
+		if healthy && len(firing) == 0 {
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 			fmt.Fprintln(w, "ok")
 			return
@@ -498,22 +545,73 @@ func (a *Aggregator) Mux() *http.ServeMux {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(struct {
-			Status  string      `json:"status"`
-			Members []memberDoc `json:"members"`
-		}{Status: "degraded", Members: docs})
+			Status  string            `json:"status"`
+			Members []memberDoc       `json:"members"`
+			Alerts  []slo.ActiveAlert `json:"alerts,omitempty"`
+		}{Status: "degraded", Members: docs, Alerts: firing})
 	})
 	serveMembers := func(path string) http.HandlerFunc {
-		return func(w http.ResponseWriter, _ *http.Request) {
+		return func(w http.ResponseWriter, r *http.Request) {
+			q := r.URL.Query()
+			if v := q.Get("since"); v != "" {
+				if _, err := strconv.ParseUint(v, 10, 64); err != nil {
+					export.Errorf(w, http.StatusBadRequest, "bad since %q: want an unsigned sequence number", v)
+					return
+				}
+			}
+			if v := q.Get("limit"); v != "" {
+				if n, err := strconv.Atoi(v); err != nil || n < 0 {
+					export.Errorf(w, http.StatusBadRequest, "bad limit %q: want a non-negative integer", v)
+					return
+				}
+			}
+			// Per-member cursors: repeated ?cursor=<addr>=<seq> override
+			// the global ?since for that member, so one poll can resume
+			// every member's independent sequence space.
+			cursors := map[string]string{}
+			for _, c := range q["cursor"] {
+				addr, seq, ok := strings.Cut(c, "=")
+				if !ok {
+					export.Errorf(w, http.StatusBadRequest, "bad cursor %q: want <addr>=<seq>", c)
+					return
+				}
+				if _, err := strconv.ParseUint(seq, 10, 64); err != nil {
+					export.Errorf(w, http.StatusBadRequest, "bad cursor %q: seq %q is not an unsigned integer", c, seq)
+					return
+				}
+				cursors[addr] = seq
+			}
+			docs := a.collectJSONPer(func(m AggMember) string {
+				vals := url.Values{}
+				if v, ok := cursors[m.Addr]; ok {
+					vals.Set("since", v)
+				} else if v := q.Get("since"); v != "" {
+					vals.Set("since", v)
+				}
+				if v := q.Get("limit"); v != "" {
+					vals.Set("limit", v)
+				}
+				if len(vals) == 0 {
+					return path
+				}
+				return path + "?" + vals.Encode()
+			})
 			w.Header().Set("Content-Type", "application/json")
 			enc := json.NewEncoder(w)
 			enc.SetIndent("", "  ")
 			_ = enc.Encode(struct {
 				Members []memberDoc `json:"members"`
-			}{a.collectJSON(path)})
+			}{docs})
 		}
 	}
 	mux.HandleFunc("/state", serveMembers("/state"))
 	mux.HandleFunc("/violations", serveMembers("/violations"))
+	if a.history != nil {
+		mux.HandleFunc("/query", export.HistoryHandler(a.history))
+	}
+	if a.alerts != nil {
+		mux.HandleFunc("/alerts", export.AlertsHandler(a.alerts))
+	}
 	mux.HandleFunc("/properties", func(w http.ResponseWriter, r *http.Request) {
 		switch r.Method {
 		case http.MethodGet:
@@ -534,11 +632,11 @@ func (a *Aggregator) Mux() *http.ServeMux {
 		case http.MethodPost:
 			src, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
 			if err != nil {
-				http.Error(w, err.Error(), http.StatusBadRequest)
+				export.Error(w, http.StatusBadRequest, err.Error())
 				return
 			}
 			if err := a.InstallProperty(string(src), r.URL.Query().Get("tenant")); err != nil {
-				http.Error(w, err.Error(), http.StatusBadRequest)
+				export.Error(w, http.StatusBadRequest, err.Error())
 				return
 			}
 			w.WriteHeader(http.StatusCreated)
@@ -546,16 +644,16 @@ func (a *Aggregator) Mux() *http.ServeMux {
 		case http.MethodDelete:
 			name := r.URL.Query().Get("name")
 			if name == "" {
-				http.Error(w, "missing ?name=", http.StatusBadRequest)
+				export.Error(w, http.StatusBadRequest, "missing ?name=")
 				return
 			}
 			if err := a.RemoveProperty(name); err != nil {
-				http.Error(w, err.Error(), http.StatusNotFound)
+				export.Error(w, http.StatusNotFound, err.Error())
 				return
 			}
 			fmt.Fprintln(w, "removed fleet-wide")
 		default:
-			http.Error(w, "GET, POST or DELETE", http.StatusMethodNotAllowed)
+			export.Error(w, http.StatusMethodNotAllowed, "GET, POST or DELETE")
 		}
 	})
 	mux.HandleFunc("/fleet", func(w http.ResponseWriter, r *http.Request) {
@@ -576,18 +674,18 @@ func (a *Aggregator) Mux() *http.ServeMux {
 				Members []AggMember `json:"members"`
 			}
 			if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
-				http.Error(w, err.Error(), http.StatusBadRequest)
+				export.Error(w, http.StatusBadRequest, err.Error())
 				return
 			}
 			fc, err := a.ApplyMembership(req.Members)
 			if err != nil {
-				http.Error(w, err.Error(), http.StatusBadRequest)
+				export.Error(w, http.StatusBadRequest, err.Error())
 				return
 			}
 			w.Header().Set("Content-Type", "application/json")
 			_ = json.NewEncoder(w).Encode(fc)
 		default:
-			http.Error(w, "GET or POST", http.StatusMethodNotAllowed)
+			export.Error(w, http.StatusMethodNotAllowed, "GET or POST")
 		}
 	})
 	return mux

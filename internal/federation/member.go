@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 
+	"switchmon/internal/obs/export"
 	"switchmon/internal/wire"
 )
 
@@ -35,24 +36,24 @@ type MemberEndpoints struct {
 func RegisterMemberEndpoints(mux *http.ServeMux, m MemberEndpoints) {
 	mux.HandleFunc("/fleet", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
-			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			export.Error(w, http.StatusMethodNotAllowed, "POST only")
 			return
 		}
 		if m.BroadcastFleet == nil {
-			http.Error(w, "fleet relay not supported", http.StatusMethodNotAllowed)
+			export.Error(w, http.StatusMethodNotAllowed, "fleet relay not supported")
 			return
 		}
 		var fc wire.FleetConfig
 		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&fc); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			export.Error(w, http.StatusBadRequest, err.Error())
 			return
 		}
 		if len(fc.Members) == 0 {
-			http.Error(w, "fleet config needs at least one member", http.StatusBadRequest)
+			export.Error(w, http.StatusBadRequest, "fleet config needs at least one member")
 			return
 		}
 		if err := m.BroadcastFleet(&fc); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+			export.Error(w, http.StatusInternalServerError, err.Error())
 			return
 		}
 		fmt.Fprintln(w, "relayed")
@@ -61,37 +62,37 @@ func RegisterMemberEndpoints(mux *http.ServeMux, m MemberEndpoints) {
 		switch r.Method {
 		case http.MethodPost:
 			if m.InstallLocal == nil {
-				http.Error(w, "install not supported", http.StatusMethodNotAllowed)
+				export.Error(w, http.StatusMethodNotAllowed, "install not supported")
 				return
 			}
 			src, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
 			if err != nil {
-				http.Error(w, err.Error(), http.StatusBadRequest)
+				export.Error(w, http.StatusBadRequest, err.Error())
 				return
 			}
 			if err := m.InstallLocal(string(src), r.URL.Query().Get("tenant")); err != nil {
-				http.Error(w, err.Error(), http.StatusBadRequest)
+				export.Error(w, http.StatusBadRequest, err.Error())
 				return
 			}
 			w.WriteHeader(http.StatusCreated)
 			fmt.Fprintln(w, "installed")
 		case http.MethodDelete:
 			if m.RemoveLocal == nil {
-				http.Error(w, "remove not supported", http.StatusMethodNotAllowed)
+				export.Error(w, http.StatusMethodNotAllowed, "remove not supported")
 				return
 			}
 			name := r.URL.Query().Get("name")
 			if name == "" {
-				http.Error(w, "missing ?name=", http.StatusBadRequest)
+				export.Error(w, http.StatusBadRequest, "missing ?name=")
 				return
 			}
 			if err := m.RemoveLocal(name); err != nil {
-				http.Error(w, err.Error(), http.StatusNotFound)
+				export.Error(w, http.StatusNotFound, err.Error())
 				return
 			}
 			fmt.Fprintln(w, "removed")
 		default:
-			http.Error(w, "POST or DELETE", http.StatusMethodNotAllowed)
+			export.Error(w, http.StatusMethodNotAllowed, "POST or DELETE")
 		}
 	})
 }

@@ -13,6 +13,7 @@ import (
 	"switchmon/internal/dsl"
 	"switchmon/internal/exporter"
 	"switchmon/internal/federation"
+	"switchmon/internal/obs"
 	"switchmon/internal/packet"
 	"switchmon/internal/property"
 	"switchmon/internal/sim"
@@ -149,7 +150,12 @@ func TestFederatedDifferential(t *testing.T) {
 	}
 	var cols [3]member
 	for i := range cols {
-		sm := core.NewShardedMonitor(2, core.Config{Provenance: core.ProvLimited, OnViolation: rec.record})
+		// Every member runs fully self-monitored (fast-cadence history
+		// sampler + SLO engine); the differential below proves the
+		// observation tier cannot perturb fleet verdicts.
+		reg := obs.NewRegistry()
+		attachSelfMonitor(t, reg)
+		sm := core.NewShardedMonitor(2, core.Config{Provenance: core.ProvLimited, OnViolation: rec.record, Metrics: reg})
 		p, err := dsl.Parse(localDropProperty)
 		if err != nil {
 			t.Fatal(err)

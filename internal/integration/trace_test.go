@@ -8,8 +8,25 @@ import (
 	"switchmon/internal/collector"
 	"switchmon/internal/core"
 	"switchmon/internal/exporter"
+	"switchmon/internal/obs"
+	"switchmon/internal/obs/histdb"
+	"switchmon/internal/obs/slo"
 	"switchmon/internal/obs/tracer"
 )
+
+// attachSelfMonitor runs the full self-monitoring tier — a fast-cadence
+// history sampler plus the built-in SLO rules — over reg for the life
+// of the test. The differential tests use it to prove observation
+// changes nothing: sampling and burn-rate evaluation ride alongside the
+// engine, and verdicts must stay byte-identical to the inline
+// reference.
+func attachSelfMonitor(t *testing.T, reg *obs.Registry) {
+	t.Helper()
+	db := histdb.New(histdb.Config{Registry: reg, SampleEvery: 10 * time.Millisecond, Retention: time.Minute})
+	slo.New(slo.Config{DB: db, Rules: slo.BuiltinRules(), Registry: reg})
+	db.Start()
+	t.Cleanup(db.Close)
+}
 
 // newTracedFabricRig is newFabricRig with end-to-end tracing wired in:
 // one switch-side tracer shared by both dataplane switches and their
@@ -24,8 +41,12 @@ func newTracedFabricRig(t *testing.T, batchSize int, sampleN uint64, wireDelay, 
 	colTr := tracer.New(tracer.Config{SampleN: sampleN})
 
 	rig := &fabricRig{n: buildFabricPath(t), rec: &violationRecorder{}}
+	// The engine runs fully observed: metrics on, history sampled at a
+	// deliberately aggressive 10ms cadence, SLO rules evaluating live.
+	reg := obs.NewRegistry()
+	attachSelfMonitor(t, reg)
 	rig.sm = core.NewShardedMonitor(4, core.Config{
-		Provenance: core.ProvLimited, OnViolation: rig.rec.record, Tracer: colTr,
+		Provenance: core.ProvLimited, OnViolation: rig.rec.record, Tracer: colTr, Metrics: reg,
 	})
 	if err := rig.sm.AddProperty(parseLeasedMAC(t)); err != nil {
 		t.Fatal(err)

@@ -17,10 +17,31 @@ import (
 	"net/http/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"switchmon/internal/obs"
+	"switchmon/internal/obs/histdb"
+	"switchmon/internal/obs/slo"
 	"switchmon/internal/obs/tracer"
 )
+
+// Error writes a 4xx/5xx response as the admin surface's uniform JSON
+// error shape: {"error": "..."} with Content-Type application/json.
+// Every endpoint (here, and the federation member/aggregator muxes)
+// rejects through this helper, so clients never have to sniff between
+// bare text and JSON bodies.
+func Error(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(struct {
+		Error string `json:"error"`
+	}{Error: msg})
+}
+
+// Errorf is Error with fmt formatting.
+func Errorf(w http.ResponseWriter, status int, format string, args ...any) {
+	Error(w, status, fmt.Sprintf(format, args...))
+}
 
 // PromText writes the snapshot in Prometheus text exposition format
 // (version 0.0.4). Histograms are rendered as cumulative le-buckets at
@@ -162,6 +183,11 @@ type MuxConfig struct {
 	// Properties, when non-nil, enables the /properties admin endpoint
 	// (live install/remove).
 	Properties *PropertiesConfig
+	// History, when non-nil, backs /query (the histdb ring TSDB).
+	History *histdb.DB
+	// Alerts, when non-nil, backs /alerts and folds firing rules into
+	// the /healthz degradation report.
+	Alerts *slo.Engine
 }
 
 // sinceLimit parses the shared incremental-read query parameters:
@@ -185,6 +211,111 @@ func sinceLimit(r *http.Request) (since uint64, hasSince bool, limit int) {
 	return since, hasSince, limit
 }
 
+// HistoryHandler serves /query over a histdb ring:
+//
+//	/query?series=<glob>[|<glob>...]&since=<unix>&step=<dur>
+//
+// series is required ('*' and '?' wildcards, '|' separates
+// alternatives); since restricts to samples strictly newer than the
+// given unix time in seconds (fractions allowed); step downsamples to
+// one point per step. Malformed parameters answer 400 with the uniform
+// JSON error shape. The federation aggregator reuses this handler for
+// its fleet-level ring.
+func HistoryHandler(db *histdb.DB) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		pattern := q.Get("series")
+		if pattern == "" {
+			Error(w, http.StatusBadRequest, "missing ?series=<glob> (try series=*)")
+			return
+		}
+		var sinceNS int64
+		if v := q.Get("since"); v != "" {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil || f < 0 {
+				Errorf(w, http.StatusBadRequest, "bad since %q: want unix seconds", v)
+				return
+			}
+			sinceNS = int64(f * float64(time.Second))
+		}
+		var step time.Duration
+		if v := q.Get("step"); v != "" {
+			d, err := time.ParseDuration(v)
+			if err != nil || d < 0 {
+				Errorf(w, http.StatusBadRequest, "bad step %q: want a duration like 5s", v)
+				return
+			}
+			step = d
+		}
+		res, err := db.Query(pattern, sinceNS, step)
+		if err != nil {
+			Errorf(w, http.StatusBadRequest, "bad series glob: %v", err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(res)
+	}
+}
+
+// alertsDoc is the /alerts response shape.
+type alertsDoc struct {
+	// Alerts is every rule's current status, in rule order.
+	Alerts []slo.ActiveAlert `json:"alerts"`
+	// TransitionsTotal counts transitions ever recorded; with the
+	// retained ring's contiguous seqs, a gap proves eviction.
+	TransitionsTotal uint64 `json:"transitions_total"`
+	// Transitions is the retained transition ring, oldest first,
+	// after the ?since/?limit filters.
+	Transitions []slo.Transition `json:"transitions"`
+}
+
+// AlertsHandler serves /alerts over an SLO engine: the current status
+// of every rule plus the ring of recorded transitions. ?since=<seq>
+// keeps transitions with a strictly greater sequence number and
+// ?limit=N the newest N, mirroring /violations; malformed values
+// answer 400.
+func AlertsHandler(e *slo.Engine) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		var since uint64
+		hasSince := false
+		if v := q.Get("since"); v != "" {
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				Errorf(w, http.StatusBadRequest, "bad since %q: want a transition seq", v)
+				return
+			}
+			since, hasSince = n, true
+		}
+		limit := -1
+		if v := q.Get("limit"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				Errorf(w, http.StatusBadRequest, "bad limit %q", v)
+				return
+			}
+			limit = n
+		}
+		trs := e.Transitions()
+		if hasSince {
+			cut := 0
+			for cut < len(trs) && trs[cut].Seq <= since {
+				cut++
+			}
+			trs = trs[cut:]
+		}
+		if limit >= 0 && len(trs) > limit {
+			trs = trs[len(trs)-limit:]
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(alertsDoc{Alerts: e.Alerts(), TransitionsTotal: e.Total(), Transitions: trs})
+	}
+}
+
 // NewMux builds the introspection endpoint:
 //
 //	/metrics          Prometheus text (or JSON with ?format=json),
@@ -194,6 +325,10 @@ func sinceLimit(r *http.Request) (since uint64, hasSince bool, limit int) {
 //	/violations       JSON dump of the violation ring, oldest first
 //	/trace            completed tracing spans as NDJSON, oldest first
 //	/state            live state-cost accounting report as JSON
+//	/query            windowed reads over the metrics history ring
+//	                  (when configured; see HistoryHandler)
+//	/alerts           SLO rule status + transition ring (when
+//	                  configured; see AlertsHandler)
 //	/properties       live property lifecycle admin (when configured):
 //	                  GET lists, POST installs the body's DSL source
 //	                  (?tenant= attaches a tenant), DELETE ?name= removes
@@ -207,8 +342,16 @@ func sinceLimit(r *http.Request) (since uint64, hasSince bool, limit int) {
 // exceeds since+1 proves records were missed (evicted or truncated).
 //
 // /healthz answers 200 even when degraded: the process is alive and
-// still monitoring, just with a documented soundness gap. Probes that
-// want to alarm on degradation should parse the status field.
+// still monitoring, just with a documented soundness gap (a non-empty
+// ledger, or SLO rules firing when an alert engine is configured).
+// Probes that want to alarm on degradation should parse the status
+// field.
+//
+// When a registry is configured the mux also meters itself: every
+// endpoint records switchmon_scrapes_total and a
+// switchmon_scrape_duration_ns histogram labeled by endpoint, so the
+// cost of being scraped shows up in /metrics — and therefore in the
+// history ring and the SLO engine watching it.
 func NewMux(cfg MuxConfig) *http.ServeMux {
 	reg, ring, health, tr := cfg.Registry, cfg.Ring, cfg.Health, cfg.Tracer
 	var rc *runtimeCollector
@@ -217,7 +360,8 @@ func NewMux(cfg MuxConfig) *http.ServeMux {
 		registerBuildInfo(reg)
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+	handle := instrumented(mux, reg)
+	handle("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		rc.collect()
 		snap := reg.Snapshot()
 		if r.URL.Query().Get("format") == "json" {
@@ -228,23 +372,30 @@ func NewMux(cfg MuxConfig) *http.ServeMux {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = PromText(w, snap)
 	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+	handle("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		healthy, detail := true, any(nil)
 		if health != nil {
-			if healthy, detail := health(); !healthy {
-				w.Header().Set("Content-Type", "application/json")
-				enc := json.NewEncoder(w)
-				enc.SetIndent("", "  ")
-				_ = enc.Encode(struct {
-					Status string `json:"status"`
-					Detail any    `json:"detail,omitempty"`
-				}{Status: "degraded", Detail: detail})
-				return
-			}
+			healthy, detail = health()
+		}
+		var firing []slo.ActiveAlert
+		if cfg.Alerts != nil {
+			firing = cfg.Alerts.Degraded()
+		}
+		if !healthy || len(firing) > 0 {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(struct {
+				Status string            `json:"status"`
+				Detail any               `json:"detail,omitempty"`
+				Alerts []slo.ActiveAlert `json:"alerts,omitempty"`
+			}{Status: "degraded", Detail: detail, Alerts: firing})
+			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
-	mux.HandleFunc("/violations", func(w http.ResponseWriter, r *http.Request) {
+	handle("/violations", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		var recs []obs.TraceRecord
 		var total uint64
@@ -271,7 +422,7 @@ func NewMux(cfg MuxConfig) *http.ServeMux {
 			Violations []obs.TraceRecord `json:"violations"`
 		}{Total: total, Retained: len(recs), Violations: recs})
 	})
-	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+	handle("/trace", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		w.Header().Set("X-Trace-Total", strconv.FormatUint(tr.Total(), 10))
 		recs := tr.Snapshot()
@@ -288,7 +439,7 @@ func NewMux(cfg MuxConfig) *http.ServeMux {
 		}
 		_ = tracer.WriteNDJSON(w, recs)
 	})
-	mux.HandleFunc("/state", func(w http.ResponseWriter, _ *http.Request) {
+	handle("/state", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		var rep any = struct{}{}
 		if cfg.State != nil {
@@ -298,8 +449,14 @@ func NewMux(cfg MuxConfig) *http.ServeMux {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(rep)
 	})
+	if cfg.History != nil {
+		handle("/query", HistoryHandler(cfg.History))
+	}
+	if cfg.Alerts != nil {
+		handle("/alerts", AlertsHandler(cfg.Alerts))
+	}
 	if pc := cfg.Properties; pc != nil {
-		mux.HandleFunc("/properties", func(w http.ResponseWriter, r *http.Request) {
+		handle("/properties", func(w http.ResponseWriter, r *http.Request) {
 			switch r.Method {
 			case http.MethodGet:
 				w.Header().Set("Content-Type", "application/json")
@@ -312,50 +469,73 @@ func NewMux(cfg MuxConfig) *http.ServeMux {
 				_ = enc.Encode(list)
 			case http.MethodPost:
 				if pc.Install == nil {
-					http.Error(w, "install not supported", http.StatusMethodNotAllowed)
+					Error(w, http.StatusMethodNotAllowed, "install not supported")
 					return
 				}
 				src, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
 				if err != nil {
-					http.Error(w, err.Error(), http.StatusBadRequest)
+					Error(w, http.StatusBadRequest, err.Error())
 					return
 				}
 				if err := pc.Install(string(src), r.URL.Query().Get("tenant")); err != nil {
-					http.Error(w, err.Error(), http.StatusBadRequest)
+					Error(w, http.StatusBadRequest, err.Error())
 					return
 				}
 				w.WriteHeader(http.StatusCreated)
 				fmt.Fprintln(w, "installed")
 			case http.MethodDelete:
 				if pc.Remove == nil {
-					http.Error(w, "remove not supported", http.StatusMethodNotAllowed)
+					Error(w, http.StatusMethodNotAllowed, "remove not supported")
 					return
 				}
 				name := r.URL.Query().Get("name")
 				if name == "" {
-					http.Error(w, "missing ?name=", http.StatusBadRequest)
+					Error(w, http.StatusBadRequest, "missing ?name=")
 					return
 				}
 				if err := pc.Remove(name); err != nil {
-					http.Error(w, err.Error(), http.StatusNotFound)
+					Error(w, http.StatusNotFound, err.Error())
 					return
 				}
 				fmt.Fprintln(w, "removed")
 			default:
-				http.Error(w, "GET, POST or DELETE", http.StatusMethodNotAllowed)
+				Error(w, http.StatusMethodNotAllowed, "GET, POST or DELETE")
 			}
 		})
 	}
-	mux.HandleFunc("/buildinfo", func(w http.ResponseWriter, _ *http.Request) {
+	handle("/buildinfo", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(buildInfo())
 	})
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	handle("/debug/pprof/", pprof.Index)
+	handle("/debug/pprof/cmdline", pprof.Cmdline)
+	handle("/debug/pprof/profile", pprof.Profile)
+	handle("/debug/pprof/symbol", pprof.Symbol)
+	handle("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// instrumented returns a HandleFunc-shaped registrar that wraps every
+// handler with per-endpoint self-metering: switchmon_scrapes_total and
+// a switchmon_scrape_duration_ns histogram, both labeled by endpoint
+// pattern. With a nil registry it degrades to plain registration.
+func instrumented(mux *http.ServeMux, reg *obs.Registry) func(pattern string, h http.HandlerFunc) {
+	return func(pattern string, h http.HandlerFunc) {
+		if reg != nil {
+			dur := reg.Histogram("switchmon_scrape_duration_ns",
+				"Time serving one introspection request.", obs.L("endpoint", pattern))
+			total := reg.Counter("switchmon_scrapes_total",
+				"Introspection requests served.", obs.L("endpoint", pattern))
+			inner := h
+			h = func(w http.ResponseWriter, r *http.Request) {
+				start := time.Now()
+				inner(w, r)
+				dur.Observe(uint64(time.Since(start)))
+				total.Inc()
+			}
+		}
+		mux.HandleFunc(pattern, h)
+	}
 }

@@ -21,6 +21,7 @@ package obs
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 	"sort"
 	"strings"
@@ -161,6 +162,53 @@ func BucketBound(i int) uint64 {
 	return 1<<uint(i) - 1
 }
 
+// HistQuantile reads quantile q (0..1) from power-of-two bucket counts
+// as produced by Histogram.Buckets or SeriesSnapshot.Buckets (trailing
+// buckets may be trimmed). The answer is the inclusive upper bound of
+// the bucket where the cumulative count first reaches rank ceil(q*n) —
+// a conservative (never under-reporting) estimate, exact to the bucket
+// resolution. An empty histogram reports 0; observations that landed in
+// the overflow bucket (index 64) report the full uint64 range bound.
+func HistQuantile(buckets []uint64, q float64) uint64 {
+	var total uint64
+	for _, n := range buckets {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, n := range buckets {
+		cum += n
+		if cum >= rank {
+			return BucketBound(i)
+		}
+	}
+	return BucketBound(len(buckets) - 1)
+}
+
+// HistMaxBound reports the inclusive upper bound of the highest
+// non-empty bucket — the histogram's observed maximum, rounded up to
+// bucket resolution. Empty histograms report 0.
+func HistMaxBound(buckets []uint64) uint64 {
+	for i := len(buckets) - 1; i >= 0; i-- {
+		if buckets[i] != 0 {
+			return BucketBound(i)
+		}
+	}
+	return 0
+}
+
 // metricKind discriminates the series types a family can hold.
 type metricKind uint8
 
@@ -197,6 +245,10 @@ type Registry struct {
 	mu       sync.Mutex
 	families map[string]*family
 	nextOrd  int
+	// gen counts series registrations: it changes exactly when a new
+	// series (or family) is created, so a sampler can cache instrument
+	// pointers and rescan only when Gen moves (histdb's zero-alloc tick).
+	gen atomic.Uint64
 }
 
 // NewRegistry creates an empty registry.
@@ -244,8 +296,56 @@ func (r *Registry) lookup(name, help string, kind metricKind, labels []Label) *s
 			s.hist = &Histogram{}
 		}
 		f.series[key] = s
+		r.gen.Add(1)
 	}
 	return s
+}
+
+// Gen reports the registry's series generation: it advances exactly
+// when a new series is registered. Samplers cache instrument handles
+// and rescan (ForEachSeries) only when Gen has moved, keeping the
+// steady-state sample path allocation-free.
+func (r *Registry) Gen() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.gen.Load()
+}
+
+// SeriesVisitor receives one live series during ForEachSeries. Exactly
+// one of ctr, gauge, hist is non-nil, matching the family kind. The
+// labels slice is the registry's canonical (sorted) copy and must not
+// be mutated.
+type SeriesVisitor func(name, help string, labels []Label, ctr *Counter, gauge *Gauge, hist *Histogram)
+
+// ForEachSeries visits every registered series in deterministic order
+// (families by registration order, series by canonical label key),
+// handing the visitor live instrument pointers. It is intended for
+// construction-time discovery — a sampler resolving handles once per
+// Gen change — not the hot path; the visitor runs under the registry
+// lock and must not register new series.
+func (r *Registry) ForEachSeries(visit SeriesVisitor) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].order < fams[j].order })
+	for _, f := range fams {
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s := f.series[k]
+			visit(f.name, f.help, s.labels, s.ctr, s.gauge, s.hist)
+		}
+	}
 }
 
 // Counter registers (or finds) a counter series.

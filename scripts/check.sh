@@ -37,6 +37,13 @@ go test -count=1 -run 'TestHotPathZeroAlloc' ./internal/obs/
 go test -count=1 -run 'TestUnsampledPathZeroAlloc' ./internal/obs/tracer/
 go test -count=1 -run 'TestSteadyStateAllocationBudget' ./internal/core/
 
+# Sampler gate (E19): a steady-state metrics-history sample tick
+# (counters, gauges, and histogram quantile derivation) must not
+# allocate — the self-monitoring tier rides the same overhead
+# discipline as the hot path it watches.
+echo "==> zero-alloc metrics-history sampler gate"
+go test -count=1 -run 'TestSamplerTickZeroAlloc' ./internal/obs/histdb/
+
 # State-accounting gate (E16): the per-property state observatory —
 # live/bytes/timer accounting plus the heavy-hitter sketch — must stay
 # allocation-free on the steady state and under instance churn.

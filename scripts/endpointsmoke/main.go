@@ -53,6 +53,8 @@ func run() error {
 		"-metrics-addr", "127.0.0.1:0",
 		"-hold", "1m",
 		"-trace-sample", "1",
+		"-sample-every", "50ms", // fast cadence so /query has points within the smoke's patience
+		"-slo", "smoke-extra:switchmon_monitor_events_total:1e12:1m",
 		"-state-topk", "8", "-state-sample", "1", "-state-watermark", "1",
 		"-json",
 	)
@@ -88,6 +90,10 @@ func run() error {
 		{"/trace", "ndjson"},
 		{"/trace?limit=3", "ndjson"},
 		{"/state", "json"},
+		{"/query?series=*", "json"},
+		{"/query?series=switchmon_*_total&step=100ms", "json"},
+		{"/alerts", "json"},
+		{"/alerts?since=0&limit=4", "json"},
 		{"/buildinfo", "json"},
 		{"/debug/pprof/cmdline", "text"},
 	}
@@ -95,6 +101,9 @@ func run() error {
 		if err := check(client, base+c.path, c.kind); err != nil {
 			return fmt.Errorf("GET %s: %w", c.path, err)
 		}
+	}
+	if err := selfMonitoring(client, base); err != nil {
+		return err
 	}
 
 	// Spot-check content, not just shape: the metric families the PR
@@ -144,6 +153,101 @@ func run() error {
 		}
 	}
 	return properties(client, base)
+}
+
+// selfMonitoring exercises the /query and /alerts surface beyond bare
+// 200s: the history ring must hold real sampled series, the rule set
+// must include both built-ins and the -slo flag's custom rule, and the
+// rejection paths must answer 4xx with the uniform JSON error shape.
+func selfMonitoring(client *http.Client, base string) error {
+	// The sampler runs at 50ms; give it a few ticks, then /query must
+	// return the monitor's throughput series with at least one point.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		body, err := get(client, base+"/query?series=switchmon_monitor_events_total*")
+		if err != nil {
+			return fmt.Errorf("GET /query: %w", err)
+		}
+		var q struct {
+			SampleEveryNS int64 `json:"sample_every_ns"`
+			Series        []struct {
+				Key    string           `json:"key"`
+				Kind   string           `json:"kind"`
+				Points []map[string]any `json:"points"`
+			} `json:"series"`
+		}
+		if err := json.Unmarshal(body, &q); err != nil {
+			return fmt.Errorf("/query: invalid JSON: %w", err)
+		}
+		if q.SampleEveryNS != 50*time.Millisecond.Nanoseconds() {
+			return fmt.Errorf("/query: sample_every_ns %d, want 50ms", q.SampleEveryNS)
+		}
+		if len(q.Series) > 0 && len(q.Series[0].Points) > 0 {
+			if q.Series[0].Kind != "rate" {
+				return fmt.Errorf("/query: counter series kind %q, want rate", q.Series[0].Kind)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("/query: no sampled points for switchmon_monitor_events_total after 10s")
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// /alerts must list the built-in rules plus the -slo custom rule,
+	// all resting at ok in a healthy demo run.
+	body, err := get(client, base+"/alerts")
+	if err != nil {
+		return fmt.Errorf("GET /alerts: %w", err)
+	}
+	var a struct {
+		Alerts []struct {
+			Rule  string `json:"rule"`
+			State string `json:"state"`
+		} `json:"alerts"`
+	}
+	if err := json.Unmarshal(body, &a); err != nil {
+		return fmt.Errorf("/alerts: invalid JSON: %w", err)
+	}
+	rules := map[string]string{}
+	for _, al := range a.Alerts {
+		rules[al.Rule] = al.State
+	}
+	for _, want := range []string{"detection-latency-p99", "unsound-properties", "shed-rate", "smoke-extra"} {
+		if _, ok := rules[want]; !ok {
+			return fmt.Errorf("/alerts: rule %q missing (have %v)", want, rules)
+		}
+	}
+	if st := rules["smoke-extra"]; st != "ok" {
+		return fmt.Errorf("/alerts: smoke-extra state %q, want ok (threshold 1e12)", st)
+	}
+
+	// Rejection paths: missing/empty glob and malformed since/step must
+	// answer 4xx with the admin surface's {"error": ...} JSON shape.
+	for _, bad := range []string{
+		"/query",
+		"/query?series=",
+		"/query?series=a%7C", // trailing empty alternative
+		"/query?series=*&since=notanumber",
+		"/query?series=*&step=bogus",
+		"/alerts?since=notanumber",
+		"/alerts?limit=-1",
+	} {
+		status, body, err := do(client, http.MethodGet, base+bad, "")
+		if err != nil {
+			return fmt.Errorf("GET %s: %w", bad, err)
+		}
+		if status/100 != 4 {
+			return fmt.Errorf("GET %s: status %d, want 4xx", bad, status)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal([]byte(body), &e); err != nil || e.Error == "" {
+			return fmt.Errorf("GET %s: body %q is not the {\"error\": ...} shape", bad, body)
+		}
+	}
+	return nil
 }
 
 // properties drives the /properties admin endpoint through one full
