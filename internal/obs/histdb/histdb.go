@@ -191,11 +191,19 @@ func (db *DB) OnTick(fn func(now time.Time)) {
 // series since the last rescan) performs no allocations.
 func (db *DB) Tick() {
 	now := db.cfg.Now()
+	// Snapshot-mode sources can be slow — fleetagg's Source is a
+	// concurrent HTTP scrape of every member with per-call timeouts —
+	// so collect the snapshot before taking db.mu; readers (/query,
+	// WindowAvg, ResolveGlob) must never block behind a dark member.
+	var snap obs.Snapshot
+	if db.cfg.Source != nil {
+		snap = db.cfg.Source()
+	}
 	db.mu.Lock()
 	if db.cfg.Registry != nil {
 		db.tickRegistry(now)
 	} else {
-		db.tickSnapshot(now)
+		db.tickSnapshot(now, snap)
 	}
 	hooks := db.hooks
 	db.mu.Unlock()
@@ -297,9 +305,9 @@ func (db *DB) addTrack(key string, tr *track) {
 	db.tGen++
 }
 
-// tickSnapshot samples a Source snapshot. Called with db.mu held.
-func (db *DB) tickSnapshot(now time.Time) {
-	snap := db.cfg.Source()
+// tickSnapshot stores one pre-collected Source snapshot. Called with
+// db.mu held; the snapshot itself is taken outside the lock (Tick).
+func (db *DB) tickSnapshot(now time.Time, snap obs.Snapshot) {
 	nowNS := now.UnixNano()
 	dt := float64(nowNS-db.lastT) / float64(time.Second)
 	slot := db.head
@@ -341,7 +349,11 @@ func (db *DB) tickSnapshot(now time.Time) {
 			case "counter":
 				cur := uint64(ser.Value)
 				v := math.NaN()
-				if tr.hasLast && dt > 0 {
+				// Snapshot totals can regress — a member restarts, or a
+				// merged fleet snapshot misses a member for one scrape.
+				// A regressed total is a reset, not a wrapped uint64
+				// delta: record no rate for this tick.
+				if tr.hasLast && dt > 0 && cur >= tr.last {
 					v = float64(cur-tr.last) / dt
 				}
 				tr.last, tr.hasLast = cur, true
@@ -351,8 +363,16 @@ func (db *DB) tickSnapshot(now time.Time) {
 			case "histogram":
 				var delta [65]uint64
 				nonEmpty := false
+				reset := false
 				for i, n := range ser.Buckets {
 					if i >= len(delta) {
+						break
+					}
+					// A regressed bucket count means the source reset
+					// (same as the counter case above): the deltas are
+					// meaningless this tick, so record no quantiles.
+					if n < tr.lastB[i] {
+						reset = true
 						break
 					}
 					d := n - tr.lastB[i]
@@ -361,7 +381,7 @@ func (db *DB) tickSnapshot(now time.Time) {
 						nonEmpty = true
 					}
 				}
-				if tr.hasLast && nonEmpty {
+				if tr.hasLast && nonEmpty && !reset {
 					tr.vals[0][slot] = float64(obs.HistQuantile(delta[:], 0.50))
 					tr.vals[1][slot] = float64(obs.HistQuantile(delta[:], 0.99))
 					tr.vals[2][slot] = float64(obs.HistMaxBound(delta[:]))

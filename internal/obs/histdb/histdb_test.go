@@ -229,6 +229,85 @@ func TestSnapshotSourceMode(t *testing.T) {
 	}
 }
 
+// TestSnapshotResetGuard: a snapshot total (or histogram bucket count)
+// that regresses — a member restart, or a merged fleet snapshot missing
+// a member for one scrape — is a reset, not a wrapped uint64 delta. The
+// regressed tick must record no rate and no quantiles rather than an
+// astronomical ~1.8e19 sample that would poison every burn window.
+func TestSnapshotResetGuard(t *testing.T) {
+	var snap obs.Snapshot
+	clk := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	db := New(Config{Source: func() obs.Snapshot { return snap }, SampleEvery: time.Second, Retention: time.Minute, Now: clk.now})
+
+	set := func(total int64, b3 uint64) {
+		snap = obs.Snapshot{Families: []obs.FamilySnapshot{
+			{Name: "switchmon_fleet_events_total", Kind: "counter", Series: []obs.SeriesSnapshot{{Value: total}}},
+			{Name: "switchmon_fleet_lat_ns", Kind: "histogram", Series: []obs.SeriesSnapshot{{Buckets: []uint64{0, 0, 0, b3}}}},
+		}}
+	}
+	step := func(total int64, b3 uint64) {
+		clk.advance(time.Second)
+		set(total, b3)
+		db.Tick()
+	}
+	set(5000, 50)
+	db.Tick()
+	step(6000, 60) // healthy: +1000/s, +10 observations
+	step(1000, 10) // regression: member restarted / dropped from merge
+	step(2000, 20) // healthy again from the new baseline
+
+	res, err := db.Query("switchmon_fleet_*", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Series {
+		for _, p := range s.Points {
+			if p.V > 1e15 {
+				t.Fatalf("series %s holds wrapped-delta sample %v: %+v", s.Key, p.V, s.Points)
+			}
+		}
+		switch s.Key {
+		case "switchmon_fleet_events_total":
+			// The regressed tick is a no-data hole; the flanking healthy
+			// ticks both rate at 1000/s.
+			if len(s.Points) != 2 || s.Points[0].V != 1000 || s.Points[1].V != 1000 {
+				t.Fatalf("counter rate = %+v, want [1000 1000] around the reset hole", s.Points)
+			}
+		case "switchmon_fleet_lat_ns_p50":
+			if len(s.Points) != 2 {
+				t.Fatalf("p50 = %+v, want 2 points around the reset hole", s.Points)
+			}
+		}
+	}
+}
+
+// TestSlowSourceDoesNotBlockReads: the snapshot source (fleetagg's
+// concurrent member scrape) can stall for seconds on a dark member;
+// the scrape runs outside db.mu, so reads must complete while a tick's
+// scrape is still in flight.
+func TestSlowSourceDoesNotBlockReads(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	clk := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	db := New(Config{Source: func() obs.Snapshot {
+		close(entered)
+		<-release
+		return obs.Snapshot{}
+	}, SampleEvery: time.Second, Retention: time.Minute, Now: clk.now})
+	done := make(chan struct{})
+	go func() {
+		db.Tick()
+		close(done)
+	}()
+	<-entered // the scrape is in flight now
+	if _, err := db.Query("*", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	db.WindowAvg(Handle{}, time.Second)
+	close(release)
+	<-done
+}
+
 // TestSamplerTickZeroAlloc is check.sh's sampler gate: once the track
 // set is discovered, a registry-mode sample tick must not allocate,
 // no matter how busy the instruments are.

@@ -7,12 +7,15 @@
 //
 // Each rule names a '|'-separated glob over histdb keys, a threshold,
 // and a fast window (the slow window defaults to 10x). Every sample
-// tick the engine takes the worst (largest) fast- and slow-window
-// average across the matching series:
+// tick the engine judges each matching series against both of its own
+// windows and takes the worst single-series verdict — two different
+// series each hot in only one window never combine into a critical no
+// single series earned:
 //
 //   - both windows at or over threshold  -> critical
 //   - exactly one window over            -> warning
-//   - both windows under threshold*(1-hysteresis) -> resolved (ok)
+//   - every series under threshold*(1-hysteresis) in both windows
+//     -> resolved (ok)
 //
 // Critical is sticky: it clears only through the hysteresis band, so
 // an alert cannot flap across the threshold line. Evaluation runs on
@@ -245,7 +248,9 @@ type Config struct {
 	// TransitionRing bounds the retained transitions (default 256).
 	TransitionRing int
 	// Hysteresis widens the clear band: an alert resolves only when
-	// both windows fall below threshold*(1-Hysteresis). Default 0.1.
+	// both windows fall below threshold*(1-Hysteresis). 0 means the
+	// default 0.1; negative disables hysteresis entirely (an exact-
+	// threshold clear band).
 	Hysteresis float64
 }
 
@@ -276,7 +281,10 @@ func New(cfg Config) *Engine {
 	if cfg.TransitionRing <= 0 {
 		cfg.TransitionRing = 256
 	}
-	if cfg.Hysteresis <= 0 || cfg.Hysteresis >= 1 {
+	switch {
+	case cfg.Hysteresis < 0:
+		cfg.Hysteresis = 0 // exact-threshold clear band
+	case cfg.Hysteresis == 0 || cfg.Hysteresis >= 1:
 		cfg.Hysteresis = 0.1
 	}
 	e := &Engine{
@@ -319,67 +327,75 @@ func (e *Engine) Evaluate(now time.Time) {
 	warn, crit := int64(0), int64(0)
 	for _, rs := range e.rules {
 		r := rs.rule
-		fastAvg, slowAvg := 0.0, 0.0
-		fastN, slowN := 0, 0
+		clearLine := r.Threshold * (1 - e.hyst)
+		// Judge each series against both of its own windows; the worst
+		// single-series verdict drives the rule. Mixing the worst fast
+		// average from one series with the worst slow average from
+		// another would manufacture a critical no single series earned.
+		worstSev := -1 // -1: no series had data in either window
 		var worst histdb.Handle
-		hasWorst := false
+		fastAvg, slowAvg := 0.0, 0.0
+		fastN := 0
+		allClear := true
 		for _, h := range rs.handles {
 			fa, fn := e.db.WindowAvg(h, r.Fast)
 			sa, sn := e.db.WindowAvg(h, r.Slow)
-			if fn > 0 && (!hasWorst || fa > fastAvg) {
-				fastAvg, fastN = fa, fn
-				worst, hasWorst = h, true
+			if fn == 0 && sn == 0 {
+				continue
 			}
-			if sn > 0 && sa > slowAvg {
-				slowAvg, slowN = sa, sn
-			} else if sn > 0 && slowN == 0 {
-				slowAvg, slowN = sa, sn
+			fastHot := fn > 0 && fa >= r.Threshold
+			slowHot := sn > 0 && sa >= r.Threshold
+			sev := 0
+			if fastHot && slowHot {
+				sev = 2
+			} else if fastHot || slowHot {
+				sev = 1
+			}
+			if (fn > 0 && fa >= clearLine) || (sn > 0 && sa >= clearLine) {
+				allClear = false
+			}
+			if sev > worstSev || (sev == worstSev && fa > fastAvg) {
+				worstSev = sev
+				fastAvg, slowAvg, fastN = fa, sa, fn
+				worst = h
 			}
 		}
+		hasWorst := worstSev >= 0
 		rs.fastAvg, rs.slowAvg, rs.samples = fastAvg, slowAvg, fastN
 		rs.worst, rs.hasWorst = worst, hasWorst
 
-		if fastN == 0 && slowN == 0 {
+		if !hasWorst {
 			// No evidence either way: hold the current state.
 			rs.apply(&warn, &crit)
 			continue
 		}
-		fastHot := fastN > 0 && fastAvg >= r.Threshold
-		slowHot := slowN > 0 && slowAvg >= r.Threshold
-		clear := r.Threshold * (1 - e.hyst)
-		fastClear := fastN == 0 || fastAvg < clear
-		slowClear := slowN == 0 || slowAvg < clear
-
 		next := rs.state
 		to := ""
 		switch rs.state {
 		case OK:
-			if fastHot && slowHot {
+			if worstSev == 2 {
 				next, to = Critical, "critical"
-			} else if fastHot || slowHot {
+			} else if worstSev == 1 {
 				next, to = Warning, "warning"
 			}
 		case Warning:
-			if fastHot && slowHot {
+			if worstSev == 2 {
 				next, to = Critical, "critical"
-			} else if fastClear && slowClear {
+			} else if allClear {
 				next, to = OK, "resolved"
 			}
 		case Critical:
-			// Sticky: clears only through the hysteresis band.
-			if fastClear && slowClear {
+			// Sticky: clears only when every series with data is
+			// through the hysteresis band in both windows.
+			if allClear {
 				next, to = OK, "resolved"
 			}
 		}
 		if to != "" {
-			key := ""
-			if rs.hasWorst {
-				key = rs.worst.Key()
-			}
 			e.record(Transition{
 				UnixNS: nowNS, Rule: r.Name,
 				From: rs.state.String(), To: to,
-				Value: fastAvg, Threshold: r.Threshold, Series: key,
+				Value: fastAvg, Threshold: r.Threshold, Series: worst.Key(),
 			})
 			rs.state = next
 			rs.sinceNS = nowNS

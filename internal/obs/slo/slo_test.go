@@ -168,6 +168,78 @@ func TestHysteresisHoldsThroughFlap(t *testing.T) {
 	}
 }
 
+// TestNoCrossSeriesWindowMixing: one series hot in only the fast
+// window while another is hot in only the slow window must not combine
+// into a critical no single series earned.
+func TestNoCrossSeriesWindowMixing(t *testing.T) {
+	var snap obs.Snapshot
+	now := time.Unix(1_700_000_000, 0)
+	db := histdb.New(histdb.Config{
+		Source:      func() obs.Snapshot { return snap },
+		SampleEvery: time.Second,
+		Retention:   time.Minute,
+		Now:         func() time.Time { return now },
+	})
+	eng := New(Config{DB: db, Rules: []Rule{
+		{Name: "r", Series: "g*", Threshold: 100, Fast: 2 * time.Second, Slow: 8 * time.Second},
+	}})
+	gauge := func(name string, v int64) obs.FamilySnapshot {
+		return obs.FamilySnapshot{Name: name, Kind: "gauge", Series: []obs.SeriesSnapshot{{Value: v}}}
+	}
+	tick := func(families ...obs.FamilySnapshot) {
+		now = now.Add(time.Second)
+		snap = obs.Snapshot{Families: families}
+		db.Tick()
+	}
+	for i := 0; i < 6; i++ { // t1..t6: both cold
+		tick(gauge("ga", 0), gauge("gb", 0))
+	}
+	for i := 0; i < 2; i++ { // t7,t8: B bursts (fast hot, slow diluted)
+		tick(gauge("ga", 0), gauge("gb", 300))
+	}
+	for i := 0; i < 2; i++ { // t9,t10: B vanishes — its slow window
+		// (600/6 = 100) is now hot with a cold fast window — while A
+		// bursts the other way (fast 300 hot, slow 600/8 = 75 cold).
+		tick(gauge("ga", 300))
+	}
+	if got := state(t, eng, "r"); got != "warning" {
+		t.Fatalf("state = %s, want warning (no single series earned critical)", got)
+	}
+	for _, tr := range eng.Transitions() {
+		if tr.To == "critical" {
+			t.Fatalf("cross-series window mixing paged: %+v", tr)
+		}
+	}
+}
+
+// TestHysteresisDisabled: negative Config.Hysteresis selects an exact-
+// threshold clear band, so sitting just under the threshold resolves
+// (where the 0.1 default would hold critical).
+func TestHysteresisDisabled(t *testing.T) {
+	reg := obs.NewRegistry()
+	now := time.Unix(1_700_000_000, 0)
+	db := histdb.New(histdb.Config{Registry: reg, SampleEvery: time.Second, Retention: time.Minute, Now: func() time.Time { return now }})
+	eng := New(Config{DB: db, Registry: reg, Hysteresis: -1, Rules: []Rule{
+		{Name: "r", Series: "g", Threshold: 100, Fast: 2 * time.Second, Slow: 4 * time.Second},
+	}})
+	g := reg.Gauge("g", "")
+	tick := func() { now = now.Add(time.Second); db.Tick() }
+	g.Set(200)
+	for i := 0; i < 6; i++ {
+		tick()
+	}
+	if got := state(t, eng, "r"); got != "critical" {
+		t.Fatalf("sustained burn = %s, want critical", got)
+	}
+	g.Set(95) // inside the default 10% band — but hysteresis is off
+	for i := 0; i < 8; i++ {
+		tick()
+	}
+	if got := state(t, eng, "r"); got != "ok" {
+		t.Fatalf("state = %s, want resolved with hysteresis disabled", got)
+	}
+}
+
 func TestNoMatchingSeriesRestsAtOK(t *testing.T) {
 	r := newRig(t, BuiltinRules())
 	for i := 0; i < 5; i++ {
